@@ -1,0 +1,207 @@
+//! Condition codes for `SETcc`, `CMOVcc` and `Jcc`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// x86 condition codes, in hardware encoding order (the low nibble of the
+/// `SETcc`/`CMOVcc`/`Jcc` opcode byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow (`OF = 1`).
+    O = 0x0,
+    /// No overflow.
+    No = 0x1,
+    /// Below (unsigned, `CF = 1`).
+    B = 0x2,
+    /// Above or equal (unsigned).
+    Ae = 0x3,
+    /// Equal (`ZF = 1`).
+    E = 0x4,
+    /// Not equal.
+    Ne = 0x5,
+    /// Below or equal (unsigned).
+    Be = 0x6,
+    /// Above (unsigned).
+    A = 0x7,
+    /// Sign (`SF = 1`).
+    S = 0x8,
+    /// No sign.
+    Ns = 0x9,
+    /// Parity (`PF = 1`).
+    P = 0xA,
+    /// No parity.
+    Np = 0xB,
+    /// Less (signed).
+    L = 0xC,
+    /// Greater or equal (signed).
+    Ge = 0xD,
+    /// Less or equal (signed).
+    Le = 0xE,
+    /// Greater (signed).
+    G = 0xF,
+}
+
+impl Cond {
+    /// All sixteen condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// The 4-bit condition encoding.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a condition from its 4-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 15`.
+    #[inline]
+    pub fn from_code(code: u8) -> Cond {
+        Self::ALL[usize::from(code)]
+    }
+
+    /// The canonical mnemonic suffix (`e`, `ne`, `b`, ...).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::P => "p",
+            Cond::Np => "np",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+
+    /// Parses a mnemonic suffix, accepting common aliases
+    /// (`z`→`e`, `nz`→`ne`, `c`→`b`, `nc`→`ae`, `nae`→`b`, `nb`→`ae`,
+    /// `na`→`be`, `nbe`→`a`, `nge`→`l`, `nl`→`ge`, `ng`→`le`, `nle`→`g`).
+    pub fn parse_suffix(suffix: &str) -> Option<Cond> {
+        let canonical = match suffix {
+            "z" => "e",
+            "nz" => "ne",
+            "c" | "nae" => "b",
+            "nc" | "nb" => "ae",
+            "na" => "be",
+            "nbe" => "a",
+            "nge" => "l",
+            "nl" => "ge",
+            "ng" => "le",
+            "nle" => "g",
+            other => other,
+        };
+        Cond::ALL.into_iter().find(|c| c.suffix() == canonical)
+    }
+
+    /// Evaluates the condition against RFLAGS bits.
+    pub fn eval(self, cf: bool, zf: bool, sf: bool, of: bool, pf: bool) -> bool {
+        match self {
+            Cond::O => of,
+            Cond::No => !of,
+            Cond::B => cf,
+            Cond::Ae => !cf,
+            Cond::E => zf,
+            Cond::Ne => !zf,
+            Cond::Be => cf || zf,
+            Cond::A => !cf && !zf,
+            Cond::S => sf,
+            Cond::Ns => !sf,
+            Cond::P => pf,
+            Cond::Np => !pf,
+            Cond::L => sf != of,
+            Cond::Ge => sf == of,
+            Cond::Le => zf || sf != of,
+            Cond::G => !zf && sf == of,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_round_trips() {
+        for cond in Cond::ALL {
+            assert_eq!(Cond::from_code(cond.code()), cond);
+            assert_eq!(Cond::parse_suffix(cond.suffix()), Some(cond));
+        }
+    }
+
+    #[test]
+    fn aliases_parse() {
+        assert_eq!(Cond::parse_suffix("z"), Some(Cond::E));
+        assert_eq!(Cond::parse_suffix("nz"), Some(Cond::Ne));
+        assert_eq!(Cond::parse_suffix("c"), Some(Cond::B));
+        assert_eq!(Cond::parse_suffix("nle"), Some(Cond::G));
+        assert_eq!(Cond::parse_suffix("qq"), None);
+    }
+
+    #[test]
+    fn eval_signed_unsigned() {
+        // 3 cmp 5: 3 - 5 borrows (CF) and is negative (SF), no overflow.
+        let (cf, zf, sf, of, pf) = (true, false, true, false, false);
+        assert!(Cond::B.eval(cf, zf, sf, of, pf));
+        assert!(Cond::L.eval(cf, zf, sf, of, pf));
+        assert!(!Cond::E.eval(cf, zf, sf, of, pf));
+        assert!(Cond::Ne.eval(cf, zf, sf, of, pf));
+        assert!(!Cond::A.eval(cf, zf, sf, of, pf));
+        assert!(Cond::Be.eval(cf, zf, sf, of, pf));
+    }
+
+    #[test]
+    fn eval_complement_pairs() {
+        for cond_idx in (0..16).step_by(2) {
+            let pos = Cond::from_code(cond_idx);
+            let neg = Cond::from_code(cond_idx + 1);
+            for bits in 0..32u32 {
+                let flags = (
+                    bits & 1 != 0,
+                    bits & 2 != 0,
+                    bits & 4 != 0,
+                    bits & 8 != 0,
+                    bits & 16 != 0,
+                );
+                assert_ne!(
+                    pos.eval(flags.0, flags.1, flags.2, flags.3, flags.4),
+                    neg.eval(flags.0, flags.1, flags.2, flags.3, flags.4),
+                    "{pos} vs {neg} with flags {flags:?}"
+                );
+            }
+        }
+    }
+}

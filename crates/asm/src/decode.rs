@@ -1,0 +1,715 @@
+//! Binary decoder: x86-64 machine code → [`Inst`].
+//!
+//! The decoder is driven by the same form table as the encoder
+//! ([`crate::spec`]), guaranteeing that everything the encoder emits decodes
+//! back to an equal instruction.
+
+use crate::cond::Cond;
+use crate::error::AsmError;
+use crate::inst::{Inst, Mnemonic};
+use crate::operand::{MemRef, Operand, Scale};
+use crate::reg::{Gpr, OpSize, VecReg, VecWidth};
+use crate::spec::{forms, EncForm, ImmEnc, Layout, Map, Mode, OpPat, Pp, RexW, WidthReq};
+
+/// Decodes a single instruction from the front of `bytes`.
+///
+/// Returns the instruction and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`AsmError::Decode`] when the bytes do not form a supported
+/// instruction.
+pub fn decode_inst(bytes: &[u8]) -> Result<(Inst, usize), AsmError> {
+    Decoder::new(bytes).decode()
+}
+
+/// Decodes a contiguous stream of instructions (e.g. a whole basic block).
+///
+/// # Errors
+///
+/// Returns [`AsmError::Decode`] (with the offset of the offending
+/// instruction) when any instruction fails to decode.
+pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Inst>, AsmError> {
+    let mut insts = Vec::new();
+    let mut offset = 0;
+    while offset < bytes.len() {
+        let (inst, len) = decode_inst(&bytes[offset..]).map_err(|err| match err {
+            AsmError::Decode { offset: inner, message } => {
+                AsmError::decode(offset + inner, message)
+            }
+            other => other,
+        })?;
+        insts.push(inst);
+        offset += len;
+    }
+    Ok(insts)
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct VexInfo {
+    r: bool,
+    x: bool,
+    b: bool,
+    w: bool,
+    l: bool,
+    vvvv: u8,
+    map: u8,
+    pp: u8,
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    p66: bool,
+    f2: bool,
+    f3: bool,
+    rex: Option<u8>,
+    vex: Option<VexInfo>,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0, p66: false, f2: false, f3: false, rex: None, vex: None }
+    }
+
+    fn byte(&mut self) -> Result<u8, AsmError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| AsmError::decode(self.pos, "unexpected end of stream"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn rex_bit(&self, bit: u8) -> bool {
+        self.rex.map(|r| r & bit != 0).unwrap_or(false)
+    }
+
+    fn decode(mut self) -> Result<(Inst, usize), AsmError> {
+        // Legacy prefixes (66 / F2 / F3) in any order.
+        loop {
+            match self.peek() {
+                Some(0x66) => {
+                    self.p66 = true;
+                    self.pos += 1;
+                }
+                Some(0xF2) => {
+                    self.f2 = true;
+                    self.pos += 1;
+                }
+                Some(0xF3) => {
+                    self.f3 = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        // REX or VEX.
+        match self.peek() {
+            Some(b) if (0x40..=0x4F).contains(&b) => {
+                self.rex = Some(b);
+                self.pos += 1;
+            }
+            Some(0xC5) => {
+                self.pos += 1;
+                let b1 = self.byte()?;
+                self.vex = Some(VexInfo {
+                    r: b1 & 0x80 == 0,
+                    vvvv: (!(b1 >> 3)) & 0xF,
+                    l: b1 & 0x04 != 0,
+                    pp: b1 & 0x03,
+                    map: 1,
+                    ..VexInfo::default()
+                });
+            }
+            Some(0xC4) => {
+                self.pos += 1;
+                let b1 = self.byte()?;
+                let b2 = self.byte()?;
+                self.vex = Some(VexInfo {
+                    r: b1 & 0x80 == 0,
+                    x: b1 & 0x40 == 0,
+                    b: b1 & 0x20 == 0,
+                    map: b1 & 0x1F,
+                    w: b2 & 0x80 != 0,
+                    vvvv: (!(b2 >> 3)) & 0xF,
+                    l: b2 & 0x04 != 0,
+                    pp: b2 & 0x03,
+                });
+            }
+            _ => {}
+        }
+        // Opcode map.
+        let map = if let Some(vex) = self.vex {
+            match vex.map {
+                1 => Map::Of,
+                2 => Map::Of38,
+                3 => Map::Of3a,
+                other => {
+                    return Err(AsmError::decode(self.pos, format!("bad VEX map {other}")))
+                }
+            }
+        } else if self.peek() == Some(0x0F) {
+            self.pos += 1;
+            match self.peek() {
+                Some(0x38) => {
+                    self.pos += 1;
+                    Map::Of38
+                }
+                Some(0x3A) => {
+                    self.pos += 1;
+                    Map::Of3a
+                }
+                _ => Map::Of,
+            }
+        } else {
+            Map::One
+        };
+        let opc = self.byte()?;
+        let modrm = self.peek();
+        let body_start = self.pos;
+
+        for &mnemonic in Mnemonic::ALL {
+            for form in forms(mnemonic) {
+                if !self.form_applicable(form, map, opc, modrm) {
+                    continue;
+                }
+                self.pos = body_start;
+                match self.decode_body(mnemonic, form, opc) {
+                    Ok(inst) => return Ok((inst, self.pos)),
+                    Err(_) => continue,
+                }
+            }
+        }
+        Err(AsmError::decode(0, format!("unrecognized opcode {opc:#04x} (map {map:?})")))
+    }
+
+    /// Cheap pre-filter before attempting a full body decode.
+    fn form_applicable(&self, form: &EncForm, map: Map, opc: u8, modrm: Option<u8>) -> bool {
+        if form.map != map {
+            return false;
+        }
+        match (form.mode, self.vex) {
+            (Mode::Legacy, None) | (Mode::Vex, Some(_)) => {}
+            _ => return false,
+        }
+        // Mandatory prefix / pp.
+        if let Some(vex) = self.vex {
+            let want = match form.pp {
+                Pp::None => 0,
+                Pp::P66 => 1,
+                Pp::PF3 => 2,
+                Pp::PF2 => 3,
+            };
+            if vex.pp != want {
+                return false;
+            }
+            match form.rexw {
+                RexW::W0 => {
+                    if vex.w {
+                        return false;
+                    }
+                }
+                RexW::W1 => {
+                    if !vex.w {
+                        return false;
+                    }
+                }
+                RexW::WQ => {}
+            }
+        } else {
+            let ok = match form.pp {
+                // Vector forms with no mandatory prefix must not see a 66
+                // byte at all (66 selects the `pd`/packed-int opcode space).
+                Pp::None => {
+                    !self.f2 && !self.f3 && (!self.p66 || form.width != WidthReq::Vec)
+                }
+                Pp::P66 => self.p66 && !self.f2 && !self.f3,
+                Pp::PF3 => self.f3,
+                Pp::PF2 => self.f2,
+            };
+            if !ok {
+                return false;
+            }
+            let w = self.rex_bit(0x08);
+            match form.rexw {
+                RexW::W0 => {
+                    if w {
+                        return false;
+                    }
+                }
+                RexW::W1 => {
+                    if !w {
+                        return false;
+                    }
+                }
+                RexW::WQ => {}
+            }
+        }
+        // Opcode match, with masking for cond / +r families.
+        let opc_ok = if form.cond_opc {
+            opc & 0xF0 == form.opc
+        } else if matches!(form.layout, Layout::O) {
+            opc & 0xF8 == form.opc
+        } else {
+            opc == form.opc
+        };
+        if !opc_ok {
+            return false;
+        }
+        // Digit check for group opcodes.
+        if let Layout::M(d) | Layout::Vmi(d) = form.layout {
+            match modrm {
+                Some(m) => {
+                    if (m >> 3) & 7 != d {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    fn width_of(&self, form: &EncForm) -> u8 {
+        match form.width {
+            WidthReq::Fixed(size) => size.bytes(),
+            WidthReq::NonByte => {
+                let w = self.vex.map(|v| v.w).unwrap_or_else(|| self.rex_bit(0x08));
+                if w {
+                    8
+                } else if self.p66 && form.pp != Pp::P66 {
+                    2
+                } else {
+                    4
+                }
+            }
+            WidthReq::Vec => {
+                if self.vex.map(|v| v.l).unwrap_or(false) {
+                    32
+                } else {
+                    16
+                }
+            }
+        }
+    }
+
+    fn decode_body(
+        &mut self,
+        mnemonic: Mnemonic,
+        form: &EncForm,
+        opc: u8,
+    ) -> Result<Inst, AsmError> {
+        let width = self.width_of(form);
+        let vec_width = if width == 32 { VecWidth::Ymm } else { VecWidth::Xmm };
+        let cond = form.cond_opc.then(|| Cond::from_code(opc & 0x0F));
+
+        // ModRM parsing (if the layout needs it).
+        let needs_modrm = !matches!(form.layout, Layout::Zo | Layout::O | Layout::Rel);
+        let (reg_field, rm_operand_raw) = if needs_modrm {
+            let modrm = self.byte()?;
+            let modbits = modrm >> 6;
+            let reg = ((modrm >> 3) & 7)
+                + if self.vex.map(|v| v.r).unwrap_or_else(|| self.rex_bit(0x04)) { 8 } else { 0 };
+            let rm_low = modrm & 7;
+            if modbits == 0b11 {
+                let rm = rm_low
+                    + if self.vex.map(|v| v.b).unwrap_or_else(|| self.rex_bit(0x01)) {
+                        8
+                    } else {
+                        0
+                    };
+                (reg, RawRm::Reg(rm))
+            } else {
+                let mem = self.decode_mem(modbits, rm_low)?;
+                (reg, RawRm::Mem(mem))
+            }
+        } else {
+            (0, RawRm::None)
+        };
+
+        // `+r` register from the opcode byte.
+        let opc_reg = (opc & 7)
+            + if self.rex_bit(0x01) { 8 } else { 0 };
+
+        // Immediate.
+        let imm = match form.imm {
+            ImmEnc::None => None,
+            enc => {
+                let len = enc.len(width);
+                let mut buf = [0u8; 8];
+                for slot in buf.iter_mut().take(len) {
+                    *slot = self.byte()?;
+                }
+                let raw = i64::from_le_bytes(buf);
+                let value = if enc == ImmEnc::Ub {
+                    i64::from(buf[0])
+                } else {
+                    match len {
+                    1 => i64::from(raw as i8),
+                    2 => i64::from(raw as i16),
+                    4 => i64::from(raw as i32),
+                    _ => raw,
+                    }
+                };
+                Some(value)
+            }
+        };
+
+        // Assemble operands position by position.
+        let mut operands = Vec::with_capacity(form.pats.len());
+        for (idx, pat) in form.pats.iter().enumerate() {
+            let slot = position_slot(form.layout, idx);
+            let op = self.make_operand(*pat, slot, reg_field, &rm_operand_raw, opc_reg, imm,
+                width, vec_width)?;
+            operands.push(op);
+        }
+
+        let vex = self.vex.is_some();
+        // Non-RVM VEX forms must leave vvvv = 0 (encoded as 1111).
+        if let Some(v) = self.vex {
+            let uses_vvvv = matches!(form.layout, Layout::Rvm | Layout::Vmi(_));
+            if !uses_vvvv && v.vvvv != 0 {
+                return Err(AsmError::decode(self.pos, "reserved VEX.vvvv set"));
+            }
+        }
+        Ok(Inst::new(mnemonic, cond, vex, operands))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_operand(
+        &self,
+        pat: OpPat,
+        slot: Slot,
+        reg_field: u8,
+        rm: &RawRm,
+        opc_reg: u8,
+        imm: Option<i64>,
+        width: u8,
+        vec_width: VecWidth,
+    ) -> Result<Operand, AsmError> {
+        let fail = |msg: &str| AsmError::decode(self.pos, msg.to_string());
+        // Immediate-like patterns ignore the slot.
+        match pat {
+            OpPat::Imm8 | OpPat::Imm8u | OpPat::Imm | OpPat::Imm64 => {
+                return imm.map(Operand::Imm).ok_or_else(|| fail("missing immediate"));
+            }
+            OpPat::Cl => return Ok(Operand::gpr(Gpr::Rcx, OpSize::B)),
+            _ => {}
+        }
+        let reg_num = match slot {
+            Slot::Reg => reg_field,
+            Slot::Vvvv => self.vex.map(|v| v.vvvv).unwrap_or(0),
+            Slot::OpcReg => opc_reg,
+            Slot::Rm => match rm {
+                RawRm::Reg(n) => *n,
+                RawRm::Mem(mem) => {
+                    let mem_width = pattern_mem_width(pat, width, vec_width)
+                        .ok_or_else(|| fail("register-only pattern got memory"))?;
+                    return Ok(Operand::Mem(mem.with_width(mem_width)));
+                }
+                RawRm::None => return Err(fail("missing rm operand")),
+            },
+            Slot::Imm => return Err(fail("layout/pattern mismatch")),
+        };
+        // Memory-only patterns cannot take a register.
+        if matches!(pat, OpPat::MAny | OpPat::MFix(_) | OpPat::Mv) {
+            return Err(fail("memory-only pattern got register"));
+        }
+        match pat {
+            OpPat::R | OpPat::Rm => {
+                let size = OpSize::from_bytes(width).ok_or_else(|| fail("bad width"))?;
+                self.check_byte_reg(reg_num, size)?;
+                Ok(Operand::gpr(Gpr::from_number(reg_num), size))
+            }
+            OpPat::RFix(size) | OpPat::RmFix(size) => {
+                self.check_byte_reg(reg_num, size)?;
+                Ok(Operand::gpr(Gpr::from_number(reg_num), size))
+            }
+            OpPat::X | OpPat::Xm | OpPat::XmFix(_) => {
+                Ok(Operand::Vec(VecReg::new(reg_num, vec_width)))
+            }
+            _ => Err(fail("unhandled pattern")),
+        }
+    }
+
+    /// Byte-width register numbers 4–7 without a REX prefix encode the
+    /// legacy high-byte registers (`ah`..`bh`), which the subset does not
+    /// model — reject rather than misread them as `spl`..`dil`.
+    fn check_byte_reg(&self, reg_num: u8, size: OpSize) -> Result<(), AsmError> {
+        if size == OpSize::B && (4..8).contains(&reg_num) && self.rex.is_none() && self.vex.is_none()
+        {
+            return Err(AsmError::decode(
+                self.pos,
+                "high-byte registers (ah/ch/dh/bh) are unsupported".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn decode_mem(&mut self, modbits: u8, rm_low: u8) -> Result<MemRef, AsmError> {
+        let rex_b = self.vex.map(|v| v.b).unwrap_or_else(|| self.rex_bit(0x01));
+        let rex_x = self.vex.map(|v| v.x).unwrap_or_else(|| self.rex_bit(0x02));
+        let (base, index, disp_len): (Option<Gpr>, Option<(Gpr, Scale)>, usize) = if rm_low
+            == 0b100
+        {
+            // SIB byte.
+            let sib = self.byte()?;
+            let scale = Scale::from_factor(1 << (sib >> 6)).expect("2-bit scale");
+            let index_low = (sib >> 3) & 7;
+            let base_low = sib & 7;
+            let index = if index_low == 0b100 && !rex_x {
+                None
+            } else {
+                Some((Gpr::from_number(index_low + if rex_x { 8 } else { 0 }), scale))
+            };
+            if base_low == 0b101 && modbits == 0b00 {
+                // No base register, disp32 follows.
+                (None, index, 4)
+            } else {
+                let base = Gpr::from_number(base_low + if rex_b { 8 } else { 0 });
+                let disp_len = match modbits {
+                    0b00 => 0,
+                    0b01 => 1,
+                    _ => 4,
+                };
+                (Some(base), index, disp_len)
+            }
+        } else {
+            if rm_low == 0b101 && modbits == 0b00 {
+                // RIP-relative addressing is outside the supported subset.
+                return Err(AsmError::decode(self.pos, "RIP-relative addressing unsupported"));
+            }
+            let base = Gpr::from_number(rm_low + if rex_b { 8 } else { 0 });
+            let disp_len = match modbits {
+                0b00 => 0,
+                0b01 => 1,
+                _ => 4,
+            };
+            (Some(base), None, disp_len)
+        };
+        let disp = match disp_len {
+            0 => 0,
+            1 => i32::from(self.byte()? as i8),
+            _ => {
+                let mut buf = [0u8; 4];
+                for slot in &mut buf {
+                    *slot = self.byte()?;
+                }
+                i32::from_le_bytes(buf)
+            }
+        };
+        Ok(MemRef { base, index, disp, width: 0 })
+    }
+}
+
+#[derive(Debug)]
+enum RawRm {
+    None,
+    Reg(u8),
+    Mem(MemRef),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Reg,
+    Rm,
+    Vvvv,
+    OpcReg,
+    Imm,
+}
+
+/// Maps an operand position to its encoding slot for a layout.
+fn position_slot(layout: Layout, idx: usize) -> Slot {
+    match (layout, idx) {
+        (Layout::Mr, 0) => Slot::Rm,
+        (Layout::Mr, _) => Slot::Reg,
+        (Layout::Rm, 0) => Slot::Reg,
+        (Layout::Rm, 1) => Slot::Rm,
+        (Layout::Rm, _) => Slot::Imm,
+        (Layout::M(_), 0) => Slot::Rm,
+        (Layout::M(_), _) => Slot::Imm,
+        (Layout::O, 0) => Slot::OpcReg,
+        (Layout::O, _) => Slot::Imm,
+        (Layout::Rvm, 0) => Slot::Reg,
+        (Layout::Rvm, 1) => Slot::Vvvv,
+        (Layout::Rvm, 2) => Slot::Rm,
+        (Layout::Rvm, _) => Slot::Imm,
+        (Layout::Vmi(_), 0) => Slot::Vvvv,
+        (Layout::Vmi(_), 1) => Slot::Rm,
+        (Layout::Vmi(_), _) => Slot::Imm,
+        (Layout::Rel, _) => Slot::Imm,
+        (Layout::Zo, _) => Slot::Imm,
+    }
+}
+
+/// The memory width a pattern dictates, or `None` for register-only patterns.
+fn pattern_mem_width(pat: OpPat, width: u8, vec_width: VecWidth) -> Option<u8> {
+    match pat {
+        OpPat::Rm | OpPat::MAny => Some(width.min(8)),
+        OpPat::RmFix(size) => Some(size.bytes()),
+        OpPat::MFix(bytes) | OpPat::XmFix(bytes) => Some(bytes),
+        OpPat::Xm | OpPat::Mv => Some(vec_width.bytes()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_inst;
+    use crate::operand::Scale;
+
+    fn round_trip(inst: Inst) {
+        let mut bytes = Vec::new();
+        encode_inst(&inst, &mut bytes).unwrap_or_else(|e| panic!("encode {inst}: {e}"));
+        let (decoded, len) =
+            decode_inst(&bytes).unwrap_or_else(|e| panic!("decode {inst} ({bytes:02x?}): {e}"));
+        assert_eq!(len, bytes.len(), "length mismatch for {inst}");
+        assert_eq!(decoded, inst, "round trip mismatch ({bytes:02x?})");
+    }
+
+    #[test]
+    fn round_trips_updcrc_block() {
+        // The paper's Fig. 1 motivating block.
+        let insts = vec![
+            Inst::basic(
+                Mnemonic::Add,
+                vec![Operand::gpr(Gpr::Rdi, OpSize::Q), Operand::Imm(1)],
+            ),
+            Inst::basic(
+                Mnemonic::Mov,
+                vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rdx, OpSize::D)],
+            ),
+            Inst::basic(
+                Mnemonic::Shr,
+                vec![Operand::gpr(Gpr::Rdx, OpSize::Q), Operand::Imm(8)],
+            ),
+            Inst::basic(
+                Mnemonic::Xor,
+                vec![
+                    Operand::gpr(Gpr::Rax, OpSize::B),
+                    MemRef::base_disp(Gpr::Rdi, -1, 1).into(),
+                ],
+            ),
+            Inst::basic(
+                Mnemonic::Movzx,
+                vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rax, OpSize::B)],
+            ),
+            Inst::basic(
+                Mnemonic::Xor,
+                vec![
+                    Operand::gpr(Gpr::Rdx, OpSize::Q),
+                    MemRef::index_disp(Gpr::Rax, Scale::S8, 0x4110a, 8).into(),
+                ],
+            ),
+            Inst::basic(
+                Mnemonic::Cmp,
+                vec![Operand::gpr(Gpr::Rdi, OpSize::Q), Operand::gpr(Gpr::Rcx, OpSize::Q)],
+            ),
+        ];
+        for inst in insts {
+            round_trip(inst);
+        }
+    }
+
+    #[test]
+    fn round_trips_vector_forms() {
+        let x = |n| Operand::Vec(VecReg::xmm(n));
+        let y = |n| Operand::Vec(VecReg::ymm(n));
+        round_trip(Inst::basic(Mnemonic::Addps, vec![x(1), x(9)]));
+        round_trip(Inst::vex(Mnemonic::Addps, vec![y(1), y(2), y(15)]));
+        round_trip(Inst::vex(Mnemonic::Xorps, vec![x(2), x(2), x(2)]));
+        round_trip(Inst::vex(
+            Mnemonic::Vfmadd231ps,
+            vec![y(0), y(7), MemRef::base(Gpr::Rsi, 32).into()],
+        ));
+        round_trip(Inst::basic(
+            Mnemonic::Movaps,
+            vec![MemRef::base_disp(Gpr::Rdi, 64, 16).into(), x(3)],
+        ));
+        round_trip(Inst::basic(Mnemonic::Pslld, vec![x(5), Operand::Imm(7)]));
+        round_trip(Inst::vex(Mnemonic::Pslld, vec![y(5), y(6), Operand::Imm(7)]));
+        round_trip(Inst::basic(
+            Mnemonic::Pshufd,
+            vec![x(1), x(2), Operand::Imm(0x1B)],
+        ));
+        round_trip(Inst::basic(
+            Mnemonic::Pmovmskb,
+            vec![Operand::gpr(Gpr::Rax, OpSize::D), x(4)],
+        ));
+        round_trip(Inst::basic(
+            Mnemonic::Movss,
+            vec![x(0), MemRef::base(Gpr::Rax, 4).into()],
+        ));
+        round_trip(Inst::basic(
+            Mnemonic::Movss,
+            vec![MemRef::base(Gpr::Rax, 4).into(), x(0)],
+        ));
+    }
+
+    #[test]
+    fn round_trips_misc_scalar() {
+        round_trip(Inst::basic(Mnemonic::Div, vec![Operand::gpr(Gpr::Rcx, OpSize::D)]));
+        round_trip(Inst::basic(Mnemonic::Cqo, vec![]));
+        round_trip(Inst::basic(Mnemonic::Cdq, vec![]));
+        round_trip(Inst::basic(Mnemonic::Nop, vec![]));
+        round_trip(Inst::basic(
+            Mnemonic::Popcnt,
+            vec![Operand::gpr(Gpr::R9, OpSize::Q), Operand::gpr(Gpr::Rbx, OpSize::Q)],
+        ));
+        round_trip(Inst::with_cond(
+            Mnemonic::Set,
+            Cond::Le,
+            vec![Operand::gpr(Gpr::Rsi, OpSize::B)],
+        ));
+        round_trip(Inst::with_cond(
+            Mnemonic::Cmov,
+            Cond::A,
+            vec![Operand::gpr(Gpr::R8, OpSize::Q), MemRef::base(Gpr::Rbp, 8).into()],
+        ));
+        round_trip(Inst::with_cond(Mnemonic::Jcc, Cond::Ne, vec![Operand::Imm(-0x40)]));
+        round_trip(Inst::basic(Mnemonic::Push, vec![Operand::gpr(Gpr::R15, OpSize::Q)]));
+        round_trip(Inst::basic(
+            Mnemonic::Shl,
+            vec![Operand::gpr(Gpr::Rbx, OpSize::D), Operand::gpr(Gpr::Rcx, OpSize::B)],
+        ));
+        round_trip(Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::R11, OpSize::Q), Operand::Imm(0x7766554433221100)],
+        ));
+        round_trip(Inst::basic(
+            Mnemonic::Imul,
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::Q),
+                Operand::gpr(Gpr::Rdx, OpSize::Q),
+                Operand::Imm(1000),
+            ],
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode_inst(&[0xFF, 0xFF, 0xFF]).is_err());
+        assert!(decode_inst(&[]).is_err());
+        // Truncated ModRM.
+        assert!(decode_inst(&[0x8B]).is_err());
+    }
+
+    #[test]
+    fn decode_stream_reports_offset() {
+        // A valid `xor eax, eax` followed by garbage.
+        let mut bytes = vec![0x31, 0xC0];
+        bytes.extend_from_slice(&[0x0F, 0xFF]);
+        let err = decode_stream(&bytes).unwrap_err();
+        match err {
+            AsmError::Decode { offset, .. } => assert_eq!(offset, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}
+

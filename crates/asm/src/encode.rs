@@ -1,0 +1,649 @@
+//! Binary encoder: [`Inst`] → x86-64 machine code.
+
+use crate::error::AsmError;
+use crate::inst::Inst;
+use crate::operand::{MemRef, Operand};
+use crate::reg::{Gpr, OpSize};
+use crate::spec::{forms, EncForm, ImmEnc, Layout, Map, Mode, OpPat, Pp, RexW, WidthReq};
+
+/// Encodes one instruction, appending its bytes to `out`.
+///
+/// # Errors
+///
+/// Returns [`AsmError::NoEncoding`] if the operand combination has no
+/// supported encoding and [`AsmError::ImmediateOutOfRange`] if an immediate
+/// does not fit the matched form.
+pub fn encode_inst(inst: &Inst, out: &mut Vec<u8>) -> Result<(), AsmError> {
+    let form = select_form(inst).ok_or_else(|| AsmError::NoEncoding { inst: inst.to_string() })?;
+    let width = form_width(inst, form).expect("select_form checked width");
+    emit(inst, form, width, out)
+}
+
+/// The encoded length of an instruction, in bytes.
+///
+/// # Errors
+///
+/// Same conditions as [`encode_inst`].
+pub fn encoded_len(inst: &Inst) -> Result<usize, AsmError> {
+    let mut buf = Vec::with_capacity(16);
+    encode_inst(inst, &mut buf)?;
+    Ok(buf.len())
+}
+
+/// Picks the first form whose mode, width and operand patterns match.
+pub(crate) fn select_form(inst: &Inst) -> Option<&'static EncForm> {
+    let want_mode = if inst.is_vex() { Mode::Vex } else { Mode::Legacy };
+    forms(inst.mnemonic())
+        .iter()
+        .find(|form| form.mode == want_mode && matches_form(inst, form))
+}
+
+/// Resolves the width (in bytes) a form would use for this instruction.
+pub(crate) fn form_width(inst: &Inst, form: &EncForm) -> Option<u8> {
+    match form.width {
+        WidthReq::Fixed(size) => Some(size.bytes()),
+        WidthReq::NonByte => {
+            let op = inst.operands().get(usize::from(form.width_op))?;
+            let width = op.width_bytes()?;
+            matches!(width, 2 | 4 | 8).then_some(width)
+        }
+        WidthReq::Vec => {
+            let vec = inst.operands().iter().find_map(Operand::as_vec)?;
+            Some(vec.width().bytes())
+        }
+    }
+}
+
+fn matches_form(inst: &Inst, form: &EncForm) -> bool {
+    if inst.operands().len() != form.pats.len() {
+        return false;
+    }
+    let Some(width) = form_width(inst, form) else {
+        return false;
+    };
+    // Legacy SSE forms operate on xmm only.
+    if form.width == WidthReq::Vec && form.mode == Mode::Legacy && width != 16 {
+        return false;
+    }
+    inst.operands()
+        .iter()
+        .zip(form.pats)
+        .all(|(op, pat)| matches_pat(op, *pat, width))
+}
+
+fn matches_pat(op: &Operand, pat: OpPat, width: u8) -> bool {
+    match pat {
+        OpPat::R => matches!(op, Operand::Gpr { size, .. } if size.bytes() == width),
+        OpPat::Rm => {
+            matches!(op, Operand::Gpr { size, .. } if size.bytes() == width)
+                || matches!(op, Operand::Mem(m) if m.width == width)
+        }
+        OpPat::MAny => op.is_mem(),
+        OpPat::RFix(req) => matches!(op, Operand::Gpr { size, .. } if *size == req),
+        OpPat::RmFix(req) => {
+            matches!(op, Operand::Gpr { size, .. } if *size == req)
+                || matches!(op, Operand::Mem(m) if m.width == req.bytes())
+        }
+        OpPat::MFix(bytes) => matches!(op, Operand::Mem(m) if m.width == bytes),
+        OpPat::X => matches!(op, Operand::Vec(v) if v.width().bytes() == width),
+        OpPat::Xm => {
+            matches!(op, Operand::Vec(v) if v.width().bytes() == width)
+                || matches!(op, Operand::Mem(m) if m.width == width)
+        }
+        OpPat::XmFix(bytes) => {
+            matches!(op, Operand::Vec(v) if v.width().bytes() == width)
+                || matches!(op, Operand::Mem(m) if m.width == bytes)
+        }
+        OpPat::Mv => matches!(op, Operand::Mem(m) if m.width == width),
+        // Sign-extended imm8 forms require a signed byte — except at
+        // byte width, where sign extension is a no-op and the unsigned
+        // spelling (`cmp al, 0xff`) denotes the same byte.
+        OpPat::Imm8 => matches!(op, Operand::Imm(v)
+            if i8::try_from(*v).is_ok() || (width == 1 && (0..=255).contains(v))),
+        OpPat::Imm8u => matches!(op, Operand::Imm(v) if (0..=255).contains(v)),
+        OpPat::Imm => match op {
+            // Signed range, or the equivalent unsigned spelling at the
+            // same width (`mov eax, 0x80000000`); the encoded bytes are
+            // identical. 64-bit immediates must fit the sign-extended
+            // i32 the hardware applies.
+            Operand::Imm(v) => match width {
+                1 => i8::try_from(*v).is_ok() || u8::try_from(*v).is_ok(),
+                2 => i16::try_from(*v).is_ok() || u16::try_from(*v).is_ok(),
+                4 => i32::try_from(*v).is_ok() || u32::try_from(*v).is_ok(),
+                _ => i32::try_from(*v).is_ok(),
+            },
+            _ => false,
+        },
+        OpPat::Imm64 => matches!(op, Operand::Imm(_)),
+        OpPat::Cl => matches!(op, Operand::Gpr { reg: Gpr::Rcx, size: OpSize::B }),
+    }
+}
+
+/// Encoding slot assignment derived from the layout.
+struct Slots<'a> {
+    /// Goes in ModRM.reg (or the `+r` opcode bits for `O` layouts).
+    reg: Option<&'a Operand>,
+    /// Goes in ModRM.rm (register or memory).
+    rm: Option<&'a Operand>,
+    /// Goes in VEX.vvvv.
+    vvvv: Option<&'a Operand>,
+    /// Opcode-extension digit, if the layout uses one.
+    digit: Option<u8>,
+    /// Immediate operand, if any.
+    imm: Option<i64>,
+}
+
+fn slots<'a>(inst: &'a Inst, form: &EncForm) -> Slots<'a> {
+    let ops = inst.operands();
+    let imm = ops.iter().rev().find_map(Operand::as_imm);
+    match form.layout {
+        Layout::Mr => Slots { reg: ops.get(1), rm: ops.first(), vvvv: None, digit: None, imm },
+        Layout::Rm => Slots { reg: ops.first(), rm: ops.get(1), vvvv: None, digit: None, imm },
+        Layout::M(d) => {
+            Slots { reg: None, rm: ops.first(), vvvv: None, digit: Some(d), imm }
+        }
+        Layout::O => Slots { reg: ops.first(), rm: None, vvvv: None, digit: None, imm },
+        Layout::Rvm => {
+            Slots { reg: ops.first(), rm: ops.get(2), vvvv: ops.get(1), digit: None, imm }
+        }
+        Layout::Vmi(d) => {
+            Slots { reg: None, rm: ops.get(1), vvvv: ops.first(), digit: Some(d), imm }
+        }
+        Layout::Zo | Layout::Rel => {
+            Slots { reg: None, rm: None, vvvv: None, digit: None, imm }
+        }
+    }
+}
+
+fn reg_number(op: &Operand) -> u8 {
+    match op {
+        Operand::Gpr { reg, .. } => reg.number(),
+        Operand::Vec(v) => v.number(),
+        _ => 0,
+    }
+}
+
+/// True if a byte-width GPR operand requires a REX prefix to select the
+/// `spl`/`bpl`/`sil`/`dil` encoding.
+fn needs_rex_for_byte_reg(inst: &Inst) -> bool {
+    inst.operands().iter().any(|op| {
+        matches!(
+            op,
+            Operand::Gpr { reg, size: OpSize::B }
+                if (4..8).contains(&reg.number())
+        )
+    })
+}
+
+fn emit(inst: &Inst, form: &EncForm, width: u8, out: &mut Vec<u8>) -> Result<(), AsmError> {
+    let s = slots(inst, form);
+    let mem = s.rm.and_then(|op| op.as_mem());
+
+    let rex_w = match form.rexw {
+        RexW::W0 => false,
+        RexW::W1 => true,
+        RexW::WQ => width == 8,
+    };
+    let reg_num = s.reg.map(reg_number).unwrap_or(0);
+    let rm_num = match s.rm {
+        Some(Operand::Mem(_)) | None => 0,
+        Some(op) => reg_number(op),
+    };
+    let (base_num, index_num) = match mem {
+        Some(m) => (
+            m.base.map(|r| r.number()).unwrap_or(0),
+            m.index.map(|(r, _)| r.number()).unwrap_or(0),
+        ),
+        None => (0, rm_num),
+    };
+    let rex_r = reg_num >= 8;
+    let rex_b = if mem.is_some() { base_num >= 8 } else { rm_num >= 8 };
+    let rex_x = mem.is_some() && index_num >= 8;
+    // `+r` layouts place the register in the opcode; its high bit is REX.B.
+    let (rex_b, rex_r) = if matches!(form.layout, Layout::O) {
+        (reg_num >= 8, false)
+    } else {
+        (rex_b, rex_r)
+    };
+
+    let mut opc = form.opc;
+    if form.cond_opc {
+        opc += inst.cond().expect("cond_opc form requires condition").code();
+    }
+    if matches!(form.layout, Layout::O) {
+        opc += reg_num & 7;
+    }
+
+    match form.mode {
+        Mode::Legacy => {
+            // Operand-size prefix for 16-bit forms.
+            if width == 2 && form.width != WidthReq::Vec {
+                out.push(0x66);
+            }
+            match form.pp {
+                Pp::None => {}
+                Pp::P66 => out.push(0x66),
+                Pp::PF3 => out.push(0xF3),
+                Pp::PF2 => out.push(0xF2),
+            }
+            let need_rex =
+                rex_w || rex_r || rex_x || rex_b || needs_rex_for_byte_reg(inst);
+            if need_rex {
+                out.push(
+                    0x40 | (u8::from(rex_w) << 3)
+                        | (u8::from(rex_r) << 2)
+                        | (u8::from(rex_x) << 1)
+                        | u8::from(rex_b),
+                );
+            }
+            match form.map {
+                Map::One => {}
+                Map::Of => out.push(0x0F),
+                Map::Of38 => out.extend_from_slice(&[0x0F, 0x38]),
+                Map::Of3a => out.extend_from_slice(&[0x0F, 0x3A]),
+            }
+            out.push(opc);
+        }
+        Mode::Vex => {
+            let l = width == 32;
+            let pp_bits: u8 = match form.pp {
+                Pp::None => 0,
+                Pp::P66 => 1,
+                Pp::PF3 => 2,
+                Pp::PF2 => 3,
+            };
+            let map_bits: u8 = match form.map {
+                Map::Of => 1,
+                Map::Of38 => 2,
+                Map::Of3a => 3,
+                Map::One => {
+                    unreachable!("VEX forms always use an escape map")
+                }
+            };
+            let vvvv = s.vvvv.map(reg_number).unwrap_or(0);
+            if !rex_x && !rex_b && !rex_w && map_bits == 1 {
+                // 2-byte VEX.
+                out.push(0xC5);
+                out.push(
+                    (u8::from(!rex_r) << 7)
+                        | ((!vvvv & 0xF) << 3)
+                        | (u8::from(l) << 2)
+                        | pp_bits,
+                );
+            } else {
+                out.push(0xC4);
+                out.push(
+                    (u8::from(!rex_r) << 7)
+                        | (u8::from(!rex_x) << 6)
+                        | (u8::from(!rex_b) << 5)
+                        | map_bits,
+                );
+                out.push(
+                    (u8::from(rex_w) << 7)
+                        | ((!vvvv & 0xF) << 3)
+                        | (u8::from(l) << 2)
+                        | pp_bits,
+                );
+            }
+            out.push(opc);
+        }
+    }
+
+    // ModRM / SIB / displacement.
+    match form.layout {
+        Layout::Zo | Layout::O | Layout::Rel => {}
+        _ => {
+            let reg_field = s.digit.unwrap_or(reg_num & 7);
+            match s.rm {
+                Some(Operand::Mem(m)) => encode_mem(reg_field, m, out),
+                Some(op) => out.push(0xC0 | (reg_field << 3) | (reg_number(op) & 7)),
+                None => unreachable!("layout with ModRM requires an rm operand"),
+            }
+        }
+    }
+
+    // Immediate.
+    if form.imm != ImmEnc::None {
+        let value = s.imm.ok_or_else(|| AsmError::NoEncoding { inst: inst.to_string() })?;
+        let imm_len = form.imm.len(width);
+        let fits = match (form.imm, imm_len) {
+            (ImmEnc::Ub, _) => (0..=255).contains(&value),
+            (_, 1) => i8::try_from(value).is_ok() || (width == 1 && u8::try_from(value).is_ok()),
+            (_, 2) => i16::try_from(value).is_ok() || u16::try_from(value).is_ok(),
+            (_, 4) => {
+                i32::try_from(value).is_ok() || (width == 4 && u32::try_from(value).is_ok())
+            }
+            _ => true,
+        };
+        if !fits {
+            return Err(AsmError::ImmediateOutOfRange { inst: inst.to_string(), value });
+        }
+        out.extend_from_slice(&value.to_le_bytes()[..imm_len]);
+    }
+
+    Ok(())
+}
+
+/// Encodes ModRM + optional SIB + displacement for a memory operand.
+fn encode_mem(reg_field: u8, mem: &MemRef, out: &mut Vec<u8>) {
+    assert!(
+        mem.index.map(|(r, _)| r != Gpr::Rsp).unwrap_or(true),
+        "rsp cannot be an index register"
+    );
+    match (mem.base, mem.index) {
+        (None, _) => {
+            // No base: SIB with base=101 and mandatory disp32
+            // (absolute addressing in 64-bit mode).
+            out.push((reg_field << 3) | 0b100);
+            let (scale, index) = match mem.index {
+                Some((reg, scale)) => (scale.sib_bits(), reg.number() & 7),
+                None => (0, 0b100),
+            };
+            out.push((scale << 6) | (index << 3) | 0b101);
+            out.extend_from_slice(&mem.disp.to_le_bytes());
+        }
+        (Some(base), index) => {
+            let base_low = base.number() & 7;
+            let needs_sib = index.is_some() || base_low == 0b100;
+            // `[rbp]`/`[r13]` with mod=00 means disp32-only, so force disp8.
+            let (modbits, disp_len) = if mem.disp == 0 && base_low != 0b101 {
+                (0b00, 0)
+            } else if i8::try_from(mem.disp).is_ok() {
+                (0b01, 1)
+            } else {
+                (0b10, 4)
+            };
+            if needs_sib {
+                out.push((modbits << 6) | (reg_field << 3) | 0b100);
+                let (scale, index_low) = match index {
+                    Some((reg, scale)) => (scale.sib_bits(), reg.number() & 7),
+                    None => (0, 0b100),
+                };
+                out.push((scale << 6) | (index_low << 3) | base_low);
+            } else {
+                out.push((modbits << 6) | (reg_field << 3) | base_low);
+            }
+            out.extend_from_slice(&mem.disp.to_le_bytes()[..disp_len]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Mnemonic;
+    use crate::operand::Scale;
+    use crate::reg::VecReg;
+
+    fn enc(inst: &Inst) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_inst(inst, &mut out).unwrap_or_else(|e| panic!("{e}"));
+        out
+    }
+
+    #[test]
+    fn simple_alu_reg_reg() {
+        // add rdi, 1 -> REX.W 83 /0 ib = 48 83 C7 01
+        let inst = Inst::basic(
+            Mnemonic::Add,
+            vec![Operand::gpr(Gpr::Rdi, OpSize::Q), Operand::Imm(1)],
+        );
+        assert_eq!(enc(&inst), vec![0x48, 0x83, 0xC7, 0x01]);
+        // xor eax, eax -> 31 C0
+        let inst = Inst::basic(
+            Mnemonic::Xor,
+            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rax, OpSize::D)],
+        );
+        assert_eq!(enc(&inst), vec![0x31, 0xC0]);
+    }
+
+    #[test]
+    fn mov_reg_reg_32() {
+        // mov eax, edx -> 89 D0
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rdx, OpSize::D)],
+        );
+        assert_eq!(enc(&inst), vec![0x89, 0xD0]);
+    }
+
+    #[test]
+    fn shr_imm() {
+        // shr rdx, 8 -> 48 C1 EA 08
+        let inst = Inst::basic(
+            Mnemonic::Shr,
+            vec![Operand::gpr(Gpr::Rdx, OpSize::Q), Operand::Imm(8)],
+        );
+        assert_eq!(enc(&inst), vec![0x48, 0xC1, 0xEA, 0x08]);
+    }
+
+    #[test]
+    fn byte_load_with_disp8() {
+        // xor al, [rdi - 1] -> 32 47 FF
+        let inst = Inst::basic(
+            Mnemonic::Xor,
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::B),
+                MemRef::base_disp(Gpr::Rdi, -1, 1).into(),
+            ],
+        );
+        assert_eq!(enc(&inst), vec![0x32, 0x47, 0xFF]);
+    }
+
+    #[test]
+    fn scaled_index_no_base() {
+        // xor rdx, [8*rax + 0x4110a] -> 48 33 14 C5 0A 11 04 00
+        let inst = Inst::basic(
+            Mnemonic::Xor,
+            vec![
+                Operand::gpr(Gpr::Rdx, OpSize::Q),
+                MemRef::index_disp(Gpr::Rax, Scale::S8, 0x4110a, 8).into(),
+            ],
+        );
+        assert_eq!(enc(&inst), vec![0x48, 0x33, 0x14, 0xC5, 0x0A, 0x11, 0x04, 0x00]);
+    }
+
+    #[test]
+    fn movzx_byte() {
+        // movzx eax, al -> 0F B6 C0
+        let inst = Inst::basic(
+            Mnemonic::Movzx,
+            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rax, OpSize::B)],
+        );
+        assert_eq!(enc(&inst), vec![0x0F, 0xB6, 0xC0]);
+    }
+
+    #[test]
+    fn rsp_base_needs_sib() {
+        // mov rax, [rsp] -> 48 8B 04 24
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::Rax, OpSize::Q), MemRef::base(Gpr::Rsp, 8).into()],
+        );
+        assert_eq!(enc(&inst), vec![0x48, 0x8B, 0x04, 0x24]);
+    }
+
+    #[test]
+    fn rbp_base_forces_disp8() {
+        // mov rax, [rbp] -> 48 8B 45 00
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::Rax, OpSize::Q), MemRef::base(Gpr::Rbp, 8).into()],
+        );
+        assert_eq!(enc(&inst), vec![0x48, 0x8B, 0x45, 0x00]);
+    }
+
+    #[test]
+    fn r13_base_forces_disp8() {
+        // mov rax, [r13] -> 49 8B 45 00
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::Rax, OpSize::Q), MemRef::base(Gpr::R13, 8).into()],
+        );
+        assert_eq!(enc(&inst), vec![0x49, 0x8B, 0x45, 0x00]);
+    }
+
+    #[test]
+    fn sse_packed_legacy() {
+        // addps xmm1, xmm2 -> 0F 58 CA
+        let inst = Inst::basic(
+            Mnemonic::Addps,
+            vec![VecReg::xmm(1).into(), VecReg::xmm(2).into()],
+        );
+        assert_eq!(enc(&inst), vec![0x0F, 0x58, 0xCA]);
+        // pxor xmm3, xmm3 -> 66 0F EF DB
+        let inst = Inst::basic(
+            Mnemonic::Pxor,
+            vec![VecReg::xmm(3).into(), VecReg::xmm(3).into()],
+        );
+        assert_eq!(enc(&inst), vec![0x66, 0x0F, 0xEF, 0xDB]);
+    }
+
+    #[test]
+    fn vex_two_byte() {
+        // vxorps xmm2, xmm2, xmm2 -> C5 E8 57 D2
+        let v = VecReg::xmm(2);
+        let inst = Inst::vex(Mnemonic::Xorps, vec![v.into(), v.into(), v.into()]);
+        assert_eq!(enc(&inst), vec![0xC5, 0xE8, 0x57, 0xD2]);
+    }
+
+    #[test]
+    fn vex_three_byte_fma() {
+        // vfmadd231ps ymm0, ymm1, ymm2 -> C4 E2 75 B8 C2
+        let inst = Inst::vex(
+            Mnemonic::Vfmadd231ps,
+            vec![VecReg::ymm(0).into(), VecReg::ymm(1).into(), VecReg::ymm(2).into()],
+        );
+        assert_eq!(enc(&inst), vec![0xC4, 0xE2, 0x75, 0xB8, 0xC2]);
+    }
+
+    #[test]
+    fn spl_requires_bare_rex() {
+        // mov sil, al -> 40 88 C6
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::Rsi, OpSize::B), Operand::gpr(Gpr::Rax, OpSize::B)],
+        );
+        assert_eq!(enc(&inst), vec![0x40, 0x88, 0xC6]);
+    }
+
+    #[test]
+    fn push_pop_extended() {
+        // push r12 -> 41 54 ; pop rbx -> 5B
+        let inst = Inst::basic(Mnemonic::Push, vec![Operand::gpr(Gpr::R12, OpSize::Q)]);
+        assert_eq!(enc(&inst), vec![0x41, 0x54]);
+        let inst = Inst::basic(Mnemonic::Pop, vec![Operand::gpr(Gpr::Rbx, OpSize::Q)]);
+        assert_eq!(enc(&inst), vec![0x5B]);
+    }
+
+    #[test]
+    fn movabs() {
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::Rax, OpSize::Q), Operand::Imm(0x1122334455667788)],
+        );
+        assert_eq!(
+            enc(&inst),
+            vec![0x48, 0xB8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11]
+        );
+    }
+
+    #[test]
+    fn div_and_implicit_forms() {
+        // div ecx -> F7 F1
+        let inst = Inst::basic(Mnemonic::Div, vec![Operand::gpr(Gpr::Rcx, OpSize::D)]);
+        assert_eq!(enc(&inst), vec![0xF7, 0xF1]);
+        // cqo -> 48 99
+        let inst = Inst::basic(Mnemonic::Cqo, vec![]);
+        assert_eq!(enc(&inst), vec![0x48, 0x99]);
+    }
+
+    #[test]
+    fn setcc_and_cmovcc() {
+        use crate::cond::Cond;
+        // sete al -> 0F 94 C0
+        let inst = Inst::with_cond(
+            Mnemonic::Set,
+            Cond::E,
+            vec![Operand::gpr(Gpr::Rax, OpSize::B)],
+        );
+        assert_eq!(enc(&inst), vec![0x0F, 0x94, 0xC0]);
+        // cmovne rax, rbx -> 48 0F 45 C3
+        let inst = Inst::with_cond(
+            Mnemonic::Cmov,
+            Cond::Ne,
+            vec![Operand::gpr(Gpr::Rax, OpSize::Q), Operand::gpr(Gpr::Rbx, OpSize::Q)],
+        );
+        assert_eq!(enc(&inst), vec![0x48, 0x0F, 0x45, 0xC3]);
+    }
+
+    #[test]
+    fn store_forms() {
+        // mov [rbx], eax -> 89 03
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![MemRef::base(Gpr::Rbx, 4).into(), Operand::gpr(Gpr::Rax, OpSize::D)],
+        );
+        assert_eq!(enc(&inst), vec![0x89, 0x03]);
+        // movaps [rdi], xmm0 -> 0F 29 07
+        let inst = Inst::basic(
+            Mnemonic::Movaps,
+            vec![MemRef::base(Gpr::Rdi, 16).into(), VecReg::xmm(0).into()],
+        );
+        assert_eq!(enc(&inst), vec![0x0F, 0x29, 0x07]);
+    }
+
+    #[test]
+    fn rmw_memory_imm() {
+        // add dword ptr [rbx], 1 -> 83 03 01
+        let inst = Inst::basic(
+            Mnemonic::Add,
+            vec![MemRef::base(Gpr::Rbx, 4).into(), Operand::Imm(1)],
+        );
+        assert_eq!(enc(&inst), vec![0x83, 0x03, 0x01]);
+    }
+
+    #[test]
+    fn sixteen_bit_operand_prefix() {
+        // add ax, bx -> 66 01 D8
+        let inst = Inst::basic(
+            Mnemonic::Add,
+            vec![Operand::gpr(Gpr::Rax, OpSize::W), Operand::gpr(Gpr::Rbx, OpSize::W)],
+        );
+        assert_eq!(enc(&inst), vec![0x66, 0x01, 0xD8]);
+    }
+
+    #[test]
+    fn unsigned_immediate_spellings() {
+        // cmp al, 0xff == cmp al, -1 at the byte level -> 80 /7 FF.
+        let inst = Inst::basic(
+            Mnemonic::Cmp,
+            vec![Operand::gpr(Gpr::Rax, OpSize::B), Operand::Imm(0xFF)],
+        );
+        assert_eq!(enc(&inst), vec![0x80, 0xF8, 0xFF]);
+        // mov eax, 0x80000000 encodes as the u32 bit pattern.
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::Imm(0x8000_0000)],
+        );
+        assert_eq!(enc(&inst), vec![0xC7, 0xC0, 0x00, 0x00, 0x00, 0x80]);
+    }
+
+    #[test]
+    fn no_encoding_error() {
+        // test with two immediates is nonsense.
+        let inst = Inst::basic(Mnemonic::Test, vec![Operand::Imm(1), Operand::Imm(2)]);
+        let mut out = Vec::new();
+        assert!(matches!(
+            encode_inst(&inst, &mut out),
+            Err(AsmError::NoEncoding { .. })
+        ));
+    }
+
+    #[test]
+    fn vector_shift_imm() {
+        // pslld xmm1, 4 -> 66 0F 72 F1 04
+        let inst = Inst::basic(Mnemonic::Pslld, vec![VecReg::xmm(1).into(), Operand::Imm(4)]);
+        assert_eq!(enc(&inst), vec![0x66, 0x0F, 0x72, 0xF1, 0x04]);
+    }
+}

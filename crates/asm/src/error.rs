@@ -1,0 +1,95 @@
+//! Error type shared by the parser, encoder and decoder.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing, encoding or decoding instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// The textual assembly could not be parsed.
+    Parse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The instruction has no encodable form (unsupported operand
+    /// combination for the mnemonic).
+    NoEncoding {
+        /// The instruction rendered in Intel syntax.
+        inst: String,
+    },
+    /// The byte stream did not decode to a supported instruction.
+    Decode {
+        /// Offset of the undecodable instruction within the input.
+        offset: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An immediate operand does not fit the width required by the encoding.
+    ImmediateOutOfRange {
+        /// The instruction rendered in Intel syntax.
+        inst: String,
+        /// The offending immediate value.
+        value: i64,
+    },
+    /// A hex string passed to [`crate::BasicBlock::from_hex`] was malformed.
+    InvalidHex {
+        /// Description of the malformation.
+        message: String,
+    },
+}
+
+impl AsmError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        AsmError::Parse { line, message: message.into() }
+    }
+
+    pub(crate) fn decode(offset: usize, message: impl Into<String>) -> Self {
+        AsmError::Decode { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            AsmError::NoEncoding { inst } => {
+                write!(f, "no supported encoding for `{inst}`")
+            }
+            AsmError::Decode { offset, message } => {
+                write!(f, "decode error at byte {offset}: {message}")
+            }
+            AsmError::ImmediateOutOfRange { inst, value } => {
+                write!(f, "immediate {value} out of range for `{inst}`")
+            }
+            AsmError::InvalidHex { message } => {
+                write!(f, "invalid hex block: {message}")
+            }
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = AsmError::parse(3, "unknown mnemonic `bogus`");
+        assert_eq!(err.to_string(), "parse error on line 3: unknown mnemonic `bogus`");
+        let err = AsmError::decode(7, "truncated ModRM");
+        assert_eq!(err.to_string(), "decode error at byte 7: truncated ModRM");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<AsmError>();
+    }
+}

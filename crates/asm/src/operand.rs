@@ -1,0 +1,319 @@
+//! Operand and memory-reference types.
+
+use crate::reg::{Gpr, OpSize, VecReg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index-register scale factor in a memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Scale {
+    /// `index * 1`
+    S1 = 1,
+    /// `index * 2`
+    S2 = 2,
+    /// `index * 4`
+    S4 = 4,
+    /// `index * 8`
+    S8 = 8,
+}
+
+impl Scale {
+    /// The numeric multiplier (1, 2, 4 or 8).
+    #[inline]
+    pub fn factor(self) -> u8 {
+        self as u8
+    }
+
+    /// The two-bit SIB encoding of the scale.
+    #[inline]
+    pub fn sib_bits(self) -> u8 {
+        match self {
+            Scale::S1 => 0,
+            Scale::S2 => 1,
+            Scale::S4 => 2,
+            Scale::S8 => 3,
+        }
+    }
+
+    /// Builds a scale from a multiplier.
+    pub fn from_factor(factor: u8) -> Option<Scale> {
+        match factor {
+            1 => Some(Scale::S1),
+            2 => Some(Scale::S2),
+            4 => Some(Scale::S4),
+            8 => Some(Scale::S8),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.factor())
+    }
+}
+
+/// A memory reference: `[base + index*scale + disp]` with an access width.
+///
+/// Either `base` or `index` (or both) may be absent; a reference with
+/// neither is an absolute address (`disp` only), as in the Gzip `updcrc`
+/// lookup-table access `[8*rax + 0x4110a]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Gpr>,
+    /// Index register with its scale, if any.
+    pub index: Option<(Gpr, Scale)>,
+    /// Signed 32-bit displacement.
+    pub disp: i32,
+    /// Width of the access in bytes (1, 2, 4, 8, 16 or 32).
+    pub width: u8,
+}
+
+impl MemRef {
+    /// A `[base]` reference.
+    pub fn base(base: Gpr, width: u8) -> MemRef {
+        MemRef { base: Some(base), index: None, disp: 0, width }
+    }
+
+    /// A `[base + disp]` reference.
+    pub fn base_disp(base: Gpr, disp: i32, width: u8) -> MemRef {
+        MemRef { base: Some(base), index: None, disp, width }
+    }
+
+    /// A `[base + index*scale + disp]` reference.
+    pub fn base_index(base: Gpr, index: Gpr, scale: Scale, disp: i32, width: u8) -> MemRef {
+        MemRef { base: Some(base), index: Some((index, scale)), disp, width }
+    }
+
+    /// An `[index*scale + disp]` reference with no base register.
+    pub fn index_disp(index: Gpr, scale: Scale, disp: i32, width: u8) -> MemRef {
+        MemRef { base: None, index: Some((index, scale)), disp, width }
+    }
+
+    /// An absolute `[disp]` reference.
+    pub fn absolute(disp: i32, width: u8) -> MemRef {
+        MemRef { base: None, index: None, disp, width }
+    }
+
+    /// Returns a copy with a different access width.
+    pub fn with_width(mut self, width: u8) -> MemRef {
+        self.width = width;
+        self
+    }
+
+    /// General-purpose registers read to form the address.
+    pub fn address_regs(&self) -> impl Iterator<Item = Gpr> + '_ {
+        self.base.into_iter().chain(self.index.map(|(reg, _)| reg))
+    }
+}
+
+impl MemRef {
+    /// Writes just the `[...]` address part, without the size keyword
+    /// (used by `lea`, which performs no access).
+    pub fn fmt_address(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("[")?;
+        let mut wrote = false;
+        if let Some(base) = self.base {
+            write!(f, "{base}")?;
+            wrote = true;
+        }
+        if let Some((index, scale)) = self.index {
+            if wrote {
+                f.write_str(" + ")?;
+            }
+            // `[rax]` always means "base"; a baseless scale-1 index must
+            // print as `1*rax` so the text round-trips to the same encoding.
+            if scale == Scale::S1 && self.base.is_some() {
+                write!(f, "{index}")?;
+            } else {
+                write!(f, "{scale}*{index}")?;
+            }
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp < 0 {
+                    write!(f, " - {:#x}", i64::from(self.disp).unsigned_abs())?;
+                } else {
+                    write!(f, " + {:#x}", self.disp)?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let keyword = match self.width {
+            1 => "byte ptr ",
+            2 => "word ptr ",
+            4 => "dword ptr ",
+            8 => "qword ptr ",
+            16 => "xmmword ptr ",
+            32 => "ymmword ptr ",
+            _ => "",
+        };
+        f.write_str(keyword)?;
+        self.fmt_address(f)
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A general-purpose register at a given width.
+    Gpr {
+        /// The register.
+        reg: Gpr,
+        /// The operand width.
+        size: OpSize,
+    },
+    /// A SIMD register (`xmm`/`ymm`).
+    Vec(VecReg),
+    /// An immediate value (sign-extended to 64 bits).
+    Imm(i64),
+    /// A memory reference.
+    Mem(MemRef),
+}
+
+impl Operand {
+    /// Convenience constructor for a GPR operand.
+    pub fn gpr(reg: Gpr, size: OpSize) -> Operand {
+        Operand::Gpr { reg, size }
+    }
+
+    /// The GPR and width, if this is a GPR operand.
+    pub fn as_gpr(&self) -> Option<(Gpr, OpSize)> {
+        match *self {
+            Operand::Gpr { reg, size } => Some((reg, size)),
+            _ => None,
+        }
+    }
+
+    /// The vector register, if this is a vector operand.
+    pub fn as_vec(&self) -> Option<VecReg> {
+        match *self {
+            Operand::Vec(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The immediate value, if this is an immediate operand.
+    pub fn as_imm(&self) -> Option<i64> {
+        match *self {
+            Operand::Imm(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The memory reference, if this is a memory operand.
+    pub fn as_mem(&self) -> Option<&MemRef> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for memory operands.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_))
+    }
+
+    /// Width of the operand in bytes, if it has an inherent width.
+    ///
+    /// Immediates return `None`: their width is dictated by the encoding
+    /// form of the instruction they appear in.
+    pub fn width_bytes(&self) -> Option<u8> {
+        match *self {
+            Operand::Gpr { size, .. } => Some(size.bytes()),
+            Operand::Vec(v) => Some(v.width().bytes()),
+            Operand::Mem(m) => Some(m.width),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<MemRef> for Operand {
+    fn from(mem: MemRef) -> Operand {
+        Operand::Mem(mem)
+    }
+}
+
+impl From<VecReg> for Operand {
+    fn from(reg: VecReg) -> Operand {
+        Operand::Vec(reg)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(imm: i64) -> Operand {
+        Operand::Imm(imm)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Gpr { reg, size } => f.write_str(reg.name(*size)),
+            Operand::Vec(v) => write!(f, "{v}"),
+            Operand::Imm(v) => {
+                if *v < 0 {
+                    write!(f, "-{:#x}", v.unsigned_abs())
+                } else {
+                    write!(f, "{:#x}", v)
+                }
+            }
+            Operand::Mem(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_round_trips() {
+        for scale in [Scale::S1, Scale::S2, Scale::S4, Scale::S8] {
+            assert_eq!(Scale::from_factor(scale.factor()), Some(scale));
+        }
+        assert_eq!(Scale::from_factor(3), None);
+    }
+
+    #[test]
+    fn memref_display_forms() {
+        let m = MemRef::base_disp(Gpr::Rdi, -1, 1);
+        assert_eq!(m.to_string(), "byte ptr [rdi - 0x1]");
+        let m = MemRef::index_disp(Gpr::Rax, Scale::S8, 0x4110a, 8);
+        assert_eq!(m.to_string(), "qword ptr [8*rax + 0x4110a]");
+        let m = MemRef::absolute(0x1000, 4);
+        assert_eq!(m.to_string(), "dword ptr [0x1000]");
+        let m = MemRef::base_index(Gpr::Rsi, Gpr::Rcx, Scale::S4, 16, 16);
+        assert_eq!(m.to_string(), "xmmword ptr [rsi + 4*rcx + 0x10]");
+    }
+
+    #[test]
+    fn address_regs_iterates_base_and_index() {
+        let m = MemRef::base_index(Gpr::Rsi, Gpr::Rcx, Scale::S4, 0, 8);
+        let regs: Vec<Gpr> = m.address_regs().collect();
+        assert_eq!(regs, vec![Gpr::Rsi, Gpr::Rcx]);
+        let m = MemRef::absolute(0, 8);
+        assert_eq!(m.address_regs().count(), 0);
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let op = Operand::gpr(Gpr::Rax, OpSize::D);
+        assert_eq!(op.as_gpr(), Some((Gpr::Rax, OpSize::D)));
+        assert_eq!(op.width_bytes(), Some(4));
+        let op = Operand::Imm(-2);
+        assert_eq!(op.as_imm(), Some(-2));
+        assert_eq!(op.width_bytes(), None);
+        assert_eq!(op.to_string(), "-0x2");
+    }
+}

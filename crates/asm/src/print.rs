@@ -1,0 +1,97 @@
+//! Intel-syntax pretty printing for instructions.
+
+use crate::inst::{Inst, Mnemonic};
+use std::fmt;
+
+impl Inst {
+    /// The full printed mnemonic, including the AVX `v` prefix and the
+    /// condition suffix where applicable (`vaddps`, `setne`, `jle`).
+    pub fn full_mnemonic(&self) -> String {
+        let base = self.mnemonic().name();
+        let mut out = String::new();
+        if self.is_vex() && !self.mnemonic().is_vex_only() {
+            out.push('v');
+        }
+        out.push_str(base);
+        if let Some(cond) = self.cond() {
+            out.push_str(cond.suffix());
+        }
+        out
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full_mnemonic())?;
+        for (idx, op) in self.operands().iter().enumerate() {
+            if idx == 0 {
+                f.write_str(" ")?;
+            } else {
+                f.write_str(", ")?;
+            }
+            match op {
+                // `lea` performs no access, so the size keyword is noise.
+                crate::operand::Operand::Mem(mem) if self.mnemonic() == Mnemonic::Lea => {
+                    mem.fmt_address(f)?;
+                }
+                other => write!(f, "{other}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Mnemonic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cond::Cond;
+    use crate::inst::{Inst, Mnemonic};
+    use crate::operand::{MemRef, Operand};
+    use crate::reg::{Gpr, OpSize, VecReg};
+
+    #[test]
+    fn display_scalar() {
+        let inst = Inst::basic(
+            Mnemonic::Add,
+            vec![Operand::gpr(Gpr::Rdi, OpSize::Q), Operand::Imm(1)],
+        );
+        assert_eq!(inst.to_string(), "add rdi, 0x1");
+        let inst = Inst::basic(
+            Mnemonic::Xor,
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::B),
+                MemRef::base_disp(Gpr::Rdi, -1, 1).into(),
+            ],
+        );
+        assert_eq!(inst.to_string(), "xor al, byte ptr [rdi - 0x1]");
+    }
+
+    #[test]
+    fn display_vex_and_cond() {
+        let v = VecReg::xmm(2);
+        let inst = Inst::vex(Mnemonic::Xorps, vec![v.into(), v.into(), v.into()]);
+        assert_eq!(inst.to_string(), "vxorps xmm2, xmm2, xmm2");
+        let inst = Inst::with_cond(
+            Mnemonic::Set,
+            Cond::Ne,
+            vec![Operand::gpr(Gpr::Rax, OpSize::B)],
+        );
+        assert_eq!(inst.to_string(), "setne al");
+        let inst = Inst::vex(
+            Mnemonic::Vfmadd231ps,
+            vec![VecReg::ymm(0).into(), VecReg::ymm(1).into(), VecReg::ymm(2).into()],
+        );
+        // VEX-only mnemonics already carry their `v`.
+        assert_eq!(inst.to_string(), "vfmadd231ps ymm0, ymm1, ymm2");
+    }
+
+    #[test]
+    fn display_no_operands() {
+        assert_eq!(Inst::basic(Mnemonic::Cqo, vec![]).to_string(), "cqo");
+    }
+}

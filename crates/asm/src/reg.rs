@@ -1,0 +1,339 @@
+//! Register and operand-size definitions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The sixteen x86-64 general-purpose registers, in hardware encoding order.
+///
+/// The discriminant of each variant is its 4-bit hardware register number
+/// (the low three bits go in ModRM/SIB; bit 3 goes in a REX prefix bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Gpr {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Gpr {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Gpr; 16] = [
+        Gpr::Rax,
+        Gpr::Rcx,
+        Gpr::Rdx,
+        Gpr::Rbx,
+        Gpr::Rsp,
+        Gpr::Rbp,
+        Gpr::Rsi,
+        Gpr::Rdi,
+        Gpr::R8,
+        Gpr::R9,
+        Gpr::R10,
+        Gpr::R11,
+        Gpr::R12,
+        Gpr::R13,
+        Gpr::R14,
+        Gpr::R15,
+    ];
+
+    /// The 4-bit hardware register number.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Builds a register from its 4-bit hardware number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    #[inline]
+    pub fn from_number(n: u8) -> Gpr {
+        Self::ALL[usize::from(n)]
+    }
+
+    /// The register name at a given operand size, e.g. `rax`/`eax`/`ax`/`al`.
+    ///
+    /// 8-bit names use the `sil`/`dil`/`spl`/`bpl` forms (REX-era low bytes);
+    /// the legacy `ah`..`bh` high-byte registers are not modeled.
+    pub fn name(self, size: OpSize) -> &'static str {
+        const Q: [&str; 16] = [
+            "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi", "r8", "r9", "r10", "r11",
+            "r12", "r13", "r14", "r15",
+        ];
+        const D: [&str; 16] = [
+            "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi", "r8d", "r9d", "r10d", "r11d",
+            "r12d", "r13d", "r14d", "r15d",
+        ];
+        const W: [&str; 16] = [
+            "ax", "cx", "dx", "bx", "sp", "bp", "si", "di", "r8w", "r9w", "r10w", "r11w", "r12w",
+            "r13w", "r14w", "r15w",
+        ];
+        const B: [&str; 16] = [
+            "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil", "r8b", "r9b", "r10b", "r11b",
+            "r12b", "r13b", "r14b", "r15b",
+        ];
+        let idx = usize::from(self.number());
+        match size {
+            OpSize::Q => Q[idx],
+            OpSize::D => D[idx],
+            OpSize::W => W[idx],
+            OpSize::B => B[idx],
+        }
+    }
+
+    /// Parses any GPR name at any width, returning the register and the
+    /// width the name implies.
+    pub fn parse(name: &str) -> Option<(Gpr, OpSize)> {
+        for size in OpSize::ALL {
+            for reg in Gpr::ALL {
+                if reg.name(size) == name {
+                    return Some((reg, size));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name(OpSize::Q))
+    }
+}
+
+/// Scalar operand sizes, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum OpSize {
+    /// 8-bit (byte).
+    B = 1,
+    /// 16-bit (word).
+    W = 2,
+    /// 32-bit (dword).
+    D = 4,
+    /// 64-bit (qword).
+    Q = 8,
+}
+
+impl OpSize {
+    /// All sizes from widest to narrowest (parse order: longest names first
+    /// is irrelevant here; this order is convenient for iteration).
+    pub const ALL: [OpSize; 4] = [OpSize::B, OpSize::W, OpSize::D, OpSize::Q];
+
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u8 {
+        self as u8
+    }
+
+    /// Size in bits.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        u32::from(self.bytes()) * 8
+    }
+
+    /// Builds an operand size from a byte count.
+    pub fn from_bytes(bytes: u8) -> Option<OpSize> {
+        match bytes {
+            1 => Some(OpSize::B),
+            2 => Some(OpSize::W),
+            4 => Some(OpSize::D),
+            8 => Some(OpSize::Q),
+            _ => None,
+        }
+    }
+
+    /// Bit mask covering the operand width, e.g. `0xFFFF_FFFF` for [`OpSize::D`].
+    #[inline]
+    pub fn mask(self) -> u64 {
+        match self {
+            OpSize::B => 0xFF,
+            OpSize::W => 0xFFFF,
+            OpSize::D => 0xFFFF_FFFF,
+            OpSize::Q => u64::MAX,
+        }
+    }
+
+    /// The Intel-syntax memory size keyword (`byte`, `word`, `dword`, `qword`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            OpSize::B => "byte",
+            OpSize::W => "word",
+            OpSize::D => "dword",
+            OpSize::Q => "qword",
+        }
+    }
+}
+
+impl fmt::Display for OpSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Width of a vector register reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum VecWidth {
+    /// 128-bit `xmm` register.
+    Xmm = 16,
+    /// 256-bit `ymm` register.
+    Ymm = 32,
+}
+
+impl VecWidth {
+    /// Width in bytes (16 or 32).
+    #[inline]
+    pub fn bytes(self) -> u8 {
+        self as u8
+    }
+
+    /// Width in bits (128 or 256).
+    #[inline]
+    pub fn bits(self) -> u32 {
+        u32::from(self.bytes()) * 8
+    }
+}
+
+/// A reference to one of the sixteen SIMD registers at a given width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VecReg {
+    index: u8,
+    width: VecWidth,
+}
+
+impl VecReg {
+    /// Creates a vector register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    #[inline]
+    pub fn new(index: u8, width: VecWidth) -> VecReg {
+        assert!(index < 16, "vector register index {index} out of range");
+        VecReg { index, width }
+    }
+
+    /// A 128-bit `xmmN` reference.
+    #[inline]
+    pub fn xmm(index: u8) -> VecReg {
+        VecReg::new(index, VecWidth::Xmm)
+    }
+
+    /// A 256-bit `ymmN` reference.
+    #[inline]
+    pub fn ymm(index: u8) -> VecReg {
+        VecReg::new(index, VecWidth::Ymm)
+    }
+
+    /// The 4-bit hardware register number.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self.index
+    }
+
+    /// The width of this reference.
+    #[inline]
+    pub fn width(self) -> VecWidth {
+        self.width
+    }
+
+    /// The same register at a different width.
+    #[inline]
+    pub fn with_width(self, width: VecWidth) -> VecReg {
+        VecReg { index: self.index, width }
+    }
+
+    /// Parses `xmmN` / `ymmN` names.
+    pub fn parse(name: &str) -> Option<VecReg> {
+        let (width, rest) = if let Some(rest) = name.strip_prefix("xmm") {
+            (VecWidth::Xmm, rest)
+        } else if let Some(rest) = name.strip_prefix("ymm") {
+            (VecWidth::Ymm, rest)
+        } else {
+            return None;
+        };
+        let index: u8 = rest.parse().ok()?;
+        (index < 16).then(|| VecReg::new(index, width))
+    }
+}
+
+impl fmt::Display for VecReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix = match self.width {
+            VecWidth::Xmm => "xmm",
+            VecWidth::Ymm => "ymm",
+        };
+        write!(f, "{prefix}{}", self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_number_round_trips() {
+        for reg in Gpr::ALL {
+            assert_eq!(Gpr::from_number(reg.number()), reg);
+        }
+    }
+
+    #[test]
+    fn gpr_names_parse_back() {
+        for reg in Gpr::ALL {
+            for size in OpSize::ALL {
+                let name = reg.name(size);
+                assert_eq!(Gpr::parse(name), Some((reg, size)), "name {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn opsize_masks() {
+        assert_eq!(OpSize::B.mask(), 0xFF);
+        assert_eq!(OpSize::W.mask(), 0xFFFF);
+        assert_eq!(OpSize::D.mask(), 0xFFFF_FFFF);
+        assert_eq!(OpSize::Q.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn opsize_from_bytes() {
+        for size in OpSize::ALL {
+            assert_eq!(OpSize::from_bytes(size.bytes()), Some(size));
+        }
+        assert_eq!(OpSize::from_bytes(3), None);
+    }
+
+    #[test]
+    fn vecreg_parse_and_display() {
+        for idx in 0..16 {
+            let x = VecReg::xmm(idx);
+            assert_eq!(VecReg::parse(&x.to_string()), Some(x));
+            let y = VecReg::ymm(idx);
+            assert_eq!(VecReg::parse(&y.to_string()), Some(y));
+        }
+        assert_eq!(VecReg::parse("xmm16"), None);
+        assert_eq!(VecReg::parse("zmm0"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vecreg_rejects_large_index() {
+        let _ = VecReg::xmm(16);
+    }
+}

@@ -1,0 +1,1005 @@
+//! Data-driven encoding specifications for the supported x86-64 subset.
+//!
+//! Each [`Mnemonic`](crate::Mnemonic) maps to an ordered list of
+//! [`EncForm`]s. The encoder walks the list and emits the first form whose
+//! operand patterns match; the decoder walks the same list in reverse
+//! (bytes → form → operands), which keeps the two by construction
+//! symmetric.
+
+use crate::inst::Mnemonic;
+use crate::reg::OpSize;
+
+/// Mandatory prefix group (the SSE "pp" field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pp {
+    None,
+    P66,
+    PF3,
+    PF2,
+}
+
+/// Opcode map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Map {
+    /// Single-byte opcode.
+    One,
+    /// `0F xx`.
+    Of,
+    /// `0F 38 xx`.
+    Of38,
+    /// `0F 3A xx`.
+    Of3a,
+}
+
+/// How the form's operand width is constrained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WidthReq {
+    /// Exactly this scalar width.
+    Fixed(OpSize),
+    /// 16/32/64-bit (the classic non-byte opcodes).
+    NonByte,
+    /// Width comes from the vector operands (xmm=128, ymm=256).
+    Vec,
+}
+
+/// REX.W / VEX.W policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RexW {
+    /// W always clear.
+    W0,
+    /// W always set.
+    W1,
+    /// W set iff the form width is 64-bit.
+    WQ,
+}
+
+/// Immediate encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ImmEnc {
+    None,
+    /// 1-byte immediate (sign-extended by hardware where applicable).
+    Ib,
+    /// 1-byte immediate interpreted as unsigned (shuffle masks, shift
+    /// counts).
+    Ub,
+    /// Immediate sized by form width: 1/2/4 bytes (4 for 64-bit,
+    /// sign-extended).
+    ByWidth,
+    /// Full 8-byte immediate (`movabs`).
+    Iq,
+    /// 4-byte branch displacement.
+    Rel32,
+}
+
+impl ImmEnc {
+    /// Encoded immediate length in bytes for a given form width.
+    pub(crate) fn len(self, width_bytes: u8) -> usize {
+        match self {
+            ImmEnc::None => 0,
+            ImmEnc::Ib | ImmEnc::Ub => 1,
+            ImmEnc::ByWidth => match width_bytes {
+                1 => 1,
+                2 => 2,
+                _ => 4,
+            },
+            ImmEnc::Iq => 8,
+            ImmEnc::Rel32 => 4,
+        }
+    }
+}
+
+/// Operand-to-encoding-slot layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Layout {
+    /// op0 = ModRM.rm, op1 = ModRM.reg.
+    Mr,
+    /// op0 = ModRM.reg, op1 = ModRM.rm.
+    Rm,
+    /// Single ModRM.rm operand; ModRM.reg is the opcode extension digit.
+    M(u8),
+    /// Register in the low 3 bits of the opcode byte (`+r`).
+    O,
+    /// VEX three-operand: op0 = reg, op1 = vvvv, op2 = rm.
+    Rvm,
+    /// VEX shift-by-immediate: op0 = vvvv (dest), op1 = rm, digit in reg.
+    Vmi(u8),
+    /// No explicit operands.
+    Zo,
+    /// `Jcc rel32`.
+    Rel,
+}
+
+/// Legacy (SSE/scalar) vs. VEX (AVX) encoding space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    Legacy,
+    Vex,
+}
+
+/// Operand pattern for form matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpPat {
+    /// GPR of the form width.
+    R,
+    /// GPR or memory of the form width.
+    Rm,
+    /// Memory of any width (`lea`).
+    MAny,
+    /// GPR of a fixed width (independent of form width).
+    RFix(OpSize),
+    /// GPR or memory of a fixed width.
+    RmFix(OpSize),
+    /// Memory of a fixed byte width.
+    MFix(u8),
+    /// Vector register (xmm, or ymm in VEX forms).
+    X,
+    /// Vector register or memory matching the vector width.
+    Xm,
+    /// Vector register or memory of a fixed byte width (scalar FP).
+    XmFix(u8),
+    /// Memory matching the vector width (vector store destination).
+    Mv,
+    /// Immediate fitting in a signed byte.
+    Imm8,
+    /// Immediate fitting in an unsigned byte (0..=255).
+    Imm8u,
+    /// Immediate fitting the form width (i32 sign-extended for 64-bit).
+    Imm,
+    /// Any 64-bit immediate (`movabs`).
+    Imm64,
+    /// The `cl` register (shift counts).
+    Cl,
+}
+
+/// One encodable form of a mnemonic.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EncForm {
+    pub mode: Mode,
+    pub pats: &'static [OpPat],
+    pub width: WidthReq,
+    /// Operand index whose inherent width sets the form width for
+    /// `NonByte` forms (e.g. the destination of `movzx`).
+    pub width_op: u8,
+    pub layout: Layout,
+    pub pp: Pp,
+    pub map: Map,
+    pub opc: u8,
+    pub rexw: RexW,
+    pub imm: ImmEnc,
+    /// The condition code is added to `opc` (`SETcc`/`CMOVcc`/`Jcc`).
+    pub cond_opc: bool,
+}
+
+const BASE: EncForm = EncForm {
+    mode: Mode::Legacy,
+    pats: &[],
+    width: WidthReq::NonByte,
+    width_op: 0,
+    layout: Layout::Zo,
+    pp: Pp::None,
+    map: Map::One,
+    opc: 0,
+    rexw: RexW::WQ,
+    imm: ImmEnc::None,
+    cond_opc: false,
+};
+
+use ImmEnc::{ByWidth, Ib, Iq, Rel32, Ub};
+use Map::{Of, Of38};
+use Mode::Vex;
+use OpPat::*;
+use Pp::{None as PpNone, P66, PF2, PF3};
+use WidthReq::{Fixed, Vec as VecW};
+
+const B: OpSize = OpSize::B;
+const W: OpSize = OpSize::W;
+const D: OpSize = OpSize::D;
+const Q: OpSize = OpSize::Q;
+// Shadow the enum-variant import for clarity below.
+const _: () = {
+    let _ = W;
+};
+
+/// Standard ALU family: byte/non-byte reg forms + imm forms.
+macro_rules! alu {
+    ($base:expr, $digit:expr) => {
+        &[
+            EncForm { pats: &[Rm, R], width: Fixed(B), layout: Layout::Mr, opc: $base, ..BASE },
+            EncForm { pats: &[Rm, R], layout: Layout::Mr, opc: $base + 1, ..BASE },
+            EncForm { pats: &[R, Rm], width: Fixed(B), layout: Layout::Rm, opc: $base + 2, ..BASE },
+            EncForm { pats: &[R, Rm], layout: Layout::Rm, opc: $base + 3, ..BASE },
+            EncForm { pats: &[Rm, Imm8], layout: Layout::M($digit), opc: 0x83, imm: Ib, ..BASE },
+            EncForm {
+                pats: &[Rm, Imm8],
+                width: Fixed(B),
+                layout: Layout::M($digit),
+                opc: 0x80,
+                imm: Ib,
+                ..BASE
+            },
+            EncForm { pats: &[Rm, Imm], layout: Layout::M($digit), opc: 0x81, imm: ByWidth, ..BASE },
+        ]
+    };
+}
+
+/// Shift/rotate family: by-imm8 and by-cl, byte and non-byte.
+macro_rules! shift {
+    ($digit:expr) => {
+        &[
+            EncForm {
+                pats: &[Rm, Imm8u],
+                width: Fixed(B),
+                layout: Layout::M($digit),
+                opc: 0xC0,
+                imm: Ub,
+                ..BASE
+            },
+            EncForm { pats: &[Rm, Imm8u], layout: Layout::M($digit), opc: 0xC1, imm: Ub, ..BASE },
+            EncForm { pats: &[Rm, Cl], width: Fixed(B), layout: Layout::M($digit), opc: 0xD2, ..BASE },
+            EncForm { pats: &[Rm, Cl], layout: Layout::M($digit), opc: 0xD3, ..BASE },
+        ]
+    };
+}
+
+/// F6/F7 unary group (`not`, `neg`, `mul`, `div`, ...).
+macro_rules! group3 {
+    ($digit:expr) => {
+        &[
+            EncForm { pats: &[Rm], width: Fixed(B), layout: Layout::M($digit), opc: 0xF6, ..BASE },
+            EncForm { pats: &[Rm], layout: Layout::M($digit), opc: 0xF7, ..BASE },
+        ]
+    };
+}
+
+/// Packed-vector op with a legacy two-operand and a VEX three-operand form.
+macro_rules! packed {
+    ($pp:expr, $map:expr, $opc:expr) => {
+        &[
+            EncForm {
+                pats: &[X, Xm],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: $pp,
+                map: $map,
+                opc: $opc,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, X, Xm],
+                width: VecW,
+                layout: Layout::Rvm,
+                pp: $pp,
+                map: $map,
+                opc: $opc,
+                rexw: RexW::W0,
+                ..BASE
+            },
+        ]
+    };
+}
+
+/// Scalar-FP op (`ss`/`sd`): legacy two-operand and VEX three-operand.
+macro_rules! scalar_fp {
+    ($pp:expr, $opc:expr, $bytes:expr) => {
+        &[
+            EncForm {
+                pats: &[X, XmFix($bytes)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: $pp,
+                map: Of,
+                opc: $opc,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, X, XmFix($bytes)],
+                width: VecW,
+                layout: Layout::Rvm,
+                pp: $pp,
+                map: Of,
+                opc: $opc,
+                rexw: RexW::W0,
+                ..BASE
+            },
+        ]
+    };
+}
+
+/// Vector load/store move pair (`movaps`-style: load opcode, store opcode).
+macro_rules! vec_move {
+    ($pp:expr, $load:expr, $store:expr) => {
+        &[
+            EncForm {
+                pats: &[X, Xm],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: $pp,
+                map: Of,
+                opc: $load,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Mv, X],
+                width: VecW,
+                layout: Layout::Mr,
+                pp: $pp,
+                map: Of,
+                opc: $store,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, Xm],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: $pp,
+                map: Of,
+                opc: $load,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[Mv, X],
+                width: VecW,
+                layout: Layout::Mr,
+                pp: $pp,
+                map: Of,
+                opc: $store,
+                rexw: RexW::W0,
+                ..BASE
+            },
+        ]
+    };
+}
+
+/// Packed shift by immediate: legacy `M(digit)` + VEX `Vmi(digit)`.
+macro_rules! vec_shift {
+    ($opc:expr, $digit:expr) => {
+        &[
+            EncForm {
+                pats: &[X, Imm8u],
+                width: VecW,
+                layout: Layout::M($digit),
+                pp: P66,
+                map: Of,
+                opc: $opc,
+                rexw: RexW::W0,
+                imm: Ub,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, X, Imm8u],
+                width: VecW,
+                layout: Layout::Vmi($digit),
+                pp: P66,
+                map: Of,
+                opc: $opc,
+                rexw: RexW::W0,
+                imm: Ub,
+                ..BASE
+            },
+        ]
+    };
+}
+
+/// Returns the ordered encoding forms for a mnemonic.
+pub(crate) fn forms(m: Mnemonic) -> &'static [EncForm] {
+    use Mnemonic::*;
+    match m {
+        Mov => &[
+            EncForm { pats: &[Rm, R], width: Fixed(B), layout: Layout::Mr, opc: 0x88, ..BASE },
+            EncForm { pats: &[Rm, R], layout: Layout::Mr, opc: 0x89, ..BASE },
+            EncForm { pats: &[R, Rm], width: Fixed(B), layout: Layout::Rm, opc: 0x8A, ..BASE },
+            EncForm { pats: &[R, Rm], layout: Layout::Rm, opc: 0x8B, ..BASE },
+            EncForm {
+                pats: &[Rm, Imm8],
+                width: Fixed(B),
+                layout: Layout::M(0),
+                opc: 0xC6,
+                imm: Ib,
+                ..BASE
+            },
+            EncForm { pats: &[Rm, Imm], layout: Layout::M(0), opc: 0xC7, imm: ByWidth, ..BASE },
+            EncForm {
+                pats: &[R, Imm64],
+                width: Fixed(Q),
+                layout: Layout::O,
+                opc: 0xB8,
+                rexw: RexW::W1,
+                imm: Iq,
+                ..BASE
+            },
+        ],
+        Movzx => &[
+            EncForm { pats: &[R, RmFix(B)], layout: Layout::Rm, map: Of, opc: 0xB6, ..BASE },
+            EncForm { pats: &[R, RmFix(OpSize::W)], layout: Layout::Rm, map: Of, opc: 0xB7, ..BASE },
+        ],
+        Movsx => &[
+            EncForm { pats: &[R, RmFix(B)], layout: Layout::Rm, map: Of, opc: 0xBE, ..BASE },
+            EncForm { pats: &[R, RmFix(OpSize::W)], layout: Layout::Rm, map: Of, opc: 0xBF, ..BASE },
+        ],
+        Movsxd => &[EncForm {
+            pats: &[R, RmFix(D)],
+            width: Fixed(Q),
+            layout: Layout::Rm,
+            opc: 0x63,
+            rexw: RexW::W1,
+            ..BASE
+        }],
+        Bswap => &[EncForm { pats: &[R], layout: Layout::O, map: Of, opc: 0xC8, ..BASE }],
+        Lea => &[EncForm { pats: &[R, MAny], layout: Layout::Rm, opc: 0x8D, ..BASE }],
+        Push => &[EncForm {
+            pats: &[R],
+            width: Fixed(Q),
+            layout: Layout::O,
+            opc: 0x50,
+            rexw: RexW::W0,
+            ..BASE
+        }],
+        Pop => &[EncForm {
+            pats: &[R],
+            width: Fixed(Q),
+            layout: Layout::O,
+            opc: 0x58,
+            rexw: RexW::W0,
+            ..BASE
+        }],
+        Add => alu!(0x00, 0),
+        Or => alu!(0x08, 1),
+        Adc => alu!(0x10, 2),
+        Sbb => alu!(0x18, 3),
+        And => alu!(0x20, 4),
+        Sub => alu!(0x28, 5),
+        Xor => alu!(0x30, 6),
+        Cmp => alu!(0x38, 7),
+        Test => &[
+            EncForm { pats: &[Rm, R], width: Fixed(B), layout: Layout::Mr, opc: 0x84, ..BASE },
+            EncForm { pats: &[Rm, R], layout: Layout::Mr, opc: 0x85, ..BASE },
+            EncForm {
+                pats: &[Rm, Imm8],
+                width: Fixed(B),
+                layout: Layout::M(0),
+                opc: 0xF6,
+                imm: Ib,
+                ..BASE
+            },
+            EncForm { pats: &[Rm, Imm], layout: Layout::M(0), opc: 0xF7, imm: ByWidth, ..BASE },
+        ],
+        Inc => &[
+            EncForm { pats: &[Rm], width: Fixed(B), layout: Layout::M(0), opc: 0xFE, ..BASE },
+            EncForm { pats: &[Rm], layout: Layout::M(0), opc: 0xFF, ..BASE },
+        ],
+        Dec => &[
+            EncForm { pats: &[Rm], width: Fixed(B), layout: Layout::M(1), opc: 0xFE, ..BASE },
+            EncForm { pats: &[Rm], layout: Layout::M(1), opc: 0xFF, ..BASE },
+        ],
+        Not => group3!(2),
+        Neg => group3!(3),
+        Mul => group3!(4),
+        Div => group3!(6),
+        Idiv => group3!(7),
+        Shl => shift!(4),
+        Shr => shift!(5),
+        Sar => shift!(7),
+        Rol => shift!(0),
+        Ror => shift!(1),
+        Imul => &[
+            EncForm { pats: &[Rm], width: Fixed(B), layout: Layout::M(5), opc: 0xF6, ..BASE },
+            EncForm { pats: &[Rm], layout: Layout::M(5), opc: 0xF7, ..BASE },
+            EncForm { pats: &[R, Rm], layout: Layout::Rm, map: Of, opc: 0xAF, ..BASE },
+            EncForm { pats: &[R, Rm, Imm8], layout: Layout::Rm, opc: 0x6B, imm: Ib, ..BASE },
+            EncForm { pats: &[R, Rm, Imm], layout: Layout::Rm, opc: 0x69, imm: ByWidth, ..BASE },
+        ],
+        Cdq => &[EncForm { width: Fixed(D), opc: 0x99, rexw: RexW::W0, ..BASE }],
+        Cqo => &[EncForm { width: Fixed(Q), opc: 0x99, rexw: RexW::W1, ..BASE }],
+        Popcnt => {
+            &[EncForm { pats: &[R, Rm], layout: Layout::Rm, pp: PF3, map: Of, opc: 0xB8, ..BASE }]
+        }
+        Lzcnt => &[EncForm { pats: &[R, Rm], layout: Layout::Rm, pp: PF3, map: Of, opc: 0xBD, ..BASE }],
+        Tzcnt => &[EncForm { pats: &[R, Rm], layout: Layout::Rm, pp: PF3, map: Of, opc: 0xBC, ..BASE }],
+        Set => &[EncForm {
+            pats: &[Rm],
+            width: Fixed(B),
+            layout: Layout::M(0),
+            map: Of,
+            opc: 0x90,
+            cond_opc: true,
+            rexw: RexW::W0,
+            ..BASE
+        }],
+        Cmov => &[EncForm {
+            pats: &[R, Rm],
+            layout: Layout::Rm,
+            map: Of,
+            opc: 0x40,
+            cond_opc: true,
+            ..BASE
+        }],
+        Jcc => &[EncForm {
+            pats: &[Imm],
+            width: Fixed(D),
+            layout: Layout::Rel,
+            map: Of,
+            opc: 0x80,
+            cond_opc: true,
+            rexw: RexW::W0,
+            imm: Rel32,
+            ..BASE
+        }],
+        Nop => &[EncForm { width: Fixed(D), opc: 0x90, rexw: RexW::W0, ..BASE }],
+        // Scalar FP moves.
+        Movss => &[
+            EncForm {
+                pats: &[X, XmFix(4)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF3,
+                map: Of,
+                opc: 0x10,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                pats: &[MFix(4), X],
+                width: VecW,
+                layout: Layout::Mr,
+                pp: PF3,
+                map: Of,
+                opc: 0x11,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, XmFix(4)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF3,
+                map: Of,
+                opc: 0x10,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[MFix(4), X],
+                width: VecW,
+                layout: Layout::Mr,
+                pp: PF3,
+                map: Of,
+                opc: 0x11,
+                rexw: RexW::W0,
+                ..BASE
+            },
+        ],
+        Movsd => &[
+            EncForm {
+                pats: &[X, XmFix(8)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF2,
+                map: Of,
+                opc: 0x10,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                pats: &[MFix(8), X],
+                width: VecW,
+                layout: Layout::Mr,
+                pp: PF2,
+                map: Of,
+                opc: 0x11,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, XmFix(8)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF2,
+                map: Of,
+                opc: 0x10,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[MFix(8), X],
+                width: VecW,
+                layout: Layout::Mr,
+                pp: PF2,
+                map: Of,
+                opc: 0x11,
+                rexw: RexW::W0,
+                ..BASE
+            },
+        ],
+        Addss => scalar_fp!(PF3, 0x58, 4),
+        Addsd => scalar_fp!(PF2, 0x58, 8),
+        Subss => scalar_fp!(PF3, 0x5C, 4),
+        Subsd => scalar_fp!(PF2, 0x5C, 8),
+        Mulss => scalar_fp!(PF3, 0x59, 4),
+        Mulsd => scalar_fp!(PF2, 0x59, 8),
+        Divss => scalar_fp!(PF3, 0x5E, 4),
+        Divsd => scalar_fp!(PF2, 0x5E, 8),
+        Sqrtss => scalar_fp!(PF3, 0x51, 4),
+        Sqrtsd => scalar_fp!(PF2, 0x51, 8),
+        Ucomiss => &[EncForm {
+            pats: &[X, XmFix(4)],
+            width: VecW,
+            layout: Layout::Rm,
+            map: Of,
+            opc: 0x2E,
+            rexw: RexW::W0,
+            ..BASE
+        }],
+        Ucomisd => &[EncForm {
+            pats: &[X, XmFix(8)],
+            width: VecW,
+            layout: Layout::Rm,
+            pp: P66,
+            map: Of,
+            opc: 0x2E,
+            rexw: RexW::W0,
+            ..BASE
+        }],
+        Cvtsi2ss => &[
+            EncForm {
+                pats: &[X, RmFix(D)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF3,
+                map: Of,
+                opc: 0x2A,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                pats: &[X, RmFix(Q)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF3,
+                map: Of,
+                opc: 0x2A,
+                rexw: RexW::W1,
+                ..BASE
+            },
+        ],
+        Cvtsi2sd => &[
+            EncForm {
+                pats: &[X, RmFix(D)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF2,
+                map: Of,
+                opc: 0x2A,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                pats: &[X, RmFix(Q)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF2,
+                map: Of,
+                opc: 0x2A,
+                rexw: RexW::W1,
+                ..BASE
+            },
+        ],
+        Cvttss2si => &[
+            EncForm {
+                pats: &[RFix(D), XmFix(4)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF3,
+                map: Of,
+                opc: 0x2C,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                pats: &[RFix(Q), XmFix(4)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF3,
+                map: Of,
+                opc: 0x2C,
+                rexw: RexW::W1,
+                ..BASE
+            },
+        ],
+        Cvttsd2si => &[
+            EncForm {
+                pats: &[RFix(D), XmFix(8)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF2,
+                map: Of,
+                opc: 0x2C,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                pats: &[RFix(Q), XmFix(8)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: PF2,
+                map: Of,
+                opc: 0x2C,
+                rexw: RexW::W1,
+                ..BASE
+            },
+        ],
+        // Packed FP.
+        Movaps => vec_move!(PpNone, 0x28, 0x29),
+        Movups => vec_move!(PpNone, 0x10, 0x11),
+        Movdqa => vec_move!(P66, 0x6F, 0x7F),
+        Movdqu => vec_move!(PF3, 0x6F, 0x7F),
+        Addps => packed!(PpNone, Of, 0x58),
+        Addpd => packed!(P66, Of, 0x58),
+        Subps => packed!(PpNone, Of, 0x5C),
+        Subpd => packed!(P66, Of, 0x5C),
+        Mulps => packed!(PpNone, Of, 0x59),
+        Mulpd => packed!(P66, Of, 0x59),
+        Divps => packed!(PpNone, Of, 0x5E),
+        Divpd => packed!(P66, Of, 0x5E),
+        Sqrtps => &[
+            EncForm {
+                pats: &[X, Xm],
+                width: VecW,
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0x51,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, Xm],
+                width: VecW,
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0x51,
+                rexw: RexW::W0,
+                ..BASE
+            },
+        ],
+        Minps => packed!(PpNone, Of, 0x5D),
+        Maxps => packed!(PpNone, Of, 0x5F),
+        Xorps => packed!(PpNone, Of, 0x57),
+        Xorpd => packed!(P66, Of, 0x57),
+        Andps => packed!(PpNone, Of, 0x54),
+        Orps => packed!(PpNone, Of, 0x56),
+        Shufps => &[
+            EncForm {
+                pats: &[X, Xm, Imm8u],
+                width: VecW,
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0xC6,
+                rexw: RexW::W0,
+                imm: Ub,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, X, Xm, Imm8u],
+                width: VecW,
+                layout: Layout::Rvm,
+                map: Of,
+                opc: 0xC6,
+                rexw: RexW::W0,
+                imm: Ub,
+                ..BASE
+            },
+        ],
+        Unpcklps => packed!(PpNone, Of, 0x14),
+        Cvtdq2ps => &[
+            EncForm {
+                pats: &[X, Xm],
+                width: VecW,
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0x5B,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, Xm],
+                width: VecW,
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0x5B,
+                rexw: RexW::W0,
+                ..BASE
+            },
+        ],
+        Vfmadd231ps => &[EncForm {
+            mode: Vex,
+            pats: &[X, X, Xm],
+            width: VecW,
+            layout: Layout::Rvm,
+            pp: P66,
+            map: Of38,
+            opc: 0xB8,
+            rexw: RexW::W0,
+            ..BASE
+        }],
+        Vfmadd231pd => &[EncForm {
+            mode: Vex,
+            pats: &[X, X, Xm],
+            width: VecW,
+            layout: Layout::Rvm,
+            pp: P66,
+            map: Of38,
+            opc: 0xB8,
+            rexw: RexW::W1,
+            ..BASE
+        }],
+        Vbroadcastss => &[EncForm {
+            mode: Vex,
+            pats: &[X, XmFix(4)],
+            width: VecW,
+            layout: Layout::Rm,
+            pp: P66,
+            map: Of38,
+            opc: 0x18,
+            rexw: RexW::W0,
+            ..BASE
+        }],
+        // Packed integer.
+        Paddb => packed!(P66, Of, 0xFC),
+        Paddw => packed!(P66, Of, 0xFD),
+        Paddd => packed!(P66, Of, 0xFE),
+        Paddq => packed!(P66, Of, 0xD4),
+        Psubb => packed!(P66, Of, 0xF8),
+        Psubw => packed!(P66, Of, 0xF9),
+        Psubd => packed!(P66, Of, 0xFA),
+        Psubq => packed!(P66, Of, 0xFB),
+        Pmullw => packed!(P66, Of, 0xD5),
+        Pmulld => packed!(P66, Of38, 0x40),
+        Pmuludq => packed!(P66, Of, 0xF4),
+        Pmaddwd => packed!(P66, Of, 0xF5),
+        Pand => packed!(P66, Of, 0xDB),
+        Por => packed!(P66, Of, 0xEB),
+        Pxor => packed!(P66, Of, 0xEF),
+        Pandn => packed!(P66, Of, 0xDF),
+        Pslld => vec_shift!(0x72, 6),
+        Psrld => vec_shift!(0x72, 2),
+        Psrad => vec_shift!(0x72, 4),
+        Psllq => vec_shift!(0x73, 6),
+        Psrlq => vec_shift!(0x73, 2),
+        Pcmpeqb => packed!(P66, Of, 0x74),
+        Pcmpeqd => packed!(P66, Of, 0x76),
+        Pcmpgtd => packed!(P66, Of, 0x66),
+        Pshufd => &[
+            EncForm {
+                pats: &[X, Xm, Imm8u],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: P66,
+                map: Of,
+                opc: 0x70,
+                rexw: RexW::W0,
+                imm: Ub,
+                ..BASE
+            },
+            EncForm {
+                mode: Vex,
+                pats: &[X, Xm, Imm8u],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: P66,
+                map: Of,
+                opc: 0x70,
+                rexw: RexW::W0,
+                imm: Ub,
+                ..BASE
+            },
+        ],
+        Pshufb => packed!(P66, Of38, 0x00),
+        Punpckldq => packed!(P66, Of, 0x62),
+        Pmovmskb => &[EncForm {
+            pats: &[RFix(D), X],
+            width: VecW,
+            layout: Layout::Rm,
+            pp: P66,
+            map: Of,
+            opc: 0xD7,
+            rexw: RexW::W0,
+            ..BASE
+        }],
+        Movd => &[
+            EncForm {
+                pats: &[X, RmFix(D)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: P66,
+                map: Of,
+                opc: 0x6E,
+                rexw: RexW::W0,
+                ..BASE
+            },
+            EncForm {
+                pats: &[RmFix(D), X],
+                width: VecW,
+                layout: Layout::Mr,
+                pp: P66,
+                map: Of,
+                opc: 0x7E,
+                rexw: RexW::W0,
+                ..BASE
+            },
+        ],
+        Movq => &[
+            EncForm {
+                pats: &[X, RmFix(Q)],
+                width: VecW,
+                layout: Layout::Rm,
+                pp: P66,
+                map: Of,
+                opc: 0x6E,
+                rexw: RexW::W1,
+                ..BASE
+            },
+            EncForm {
+                pats: &[RmFix(Q), X],
+                width: VecW,
+                layout: Layout::Mr,
+                pp: P66,
+                map: Of,
+                opc: 0x7E,
+                rexw: RexW::W1,
+                ..BASE
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mnemonic_has_forms() {
+        for &m in Mnemonic::ALL {
+            assert!(!forms(m).is_empty(), "{m:?} has no encoding forms");
+        }
+    }
+
+    #[test]
+    fn vex_only_mnemonics_have_only_vex_forms() {
+        for &m in Mnemonic::ALL {
+            if m.is_vex_only() {
+                assert!(
+                    forms(m).iter().all(|f| f.mode == Mode::Vex),
+                    "{m:?} should be VEX-only"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn imm_lengths() {
+        assert_eq!(ImmEnc::None.len(4), 0);
+        assert_eq!(ImmEnc::Ib.len(8), 1);
+        assert_eq!(ImmEnc::ByWidth.len(1), 1);
+        assert_eq!(ImmEnc::ByWidth.len(2), 2);
+        assert_eq!(ImmEnc::ByWidth.len(4), 4);
+        assert_eq!(ImmEnc::ByWidth.len(8), 4);
+        assert_eq!(ImmEnc::Iq.len(8), 8);
+        assert_eq!(ImmEnc::Rel32.len(4), 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! Exhaustive and property-based round-trip tests:
+//! `Inst -> bytes -> Inst` and `Inst -> text -> Inst`.
+
+use bhive_asm::{
+    decode_inst, encode_inst, parse_inst, BasicBlock, Cond, Gpr, Inst, MemRef, Mnemonic, OpSize,
+    Operand, Scale, VecReg,
+};
+use proptest::prelude::*;
+
+/// Builds a battery of candidate operand lists for a mnemonic; the encoder
+/// itself decides which are valid (those that encode must round-trip).
+fn operand_templates() -> Vec<Vec<Operand>> {
+    let g = Operand::gpr;
+    let mem = |w: u8| Operand::Mem(MemRef::base_disp(Gpr::Rbx, 0x20, w));
+    let mem_sib =
+        |w: u8| Operand::Mem(MemRef::base_index(Gpr::Rsi, Gpr::Rcx, Scale::S4, -0x30, w));
+    let x = |n: u8| Operand::Vec(VecReg::xmm(n));
+    let y = |n: u8| Operand::Vec(VecReg::ymm(n));
+    let mut out: Vec<Vec<Operand>> = Vec::new();
+
+    for size in [OpSize::B, OpSize::W, OpSize::D, OpSize::Q] {
+        let w = size.bytes();
+        out.push(vec![]);
+        out.push(vec![g(Gpr::Rax, size)]);
+        out.push(vec![g(Gpr::R10, size)]);
+        out.push(vec![mem(w)]);
+        out.push(vec![g(Gpr::Rax, size), g(Gpr::Rdx, size)]);
+        out.push(vec![g(Gpr::R8, size), g(Gpr::R15, size)]);
+        out.push(vec![g(Gpr::Rax, size), mem(w)]);
+        out.push(vec![g(Gpr::Rcx, size), mem_sib(w)]);
+        out.push(vec![mem(w), g(Gpr::Rax, size)]);
+        out.push(vec![g(Gpr::Rax, size), Operand::Imm(1)]);
+        out.push(vec![g(Gpr::Rax, size), Operand::Imm(0x1234)]);
+        out.push(vec![mem(w), Operand::Imm(7)]);
+        out.push(vec![g(Gpr::Rdi, size), g(Gpr::Rcx, OpSize::B)]); // shift by cl
+        out.push(vec![g(Gpr::Rax, size), g(Gpr::Rbx, OpSize::B)]); // movzx r, r8
+        out.push(vec![g(Gpr::Rax, size), g(Gpr::Rbx, OpSize::W)]);
+        out.push(vec![g(Gpr::Rax, size), mem(1)]);
+        out.push(vec![g(Gpr::Rax, size), mem(2)]);
+        out.push(vec![g(Gpr::Rax, size), g(Gpr::Rbx, size), Operand::Imm(100)]);
+    }
+    out.push(vec![g(Gpr::Rax, OpSize::Q), Operand::Imm(0x1122_3344_5566_7788)]);
+    out.push(vec![Operand::Imm(-0x40)]); // jcc
+
+    // Vector shapes, xmm and ymm.
+    for (a, b, c) in [(x(0), x(1), x(2)), (y(3), y(4), y(5))] {
+        let vw = match a {
+            Operand::Vec(v) => v.width().bytes(),
+            _ => unreachable!(),
+        };
+        out.push(vec![a, b]);
+        out.push(vec![a, mem(vw)]);
+        out.push(vec![mem(vw), a]);
+        out.push(vec![a, b, c]);
+        out.push(vec![a, b, mem(vw)]);
+        out.push(vec![a, b, Operand::Imm(3)]); // vector shift / shufps imm
+        out.push(vec![a, Operand::Imm(5)]);
+        out.push(vec![a, mem(vw), Operand::Imm(0x1B)]);
+        out.push(vec![a, b, mem(vw), Operand::Imm(0x1B)]);
+    }
+    // Scalar FP memory widths + gpr/xmm crossovers.
+    out.push(vec![x(0), mem(4)]);
+    out.push(vec![x(0), mem(8)]);
+    out.push(vec![mem(4), x(0)]);
+    out.push(vec![mem(8), x(0)]);
+    out.push(vec![x(0), g(Gpr::Rax, OpSize::D)]);
+    out.push(vec![x(0), g(Gpr::Rax, OpSize::Q)]);
+    out.push(vec![g(Gpr::Rax, OpSize::D), x(0)]);
+    out.push(vec![g(Gpr::Rax, OpSize::Q), x(0)]);
+    out
+}
+
+fn try_round_trip(inst: &Inst) -> bool {
+    let mut bytes = Vec::new();
+    if encode_inst(inst, &mut bytes).is_err() {
+        return false;
+    }
+    let (decoded, len) =
+        decode_inst(&bytes).unwrap_or_else(|e| panic!("decode {inst} ({bytes:02x?}): {e}"));
+    assert_eq!(len, bytes.len(), "trailing bytes for {inst}");
+    assert_eq!(&decoded, inst, "byte round trip of {inst} ({bytes:02x?})");
+    let reparsed =
+        parse_inst(&inst.to_string()).unwrap_or_else(|e| panic!("reparse `{inst}`: {e}"));
+    assert_eq!(&reparsed, inst, "text round trip of {inst}");
+    true
+}
+
+#[test]
+fn exhaustive_template_round_trip() {
+    let templates = operand_templates();
+    let mut encodable = 0usize;
+    for &mnemonic in Mnemonic::ALL {
+        let conds: Vec<Option<Cond>> = if mnemonic.takes_cond() {
+            Cond::ALL.iter().map(|&c| Some(c)).collect()
+        } else {
+            vec![None]
+        };
+        for cond in conds {
+            for template in &templates {
+                for vex in [false, true] {
+                    // Skip invalid constructor combinations up front.
+                    let has_ymm = template.iter().any(|op| {
+                        matches!(op, Operand::Vec(v) if v.width().bytes() == 32)
+                    });
+                    if has_ymm && !vex {
+                        continue;
+                    }
+                    if mnemonic.is_vex_only() && !vex {
+                        continue;
+                    }
+                    let inst = Inst::new(mnemonic, cond, vex, template.clone());
+                    if try_round_trip(&inst) {
+                        encodable += 1;
+                    }
+                }
+            }
+        }
+    }
+    // Coverage sanity: the subset is rich enough that many hundreds of
+    // distinct (mnemonic, operand-shape) pairs must encode.
+    assert!(encodable > 700, "only {encodable} encodable combinations");
+}
+
+proptest! {
+    #[test]
+    fn memory_addressing_round_trips(
+        base_idx in proptest::option::of(0u8..16),
+        index_idx in proptest::option::of(0u8..16),
+        scale in prop_oneof![Just(Scale::S1), Just(Scale::S2), Just(Scale::S4), Just(Scale::S8)],
+        disp in proptest::num::i32::ANY,
+        reg_idx in 0u8..16,
+    ) {
+        // RSP cannot be an index register.
+        let index = index_idx.filter(|&i| i != 4).map(|i| (Gpr::from_number(i), scale));
+        let mem = MemRef {
+            base: base_idx.map(Gpr::from_number),
+            index,
+            disp,
+            width: 8,
+        };
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::from_number(reg_idx), OpSize::Q), mem.into()],
+        );
+        prop_assert!(try_round_trip(&inst));
+    }
+
+    #[test]
+    fn immediates_round_trip(value in proptest::num::i64::ANY, size_sel in 0u8..3) {
+        let size = [OpSize::W, OpSize::D, OpSize::Q][usize::from(size_sel)];
+        let fits = match size {
+            OpSize::W => i16::try_from(value).is_ok(),
+            OpSize::D => i32::try_from(value).is_ok(),
+            _ => true,
+        };
+        let inst = Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::Rax, size), Operand::Imm(value)],
+        );
+        if fits {
+            prop_assert!(try_round_trip(&inst));
+        }
+        // `add` has no 64-bit-immediate form: it must either encode (when the
+        // value fits a sign-extended imm32) or cleanly report NoEncoding.
+        let add = Inst::basic(
+            Mnemonic::Add,
+            vec![Operand::gpr(Gpr::Rax, size), Operand::Imm(value)],
+        );
+        if fits && (size != OpSize::Q || i32::try_from(value).is_ok()) {
+            prop_assert!(try_round_trip(&add));
+        } else {
+            let mut bytes = Vec::new();
+            prop_assert!(encode_inst(&add, &mut bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn block_hex_round_trips(n in 1usize..20, seed in proptest::num::u64::ANY) {
+        // Small deterministic pseudo-random block from a seed.
+        let mut state = seed | 1;
+        let mut step = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut insts = Vec::new();
+        for _ in 0..n {
+            let r1 = Gpr::from_number((step() % 16) as u8);
+            let r2 = Gpr::from_number((step() % 16) as u8);
+            let inst = match step() % 5 {
+                0 => Inst::basic(Mnemonic::Add, vec![
+                    Operand::gpr(r1, OpSize::Q), Operand::gpr(r2, OpSize::Q)]),
+                1 => Inst::basic(Mnemonic::Mov, vec![
+                    Operand::gpr(r1, OpSize::D),
+                    MemRef::base_disp(r2, (step() % 256) as i32, 4).into()]),
+                2 => Inst::basic(Mnemonic::Xor, vec![
+                    Operand::gpr(r1, OpSize::D), Operand::gpr(r1, OpSize::D)]),
+                3 => Inst::basic(Mnemonic::Shl, vec![
+                    Operand::gpr(r1, OpSize::Q), Operand::Imm(i64::from(step() % 63))]),
+                _ => Inst::basic(Mnemonic::Paddd, vec![
+                    VecReg::xmm((step() % 16) as u8).into(),
+                    VecReg::xmm((step() % 16) as u8).into()]),
+            };
+            insts.push(inst);
+        }
+        let block = BasicBlock::new(insts);
+        let hex = block.to_hex().unwrap();
+        prop_assert_eq!(BasicBlock::from_hex(&hex).unwrap(), block);
+    }
+}

@@ -1,0 +1,63 @@
+//! Regeneration benches for the paper's figures (3–10, scheduling,
+//! google-blocks) at reduced corpus scale.
+
+use bhive_corpus::Scale;
+use bhive_eval::{experiments, Pipeline};
+use bhive_uarch::UarchKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn fresh() -> Pipeline {
+    Pipeline::new(Scale::PerApp(12), 0xBE5C, 1)
+}
+
+fn bench_composition_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures-composition");
+    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    group.bench_function("fig3-exemplars", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig3(&fresh())));
+    });
+    group.bench_function("fig4-apps-vs-clusters", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig4(&fresh())));
+    });
+    group.bench_function("fig-google-composition", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig_google(&fresh())));
+    });
+    group.finish();
+}
+
+fn bench_error_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures-error");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group.bench_function("fig-app-err-hsw", |b| {
+        b.iter(|| {
+            std::hint::black_box(experiments::fig_app_err(&fresh(), UarchKind::Haswell))
+        });
+    });
+    group.bench_function("fig-cluster-err-hsw", |b| {
+        b.iter(|| {
+            std::hint::black_box(experiments::fig_cluster_err(&fresh(), UarchKind::Haswell))
+        });
+    });
+    group.finish();
+}
+
+fn bench_schedule_figure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures-schedule");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("fig-schedule-updcrc", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig_schedule(&fresh())));
+    });
+    group.bench_function("case-study", |b| {
+        b.iter(|| std::hint::black_box(experiments::case_study(&fresh())));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_composition_figures,
+    bench_error_figures,
+    bench_schedule_figure
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Measurement-framework throughput: how fast can blocks be profiled,
+//! per configuration (the Table 1/2 ablation as a performance question),
+//! plus the raw simulator and monitor costs.
+
+use bhive_bench::{bench_corpus, named_blocks};
+use bhive_harness::{profile_corpus, PageMapping, ProfileConfig, Profiler, UnrollStrategy};
+use bhive_sim::Machine;
+use bhive_uarch::Uarch;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn profile_named_blocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile-block");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+    for (name, block) in named_blocks() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &block, |b, block| {
+            b.iter(|| {
+                let _ = std::hint::black_box(profiler.profile(block));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation bench: the cost of each measurement configuration over the
+/// same corpus slice (page mapping dominates; the two-factor strategy
+/// pays for a second unroll but wins it back on large blocks).
+fn profile_configurations(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let blocks: Vec<_> = corpus.basic_blocks().into_iter().take(60).collect();
+    let mut group = c.benchmark_group("profile-config");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    for (name, config) in [
+        ("agner", ProfileConfig::agner().quiet()),
+        ("page-mapping", ProfileConfig::with_page_mapping_only().quiet()),
+        ("bhive-full", ProfileConfig::bhive().quiet()),
+        (
+            "bhive-per-page",
+            ProfileConfig::bhive().quiet().with_page_mapping(PageMapping::PerPage),
+        ),
+        (
+            "bhive-naive-32",
+            ProfileConfig::bhive()
+                .quiet()
+                .with_unroll(UnrollStrategy::Naive { factor: 32 }),
+        ),
+    ] {
+        let profiler = Profiler::new(Uarch::haswell(), config);
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(profile_corpus(&profiler, &blocks, 1).successes()));
+        });
+    }
+    group.finish();
+}
+
+fn simulator_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let block = bhive_corpus::special::updcrc();
+    group.bench_function("execute-unrolled-100", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(Uarch::haswell(), 0);
+            machine.reset(0x1234_5600);
+            let page = machine.memory_mut().alloc_page(0x1234_5600);
+            for vaddr in [0x1234_5000u64, 0x4_1000, 0x4_2000] {
+                machine.memory_mut().map(vaddr, page);
+            }
+            std::hint::black_box(machine.run(block.insts(), 100))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, profile_named_blocks, profile_configurations, simulator_core);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regeneration benches for the paper's tables: each bench runs the
+//! corresponding experiment driver end-to-end at a reduced corpus scale.
+//! (`bhive tableN` prints the same rows at any scale; these benches keep
+//! their cost tracked so regressions in the pipeline show up here.)
+
+use bhive_corpus::Scale;
+use bhive_eval::{experiments, Pipeline};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// One pipeline per invocation: caches must not carry across iterations,
+/// or the bench measures a hash-map lookup.
+fn fresh() -> Pipeline {
+    Pipeline::new(Scale::PerApp(12), 0xBE5C, 1)
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group.bench_function("table1-ablation", |b| {
+        b.iter(|| std::hint::black_box(experiments::table1(&fresh())));
+    });
+    group.bench_function("table2-cnn-ablation", |b| {
+        b.iter(|| std::hint::black_box(experiments::table2(&fresh())));
+    });
+    group.bench_function("table3-census", |b| {
+        b.iter(|| std::hint::black_box(experiments::table3(&fresh())));
+    });
+    group.finish();
+
+    // Model-evaluation tables are heavier: measured corpus × 3 uarches
+    // plus Ithemal training.
+    let mut group = c.benchmark_group("tables-eval");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group.bench_function("table5-overall-error", |b| {
+        b.iter(|| std::hint::black_box(experiments::table5(&fresh())));
+    });
+    group.bench_function("table6-google", |b| {
+        b.iter(|| std::hint::black_box(experiments::table6(&fresh())));
+    });
+    group.finish();
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables-classify");
+    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    group.bench_function("table4-lda-categories", |b| {
+        b.iter(|| std::hint::black_box(experiments::table4(&fresh())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared fixtures for the BHive-rs benchmark harness.
+//!
+//! Every table and figure of the paper has a Criterion bench that
+//! regenerates it at reduced scale (see `benches/tables.rs` and
+//! `benches/figures.rs`); `benches/profiler.rs` and `benches/models.rs`
+//! measure the framework itself (the paper claims the profiler
+//! "outperforms IACA in both speed and accuracy" — the speed half of that
+//! claim is checked there).
+
+use bhive_asm::BasicBlock;
+use bhive_corpus::{Corpus, Scale};
+
+/// Blocks-per-application used by the bench-scale corpora.
+pub const BENCH_PER_APP: usize = 25;
+
+/// Seed shared by every bench so Criterion baselines stay comparable.
+pub const BENCH_SEED: u64 = 0xBE5C;
+
+/// A small deterministic corpus for throughput benches.
+pub fn bench_corpus() -> Corpus {
+    Corpus::generate(Scale::PerApp(BENCH_PER_APP), BENCH_SEED)
+}
+
+/// The paper's fixed blocks, name → block.
+pub fn named_blocks() -> Vec<(&'static str, BasicBlock)> {
+    use bhive_corpus::special;
+    vec![
+        ("updcrc", special::updcrc()),
+        ("division", special::case_study_division()),
+        ("zero-idiom", special::case_study_zero_idiom()),
+        ("cnn", special::tensorflow_cnn_block()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_usable() {
+        assert!(!bench_corpus().is_empty());
+        for (name, block) in named_blocks() {
+            assert!(!block.is_empty(), "{name}");
+        }
+    }
+}

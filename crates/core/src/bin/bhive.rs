@@ -1,0 +1,252 @@
+//! The `bhive` command-line tool: one subcommand per paper experiment,
+//! plus block-level profiling/prediction utilities.
+
+use bhive::corpus::{Corpus, Scale};
+use bhive::eval::{experiments, Pipeline, Report};
+use bhive::harness::{ProfileConfig, Profiler};
+use bhive::uarch::UarchKind;
+use std::io::Read;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+bhive — BHive-rs experiment driver
+
+USAGE:
+    bhive <command> [options]
+
+EXPERIMENTS (one per paper table/figure):
+    table1            Ablation: % of suite profiled per technique
+    table2            CNN-block measurement-optimization ablation
+    table3            Suite census per application
+    table4            LDA block categories
+    table5            Overall model error per microarchitecture
+    table6            Spanner/Dremel accuracy (avg/weighted/tau)
+    fig1              Print the motivating updcrc block
+    fig3              Example block per category
+    fig4              Per-application category breakdown
+    fig-app-err       Per-application model error (--uarch ivb|hsw|skl)
+    fig-cluster-err   Per-category model error (--uarch ivb|hsw|skl)
+    fig-schedule      IACA vs llvm-mca schedules for updcrc
+    fig-google        Spanner/Dremel category composition
+    case-study        The three interesting blocks
+    filter-census     Subnormal / misalignment filter counts
+    all               Run every experiment in paper order
+
+UTILITIES:
+    profile           Profile a block (asm text on stdin) on --uarch
+    predict           Run all models on a block (asm text on stdin)
+    corpus            Dump the generated corpus as CSV to stdout
+    classify          Classify a block (asm text on stdin) into its category
+    measure           Dump the measured dataset CSV (app,hex,weight,tp)
+    exegesis          Measure per-opcode latency/rTP tables on --uarch
+
+OPTIONS:
+    --scale N         Blocks per application (default 150)
+    --fraction F      Fraction of paper-scale counts instead of --scale
+    --paper-scale     Full paper-scale corpus (358k+ blocks; slow)
+    --seed S          Corpus/noise seed (default 42)
+    --threads T       Worker threads (default: all cores)
+    --uarch U         ivb | hsw | skl (default hsw)
+    --json            Emit reports as JSON
+";
+
+struct Options {
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    uarch: UarchKind,
+    json: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        scale: Scale::PerApp(150),
+        seed: 42,
+        threads: 0,
+        uarch: UarchKind::Haswell,
+        json: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--scale" => {
+                opts.scale = Scale::PerApp(
+                    value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+                );
+            }
+            "--fraction" => {
+                opts.scale = Scale::Fraction(
+                    value("--fraction")?.parse().map_err(|e| format!("--fraction: {e}"))?,
+                );
+            }
+            "--paper-scale" => opts.scale = Scale::Paper,
+            "--seed" => {
+                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads =
+                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--uarch" => {
+                let text = value("--uarch")?;
+                opts.uarch = UarchKind::parse(&text)
+                    .ok_or_else(|| format!("unknown uarch `{text}`"))?;
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn emit(report: &Report, json: bool) {
+    if json {
+        println!("{}", report.to_json().expect("report serializes"));
+    } else {
+        println!("{report}");
+    }
+}
+
+fn read_stdin_block() -> Result<bhive::asm::BasicBlock, String> {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .map_err(|e| format!("reading stdin: {e}"))?;
+    bhive::asm::parse_block(&text).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    let opts = parse_options(&args[1..])?;
+    let pipeline = Pipeline::new(opts.scale, opts.seed, opts.threads);
+
+    match command.as_str() {
+        "help" | "--help" | "-h" => print!("{USAGE}"),
+        "table1" => emit(&experiments::table1(&pipeline), opts.json),
+        "table2" => emit(&experiments::table2(&pipeline), opts.json),
+        "table3" => emit(&experiments::table3(&pipeline), opts.json),
+        "table4" => emit(&experiments::table4(&pipeline), opts.json),
+        "table5" => emit(&experiments::table5(&pipeline), opts.json),
+        "table6" => emit(&experiments::table6(&pipeline), opts.json),
+        "fig3" => emit(&experiments::fig3(&pipeline), opts.json),
+        "fig4" => emit(&experiments::fig4(&pipeline), opts.json),
+        "fig-app-err" => emit(&experiments::fig_app_err(&pipeline, opts.uarch), opts.json),
+        "fig-cluster-err" => {
+            emit(&experiments::fig_cluster_err(&pipeline, opts.uarch), opts.json)
+        }
+        "fig-schedule" => emit(&experiments::fig_schedule(&pipeline), opts.json),
+        "fig-google" => emit(&experiments::fig_google(&pipeline), opts.json),
+        "case-study" => emit(&experiments::case_study(&pipeline), opts.json),
+        "filter-census" => emit(&experiments::filter_census(&pipeline), opts.json),
+        "all" => {
+            for report in experiments::all(&pipeline) {
+                emit(&report, opts.json);
+                println!();
+            }
+        }
+        "fig1" => {
+            let block = bhive::corpus::special::updcrc();
+            println!("# Gzip updcrc inner-loop body (paper Fig. 1)");
+            println!("# AT&T (as printed in the paper):");
+            println!("{}", block.to_att_string());
+            println!("# Intel:");
+            println!("{block}");
+        }
+        "exegesis" => {
+            println!(
+                "# per-opcode latency / reciprocal throughput on {} (llvm-exegesis style)",
+                opts.uarch.name()
+            );
+            println!("{:<14} {:>9} {:>9}", "opcode", "latency", "rTP");
+            for p in bhive::harness::exegesis::profile_isa(opts.uarch.desc()) {
+                println!(
+                    "{:<14} {:>9.2} {:>9.2}",
+                    p.mnemonic.name(),
+                    p.latency,
+                    p.reciprocal_throughput
+                );
+            }
+        }
+        "profile" => {
+            let block = read_stdin_block()?;
+            let profiler =
+                Profiler::new(opts.uarch.desc(), ProfileConfig::bhive());
+            match profiler.profile(&block) {
+                Ok(m) => {
+                    println!(
+                        "throughput: {:.2} cycles/iteration ({} on {})",
+                        m.throughput,
+                        if m.hi.counters.is_clean() { "clean" } else { "polluted" },
+                        opts.uarch.name()
+                    );
+                    println!(
+                        "unroll factors {}x/{}x, {} pages mapped, {} faults serviced",
+                        m.lo.unroll, m.hi.unroll, m.mapped_pages, m.faults_serviced
+                    );
+                }
+                Err(failure) => println!("failed to profile: {failure}"),
+            }
+        }
+        "predict" => {
+            let block = read_stdin_block()?;
+            println!("{:<10} {:>12}", "model", "prediction");
+            for model in pipeline.models(opts.uarch) {
+                let text = model
+                    .predict(&block)
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into());
+                println!("{:<10} {:>12}", model.name(), text);
+            }
+        }
+        "measure" => {
+            let data = pipeline.measured(
+                bhive::eval::CorpusKind::Main,
+                opts.uarch,
+            );
+            let stdout = std::io::stdout();
+            data.write_csv(stdout.lock()).or_else(ignore_epipe)?;
+        }
+        "classify" => {
+            let block = read_stdin_block()?;
+            let classifier = pipeline.classifier();
+            let category = classifier.classify(&block);
+            println!("{}: {}", category, category.description());
+        }
+        "corpus" => {
+            let corpus = Corpus::generate(opts.scale, opts.seed);
+            let stdout = std::io::stdout();
+            corpus.write_csv(stdout.lock()).or_else(ignore_epipe)?;
+        }
+        other => {
+            return Err(format!("unknown command `{other}`; run `bhive help`"));
+        }
+    }
+    Ok(())
+}
+
+/// Piping into `head` closes stdout early; exiting loudly on EPIPE is
+/// un-Unix-like.
+fn ignore_epipe(err: std::io::Error) -> Result<(), String> {
+    if err.kind() == std::io::ErrorKind::BrokenPipe {
+        Ok(())
+    } else {
+        Err(format!("writing output: {err}"))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

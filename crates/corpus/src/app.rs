@@ -1,0 +1,170 @@
+//! Source applications of the benchmark suite.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The applications basic blocks are drawn from (paper Table 3, plus
+/// OpenSSL — used in the classification study — and the two Google
+/// production services of the case study).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Application {
+    /// OpenBLAS — hand-optimized dense linear algebra.
+    OpenBlas,
+    /// Redis — in-memory database.
+    Redis,
+    /// SQLite — embedded relational database.
+    Sqlite,
+    /// GZip — DEFLATE compression.
+    Gzip,
+    /// TensorFlow — machine-learning kernels.
+    TensorFlow,
+    /// Clang/LLVM — compiler.
+    Llvm,
+    /// Eigen — expression-template linear algebra (sparse workloads).
+    Eigen,
+    /// Embree — ray tracing (ispc-vectorized).
+    Embree,
+    /// FFmpeg — multimedia codecs (hand-written SIMD).
+    Ffmpeg,
+    /// OpenSSL — cryptography (bit manipulation; classification study).
+    OpenSsl,
+    /// Spanner — globally distributed database (production case study).
+    Spanner,
+    /// Dremel — interactive ad-hoc query system (production case study).
+    Dremel,
+}
+
+impl Application {
+    /// Every application.
+    pub const ALL: [Application; 12] = [
+        Application::OpenBlas,
+        Application::Redis,
+        Application::Sqlite,
+        Application::Gzip,
+        Application::TensorFlow,
+        Application::Llvm,
+        Application::Eigen,
+        Application::Embree,
+        Application::Ffmpeg,
+        Application::OpenSsl,
+        Application::Spanner,
+        Application::Dremel,
+    ];
+
+    /// The nine open-source applications of the paper's Table 3, in the
+    /// table's row order.
+    pub const TABLE3: [Application; 9] = [
+        Application::OpenBlas,
+        Application::Redis,
+        Application::Sqlite,
+        Application::Gzip,
+        Application::TensorFlow,
+        Application::Llvm,
+        Application::Eigen,
+        Application::Embree,
+        Application::Ffmpeg,
+    ];
+
+    /// Display name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Application::OpenBlas => "OpenBlas",
+            Application::Redis => "Redis",
+            Application::Sqlite => "SQLite",
+            Application::Gzip => "GZip",
+            Application::TensorFlow => "TensorFlow",
+            Application::Llvm => "Clang/LLVM",
+            Application::Eigen => "Eigen",
+            Application::Embree => "Embree",
+            Application::Ffmpeg => "FFmpeg",
+            Application::OpenSsl => "OpenSSL",
+            Application::Spanner => "Spanner",
+            Application::Dremel => "Dremel",
+        }
+    }
+
+    /// Application domain (paper Table 3 column 2).
+    pub fn domain(self) -> &'static str {
+        match self {
+            Application::OpenBlas | Application::Eigen => "Scientific Computing",
+            Application::Redis | Application::Sqlite => "Database",
+            Application::Gzip => "Compression",
+            Application::TensorFlow => "Machine Learning",
+            Application::Llvm => "Compiler",
+            Application::Embree => "Ray Tracing",
+            Application::Ffmpeg => "Multimedia",
+            Application::OpenSsl => "Cryptography",
+            Application::Spanner => "Distributed Database",
+            Application::Dremel => "Interactive Analytics",
+        }
+    }
+
+    /// Number of basic blocks the paper extracted (Table 3), where
+    /// applicable.
+    pub fn paper_block_count(self) -> Option<u64> {
+        match self {
+            Application::OpenBlas => Some(19_032),
+            Application::Redis => Some(9_343),
+            Application::Sqlite => Some(8_871),
+            Application::Gzip => Some(2_272),
+            Application::TensorFlow => Some(71_988),
+            Application::Llvm => Some(212_758),
+            Application::Eigen => Some(4_545),
+            Application::Embree => Some(12_602),
+            Application::Ffmpeg => Some(17_150),
+            // OpenSSL appears in the classification study only.
+            Application::OpenSsl => None,
+            // The Google case study profiles the 100 000 most frequently
+            // executed blocks of each service.
+            Application::Spanner | Application::Dremel => Some(100_000),
+        }
+    }
+
+    /// True for the proprietary Google services of the case study.
+    pub fn is_google(self) -> bool {
+        matches!(self, Application::Spanner | Application::Dremel)
+    }
+
+    /// Parses an application by (case-insensitive) display name.
+    pub fn parse(text: &str) -> Option<Application> {
+        let lower = text.to_ascii_lowercase();
+        Application::ALL.into_iter().find(|app| {
+            app.name().to_ascii_lowercase() == lower
+                || app.name().to_ascii_lowercase().replace('/', "-") == lower
+        })
+    }
+}
+
+impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_total_matches_paper() {
+        let total: u64 = Application::TABLE3
+            .iter()
+            .map(|app| app.paper_block_count().expect("table-3 app"))
+            .sum();
+        assert_eq!(total, 358_561);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Application::parse("redis"), Some(Application::Redis));
+        assert_eq!(Application::parse("Clang/LLVM"), Some(Application::Llvm));
+        assert_eq!(Application::parse("clang-llvm"), Some(Application::Llvm));
+        assert_eq!(Application::parse("doom"), None);
+    }
+
+    #[test]
+    fn google_flags() {
+        assert!(Application::Spanner.is_google());
+        assert!(!Application::Llvm.is_google());
+    }
+}

@@ -1,0 +1,155 @@
+//! Bit-manipulation blocks (GZip, OpenSSL): rotates, shifts, XOR ladders,
+//! table lookups — the `updcrc` style the paper uses as its motivating
+//! example.
+
+use super::BlockGen;
+use rand::Rng;
+use crate::app::Application;
+use bhive_asm::{BasicBlock, Gpr, Inst, MemRef, Mnemonic, OpSize, Operand, Scale};
+
+pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool) -> BasicBlock {
+    // 10% of gzip blocks are the table-lookup CRC pattern itself.
+    if app == Application::Gzip && !register_only && g.chance(0.10) {
+        return crc_style_block(g);
+    }
+    let len = g.rng.gen_range(4..=14);
+    let mut insts = Vec::with_capacity(len);
+    // shifts / rotates / xor-and-or / bswap / table-load / byte-extract /
+    // add / popcnt-tzcnt.
+    let weights: [u32; 8] = match app {
+        Application::OpenSsl => [20, 16, 26, 4, 10, 8, 8, 8],
+        _ => [22, 12, 26, 3, 12, 10, 10, 5],
+    };
+    while insts.len() < len {
+        let pattern = if register_only {
+            [0, 1, 2, 3, 5, 6, 7][g.pick(&[22, 12, 28, 4, 12, 12, 10])]
+        } else {
+            g.pick(&weights)
+        };
+        emit(g, pattern, &mut insts);
+    }
+    BasicBlock::new(insts)
+}
+
+fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
+    let size = if g.chance(0.5) { OpSize::Q } else { OpSize::D };
+    match pattern {
+        // Shift by immediate.
+        0 => {
+            let m = [Mnemonic::Shl, Mnemonic::Shr, Mnemonic::Sar][g.rng.gen_range(0..3)];
+            insts.push(Inst::basic(
+                m,
+                vec![
+                    Operand::gpr(g.data(), size),
+                    Operand::Imm(i64::from(g.rng.gen_range(1..31))),
+                ],
+            ));
+        }
+        // Rotate.
+        1 => {
+            let m = if g.chance(0.5) { Mnemonic::Rol } else { Mnemonic::Ror };
+            insts.push(Inst::basic(
+                m,
+                vec![
+                    Operand::gpr(g.data(), size),
+                    Operand::Imm(i64::from(g.rng.gen_range(1..31))),
+                ],
+            ));
+        }
+        // XOR/AND/OR ladder.
+        2 => {
+            let m = [Mnemonic::Xor, Mnemonic::And, Mnemonic::Or][g.rng.gen_range(0..3)];
+            let src = if g.chance(0.6) {
+                Operand::gpr(g.data(), size)
+            } else {
+                Operand::Imm(i64::from(g.rng.gen::<u16>()))
+            };
+            insts.push(Inst::basic(m, vec![Operand::gpr(g.data(), size), src]));
+        }
+        // Byte swap.
+        3 => {
+            insts.push(Inst::basic(Mnemonic::Bswap, vec![Operand::gpr(g.data(), size)]));
+        }
+        // Table lookup: scaled-index load from an absolute table.
+        4 => {
+            let index = g.data();
+            // Indices are ints: truncate to 32 bits first, as compiled
+            // code does, so a prior shl/bswap on the same data register
+            // cannot wrap the address out of user space (the same
+            // discipline as `BlockGen::mem_indexed_into`).
+            insts.push(Inst::basic(
+                Mnemonic::Mov,
+                vec![
+                    Operand::gpr(index, OpSize::D),
+                    Operand::gpr(index, OpSize::D),
+                ],
+            ));
+            let table = 0x4_0000 + i32::from(g.rng.gen::<u8>()) * 0x100;
+            insts.push(Inst::basic(
+                Mnemonic::Mov,
+                vec![
+                    Operand::gpr(g.data(), OpSize::D),
+                    MemRef::index_disp(index, Scale::S4, table, 4).into(),
+                ],
+            ));
+        }
+        // Byte extraction (movzx from a low byte).
+        5 => {
+            insts.push(Inst::basic(
+                Mnemonic::Movzx,
+                vec![
+                    Operand::gpr(g.data(), OpSize::D),
+                    Operand::gpr(g.data(), OpSize::B),
+                ],
+            ));
+        }
+        // Pointer bookkeeping.
+        6 => {
+            insts.push(Inst::basic(
+                Mnemonic::Add,
+                vec![g.data64(), Operand::Imm(i64::from(g.rng.gen_range(1..16)))],
+            ));
+        }
+        // Bit counting.
+        _ => {
+            let m = [Mnemonic::Popcnt, Mnemonic::Tzcnt, Mnemonic::Lzcnt][g.rng.gen_range(0..3)];
+            insts.push(Inst::basic(m, vec![g.data64(), g.data64()]));
+        }
+    }
+}
+
+/// The `updcrc` shape (paper Fig. 1): byte load, xor, masked table load.
+fn crc_style_block(g: &mut BlockGen<'_>) -> BasicBlock {
+    let ptr = g.ptr();
+    let table = 0x4_0000 + i32::from(g.rng.gen::<u8>()) * 0x800;
+    BasicBlock::new(vec![
+        Inst::basic(Mnemonic::Add, vec![Operand::gpr(ptr, OpSize::Q), Operand::Imm(1)]),
+        Inst::basic(
+            Mnemonic::Mov,
+            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rdx, OpSize::D)],
+        ),
+        Inst::basic(Mnemonic::Shr, vec![Operand::gpr(Gpr::Rdx, OpSize::Q), Operand::Imm(8)]),
+        Inst::basic(
+            Mnemonic::Xor,
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::B),
+                MemRef::base_disp(ptr, -1, 1).into(),
+            ],
+        ),
+        Inst::basic(
+            Mnemonic::Movzx,
+            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rax, OpSize::B)],
+        ),
+        Inst::basic(
+            Mnemonic::Xor,
+            vec![
+                Operand::gpr(Gpr::Rdx, OpSize::Q),
+                MemRef::index_disp(Gpr::Rax, Scale::S8, table, 8).into(),
+            ],
+        ),
+        Inst::basic(
+            Mnemonic::Cmp,
+            vec![Operand::gpr(ptr, OpSize::Q), Operand::gpr(Gpr::Rcx, OpSize::Q)],
+        ),
+    ])
+}

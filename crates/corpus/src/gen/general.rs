@@ -1,0 +1,203 @@
+//! General-purpose application blocks (Clang/LLVM, Redis, SQLite):
+//! scalar, memory-heavy, mostly unvectorized.
+
+use super::BlockGen;
+use rand::Rng;
+use crate::app::Application;
+use bhive_asm::{BasicBlock, Cond, Gpr, Inst, Mnemonic, OpSize, Operand};
+
+/// Scalar ALU mnemonics used by general-purpose code.
+const ALU: [Mnemonic; 5] =
+    [Mnemonic::Add, Mnemonic::Sub, Mnemonic::And, Mnemonic::Or, Mnemonic::Xor];
+
+const CONDS: [Cond; 6] = [Cond::E, Cond::Ne, Cond::B, Cond::Ae, Cond::L, Cond::G];
+
+pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool) -> BasicBlock {
+    // Databases chase pointers through slightly longer blocks.
+    let (min_len, max_len) = match app {
+        Application::Llvm => (3, 10),
+        _ => (4, 12),
+    };
+    let len = g.rng.gen_range(min_len..=max_len);
+    let mut insts = Vec::with_capacity(len + 1);
+
+    // Pattern weights per app: loads / stores / rmw / alu-rr / alu-imm /
+    // lea / movzx-movsx / shift / setcc-cmov / imul / copy-run.
+    let weights: [u32; 11] = match app {
+        Application::Llvm => [20, 9, 3, 22, 14, 8, 6, 6, 6, 3, 6],
+        Application::Redis => [25, 11, 4, 18, 10, 7, 8, 5, 6, 2, 8],
+        Application::Sqlite => [23, 12, 4, 18, 11, 6, 8, 5, 7, 2, 8],
+        _ => [22, 10, 3, 20, 12, 7, 7, 6, 7, 3, 7],
+    };
+
+    while insts.len() < len {
+        let pattern = if register_only {
+            // Restrict to the register-only patterns.
+            [3, 4, 6, 7, 8, 9][g.pick(&[26, 20, 14, 14, 18, 8])]
+        } else {
+            g.pick(&weights)
+        };
+        emit(g, pattern, &mut insts);
+    }
+
+    // A quarter of general blocks end in the classic compare+branch pair
+    // (macro-fusion candidates).
+    if g.chance(0.25) {
+        let cmp = if g.chance(0.5) {
+            Inst::basic(Mnemonic::Cmp, vec![g.data64(), g.data64()])
+        } else {
+            let r = g.data64();
+            Inst::basic(Mnemonic::Test, vec![r, r])
+        };
+        insts.push(cmp);
+        let cond = CONDS[g.rng.gen_range(0..CONDS.len())];
+        insts.push(Inst::with_cond(Mnemonic::Jcc, cond, vec![Operand::Imm(-0x40)]));
+    }
+
+    BasicBlock::new(insts)
+}
+
+fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
+    let size = if g.chance(0.6) { OpSize::Q } else { OpSize::D };
+    match pattern {
+        // Load — often a burst (several struct fields / reloads in a
+        // row), which is what makes load-dominated blocks a real cluster.
+        0 => {
+            let burst = if g.chance(0.3) { g.rng.gen_range(2..=4) } else { 1 };
+            for _ in 0..burst {
+                let width = size.bytes();
+                let mem = if g.chance(0.3) { g.mem_indexed_into(insts, width) } else { g.mem(width) };
+                insts.push(Inst::basic(
+                    Mnemonic::Mov,
+                    vec![Operand::gpr(g.data(), size), mem.into()],
+                ));
+            }
+        }
+        // Store — sometimes a spill burst.
+        1 => {
+            let burst = if g.chance(0.25) { g.rng.gen_range(2..=3) } else { 1 };
+            for _ in 0..burst {
+                let width = size.bytes();
+                let src = if g.chance(0.8) {
+                    Operand::gpr(g.data(), size)
+                } else {
+                    Operand::Imm(i64::from(g.rng.gen_range(-128..=127i32)))
+                };
+                insts.push(Inst::basic(Mnemonic::Mov, vec![g.mem(width).into(), src]));
+            }
+        }
+        // Read-modify-write.
+        2 => {
+            let op = ALU[g.rng.gen_range(0..ALU.len())];
+            insts.push(Inst::basic(
+                op,
+                vec![g.mem(size.bytes()).into(), Operand::Imm(i64::from(g.rng.gen_range(1..64)))],
+            ));
+        }
+        // ALU register-register (sometimes with a memory source).
+        3 => {
+            let op = ALU[g.rng.gen_range(0..ALU.len())];
+            let dst = Operand::gpr(g.data(), size);
+            let src = Operand::gpr(g.data(), size);
+            insts.push(Inst::basic(op, vec![dst, src]));
+        }
+        // ALU with immediate.
+        4 => {
+            let op = ALU[g.rng.gen_range(0..ALU.len())];
+            let imm = if g.chance(0.8) {
+                i64::from(g.rng.gen_range(1..128))
+            } else {
+                i64::from(g.rng.gen_range(0x100..0x10000))
+            };
+            insts.push(Inst::basic(op, vec![Operand::gpr(g.data(), size), Operand::Imm(imm)]));
+        }
+        // Address computation.
+        5 => {
+            let mem = g.mem_indexed_into(insts, 8);
+            insts.push(Inst::basic(
+                Mnemonic::Lea,
+                vec![Operand::gpr(g.data(), OpSize::Q), mem.into()],
+            ));
+        }
+        // Zero/sign extension.
+        6 => {
+            let m = if g.chance(0.5) { Mnemonic::Movzx } else { Mnemonic::Movsx };
+            let src = Operand::gpr(g.data(), if g.chance(0.7) { OpSize::B } else { OpSize::W });
+            insts.push(Inst::basic(m, vec![Operand::gpr(g.data(), OpSize::D), src]));
+        }
+        // Shift by immediate.
+        7 => {
+            let m = [Mnemonic::Shl, Mnemonic::Shr, Mnemonic::Sar][g.rng.gen_range(0..3)];
+            insts.push(Inst::basic(
+                m,
+                vec![
+                    Operand::gpr(g.data(), size),
+                    Operand::Imm(i64::from(g.rng.gen_range(1..size.bits() as i32 - 1))),
+                ],
+            ));
+        }
+        // Flag consumers: compare + setcc or cmov.
+        8 => {
+            insts.push(Inst::basic(Mnemonic::Cmp, vec![g.data64(), g.data64()]));
+            let cond = CONDS[g.rng.gen_range(0..CONDS.len())];
+            if g.chance(0.5) {
+                insts.push(Inst::with_cond(
+                    Mnemonic::Set,
+                    cond,
+                    vec![Operand::gpr(g.data(), OpSize::B)],
+                ));
+            } else {
+                insts.push(Inst::with_cond(Mnemonic::Cmov, cond, vec![g.data64(), g.data64()]));
+            }
+        }
+        // memcpy/memmove-style copy run: alternating loads and stores —
+        // the paper's Category-3 ("mix of loads and stores") signature.
+        10 => {
+            let runs = g.rng.gen_range(2..=4);
+            let src = g.ptr();
+            let dst = g.ptr();
+            for r in 0..runs {
+                let off = r * 8;
+                let tmp = g.data();
+                insts.push(Inst::basic(
+                    Mnemonic::Mov,
+                    vec![
+                        Operand::gpr(tmp, OpSize::Q),
+                        bhive_asm::MemRef::base_disp(src, off, 8).into(),
+                    ],
+                ));
+                insts.push(Inst::basic(
+                    Mnemonic::Mov,
+                    vec![
+                        bhive_asm::MemRef::base_disp(dst, off, 8).into(),
+                        Operand::gpr(tmp, OpSize::Q),
+                    ],
+                ));
+            }
+        }
+        // Multiply — and occasionally a real division sequence
+        // (idiomatic `xor edx, edx; div r32` with a non-zero divisor).
+        _ => {
+            if g.chance(0.15) {
+                let divisor = i64::from(g.rng.gen_range(3..1000));
+                insts.push(Inst::basic(
+                    Mnemonic::Mov,
+                    vec![Operand::gpr(Gpr::Rcx, OpSize::D), Operand::Imm(divisor)],
+                ));
+                insts.push(Inst::basic(
+                    Mnemonic::Xor,
+                    vec![
+                        Operand::gpr(Gpr::Rdx, OpSize::D),
+                        Operand::gpr(Gpr::Rdx, OpSize::D),
+                    ],
+                ));
+                insts.push(Inst::basic(
+                    Mnemonic::Div,
+                    vec![Operand::gpr(Gpr::Rcx, OpSize::D)],
+                ));
+            } else {
+                insts.push(Inst::basic(Mnemonic::Imul, vec![g.data64(), g.data64()]));
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Production-server blocks (Spanner, Dremel).
+//!
+//! The paper's Fig. "google-blocks" shows both services spending 40–50 %
+//! of their (frequency-weighted) time in load-dominated blocks
+//! (category 6), with noticeably more partially-vectorized code
+//! (category 1) than the open-source general-purpose applications.
+
+use super::BlockGen;
+use rand::Rng;
+use crate::app::Application;
+use bhive_asm::{BasicBlock, Cond, Inst, Mnemonic, OpSize, Operand};
+
+pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool) -> BasicBlock {
+    // A slice of both services' hot code is partially vectorized column
+    // scanning (checksums, predicate evaluation over packed values) —
+    // the paper notes "significantly more (partially) vectorized basic
+    // blocks (category-1)" than the open-source general-purpose apps.
+    if !register_only && g.chance(0.13) {
+        return vectorized_scan_block(g);
+    }
+    // Dremel is the more load-dominated of the two (≈50 % vs ≈40 %).
+    let load_weight = match app {
+        Application::Dremel => 46,
+        _ => 38,
+    };
+    let len = g.rng.gen_range(3..=12);
+    let mut insts = Vec::with_capacity(len + 1);
+    // loads / stores / alu / lea / extend / partially-vectorized burst /
+    // compare+cmov.
+    let weights: [u32; 7] = [load_weight, 10, 16, 6, 6, 14, 10];
+    while insts.len() < len {
+        let pattern = if register_only {
+            [2, 4, 5, 6][g.pick(&[40, 16, 24, 20])]
+        } else {
+            g.pick(&weights)
+        };
+        match pattern {
+            // Load (row/column fetches; often dependent chains, often
+            // in bursts of consecutive field reads).
+            0 => {
+                let burst = if g.chance(0.35) { g.rng.gen_range(2..=4) } else { 1 };
+                for _ in 0..burst {
+                    let width = if g.chance(0.7) { 8 } else { 4 };
+                    let mem = if g.chance(0.35) {
+                        g.mem_indexed_into(&mut insts, width)
+                    } else {
+                        g.mem(width)
+                    };
+                    let size = if width == 8 { OpSize::Q } else { OpSize::D };
+                    insts.push(Inst::basic(
+                        Mnemonic::Mov,
+                        vec![Operand::gpr(g.data(), size), mem.into()],
+                    ));
+                }
+            }
+            // Store.
+            1 => {
+                insts.push(Inst::basic(
+                    Mnemonic::Mov,
+                    vec![g.mem(8).into(), g.data64()],
+                ));
+            }
+            // Scalar ALU.
+            2 => {
+                let m = [Mnemonic::Add, Mnemonic::Sub, Mnemonic::And, Mnemonic::Xor]
+                    [g.rng.gen_range(0..4)];
+                let src = if g.chance(0.6) {
+                    g.data64()
+                } else {
+                    Operand::Imm(i64::from(g.rng.gen_range(1..256)))
+                };
+                insts.push(Inst::basic(m, vec![g.data64(), src]));
+            }
+            // Address computation.
+            3 => {
+                let mem = g.mem_indexed_into(&mut insts, 8);
+                insts.push(Inst::basic(
+                    Mnemonic::Lea,
+                    vec![Operand::gpr(g.data(), OpSize::Q), mem.into()],
+                ));
+            }
+            // Width extension.
+            4 => {
+                insts.push(Inst::basic(
+                    Mnemonic::Movzx,
+                    vec![
+                        Operand::gpr(g.data(), OpSize::D),
+                        Operand::gpr(g.data(), OpSize::B),
+                    ],
+                ));
+            }
+            // Partially vectorized burst (checksums, comparisons over
+            // column data): a vector load + one or two packed ops mixed
+            // into otherwise scalar code — the category-1 signature.
+            5 => {
+                if !register_only {
+                    insts.push(Inst::basic(
+                        Mnemonic::Movdqu,
+                        vec![g.xmm().into(), g.mem(16).into()],
+                    ));
+                }
+                let m = [Mnemonic::Pcmpeqb, Mnemonic::Paddd, Mnemonic::Pxor]
+                    [g.rng.gen_range(0..3)];
+                insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
+                if g.chance(0.5) {
+                    insts.push(Inst::basic(
+                        Mnemonic::Pmovmskb,
+                        vec![Operand::gpr(g.data(), OpSize::D), g.xmm().into()],
+                    ));
+                }
+            }
+            // Predicate evaluation.
+            _ => {
+                insts.push(Inst::basic(Mnemonic::Cmp, vec![g.data64(), g.data64()]));
+                let cond = [Cond::E, Cond::Ne, Cond::B, Cond::A][g.rng.gen_range(0..4)];
+                insts.push(Inst::with_cond(Mnemonic::Cmov, cond, vec![g.data64(), g.data64()]));
+            }
+        }
+    }
+    if g.chance(0.3) {
+        let r = g.data64();
+        insts.push(Inst::basic(Mnemonic::Test, vec![r, r]));
+        insts.push(Inst::with_cond(Mnemonic::Jcc, Cond::Ne, vec![Operand::Imm(-0x30)]));
+    }
+    BasicBlock::new(insts)
+}
+
+/// A partially vectorized column-scan kernel: packed loads and compares
+/// interleaved with scalar bookkeeping (the Category-1 signature).
+fn vectorized_scan_block(g: &mut BlockGen<'_>) -> BasicBlock {
+    let len = g.rng.gen_range(6..=12);
+    let mut insts = Vec::with_capacity(len);
+    while insts.len() < len {
+        match g.pick(&[26, 24, 14, 12, 12, 12]) {
+            0 => insts.push(Inst::basic(
+                Mnemonic::Movdqu,
+                vec![g.xmm().into(), g.mem(16).into()],
+            )),
+            1 => {
+                let m = [Mnemonic::Pcmpeqb, Mnemonic::Paddd, Mnemonic::Pand]
+                    [g.rng.gen_range(0..3)];
+                insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
+            }
+            2 => insts.push(Inst::basic(
+                Mnemonic::Pmovmskb,
+                vec![Operand::gpr(g.data(), OpSize::D), g.xmm().into()],
+            )),
+            3 => insts.push(Inst::basic(
+                Mnemonic::Mov,
+                vec![Operand::gpr(g.data(), OpSize::Q), g.mem(8).into()],
+            )),
+            4 => insts.push(Inst::basic(
+                Mnemonic::Add,
+                vec![g.data64(), Operand::Imm(16)],
+            )),
+            _ => insts.push(Inst::basic(
+                Mnemonic::Popcnt,
+                vec![g.data64(), g.data64()],
+            )),
+        }
+    }
+    BasicBlock::new(insts)
+}

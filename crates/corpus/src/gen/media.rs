@@ -1,0 +1,149 @@
+//! Media/rendering blocks (Embree, FFmpeg): ispc-style packed float with
+//! masks and shuffles; hand-written packed-integer SIMD.
+
+use super::BlockGen;
+use rand::Rng;
+use crate::app::Application;
+use bhive_asm::{BasicBlock, Inst, Mnemonic, OpSize, Operand};
+
+pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool) -> BasicBlock {
+    match app {
+        Application::Embree => embree_block(g, register_only),
+        _ => ffmpeg_block(g, register_only),
+    }
+}
+
+/// Embree: packed float with compare/mask/blend idioms.
+fn embree_block(g: &mut BlockGen<'_>, register_only: bool) -> BasicBlock {
+    let len = g.rng.gen_range(5..=18);
+    let mut insts = Vec::with_capacity(len);
+    while insts.len() < len {
+        let pattern = if register_only {
+            [1, 2, 3, 4][g.pick(&[34, 26, 22, 18])]
+        } else {
+            g.pick(&[20, 24, 18, 14, 12, 12])
+        };
+        match pattern {
+            // Ray-data load.
+            0 => {
+                insts.push(Inst::basic(
+                    Mnemonic::Movups,
+                    vec![g.xmm().into(), g.mem(16).into()],
+                ));
+            }
+            // Arithmetic.
+            1 => {
+                let m = [Mnemonic::Mulps, Mnemonic::Addps, Mnemonic::Subps]
+                    [g.rng.gen_range(0..3)];
+                insts.push(Inst::vex(
+                    m,
+                    vec![g.xmm().into(), g.xmm().into(), g.xmm().into()],
+                ));
+            }
+            // Min/max (slab tests).
+            2 => {
+                let m = if g.chance(0.5) { Mnemonic::Minps } else { Mnemonic::Maxps };
+                insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
+            }
+            // Mask logic.
+            3 => {
+                let m = [Mnemonic::Andps, Mnemonic::Orps, Mnemonic::Xorps]
+                    [g.rng.gen_range(0..3)];
+                insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
+            }
+            // Lane shuffle.
+            4 => {
+                insts.push(Inst::basic(
+                    Mnemonic::Shufps,
+                    vec![
+                        g.xmm().into(),
+                        g.xmm().into(),
+                        Operand::Imm(i64::from(g.rng.gen::<u8>())),
+                    ],
+                ));
+            }
+            // Mask extraction + scalar test.
+            _ => {
+                insts.push(Inst::basic(
+                    Mnemonic::Pmovmskb,
+                    vec![Operand::gpr(g.data(), OpSize::D), g.xmm().into()],
+                ));
+                let r = g.data32();
+                insts.push(Inst::basic(Mnemonic::Test, vec![r, r]));
+            }
+        }
+    }
+    BasicBlock::new(insts)
+}
+
+/// FFmpeg: packed integer DSP (sums of products, saturating-ish ladders,
+/// pack/unpack shuffles).
+fn ffmpeg_block(g: &mut BlockGen<'_>, register_only: bool) -> BasicBlock {
+    let len = g.rng.gen_range(5..=22);
+    let mut insts = Vec::with_capacity(len);
+    while insts.len() < len {
+        let pattern = if register_only {
+            [1, 2, 3, 4, 5][g.pick(&[28, 22, 18, 18, 14])]
+        } else {
+            g.pick(&[22, 20, 14, 12, 10, 10, 12])
+        };
+        match pattern {
+            // Pixel load.
+            0 => {
+                let m = if g.chance(0.6) { Mnemonic::Movdqu } else { Mnemonic::Movdqa };
+                insts.push(Inst::basic(m, vec![g.xmm().into(), g.mem(16).into()]));
+            }
+            // Packed add/sub.
+            1 => {
+                let m = [Mnemonic::Paddw, Mnemonic::Paddd, Mnemonic::Psubw, Mnemonic::Paddb]
+                    [g.rng.gen_range(0..4)];
+                insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
+            }
+            // Multiply-accumulate.
+            2 => {
+                let m = if g.chance(0.6) { Mnemonic::Pmaddwd } else { Mnemonic::Pmullw };
+                insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
+            }
+            // Arithmetic shift (fixed-point normalize).
+            3 => {
+                let m = [Mnemonic::Psrad, Mnemonic::Psrld, Mnemonic::Pslld]
+                    [g.rng.gen_range(0..3)];
+                insts.push(Inst::basic(
+                    m,
+                    vec![g.xmm().into(), Operand::Imm(i64::from(g.rng.gen_range(1..15)))],
+                ));
+            }
+            // Unpack/shuffle.
+            4 => {
+                if g.chance(0.5) {
+                    insts.push(Inst::basic(
+                        Mnemonic::Punpckldq,
+                        vec![g.xmm().into(), g.xmm().into()],
+                    ));
+                } else {
+                    insts.push(Inst::basic(
+                        Mnemonic::Pshufd,
+                        vec![
+                            g.xmm().into(),
+                            g.xmm().into(),
+                            Operand::Imm(i64::from(g.rng.gen::<u8>())),
+                        ],
+                    ));
+                }
+            }
+            // Mask logic.
+            5 => {
+                let m = [Mnemonic::Pand, Mnemonic::Por, Mnemonic::Pxor][g.rng.gen_range(0..3)];
+                insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
+            }
+            // Store.
+            _ => {
+                insts.push(Inst::basic(
+                    Mnemonic::Movdqu,
+                    vec![g.mem(16).into(), g.xmm().into()],
+                ));
+            }
+        }
+    }
+    BasicBlock::new(insts)
+}

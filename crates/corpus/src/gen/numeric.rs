@@ -1,0 +1,230 @@
+//! Numerical-kernel blocks (OpenBLAS, TensorFlow, Eigen): vectorized FMA
+//! kernels, including the large unrolled inner-loop bodies that defeat
+//! naive unroll-100 profiling by overflowing the L1I cache.
+
+use super::BlockGen;
+use rand::Rng;
+use crate::app::Application;
+use bhive_asm::{BasicBlock, Inst, MemRef, Mnemonic, OpSize, Operand, VecReg};
+
+pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool) -> BasicBlock {
+    if register_only {
+        return register_kernel(g);
+    }
+    // The defining feature of the numerical corpora: a sizeable share of
+    // blocks are *already unrolled* hot inner loops, hundreds of
+    // instructions long.
+    let large_rate = match app {
+        Application::OpenBlas => 0.12,
+        Application::TensorFlow => 0.10,
+        Application::Eigen => 0.04,
+        _ => 0.08,
+    };
+    if g.chance(large_rate) {
+        return unrolled_kernel(g, app);
+    }
+    match app {
+        Application::Eigen if g.chance(0.5) => sparse_block(g),
+        _ => small_kernel(g, app),
+    }
+}
+
+/// Register-only arithmetic (accumulator updates between loads).
+fn register_kernel(g: &mut BlockGen<'_>) -> BasicBlock {
+    let len = g.rng.gen_range(3..=8);
+    let mut insts = Vec::with_capacity(len);
+    for _ in 0..len {
+        let (a, b, c) = (g.xmm(), g.xmm(), g.xmm());
+        let m = [Mnemonic::Addps, Mnemonic::Mulps, Mnemonic::Subps, Mnemonic::Maxps]
+            [g.rng.gen_range(0..4)];
+        if g.chance(0.5) {
+            insts.push(Inst::vex(m, vec![a.into(), b.into(), c.into()]));
+        } else {
+            insts.push(Inst::basic(m, vec![a.into(), b.into()]));
+        }
+    }
+    BasicBlock::new(insts)
+}
+
+/// A short vector kernel: loads, FMA/mul/add, store, bookkeeping.
+fn small_kernel(g: &mut BlockGen<'_>, app: Application) -> BasicBlock {
+    let avx2 = matches!(app, Application::TensorFlow | Application::OpenBlas) && g.chance(0.55);
+    let len = g.rng.gen_range(5..=20);
+    let mut insts = Vec::with_capacity(len + 2);
+    let base = g.ptr();
+    let width: u8 = if avx2 { 32 } else { 16 };
+    let reg = |g: &mut BlockGen<'_>| -> VecReg {
+        if avx2 {
+            g.ymm()
+        } else {
+            g.xmm()
+        }
+    };
+    while insts.len() < len {
+        match g.pick(&[24, 30, 14, 10, 8, 8, 6]) {
+            // Vector load.
+            0 => {
+                let off = g.disp(width, 512);
+                let mov = if g.chance(0.6) { Mnemonic::Movups } else { Mnemonic::Movaps };
+                insts.push(Inst::basic(
+                    mov,
+                    vec![reg(g).into(), MemRef::base_disp(base, off, width).into()],
+                ));
+            }
+            // FMA (AVX2 machines) or mul.
+            1 => {
+                if avx2 {
+                    insts.push(Inst::vex(
+                        Mnemonic::Vfmadd231ps,
+                        vec![reg(g).into(), reg(g).into(), reg(g).into()],
+                    ));
+                } else if g.chance(0.5) {
+                    insts.push(Inst::basic(Mnemonic::Mulps, vec![reg(g).into(), reg(g).into()]));
+                } else {
+                    insts.push(Inst::vex(
+                        Mnemonic::Mulps,
+                        vec![reg(g).into(), reg(g).into(), reg(g).into()],
+                    ));
+                }
+            }
+            // Add/sub.
+            2 => {
+                let m = if g.chance(0.7) { Mnemonic::Addps } else { Mnemonic::Subps };
+                if avx2 || g.chance(0.4) {
+                    insts.push(Inst::vex(m, vec![reg(g).into(), reg(g).into(), reg(g).into()]));
+                } else {
+                    insts.push(Inst::basic(m, vec![reg(g).into(), reg(g).into()]));
+                }
+            }
+            // Vector store.
+            3 => {
+                let off = g.disp(width, 512);
+                insts.push(Inst::basic(
+                    Mnemonic::Movups,
+                    vec![MemRef::base_disp(base, off, width).into(), reg(g).into()],
+                ));
+            }
+            // Broadcast (AVX).
+            4 => {
+                let off = g.disp(4, 256);
+                insts.push(Inst::vex(
+                    Mnemonic::Vbroadcastss,
+                    vec![reg(g).into(), MemRef::base_disp(base, off, 4).into()],
+                ));
+            }
+            // Shuffle.
+            5 => {
+                insts.push(Inst::basic(
+                    Mnemonic::Shufps,
+                    vec![
+                        g.xmm().into(),
+                        g.xmm().into(),
+                        Operand::Imm(i64::from(g.rng.gen::<u8>())),
+                    ],
+                ));
+            }
+            // Loop bookkeeping.
+            _ => {
+                insts.push(Inst::basic(
+                    Mnemonic::Add,
+                    vec![Operand::gpr(base, OpSize::Q), Operand::Imm(64)],
+                ));
+            }
+        }
+    }
+    BasicBlock::new(insts)
+}
+
+/// Eigen's sparse workloads: scalar double-precision with indexed gathers.
+fn sparse_block(g: &mut BlockGen<'_>) -> BasicBlock {
+    let len = g.rng.gen_range(6..=16);
+    let mut insts = Vec::with_capacity(len);
+    while insts.len() < len {
+        match g.pick(&[28, 22, 18, 14, 10, 8]) {
+            // Index load.
+            0 => {
+                insts.push(Inst::basic(
+                    Mnemonic::Mov,
+                    vec![Operand::gpr(g.data(), OpSize::D), g.mem(4).into()],
+                ));
+            }
+            // Gather-style value load through the index.
+            1 => {
+                let mem = g.mem_indexed_into(&mut insts, 8);
+                insts.push(Inst::basic(
+                    Mnemonic::Movsd,
+                    vec![g.xmm().into(), mem.into()],
+                ));
+            }
+            // Scalar FP multiply/add.
+            2 => {
+                let m = if g.chance(0.5) { Mnemonic::Mulsd } else { Mnemonic::Addsd };
+                insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
+            }
+            // Store result.
+            3 => {
+                insts.push(Inst::basic(
+                    Mnemonic::Movsd,
+                    vec![g.mem(8).into(), g.xmm().into()],
+                ));
+            }
+            // Pointer advance.
+            4 => {
+                let ptr = g.ptr();
+                insts.push(Inst::basic(
+                    Mnemonic::Add,
+                    vec![Operand::gpr(ptr, OpSize::Q), Operand::Imm(64)],
+                ));
+            }
+            // Loop counter.
+            _ => {
+                insts.push(Inst::basic(
+                    Mnemonic::Add,
+                    vec![g.data64(), Operand::Imm(1)],
+                ));
+            }
+        }
+    }
+    BasicBlock::new(insts)
+}
+
+/// A large, already-unrolled GEMM/convolution inner-loop body — the class
+/// of block whose naive unroll-100 profile overflows the L1I
+/// (paper §3, "Deriving throughput from measurement").
+fn unrolled_kernel(g: &mut BlockGen<'_>, app: Application) -> BasicBlock {
+    let avx2 = app != Application::Eigen;
+    let repeats = g.rng.gen_range(24..=64);
+    let mut insts = Vec::with_capacity(repeats * 4 + 4);
+    let a = g.ptr();
+    let b = g.ptr();
+    let width: u8 = if avx2 { 32 } else { 16 };
+    for r in 0..repeats {
+        let acc = VecReg::new((r % 12) as u8, if avx2 { bhive_asm::VecWidth::Ymm } else { bhive_asm::VecWidth::Xmm });
+        let tmp = VecReg::new(12 + (r % 4) as u8, acc.width());
+        let off = ((r * usize::from(width)) % 1024) as i32;
+        insts.push(Inst::basic(
+            Mnemonic::Movups,
+            vec![tmp.into(), MemRef::base_disp(a, off, width).into()],
+        ));
+        if avx2 {
+            insts.push(Inst::vex(
+                Mnemonic::Vfmadd231ps,
+                vec![acc.into(), tmp.into(), acc.into()],
+            ));
+        } else {
+            insts.push(Inst::basic(Mnemonic::Mulps, vec![tmp.into(), acc.into()]));
+            insts.push(Inst::basic(Mnemonic::Addps, vec![acc.into(), tmp.into()]));
+        }
+        if r % 8 == 7 {
+            insts.push(Inst::basic(
+                Mnemonic::Movups,
+                vec![MemRef::base_disp(b, off, width).into(), acc.into()],
+            ));
+        }
+    }
+    insts.push(Inst::basic(
+        Mnemonic::Add,
+        vec![Operand::gpr(a, OpSize::Q), Operand::Imm(1024)],
+    ));
+    BasicBlock::new(insts)
+}

@@ -1,0 +1,39 @@
+//! # bhive-corpus
+//!
+//! The BHive benchmark suite: deterministic generators that synthesize
+//! basic blocks in the style of each of the paper's source applications
+//! (Table 3), plus the fixed blocks the paper studies individually
+//! (the Gzip `updcrc` motivating example, the case-study blocks, the
+//! TensorFlow CNN inner loop of the Table 2 ablation).
+//!
+//! The paper extracted 358 561 blocks from nine open-source applications
+//! with DynamoRIO, classified them by hardware-resource usage, and
+//! additionally profiled the 100 000 hottest blocks of two Google
+//! services. We cannot ship those binaries' blocks, so each application is
+//! represented by a seeded generator reproducing its instruction-mix
+//! profile — general-purpose pointer-chasing for Clang/Redis/SQLite,
+//! bit manipulation for GZip/OpenSSL, wide FMA kernels for
+//! OpenBLAS/TensorFlow, packed-integer DSP for FFmpeg, ispc-style masked
+//! float for Embree, and load-dominated mixes for Spanner/Dremel
+//! (see DESIGN.md for the substitution argument).
+//!
+//! # Example
+//!
+//! ```
+//! use bhive_corpus::{Corpus, Scale, Application};
+//!
+//! let corpus = Corpus::generate(Scale::PerApp(10), 42);
+//! assert_eq!(corpus.for_app(Application::Redis).count(), 10);
+//! // Every block round-trips through the BHive hex wire format.
+//! let hex = corpus.blocks()[0].block.to_hex().unwrap();
+//! assert!(!hex.is_empty());
+//! ```
+
+mod app;
+mod gen;
+pub mod special;
+mod suite;
+
+pub use app::Application;
+pub use gen::generate_block;
+pub use suite::{Corpus, CorpusBlock, Scale};

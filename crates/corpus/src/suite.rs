@@ -1,0 +1,261 @@
+//! The assembled benchmark suite.
+
+use crate::app::Application;
+use crate::gen::generate_block;
+use bhive_asm::BasicBlock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// One corpus entry: a block, its source application, and its runtime
+/// execution frequency weight (used for the weighted-error metrics and
+/// the Google composition figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusBlock {
+    /// Stable identifier within the corpus.
+    pub id: u64,
+    /// Source application.
+    pub app: Application,
+    /// The block itself.
+    pub block: BasicBlock,
+    /// Execution-frequency weight (heavy-tailed, as in real profiles).
+    pub weight: f64,
+}
+
+/// How much of the paper-scale suite to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scale {
+    /// The paper's full block counts (Table 3: 358 561 blocks + extras).
+    Paper,
+    /// A fixed number of blocks per application (stratified sample).
+    PerApp(usize),
+    /// A fraction of each application's paper count.
+    Fraction(f64),
+}
+
+impl Scale {
+    /// A scale with per-application counts multiplied by `factor`
+    /// (capped at paper scale).
+    pub fn times(self, factor: f64) -> Scale {
+        match self {
+            Scale::Paper => Scale::Paper,
+            Scale::PerApp(n) => Scale::PerApp(((n as f64 * factor).round() as usize).max(1)),
+            Scale::Fraction(f) => Scale::Fraction((f * factor).min(1.0)),
+        }
+    }
+
+    fn count_for(self, app: Application) -> usize {
+        let paper = app.paper_block_count().unwrap_or(4_096) as usize;
+        match self {
+            Scale::Paper => paper,
+            Scale::PerApp(n) => n.min(paper),
+            Scale::Fraction(f) => ((paper as f64 * f).round() as usize).max(1),
+        }
+    }
+}
+
+/// The benchmark suite: blocks from every application.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Corpus {
+    blocks: Vec<CorpusBlock>,
+}
+
+impl Corpus {
+    /// Generates the suite deterministically from a seed.
+    ///
+    /// Open-source applications and the classification-only OpenSSL corpus
+    /// are included; the Google corpora are *not* (generate them with
+    /// [`Corpus::google`] — the paper treats them as a separate case
+    /// study).
+    pub fn generate(scale: Scale, seed: u64) -> Corpus {
+        let apps: Vec<Application> = Application::ALL
+            .into_iter()
+            .filter(|app| !app.is_google())
+            .collect();
+        Corpus::for_apps(&apps, scale, seed)
+    }
+
+    /// Generates the Spanner/Dremel production corpora.
+    pub fn google(scale: Scale, seed: u64) -> Corpus {
+        Corpus::for_apps(&[Application::Spanner, Application::Dremel], scale, seed)
+    }
+
+    /// Generates blocks for an explicit application list.
+    pub fn for_apps(apps: &[Application], scale: Scale, seed: u64) -> Corpus {
+        let mut blocks = Vec::new();
+        let mut id = 0u64;
+        for &app in apps {
+            let count = scale.count_for(app);
+            // Derive a per-app stream so corpora are stable when the app
+            // list changes.
+            let mut rng = SmallRng::seed_from_u64(seed ^ (app as u64).wrapping_mul(0x9E37_79B9));
+            for _ in 0..count {
+                let block = generate_block(app, &mut rng);
+                // Heavy-tailed execution frequency (Pareto-like).
+                let weight = rng.gen::<f64>().max(1e-9).powf(-0.7);
+                blocks.push(CorpusBlock { id, app, block, weight });
+                id += 1;
+            }
+        }
+        Corpus { blocks }
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[CorpusBlock] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the corpus holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Iterates the blocks of one application.
+    pub fn for_app(&self, app: Application) -> impl Iterator<Item = &CorpusBlock> {
+        self.blocks.iter().filter(move |b| b.app == app)
+    }
+
+    /// Block counts per application.
+    pub fn census(&self) -> BTreeMap<Application, usize> {
+        let mut out = BTreeMap::new();
+        for block in &self.blocks {
+            *out.entry(block.app).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// The plain basic blocks, in corpus order.
+    pub fn basic_blocks(&self) -> Vec<BasicBlock> {
+        self.blocks.iter().map(|b| b.block.clone()).collect()
+    }
+
+    /// Serializes the corpus in the published BHive CSV style:
+    /// `app,hex,weight` per line.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a block fails to encode or the writer fails.
+    pub fn write_csv<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        for block in &self.blocks {
+            let hex = block.block.to_hex().map_err(std::io::Error::other)?;
+            writeln!(writer, "{},{},{}", block.app.name(), hex, block.weight)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a corpus from the CSV format written by [`Corpus::write_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed lines, unknown applications or
+    /// undecodable hex.
+    pub fn read_csv<R: BufRead>(reader: R) -> std::io::Result<Corpus> {
+        let mut blocks = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ',');
+            let err = |msg: String| std::io::Error::other(format!("line {}: {msg}", lineno + 1));
+            let app_name = parts.next().ok_or_else(|| err("missing app".into()))?;
+            let hex = parts.next().ok_or_else(|| err("missing hex".into()))?;
+            let weight: f64 = parts
+                .next()
+                .ok_or_else(|| err("missing weight".into()))?
+                .parse()
+                .map_err(|e| err(format!("bad weight: {e}")))?;
+            let app = Application::parse(app_name)
+                .ok_or_else(|| err(format!("unknown app `{app_name}`")))?;
+            let block = BasicBlock::from_hex(hex).map_err(|e| err(e.to_string()))?;
+            blocks.push(CorpusBlock { id: lineno as u64, app, block, weight });
+        }
+        Ok(Corpus { blocks })
+    }
+}
+
+impl FromIterator<CorpusBlock> for Corpus {
+    fn from_iter<T: IntoIterator<Item = CorpusBlock>>(iter: T) -> Self {
+        Corpus { blocks: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_app_scale() {
+        let corpus = Corpus::generate(Scale::PerApp(50), 42);
+        let census = corpus.census();
+        assert_eq!(census[&Application::Llvm], 50);
+        assert_eq!(census[&Application::Gzip], 50);
+        assert!(census.contains_key(&Application::OpenSsl));
+        assert!(!census.contains_key(&Application::Spanner));
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        // Fraction(1.0) reproduces Table 3 counts exactly; use a small
+        // fraction here to stay fast, checking proportionality.
+        let corpus = Corpus::generate(Scale::Fraction(0.01), 1);
+        let census = corpus.census();
+        assert_eq!(census[&Application::Llvm], 2_128); // 1% of 212 758
+        assert_eq!(census[&Application::Gzip], 23); // 1% of 2 272
+    }
+
+    #[test]
+    fn deterministic_and_stable_across_app_subsets() {
+        let a = Corpus::generate(Scale::PerApp(20), 9);
+        let b = Corpus::generate(Scale::PerApp(20), 9);
+        assert_eq!(a.blocks(), b.blocks());
+        // Single-app generation matches the multi-app corpus content.
+        let single = Corpus::for_apps(&[Application::Redis], Scale::PerApp(20), 9);
+        let from_multi: Vec<_> = a.for_app(Application::Redis).collect();
+        for (x, y) in single.blocks().iter().zip(from_multi) {
+            assert_eq!(x.block, y.block);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let corpus = Corpus::generate(Scale::PerApp(8), 3);
+        let mut buf = Vec::new();
+        corpus.write_csv(&mut buf).unwrap();
+        let read = Corpus::read_csv(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(read.len(), corpus.len());
+        for (a, b) in corpus.blocks().iter().zip(read.blocks()) {
+            assert_eq!(a.app, b.app);
+            assert_eq!(a.block, b.block);
+            assert!((a.weight - b.weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weights_are_heavy_tailed() {
+        let corpus = Corpus::generate(Scale::PerApp(300), 5);
+        let mut weights: Vec<f64> = corpus.blocks().iter().map(|b| b.weight).collect();
+        weights.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let total: f64 = weights.iter().sum();
+        let top_decile: f64 = weights[..weights.len() / 10].iter().sum();
+        assert!(
+            top_decile / total > 0.3,
+            "top 10% of blocks should carry >30% of weight ({:.2})",
+            top_decile / total
+        );
+    }
+
+    #[test]
+    fn google_corpus_separate() {
+        let google = Corpus::google(Scale::PerApp(30), 2);
+        assert_eq!(google.len(), 60);
+        assert!(google.blocks().iter().all(|b| b.app.is_google()));
+    }
+}

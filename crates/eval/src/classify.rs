@@ -1,0 +1,386 @@
+//! Basic-block classification by hardware-resource usage (paper §4.2).
+//!
+//! Each block becomes a "document" whose words are the port combinations
+//! of its micro-ops (Haswell tables, per the paper); a 6-topic LDA with
+//! α = 1/6 and β = 1/|vocab| clusters the corpus; each block's category
+//! is the most common topic of its micro-ops. Topics are then matched to
+//! the paper's six manually-labeled categories by their port profiles.
+
+use bhive_asm::BasicBlock;
+use bhive_learn::lda::{self, LdaConfig, LdaFit};
+use bhive_uarch::{decompose, port_vocabulary, PortSet, Uarch, UarchKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's six block categories (Table 4), in the paper's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Category-1: mix of scalar and vectorized arithmetic.
+    MixedScalarVector,
+    /// Category-2: purely vector instructions.
+    PureVector,
+    /// Category-3: mix of loads and stores.
+    LoadStoreMix,
+    /// Category-4: mostly stores.
+    MostlyStores,
+    /// Category-5: ALU ops sprinkled with loads and stores.
+    AluWithMemory,
+    /// Category-6: mostly loads.
+    MostlyLoads,
+}
+
+impl Category {
+    /// All six categories, Table 4 order.
+    pub const ALL: [Category; 6] = [
+        Category::MixedScalarVector,
+        Category::PureVector,
+        Category::LoadStoreMix,
+        Category::MostlyStores,
+        Category::AluWithMemory,
+        Category::MostlyLoads,
+    ];
+
+    /// The paper's `Category-N` name.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Category::MixedScalarVector => "Category-1",
+            Category::PureVector => "Category-2",
+            Category::LoadStoreMix => "Category-3",
+            Category::MostlyStores => "Category-4",
+            Category::AluWithMemory => "Category-5",
+            Category::MostlyLoads => "Category-6",
+        }
+    }
+
+    /// The paper's description column.
+    pub fn description(self) -> &'static str {
+        match self {
+            Category::MixedScalarVector => "Mix of Scalar and Vectorized arithmetic",
+            Category::PureVector => "Purely Vector instructions",
+            Category::LoadStoreMix => "Mix of loads and stores",
+            Category::MostlyStores => "Mostly stores",
+            Category::AluWithMemory => "ALU ops sprinkled with loads and stores",
+            Category::MostlyLoads => "Mostly loads",
+        }
+    }
+
+    /// The paper's Table 4 block count for this category.
+    pub fn paper_count(self) -> u64 {
+        match self {
+            Category::MixedScalarVector => 7_710,
+            Category::PureVector => 1_267,
+            Category::LoadStoreMix => 58_540,
+            Category::MostlyStores => 55_879,
+            Category::AluWithMemory => 85_208,
+            Category::MostlyLoads => 121_412,
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// A fitted classifier: LDA topics matched to the six paper categories.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Classifier {
+    uarch: UarchKind,
+    vocab: Vec<PortSet>,
+    fit: LdaFit,
+    /// `topic_category[t]` = the Category assigned to LDA topic `t`.
+    topic_category: Vec<Category>,
+    /// Categories of the training documents, in input order.
+    train_categories: Vec<Category>,
+}
+
+/// The resource bucket a port combination belongs to (Haswell notation,
+/// the uarch the paper classifies on). Used both to anchor the Gibbs
+/// sampler and to label the fitted topics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bucket {
+    /// `p23` — loads.
+    Load,
+    /// `p237`, `p4` — stores.
+    Store,
+    /// `p0156`, `p06`, `p6` — scalar ALU (vector code never uses these).
+    ScalarAlu,
+    /// `p5`, `p01`, `p015` — vector-leaning units.
+    Vector,
+    /// `p0`, `p15` — packed-integer units.
+    VecInt,
+    /// `p1` and friends — shared between scalar and vector.
+    Shared,
+}
+
+fn bucket_of(combo: PortSet) -> Bucket {
+    match combo.mask() {
+        0b0000_1100 => Bucket::Load,
+        0b1000_1100 | 0b0001_0000 => Bucket::Store,
+        0b0110_0011 | 0b0100_0001 | 0b0100_0000 => Bucket::ScalarAlu,
+        0b0010_0000 | 0b0000_0011 | 0b0010_0011 => Bucket::Vector,
+        0b0000_0001 | 0b0010_0010 => Bucket::VecInt,
+        _ => Bucket::Shared,
+    }
+}
+
+/// Converts a block into its port-combination document.
+pub fn block_document(block: &BasicBlock, uarch: &Uarch, vocab: &[PortSet]) -> Vec<usize> {
+    let mut doc = Vec::new();
+    for inst in block.iter() {
+        let recipe = decompose(inst, uarch);
+        for uop in &recipe.uops {
+            if let Some(word) = vocab.iter().position(|&v| v == uop.ports) {
+                doc.push(word);
+            }
+        }
+    }
+    doc
+}
+
+impl Classifier {
+    /// Fits the classifier to a training corpus of blocks, using the
+    /// paper's LDA hyper-parameters on the given uarch's port vocabulary
+    /// (the paper uses Haswell).
+    pub fn fit(blocks: &[BasicBlock], uarch: UarchKind) -> Classifier {
+        let desc = uarch.desc();
+        let vocab = port_vocabulary(desc);
+        let docs: Vec<Vec<usize>> =
+            blocks.iter().map(|b| block_document(b, desc, &vocab)).collect();
+        // The paper fits 6 topics on its 13-combination Haswell
+        // vocabulary. Our tables produce 12 combinations and a slightly
+        // different corpus mix, under which 6 topics conflate pure-load
+        // blocks with load-feeding vector kernels; 8 topics resolve all
+        // six of the paper's categories, onto which the topics are then
+        // mapped (several topics may share a label). The sampler is
+        // anchor-initialized by resource bucket so the topic structure is
+        // stable across corpus revisions.
+        let anchors: Vec<usize> = vocab
+            .iter()
+            .map(|&combo| match bucket_of(combo) {
+                Bucket::Load => 0,
+                Bucket::Store => 1,
+                Bucket::ScalarAlu => 2,
+                Bucket::Vector => 3,
+                Bucket::VecInt => 4,
+                Bucket::Shared => 5,
+            })
+            .collect();
+        let config = LdaConfig {
+            topics: 8,
+            anchors: Some(anchors),
+            ..LdaConfig::paper(vocab.len())
+        };
+        let fit = lda::fit(&docs, vocab.len(), config);
+        let topic_category = assign_labels(&fit, &vocab);
+        let train_categories =
+            fit.categories().iter().map(|&t| topic_category[t]).collect();
+        Classifier { uarch, vocab, fit, topic_category, train_categories }
+    }
+
+    /// The category of training document `idx`.
+    pub fn train_category(&self, idx: usize) -> Category {
+        self.train_categories[idx]
+    }
+
+    /// Categories of all training documents.
+    pub fn train_categories(&self) -> &[Category] {
+        &self.train_categories
+    }
+
+    /// Classifies an unseen block.
+    ///
+    /// The block's tokens are folded into the topic model and each token
+    /// mapped to its topic's category; the majority category wins. A
+    /// block whose tokens split between the load and store categories is
+    /// the definition of Category-3 ("mix of loads and stores"), so a
+    /// substantial presence of both yields that category even when
+    /// neither holds a majority alone.
+    pub fn classify(&self, block: &BasicBlock) -> Category {
+        let doc = block_document(block, self.uarch.desc(), &self.vocab);
+        if doc.is_empty() {
+            return self.topic_category[self.fit.classify(&doc)];
+        }
+        let assignments = self.fit.fold_in(&doc);
+        let mut shares = std::collections::BTreeMap::new();
+        for &topic in &assignments {
+            *shares.entry(self.topic_category[topic]).or_insert(0usize) += 1;
+        }
+        let n = doc.len();
+        let share = |cat: Category| {
+            shares.get(&cat).copied().unwrap_or(0) as f64 / n as f64
+        };
+        if share(Category::MostlyLoads) >= 0.25 && share(Category::MostlyStores) >= 0.25 {
+            return Category::LoadStoreMix;
+        }
+        shares
+            .into_iter()
+            .max_by_key(|&(_, count)| count)
+            .map(|(cat, _)| cat)
+            .expect("non-empty document")
+    }
+
+    /// The uarch whose port tables the classifier uses.
+    pub fn uarch(&self) -> UarchKind {
+        self.uarch
+    }
+
+    /// The port-combination vocabulary.
+    pub fn vocab(&self) -> &[PortSet] {
+        &self.vocab
+    }
+
+    /// Per-topic `(category, top port combinations)` summary.
+    pub fn topic_summary(&self) -> Vec<(Category, Vec<PortSet>)> {
+        (0..self.fit.topics)
+            .map(|t| {
+                let words = self.fit.top_words(t, 3);
+                (self.topic_category[t], words.iter().map(|&w| self.vocab[w]).collect())
+            })
+            .collect()
+    }
+}
+
+/// Labels each LDA topic with one of the paper's six categories by its
+/// port profile — the automated analogue of the paper's manual topic
+/// inspection ("we have manually labelled the categories"). Several
+/// topics may share a label; Table 4 aggregates per label.
+fn assign_labels(fit: &LdaFit, vocab: &[PortSet]) -> Vec<Category> {
+    (0..fit.topics)
+        .map(|t| {
+            // Bucket the topic's probability mass by resource kind.
+            // p23 loads; p237/p4 stores; p0156/p06/p6 scalar ALU (vector
+            // code never uses them); p5/p01/p015 vector-leaning;
+            // p0/p1/p15 shared between scalar and vector units.
+            let mut load = 0.0;
+            let mut store = 0.0;
+            let mut vec_share = 0.0;
+            let mut alu = 0.0;
+            let mut vec_int = 0.0;
+            for (w, &combo) in vocab.iter().enumerate() {
+                let p = fit.topic_word[t][w];
+                match bucket_of(combo) {
+                    Bucket::Load => load += p,
+                    Bucket::Store => store += p,
+                    Bucket::ScalarAlu => alu += p,
+                    Bucket::Vector => vec_share += p,
+                    Bucket::VecInt => vec_int += p,
+                    Bucket::Shared => {}
+                }
+            }
+            if vec_share + vec_int >= 0.42 && alu < 0.12 && store < 0.15 && load < 0.30 {
+                Category::PureVector
+            } else if vec_share >= 0.15 {
+                Category::MixedScalarVector
+            } else if load >= 0.40 && store <= 0.12 {
+                Category::MostlyLoads
+            } else if store >= 0.60 {
+                Category::MostlyStores
+            } else if load >= 0.20 && store >= 0.17 {
+                Category::LoadStoreMix
+            } else if load >= 0.45 {
+                Category::MostlyLoads
+            } else {
+                Category::AluWithMemory
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhive_asm::parse_block;
+
+    fn synthetic_corpus() -> Vec<BasicBlock> {
+        let mut blocks = Vec::new();
+        for i in 0..40 {
+            let r = 8 + i % 4;
+            // Load-heavy.
+            blocks.push(
+                parse_block(&format!(
+                    "mov rax, qword ptr [rbx]\nmov rcx, qword ptr [rsi + 8]\nmov rdx, qword ptr [rdi]\nadd r{r}, 1"
+                ))
+                .unwrap(),
+            );
+            // Store-heavy.
+            blocks.push(
+                parse_block(&format!(
+                    "mov qword ptr [rbx], rax\nmov qword ptr [rsi + 8], rcx\nmov dword ptr [rdi], edx\nadd r{r}, 1"
+                ))
+                .unwrap(),
+            );
+            // Pure vector.
+            blocks.push(
+                parse_block("mulps xmm0, xmm1\naddps xmm2, xmm3\nmulps xmm4, xmm5\nsubps xmm6, xmm7")
+                    .unwrap(),
+            );
+            // ALU with some memory.
+            blocks.push(
+                parse_block(&format!(
+                    "add rax, rbx\nxor rcx, rdx\nimul r{r}, rax\nmov rsi, qword ptr [rdi]\nsub r12, 5"
+                ))
+                .unwrap(),
+            );
+        }
+        blocks
+    }
+
+    #[test]
+    fn separates_load_store_vector_blocks() {
+        let blocks = synthetic_corpus();
+        let classifier = Classifier::fit(&blocks, UarchKind::Haswell);
+        // The four block families should land in at least 3 distinct
+        // categories, with loads/stores separated.
+        let load_cat = classifier.train_category(0);
+        let store_cat = classifier.train_category(1);
+        let vec_cat = classifier.train_category(2);
+        assert_ne!(load_cat, store_cat, "loads vs stores");
+        assert_ne!(vec_cat, load_cat, "vector vs loads");
+        // Consistency across repeats of the same family.
+        let consistent = (0..blocks.len())
+            .filter(|&i| classifier.train_category(i) == classifier.train_category(i % 4))
+            .count();
+        // A 6-topic model over 4 families splits some families across
+        // sibling topics; demand coherence, not perfection.
+        assert!(
+            consistent >= blocks.len() * 7 / 10,
+            "{consistent}/{}",
+            blocks.len()
+        );
+    }
+
+    #[test]
+    fn classify_agrees_with_training() {
+        let blocks = synthetic_corpus();
+        let classifier = Classifier::fit(&blocks, UarchKind::Haswell);
+        let agree = blocks
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| classifier.classify(b) == classifier.train_category(*i))
+            .count();
+        assert!(agree >= blocks.len() * 6 / 10, "{agree}/{}", blocks.len());
+    }
+
+    #[test]
+    fn document_extraction() {
+        let uarch = UarchKind::Haswell.desc();
+        let vocab = port_vocabulary(uarch);
+        let block = parse_block("mov rax, qword ptr [rbx]\nadd rcx, rdx").unwrap();
+        let doc = block_document(&block, uarch, &vocab);
+        assert_eq!(doc.len(), 2, "one load uop + one alu uop");
+        // Zero idioms contribute no uops.
+        let block = parse_block("xor eax, eax").unwrap();
+        assert!(block_document(&block, uarch, &vocab).is_empty());
+    }
+
+    #[test]
+    fn categories_metadata() {
+        let total: u64 = Category::ALL.iter().map(|c| c.paper_count()).sum();
+        // Table 4 counts sum to 330 016 (the successfully classified
+        // subset of the suite).
+        assert_eq!(total, 330_016);
+        assert_eq!(Category::PureVector.paper_name(), "Category-2");
+    }
+}

@@ -1,0 +1,178 @@
+//! Measured datasets: ground-truth throughputs for corpus blocks.
+
+use bhive_asm::BasicBlock;
+use bhive_corpus::{Application, Corpus};
+use bhive_harness::{profile_corpus, ProfileConfig, Profiler};
+use bhive_uarch::UarchKind;
+use serde::{Deserialize, Serialize};
+
+/// One successfully profiled corpus block with its measured throughput.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredBlock {
+    /// Source application.
+    pub app: Application,
+    /// Execution-frequency weight.
+    pub weight: f64,
+    /// The block.
+    pub block: BasicBlock,
+    /// Measured steady-state cycles per iteration.
+    pub throughput: f64,
+}
+
+/// A measured dataset on one microarchitecture.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasuredCorpus {
+    /// Target microarchitecture.
+    pub uarch: UarchKind,
+    /// The measured blocks (profiling failures are dropped, as in the
+    /// paper — only successfully profiled blocks are used for
+    /// validation).
+    pub blocks: Vec<MeasuredBlock>,
+    /// Blocks attempted (for success-rate accounting).
+    pub attempted: usize,
+}
+
+impl MeasuredCorpus {
+    /// Profiles every block of `corpus` on `uarch` with the paper's full
+    /// configuration (or a caller-supplied one) and keeps the successes.
+    ///
+    /// AVX2 blocks are skipped on Ivy Bridge, exactly as the paper
+    /// excludes them from Ivy Bridge validation.
+    pub fn measure(
+        corpus: &Corpus,
+        uarch: UarchKind,
+        config: &ProfileConfig,
+        threads: usize,
+    ) -> MeasuredCorpus {
+        let profiler = Profiler::new(uarch.desc(), config.clone());
+        let blocks = corpus.basic_blocks();
+        let report = profile_corpus(&profiler, &blocks, threads);
+        let mut measured = Vec::new();
+        for (idx, result) in report.results.iter().enumerate() {
+            if let Ok(m) = result {
+                // Degenerate zero-throughput measurements are useless as
+                // ground truth.
+                if m.throughput > 1e-6 {
+                    let cb = &corpus.blocks()[idx];
+                    measured.push(MeasuredBlock {
+                        app: cb.app,
+                        weight: cb.weight,
+                        block: cb.block.clone(),
+                        throughput: m.throughput,
+                    });
+                }
+            }
+        }
+        MeasuredCorpus { uarch, blocks: measured, attempted: blocks.len() }
+    }
+
+    /// Fraction of attempted blocks that profiled successfully.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            return 0.0;
+        }
+        self.blocks.len() as f64 / self.attempted as f64
+    }
+
+    /// `(block, throughput)` pairs for model training.
+    pub fn training_pairs(&self) -> Vec<(BasicBlock, f64)> {
+        self.blocks.iter().map(|m| (m.block.clone(), m.throughput)).collect()
+    }
+
+    /// Writes the dataset in the published BHive artifact style:
+    /// `app,hex,weight,throughput` per line (the original release ships
+    /// `hex,throughput` CSVs per microarchitecture).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a block fails to encode or the writer fails.
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "# uarch: {}", self.uarch.short_name())?;
+        for m in &self.blocks {
+            let hex = m.block.to_hex().map_err(std::io::Error::other)?;
+            writeln!(writer, "{},{},{},{}", m.app.name(), hex, m.weight, m.throughput)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a dataset written by [`MeasuredCorpus::write_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed lines or undecodable hex.
+    pub fn read_csv<R: std::io::BufRead>(reader: R) -> std::io::Result<MeasuredCorpus> {
+        let mut uarch = UarchKind::Haswell;
+        let mut blocks = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let err =
+                |msg: String| std::io::Error::other(format!("line {}: {msg}", lineno + 1));
+            if let Some(rest) = line.strip_prefix("# uarch:") {
+                uarch = UarchKind::parse(rest.trim())
+                    .ok_or_else(|| err(format!("unknown uarch `{rest}`")))?;
+                continue;
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(4, ',').collect();
+            if parts.len() != 4 {
+                return Err(err("expected app,hex,weight,throughput".into()));
+            }
+            let app = Application::parse(parts[0])
+                .ok_or_else(|| err(format!("unknown app `{}`", parts[0])))?;
+            let block =
+                BasicBlock::from_hex(parts[1]).map_err(|e| err(e.to_string()))?;
+            let weight: f64 =
+                parts[2].parse().map_err(|e| err(format!("bad weight: {e}")))?;
+            let throughput: f64 =
+                parts[3].parse().map_err(|e| err(format!("bad throughput: {e}")))?;
+            blocks.push(MeasuredBlock { app, weight, block, throughput });
+        }
+        let attempted = blocks.len();
+        Ok(MeasuredCorpus { uarch, blocks, attempted })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhive_corpus::Scale;
+
+    #[test]
+    fn dataset_csv_round_trip() {
+        let corpus = Corpus::generate(Scale::PerApp(6), 2);
+        let config = ProfileConfig::bhive().quiet();
+        let measured = MeasuredCorpus::measure(&corpus, UarchKind::Skylake, &config, 2);
+        let mut buf = Vec::new();
+        measured.write_csv(&mut buf).unwrap();
+        let read = MeasuredCorpus::read_csv(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(read.uarch, UarchKind::Skylake);
+        assert_eq!(read.blocks.len(), measured.blocks.len());
+        for (a, b) in measured.blocks.iter().zip(&read.blocks) {
+            assert_eq!(a.block, b.block);
+            assert_eq!(a.app, b.app);
+            assert!((a.throughput - b.throughput).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn measures_a_small_corpus() {
+        let corpus = Corpus::generate(Scale::PerApp(8), 11);
+        let config = ProfileConfig::bhive().quiet();
+        let measured = MeasuredCorpus::measure(&corpus, UarchKind::Haswell, &config, 2);
+        assert_eq!(measured.attempted, corpus.len());
+        assert!(measured.success_rate() > 0.7, "{}", measured.success_rate());
+        assert!(measured.blocks.iter().all(|m| m.throughput > 0.0));
+        // Training pairs align with blocks.
+        assert_eq!(measured.training_pairs().len(), measured.blocks.len());
+    }
+
+    #[test]
+    fn ivb_excludes_avx2() {
+        let corpus = Corpus::for_apps(&[Application::TensorFlow], Scale::PerApp(30), 3);
+        let config = ProfileConfig::bhive().quiet();
+        let measured = MeasuredCorpus::measure(&corpus, UarchKind::IvyBridge, &config, 2);
+        assert!(measured.blocks.iter().all(|m| !m.block.uses_avx2()));
+    }
+}

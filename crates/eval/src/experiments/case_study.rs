@@ -1,0 +1,104 @@
+//! The case-study blocks and the schedule-comparison figure.
+
+use crate::report::{fmt_f, Report};
+use crate::Pipeline;
+use bhive_corpus::special;
+use bhive_harness::{ProfileConfig, Profiler};
+use bhive_uarch::UarchKind;
+
+/// **Case-study table** — the three "interesting" Haswell blocks:
+/// measured throughput vs. every model's prediction ("-" where the tool
+/// fails, as OSACA does on the `updcrc` block).
+pub fn case_study(pipeline: &Pipeline) -> Report {
+    let blocks = [
+        (
+            "xor edx,edx; div ecx; test edx,edx",
+            special::case_study_division(),
+            "21.62 / 98.00 / 99.04 / 14.49 / 12.25",
+        ),
+        (
+            "vxorps xmm2, xmm2, xmm2",
+            special::case_study_zero_idiom(),
+            "0.25 / 0.24 / 1.00 / 0.328 / 1.00",
+        ),
+        ("gzip updcrc (Fig. 1)", special::updcrc(), "8.25 / 8.00 / 13.04 / 2.13 / -"),
+    ];
+    let models = pipeline.models(UarchKind::Haswell);
+    let mut report = Report::new(
+        "case-study",
+        "Interesting blocks: measured vs. predicted inverse throughput, Haswell \
+         (paper case-study figure)",
+        {
+            let mut cols = vec!["Basic Block".into(), "Measured".into()];
+            cols.extend(models.iter().map(|m| m.name().to_string()));
+            cols.push("Paper (meas/iaca/mca/ithemal/osaca)".into());
+            cols
+        },
+    );
+    let profiler = Profiler::new(UarchKind::Haswell.desc(), ProfileConfig::bhive().quiet());
+    for (name, block, paper) in blocks {
+        let measured = profiler
+            .profile(&block)
+            .map(|m| fmt_f(m.throughput))
+            .unwrap_or_else(|e| format!("({e})"));
+        let mut row = vec![name.to_string(), measured];
+        for model in &models {
+            row.push(
+                model
+                    .predict(&block)
+                    .map(fmt_f)
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        row.push(paper.to_string());
+        report.push_row(row);
+    }
+    report.note(
+        "expected shapes: IACA/llvm-mca grossly overpredict the division (64/32-bit \
+         confusion); llvm-mca/OSACA miss the zero idiom; llvm-mca overpredicts updcrc \
+         (load-op collapse); OSACA fails to parse updcrc's byte-memory xor",
+    );
+    report
+}
+
+/// **Fig. scheduling** — the schedules IACA and llvm-mca predict for the
+/// `updcrc` block, showing the mis-scheduled `xor al, [rdi-1]`.
+pub fn fig_schedule(pipeline: &Pipeline) -> Report {
+    let block = special::updcrc();
+    let models = pipeline.models(UarchKind::Haswell);
+    let mut report = Report::new(
+        "fig-schedule",
+        "Predicted schedules for the updcrc block (paper Fig. scheduling)",
+        vec![
+            "Model".into(),
+            "Throughput".into(),
+            "xor-al dispatch relative to shr-rdx".into(),
+        ],
+    );
+    let mut rendered = Vec::new();
+    for model in &models {
+        let Some(schedule) = model.schedule(&block) else { continue };
+        // Instruction 3 is `xor al, byte ptr [rdi-1]`. The paper's point:
+        // IACA knows it begins with an *independent load* micro-op, so it
+        // dispatches well before the serial `shr rdx` chain (instruction
+        // 2) produces; llvm-mca's collapsed uop must wait for the chain.
+        let shr_dispatch = schedule.dispatch_cycle(2, 1).unwrap_or(0) as i64;
+        let xor_dispatch = schedule.dispatch_cycle(3, 1).unwrap_or(0) as i64;
+        report.push_row(vec![
+            model.name().into(),
+            fmt_f(schedule.throughput),
+            format!("{:+}", xor_dispatch - shr_dispatch),
+        ]);
+        rendered.push(schedule.render(72));
+    }
+    for text in rendered {
+        for line in text.lines() {
+            report.note(line.to_string());
+        }
+    }
+    report.note(
+        "paper: the xorb is dispatched noticeably earlier in IACA's schedule; llvm-mca \
+         delays it behind the xorq because it cannot split the load micro-op",
+    );
+    report
+}

@@ -1,0 +1,42 @@
+//! Experiment drivers — one per table and figure of the paper.
+//!
+//! Each driver returns a [`crate::Report`] whose rows mirror the paper's
+//! artifact; where the paper printed a number, the report carries both
+//! our measured value and the paper's for side-by-side comparison.
+
+mod case_study;
+mod census;
+mod figures;
+mod tables;
+
+pub use case_study::{case_study, fig_schedule};
+pub use census::filter_census;
+pub use figures::{fig3, fig4, fig_app_err, fig_cluster_err, fig_google};
+pub use tables::{table1, table2, table3, table4, table5, table6};
+
+use crate::Pipeline;
+use crate::Report;
+
+/// Runs every experiment, in paper order.
+pub fn all(pipeline: &Pipeline) -> Vec<Report> {
+    vec![
+        table1(pipeline),
+        table2(pipeline),
+        table3(pipeline),
+        table4(pipeline),
+        fig3(pipeline),
+        fig4(pipeline),
+        table5(pipeline),
+        fig_app_err(pipeline, bhive_uarch::UarchKind::IvyBridge),
+        fig_app_err(pipeline, bhive_uarch::UarchKind::Haswell),
+        fig_app_err(pipeline, bhive_uarch::UarchKind::Skylake),
+        fig_cluster_err(pipeline, bhive_uarch::UarchKind::IvyBridge),
+        fig_cluster_err(pipeline, bhive_uarch::UarchKind::Haswell),
+        fig_cluster_err(pipeline, bhive_uarch::UarchKind::Skylake),
+        case_study(pipeline),
+        fig_schedule(pipeline),
+        fig_google(pipeline),
+        table6(pipeline),
+        filter_census(pipeline),
+    ]
+}

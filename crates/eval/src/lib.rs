@@ -1,0 +1,201 @@
+//! # bhive-eval
+//!
+//! Evaluation pipelines and experiment drivers: one driver per table and
+//! figure of the paper, each returning a printable/serializable
+//! [`Report`] whose rows mirror the paper's artifact (with the paper's
+//! own numbers alongside for comparison — see EXPERIMENTS.md at the
+//! repository root).
+//!
+//! The [`Pipeline`] caches the expensive shared artifacts — generated
+//! corpora, measured ground truth per microarchitecture, the LDA
+//! classifier, trained Ithemal models — so running every experiment in
+//! one process (as the `bhive all` CLI command does) measures each corpus
+//! once.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use bhive_eval::{experiments, Pipeline};
+//! use bhive_corpus::Scale;
+//!
+//! let pipeline = Pipeline::new(Scale::PerApp(200), 42, 0);
+//! let report = experiments::table1(&pipeline);
+//! println!("{report}");
+//! ```
+
+mod classify;
+mod dataset;
+mod evalrun;
+pub mod experiments;
+mod report;
+
+pub use classify::{block_document, Category, Classifier};
+pub use dataset::{MeasuredBlock, MeasuredCorpus};
+pub use evalrun::{EvalRun, Prediction};
+pub use report::{fmt_f, fmt_pct, Report};
+
+use bhive_corpus::{Corpus, Scale};
+use bhive_harness::ProfileConfig;
+use bhive_models::{IacaModel, IthemalConfig, IthemalModel, McaModel, OsacaModel, ThroughputModel};
+use bhive_uarch::UarchKind;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which corpus an experiment wants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusKind {
+    /// The open-source benchmark suite (Table 3 applications + OpenSSL).
+    Main,
+    /// The Spanner/Dremel production corpora.
+    Google,
+    /// A disjoint corpus (different seed) used to train the learned model.
+    Training,
+}
+
+/// Shared context for the experiment drivers.
+pub struct Pipeline {
+    scale: Scale,
+    seed: u64,
+    threads: usize,
+    corpora: Mutex<HashMap<CorpusKind, Arc<Corpus>>>,
+    measured: Mutex<HashMap<(CorpusKind, UarchKind), Arc<MeasuredCorpus>>>,
+    classifier: Mutex<Option<Arc<Classifier>>>,
+    ithemal: Mutex<HashMap<UarchKind, Arc<IthemalModel>>>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline at a given corpus scale and seed;
+    /// `threads = 0` means one worker per CPU.
+    pub fn new(scale: Scale, seed: u64, threads: usize) -> Pipeline {
+        Pipeline {
+            scale,
+            seed,
+            threads,
+            corpora: Mutex::new(HashMap::new()),
+            measured: Mutex::new(HashMap::new()),
+            classifier: Mutex::new(None),
+            ithemal: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The corpus scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The base seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Worker thread count (0 = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The paper's full profiling configuration (with realistic OS noise;
+    /// noise is deterministic per block, so every run reproduces).
+    pub fn profile_config(&self) -> ProfileConfig {
+        ProfileConfig::bhive()
+    }
+
+    /// Returns (and caches) a corpus.
+    pub fn corpus(&self, kind: CorpusKind) -> Arc<Corpus> {
+        let mut corpora = self.corpora.lock();
+        corpora
+            .entry(kind)
+            .or_insert_with(|| {
+                Arc::new(match kind {
+                    CorpusKind::Main => Corpus::generate(self.scale, self.seed),
+                    CorpusKind::Google => Corpus::google(self.scale, self.seed ^ 0x600_61E),
+                    CorpusKind::Training => {
+                        // The learned model gets a larger (disjoint)
+                        // training corpus, as Ithemal trains on millions
+                        // of blocks while evaluation uses a sample.
+                        Corpus::generate(self.scale.times(3.0), self.seed.wrapping_add(0x7EA1))
+                    }
+                })
+            })
+            .clone()
+    }
+
+    /// Returns (and caches) the measured ground truth for a corpus on a
+    /// microarchitecture.
+    pub fn measured(&self, kind: CorpusKind, uarch: UarchKind) -> Arc<MeasuredCorpus> {
+        if let Some(hit) = self.measured.lock().get(&(kind, uarch)) {
+            return hit.clone();
+        }
+        let corpus = self.corpus(kind);
+        let measured = Arc::new(MeasuredCorpus::measure(
+            &corpus,
+            uarch,
+            &self.profile_config(),
+            self.threads,
+        ));
+        self.measured.lock().insert((kind, uarch), measured.clone());
+        measured
+    }
+
+    /// Returns (and caches) the LDA classifier, fitted on the main corpus
+    /// with the paper's Haswell port vocabulary.
+    pub fn classifier(&self) -> Arc<Classifier> {
+        if let Some(hit) = self.classifier.lock().as_ref() {
+            return hit.clone();
+        }
+        // The classification is a property of the *full* suite: fit the
+        // topics on a corpus with the paper's application proportions
+        // (LLVM dominates at 59%), independent of the evaluation sample
+        // size. ~11k blocks converge the Gibbs sampler comfortably.
+        let train = Corpus::generate(Scale::Fraction(0.03), self.seed);
+        let blocks: Vec<_> = train.blocks().iter().map(|b| b.block.clone()).collect();
+        let classifier = Arc::new(Classifier::fit(&blocks, UarchKind::Haswell));
+        *self.classifier.lock() = Some(classifier.clone());
+        classifier
+    }
+
+    /// Returns (and caches) the Ithemal model trained on the *training*
+    /// corpus measured on `uarch` — a disjoint corpus, so evaluation is
+    /// honest out-of-sample prediction.
+    pub fn ithemal(&self, uarch: UarchKind) -> Arc<IthemalModel> {
+        if let Some(hit) = self.ithemal.lock().get(&uarch) {
+            return hit.clone();
+        }
+        let data = self.measured(CorpusKind::Training, uarch);
+        let model = Arc::new(IthemalModel::train(
+            &data.training_pairs(),
+            uarch,
+            IthemalConfig::default(),
+        ));
+        self.ithemal.lock().insert(uarch, model.clone());
+        model
+    }
+
+    /// The paper's four models for one microarchitecture, in the paper's
+    /// reporting order (IACA, llvm-mca, Ithemal, OSACA).
+    pub fn models(&self, uarch: UarchKind) -> Vec<Box<dyn ThroughputModel>> {
+        vec![
+            Box::new(IacaModel::new(uarch)),
+            Box::new(McaModel::new(uarch)),
+            Box::new(IthemalArc(self.ithemal(uarch))),
+            Box::new(OsacaModel::new(uarch)),
+        ]
+    }
+}
+
+/// Adapter so the cached Ithemal model can be boxed alongside the others.
+struct IthemalArc(Arc<IthemalModel>);
+
+impl ThroughputModel for IthemalArc {
+    fn name(&self) -> &'static str {
+        "ithemal"
+    }
+
+    fn uarch(&self) -> UarchKind {
+        self.0.uarch()
+    }
+
+    fn predict(&self, block: &bhive_asm::BasicBlock) -> Option<f64> {
+        self.0.predict(block)
+    }
+}

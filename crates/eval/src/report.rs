@@ -1,0 +1,146 @@
+//! Plain-text/serializable experiment reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The output of one experiment driver: an identified, titled table with
+/// notes, printable as aligned ASCII and serializable as JSON.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment identifier (`table1`, `fig4`, `case-study`, ...).
+    pub id: String,
+    /// Human title, naming the paper artifact being reproduced.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (substitutions, paper-vs-measured commentary).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Report {
+        Report { id: id.into(), title: title.into(), columns, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Appends a row; pads or truncates to the column count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        let mut row = row;
+        row.resize(self.columns.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (none in practice).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.columns)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{}|", "-".repeat(w + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt_f(value: f64) -> String {
+    if value.abs() >= 100.0 {
+        format!("{value:.1}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+/// Formats a percentage.
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new(
+            "table1",
+            "Ablation",
+            vec!["Technique".into(), "Profiled".into()],
+        );
+        r.push_row(vec!["None".into(), "16.65%".into()]);
+        r.push_row(vec!["Mapping all accessed pages".into(), "91.28%".into()]);
+        r.note("paper values");
+        let text = r.to_string();
+        assert!(text.contains("table1"));
+        assert!(text.contains("| None"));
+        assert!(text.contains("note: paper values"));
+        // All data rows have equal length.
+        let lines: Vec<&str> = text.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    fn row_padding() {
+        let mut r = Report::new("x", "y", vec!["a".into(), "b".into(), "c".into()]);
+        r.push_row(vec!["1".into()]);
+        assert_eq!(r.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = Report::new("t", "title", vec!["c".into()]);
+        r.push_row(vec!["v".into()]);
+        let json = r.to_json().unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.1693), "0.1693");
+        assert_eq!(fmt_f(6377.0), "6377.0");
+        assert_eq!(fmt_pct(0.9424), "94.24%");
+    }
+}

@@ -1,0 +1,202 @@
+//! Profiling configuration — every paper technique as a switch.
+
+use bhive_sim::NoiseConfig;
+use serde::{Deserialize, Serialize};
+
+/// How discovered virtual pages are backed by physical pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageMapping {
+    /// No mapping at all (Agner-Fog-style measurement): any memory access
+    /// to an unmapped page crashes the block.
+    None,
+    /// Map each virtual page to its *own* physical page. Blocks run, but
+    /// scattered accesses can exceed L1D capacity/associativity and miss.
+    PerPage,
+    /// Map every virtual page to a *single* shared physical page (the
+    /// paper's technique): with a VIPT L1D this guarantees cache hits.
+    SinglePage,
+}
+
+/// How throughput is derived from unrolled executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnrollStrategy {
+    /// Single large unroll factor; throughput = cycles / u (paper Eq. 1).
+    /// The factor is clamped only by `max_dynamic_insts`.
+    Naive {
+        /// The unroll factor (the literature's typical value is 100).
+        factor: u32,
+    },
+    /// Two unroll factors; throughput = Δcycles / Δu (paper Eq. 2). The
+    /// factors scale down for large blocks so the unrolled code stays
+    /// inside the L1I cache.
+    TwoFactor {
+        /// Smaller factor (both must reach steady state).
+        lo: u32,
+        /// Larger factor.
+        hi: u32,
+        /// Shrink factors for large blocks so that `hi` copies fit in
+        /// this many bytes of instruction cache (typically half the L1I).
+        i_cache_budget: u32,
+    },
+}
+
+impl UnrollStrategy {
+    /// Resolves the concrete `(lo, hi)` unroll factors for a block of
+    /// `block_bytes` encoded bytes. For `Naive`, `lo == hi`.
+    pub fn factors(&self, block_bytes: u32) -> (u32, u32) {
+        match *self {
+            UnrollStrategy::Naive { factor } => (factor, factor),
+            UnrollStrategy::TwoFactor { lo, hi, i_cache_budget } => {
+                let max_hi = (i_cache_budget / block_bytes.max(1)).max(4);
+                let hi = hi.min(max_hi).max(2);
+                // Guarantee lo < hi, or Eq. 2's delta degenerates.
+                let lo = lo.min(hi / 2).clamp(1, hi - 1);
+                (lo, hi)
+            }
+        }
+    }
+}
+
+/// Full profiling configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileConfig {
+    /// Page-mapping policy for the monitor stage.
+    pub page_mapping: PageMapping,
+    /// Unrolling/throughput-derivation strategy.
+    pub unroll: UnrollStrategy,
+    /// Number of timed trials per unroll factor (paper: 16).
+    pub trials: u32,
+    /// Minimum number of identical clean timings required (paper: 8).
+    pub min_clean_identical: u32,
+    /// Set MXCSR FTZ/DAZ to disable gradual underflow (paper: yes).
+    pub disable_gradual_underflow: bool,
+    /// Drop blocks with cache-line-crossing accesses (paper: yes).
+    pub drop_misaligned: bool,
+    /// Register/memory fill pattern (paper: `0x12345600`).
+    pub fill: u64,
+    /// Maximum page faults the monitor tolerates before killing the block.
+    pub max_faults: u32,
+    /// Hard cap on dynamic instructions per execution, as a watchdog.
+    pub max_dynamic_insts: usize,
+    /// Reject measurements violating the modeling invariants (any cache
+    /// miss or context switch). Disabled only by the ablation drivers,
+    /// which *report* the polluted numbers instead (paper Table 2).
+    pub enforce_invariants: bool,
+    /// OS-noise model of the measurement machine.
+    pub noise: NoiseConfig,
+}
+
+impl ProfileConfig {
+    /// The paper's full configuration: single-page mapping, two-factor
+    /// unrolling with L1I-aware factors, FTZ/DAZ, misalignment filter.
+    pub fn bhive() -> ProfileConfig {
+        ProfileConfig {
+            page_mapping: PageMapping::SinglePage,
+            unroll: UnrollStrategy::TwoFactor { lo: 50, hi: 100, i_cache_budget: 16 * 1024 },
+            trials: 16,
+            min_clean_identical: 8,
+            disable_gradual_underflow: true,
+            drop_misaligned: true,
+            fill: 0x1234_5600,
+            max_faults: 64,
+            max_dynamic_insts: 2_000_000,
+            enforce_invariants: true,
+            noise: NoiseConfig::realistic(),
+        }
+    }
+
+    /// Agner-Fog-style baseline (Table 1 row "None"): fixed unroll of 100,
+    /// no page mapping, no MXCSR or misalignment handling.
+    pub fn agner() -> ProfileConfig {
+        ProfileConfig {
+            page_mapping: PageMapping::None,
+            unroll: UnrollStrategy::Naive { factor: 100 },
+            disable_gradual_underflow: false,
+            drop_misaligned: false,
+            ..ProfileConfig::bhive()
+        }
+    }
+
+    /// Table 1 row 2: page mapping added, still naive unrolling.
+    pub fn with_page_mapping_only() -> ProfileConfig {
+        ProfileConfig {
+            page_mapping: PageMapping::SinglePage,
+            unroll: UnrollStrategy::Naive { factor: 100 },
+            disable_gradual_underflow: true,
+            drop_misaligned: true,
+            ..ProfileConfig::bhive()
+        }
+    }
+
+    /// Returns a copy with a different unroll strategy.
+    pub fn with_unroll(mut self, unroll: UnrollStrategy) -> ProfileConfig {
+        self.unroll = unroll;
+        self
+    }
+
+    /// Returns a copy with a different page-mapping policy.
+    pub fn with_page_mapping(mut self, mapping: PageMapping) -> ProfileConfig {
+        self.page_mapping = mapping;
+        self
+    }
+
+    /// Returns a copy with gradual underflow left enabled (no FTZ/DAZ).
+    pub fn with_gradual_underflow(mut self) -> ProfileConfig {
+        self.disable_gradual_underflow = false;
+        self
+    }
+
+    /// Returns a copy with deterministic (quiet) measurement noise.
+    pub fn quiet(mut self) -> ProfileConfig {
+        self.noise = NoiseConfig::quiet();
+        self
+    }
+
+    /// Returns a copy that *reports* invariant violations in the
+    /// measurement instead of rejecting it (used by the Table 2 ablation).
+    pub fn without_invariant_enforcement(mut self) -> ProfileConfig {
+        self.enforce_invariants = false;
+        self
+    }
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig::bhive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_factor_scales_down_for_large_blocks() {
+        let strategy = UnrollStrategy::TwoFactor { lo: 50, hi: 100, i_cache_budget: 16 * 1024 };
+        // Small block: full factors.
+        assert_eq!(strategy.factors(40), (50, 100));
+        // 1.6 KiB block: 16 KiB budget allows only 10 copies.
+        let (lo, hi) = strategy.factors(1600);
+        assert_eq!(hi, 10);
+        assert!(lo >= 2 && lo <= hi / 2);
+        // Enormous block: floor at 4/2.
+        assert_eq!(strategy.factors(100_000), (2, 4));
+    }
+
+    #[test]
+    fn naive_is_fixed() {
+        assert_eq!(UnrollStrategy::Naive { factor: 100 }.factors(10_000), (100, 100));
+    }
+
+    #[test]
+    fn presets_differ_in_the_right_knobs() {
+        let full = ProfileConfig::bhive();
+        let agner = ProfileConfig::agner();
+        assert_eq!(full.page_mapping, PageMapping::SinglePage);
+        assert_eq!(agner.page_mapping, PageMapping::None);
+        assert!(full.disable_gradual_underflow);
+        assert!(!agner.disable_gradual_underflow);
+        assert_eq!(full.trials, 16);
+        assert_eq!(full.min_clean_identical, 8);
+    }
+}

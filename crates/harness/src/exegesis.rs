@@ -1,0 +1,232 @@
+//! llvm-exegesis-style per-opcode measurement.
+//!
+//! The paper's Background section surveys per-instruction
+//! latency/throughput tables (Agner Fog, Intel's manual, uops.info) and
+//! llvm-exegesis, which "determines the latency of an input instruction
+//! opcode by automatically generating a micro-benchmark" — and notes such
+//! tables "do not lead directly to validating performance models at basic
+//! block level". This module implements that tool class on top of the
+//! BHive measurement framework: given a mnemonic, it synthesizes
+//!
+//! * a **serial** kernel (each instance depends on the previous one) whose
+//!   steady-state throughput is the opcode's *latency*, and
+//! * a **parallel** kernel (independent instances across registers) whose
+//!   steady-state throughput is the opcode's *reciprocal throughput*.
+//!
+//! Like llvm-exegesis, it is "limited to instructions that do not touch
+//! memory" — register-register forms only.
+
+use crate::config::ProfileConfig;
+use crate::failure::ProfileFailure;
+use crate::profiler::Profiler;
+use bhive_asm::{BasicBlock, Gpr, Inst, Mnemonic, MnemonicClass, OpSize, Operand, VecReg};
+use bhive_uarch::Uarch;
+use serde::{Deserialize, Serialize};
+
+/// Measured per-opcode numbers, in cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpcodeProfile {
+    /// The mnemonic measured.
+    pub mnemonic: Mnemonic,
+    /// Latency: cycles from an input to the dependent output.
+    pub latency: f64,
+    /// Reciprocal throughput: average cycles per instruction when
+    /// instances are independent.
+    pub reciprocal_throughput: f64,
+}
+
+/// Builds the serial (latency) kernel for a mnemonic, if it has a
+/// register-register form that can be chained.
+fn serial_kernel(mnemonic: Mnemonic) -> Option<BasicBlock> {
+    let a = Operand::gpr(Gpr::Rax, OpSize::Q);
+    let x0 = Operand::Vec(VecReg::xmm(0));
+    let x1 = Operand::Vec(VecReg::xmm(1));
+    use MnemonicClass::*;
+    let inst = match mnemonic.class() {
+        Alu if mnemonic != Mnemonic::Cmp && mnemonic != Mnemonic::Test => {
+            match mnemonic {
+                Mnemonic::Inc | Mnemonic::Dec | Mnemonic::Neg | Mnemonic::Not => {
+                    Inst::basic(mnemonic, vec![a])
+                }
+                // src = rbx keeps the chain through the destination only.
+                _ => Inst::basic(mnemonic, vec![a, Operand::gpr(Gpr::Rbx, OpSize::Q)]),
+            }
+        }
+        Shift => Inst::basic(mnemonic, vec![a, Operand::Imm(3)]),
+        Mul if mnemonic == Mnemonic::Imul => Inst::basic(mnemonic, vec![a, a]),
+        BitCount => Inst::basic(mnemonic, vec![a, a]),
+        DataMove if mnemonic == Mnemonic::Bswap => Inst::basic(mnemonic, vec![a]),
+        FpAdd | FpMul | FpMinMax | VecLogic | VecIntAlu | VecIntMul | VecShuffle
+            if mnemonic != Mnemonic::Shufps && mnemonic != Mnemonic::Pshufd =>
+        {
+            // dst == src chains through the destination. Skip zero idioms:
+            // xor/sub with identical operands would be eliminated, so use
+            // distinct source where the idiom applies.
+            let inst = Inst::basic(mnemonic, vec![x0, x0]);
+            if inst.is_zero_idiom() {
+                Inst::basic(mnemonic, vec![x0, x1])
+            } else {
+                inst
+            }
+        }
+        FpDiv | FpSqrt => Inst::basic(mnemonic, vec![x0, x0]),
+        _ => return None,
+    };
+    Some(BasicBlock::new(vec![inst]))
+}
+
+/// Builds the parallel (reciprocal-throughput) kernel: independent
+/// instances across many registers.
+fn parallel_kernel(mnemonic: Mnemonic) -> Option<BasicBlock> {
+    let serial = serial_kernel(mnemonic)?;
+    let template = &serial.insts()[0];
+    let mut insts = Vec::with_capacity(8);
+    for i in 0..8u8 {
+        // Only the destination (operand 0) is remapped to a fresh
+        // register per instance; sources keep the template's registers,
+        // which no instance writes. Remapping every operand would fold
+        // dst onto src — reintroducing self-dependence (or a zero idiom)
+        // and corrupting the throughput measurement for latency-bound
+        // units.
+        let operands: Vec<Operand> = template
+            .operands()
+            .iter()
+            .enumerate()
+            .map(|(pos, op)| match op {
+                Operand::Gpr { size, .. } if pos == 0 => {
+                    Operand::gpr(Gpr::from_number(8 + i), *size)
+                }
+                Operand::Vec(v) if pos == 0 => Operand::Vec(VecReg::new(2 + i, v.width())),
+                other => *other,
+            })
+            .collect();
+        // Rebuild, preserving VEX-ness.
+        let inst = if template.is_vex() {
+            Inst::vex(mnemonic, operands)
+        } else {
+            Inst::basic(mnemonic, operands)
+        };
+        insts.push(inst);
+    }
+    Some(BasicBlock::new(insts))
+}
+
+/// Measures one opcode's latency and reciprocal throughput on `uarch`.
+///
+/// Returns `None` for mnemonics without a chainable register-register
+/// form (memory-only forms, branches, division with implicit operands —
+/// the same limitation llvm-exegesis documents).
+///
+/// # Errors
+///
+/// Propagates profiling failures from the underlying measurement runs.
+pub fn profile_opcode(
+    uarch: &'static Uarch,
+    mnemonic: Mnemonic,
+) -> Result<Option<OpcodeProfile>, ProfileFailure> {
+    let (Some(serial), Some(parallel)) = (serial_kernel(mnemonic), parallel_kernel(mnemonic))
+    else {
+        return Ok(None);
+    };
+    if !uarch.supports_avx2 && (serial.uses_avx2() || parallel.uses_avx2()) {
+        return Ok(None);
+    }
+    let profiler = Profiler::new(uarch, ProfileConfig::bhive().quiet());
+    let latency = profiler.profile(&serial)?.throughput;
+    let rtp = profiler.profile(&parallel)?.throughput / parallel.len() as f64;
+    Ok(Some(OpcodeProfile {
+        mnemonic,
+        latency,
+        reciprocal_throughput: rtp,
+    }))
+}
+
+/// Profiles every measurable opcode of the ISA subset — the automated
+/// construction of an Agner-Fog-style instruction table.
+pub fn profile_isa(uarch: &'static Uarch) -> Vec<OpcodeProfile> {
+    Mnemonic::ALL
+        .iter()
+        .filter_map(|&m| profile_opcode(uarch, m).ok().flatten())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(m: Mnemonic) -> OpcodeProfile {
+        profile_opcode(Uarch::haswell(), m)
+            .unwrap_or_else(|e| panic!("{m:?}: {e}"))
+            .unwrap_or_else(|| panic!("{m:?} should be measurable"))
+    }
+
+    #[test]
+    fn add_latency_and_throughput() {
+        let p = profile(Mnemonic::Add);
+        assert!((0.9..=1.3).contains(&p.latency), "add latency {}", p.latency);
+        // Four ALU ports: reciprocal throughput ~0.25.
+        assert!(
+            (0.2..=0.45).contains(&p.reciprocal_throughput),
+            "add rTP {}",
+            p.reciprocal_throughput
+        );
+    }
+
+    #[test]
+    fn imul_latency_exceeds_throughput() {
+        let p = profile(Mnemonic::Imul);
+        assert!((2.7..=3.4).contains(&p.latency), "imul latency {}", p.latency);
+        assert!(
+            p.reciprocal_throughput < p.latency / 2.0,
+            "imul is pipelined: lat {} rtp {}",
+            p.latency,
+            p.reciprocal_throughput
+        );
+    }
+
+    #[test]
+    fn divider_is_not_pipelined() {
+        let p = profile(Mnemonic::Divps);
+        // Non-pipelined unit: reciprocal throughput close to (blocking)
+        // latency, unlike the pipelined multiplier.
+        assert!(
+            p.reciprocal_throughput > p.latency * 0.4,
+            "divps: lat {} rtp {}",
+            p.latency,
+            p.reciprocal_throughput
+        );
+        let mul = profile(Mnemonic::Mulps);
+        assert!(mul.reciprocal_throughput < mul.latency * 0.4);
+    }
+
+    #[test]
+    fn fp_add_latency_differs_by_uarch() {
+        let hsw = profile_opcode(Uarch::haswell(), Mnemonic::Addps).unwrap().unwrap();
+        let skl = profile_opcode(Uarch::skylake(), Mnemonic::Addps).unwrap().unwrap();
+        assert!((2.7..=3.4).contains(&hsw.latency), "hsw {}", hsw.latency);
+        assert!((3.7..=4.4).contains(&skl.latency), "skl {}", skl.latency);
+    }
+
+    #[test]
+    fn memory_and_branch_forms_are_skipped() {
+        assert!(profile_opcode(Uarch::haswell(), Mnemonic::Jcc).unwrap().is_none());
+        assert!(profile_opcode(Uarch::haswell(), Mnemonic::Push).unwrap().is_none());
+        assert!(profile_opcode(Uarch::haswell(), Mnemonic::Div).unwrap().is_none());
+    }
+
+    #[test]
+    fn isa_table_is_substantial() {
+        let table = profile_isa(Uarch::haswell());
+        assert!(table.len() >= 30, "measured {} opcodes", table.len());
+        for p in &table {
+            assert!(p.latency > 0.0 && p.latency.is_finite(), "{:?}", p.mnemonic);
+            assert!(
+                p.reciprocal_throughput > 0.0 && p.reciprocal_throughput <= p.latency + 0.6,
+                "{:?}: rtp {} vs lat {}",
+                p.mnemonic,
+                p.reciprocal_throughput,
+                p.latency
+            );
+        }
+    }
+}

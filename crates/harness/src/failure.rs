@@ -1,0 +1,146 @@
+//! Why a block failed to profile.
+
+use bhive_asm::AsmError;
+use bhive_sim::{ExecFault, PerfCounters};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Reasons a basic block could not be successfully profiled.
+///
+/// The paper counts a block as *successfully profiled* only when it
+/// executes without crashing, incurs no cache misses, and the measurement
+/// reproduces; each variant here corresponds to one way of falling short.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ProfileFailure {
+    /// The block faulted and the configuration could not recover
+    /// (no page mapping, invalid address, divide error, ...).
+    Crash {
+        /// Human-readable fault description.
+        fault: String,
+    },
+    /// The monitor gave up after `max_faults` page faults.
+    TooManyFaults {
+        /// Number of faults serviced before giving up.
+        faults: u32,
+    },
+    /// The faulting address is outside the mappable user-space range.
+    InvalidAddress {
+        /// The unmappable address.
+        vaddr: u64,
+    },
+    /// Fewer than the required number of identical clean timings.
+    Unreproducible {
+        /// Clean trials observed.
+        clean: u32,
+        /// Size of the largest identical-timing group among them.
+        identical: u32,
+        /// Trials required.
+        required: u32,
+    },
+    /// Every trial violated a modeling invariant (cache misses or context
+    /// switches present even in the best trial).
+    DirtyCounters {
+        /// Counters of a representative trial.
+        counters: PerfCounters,
+    },
+    /// The block performs cache-line-crossing accesses and the
+    /// misalignment filter is enabled.
+    Misaligned {
+        /// Number of line-crossing accesses in one measured run.
+        count: u64,
+    },
+    /// The block uses an ISA extension the machine lacks (AVX2 on IVB).
+    UnsupportedIsa,
+    /// The block could not be encoded (outside the supported subset).
+    Encoding {
+        /// The underlying error text.
+        message: String,
+    },
+    /// Structural problems (empty block, branch not in tail position).
+    InvalidBlock {
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl ProfileFailure {
+    pub(crate) fn from_fault(fault: ExecFault) -> ProfileFailure {
+        ProfileFailure::Crash { fault: fault.to_string() }
+    }
+
+    pub(crate) fn from_asm(err: AsmError) -> ProfileFailure {
+        ProfileFailure::Encoding { message: err.to_string() }
+    }
+
+    /// Short machine-readable category label (used in reports).
+    pub fn category(&self) -> &'static str {
+        match self {
+            ProfileFailure::Crash { .. } => "crash",
+            ProfileFailure::TooManyFaults { .. } => "too-many-faults",
+            ProfileFailure::InvalidAddress { .. } => "invalid-address",
+            ProfileFailure::Unreproducible { .. } => "unreproducible",
+            ProfileFailure::DirtyCounters { .. } => "dirty-counters",
+            ProfileFailure::Misaligned { .. } => "misaligned",
+            ProfileFailure::UnsupportedIsa => "unsupported-isa",
+            ProfileFailure::Encoding { .. } => "encoding",
+            ProfileFailure::InvalidBlock { .. } => "invalid-block",
+        }
+    }
+}
+
+impl fmt::Display for ProfileFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileFailure::Crash { fault } => write!(f, "block crashed: {fault}"),
+            ProfileFailure::TooManyFaults { faults } => {
+                write!(f, "monitor killed block after {faults} page faults")
+            }
+            ProfileFailure::InvalidAddress { vaddr } => {
+                write!(f, "faulting address {vaddr:#x} is not mappable")
+            }
+            ProfileFailure::Unreproducible { clean, identical, required } => write!(
+                f,
+                "only {identical} identical timings among {clean} clean trials (need {required})"
+            ),
+            ProfileFailure::DirtyCounters { counters } => write!(
+                f,
+                "modeling invariants violated (L1D misses {}/{}, L1I misses {}, ctx {})",
+                counters.l1d_read_misses,
+                counters.l1d_write_misses,
+                counters.l1i_misses,
+                counters.context_switches
+            ),
+            ProfileFailure::Misaligned { count } => {
+                write!(f, "{count} cache-line-crossing accesses; block dropped")
+            }
+            ProfileFailure::UnsupportedIsa => f.write_str("ISA extension not supported"),
+            ProfileFailure::Encoding { message } => write!(f, "encoding failure: {message}"),
+            ProfileFailure::InvalidBlock { message } => write!(f, "invalid block: {message}"),
+        }
+    }
+}
+
+impl Error for ProfileFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_stable() {
+        assert_eq!(
+            ProfileFailure::Misaligned { count: 3 }.category(),
+            "misaligned"
+        );
+        assert_eq!(ProfileFailure::UnsupportedIsa.category(), "unsupported-isa");
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let f = ProfileFailure::Unreproducible { clean: 5, identical: 3, required: 8 };
+        let text = f.to_string();
+        assert!(text.contains('5') && text.contains('3') && text.contains('8'));
+    }
+}

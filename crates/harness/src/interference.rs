@@ -1,0 +1,278 @@
+//! Port-interference measurement, after Abel & Reineke.
+//!
+//! The paper's block classification rests on per-instruction
+//! port-combination mappings that Abel & Reineke reverse-engineered "using
+//! automatically generated micro-benchmarks". This module implements the
+//! observable core of that methodology on the simulated machine: co-run a
+//! target instruction with a *blocker* kernel that saturates one execution
+//! port and watch whether throughput degrades.
+//!
+//! * If the target's only port is the blocked one, the two serialize and
+//!   the combined throughput is (nearly) the sum of the parts.
+//! * If the target can issue elsewhere, it hides under the blocker and the
+//!   combined throughput is (nearly) the max of the parts.
+//!
+//! For single-port instructions this recovers the port assignment exactly
+//! (verified against the ground-truth tables in the tests); multi-port
+//! instructions show partial interference on each of their ports.
+
+use crate::config::ProfileConfig;
+use crate::failure::ProfileFailure;
+use crate::profiler::Profiler;
+use bhive_asm::{BasicBlock, Inst, Mnemonic, Operand, VecReg};
+use bhive_uarch::{Port, Uarch};
+use serde::{Deserialize, Serialize};
+
+/// A single-port blocker kernel: `count` independent instances of an
+/// instruction that (on the target microarchitecture) can only issue to
+/// `port`.
+#[derive(Debug, Clone)]
+pub struct Blocker {
+    /// The port this blocker saturates.
+    pub port: Port,
+    /// One blocker instruction, templated over a register index.
+    make: fn(u8) -> Inst,
+}
+
+/// The Haswell/Skylake-era single-port blockers available in the ISA
+/// subset: `pmullw` (p0 on Haswell), `imul` (p1), `pshufd` (p5).
+pub fn default_blockers() -> Vec<Blocker> {
+    fn pmullw(i: u8) -> Inst {
+        let x = VecReg::xmm(2 + i % 8);
+        Inst::basic(Mnemonic::Pmullw, vec![x.into(), VecReg::xmm(1).into()])
+    }
+    fn imul(i: u8) -> Inst {
+        let r = bhive_asm::Gpr::from_number(8 + i % 8);
+        Inst::basic(
+            Mnemonic::Imul,
+            vec![
+                Operand::gpr(r, bhive_asm::OpSize::Q),
+                Operand::gpr(bhive_asm::Gpr::Rbx, bhive_asm::OpSize::Q),
+            ],
+        )
+    }
+    fn pshufd(i: u8) -> Inst {
+        let x = VecReg::xmm(2 + i % 8);
+        Inst::basic(
+            Mnemonic::Pshufd,
+            vec![x.into(), VecReg::xmm(1).into(), Operand::Imm(0x1B)],
+        )
+    }
+    vec![
+        Blocker { port: Port::new(0), make: pmullw },
+        Blocker { port: Port::new(1), make: imul },
+        Blocker { port: Port::new(5), make: pshufd },
+    ]
+}
+
+/// Interference of one target instruction with one blocked port.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interference {
+    /// The probed port.
+    pub port: u8,
+    /// Throughput of the blocker kernel alone (cycles/iteration).
+    pub blocker_alone: f64,
+    /// Throughput with the target instructions added.
+    pub combined: f64,
+    /// `combined − blocker_alone`, normalized by the target's own
+    /// reciprocal throughput contribution: ~1 means full serialization
+    /// (the target needs this port), ~0 means the target hid elsewhere.
+    pub slowdown_share: f64,
+}
+
+/// Measures the target's interference against a *combined* blockade of
+/// several ports at once — required for multi-port instructions, which
+/// dodge any single blocked port (this is why uops.info solves a
+/// constraint system rather than probing ports one by one).
+///
+/// # Errors
+///
+/// Propagates profiling failures.
+pub fn measure_blockade(
+    uarch: &'static Uarch,
+    target: fn(u8) -> Inst,
+    targets_per_iter: u8,
+    ports: &[u8],
+) -> Result<Interference, ProfileFailure> {
+    let profiler = Profiler::new(uarch, ProfileConfig::bhive().quiet());
+    let blockers: Vec<Blocker> = default_blockers()
+        .into_iter()
+        .filter(|b| ports.contains(&b.port.index()))
+        .collect();
+    assert_eq!(
+        blockers.len(),
+        ports.len(),
+        "no single-port blocker exists for one of the requested ports \
+         (available: p0, p1, p5)"
+    );
+    let target_block: BasicBlock = (0..targets_per_iter).map(target).collect();
+    let target_alone = profiler.profile(&target_block)?.throughput;
+    let mut blocker_insts: Vec<Inst> = Vec::new();
+    for blocker in &blockers {
+        blocker_insts.extend((0..8).map(blocker.make));
+    }
+    let blocker_alone = profiler.profile(&BasicBlock::new(blocker_insts.clone()))?.throughput;
+    blocker_insts.extend((0..targets_per_iter).map(target));
+    let combined = profiler.profile(&BasicBlock::new(blocker_insts))?.throughput;
+    let extra = (combined - blocker_alone).max(0.0);
+    let slowdown_share =
+        if target_alone > 0.0 { (extra / target_alone).min(2.0) } else { 0.0 };
+    Ok(Interference {
+        port: ports.first().copied().unwrap_or(0),
+        blocker_alone,
+        combined,
+        slowdown_share,
+    })
+}
+
+/// Measures the target's interference with each default blocker
+/// individually.
+///
+/// `targets_per_iter` independent copies of the target are mixed into a
+/// kernel of 8 blocker instances.
+///
+/// # Errors
+///
+/// Propagates profiling failures.
+pub fn measure_interference(
+    uarch: &'static Uarch,
+    target: fn(u8) -> Inst,
+    targets_per_iter: u8,
+) -> Result<Vec<Interference>, ProfileFailure> {
+    let profiler = Profiler::new(uarch, ProfileConfig::bhive().quiet());
+    let blockers = default_blockers();
+    let mut out = Vec::with_capacity(blockers.len());
+
+    // Target-alone cost for normalization.
+    let target_block: BasicBlock =
+        (0..targets_per_iter).map(target).collect();
+    let target_alone = profiler.profile(&target_block)?.throughput;
+
+    for blocker in &blockers {
+        let blocker_block: BasicBlock = (0..8).map(blocker.make).collect();
+        let blocker_alone = profiler.profile(&blocker_block)?.throughput;
+        let mut insts: Vec<Inst> = (0..8).map(blocker.make).collect();
+        insts.extend((0..targets_per_iter).map(target));
+        let combined = profiler.profile(&BasicBlock::new(insts))?.throughput;
+        let extra = (combined - blocker_alone).max(0.0);
+        let slowdown_share = if target_alone > 0.0 {
+            (extra / target_alone).min(2.0)
+        } else {
+            0.0
+        };
+        out.push(Interference {
+            port: blocker.port.index(),
+            blocker_alone,
+            combined,
+            slowdown_share,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhive_asm::{Gpr, OpSize};
+
+    fn share(results: &[Interference], port: u8) -> f64 {
+        results.iter().find(|i| i.port == port).expect("probed").slowdown_share
+    }
+
+    #[test]
+    fn single_port_instruction_serializes_on_its_port() {
+        // shufps is p5-only: full interference with the p5 blocker,
+        // none with p0/p1.
+        fn shufps(i: u8) -> Inst {
+            Inst::basic(
+                Mnemonic::Shufps,
+                vec![
+                    VecReg::xmm(10 + i % 4).into(),
+                    VecReg::xmm(0).into(),
+                    Operand::Imm(0x4E),
+                ],
+            )
+        }
+        let results =
+            measure_interference(Uarch::haswell(), shufps, 4).expect("measurable");
+        assert!(share(&results, 5) > 0.7, "p5 serializes: {results:?}");
+        assert!(share(&results, 0) < 0.3, "p0 free: {results:?}");
+        assert!(share(&results, 1) < 0.3, "p1 free: {results:?}");
+    }
+
+    #[test]
+    fn multi_port_instruction_hides_under_any_single_blocker() {
+        // add is p0156: any single blocked port leaves three others.
+        fn add(i: u8) -> Inst {
+            Inst::basic(
+                Mnemonic::Add,
+                vec![
+                    Operand::gpr(Gpr::from_number(12 + i % 4), OpSize::Q),
+                    Operand::Imm(1),
+                ],
+            )
+        }
+        let results = measure_interference(Uarch::haswell(), add, 2).expect("measurable");
+        for port in [0u8, 1, 5] {
+            assert!(
+                share(&results, port) < 0.5,
+                "add dodges single blockers: {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_port_instruction_needs_a_combined_blockade() {
+        // vmulps is p01 on Haswell: it dodges any *single* blocked port,
+        // but a combined p0+p1 blockade forces full serialization — the
+        // reason uops.info probes port *combinations*. The VEX
+        // non-destructive form keeps the targets independent.
+        fn vmulps(i: u8) -> Inst {
+            // Destinations xmm10..15 stay clear of the blockers' xmm2..9.
+            Inst::vex(
+                Mnemonic::Mulps,
+                vec![
+                    VecReg::xmm(10 + i % 6).into(),
+                    VecReg::xmm(0).into(),
+                    VecReg::xmm(1).into(),
+                ],
+            )
+        }
+        let singles =
+            measure_interference(Uarch::haswell(), vmulps, 6).expect("measurable");
+        for port in [0u8, 1, 5] {
+            assert!(
+                share(&singles, port) < 0.4,
+                "vmulps dodges single blockers: {singles:?}"
+            );
+        }
+        let blockade = measure_blockade(Uarch::haswell(), vmulps, 6, &[0, 1])
+            .expect("measurable");
+        assert!(
+            blockade.slowdown_share >= 0.5,
+            "a p0+p1 blockade must serialize vmulps: {blockade:?}"
+        );
+        // Control: p5 plus p1 still leaves p0 free.
+        let partial = measure_blockade(Uarch::haswell(), vmulps, 6, &[1, 5])
+            .expect("measurable");
+        assert!(
+            partial.slowdown_share < blockade.slowdown_share,
+            "p1+p5 blockade leaves p0 free: {partial:?} vs {blockade:?}"
+        );
+    }
+
+    #[test]
+    fn blockers_saturate_their_ports() {
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        for blocker in default_blockers() {
+            let block: BasicBlock = (0..8).map(blocker.make).collect();
+            let tp = profiler.profile(&block).expect("blocker profiles").throughput;
+            // 8 instances on one port: ≥ 8 cycles per iteration.
+            assert!(
+                tp >= 7.0,
+                "blocker for {} not saturating: {tp}",
+                blocker.port
+            );
+        }
+    }
+}

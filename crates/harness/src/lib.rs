@@ -1,0 +1,65 @@
+//! # bhive-harness
+//!
+//! The BHive measurement framework: fully automatic throughput profiling of
+//! arbitrary x86-64 basic blocks, implemented exactly as §3 of the paper
+//! describes, against the simulated machine of `bhive-sim`.
+//!
+//! The pipeline per block:
+//!
+//! 1. **Mapping stage** ([`monitor`]): execute the unrolled block in a
+//!    "child" machine; intercept each page fault; map the faulting virtual
+//!    page (to a *single shared physical page* in the full configuration);
+//!    re-initialize all registers and memory and restart from the top, so
+//!    the final measured address trace is identical to the mapping trace.
+//! 2. **Measurement stage** ([`Profiler::profile`]): run the block at two
+//!    unroll factors, 16 timed trials each; reject trials with any L1D/L1I
+//!    miss or context switch; require at least 8 *identical* clean timings;
+//!    derive throughput as
+//!    `(cycles(u_hi) − cycles(u_lo)) / (u_hi − u_lo)` (paper Eq. 2), or
+//!    `cycles(u)/u` in the naive configuration (Eq. 1).
+//! 3. **Filters**: blocks with line-crossing (misaligned) accesses are
+//!    dropped; MXCSR FTZ/DAZ is set so subnormals cannot distort timings.
+//!
+//! Every technique is individually switchable through [`ProfileConfig`],
+//! which is what the paper's ablation studies (Tables 1 and 2) toggle.
+//!
+//! # Example
+//!
+//! ```
+//! use bhive_harness::{ProfileConfig, Profiler};
+//! use bhive_uarch::Uarch;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The Gzip `updcrc` block from Fig. 1 of the paper: it dereferences
+//! // a lookup table, so it cannot run without the page-mapping monitor.
+//! let block = bhive_asm::parse_block(
+//!     "add rdi, 1\n\
+//!      mov eax, edx\n\
+//!      shr rdx, 8\n\
+//!      xor al, byte ptr [rdi - 1]\n\
+//!      movzx eax, al\n\
+//!      xor rdx, qword ptr [8*rax + 0x41108]\n\
+//!      cmp rdi, rcx",
+//! )?;
+//! let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive());
+//! let measurement = profiler.profile(&block)?;
+//! assert!(measurement.throughput > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod config;
+pub mod exegesis;
+mod failure;
+pub mod interference;
+mod measurement;
+mod monitor;
+mod parallel;
+mod profiler;
+
+pub use config::{PageMapping, ProfileConfig, UnrollStrategy};
+pub use failure::ProfileFailure;
+pub use measurement::{Measurement, TrialSet};
+pub use monitor::{monitor, MappingOutcome};
+pub use parallel::{profile_corpus, CorpusReport};
+pub use profiler::Profiler;

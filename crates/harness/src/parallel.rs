@@ -1,0 +1,137 @@
+//! Parallel corpus profiling.
+
+use crate::failure::ProfileFailure;
+use crate::measurement::Measurement;
+use crate::profiler::Profiler;
+use bhive_asm::BasicBlock;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Aggregate result of profiling a set of blocks.
+#[derive(Debug)]
+pub struct CorpusReport {
+    /// Per-block outcome, in input order.
+    pub results: Vec<Result<Measurement, ProfileFailure>>,
+}
+
+impl CorpusReport {
+    /// Number of successfully profiled blocks.
+    pub fn successes(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Fraction of blocks successfully profiled (the paper's Table 1
+    /// metric).
+    pub fn success_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.successes() as f64 / self.results.len() as f64
+    }
+
+    /// Failure counts by category.
+    pub fn failure_breakdown(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for result in &self.results {
+            if let Err(failure) = result {
+                *out.entry(failure.category()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Iterates `(index, measurement)` over the successful blocks.
+    pub fn measurements(&self) -> impl Iterator<Item = (usize, &Measurement)> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, r)| r.as_ref().ok().map(|m| (idx, m)))
+    }
+}
+
+/// Profiles every block with `threads` worker threads (0 = one per CPU).
+///
+/// Profiling is embarrassingly parallel: each block gets its own simulated
+/// machine, so workers share nothing but the work queue.
+pub fn profile_corpus(
+    profiler: &Profiler,
+    blocks: &[BasicBlock],
+    threads: usize,
+) -> CorpusReport {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    } else {
+        threads
+    };
+    let threads = threads.min(blocks.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<Measurement, ProfileFailure>>>> =
+        Mutex::new(vec![None; blocks.len()]);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= blocks.len() {
+                    break;
+                }
+                let outcome = profiler.profile(&blocks[idx]);
+                results.lock()[idx] = Some(outcome);
+            });
+        }
+    })
+    .expect("profiling worker panicked");
+
+    let results = results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every index visited"))
+        .collect();
+    CorpusReport { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProfileConfig;
+    use bhive_asm::parse_block;
+    use bhive_uarch::Uarch;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let blocks: Vec<BasicBlock> = [
+            "add rax, 1",
+            "imul rbx, rcx",
+            "mov rax, qword ptr [rbx]",
+            "xor eax, eax",
+            "xor ebx, ebx\nmov rax, qword ptr [rbx]", // fails: null page
+        ]
+        .iter()
+        .map(|t| parse_block(t).unwrap())
+        .collect();
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let parallel = profile_corpus(&profiler, &blocks, 4);
+        assert_eq!(parallel.results.len(), 5);
+        assert_eq!(parallel.successes(), 4);
+        assert_eq!(parallel.failure_breakdown()["invalid-address"], 1);
+        for (idx, block) in blocks.iter().enumerate() {
+            let serial = profiler.profile(block);
+            match (&parallel.results[idx], &serial) {
+                (Ok(a), Ok(b)) => assert_eq!(a.throughput, b.throughput, "block {idx}"),
+                (Err(a), Err(b)) => assert_eq!(a.category(), b.category()),
+                other => panic!("parallel/serial disagree on block {idx}: {other:?}"),
+            }
+        }
+        assert!((parallel.success_rate() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let report = profile_corpus(&profiler, &[], 0);
+        assert_eq!(report.results.len(), 0);
+        assert_eq!(report.success_rate(), 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the measurement framework over generated blocks.
+
+use bhive_corpus::{generate_block, Application};
+use bhive_harness::{ProfileConfig, Profiler, UnrollStrategy};
+use bhive_uarch::Uarch;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Profiling any generated block either succeeds with a positive
+    /// throughput and clean counters, or fails with a categorized reason —
+    /// never a panic, never a nonsensical measurement.
+    #[test]
+    fn profiling_is_total(seed in any::<u64>(), app_idx in 0usize..12) {
+        let app = Application::ALL[app_idx];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let block = generate_block(app, &mut rng);
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        match profiler.profile(&block) {
+            Ok(m) => {
+                prop_assert!(m.throughput >= 0.0 && m.throughput.is_finite());
+                prop_assert!(m.hi.counters.is_clean(), "accepted measurement must be clean");
+                prop_assert!(m.hi.unroll >= m.lo.unroll);
+                prop_assert!(m.hi.identical >= 8, "paper's 8-identical rule");
+                // Steady-state inverse throughput can't beat the rename
+                // width by much (eliminated uops aside).
+                let lower = block.len() as f64 / 16.0;
+                prop_assert!(m.throughput + 1e-9 >= lower.min(0.25), "{}", m.throughput);
+            }
+            Err(failure) => {
+                // Categorized failure with a printable message.
+                prop_assert!(!failure.category().is_empty());
+                let _ = failure.to_string();
+            }
+        }
+    }
+
+    /// Profiling is deterministic, including the injected OS noise
+    /// (the noise seed derives from the block).
+    #[test]
+    fn profiling_is_deterministic(seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let block = generate_block(Application::Sqlite, &mut rng);
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive());
+        match (profiler.profile(&block), profiler.profile(&block)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.throughput, b.throughput);
+                prop_assert_eq!(a.hi.cycles, b.hi.cycles, "trial-by-trial identical");
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.category(), b.category()),
+            other => prop_assert!(false, "non-deterministic outcome: {other:?}"),
+        }
+    }
+
+    /// The two-unroll-factor estimate agrees with a large naive unroll for
+    /// blocks small enough that naive unrolling is itself sound — the
+    /// correctness claim behind the paper's Eq. 2.
+    #[test]
+    fn two_factor_agrees_with_naive_on_small_blocks(seed in 0u64..300) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let block = generate_block(Application::Gzip, &mut rng);
+        if block.encoded_len().unwrap_or(usize::MAX) > 120 {
+            return Ok(()); // only small blocks qualify
+        }
+        let two_factor = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let naive = Profiler::new(
+            Uarch::haswell(),
+            ProfileConfig::bhive()
+                .quiet()
+                .with_unroll(UnrollStrategy::Naive { factor: 200 }),
+        );
+        if let (Ok(a), Ok(b)) = (two_factor.profile(&block), naive.profile(&block)) {
+            let diff = (a.throughput - b.throughput).abs();
+            let scale = b.throughput.max(1.0);
+            prop_assert!(
+                diff / scale < 0.15,
+                "two-factor {} vs naive {} on\n{block}",
+                a.throughput,
+                b.throughput
+            );
+        }
+    }
+}

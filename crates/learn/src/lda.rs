@@ -1,0 +1,358 @@
+//! Latent Dirichlet Allocation by collapsed Gibbs sampling.
+//!
+//! Documents are basic blocks; words are micro-op port combinations
+//! (13 of them on Haswell, per Abel & Reineke's notation). The paper fits
+//! a 6-topic model with α = 1/6 and β = 1/13 and assigns each block the
+//! most common topic among its micro-ops.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// LDA hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LdaConfig {
+    /// Anchor initialization: `Some(map)` assigns every occurrence of word
+    /// `w` to topic `map[w] % topics` before sampling starts ("seeded
+    /// LDA"). This stabilizes which topic claims which resource across
+    /// corpus perturbations; Gibbs sampling still refines assignments
+    /// freely. `None` initializes uniformly at random.
+    pub anchors: Option<Vec<usize>>,
+    /// Number of topics (the paper uses 6 categories).
+    pub topics: usize,
+    /// Dirichlet prior on document-topic distributions (paper: 1/6).
+    pub alpha: f64,
+    /// Dirichlet prior on topic-word distributions (paper: 1/13).
+    pub beta: f64,
+    /// Gibbs sweeps over the corpus.
+    pub iterations: usize,
+    /// RNG seed (the fit is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl LdaConfig {
+    /// The paper's configuration for `vocab`-word vocabularies.
+    pub fn paper(vocab: usize) -> LdaConfig {
+        LdaConfig {
+            anchors: None,
+            topics: 6,
+            alpha: 1.0 / 6.0,
+            beta: 1.0 / vocab.max(1) as f64,
+            iterations: 60,
+            seed: 0xB41E,
+        }
+    }
+}
+
+/// A fitted LDA model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LdaFit {
+    /// Number of topics.
+    pub topics: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// `phi[t][w]`: probability of word `w` under topic `t`.
+    pub topic_word: Vec<Vec<f64>>,
+    /// Final topic assignment of every token, per document.
+    pub assignments: Vec<Vec<usize>>,
+}
+
+impl LdaFit {
+    /// The per-document *category*: the most common topic among the
+    /// document's tokens (the paper's block-category rule). Empty
+    /// documents get topic 0.
+    pub fn doc_category(&self, doc: usize) -> usize {
+        let mut counts = vec![0usize; self.topics];
+        for &topic in &self.assignments[doc] {
+            counts[topic] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(topic, count)| (*count, std::cmp::Reverse(topic)))
+            .map(|(topic, _)| topic)
+            .unwrap_or(0)
+    }
+
+    /// Categories of all documents.
+    pub fn categories(&self) -> Vec<usize> {
+        (0..self.assignments.len()).map(|d| self.doc_category(d)).collect()
+    }
+
+    /// The most probable words of a topic, most probable first.
+    pub fn top_words(&self, topic: usize, n: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.vocab).collect();
+        order.sort_by(|&a, &b| {
+            self.topic_word[topic][b]
+                .partial_cmp(&self.topic_word[topic][a])
+                .expect("probabilities are finite")
+        });
+        order.truncate(n);
+        order
+    }
+
+    /// Classifies an unseen document by folding it into the trained
+    /// model: hard-EM over the document's topic assignments with the
+    /// topic-word distributions held fixed. The document-topic prior
+    /// (α = 1/topics, matching training) makes coherent single-topic
+    /// explanations win over per-word argmax — exactly what lets a
+    /// "mix of loads and stores" topic claim a memcpy-like block even
+    /// though neither the load word nor the store word alone peaks there.
+    pub fn classify(&self, doc: &[usize]) -> usize {
+        if doc.is_empty() {
+            return 0;
+        }
+        let counts = self.fold_in_counts(doc);
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|&(ta, ca), &(tb, cb)| {
+                ca.partial_cmp(cb).expect("finite").then(tb.cmp(&ta))
+            })
+            .map(|(topic, _)| topic)
+            .unwrap_or(0)
+    }
+
+    /// Folds an unseen document into the model and returns the per-token
+    /// topic assignments (hard EM with the topic-word distributions held
+    /// fixed).
+    pub fn fold_in(&self, doc: &[usize]) -> Vec<usize> {
+        self.fold_in_full(doc).0
+    }
+
+    fn fold_in_counts(&self, doc: &[usize]) -> Vec<f64> {
+        self.fold_in_full(doc).1
+    }
+
+    fn fold_in_full(&self, doc: &[usize]) -> (Vec<usize>, Vec<f64>) {
+        if doc.is_empty() {
+            return (Vec::new(), vec![0.0; self.topics]);
+        }
+        let alpha = 1.0 / self.topics as f64;
+        // Initialize from per-word argmax.
+        let mut assign: Vec<usize> = doc
+            .iter()
+            .map(|&word| {
+                (0..self.topics)
+                    .max_by(|&a, &b| {
+                        self.topic_word[a][word]
+                            .partial_cmp(&self.topic_word[b][word])
+                            .expect("finite")
+                    })
+                    .unwrap_or(0)
+            })
+            .collect();
+        let mut counts = vec![0f64; self.topics];
+        for &z in &assign {
+            counts[z] += 1.0;
+        }
+        for _round in 0..8 {
+            let mut changed = false;
+            for (i, &word) in doc.iter().enumerate() {
+                let old = assign[i];
+                counts[old] -= 1.0;
+                let best = (0..self.topics)
+                    .max_by(|&a, &b| {
+                        let sa = self.topic_word[a][word] * (counts[a] + alpha);
+                        let sb = self.topic_word[b][word] * (counts[b] + alpha);
+                        sa.partial_cmp(&sb).expect("finite")
+                    })
+                    .unwrap_or(0);
+                counts[best] += 1.0;
+                if best != old {
+                    assign[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (assign, counts)
+    }
+}
+
+/// Fits LDA to a corpus of documents (each a sequence of word ids
+/// `< vocab`).
+///
+/// # Panics
+///
+/// Panics if any word id is out of range or the configuration is
+/// degenerate (zero topics).
+pub fn fit(docs: &[Vec<usize>], vocab: usize, config: LdaConfig) -> LdaFit {
+    assert!(config.topics > 0, "need at least one topic");
+    for doc in docs {
+        for &w in doc {
+            assert!(w < vocab, "word id {w} out of vocabulary ({vocab})");
+        }
+    }
+    let t = config.topics;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    // Counts. The word-topic matrix is word-major (`n[w * t + k]`) so
+    // the Gibbs inner loop over topics reads one contiguous row.
+    let mut word_topic = vec![0f64; vocab * t]; // n_{w,k}
+    let mut topic_total = vec![0f64; t]; // n_t
+    let mut doc_topic: Vec<Vec<f64>> = docs.iter().map(|_| vec![0f64; t]).collect();
+    let mut assignments: Vec<Vec<usize>> =
+        docs.iter().map(|d| vec![0usize; d.len()]).collect();
+
+    // Initialization: anchored by word bucket when configured, random
+    // otherwise.
+    for (d, doc) in docs.iter().enumerate() {
+        for (i, &w) in doc.iter().enumerate() {
+            let topic = match &config.anchors {
+                Some(map) => map.get(w).copied().unwrap_or(0) % t,
+                None => rng.gen_range(0..t),
+            };
+            assignments[d][i] = topic;
+            word_topic[w * t + topic] += 1.0;
+            topic_total[topic] += 1.0;
+            doc_topic[d][topic] += 1.0;
+        }
+    }
+
+    let v_beta = vocab as f64 * config.beta;
+    let mut weights = vec![0f64; t];
+    for _sweep in 0..config.iterations {
+        for (d, doc) in docs.iter().enumerate() {
+            for (i, &w) in doc.iter().enumerate() {
+                let old = assignments[d][i];
+                let row = &mut word_topic[w * t..(w + 1) * t];
+                row[old] -= 1.0;
+                topic_total[old] -= 1.0;
+                doc_topic[d][old] -= 1.0;
+
+                let mut total = 0.0;
+                for (k, weight) in weights.iter_mut().enumerate() {
+                    let p_word = (row[k] + config.beta) / (topic_total[k] + v_beta);
+                    let p_topic = doc_topic[d][k] + config.alpha;
+                    *weight = p_word * p_topic;
+                    total += *weight;
+                }
+                let mut roll = rng.gen::<f64>() * total;
+                let mut new = t - 1;
+                for (k, &weight) in weights.iter().enumerate() {
+                    if roll < weight {
+                        new = k;
+                        break;
+                    }
+                    roll -= weight;
+                }
+
+                assignments[d][i] = new;
+                word_topic[w * t + new] += 1.0;
+                topic_total[new] += 1.0;
+                doc_topic[d][new] += 1.0;
+            }
+        }
+    }
+
+    // Normalize phi (topic-major, the shape consumers read).
+    let phi: Vec<Vec<f64>> = (0..t)
+        .map(|k| {
+            let denom = topic_total[k] + v_beta;
+            (0..vocab)
+                .map(|w| (word_topic[w * t + k] + config.beta) / denom)
+                .collect()
+        })
+        .collect();
+
+    LdaFit { topics: t, vocab, topic_word: phi, assignments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic corpus with two clear "topics": words {0,1} vs words
+    /// {2,3}.
+    fn two_cluster_corpus(rng: &mut SmallRng) -> Vec<Vec<usize>> {
+        let mut docs = Vec::new();
+        for i in 0..120 {
+            let base = if i % 2 == 0 { 0 } else { 2 };
+            let len = rng.gen_range(6..14);
+            docs.push((0..len).map(|_| base + rng.gen_range(0..2)).collect());
+        }
+        docs
+    }
+
+    #[test]
+    fn separates_obvious_clusters() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let docs = two_cluster_corpus(&mut rng);
+        let config =
+            LdaConfig { topics: 2, alpha: 0.5, beta: 0.25, iterations: 80, seed: 7, anchors: None };
+        let fit = fit(&docs, 4, config);
+        let cats = fit.categories();
+        // All even-index documents should land in one category, odd in the
+        // other.
+        let even = cats[0];
+        let odd = cats[1];
+        assert_ne!(even, odd, "clusters must separate");
+        let coherent = cats
+            .iter()
+            .enumerate()
+            .filter(|(i, &c)| if i % 2 == 0 { c == even } else { c == odd })
+            .count();
+        assert!(
+            coherent >= docs.len() * 9 / 10,
+            "only {coherent}/{} documents coherent",
+            docs.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let docs = two_cluster_corpus(&mut rng);
+        let config = LdaConfig::paper(4);
+        let a = fit(&docs, 4, config.clone());
+        let b = fit(&docs, 4, config);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.topic_word, b.topic_word);
+    }
+
+    #[test]
+    fn top_words_reflect_topics() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let docs = two_cluster_corpus(&mut rng);
+        let config =
+            LdaConfig { topics: 2, alpha: 0.5, beta: 0.25, iterations: 80, seed: 11, anchors: None };
+        let fit = fit(&docs, 4, config);
+        for topic in 0..2 {
+            let top = fit.top_words(topic, 2);
+            // The two top words of a topic must come from the same cluster.
+            assert_eq!(top[0] / 2, top[1] / 2, "topic {topic} mixes clusters: {top:?}");
+        }
+    }
+
+    #[test]
+    fn classify_matches_training_categories() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let docs = two_cluster_corpus(&mut rng);
+        let config =
+            LdaConfig { topics: 2, alpha: 0.5, beta: 0.25, iterations: 80, seed: 13, anchors: None };
+        let fit = fit(&docs, 4, config);
+        let agree = docs
+            .iter()
+            .enumerate()
+            .filter(|(d, doc)| fit.classify(doc) == fit.doc_category(*d))
+            .count();
+        assert!(agree >= docs.len() * 9 / 10, "{agree}/{}", docs.len());
+    }
+
+    #[test]
+    fn empty_documents_are_tolerated() {
+        let docs = vec![vec![], vec![0, 1], vec![]];
+        let fit = fit(&docs, 2, LdaConfig::paper(2));
+        assert_eq!(fit.doc_category(0), 0);
+        assert_eq!(fit.categories().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn rejects_out_of_vocab() {
+        let _ = fit(&[vec![5]], 2, LdaConfig::paper(2));
+    }
+}

@@ -1,0 +1,34 @@
+//! # bhive-learn
+//!
+//! Learning and statistics substrate for BHive-rs:
+//!
+//! * [`lda`] — Latent Dirichlet Allocation by collapsed Gibbs sampling,
+//!   used to cluster basic blocks by their micro-op port-combination usage
+//!   (paper §4.2: 6 topics, α = 1/6, β = 1/13 on Haswell's 13-combination
+//!   vocabulary). The paper uses scikit-learn's stochastic variational
+//!   inference; collapsed Gibbs is a deterministic-seeded substitution
+//!   from the same model family.
+//! * [`regress`] — a small stochastic-gradient-descent regressor over
+//!   hand-rolled features; the learning core of the Ithemal-like
+//!   throughput predictor in `bhive-models`.
+//! * [`stats`] — the evaluation metrics of the paper: (weighted) mean
+//!   relative error and Kendall's tau rank correlation.
+//!
+//! # Example
+//!
+//! ```
+//! use bhive_learn::stats;
+//!
+//! let predicted = [1.0, 2.0, 3.0, 4.0];
+//! let measured = [1.1, 1.9, 3.3, 4.4];
+//! let err = stats::mean_relative_error(
+//!     predicted.iter().copied().zip(measured.iter().copied()),
+//! );
+//! assert!(err < 0.12);
+//! let tau = stats::kendall_tau(&predicted, &measured);
+//! assert!((tau - 1.0).abs() < 1e-12);
+//! ```
+
+pub mod lda;
+pub mod regress;
+pub mod stats;

@@ -1,0 +1,112 @@
+//! Deterministic table perturbation.
+//!
+//! Real cost models are wrong in *systematic* ways: a tool that believes
+//! `pmulld` has latency 7 believes it everywhere. We reproduce that by
+//! perturbing the hardware tables per (mnemonic, width) with a seeded
+//! hash, so each modeled tool has its own consistent set of table errors
+//! whose overall magnitude is one tunable number.
+
+use bhive_asm::Inst;
+use bhive_uarch::Recipe;
+
+/// SplitMix64: cheap, high-quality stateless mixing.
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Applies a tool's systematic table error to a recipe, in place.
+///
+/// `strength` ∈ [0, 1] controls how many table entries are wrong; the
+/// same (mnemonic, width, seed) always perturbs the same way.
+pub(crate) fn perturb_recipe(recipe: &mut Recipe, inst: &Inst, seed: u64, strength: f64) {
+    if recipe.eliminated {
+        return;
+    }
+    let key = mix(seed ^ ((inst.mnemonic() as u64) << 8) ^ u64::from(inst.width_bytes()));
+    for (slot, uop) in recipe.uops.iter_mut().enumerate() {
+        let h = mix(key ^ (slot as u64));
+        // Smooth multiplicative latency error in [1-s, 1+s), hashed per
+        // (mnemonic, width): a tool that believes a wrong latency
+        // believes it everywhere, and calibration stays continuous.
+        let frac = (h & 0xFFFF) as f64 / 65536.0 - 0.5;
+        let scale = 1.0 + 2.0 * strength * frac;
+        let scaled = (f64::from(uop.latency) * scale).round();
+        uop.latency = (scaled as i64).clamp(1, 150) as u32;
+        if uop.blocking > 1 {
+            let blocked = (f64::from(uop.blocking) * scale).round();
+            uop.blocking = (blocked as i64).clamp(1, 150) as u32;
+        }
+        let roll2 = ((h >> 24) & 0xFFFF) as f64 / 65536.0;
+        if roll2 < strength / 2.0 && uop.ports.len() > 1 {
+            // Wrong port assignment: the tool believes the uop is more
+            // restricted than it is (drop the highest port).
+            let keep: Vec<_> = uop.ports.iter().collect();
+            let dropped: bhive_uarch::PortSet =
+                keep[..keep.len() - 1].iter().copied().collect();
+            uop.ports = dropped;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhive_asm::parse_inst;
+    use bhive_uarch::{decompose, Uarch};
+
+    #[test]
+    fn perturbation_is_systematic() {
+        let inst = parse_inst("imul rax, rbx").unwrap();
+        let uarch = Uarch::haswell();
+        let mut a = decompose(&inst, uarch);
+        let mut b = decompose(&inst, uarch);
+        perturb_recipe(&mut a, &inst, 42, 0.8);
+        perturb_recipe(&mut b, &inst, 42, 0.8);
+        assert_eq!(a, b, "same seed, same error");
+        let mut c = decompose(&inst, uarch);
+        perturb_recipe(&mut c, &inst, 43, 0.8);
+        // A different seed perturbs differently for at least some
+        // instructions; probabilistically check a batch.
+        let mut any_diff = a != c;
+        for text in ["add rax, rbx", "mulps xmm0, xmm1", "popcnt rax, rbx"] {
+            let inst = parse_inst(text).unwrap();
+            let mut x = decompose(&inst, uarch);
+            let mut y = decompose(&inst, uarch);
+            perturb_recipe(&mut x, &inst, 42, 0.8);
+            perturb_recipe(&mut y, &inst, 43, 0.8);
+            any_diff |= x != y;
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn zero_strength_is_identity() {
+        let uarch = Uarch::haswell();
+        for text in ["add rax, rbx", "imul rax, rbx", "divps xmm0, xmm1"] {
+            let inst = parse_inst(text).unwrap();
+            let clean = decompose(&inst, uarch);
+            let mut p = clean.clone();
+            perturb_recipe(&mut p, &inst, 7, 0.0);
+            assert_eq!(clean, p, "{text}");
+        }
+    }
+
+    #[test]
+    fn latencies_stay_positive() {
+        let uarch = Uarch::haswell();
+        for text in ["add rax, rbx", "xorps xmm0, xmm1", "movzx eax, bl"] {
+            let inst = parse_inst(text).unwrap();
+            for seed in 0..50 {
+                let mut r = decompose(&inst, uarch);
+                perturb_recipe(&mut r, &inst, seed, 1.0);
+                for uop in &r.uops {
+                    assert!(uop.latency >= 1);
+                    assert!(!uop.ports.is_empty());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Predicted execution schedules (for the paper's Fig. "scheduling").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One scheduled micro-op in a model's predicted trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledUop {
+    /// Index of the instruction within the block.
+    pub inst_idx: usize,
+    /// Which simulated iteration the uop belongs to.
+    pub iteration: u32,
+    /// Dispatch cycle.
+    pub start: u64,
+    /// Completion cycle.
+    pub end: u64,
+    /// Execution port the model assigned (255 = eliminated at rename).
+    pub port: u8,
+}
+
+/// A model's predicted schedule over a few steady-state iterations,
+/// together with its throughput estimate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Tool that produced the schedule.
+    pub model: String,
+    /// Steady-state cycles per iteration.
+    pub throughput: f64,
+    /// The scheduled uops (a steady-state window, earliest first).
+    pub uops: Vec<ScheduledUop>,
+    /// Textual form of each instruction (for rendering).
+    pub inst_texts: Vec<String>,
+}
+
+impl Schedule {
+    /// Renders the schedule as an ASCII timeline, one row per uop, like
+    /// the paper's scheduling figure. `width` caps the number of cycle
+    /// columns.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        use std::fmt::Write;
+        let base = self.uops.iter().map(|u| u.start).min().unwrap_or(0);
+        writeln!(
+            out,
+            "{} schedule (throughput {:.2} cycles/iter):",
+            self.model, self.throughput
+        )
+        .expect("write to String");
+        for uop in &self.uops {
+            let start = (uop.start - base) as usize;
+            let end = (uop.end - base) as usize;
+            let mut line = String::new();
+            for cycle in 0..width {
+                line.push(if cycle >= start && cycle < end {
+                    if uop.port == 255 {
+                        '~'
+                    } else {
+                        '='
+                    }
+                } else if cycle == start && start == end {
+                    '|'
+                } else {
+                    ' '
+                });
+            }
+            let port = if uop.port == 255 {
+                "--".to_string()
+            } else {
+                format!("p{}", uop.port)
+            };
+            writeln!(
+                out,
+                "it{} {:>3} |{}| {}",
+                uop.iteration,
+                port,
+                line,
+                self.inst_texts.get(uop.inst_idx).map(String::as_str).unwrap_or("?")
+            )
+            .expect("write to String");
+        }
+        out
+    }
+
+    /// Dispatch cycle of instruction `inst_idx` in iteration `iteration`
+    /// (minimum over its uops), if present in the window.
+    pub fn dispatch_cycle(&self, inst_idx: usize, iteration: u32) -> Option<u64> {
+        self.uops
+            .iter()
+            .filter(|u| u.inst_idx == inst_idx && u.iteration == iteration)
+            .map(|u| u.start)
+            .min()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_rows() {
+        let sched = Schedule {
+            model: "iaca".into(),
+            throughput: 2.0,
+            uops: vec![
+                ScheduledUop { inst_idx: 0, iteration: 0, start: 0, end: 1, port: 0 },
+                ScheduledUop { inst_idx: 1, iteration: 0, start: 1, end: 4, port: 1 },
+            ],
+            inst_texts: vec!["add rax, 1".into(), "imul rbx, rcx".into()],
+        };
+        let text = sched.render(10);
+        assert!(text.contains("add rax, 1"));
+        assert!(text.contains("imul rbx, rcx"));
+        assert!(text.contains("p1"));
+        assert_eq!(sched.dispatch_cycle(1, 0), Some(1));
+        assert_eq!(sched.dispatch_cycle(2, 0), None);
+    }
+}

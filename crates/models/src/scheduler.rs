@@ -1,0 +1,416 @@
+//! The static out-of-order port scheduler shared by the IACA-like and
+//! llvm-mca-like models.
+//!
+//! Unlike the ground-truth machine in `bhive-sim`, a static analyzer has
+//! no operand values: loads always cost the L1 latency, division costs a
+//! fixed table value, memory never aliases, and there are no caches or
+//! measurement noise. Those assumptions are exactly the modeling gaps the
+//! paper quantifies.
+
+use crate::schedule::{Schedule, ScheduledUop};
+use bhive_asm::{BasicBlock, Inst};
+use bhive_uarch::{macro_fuses, Recipe, Uarch, UopKind};
+use std::collections::HashMap;
+
+/// Behavioural switches that differ between the modeled tools.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StaticParams {
+    /// Model `cmp`/`test` + `jcc` macro-fusion.
+    pub macro_fusion: bool,
+}
+
+impl Default for StaticParams {
+    fn default() -> Self {
+        StaticParams { macro_fusion: true }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DepKey {
+    Gpr(u8),
+    Vec(u8),
+    Flags,
+}
+
+const NO_UOP: u32 = u32::MAX;
+
+struct DynUop {
+    ports: u8,
+    latency: u32,
+    blocking: u32,
+    deps: Vec<u32>,
+    inst_idx: usize,
+    iteration: u32,
+}
+
+// NOTE: the dependency-tracking pre-pass below intentionally mirrors the
+// one in `bhive-sim::timing` rather than sharing code with it — the
+// static analyzers are a deliberately *independent twin* of the hardware
+// (same pipeline skeleton, different and imperfect inputs), and models
+// must not depend on the simulator crate. Flag semantics, however, are
+// instruction facts and come from `bhive-asm`.
+fn writes_flags(inst: &Inst) -> bool {
+    inst.writes_flags()
+}
+
+fn reads_flags(inst: &Inst) -> bool {
+    inst.reads_flags()
+}
+
+/// Simulates the block in a loop and returns `(throughput, schedule)`.
+///
+/// `recipes` must be parallel to `block.insts()` — each model supplies
+/// its own (possibly perturbed or structurally wrong) recipes.
+pub(crate) fn steady_state(
+    block: &BasicBlock,
+    recipes: &[Recipe],
+    uarch: &Uarch,
+    params: StaticParams,
+    model_name: &str,
+) -> (f64, Schedule) {
+    let insts = block.insts();
+    let n_insts = insts.len().max(1);
+    // Iteration counts: a warm-up window, then two measured windows.
+    let window = (2048 / n_insts).clamp(4, 24) as u32;
+    let warmup = window / 2 + 2;
+    let total_iters = warmup + 2 * window;
+
+    // Macro-fusion: a fused branch consumes no extra slot.
+    let mut fused = vec![false; insts.len()];
+    if params.macro_fusion {
+        for i in 1..insts.len() {
+            if macro_fuses(&insts[i - 1], &insts[i], uarch) {
+                fused[i] = true;
+            }
+        }
+    }
+
+    // ---- Build the dynamic uop stream with register dependencies ----
+    let mut uops: Vec<DynUop> = Vec::with_capacity(total_iters as usize * n_insts);
+    // (first, last, slots, eliminated) per dynamic instruction.
+    let mut inst_meta: Vec<(u32, u32, u32, bool)> = Vec::new();
+    let mut producers: HashMap<DepKey, u32> = HashMap::new();
+
+    for iteration in 0..total_iters {
+        for (inst_idx, inst) in insts.iter().enumerate() {
+            let recipe = &recipes[inst_idx];
+            let first = uops.len() as u32;
+            let slots = if fused[inst_idx] { 0 } else { recipe.frontend_slots };
+
+            if recipe.eliminated {
+                if inst.is_zero_idiom() {
+                    for reg in inst.gpr_writes() {
+                        producers.remove(&DepKey::Gpr(reg.number()));
+                    }
+                    for vec in inst.vec_writes() {
+                        producers.remove(&DepKey::Vec(vec.number()));
+                    }
+                    // Scalar idioms (`xor r, r`) also set flags at rename:
+                    // consumers must not wait on the previous flag writer.
+                    if !inst.mnemonic().is_sse() {
+                        producers.remove(&DepKey::Flags);
+                    }
+                } else {
+                    // Eliminated move: alias the destination to the source.
+                    let gpr_alias = inst
+                        .gpr_writes()
+                        .first()
+                        .copied()
+                        .zip(inst.gpr_reads().first().copied());
+                    if let Some((dst, src)) = gpr_alias {
+                        match producers.get(&DepKey::Gpr(src.number())).copied() {
+                            Some(p) => producers.insert(DepKey::Gpr(dst.number()), p),
+                            None => producers.remove(&DepKey::Gpr(dst.number())),
+                        };
+                    } else if let Some((dst, src)) = inst
+                        .vec_writes()
+                        .first()
+                        .copied()
+                        .zip(inst.vec_reads().first().copied())
+                    {
+                        match producers.get(&DepKey::Vec(src.number())).copied() {
+                            Some(p) => producers.insert(DepKey::Vec(dst.number()), p),
+                            None => producers.remove(&DepKey::Vec(dst.number())),
+                        };
+                    }
+                }
+                inst_meta.push((first, first, slots, true));
+                continue;
+            }
+
+            let addr_deps: Vec<u32> = inst
+                .mem_operand()
+                .map(|m| {
+                    m.address_regs()
+                        .filter_map(|r| producers.get(&DepKey::Gpr(r.number())).copied())
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut reg_deps: Vec<u32> = Vec::new();
+            for reg in inst.gpr_reads() {
+                if let Some(&p) = producers.get(&DepKey::Gpr(reg.number())) {
+                    reg_deps.push(p);
+                }
+            }
+            for vec in inst.vec_reads() {
+                if let Some(&p) = producers.get(&DepKey::Vec(vec.number())) {
+                    reg_deps.push(p);
+                }
+            }
+            if reads_flags(inst) {
+                if let Some(&p) = producers.get(&DepKey::Flags) {
+                    reg_deps.push(p);
+                }
+            }
+
+            let mut load_uop = NO_UOP;
+            let mut last_compute = NO_UOP;
+            for uop in &recipe.uops {
+                let mut deps: Vec<u32> = Vec::new();
+                match uop.kind {
+                    UopKind::Load => deps.extend_from_slice(&addr_deps),
+                    UopKind::Compute => {
+                        deps.extend_from_slice(&reg_deps);
+                        if load_uop != NO_UOP {
+                            deps.push(load_uop);
+                        }
+                        if last_compute != NO_UOP {
+                            deps.push(last_compute);
+                        }
+                    }
+                    UopKind::StoreAddr => deps.extend_from_slice(&addr_deps),
+                    UopKind::StoreData => {
+                        if last_compute != NO_UOP {
+                            deps.push(last_compute);
+                        } else if load_uop != NO_UOP {
+                            deps.push(load_uop);
+                        } else {
+                            deps.extend_from_slice(&reg_deps);
+                        }
+                    }
+                }
+                deps.sort_unstable();
+                deps.dedup();
+                let id = uops.len() as u32;
+                uops.push(DynUop {
+                    ports: uop.ports.mask(),
+                    latency: uop.latency,
+                    blocking: uop.blocking,
+                    deps,
+                    inst_idx,
+                    iteration,
+                });
+                match uop.kind {
+                    UopKind::Load => load_uop = id,
+                    UopKind::Compute => last_compute = id,
+                    _ => {}
+                }
+            }
+
+            let result_uop = if last_compute != NO_UOP { last_compute } else { load_uop };
+            if result_uop != NO_UOP {
+                for reg in inst.gpr_writes() {
+                    producers.insert(DepKey::Gpr(reg.number()), result_uop);
+                }
+                for vec in inst.vec_writes() {
+                    producers.insert(DepKey::Vec(vec.number()), result_uop);
+                }
+                if writes_flags(inst) {
+                    producers.insert(DepKey::Flags, result_uop);
+                }
+            }
+            inst_meta.push((first, uops.len() as u32, slots, false));
+        }
+    }
+
+    // ---- Cycle loop (rename / issue / retire) ----
+    let total_insts = inst_meta.len();
+    let mut completion = vec![u64::MAX; uops.len()];
+    let mut start_cycle = vec![0u64; uops.len()];
+    let mut assigned_port = vec![255u8; uops.len()];
+    let mut waiting: Vec<u32> = Vec::new();
+    let mut port_free = [0u64; 8];
+    let mut next_rename = 0usize;
+    let mut next_retire = 0usize;
+    let mut rob_used = 0u32;
+    let mut rs_used = 0u32;
+    let mut rename_cycle = vec![0u64; total_insts];
+    let mut retire_cycle = vec![0u64; total_insts];
+    let mut cycle = 0u64;
+    let max_cycles = 500_000u64 + uops.len() as u64 * 96;
+
+    while next_retire < total_insts {
+        let mut retired = 0;
+        while next_retire < total_insts && retired < uarch.retire_width {
+            let (first, last, _slots, eliminated) = inst_meta[next_retire];
+            let done = next_retire < next_rename
+                && (eliminated
+                    || (first..last).all(|u| completion[u as usize] <= cycle));
+            if !done {
+                break;
+            }
+            retire_cycle[next_retire] = cycle;
+            rob_used = rob_used.saturating_sub(inst_meta[next_retire].2.max(1));
+            next_retire += 1;
+            retired += 1;
+        }
+
+        let mut still_waiting: Vec<u32> = Vec::with_capacity(waiting.len());
+        for &uid in &waiting {
+            let u = &uops[uid as usize];
+            let ready = u.deps.iter().all(|&d| completion[d as usize] <= cycle);
+            if !ready {
+                still_waiting.push(uid);
+                continue;
+            }
+            let mut best: Option<usize> = None;
+            for p in 0..8 {
+                if u.ports & (1 << p) != 0 && port_free[p] <= cycle {
+                    best = match best {
+                        Some(b) if port_free[b] <= port_free[p] => Some(b),
+                        _ => Some(p),
+                    };
+                }
+            }
+            let Some(port) = best else {
+                still_waiting.push(uid);
+                continue;
+            };
+            start_cycle[uid as usize] = cycle;
+            completion[uid as usize] = cycle + u64::from(u.latency.max(1));
+            assigned_port[uid as usize] = port as u8;
+            port_free[port] = cycle + u64::from(u.blocking.max(1));
+            rs_used = rs_used.saturating_sub(1);
+        }
+        waiting = still_waiting;
+
+        let mut slots_left = uarch.issue_width;
+        while next_rename < total_insts && slots_left > 0 {
+            let (first, last, slots, eliminated) = inst_meta[next_rename];
+            let uop_count = last - first;
+            if rob_used + slots.max(1) > uarch.rob_size
+                || rs_used + uop_count > uarch.rs_size
+                || slots > slots_left
+            {
+                break;
+            }
+            rename_cycle[next_rename] = cycle;
+            rob_used += slots.max(1);
+            if !eliminated {
+                for uid in first..last {
+                    waiting.push(uid);
+                }
+                rs_used += uop_count;
+            }
+            slots_left -= slots.min(slots_left);
+            next_rename += 1;
+        }
+
+        cycle += 1;
+        if cycle > max_cycles {
+            break;
+        }
+    }
+
+    // Throughput: difference of window-end retire times over the window.
+    let iter_end = |iteration: u32| -> u64 {
+        let last_inst = ((iteration + 1) as usize) * n_insts - 1;
+        retire_cycle[last_inst.min(total_insts - 1)]
+    };
+    let w1_end = iter_end(warmup + window - 1);
+    let w2_end = iter_end(warmup + 2 * window - 1);
+    let throughput = (w2_end.saturating_sub(w1_end)) as f64 / f64::from(window);
+
+    // Schedule window: two steady-state iterations.
+    let sched_iters = [warmup + window, warmup + window + 1];
+    let mut sched_uops: Vec<ScheduledUop> = Vec::new();
+    for (uid, u) in uops.iter().enumerate() {
+        if sched_iters.contains(&u.iteration) {
+            sched_uops.push(ScheduledUop {
+                inst_idx: u.inst_idx,
+                iteration: u.iteration - sched_iters[0],
+                start: start_cycle[uid],
+                end: completion[uid],
+                port: assigned_port[uid],
+            });
+        }
+    }
+    // Include eliminated instructions as zero-width marks at rename.
+    for (dyn_idx, &(first, last, _, eliminated)) in inst_meta.iter().enumerate() {
+        if eliminated && first == last {
+            let iteration = (dyn_idx / n_insts) as u32;
+            if sched_iters.contains(&iteration) {
+                sched_uops.push(ScheduledUop {
+                    inst_idx: dyn_idx % n_insts,
+                    iteration: iteration - sched_iters[0],
+                    start: rename_cycle[dyn_idx],
+                    end: rename_cycle[dyn_idx],
+                    port: 255,
+                });
+            }
+        }
+    }
+    sched_uops.sort_by_key(|u| (u.iteration, u.inst_idx, u.start));
+
+    let schedule = Schedule {
+        model: model_name.to_string(),
+        throughput,
+        uops: sched_uops,
+        inst_texts: insts.iter().map(|i| i.to_string()).collect(),
+    };
+    (throughput, schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bhive_asm::parse_block;
+    use bhive_uarch::{decompose, Uarch};
+
+    fn tp(text: &str) -> f64 {
+        let block = parse_block(text).unwrap();
+        let uarch = Uarch::haswell();
+        let recipes: Vec<Recipe> =
+            block.iter().map(|i| decompose(i, uarch)).collect();
+        steady_state(&block, &recipes, uarch, StaticParams::default(), "test").0
+    }
+
+    #[test]
+    fn throughput_bounds() {
+        // Four independent adds: port bound ~1/iter.
+        let t = tp("add rax, 1\nadd rbx, 1\nadd rcx, 1\nadd rsi, 1");
+        assert!((0.9..=1.3).contains(&t), "{t}");
+        // Dependent chain: latency bound ~4/iter.
+        let t = tp("add rax, 1\nadd rax, 1\nadd rax, 1\nadd rax, 1");
+        assert!((3.7..=4.3).contains(&t), "{t}");
+        // imul chain: 3/iter.
+        let t = tp("imul rax, rbx");
+        assert!((2.7..=3.3).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn zero_idiom_with_hardware_tables() {
+        let t = tp("vxorps xmm2, xmm2, xmm2");
+        assert!(t <= 0.5, "eliminated idiom: {t}");
+    }
+
+    #[test]
+    fn schedule_window_is_steady() {
+        let block = parse_block("add rax, 1\nimul rbx, rax").unwrap();
+        let uarch = Uarch::haswell();
+        let recipes: Vec<Recipe> = block.iter().map(|i| decompose(i, uarch)).collect();
+        let (tp, sched) = steady_state(&block, &recipes, uarch, StaticParams::default(), "t");
+        assert!(tp > 0.0);
+        // Both iterations of both instructions present.
+        for inst in 0..2 {
+            for it in 0..2 {
+                assert!(
+                    sched.dispatch_cycle(inst, it).is_some(),
+                    "missing inst {inst} iter {it}"
+                );
+            }
+        }
+        // Iteration 1 dispatches after iteration 0.
+        assert!(sched.dispatch_cycle(0, 1) >= sched.dispatch_cycle(0, 0));
+    }
+}

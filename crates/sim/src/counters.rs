@@ -1,0 +1,112 @@
+//! Hardware performance counters exposed by the simulated machine.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// The counters the paper's measurement framework reads: the core-cycle
+/// counter plus the statistics used to *reject* polluted measurements
+/// (§ "Enforcing Modeling Invariants" and the misaligned-access filter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Core clock cycles (invariant to frequency scaling, unlike the TSC).
+    pub core_cycles: u64,
+    /// Instructions retired.
+    pub instructions_retired: u64,
+    /// Unfused-domain micro-ops executed.
+    pub uops_executed: u64,
+    /// L1 data-cache read misses.
+    pub l1d_read_misses: u64,
+    /// L1 data-cache write misses.
+    pub l1d_write_misses: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// Context switches observed during the measurement window.
+    pub context_switches: u64,
+    /// Loads/stores crossing a cache-line boundary
+    /// (`MISALIGNED_MEM_REFERENCE`).
+    pub misaligned_mem_refs: u64,
+    /// FP operations that saw a subnormal input or produced a subnormal
+    /// result while gradual underflow was enabled.
+    pub subnormal_events: u64,
+}
+
+impl PerfCounters {
+    /// A zeroed counter block.
+    pub fn new() -> PerfCounters {
+        PerfCounters::default()
+    }
+
+    /// True when the measurement satisfies every modeling invariant the
+    /// paper enforces: no cache misses of any kind and no context switches.
+    pub fn is_clean(&self) -> bool {
+        self.l1d_read_misses == 0
+            && self.l1d_write_misses == 0
+            && self.l1i_misses == 0
+            && self.context_switches == 0
+    }
+
+    /// Difference of two counter snapshots (`end - begin`).
+    pub fn delta(end: &PerfCounters, begin: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            core_cycles: end.core_cycles - begin.core_cycles,
+            instructions_retired: end.instructions_retired - begin.instructions_retired,
+            uops_executed: end.uops_executed - begin.uops_executed,
+            l1d_read_misses: end.l1d_read_misses - begin.l1d_read_misses,
+            l1d_write_misses: end.l1d_write_misses - begin.l1d_write_misses,
+            l1i_misses: end.l1i_misses - begin.l1i_misses,
+            context_switches: end.context_switches - begin.context_switches,
+            misaligned_mem_refs: end.misaligned_mem_refs - begin.misaligned_mem_refs,
+            subnormal_events: end.subnormal_events - begin.subnormal_events,
+        }
+    }
+}
+
+impl Add for PerfCounters {
+    type Output = PerfCounters;
+
+    fn add(mut self, rhs: PerfCounters) -> PerfCounters {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for PerfCounters {
+    fn add_assign(&mut self, rhs: PerfCounters) {
+        self.core_cycles += rhs.core_cycles;
+        self.instructions_retired += rhs.instructions_retired;
+        self.uops_executed += rhs.uops_executed;
+        self.l1d_read_misses += rhs.l1d_read_misses;
+        self.l1d_write_misses += rhs.l1d_write_misses;
+        self.l1i_misses += rhs.l1i_misses;
+        self.context_switches += rhs.context_switches;
+        self.misaligned_mem_refs += rhs.misaligned_mem_refs;
+        self.subnormal_events += rhs.subnormal_events;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_predicate() {
+        let mut c = PerfCounters::new();
+        assert!(c.is_clean());
+        c.core_cycles = 100;
+        c.misaligned_mem_refs = 1; // not part of the clean predicate
+        assert!(c.is_clean());
+        c.l1i_misses = 1;
+        assert!(!c.is_clean());
+    }
+
+    #[test]
+    fn delta_and_sum() {
+        let begin = PerfCounters { core_cycles: 100, l1d_read_misses: 2, ..Default::default() };
+        let end = PerfCounters { core_cycles: 250, l1d_read_misses: 2, ..Default::default() };
+        let d = PerfCounters::delta(&end, &begin);
+        assert_eq!(d.core_cycles, 150);
+        assert_eq!(d.l1d_read_misses, 0);
+        let sum = d + d;
+        assert_eq!(sum.core_cycles, 300);
+    }
+}

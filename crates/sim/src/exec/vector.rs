@@ -1,0 +1,856 @@
+//! SSE/AVX instruction semantics (scalar-FP, packed-FP, packed-integer).
+
+use super::{effective_addr, ExecFault, InstEffects, MemAccess};
+use crate::mem::Memory;
+use crate::state::{CpuState, Mxcsr};
+use bhive_asm::{Inst, Mnemonic, Operand, VecWidth};
+
+/// A 32-byte operand value (vector register or memory contents, padded).
+type VBytes = [u8; 32];
+
+fn is_sub_f32(x: f32) -> bool {
+    x != 0.0 && x.is_finite() && x.abs() < f32::MIN_POSITIVE
+}
+
+fn is_sub_f64(x: f64) -> bool {
+    x != 0.0 && x.is_finite() && x.abs() < f64::MIN_POSITIVE
+}
+
+/// Applies DAZ to an input lane; records a subnormal event when gradual
+/// underflow is still enabled.
+fn daz32(x: f32, mxcsr: Mxcsr, subnormal: &mut bool) -> f32 {
+    if is_sub_f32(x) {
+        if mxcsr.daz {
+            return if x.is_sign_negative() { -0.0 } else { 0.0 };
+        }
+        *subnormal = true;
+    }
+    x
+}
+
+fn daz64(x: f64, mxcsr: Mxcsr, subnormal: &mut bool) -> f64 {
+    if is_sub_f64(x) {
+        if mxcsr.daz {
+            return if x.is_sign_negative() { -0.0 } else { 0.0 };
+        }
+        *subnormal = true;
+    }
+    x
+}
+
+/// Applies FTZ to a result lane; records a subnormal event when gradual
+/// underflow produced a subnormal result.
+fn ftz32(x: f32, mxcsr: Mxcsr, subnormal: &mut bool) -> f32 {
+    if is_sub_f32(x) {
+        if mxcsr.ftz {
+            return if x.is_sign_negative() { -0.0 } else { 0.0 };
+        }
+        *subnormal = true;
+    }
+    x
+}
+
+fn ftz64(x: f64, mxcsr: Mxcsr, subnormal: &mut bool) -> f64 {
+    if is_sub_f64(x) {
+        if mxcsr.ftz {
+            return if x.is_sign_negative() { -0.0 } else { 0.0 };
+        }
+        *subnormal = true;
+    }
+    x
+}
+
+fn get_f32(bytes: &VBytes, lane: usize) -> f32 {
+    f32::from_le_bytes(bytes[lane * 4..lane * 4 + 4].try_into().expect("lane"))
+}
+
+fn set_f32(bytes: &mut VBytes, lane: usize, v: f32) {
+    bytes[lane * 4..lane * 4 + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_f64(bytes: &VBytes, lane: usize) -> f64 {
+    f64::from_le_bytes(bytes[lane * 8..lane * 8 + 8].try_into().expect("lane"))
+}
+
+fn set_f64(bytes: &mut VBytes, lane: usize, v: f64) {
+    bytes[lane * 8..lane * 8 + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(bytes: &VBytes, lane: usize) -> u32 {
+    u32::from_le_bytes(bytes[lane * 4..lane * 4 + 4].try_into().expect("lane"))
+}
+
+fn set_u32(bytes: &mut VBytes, lane: usize, v: u32) {
+    bytes[lane * 4..lane * 4 + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(bytes: &VBytes, lane: usize) -> u64 {
+    u64::from_le_bytes(bytes[lane * 8..lane * 8 + 8].try_into().expect("lane"))
+}
+
+fn set_u64(bytes: &mut VBytes, lane: usize, v: u64) {
+    bytes[lane * 8..lane * 8 + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(bytes: &VBytes, lane: usize) -> u16 {
+    u16::from_le_bytes(bytes[lane * 2..lane * 2 + 2].try_into().expect("lane"))
+}
+
+fn set_u16(bytes: &mut VBytes, lane: usize, v: u16) {
+    bytes[lane * 2..lane * 2 + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+struct Ctx<'a> {
+    state: &'a mut CpuState,
+    mem: &'a mut Memory,
+    fx: &'a mut InstEffects,
+}
+
+impl Ctx<'_> {
+    /// Reads a vector-or-memory operand into a padded 32-byte buffer.
+    fn read(&mut self, op: &Operand, width: u8, aligned: bool) -> Result<VBytes, ExecFault> {
+        let mut out = [0u8; 32];
+        match op {
+            Operand::Vec(v) => {
+                let w = v.width().bytes() as usize;
+                out[..w].copy_from_slice(&self.state.vec_raw(v.number())[..w]);
+            }
+            Operand::Mem(m) => {
+                let vaddr = effective_addr(m, self.state);
+                if aligned && !vaddr.is_multiple_of(u64::from(width)) {
+                    return Err(ExecFault::GeneralProtection { vaddr });
+                }
+                self.mem.read(vaddr, &mut out[..width as usize])?;
+                let paddr = self.mem.phys_addr(vaddr, false)?;
+                self.fx.load = Some(MemAccess { vaddr, paddr, width, write: false });
+            }
+            Operand::Gpr { reg, size } => {
+                let v = self.state.gpr(*reg, *size);
+                out[..8].copy_from_slice(&v.to_le_bytes());
+            }
+            Operand::Imm(_) => unreachable!("immediate as vector source"),
+        }
+        Ok(out)
+    }
+
+    /// Writes a result to a vector register or memory destination.
+    fn write(
+        &mut self,
+        op: &Operand,
+        bytes: &VBytes,
+        width: u8,
+        vex: bool,
+        aligned: bool,
+    ) -> Result<(), ExecFault> {
+        match op {
+            Operand::Vec(v) => {
+                let w = v.width().bytes() as usize;
+                self.state.set_vec(*v, &bytes[..w], vex);
+                Ok(())
+            }
+            Operand::Mem(m) => {
+                let vaddr = effective_addr(m, self.state);
+                if aligned && !vaddr.is_multiple_of(u64::from(width)) {
+                    return Err(ExecFault::GeneralProtection { vaddr });
+                }
+                self.mem.write(vaddr, &bytes[..width as usize])?;
+                let paddr = self.mem.phys_addr(vaddr, true)?;
+                self.fx.store = Some(MemAccess { vaddr, paddr, width, write: true });
+                Ok(())
+            }
+            _ => unreachable!("scalar destination in vector context"),
+        }
+    }
+}
+
+/// Splits `(dst, srcs)` for both legacy (`dst = op(dst, src)`) and VEX
+/// (`dst = op(src1, src2)`) operand conventions.
+fn split_ops(inst: &Inst) -> (&Operand, &Operand, &Operand) {
+    let ops = inst.operands();
+    match ops.len() {
+        // Legacy: dst is also first source.
+        2 => (&ops[0], &ops[0], &ops[1]),
+        // Imm-carrying legacy forms (shufps/pshufd handled separately).
+        3 if ops[2].as_imm().is_some() => (&ops[0], &ops[0], &ops[1]),
+        3 => (&ops[0], &ops[1], &ops[2]),
+        4 => (&ops[0], &ops[1], &ops[2]),
+        _ => (&ops[0], &ops[0], &ops[0]),
+    }
+}
+
+fn vec_width_of(inst: &Inst) -> u8 {
+    inst.operands()
+        .iter()
+        .find_map(|op| match op {
+            Operand::Vec(v) => Some(v.width().bytes()),
+            _ => None,
+        })
+        .unwrap_or(16)
+}
+
+pub(super) fn execute(
+    inst: &Inst,
+    state: &mut CpuState,
+    mem: &mut Memory,
+    fx: &mut InstEffects,
+) -> Result<(), ExecFault> {
+    use Mnemonic::*;
+    let vex = inst.is_vex();
+    let width = vec_width_of(inst);
+    let mxcsr = state.mxcsr;
+    let mut ctx = Ctx { state, mem, fx };
+    let ops = inst.operands();
+    let m = inst.mnemonic();
+
+    match m {
+        // ---- moves ----
+        Movss | Movsd => {
+            let lane = if m == Movss { 4 } else { 8 };
+            match (&ops[0], &ops[1]) {
+                (Operand::Vec(dst), Operand::Vec(src)) => {
+                    // Register-register: merge the low lane.
+                    let src_bytes = ctx.read(&Operand::Vec(*src), lane, false)?;
+                    let mut out = [0u8; 32];
+                    let w = dst.width().bytes() as usize;
+                    out[..w].copy_from_slice(&ctx.state.vec_raw(dst.number())[..w]);
+                    out[..lane as usize].copy_from_slice(&src_bytes[..lane as usize]);
+                    ctx.write(&ops[0], &out, lane, vex, false)?;
+                }
+                (Operand::Vec(_), Operand::Mem(_)) => {
+                    // Load: zero the rest of the register.
+                    let out = ctx.read(&ops[1], lane, false)?;
+                    ctx.state.set_vec(
+                        ops[0].as_vec().expect("vec dst").with_width(VecWidth::Xmm),
+                        &out[..16],
+                        true,
+                    );
+                }
+                (Operand::Mem(_), Operand::Vec(_)) => {
+                    let out = ctx.read(&ops[1], lane, false)?;
+                    ctx.write(&ops[0], &out, lane, vex, false)?;
+                }
+                _ => unreachable!("movss operand shapes"),
+            }
+        }
+        Movaps | Movdqa => {
+            let src = ctx.read(&ops[1], width, true)?;
+            ctx.write(&ops[0], &src, width, vex, true)?;
+        }
+        Movups | Movdqu => {
+            let src = ctx.read(&ops[1], width, false)?;
+            ctx.write(&ops[0], &src, width, vex, false)?;
+        }
+        Movd | Movq => {
+            let lane = if m == Movd { 4 } else { 8 };
+            match (&ops[0], &ops[1]) {
+                (Operand::Vec(_), _) => {
+                    let src = ctx.read(&ops[1], lane, false)?;
+                    let mut out = [0u8; 32];
+                    out[..lane as usize].copy_from_slice(&src[..lane as usize]);
+                    ctx.write(&ops[0], &out, lane, true, false)?;
+                }
+                (_, Operand::Vec(v)) => {
+                    let value = match lane {
+                        4 => u64::from(get_u32(ctx.state.vec_raw(v.number()), 0)),
+                        _ => get_u64(ctx.state.vec_raw(v.number()), 0),
+                    };
+                    super::write_scalar_operand(&ops[0], value, ctx.state, ctx.mem, ctx.fx)?;
+                }
+                _ => unreachable!("movd operand shapes"),
+            }
+        }
+        Vbroadcastss => {
+            let src = ctx.read(&ops[1], 4, false)?;
+            let mut out = [0u8; 32];
+            for lane in 0..(width / 4) as usize {
+                out[lane * 4..lane * 4 + 4].copy_from_slice(&src[..4]);
+            }
+            ctx.write(&ops[0], &out, width, true, false)?;
+        }
+        // ---- scalar float arithmetic ----
+        Addss | Subss | Mulss | Divss | Sqrtss => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, 4, false)?;
+            let b = ctx.read(b_op, 4, false)?;
+            let mut sub = false;
+            let x = daz32(get_f32(&a, 0), mxcsr, &mut sub);
+            let y = daz32(get_f32(&b, 0), mxcsr, &mut sub);
+            let r = match m {
+                Addss => x + y,
+                Subss => x - y,
+                Mulss => x * y,
+                Divss => x / y,
+                Sqrtss => y.sqrt(),
+                _ => unreachable!(),
+            };
+            let r = ftz32(r, mxcsr, &mut sub);
+            ctx.fx.subnormal |= sub;
+            let mut out = a;
+            set_f32(&mut out, 0, r);
+            ctx.write(dst, &out, 4, vex, false)?;
+        }
+        Addsd | Subsd | Mulsd | Divsd | Sqrtsd => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, 8, false)?;
+            let b = ctx.read(b_op, 8, false)?;
+            let mut sub = false;
+            let x = daz64(get_f64(&a, 0), mxcsr, &mut sub);
+            let y = daz64(get_f64(&b, 0), mxcsr, &mut sub);
+            let r = match m {
+                Addsd => x + y,
+                Subsd => x - y,
+                Mulsd => x * y,
+                Divsd => x / y,
+                Sqrtsd => y.sqrt(),
+                _ => unreachable!(),
+            };
+            let r = ftz64(r, mxcsr, &mut sub);
+            ctx.fx.subnormal |= sub;
+            let mut out = a;
+            set_f64(&mut out, 0, r);
+            ctx.write(dst, &out, 8, vex, false)?;
+        }
+        Ucomiss | Ucomisd => {
+            let a = ctx.read(&ops[0], if m == Ucomiss { 4 } else { 8 }, false)?;
+            let b = ctx.read(&ops[1], if m == Ucomiss { 4 } else { 8 }, false)?;
+            let (x, y) = if m == Ucomiss {
+                (f64::from(get_f32(&a, 0)), f64::from(get_f32(&b, 0)))
+            } else {
+                (get_f64(&a, 0), get_f64(&b, 0))
+            };
+            let flags = &mut ctx.state.flags;
+            flags.of = false;
+            flags.sf = false;
+            if x.is_nan() || y.is_nan() {
+                flags.zf = true;
+                flags.pf = true;
+                flags.cf = true;
+            } else {
+                flags.zf = x == y;
+                flags.pf = false;
+                flags.cf = x < y;
+            }
+        }
+        Cvtsi2ss | Cvtsi2sd => {
+            let int = super::read_scalar_operand(&ops[1], ctx.state, ctx.mem, ctx.fx)?;
+            let signed = match ops[1].width_bytes().unwrap_or(4) {
+                8 => int as i64,
+                _ => i64::from(int as i32),
+            };
+            let src_width = if m == Cvtsi2ss { 4 } else { 8 };
+            let dst = ops[0].as_vec().expect("cvt destination register");
+            let mut out = [0u8; 32];
+            let w = dst.width().bytes() as usize;
+            out[..w].copy_from_slice(&ctx.state.vec_raw(dst.number())[..w]);
+            if m == Cvtsi2ss {
+                set_f32(&mut out, 0, signed as f32);
+            } else {
+                set_f64(&mut out, 0, signed as f64);
+            }
+            ctx.write(&ops[0], &out, src_width, vex, false)?;
+        }
+        Cvttss2si | Cvttsd2si => {
+            let lane = if m == Cvttss2si { 4 } else { 8 };
+            let src = ctx.read(&ops[1], lane, false)?;
+            let value = if m == Cvttss2si {
+                get_f32(&src, 0) as i64
+            } else {
+                get_f64(&src, 0) as i64
+            };
+            super::write_scalar_operand(&ops[0], value as u64, ctx.state, ctx.mem, ctx.fx)?;
+        }
+        Cvtdq2ps => {
+            let src = ctx.read(&ops[ops.len() - 1], width, false)?;
+            let mut out = [0u8; 32];
+            for lane in 0..(width / 4) as usize {
+                set_f32(&mut out, lane, get_u32(&src, lane) as i32 as f32);
+            }
+            ctx.write(&ops[0], &out, width, vex, false)?;
+        }
+        // ---- packed float arithmetic ----
+        Addps | Subps | Mulps | Divps | Minps | Maxps | Sqrtps => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, width, false)?;
+            let b = ctx.read(b_op, width, false)?;
+            let mut out = [0u8; 32];
+            let mut sub = false;
+            for lane in 0..(width / 4) as usize {
+                let x = daz32(get_f32(&a, lane), mxcsr, &mut sub);
+                let y = daz32(get_f32(&b, lane), mxcsr, &mut sub);
+                let r = match m {
+                    Addps => x + y,
+                    Subps => x - y,
+                    Mulps => x * y,
+                    Divps => x / y,
+                    Minps => {
+                        if x < y {
+                            x
+                        } else {
+                            y
+                        }
+                    }
+                    Maxps => {
+                        if x > y {
+                            x
+                        } else {
+                            y
+                        }
+                    }
+                    Sqrtps => y.sqrt(),
+                    _ => unreachable!(),
+                };
+                set_f32(&mut out, lane, ftz32(r, mxcsr, &mut sub));
+            }
+            ctx.fx.subnormal |= sub;
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        Addpd | Subpd | Mulpd | Divpd => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, width, false)?;
+            let b = ctx.read(b_op, width, false)?;
+            let mut out = [0u8; 32];
+            let mut sub = false;
+            for lane in 0..(width / 8) as usize {
+                let x = daz64(get_f64(&a, lane), mxcsr, &mut sub);
+                let y = daz64(get_f64(&b, lane), mxcsr, &mut sub);
+                let r = match m {
+                    Addpd => x + y,
+                    Subpd => x - y,
+                    Mulpd => x * y,
+                    Divpd => x / y,
+                    _ => unreachable!(),
+                };
+                set_f64(&mut out, lane, ftz64(r, mxcsr, &mut sub));
+            }
+            ctx.fx.subnormal |= sub;
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        Vfmadd231ps | Vfmadd231pd => {
+            // dst = src1 * src2 + dst (the `231` operand order).
+            let acc = ctx.read(&ops[0], width, false)?;
+            let a = ctx.read(&ops[1], width, false)?;
+            let b = ctx.read(&ops[2], width, false)?;
+            let mut out = [0u8; 32];
+            let mut sub = false;
+            if m == Vfmadd231ps {
+                for lane in 0..(width / 4) as usize {
+                    let x = daz32(get_f32(&a, lane), mxcsr, &mut sub);
+                    let y = daz32(get_f32(&b, lane), mxcsr, &mut sub);
+                    let c = daz32(get_f32(&acc, lane), mxcsr, &mut sub);
+                    set_f32(&mut out, lane, ftz32(x.mul_add(y, c), mxcsr, &mut sub));
+                }
+            } else {
+                for lane in 0..(width / 8) as usize {
+                    let x = daz64(get_f64(&a, lane), mxcsr, &mut sub);
+                    let y = daz64(get_f64(&b, lane), mxcsr, &mut sub);
+                    let c = daz64(get_f64(&acc, lane), mxcsr, &mut sub);
+                    set_f64(&mut out, lane, ftz64(x.mul_add(y, c), mxcsr, &mut sub));
+                }
+            }
+            ctx.fx.subnormal |= sub;
+            ctx.write(&ops[0], &out, width, true, false)?;
+        }
+        // ---- bitwise ----
+        Xorps | Xorpd | Andps | Orps | Pand | Por | Pxor | Pandn => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, width, false)?;
+            let b = ctx.read(b_op, width, false)?;
+            let mut out = [0u8; 32];
+            for i in 0..32 {
+                out[i] = match m {
+                    Xorps | Xorpd | Pxor => a[i] ^ b[i],
+                    Andps | Pand => a[i] & b[i],
+                    Orps | Por => a[i] | b[i],
+                    Pandn => !a[i] & b[i],
+                    _ => unreachable!(),
+                };
+            }
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        // ---- packed integer arithmetic ----
+        Paddb | Paddw | Paddd | Paddq | Psubb | Psubw | Psubd | Psubq => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, width, false)?;
+            let b = ctx.read(b_op, width, false)?;
+            let mut out = [0u8; 32];
+            let lane_bytes: usize = match m {
+                Paddb | Psubb => 1,
+                Paddw | Psubw => 2,
+                Paddd | Psubd => 4,
+                _ => 8,
+            };
+            let add = matches!(m, Paddb | Paddw | Paddd | Paddq);
+            for lane in 0..(width as usize / lane_bytes) {
+                match lane_bytes {
+                    1 => {
+                        out[lane] =
+                            if add { a[lane].wrapping_add(b[lane]) } else { a[lane].wrapping_sub(b[lane]) }
+                    }
+                    2 => {
+                        let (x, y) = (get_u16(&a, lane), get_u16(&b, lane));
+                        set_u16(&mut out, lane, if add { x.wrapping_add(y) } else { x.wrapping_sub(y) });
+                    }
+                    4 => {
+                        let (x, y) = (get_u32(&a, lane), get_u32(&b, lane));
+                        set_u32(&mut out, lane, if add { x.wrapping_add(y) } else { x.wrapping_sub(y) });
+                    }
+                    _ => {
+                        let (x, y) = (get_u64(&a, lane), get_u64(&b, lane));
+                        set_u64(&mut out, lane, if add { x.wrapping_add(y) } else { x.wrapping_sub(y) });
+                    }
+                }
+            }
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        Pmullw | Pmulld | Pmuludq | Pmaddwd => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, width, false)?;
+            let b = ctx.read(b_op, width, false)?;
+            let mut out = [0u8; 32];
+            match m {
+                Pmullw => {
+                    for lane in 0..(width / 2) as usize {
+                        let p = i32::from(get_u16(&a, lane) as i16)
+                            * i32::from(get_u16(&b, lane) as i16);
+                        set_u16(&mut out, lane, p as u16);
+                    }
+                }
+                Pmulld => {
+                    for lane in 0..(width / 4) as usize {
+                        let p = i64::from(get_u32(&a, lane) as i32)
+                            * i64::from(get_u32(&b, lane) as i32);
+                        set_u32(&mut out, lane, p as u32);
+                    }
+                }
+                Pmuludq => {
+                    for lane in 0..(width / 16) as usize * 2 {
+                        let p = u64::from(get_u32(&a, lane * 2)) * u64::from(get_u32(&b, lane * 2));
+                        set_u64(&mut out, lane, p);
+                    }
+                }
+                Pmaddwd => {
+                    for lane in 0..(width / 4) as usize {
+                        let p1 = i32::from(get_u16(&a, lane * 2) as i16)
+                            * i32::from(get_u16(&b, lane * 2) as i16);
+                        let p2 = i32::from(get_u16(&a, lane * 2 + 1) as i16)
+                            * i32::from(get_u16(&b, lane * 2 + 1) as i16);
+                        set_u32(&mut out, lane, p1.wrapping_add(p2) as u32);
+                    }
+                }
+                _ => unreachable!(),
+            }
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        Pslld | Psrld | Psrad | Psllq | Psrlq => {
+            let (dst, src_op, count_op) = match ops.len() {
+                // Legacy: pslld xmm, imm.
+                2 => (&ops[0], &ops[0], &ops[1]),
+                // VEX: vpslld dst, src, imm.
+                _ => (&ops[0], &ops[1], &ops[2]),
+            };
+            let count = count_op.as_imm().unwrap_or(0) as u32;
+            let a = ctx.read(src_op, width, false)?;
+            let mut out = [0u8; 32];
+            match m {
+                Pslld | Psrld | Psrad => {
+                    for lane in 0..(width / 4) as usize {
+                        let x = get_u32(&a, lane);
+                        let r = if count >= 32 {
+                            if m == Psrad {
+                                ((x as i32) >> 31) as u32
+                            } else {
+                                0
+                            }
+                        } else {
+                            match m {
+                                Pslld => x << count,
+                                Psrld => x >> count,
+                                Psrad => ((x as i32) >> count) as u32,
+                                _ => unreachable!(),
+                            }
+                        };
+                        set_u32(&mut out, lane, r);
+                    }
+                }
+                _ => {
+                    for lane in 0..(width / 8) as usize {
+                        let x = get_u64(&a, lane);
+                        let r = if count >= 64 {
+                            0
+                        } else if m == Psllq {
+                            x << count
+                        } else {
+                            x >> count
+                        };
+                        set_u64(&mut out, lane, r);
+                    }
+                }
+            }
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        Pcmpeqb | Pcmpeqd | Pcmpgtd => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, width, false)?;
+            let b = ctx.read(b_op, width, false)?;
+            let mut out = [0u8; 32];
+            match m {
+                Pcmpeqb => {
+                    for lane in 0..width as usize {
+                        out[lane] = if a[lane] == b[lane] { 0xFF } else { 0 };
+                    }
+                }
+                Pcmpeqd => {
+                    for lane in 0..(width / 4) as usize {
+                        let eq = get_u32(&a, lane) == get_u32(&b, lane);
+                        set_u32(&mut out, lane, if eq { u32::MAX } else { 0 });
+                    }
+                }
+                Pcmpgtd => {
+                    for lane in 0..(width / 4) as usize {
+                        let gt = (get_u32(&a, lane) as i32) > (get_u32(&b, lane) as i32);
+                        set_u32(&mut out, lane, if gt { u32::MAX } else { 0 });
+                    }
+                }
+                _ => unreachable!(),
+            }
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        // ---- shuffles ----
+        Shufps => {
+            let imm = ops.last().and_then(Operand::as_imm).unwrap_or(0) as u32;
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, width, false)?;
+            let b = ctx.read(b_op, width, false)?;
+            let mut out = [0u8; 32];
+            for half in 0..(width / 16) as usize {
+                let base = half * 4;
+                for (slot, src) in [(0usize, &a), (1, &a), (2, &b), (3, &b)] {
+                    let sel = ((imm >> (slot * 2)) & 3) as usize;
+                    set_u32(&mut out, base + slot, get_u32(src, base + sel));
+                }
+            }
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        Pshufd => {
+            let imm = ops.last().and_then(Operand::as_imm).unwrap_or(0) as u32;
+            let src = ctx.read(&ops[1], width, false)?;
+            let mut out = [0u8; 32];
+            for half in 0..(width / 16) as usize {
+                let base = half * 4;
+                for slot in 0..4usize {
+                    let sel = ((imm >> (slot * 2)) & 3) as usize;
+                    set_u32(&mut out, base + slot, get_u32(&src, base + sel));
+                }
+            }
+            ctx.write(&ops[0], &out, width, vex, false)?;
+        }
+        Pshufb => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, width, false)?;
+            let b = ctx.read(b_op, width, false)?;
+            let mut out = [0u8; 32];
+            for half in 0..(width / 16) as usize {
+                let base = half * 16;
+                for i in 0..16usize {
+                    let sel = b[base + i];
+                    out[base + i] =
+                        if sel & 0x80 != 0 { 0 } else { a[base + (sel & 0xF) as usize] };
+                }
+            }
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        Unpcklps | Punpckldq => {
+            let (dst, a_op, b_op) = split_ops(inst);
+            let a = ctx.read(a_op, width, false)?;
+            let b = ctx.read(b_op, width, false)?;
+            let mut out = [0u8; 32];
+            for half in 0..(width / 16) as usize {
+                let base = half * 4;
+                set_u32(&mut out, base, get_u32(&a, base));
+                set_u32(&mut out, base + 1, get_u32(&b, base));
+                set_u32(&mut out, base + 2, get_u32(&a, base + 1));
+                set_u32(&mut out, base + 3, get_u32(&b, base + 1));
+            }
+            ctx.write(dst, &out, width, vex, false)?;
+        }
+        Pmovmskb => {
+            let src = ops[1].as_vec().expect("pmovmskb source register");
+            let bytes = ctx.state.vec_raw(src.number());
+            let mut mask = 0u64;
+            for (i, byte) in bytes[..src.width().bytes() as usize].iter().enumerate() {
+                mask |= u64::from(byte >> 7) << i;
+            }
+            super::write_scalar_operand(&ops[0], mask, ctx.state, ctx.mem, ctx.fx)?;
+        }
+        other => unreachable!("vector executor got {other:?}"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_inst;
+    use bhive_asm::{parse_inst, VecReg};
+
+    fn run(text: &str, state: &mut CpuState, mem: &mut Memory) -> InstEffects {
+        execute_inst(&parse_inst(text).unwrap(), state, mem)
+            .unwrap_or_else(|e| panic!("{text}: {e}"))
+    }
+
+    fn set_f32_reg(state: &mut CpuState, reg: u8, values: &[f32]) {
+        let mut bytes = [0u8; 32];
+        for (i, v) in values.iter().enumerate() {
+            bytes[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        state.set_vec(VecReg::ymm(reg), &bytes, false);
+    }
+
+    fn get_f32_reg(state: &CpuState, reg: u8, lane: usize) -> f32 {
+        get_f32(state.vec_raw(reg), lane)
+    }
+
+    #[test]
+    fn packed_add() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        set_f32_reg(&mut s, 0, &[1.0, 2.0, 3.0, 4.0]);
+        set_f32_reg(&mut s, 1, &[10.0, 20.0, 30.0, 40.0]);
+        run("addps xmm0, xmm1", &mut s, &mut m);
+        assert_eq!(get_f32_reg(&s, 0, 0), 11.0);
+        assert_eq!(get_f32_reg(&s, 0, 3), 44.0);
+    }
+
+    #[test]
+    fn vex_three_operand_and_ymm() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        set_f32_reg(&mut s, 1, &[1.0; 8]);
+        set_f32_reg(&mut s, 2, &[2.0; 8]);
+        run("vmulps ymm0, ymm1, ymm2", &mut s, &mut m);
+        for lane in 0..8 {
+            assert_eq!(get_f32_reg(&s, 0, lane), 2.0);
+        }
+        // Source registers unchanged.
+        assert_eq!(get_f32_reg(&s, 1, 0), 1.0);
+    }
+
+    #[test]
+    fn fma_231_order() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        set_f32_reg(&mut s, 0, &[100.0; 4]); // accumulator
+        set_f32_reg(&mut s, 1, &[3.0; 4]);
+        set_f32_reg(&mut s, 2, &[4.0; 4]);
+        run("vfmadd231ps xmm0, xmm1, xmm2", &mut s, &mut m);
+        assert_eq!(get_f32_reg(&s, 0, 0), 112.0);
+    }
+
+    #[test]
+    fn subnormal_event_depends_on_mxcsr() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        let tiny = f32::MIN_POSITIVE / 2.0; // subnormal
+        set_f32_reg(&mut s, 0, &[tiny; 4]);
+        set_f32_reg(&mut s, 1, &[1.0; 4]);
+        let fx = run("mulps xmm0, xmm1", &mut s, &mut m);
+        assert!(fx.subnormal, "gradual underflow enabled: event recorded");
+        // With FTZ+DAZ the event disappears and the value flushes to zero.
+        s.mxcsr.ftz = true;
+        s.mxcsr.daz = true;
+        set_f32_reg(&mut s, 0, &[tiny; 4]);
+        let fx = run("mulps xmm0, xmm1", &mut s, &mut m);
+        assert!(!fx.subnormal);
+        assert_eq!(get_f32_reg(&s, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_idiom_result() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        set_f32_reg(&mut s, 2, &[123.0; 8]);
+        run("vxorps xmm2, xmm2, xmm2", &mut s, &mut m);
+        for lane in 0..8 {
+            assert_eq!(get_f32_reg(&s, 2, lane), 0.0, "VEX-128 zeroes upper too");
+        }
+    }
+
+    #[test]
+    fn movaps_alignment_fault() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        let page = m.alloc_page(0);
+        m.map(0x1000, page);
+        s.set_gpr(bhive_asm::Gpr::Rax, bhive_asm::OpSize::Q, 0x1008);
+        let err = execute_inst(
+            &parse_inst("movaps xmm0, xmmword ptr [rax]").unwrap(),
+            &mut s,
+            &mut m,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecFault::GeneralProtection { vaddr: 0x1008 }));
+        // movups tolerates it.
+        run("movups xmm0, xmmword ptr [rax]", &mut s, &mut m);
+    }
+
+    #[test]
+    fn pshufd_and_pmovmskb() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        let mut bytes = [0u8; 16];
+        for (i, chunk) in bytes.chunks_exact_mut(4).enumerate() {
+            chunk.copy_from_slice(&(i as u32).to_le_bytes());
+        }
+        s.set_vec(VecReg::xmm(1), &bytes, false);
+        run("pshufd xmm0, xmm1, 0x1b", &mut s, &mut m); // reverse dwords
+        assert_eq!(get_u32(s.vec_raw(0), 0), 3);
+        assert_eq!(get_u32(s.vec_raw(0), 3), 0);
+        // pmovmskb: set top bits of some bytes.
+        let mask_bytes = [0x80u8, 0, 0x80, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x80];
+        s.set_vec(VecReg::xmm(3), &mask_bytes, false);
+        run("pmovmskb eax, xmm3", &mut s, &mut m);
+        assert_eq!(s.gpr64(bhive_asm::Gpr::Rax), 0b1000_0000_0000_0101);
+    }
+
+    #[test]
+    fn packed_int_mul_and_cmp() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        for lane in 0..4 {
+            a[lane * 4..lane * 4 + 4].copy_from_slice(&(lane as u32 + 1).to_le_bytes());
+            b[lane * 4..lane * 4 + 4].copy_from_slice(&3u32.to_le_bytes());
+        }
+        s.set_vec(VecReg::xmm(0), &a, false);
+        s.set_vec(VecReg::xmm(1), &b, false);
+        run("pmulld xmm0, xmm1", &mut s, &mut m);
+        assert_eq!(get_u32(s.vec_raw(0), 0), 3);
+        assert_eq!(get_u32(s.vec_raw(0), 3), 12);
+        run("pcmpeqd xmm0, xmm0", &mut s, &mut m);
+        assert_eq!(get_u32(s.vec_raw(0), 2), u32::MAX);
+    }
+
+    #[test]
+    fn movss_merge_vs_load() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        set_f32_reg(&mut s, 0, &[9.0, 9.0, 9.0, 9.0]);
+        set_f32_reg(&mut s, 1, &[5.0, 1.0, 1.0, 1.0]);
+        run("movss xmm0, xmm1", &mut s, &mut m);
+        assert_eq!(get_f32_reg(&s, 0, 0), 5.0);
+        assert_eq!(get_f32_reg(&s, 0, 1), 9.0, "reg-reg movss merges");
+        // Load zeroes the rest.
+        let page = m.alloc_page(0);
+        m.map(0x1000, page);
+        m.write(0x1000, &7.5f32.to_le_bytes()).unwrap();
+        s.set_gpr(bhive_asm::Gpr::Rax, bhive_asm::OpSize::Q, 0x1000);
+        run("movss xmm0, dword ptr [rax]", &mut s, &mut m);
+        assert_eq!(get_f32_reg(&s, 0, 0), 7.5);
+        assert_eq!(get_f32_reg(&s, 0, 1), 0.0, "movss load zeroes upper");
+    }
+
+    #[test]
+    fn shufps_selects() {
+        let (mut s, mut m) = (CpuState::new(), Memory::new());
+        set_f32_reg(&mut s, 0, &[0.0, 1.0, 2.0, 3.0]);
+        set_f32_reg(&mut s, 1, &[10.0, 11.0, 12.0, 13.0]);
+        // imm 0b01_00_11_10: dst = [a2, a3, b0, b1]
+        run("shufps xmm0, xmm1, 0x4e", &mut s, &mut m);
+        assert_eq!(get_f32_reg(&s, 0, 0), 2.0);
+        assert_eq!(get_f32_reg(&s, 0, 1), 3.0);
+        assert_eq!(get_f32_reg(&s, 0, 2), 10.0);
+        assert_eq!(get_f32_reg(&s, 0, 3), 11.0);
+    }
+}

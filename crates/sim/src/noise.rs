@@ -1,0 +1,130 @@
+//! OS-noise model: context switches and interrupts.
+//!
+//! Real measurements are perturbed by context switches (observable through
+//! a counter, as the paper's framework checks) and by interrupts (NOT
+//! directly observable — this is precisely why the framework demands at
+//! least 8 *identical* clean timings out of 16 before accepting a block).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the stochastic measurement noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Probability of a context switch per 1 000 measured cycles.
+    pub ctx_switch_per_kcycle: f64,
+    /// Cycle cost added by one context switch.
+    pub ctx_switch_cost: u64,
+    /// Probability of a timer/device interrupt per 1 000 measured cycles.
+    pub interrupt_per_kcycle: f64,
+    /// Cycle cost range of one interrupt.
+    pub interrupt_cost: (u64, u64),
+}
+
+impl NoiseConfig {
+    /// Completely quiet machine (deterministic timings).
+    pub fn quiet() -> NoiseConfig {
+        NoiseConfig {
+            ctx_switch_per_kcycle: 0.0,
+            ctx_switch_cost: 0,
+            interrupt_per_kcycle: 0.0,
+            interrupt_cost: (0, 0),
+        }
+    }
+
+    /// Noise levels representative of a tickful Linux box: a measurement
+    /// of a few thousand cycles is polluted a few percent of the time.
+    pub fn realistic() -> NoiseConfig {
+        NoiseConfig {
+            ctx_switch_per_kcycle: 0.004,
+            ctx_switch_cost: 40_000,
+            interrupt_per_kcycle: 0.02,
+            interrupt_cost: (300, 3_000),
+        }
+    }
+
+    /// Samples noise for a measurement of `cycles` cycles. Returns
+    /// `(extra_cycles, context_switches)`.
+    pub fn sample<R: Rng>(&self, cycles: u64, rng: &mut R) -> (u64, u64) {
+        let kcycles = cycles as f64 / 1000.0;
+        let mut extra = 0u64;
+        let mut switches = 0u64;
+        let ctx_expect = kcycles * self.ctx_switch_per_kcycle;
+        for _ in 0..poisson_like(ctx_expect, rng) {
+            switches += 1;
+            extra += self.ctx_switch_cost;
+        }
+        let irq_expect = kcycles * self.interrupt_per_kcycle;
+        for _ in 0..poisson_like(irq_expect, rng) {
+            let (lo, hi) = self.interrupt_cost;
+            extra += if hi > lo { rng.gen_range(lo..hi) } else { lo };
+        }
+        (extra, switches)
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig::realistic()
+    }
+}
+
+/// Cheap Poisson-ish sampler: adequate for the tiny expectations used here.
+fn poisson_like<R: Rng>(expectation: f64, rng: &mut R) -> u64 {
+    if expectation <= 0.0 {
+        return 0;
+    }
+    let mut count = 0u64;
+    let mut remaining = expectation;
+    while remaining > 0.0 {
+        let p = remaining.min(1.0);
+        if rng.gen_bool(p * 0.632_120_56) {
+            // P(X>=1) for Poisson(1) ≈ 0.632; a coarse approximation.
+            count += 1;
+        }
+        remaining -= 1.0;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quiet_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let noise = NoiseConfig::quiet();
+        assert_eq!(noise.sample(1_000_000, &mut rng), (0, 0));
+    }
+
+    #[test]
+    fn realistic_noise_sometimes_fires() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let noise = NoiseConfig::realistic();
+        let mut any_extra = 0;
+        let mut any_clean = 0;
+        for _ in 0..200 {
+            let (extra, _) = noise.sample(5_000, &mut rng);
+            if extra > 0 {
+                any_extra += 1;
+            } else {
+                any_clean += 1;
+            }
+        }
+        assert!(any_extra > 0, "some trials must be polluted");
+        assert!(any_clean > 100, "most trials must stay clean");
+    }
+
+    #[test]
+    fn long_measurements_attract_more_noise() {
+        let noise = NoiseConfig::realistic();
+        let total = |cycles: u64| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            (0..300).map(|_| noise.sample(cycles, &mut rng).0).sum::<u64>()
+        };
+        assert!(total(100_000) > total(1_000));
+    }
+}

@@ -1,0 +1,159 @@
+//! Architectural CPU state: registers, flags, MXCSR.
+
+use bhive_asm::{Gpr, OpSize, VecReg, VecWidth};
+use serde::{Deserialize, Serialize};
+
+/// The RFLAGS bits the modeled instructions read and write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// Carry flag.
+    pub cf: bool,
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Overflow flag.
+    pub of: bool,
+    /// Parity flag.
+    pub pf: bool,
+}
+
+/// The MXCSR bits controlling gradual underflow.
+///
+/// The paper's measurement framework sets both FTZ and DAZ so that
+/// subnormal operands cannot slow floating-point arithmetic down
+/// (§ "Handling Subnormal Numbers").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Mxcsr {
+    /// Flush-to-zero: subnormal results are replaced with zero.
+    pub ftz: bool,
+    /// Denormals-are-zero: subnormal inputs are treated as zero.
+    pub daz: bool,
+}
+
+/// Full architectural state of the simulated core.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct CpuState {
+    gprs: [u64; 16],
+    vregs: [[u8; 32]; 16],
+    /// Status flags.
+    pub flags: Flags,
+    /// SSE control register.
+    pub mxcsr: Mxcsr,
+}
+
+
+impl CpuState {
+    /// A zeroed state.
+    pub fn new() -> CpuState {
+        CpuState::default()
+    }
+
+    /// Reads a GPR at a width (zero-extended into the return value).
+    pub fn gpr(&self, reg: Gpr, size: OpSize) -> u64 {
+        self.gprs[reg.number() as usize] & size.mask()
+    }
+
+    /// Reads the full 64-bit register.
+    pub fn gpr64(&self, reg: Gpr) -> u64 {
+        self.gprs[reg.number() as usize]
+    }
+
+    /// Writes a GPR at a width with x86 semantics: 32-bit writes zero the
+    /// upper half; 8/16-bit writes merge into the old value.
+    pub fn set_gpr(&mut self, reg: Gpr, size: OpSize, value: u64) {
+        let slot = &mut self.gprs[reg.number() as usize];
+        *slot = match size {
+            OpSize::Q => value,
+            OpSize::D => value & 0xFFFF_FFFF,
+            OpSize::W => (*slot & !0xFFFF) | (value & 0xFFFF),
+            OpSize::B => (*slot & !0xFF) | (value & 0xFF),
+        };
+    }
+
+    /// Reads the bytes of a vector register at its reference width.
+    pub fn vec(&self, reg: VecReg) -> &[u8] {
+        &self.vregs[reg.number() as usize][..reg.width().bytes() as usize]
+    }
+
+    /// Reads the full 32-byte backing of a vector register.
+    pub fn vec_raw(&self, index: u8) -> &[u8; 32] {
+        &self.vregs[index as usize]
+    }
+
+    /// Writes a vector register. A 128-bit VEX write zeroes the upper lanes;
+    /// a legacy SSE write leaves them untouched.
+    pub fn set_vec(&mut self, reg: VecReg, bytes: &[u8], zero_upper: bool) {
+        let width = reg.width().bytes() as usize;
+        assert_eq!(bytes.len(), width, "vector width mismatch");
+        let slot = &mut self.vregs[reg.number() as usize];
+        slot[..width].copy_from_slice(bytes);
+        if zero_upper || reg.width() == VecWidth::Ymm {
+            for b in &mut slot[width.min(32)..] {
+                *b = 0;
+            }
+        }
+    }
+
+    /// Resets every register to a fill pattern (the paper initializes all
+    /// general-purpose registers and memory to a "moderately sized"
+    /// constant, `0x12345600`) and clears flags. MXCSR is preserved.
+    pub fn reset_with_fill(&mut self, fill: u64) {
+        self.gprs = [fill; 16];
+        let fill_bytes = (fill as u32).to_le_bytes();
+        for vreg in &mut self.vregs {
+            for chunk in vreg.chunks_exact_mut(4) {
+                chunk.copy_from_slice(&fill_bytes);
+            }
+        }
+        self.flags = Flags::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_writes_follow_x86_rules() {
+        let mut s = CpuState::new();
+        s.set_gpr(Gpr::Rax, OpSize::Q, 0xDEAD_BEEF_CAFE_F00D);
+        // 32-bit write zero-extends.
+        s.set_gpr(Gpr::Rax, OpSize::D, 0x1234_5678);
+        assert_eq!(s.gpr64(Gpr::Rax), 0x1234_5678);
+        // 8-bit write merges.
+        s.set_gpr(Gpr::Rax, OpSize::B, 0xFF);
+        assert_eq!(s.gpr64(Gpr::Rax), 0x1234_56FF);
+        // 16-bit write merges.
+        s.set_gpr(Gpr::Rax, OpSize::W, 0xAAAA);
+        assert_eq!(s.gpr64(Gpr::Rax), 0x1234_AAAA);
+    }
+
+    #[test]
+    fn vector_write_semantics() {
+        let mut s = CpuState::new();
+        let ones = [0xFFu8; 32];
+        s.set_vec(VecReg::ymm(0), &ones, false);
+        // Legacy SSE write to the low lanes keeps the upper half.
+        let lows = [0x11u8; 16];
+        s.set_vec(VecReg::xmm(0), &lows, false);
+        assert_eq!(s.vec_raw(0)[0], 0x11);
+        assert_eq!(s.vec_raw(0)[16], 0xFF);
+        // VEX 128-bit write zeroes the upper half.
+        s.set_vec(VecReg::xmm(0), &lows, true);
+        assert_eq!(s.vec_raw(0)[16], 0);
+    }
+
+    #[test]
+    fn fill_pattern() {
+        let mut s = CpuState::new();
+        s.mxcsr.ftz = true;
+        s.flags.zf = true;
+        s.reset_with_fill(0x1234_5600);
+        assert_eq!(s.gpr64(Gpr::R13), 0x1234_5600);
+        assert!(!s.flags.zf);
+        assert!(s.mxcsr.ftz, "MXCSR survives re-initialization");
+        assert_eq!(&s.vec_raw(3)[..4], &0x1234_5600u32.to_le_bytes());
+    }
+}

@@ -1,0 +1,93 @@
+//! Macro-fusion rules (`cmp`/`test` + `Jcc`).
+
+use crate::desc::Uarch;
+use bhive_asm::{Cond, Inst, Mnemonic};
+
+/// True if `first` macro-fuses with the immediately following conditional
+/// branch `branch` on `uarch`.
+///
+/// Rules modeled after the Intel optimization manual:
+///
+/// * `test`/`and` fuse with every condition;
+/// * `cmp`/`add`/`sub` fuse with carry- and zero-based conditions but not
+///   with sign/overflow/parity conditions;
+/// * `inc`/`dec` fuse with zero-based conditions only;
+/// * a memory *destination* (RMW) defeats fusion, a memory source does not;
+/// * an immediate together with a memory operand defeats fusion.
+pub fn macro_fuses(first: &Inst, branch: &Inst, uarch: &Uarch) -> bool {
+    if !uarch.macro_fusion {
+        return false;
+    }
+    if branch.mnemonic() != Mnemonic::Jcc {
+        return false;
+    }
+    let Some(cond) = branch.cond() else { return false };
+    if first.stores_memory() {
+        return false;
+    }
+    if first.mem_operand().is_some() && first.operands().iter().any(|op| op.as_imm().is_some())
+    {
+        return false;
+    }
+    let zero_based = matches!(cond, Cond::E | Cond::Ne);
+    let carry_or_zero = matches!(
+        cond,
+        Cond::E | Cond::Ne | Cond::B | Cond::Ae | Cond::Be | Cond::A
+            | Cond::L | Cond::Ge | Cond::Le | Cond::G
+    );
+    match first.mnemonic() {
+        Mnemonic::Test | Mnemonic::And => true,
+        Mnemonic::Cmp | Mnemonic::Add | Mnemonic::Sub => carry_or_zero,
+        Mnemonic::Inc | Mnemonic::Dec => zero_based,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::Uarch;
+    use bhive_asm::parse_inst;
+
+    fn fuses(a: &str, b: &str) -> bool {
+        macro_fuses(
+            &parse_inst(a).unwrap(),
+            &parse_inst(b).unwrap(),
+            Uarch::haswell(),
+        )
+    }
+
+    #[test]
+    fn test_fuses_with_everything() {
+        assert!(fuses("test rax, rax", "jne -8"));
+        assert!(fuses("test rax, rax", "js -8"));
+        assert!(fuses("and rax, rbx", "jp -8"));
+    }
+
+    #[test]
+    fn cmp_fuses_with_carry_zero_only() {
+        assert!(fuses("cmp rax, rbx", "jne -8"));
+        assert!(fuses("cmp rax, rbx", "jb -8"));
+        assert!(fuses("cmp rax, rbx", "jle -8"));
+        assert!(!fuses("cmp rax, rbx", "js -8"));
+        assert!(!fuses("cmp rax, rbx", "jo -8"));
+    }
+
+    #[test]
+    fn inc_dec_zero_only() {
+        assert!(fuses("dec rax", "jne -8"));
+        assert!(!fuses("dec rax", "jb -8"));
+    }
+
+    #[test]
+    fn memory_and_imm_restrictions() {
+        // Memory source is fine.
+        assert!(fuses("cmp rax, qword ptr [rbx]", "je -8"));
+        // Memory + immediate defeats fusion.
+        assert!(!fuses("cmp qword ptr [rbx], 1", "je -8"));
+        // Non-fusible first instruction.
+        assert!(!fuses("mov rax, rbx", "je -8"));
+        // Second instruction must be a branch.
+        assert!(!fuses("cmp rax, rbx", "sete al"));
+    }
+}

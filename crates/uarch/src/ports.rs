@@ -1,0 +1,187 @@
+//! Execution ports and port combinations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single execution port (0–7 on the modeled microarchitectures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Port(u8);
+
+impl Port {
+    /// Creates a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 7`.
+    pub fn new(index: u8) -> Port {
+        assert!(index < 8, "port index {index} out of range");
+        Port(index)
+    }
+
+    /// The port index.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A set of execution ports a micro-op may issue to, in Abel & Reineke's
+/// notation (`p0156` = any of ports 0, 1, 5, 6).
+///
+/// Represented as a bitmask; bit *i* means port *i*.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PortSet(u8);
+
+impl PortSet {
+    /// The empty set (used for eliminated/renamed-away uops).
+    pub const EMPTY: PortSet = PortSet(0);
+
+    /// Builds a set from port indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index exceeds 7.
+    pub fn of(ports: &[u8]) -> PortSet {
+        let mut mask = 0u8;
+        for &p in ports {
+            assert!(p < 8, "port index {p} out of range");
+            mask |= 1 << p;
+        }
+        PortSet(mask)
+    }
+
+    /// Builds a set directly from a bitmask.
+    pub fn from_mask(mask: u8) -> PortSet {
+        PortSet(mask)
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// True if the set contains `port`.
+    #[inline]
+    pub fn contains(self, port: Port) -> bool {
+        self.0 & (1 << port.index()) != 0
+    }
+
+    /// Number of ports in the set.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True for the empty set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the ports in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = Port> {
+        (0..8).filter(move |i| self.0 & (1 << i) != 0).map(Port::new)
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: PortSet) -> PortSet {
+        PortSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: PortSet) -> PortSet {
+        PortSet(self.0 & other.0)
+    }
+}
+
+impl fmt::Display for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("p-");
+        }
+        f.write_str("p")?;
+        for port in self.iter() {
+            write!(f, "{}", port.index())?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Port> for PortSet {
+    fn from_iter<T: IntoIterator<Item = Port>>(iter: T) -> Self {
+        let mut mask = 0u8;
+        for port in iter {
+            mask |= 1 << port.index();
+        }
+        PortSet(mask)
+    }
+}
+
+/// Shorthand constructor used throughout the tables: `ports!(0, 1, 5, 6)`.
+#[macro_export]
+macro_rules! ports {
+    ($($p:expr),* $(,)?) => {
+        $crate::PortSet::of(&[$($p),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(PortSet::of(&[0, 1, 5, 6]).to_string(), "p0156");
+        assert_eq!(PortSet::of(&[4]).to_string(), "p4");
+        assert_eq!(PortSet::of(&[2, 3, 7]).to_string(), "p237");
+        assert_eq!(PortSet::EMPTY.to_string(), "p-");
+    }
+
+    #[test]
+    fn membership_and_len() {
+        let s = PortSet::of(&[0, 6]);
+        assert!(s.contains(Port::new(0)));
+        assert!(!s.contains(Port::new(1)));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(PortSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = PortSet::of(&[0, 1]);
+        let b = PortSet::of(&[1, 5]);
+        assert_eq!(a.union(b), PortSet::of(&[0, 1, 5]));
+        assert_eq!(a.intersect(b), PortSet::of(&[1]));
+    }
+
+    #[test]
+    fn iter_round_trips() {
+        let s = PortSet::of(&[2, 3, 7]);
+        let collected: PortSet = s.iter().collect();
+        assert_eq!(collected, s);
+    }
+
+    #[test]
+    fn macro_shorthand() {
+        assert_eq!(ports!(0, 1, 5, 6), PortSet::of(&[0, 1, 5, 6]));
+        assert_eq!(ports!(), PortSet::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn port_bounds() {
+        let _ = Port::new(8);
+    }
+}

@@ -1,0 +1,163 @@
+//! Micro-ops and instruction recipes.
+
+use crate::ports::PortSet;
+use serde::{Deserialize, Serialize};
+
+/// The functional role of a micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UopKind {
+    /// Computation on an execution port.
+    Compute,
+    /// A load from memory (address generation + data return).
+    Load,
+    /// Store-address generation.
+    StoreAddr,
+    /// Store-data.
+    StoreData,
+}
+
+/// Classes of value-dependent (variable) latency.
+///
+/// The simulated hardware resolves these against actual operand values;
+/// static cost models substitute their own fixed guesses, which is exactly
+/// where several of the paper's case-study mispredictions come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VarLat {
+    /// Scalar integer division; payload is the operand width in bytes.
+    /// 64-bit division has a fast path when `rdx` is zero.
+    DivGpr {
+        /// Operand width in bytes (1, 2, 4, 8).
+        width: u8,
+    },
+    /// Floating-point division (scalar or packed).
+    FpDiv,
+    /// Floating-point square root.
+    FpSqrt,
+}
+
+/// A single micro-op within an instruction's recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Uop {
+    /// Ports the uop may issue to.
+    pub ports: PortSet,
+    /// Nominal latency in cycles (producer-to-consumer).
+    pub latency: u32,
+    /// Role of the uop.
+    pub kind: UopKind,
+    /// Cycles the uop occupies its port (1 for fully pipelined units;
+    /// ≈latency for the non-pipelined divider).
+    pub blocking: u32,
+    /// Variable-latency class, if the true latency depends on values.
+    pub var_lat: Option<VarLat>,
+}
+
+impl Uop {
+    /// A fully pipelined compute uop.
+    pub fn compute(ports: PortSet, latency: u32) -> Uop {
+        Uop { ports, latency, kind: UopKind::Compute, blocking: 1, var_lat: None }
+    }
+
+    /// A load uop.
+    pub fn load(ports: PortSet, latency: u32) -> Uop {
+        Uop { ports, latency, kind: UopKind::Load, blocking: 1, var_lat: None }
+    }
+
+    /// A store-address uop.
+    pub fn store_addr(ports: PortSet) -> Uop {
+        Uop { ports, latency: 1, kind: UopKind::StoreAddr, blocking: 1, var_lat: None }
+    }
+
+    /// A store-data uop.
+    pub fn store_data(ports: PortSet) -> Uop {
+        Uop { ports, latency: 1, kind: UopKind::StoreData, blocking: 1, var_lat: None }
+    }
+
+    /// Marks the uop as variable-latency with a non-pipelined unit.
+    pub fn with_var_lat(mut self, var: VarLat, nominal: u32) -> Uop {
+        self.var_lat = Some(var);
+        self.latency = nominal;
+        self.blocking = nominal;
+        self
+    }
+}
+
+/// The micro-op decomposition of one instruction on one microarchitecture.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Recipe {
+    /// Unfused-domain micro-ops, in dependency order: loads first, then
+    /// compute, then store-address/store-data.
+    pub uops: Vec<Uop>,
+    /// Fused-domain slots consumed in the decoder/renamer (micro-fusion
+    /// makes a load-op pair cost a single slot).
+    pub frontend_slots: u32,
+    /// The instruction is removed at rename (zero idiom, eliminated move,
+    /// nop): it consumes a frontend slot but no execution resources and
+    /// breaks dependencies.
+    pub eliminated: bool,
+}
+
+impl Recipe {
+    /// A recipe with the given uops, one frontend slot per uop.
+    pub fn unfused(uops: Vec<Uop>) -> Recipe {
+        let frontend_slots = uops.len() as u32;
+        Recipe { uops, frontend_slots, eliminated: false }
+    }
+
+    /// A recipe whose uops share a single fused-domain slot.
+    pub fn fused(uops: Vec<Uop>) -> Recipe {
+        Recipe { uops, frontend_slots: 1, eliminated: false }
+    }
+
+    /// An eliminated (rename-only) instruction.
+    pub fn eliminated() -> Recipe {
+        Recipe { uops: Vec::new(), frontend_slots: 1, eliminated: true }
+    }
+
+    /// Sum of compute latencies along the recipe's internal chain — a crude
+    /// upper bound used by the simple per-instruction table baseline model.
+    pub fn chain_latency(&self) -> u32 {
+        self.uops.iter().map(|u| u.latency).sum()
+    }
+
+    /// True if any uop loads from memory.
+    pub fn has_load(&self) -> bool {
+        self.uops.iter().any(|u| u.kind == UopKind::Load)
+    }
+
+    /// True if any uop stores to memory.
+    pub fn has_store(&self) -> bool {
+        self.uops.iter().any(|u| u.kind == UopKind::StoreData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports;
+
+    #[test]
+    fn constructors() {
+        let alu = Uop::compute(ports!(0, 1, 5, 6), 1);
+        assert_eq!(alu.kind, UopKind::Compute);
+        assert_eq!(alu.blocking, 1);
+        let div = Uop::compute(ports!(0), 21).with_var_lat(VarLat::DivGpr { width: 4 }, 21);
+        assert_eq!(div.blocking, 21);
+        assert!(div.var_lat.is_some());
+    }
+
+    #[test]
+    fn recipe_slots() {
+        let load = Uop::load(ports!(2, 3), 5);
+        let alu = Uop::compute(ports!(0, 1, 5, 6), 1);
+        let fused = Recipe::fused(vec![load, alu]);
+        assert_eq!(fused.frontend_slots, 1);
+        assert_eq!(fused.uops.len(), 2);
+        assert!(fused.has_load());
+        assert!(!fused.has_store());
+        let unfused = Recipe::unfused(vec![load, alu]);
+        assert_eq!(unfused.frontend_slots, 2);
+        let nothing = Recipe::eliminated();
+        assert!(nothing.eliminated);
+        assert_eq!(nothing.chain_latency(), 0);
+    }
+}

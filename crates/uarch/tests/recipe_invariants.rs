@@ -1,0 +1,192 @@
+//! Recipe invariants over a broad instruction battery, on every
+//! microarchitecture.
+
+use bhive_asm::{parse_inst, Inst};
+use bhive_uarch::{decompose, port_vocabulary, Uarch, UopKind};
+
+/// A battery covering every mnemonic class in both register and memory
+/// forms.
+fn battery() -> Vec<Inst> {
+    [
+        "mov rax, rbx",
+        "mov rax, qword ptr [rbx]",
+        "mov qword ptr [rbx], rax",
+        "mov al, bl",
+        "movzx eax, bl",
+        "movsxd rax, ebx",
+        "bswap rax",
+        "lea rax, [rbx + 8*rcx + 4]",
+        "lea rax, [rbx]",
+        "push rbp",
+        "pop rbp",
+        "add rax, rbx",
+        "add rax, qword ptr [rbx]",
+        "add qword ptr [rbx], rax",
+        "add dword ptr [rbx], 7",
+        "adc rax, rbx",
+        "cmp rax, rbx",
+        "test al, al",
+        "inc rax",
+        "neg byte ptr [rbx]",
+        "shl rax, 5",
+        "shr rax, cl",
+        "rol eax, 3",
+        "imul rax, rbx",
+        "imul rax, rbx, 100",
+        "mul rcx",
+        "div ecx",
+        "idiv rcx",
+        "cdq",
+        "cqo",
+        "popcnt rax, rbx",
+        "tzcnt eax, ebx",
+        "sete al",
+        "cmovle rax, rbx",
+        "jne -8",
+        "nop",
+        "movss xmm0, dword ptr [rax]",
+        "movss dword ptr [rax], xmm0",
+        "movsd xmm0, xmm1",
+        "addss xmm0, xmm1",
+        "divsd xmm0, xmm1",
+        "sqrtss xmm0, xmm1",
+        "ucomiss xmm0, xmm1",
+        "cvtsi2ss xmm0, eax",
+        "cvttsd2si rax, xmm0",
+        "movaps xmm0, xmmword ptr [rbx]",
+        "movups xmmword ptr [rbx], xmm0",
+        "movdqu xmm0, xmm1",
+        "addps xmm0, xmm1",
+        "vaddps ymm0, ymm1, ymm2",
+        "mulpd xmm0, xmm1",
+        "divps xmm0, xmm1",
+        "minps xmm0, xmm1",
+        "xorps xmm0, xmm1",
+        "xorps xmm0, xmm0",
+        "shufps xmm0, xmm1, 0x1b",
+        "unpcklps xmm0, xmm1",
+        "cvtdq2ps xmm0, xmm1",
+        "vfmadd231ps ymm0, ymm1, ymm2",
+        "vbroadcastss xmm0, dword ptr [rax]",
+        "paddd xmm0, xmm1",
+        "psubq xmm0, xmm1",
+        "pmullw xmm0, xmm1",
+        "pmulld xmm0, xmm1",
+        "pmaddwd xmm0, xmm1",
+        "pand xmm0, xmm1",
+        "pslld xmm0, 4",
+        "pcmpeqb xmm0, xmm1",
+        "pshufb xmm0, xmm1",
+        "punpckldq xmm0, xmm1",
+        "pmovmskb eax, xmm0",
+        "movd xmm0, eax",
+        "movq rax, xmm0",
+    ]
+    .iter()
+    .map(|t| parse_inst(t).unwrap_or_else(|e| panic!("{t}: {e}")))
+    .collect()
+}
+
+#[test]
+fn recipes_are_structurally_sound() {
+    for uarch in [Uarch::ivy_bridge(), Uarch::haswell(), Uarch::skylake()] {
+        for inst in battery() {
+            if !uarch.supports_avx2 && inst.mnemonic().is_vex_only() {
+                continue;
+            }
+            let recipe = decompose(&inst, uarch);
+            if recipe.eliminated {
+                assert!(recipe.uops.is_empty(), "{inst}: eliminated recipes carry no uops");
+                assert_eq!(recipe.frontend_slots, 1, "{inst}");
+                continue;
+            }
+            assert!(!recipe.uops.is_empty(), "{inst}: non-eliminated recipe has uops");
+            assert!(
+                recipe.frontend_slots >= 1
+                    && recipe.frontend_slots <= recipe.uops.len() as u32,
+                "{inst}: slots {} vs {} uops",
+                recipe.frontend_slots,
+                recipe.uops.len()
+            );
+            for uop in &recipe.uops {
+                assert!(!uop.ports.is_empty(), "{inst}: uop with no ports");
+                assert!(uop.latency >= 1, "{inst}: zero-latency uop");
+                assert!(uop.blocking >= 1, "{inst}: zero-blocking uop");
+                assert!(
+                    uop.blocking <= uop.latency.max(1),
+                    "{inst}: blocking {} exceeds latency {}",
+                    uop.blocking,
+                    uop.latency
+                );
+                // Ports stay within the machine.
+                for port in uop.ports.iter() {
+                    assert!(port.index() < uarch.num_ports, "{inst}: port {port}");
+                }
+            }
+            // Memory-direction agreement between Inst and Recipe.
+            assert_eq!(
+                recipe.has_load(),
+                inst.loads_memory(),
+                "{inst}: load uop vs loads_memory"
+            );
+            assert_eq!(
+                recipe.has_store(),
+                inst.stores_memory(),
+                "{inst}: store uops vs stores_memory"
+            );
+            if recipe.has_store() {
+                let sta = recipe.uops.iter().filter(|u| u.kind == UopKind::StoreAddr).count();
+                let std = recipe.uops.iter().filter(|u| u.kind == UopKind::StoreData).count();
+                assert_eq!((sta, std), (1, 1), "{inst}: store uop pair");
+            }
+        }
+    }
+}
+
+#[test]
+fn vocabulary_covers_every_battery_recipe() {
+    for uarch in [Uarch::ivy_bridge(), Uarch::haswell(), Uarch::skylake()] {
+        let vocab = port_vocabulary(uarch);
+        for inst in battery() {
+            if !uarch.supports_avx2 && inst.mnemonic().is_vex_only() {
+                continue;
+            }
+            for uop in &decompose(&inst, uarch).uops {
+                assert!(
+                    vocab.contains(&uop.ports),
+                    "{inst} on {}: {} missing from vocabulary",
+                    uarch.kind,
+                    uop.ports
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn loads_and_stores_use_memory_ports_only() {
+    for uarch in [Uarch::ivy_bridge(), Uarch::haswell(), Uarch::skylake()] {
+        for inst in battery() {
+            if !uarch.supports_avx2 && inst.mnemonic().is_vex_only() {
+                continue;
+            }
+            for uop in &decompose(&inst, uarch).uops {
+                match uop.kind {
+                    UopKind::Load => assert_eq!(uop.ports, uarch.load_ports, "{inst}"),
+                    UopKind::StoreAddr => {
+                        assert_eq!(uop.ports, uarch.store_addr_ports, "{inst}")
+                    }
+                    UopKind::StoreData => {
+                        assert_eq!(uop.ports, uarch.store_data_ports, "{inst}")
+                    }
+                    UopKind::Compute => {
+                        assert!(
+                            uop.ports.intersect(uarch.store_data_ports).is_empty(),
+                            "{inst}: compute uop on the store-data port"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

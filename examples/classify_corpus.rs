@@ -1,0 +1,49 @@
+//! Basic-block classification (paper §4.2): cluster a corpus by micro-op
+//! port-combination usage with LDA and print one exemplar per category.
+//!
+//! Run with: `cargo run --release --example classify_corpus`
+
+use bhive::corpus::{Corpus, Scale};
+use bhive::eval::{Category, Classifier};
+use bhive::uarch::UarchKind;
+use std::collections::BTreeMap;
+
+fn main() {
+    // A paper-proportional sample (Clang/LLVM dominates, as in Table 3).
+    let corpus = Corpus::generate(Scale::Fraction(0.02), 7);
+    println!("classifying {} blocks...", corpus.len());
+    let blocks: Vec<_> = corpus.blocks().iter().map(|b| b.block.clone()).collect();
+    let classifier = Classifier::fit(&blocks, UarchKind::Haswell);
+
+    // Topic structure.
+    println!("\nLDA topics (top port combinations -> assigned category):");
+    for (category, combos) in classifier.topic_summary() {
+        let names: Vec<String> = combos.iter().map(|c| c.to_string()).collect();
+        println!("  {:<12} <- {}", category.paper_name(), names.join(", "));
+    }
+
+    // Census + exemplars.
+    let mut counts: BTreeMap<Category, usize> = BTreeMap::new();
+    let mut exemplars: BTreeMap<Category, String> = BTreeMap::new();
+    for (idx, block) in blocks.iter().enumerate() {
+        let category = classifier.train_category(idx);
+        *counts.entry(category).or_insert(0) += 1;
+        if block.len() >= 3 && block.len() <= 6 {
+            exemplars
+                .entry(category)
+                .or_insert_with(|| block.to_string().replace('\n', "; "));
+        }
+    }
+    println!("\ncategory census (paper Table 4 order):");
+    for category in Category::ALL {
+        println!(
+            "  {:<12} {:<42} {:>6} blocks",
+            category.paper_name(),
+            category.description(),
+            counts.get(&category).copied().unwrap_or(0)
+        );
+        if let Some(example) = exemplars.get(&category) {
+            println!("      e.g. {example}");
+        }
+    }
+}

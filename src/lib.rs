@@ -1,0 +1,2 @@
+//! Workspace umbrella crate.
+pub use bhive;

@@ -1,0 +1,118 @@
+//! End-to-end integration: corpus → measurement → models → metrics,
+//! asserting the paper's qualitative findings hold.
+
+use bhive::corpus::Scale;
+use bhive::eval::{CorpusKind, EvalRun, Pipeline};
+use bhive::harness::{profile_corpus, ProfileConfig, Profiler};
+use bhive::uarch::{Uarch, UarchKind};
+
+fn pipeline() -> Pipeline {
+    Pipeline::new(Scale::PerApp(40), 42, 0)
+}
+
+#[test]
+fn models_rank_as_in_the_paper() {
+    let pipeline = pipeline();
+    let data = pipeline.measured(CorpusKind::Main, UarchKind::Haswell);
+    assert!(data.success_rate() > 0.85, "success rate {}", data.success_rate());
+    let classifier = pipeline.classifier();
+
+    let mut errors = std::collections::BTreeMap::new();
+    for model in pipeline.models(UarchKind::Haswell) {
+        let run = EvalRun::evaluate(model.as_ref(), &data, &classifier);
+        errors.insert(run.model.clone(), (run.overall_error(), run.kendall_tau()));
+    }
+    let (ithemal, tau_i) = errors["ithemal"];
+    let (iaca, _) = errors["iaca"];
+    let (mca, _) = errors["llvm-mca"];
+    let (osaca, tau_o) = errors["osaca"];
+    // Paper Table 5 ordering: the learned model wins, OSACA loses.
+    assert!(ithemal < iaca, "ithemal {ithemal} !< iaca {iaca}");
+    assert!(ithemal < mca, "ithemal {ithemal} !< mca {mca}");
+    assert!(osaca > iaca && osaca > mca, "osaca {osaca} must be worst");
+    // Magnitudes in the paper's ballpark.
+    assert!((0.05..0.30).contains(&ithemal), "{ithemal}");
+    assert!((0.20..0.55).contains(&osaca), "{osaca}");
+    // Rank correlation: a useful model preserves most orderings
+    // (paper Table 6 reports ~0.78 for the good models).
+    assert!(tau_i > 0.6, "ithemal tau {tau_i}");
+    assert!(tau_i > tau_o, "better model, better tau");
+}
+
+#[test]
+fn ablation_ordering_holds_on_every_uarch() {
+    // Table 1's monotone ordering is uarch-independent.
+    let corpus = bhive::corpus::Corpus::generate(Scale::PerApp(40), 7);
+    for uarch in [Uarch::ivy_bridge(), Uarch::haswell(), Uarch::skylake()] {
+        // As in the paper, AVX2 blocks are excluded from Ivy Bridge runs.
+        let blocks: Vec<_> = corpus
+            .basic_blocks()
+            .into_iter()
+            .filter(|b| uarch.supports_avx2 || !b.uses_avx2())
+            .collect();
+        let rate = |config: ProfileConfig| {
+            profile_corpus(&Profiler::new(uarch, config), &blocks, 0).success_rate()
+        };
+        let none = rate(ProfileConfig::agner());
+        let mapped = rate(ProfileConfig::with_page_mapping_only());
+        let full = rate(ProfileConfig::bhive());
+        assert!(
+            none < mapped && mapped <= full,
+            "{}: {none} < {mapped} <= {full}",
+            uarch.kind
+        );
+        assert!(none < 0.35, "{}: agner-style must fail most blocks: {none}", uarch.kind);
+        assert!(full > 0.85, "{}: full config must profile most blocks: {full}", uarch.kind);
+    }
+}
+
+#[test]
+fn skylake_hurts_llvm_mca_most() {
+    // Table 5: llvm-mca degrades on Skylake while IACA does not.
+    let pipeline = pipeline();
+    let classifier = pipeline.classifier();
+    let err = |uarch: UarchKind, name: &str| {
+        let data = pipeline.measured(CorpusKind::Main, uarch);
+        pipeline
+            .models(uarch)
+            .iter()
+            .find(|m| m.name() == name)
+            .map(|m| EvalRun::evaluate(m.as_ref(), &data, &classifier).overall_error())
+            .expect("model present")
+    };
+    let mca_hsw = err(UarchKind::Haswell, "llvm-mca");
+    let mca_skl = err(UarchKind::Skylake, "llvm-mca");
+    assert!(
+        mca_skl > mca_hsw + 0.02,
+        "mca must regress on Skylake: hsw {mca_hsw}, skl {mca_skl}"
+    );
+}
+
+#[test]
+fn measured_corpus_is_deterministic_and_parallel_safe() {
+    let pipeline_a = Pipeline::new(Scale::PerApp(15), 9, 1);
+    let pipeline_b = Pipeline::new(Scale::PerApp(15), 9, 4);
+    let a = pipeline_a.measured(CorpusKind::Main, UarchKind::Haswell);
+    let b = pipeline_b.measured(CorpusKind::Main, UarchKind::Haswell);
+    assert_eq!(a.blocks.len(), b.blocks.len());
+    for (x, y) in a.blocks.iter().zip(b.blocks.iter()) {
+        assert_eq!(x.block, y.block);
+        assert_eq!(x.throughput, y.throughput, "block {}", x.block);
+    }
+}
+
+#[test]
+fn google_case_study_runs() {
+    let pipeline = Pipeline::new(Scale::PerApp(30), 42, 0);
+    let data = pipeline.measured(CorpusKind::Google, UarchKind::Haswell);
+    assert!(data.success_rate() > 0.9, "hot production code profiles cleanly");
+    let classifier = pipeline.classifier();
+    for model in pipeline.models(UarchKind::Haswell) {
+        if model.name() == "osaca" {
+            continue;
+        }
+        let run = EvalRun::evaluate(model.as_ref(), &data, &classifier);
+        let tau = run.kendall_tau();
+        assert!(tau > 0.55, "{} tau {tau}", run.model);
+    }
+}

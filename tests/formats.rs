@@ -1,0 +1,76 @@
+//! Cross-crate format round trips: hex wire format, corpus CSV, report
+//! JSON, and text assembly — everything a downstream consumer would
+//! persist.
+
+use bhive::asm::BasicBlock;
+use bhive::corpus::{Application, Corpus, Scale};
+use bhive::eval::Report;
+
+#[test]
+fn whole_corpus_survives_hex_and_text() {
+    let corpus = Corpus::generate(Scale::PerApp(25), 3);
+    for entry in corpus.blocks() {
+        let hex = entry.block.to_hex().unwrap_or_else(|e| {
+            panic!("{} block failed to encode: {e}\n{}", entry.app, entry.block)
+        });
+        let decoded = BasicBlock::from_hex(&hex)
+            .unwrap_or_else(|e| panic!("{} block failed to decode: {e}", entry.app));
+        assert_eq!(decoded, entry.block, "hex round trip ({})", entry.app);
+
+        let text = entry.block.to_string();
+        let reparsed = bhive::asm::parse_block(&text)
+            .unwrap_or_else(|e| panic!("{} block failed to reparse: {e}\n{text}", entry.app));
+        assert_eq!(reparsed, entry.block, "text round trip ({})", entry.app);
+    }
+}
+
+#[test]
+fn corpus_csv_round_trip_preserves_everything() {
+    let corpus = Corpus::generate(Scale::PerApp(20), 5);
+    let mut buffer = Vec::new();
+    corpus.write_csv(&mut buffer).expect("serialize");
+    let read = Corpus::read_csv(std::io::Cursor::new(&buffer)).expect("parse");
+    assert_eq!(read.len(), corpus.len());
+    for (a, b) in corpus.blocks().iter().zip(read.blocks()) {
+        assert_eq!(a.app, b.app);
+        assert_eq!(a.block, b.block);
+        assert!((a.weight - b.weight).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn report_json_round_trip() {
+    let mut report = Report::new("t", "title", vec!["a".into(), "b".into()]);
+    report.push_row(vec!["1".into(), "2".into()]);
+    report.note("a note");
+    let json = report.to_json().expect("serialize");
+    let back: Report = serde_json::from_str(&json).expect("parse");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn paper_census_at_full_scale() {
+    // Table 3 counts are exact at paper scale. Generation only (no
+    // profiling), so this is fast even for 360k blocks.
+    let corpus = Corpus::generate(Scale::Paper, 42);
+    let census = corpus.census();
+    for app in Application::TABLE3 {
+        assert_eq!(
+            census[&app] as u64,
+            app.paper_block_count().expect("table-3 app"),
+            "{app}"
+        );
+    }
+    let total: usize = Application::TABLE3.iter().map(|a| census[a]).sum();
+    assert_eq!(total, 358_561);
+}
+
+#[test]
+fn corpus_blocks_are_valid_and_supported() {
+    let corpus = Corpus::generate(Scale::PerApp(40), 11);
+    for entry in corpus.blocks() {
+        entry.block.validate().unwrap_or_else(|e| panic!("{e}\n{}", entry.block));
+        assert!(!entry.block.is_empty());
+        assert!(entry.weight > 0.0);
+    }
+}

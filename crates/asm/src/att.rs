@@ -9,8 +9,8 @@ use crate::cond::Cond;
 use crate::error::AsmError;
 use crate::inst::{Inst, Mnemonic};
 use crate::operand::{MemRef, Operand, Scale};
-use crate::reg::{Gpr, OpSize, VecReg};
 use crate::parse::{parse_int, strip_comment};
+use crate::reg::{Gpr, OpSize, VecReg};
 use crate::BasicBlock;
 use std::fmt::Write as _;
 
@@ -214,9 +214,8 @@ fn parse_att_line(line: &str, lineno: usize) -> Result<Inst, AsmError> {
     for op in &mut operands {
         if let Operand::Mem(mem) = op {
             if mem.width == 0 {
-                mem.width = inferred.ok_or_else(|| {
-                    AsmError::parse(lineno, "cannot infer memory operand width")
-                })?;
+                mem.width = inferred
+                    .ok_or_else(|| AsmError::parse(lineno, "cannot infer memory operand width"))?;
             }
         }
     }
@@ -288,9 +287,11 @@ fn resolve_plain(text: &str) -> Option<(Mnemonic, Option<Cond>, bool)> {
             }
         }
     }
-    for (prefix, mnemonic) in
-        [("set", Mnemonic::Set), ("cmov", Mnemonic::Cmov), ("j", Mnemonic::Jcc)]
-    {
+    for (prefix, mnemonic) in [
+        ("set", Mnemonic::Set),
+        ("cmov", Mnemonic::Cmov),
+        ("j", Mnemonic::Jcc),
+    ] {
         if let Some(suffix) = text.strip_prefix(prefix) {
             if let Some(cond) = Cond::parse_suffix(suffix) {
                 return Some((mnemonic, Some(cond), false));
@@ -323,8 +324,9 @@ fn parse_att_operand(text: &str, lineno: usize) -> Result<Operand, AsmError> {
     // Memory: disp(base, index, scale) in any partial form, or a bare
     // displacement used by branches.
     if let Some(open) = text.find('(') {
-        let close =
-            text.rfind(')').ok_or_else(|| err("missing `)` in memory operand".into()))?;
+        let close = text
+            .rfind(')')
+            .ok_or_else(|| err("missing `)` in memory operand".into()))?;
         let disp_text = text[..open].trim();
         let disp = if disp_text.is_empty() {
             0
@@ -353,8 +355,7 @@ fn parse_att_operand(text: &str, lineno: usize) -> Result<Operand, AsmError> {
                 let scale = match parts.get(2) {
                     Some(&"") | None => Scale::S1,
                     Some(&s) => {
-                        let factor: u8 =
-                            s.parse().map_err(|_| err(format!("bad scale `{s}`")))?;
+                        let factor: u8 = s.parse().map_err(|_| err(format!("bad scale `{s}`")))?;
                         Scale::from_factor(factor)
                             .ok_or_else(|| err(format!("scale must be 1/2/4/8, got {s}")))?
                     }
@@ -365,7 +366,12 @@ fn parse_att_operand(text: &str, lineno: usize) -> Result<Operand, AsmError> {
         let disp = i32::try_from(disp)
             .or_else(|_| u32::try_from(disp).map(|v| v as i32))
             .map_err(|_| err(format!("displacement {disp} exceeds 32 bits")))?;
-        return Ok(Operand::Mem(MemRef { base, index, disp, width: 0 }));
+        return Ok(Operand::Mem(MemRef {
+            base,
+            index,
+            disp,
+            width: 0,
+        }));
     }
     // Bare number: branch target or absolute memory reference.
     if let Some(value) = parse_int(text) {
@@ -425,8 +431,8 @@ mod tests {
         ] {
             let inst = crate::parse::parse_inst(text).unwrap();
             let att = inst.to_att_string();
-            let back = parse_inst_att(&att)
-                .unwrap_or_else(|e| panic!("`{att}` (from `{text}`): {e}"));
+            let back =
+                parse_inst_att(&att).unwrap_or_else(|e| panic!("`{att}` (from `{text}`): {e}"));
             assert_eq!(back, inst, "AT&T round trip of `{text}` via `{att}`");
         }
     }
@@ -453,10 +459,8 @@ mod tests {
 
     #[test]
     fn whole_block_att_round_trip() {
-        let block = parse_block(
-            "mov rax, qword ptr [rbx]\nadd rax, 8\nmov qword ptr [rbx], rax",
-        )
-        .unwrap();
+        let block =
+            parse_block("mov rax, qword ptr [rbx]\nadd rax, 8\nmov qword ptr [rbx], rax").unwrap();
         let att = block.to_att_string();
         assert_eq!(parse_block_att(&att).unwrap(), block);
     }

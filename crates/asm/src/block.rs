@@ -78,6 +78,22 @@ impl BasicBlock {
         Ok(self.encode()?.len())
     }
 
+    /// A stable 64-bit content hash: FNV-1a over the encoded machine
+    /// code.
+    ///
+    /// Unlike `std::hash::Hash` (whose output varies across compiler
+    /// releases and hasher instances), this value depends only on the
+    /// block's encoding, so it is safe to persist, to seed deterministic
+    /// measurement noise, and to key deduplication caches. Two blocks
+    /// hash equal exactly when their machine code is byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn stable_hash(&self) -> Result<u64, AsmError> {
+        Ok(fnv1a_64(&self.encode()?))
+    }
+
     /// Decodes a block from machine code.
     ///
     /// # Errors
@@ -113,7 +129,9 @@ impl BasicBlock {
     pub fn from_hex(hex: &str) -> Result<BasicBlock, AsmError> {
         let hex = hex.trim();
         if !hex.len().is_multiple_of(2) {
-            return Err(AsmError::InvalidHex { message: "odd number of hex digits".into() });
+            return Err(AsmError::InvalidHex {
+                message: "odd number of hex digits".into(),
+            });
         }
         let mut bytes = Vec::with_capacity(hex.len() / 2);
         for chunk in hex.as_bytes().chunks(2) {
@@ -159,7 +177,10 @@ impl BasicBlock {
 
     /// Count of instructions touching memory.
     pub fn memory_inst_count(&self) -> usize {
-        self.insts.iter().filter(|inst| inst.touches_memory()).count()
+        self.insts
+            .iter()
+            .filter(|inst| inst.touches_memory())
+            .count()
     }
 }
 
@@ -188,6 +209,24 @@ impl<'a> IntoIterator for &'a BasicBlock {
     fn into_iter(self) -> Self::IntoIter {
         self.insts.iter()
     }
+}
+
+/// FNV-1a over a byte slice: the stable content hash used for block
+/// identity throughout the suite (noise seeding, dedup cache keys,
+/// corpus fingerprints).
+///
+/// Chosen over `std::hash::Hash` because its output is fixed by the
+/// algorithm — independent of compiler release, platform, and hasher
+/// seeding — so hashes can be persisted and compared across runs.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
 }
 
 /// Incremental builder for [`BasicBlock`]s (used heavily by the corpus
@@ -270,6 +309,19 @@ mod tests {
         assert!(block.validate().is_err());
         insts.reverse();
         assert!(BasicBlock::new(insts).validate().is_ok());
+    }
+
+    #[test]
+    fn stable_hash_tracks_encoding_only() {
+        let a = parse_block("xor eax, eax\nadd rbx, 0x10").unwrap();
+        let b = BasicBlock::from_hex(&a.to_hex().unwrap()).unwrap();
+        assert_eq!(a.stable_hash().unwrap(), b.stable_hash().unwrap());
+        let c = parse_block("xor eax, eax\nadd rbx, 0x11").unwrap();
+        assert_ne!(a.stable_hash().unwrap(), c.stable_hash().unwrap());
+        // Fixed by the FNV-1a algorithm: must never change across
+        // releases, or persisted dedup keys go stale.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 
     #[test]

@@ -34,9 +34,10 @@ pub fn decode_stream(bytes: &[u8]) -> Result<Vec<Inst>, AsmError> {
     let mut offset = 0;
     while offset < bytes.len() {
         let (inst, len) = decode_inst(&bytes[offset..]).map_err(|err| match err {
-            AsmError::Decode { offset: inner, message } => {
-                AsmError::decode(offset + inner, message)
-            }
+            AsmError::Decode {
+                offset: inner,
+                message,
+            } => AsmError::decode(offset + inner, message),
             other => other,
         })?;
         insts.push(inst);
@@ -69,7 +70,15 @@ struct Decoder<'a> {
 
 impl<'a> Decoder<'a> {
     fn new(bytes: &'a [u8]) -> Self {
-        Decoder { bytes, pos: 0, p66: false, f2: false, f3: false, rex: None, vex: None }
+        Decoder {
+            bytes,
+            pos: 0,
+            p66: false,
+            f2: false,
+            f3: false,
+            rex: None,
+            vex: None,
+        }
     }
 
     fn byte(&mut self) -> Result<u8, AsmError> {
@@ -149,9 +158,7 @@ impl<'a> Decoder<'a> {
                 1 => Map::Of,
                 2 => Map::Of38,
                 3 => Map::Of3a,
-                other => {
-                    return Err(AsmError::decode(self.pos, format!("bad VEX map {other}")))
-                }
+                other => return Err(AsmError::decode(self.pos, format!("bad VEX map {other}"))),
             }
         } else if self.peek() == Some(0x0F) {
             self.pos += 1;
@@ -185,7 +192,10 @@ impl<'a> Decoder<'a> {
                 }
             }
         }
-        Err(AsmError::decode(0, format!("unrecognized opcode {opc:#04x} (map {map:?})")))
+        Err(AsmError::decode(
+            0,
+            format!("unrecognized opcode {opc:#04x} (map {map:?})"),
+        ))
     }
 
     /// Cheap pre-filter before attempting a full body decode.
@@ -225,9 +235,7 @@ impl<'a> Decoder<'a> {
             let ok = match form.pp {
                 // Vector forms with no mandatory prefix must not see a 66
                 // byte at all (66 selects the `pd`/packed-int opcode space).
-                Pp::None => {
-                    !self.f2 && !self.f3 && (!self.p66 || form.width != WidthReq::Vec)
-                }
+                Pp::None => !self.f2 && !self.f3 && (!self.p66 || form.width != WidthReq::Vec),
                 Pp::P66 => self.p66 && !self.f2 && !self.f3,
                 Pp::PF3 => self.f3,
                 Pp::PF2 => self.f2,
@@ -305,7 +313,11 @@ impl<'a> Decoder<'a> {
         opc: u8,
     ) -> Result<Inst, AsmError> {
         let width = self.width_of(form);
-        let vec_width = if width == 32 { VecWidth::Ymm } else { VecWidth::Xmm };
+        let vec_width = if width == 32 {
+            VecWidth::Ymm
+        } else {
+            VecWidth::Xmm
+        };
         let cond = form.cond_opc.then(|| Cond::from_code(opc & 0x0F));
 
         // ModRM parsing (if the layout needs it).
@@ -314,7 +326,11 @@ impl<'a> Decoder<'a> {
             let modrm = self.byte()?;
             let modbits = modrm >> 6;
             let reg = ((modrm >> 3) & 7)
-                + if self.vex.map(|v| v.r).unwrap_or_else(|| self.rex_bit(0x04)) { 8 } else { 0 };
+                + if self.vex.map(|v| v.r).unwrap_or_else(|| self.rex_bit(0x04)) {
+                    8
+                } else {
+                    0
+                };
             let rm_low = modrm & 7;
             if modbits == 0b11 {
                 let rm = rm_low
@@ -333,8 +349,7 @@ impl<'a> Decoder<'a> {
         };
 
         // `+r` register from the opcode byte.
-        let opc_reg = (opc & 7)
-            + if self.rex_bit(0x01) { 8 } else { 0 };
+        let opc_reg = (opc & 7) + if self.rex_bit(0x01) { 8 } else { 0 };
 
         // Immediate.
         let imm = match form.imm {
@@ -350,10 +365,10 @@ impl<'a> Decoder<'a> {
                     i64::from(buf[0])
                 } else {
                     match len {
-                    1 => i64::from(raw as i8),
-                    2 => i64::from(raw as i16),
-                    4 => i64::from(raw as i32),
-                    _ => raw,
+                        1 => i64::from(raw as i8),
+                        2 => i64::from(raw as i16),
+                        4 => i64::from(raw as i32),
+                        _ => raw,
                     }
                 };
                 Some(value)
@@ -364,8 +379,16 @@ impl<'a> Decoder<'a> {
         let mut operands = Vec::with_capacity(form.pats.len());
         for (idx, pat) in form.pats.iter().enumerate() {
             let slot = position_slot(form.layout, idx);
-            let op = self.make_operand(*pat, slot, reg_field, &rm_operand_raw, opc_reg, imm,
-                width, vec_width)?;
+            let op = self.make_operand(
+                *pat,
+                slot,
+                reg_field,
+                &rm_operand_raw,
+                opc_reg,
+                imm,
+                width,
+                vec_width,
+            )?;
             operands.push(op);
         }
 
@@ -396,7 +419,9 @@ impl<'a> Decoder<'a> {
         // Immediate-like patterns ignore the slot.
         match pat {
             OpPat::Imm8 | OpPat::Imm8u | OpPat::Imm | OpPat::Imm64 => {
-                return imm.map(Operand::Imm).ok_or_else(|| fail("missing immediate"));
+                return imm
+                    .map(Operand::Imm)
+                    .ok_or_else(|| fail("missing immediate"));
             }
             OpPat::Cl => return Ok(Operand::gpr(Gpr::Rcx, OpSize::B)),
             _ => {}
@@ -441,7 +466,10 @@ impl<'a> Decoder<'a> {
     /// legacy high-byte registers (`ah`..`bh`), which the subset does not
     /// model — reject rather than misread them as `spl`..`dil`.
     fn check_byte_reg(&self, reg_num: u8, size: OpSize) -> Result<(), AsmError> {
-        if size == OpSize::B && (4..8).contains(&reg_num) && self.rex.is_none() && self.vex.is_none()
+        if size == OpSize::B
+            && (4..8).contains(&reg_num)
+            && self.rex.is_none()
+            && self.vex.is_none()
         {
             return Err(AsmError::decode(
                 self.pos,
@@ -454,8 +482,7 @@ impl<'a> Decoder<'a> {
     fn decode_mem(&mut self, modbits: u8, rm_low: u8) -> Result<MemRef, AsmError> {
         let rex_b = self.vex.map(|v| v.b).unwrap_or_else(|| self.rex_bit(0x01));
         let rex_x = self.vex.map(|v| v.x).unwrap_or_else(|| self.rex_bit(0x02));
-        let (base, index, disp_len): (Option<Gpr>, Option<(Gpr, Scale)>, usize) = if rm_low
-            == 0b100
+        let (base, index, disp_len): (Option<Gpr>, Option<(Gpr, Scale)>, usize) = if rm_low == 0b100
         {
             // SIB byte.
             let sib = self.byte()?;
@@ -465,7 +492,10 @@ impl<'a> Decoder<'a> {
             let index = if index_low == 0b100 && !rex_x {
                 None
             } else {
-                Some((Gpr::from_number(index_low + if rex_x { 8 } else { 0 }), scale))
+                Some((
+                    Gpr::from_number(index_low + if rex_x { 8 } else { 0 }),
+                    scale,
+                ))
             };
             if base_low == 0b101 && modbits == 0b00 {
                 // No base register, disp32 follows.
@@ -482,7 +512,10 @@ impl<'a> Decoder<'a> {
         } else {
             if rm_low == 0b101 && modbits == 0b00 {
                 // RIP-relative addressing is outside the supported subset.
-                return Err(AsmError::decode(self.pos, "RIP-relative addressing unsupported"));
+                return Err(AsmError::decode(
+                    self.pos,
+                    "RIP-relative addressing unsupported",
+                ));
             }
             let base = Gpr::from_number(rm_low + if rex_b { 8 } else { 0 });
             let disp_len = match modbits {
@@ -503,7 +536,12 @@ impl<'a> Decoder<'a> {
                 i32::from_le_bytes(buf)
             }
         };
-        Ok(MemRef { base, index, disp, width: 0 })
+        Ok(MemRef {
+            base,
+            index,
+            disp,
+            width: 0,
+        })
     }
 }
 
@@ -583,7 +621,10 @@ mod tests {
             ),
             Inst::basic(
                 Mnemonic::Mov,
-                vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rdx, OpSize::D)],
+                vec![
+                    Operand::gpr(Gpr::Rax, OpSize::D),
+                    Operand::gpr(Gpr::Rdx, OpSize::D),
+                ],
             ),
             Inst::basic(
                 Mnemonic::Shr,
@@ -598,7 +639,10 @@ mod tests {
             ),
             Inst::basic(
                 Mnemonic::Movzx,
-                vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rax, OpSize::B)],
+                vec![
+                    Operand::gpr(Gpr::Rax, OpSize::D),
+                    Operand::gpr(Gpr::Rax, OpSize::B),
+                ],
             ),
             Inst::basic(
                 Mnemonic::Xor,
@@ -609,7 +653,10 @@ mod tests {
             ),
             Inst::basic(
                 Mnemonic::Cmp,
-                vec![Operand::gpr(Gpr::Rdi, OpSize::Q), Operand::gpr(Gpr::Rcx, OpSize::Q)],
+                vec![
+                    Operand::gpr(Gpr::Rdi, OpSize::Q),
+                    Operand::gpr(Gpr::Rcx, OpSize::Q),
+                ],
             ),
         ];
         for inst in insts {
@@ -633,7 +680,10 @@ mod tests {
             vec![MemRef::base_disp(Gpr::Rdi, 64, 16).into(), x(3)],
         ));
         round_trip(Inst::basic(Mnemonic::Pslld, vec![x(5), Operand::Imm(7)]));
-        round_trip(Inst::vex(Mnemonic::Pslld, vec![y(5), y(6), Operand::Imm(7)]));
+        round_trip(Inst::vex(
+            Mnemonic::Pslld,
+            vec![y(5), y(6), Operand::Imm(7)],
+        ));
         round_trip(Inst::basic(
             Mnemonic::Pshufd,
             vec![x(1), x(2), Operand::Imm(0x1B)],
@@ -654,13 +704,19 @@ mod tests {
 
     #[test]
     fn round_trips_misc_scalar() {
-        round_trip(Inst::basic(Mnemonic::Div, vec![Operand::gpr(Gpr::Rcx, OpSize::D)]));
+        round_trip(Inst::basic(
+            Mnemonic::Div,
+            vec![Operand::gpr(Gpr::Rcx, OpSize::D)],
+        ));
         round_trip(Inst::basic(Mnemonic::Cqo, vec![]));
         round_trip(Inst::basic(Mnemonic::Cdq, vec![]));
         round_trip(Inst::basic(Mnemonic::Nop, vec![]));
         round_trip(Inst::basic(
             Mnemonic::Popcnt,
-            vec![Operand::gpr(Gpr::R9, OpSize::Q), Operand::gpr(Gpr::Rbx, OpSize::Q)],
+            vec![
+                Operand::gpr(Gpr::R9, OpSize::Q),
+                Operand::gpr(Gpr::Rbx, OpSize::Q),
+            ],
         ));
         round_trip(Inst::with_cond(
             Mnemonic::Set,
@@ -670,17 +726,33 @@ mod tests {
         round_trip(Inst::with_cond(
             Mnemonic::Cmov,
             Cond::A,
-            vec![Operand::gpr(Gpr::R8, OpSize::Q), MemRef::base(Gpr::Rbp, 8).into()],
+            vec![
+                Operand::gpr(Gpr::R8, OpSize::Q),
+                MemRef::base(Gpr::Rbp, 8).into(),
+            ],
         ));
-        round_trip(Inst::with_cond(Mnemonic::Jcc, Cond::Ne, vec![Operand::Imm(-0x40)]));
-        round_trip(Inst::basic(Mnemonic::Push, vec![Operand::gpr(Gpr::R15, OpSize::Q)]));
+        round_trip(Inst::with_cond(
+            Mnemonic::Jcc,
+            Cond::Ne,
+            vec![Operand::Imm(-0x40)],
+        ));
+        round_trip(Inst::basic(
+            Mnemonic::Push,
+            vec![Operand::gpr(Gpr::R15, OpSize::Q)],
+        ));
         round_trip(Inst::basic(
             Mnemonic::Shl,
-            vec![Operand::gpr(Gpr::Rbx, OpSize::D), Operand::gpr(Gpr::Rcx, OpSize::B)],
+            vec![
+                Operand::gpr(Gpr::Rbx, OpSize::D),
+                Operand::gpr(Gpr::Rcx, OpSize::B),
+            ],
         ));
         round_trip(Inst::basic(
             Mnemonic::Mov,
-            vec![Operand::gpr(Gpr::R11, OpSize::Q), Operand::Imm(0x7766554433221100)],
+            vec![
+                Operand::gpr(Gpr::R11, OpSize::Q),
+                Operand::Imm(0x7766554433221100),
+            ],
         ));
         round_trip(Inst::basic(
             Mnemonic::Imul,
@@ -712,4 +784,3 @@ mod tests {
         }
     }
 }
-

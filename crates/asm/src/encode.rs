@@ -14,7 +14,9 @@ use crate::spec::{forms, EncForm, ImmEnc, Layout, Map, Mode, OpPat, Pp, RexW, Wi
 /// supported encoding and [`AsmError::ImmediateOutOfRange`] if an immediate
 /// does not fit the matched form.
 pub fn encode_inst(inst: &Inst, out: &mut Vec<u8>) -> Result<(), AsmError> {
-    let form = select_form(inst).ok_or_else(|| AsmError::NoEncoding { inst: inst.to_string() })?;
+    let form = select_form(inst).ok_or_else(|| AsmError::NoEncoding {
+        inst: inst.to_string(),
+    })?;
     let width = form_width(inst, form).expect("select_form checked width");
     emit(inst, form, width, out)
 }
@@ -32,7 +34,11 @@ pub fn encoded_len(inst: &Inst) -> Result<usize, AsmError> {
 
 /// Picks the first form whose mode, width and operand patterns match.
 pub(crate) fn select_form(inst: &Inst) -> Option<&'static EncForm> {
-    let want_mode = if inst.is_vex() { Mode::Vex } else { Mode::Legacy };
+    let want_mode = if inst.is_vex() {
+        Mode::Vex
+    } else {
+        Mode::Legacy
+    };
     forms(inst.mnemonic())
         .iter()
         .find(|form| form.mode == want_mode && matches_form(inst, form))
@@ -115,7 +121,13 @@ fn matches_pat(op: &Operand, pat: OpPat, width: u8) -> bool {
             _ => false,
         },
         OpPat::Imm64 => matches!(op, Operand::Imm(_)),
-        OpPat::Cl => matches!(op, Operand::Gpr { reg: Gpr::Rcx, size: OpSize::B }),
+        OpPat::Cl => matches!(
+            op,
+            Operand::Gpr {
+                reg: Gpr::Rcx,
+                size: OpSize::B
+            }
+        ),
     }
 }
 
@@ -137,21 +149,55 @@ fn slots<'a>(inst: &'a Inst, form: &EncForm) -> Slots<'a> {
     let ops = inst.operands();
     let imm = ops.iter().rev().find_map(Operand::as_imm);
     match form.layout {
-        Layout::Mr => Slots { reg: ops.get(1), rm: ops.first(), vvvv: None, digit: None, imm },
-        Layout::Rm => Slots { reg: ops.first(), rm: ops.get(1), vvvv: None, digit: None, imm },
-        Layout::M(d) => {
-            Slots { reg: None, rm: ops.first(), vvvv: None, digit: Some(d), imm }
-        }
-        Layout::O => Slots { reg: ops.first(), rm: None, vvvv: None, digit: None, imm },
-        Layout::Rvm => {
-            Slots { reg: ops.first(), rm: ops.get(2), vvvv: ops.get(1), digit: None, imm }
-        }
-        Layout::Vmi(d) => {
-            Slots { reg: None, rm: ops.get(1), vvvv: ops.first(), digit: Some(d), imm }
-        }
-        Layout::Zo | Layout::Rel => {
-            Slots { reg: None, rm: None, vvvv: None, digit: None, imm }
-        }
+        Layout::Mr => Slots {
+            reg: ops.get(1),
+            rm: ops.first(),
+            vvvv: None,
+            digit: None,
+            imm,
+        },
+        Layout::Rm => Slots {
+            reg: ops.first(),
+            rm: ops.get(1),
+            vvvv: None,
+            digit: None,
+            imm,
+        },
+        Layout::M(d) => Slots {
+            reg: None,
+            rm: ops.first(),
+            vvvv: None,
+            digit: Some(d),
+            imm,
+        },
+        Layout::O => Slots {
+            reg: ops.first(),
+            rm: None,
+            vvvv: None,
+            digit: None,
+            imm,
+        },
+        Layout::Rvm => Slots {
+            reg: ops.first(),
+            rm: ops.get(2),
+            vvvv: ops.get(1),
+            digit: None,
+            imm,
+        },
+        Layout::Vmi(d) => Slots {
+            reg: None,
+            rm: ops.get(1),
+            vvvv: ops.first(),
+            digit: Some(d),
+            imm,
+        },
+        Layout::Zo | Layout::Rel => Slots {
+            reg: None,
+            rm: None,
+            vvvv: None,
+            digit: None,
+            imm,
+        },
     }
 }
 
@@ -197,7 +243,11 @@ fn emit(inst: &Inst, form: &EncForm, width: u8, out: &mut Vec<u8>) -> Result<(),
         None => (0, rm_num),
     };
     let rex_r = reg_num >= 8;
-    let rex_b = if mem.is_some() { base_num >= 8 } else { rm_num >= 8 };
+    let rex_b = if mem.is_some() {
+        base_num >= 8
+    } else {
+        rm_num >= 8
+    };
     let rex_x = mem.is_some() && index_num >= 8;
     // `+r` layouts place the register in the opcode; its high bit is REX.B.
     let (rex_b, rex_r) = if matches!(form.layout, Layout::O) {
@@ -208,7 +258,10 @@ fn emit(inst: &Inst, form: &EncForm, width: u8, out: &mut Vec<u8>) -> Result<(),
 
     let mut opc = form.opc;
     if form.cond_opc {
-        opc += inst.cond().expect("cond_opc form requires condition").code();
+        opc += inst
+            .cond()
+            .expect("cond_opc form requires condition")
+            .code();
     }
     if matches!(form.layout, Layout::O) {
         opc += reg_num & 7;
@@ -226,8 +279,7 @@ fn emit(inst: &Inst, form: &EncForm, width: u8, out: &mut Vec<u8>) -> Result<(),
                 Pp::PF3 => out.push(0xF3),
                 Pp::PF2 => out.push(0xF2),
             }
-            let need_rex =
-                rex_w || rex_r || rex_x || rex_b || needs_rex_for_byte_reg(inst);
+            let need_rex = rex_w || rex_r || rex_x || rex_b || needs_rex_for_byte_reg(inst);
             if need_rex {
                 out.push(
                     0x40 | (u8::from(rex_w) << 3)
@@ -265,10 +317,7 @@ fn emit(inst: &Inst, form: &EncForm, width: u8, out: &mut Vec<u8>) -> Result<(),
                 // 2-byte VEX.
                 out.push(0xC5);
                 out.push(
-                    (u8::from(!rex_r) << 7)
-                        | ((!vvvv & 0xF) << 3)
-                        | (u8::from(l) << 2)
-                        | pp_bits,
+                    (u8::from(!rex_r) << 7) | ((!vvvv & 0xF) << 3) | (u8::from(l) << 2) | pp_bits,
                 );
             } else {
                 out.push(0xC4);
@@ -279,10 +328,7 @@ fn emit(inst: &Inst, form: &EncForm, width: u8, out: &mut Vec<u8>) -> Result<(),
                         | map_bits,
                 );
                 out.push(
-                    (u8::from(rex_w) << 7)
-                        | ((!vvvv & 0xF) << 3)
-                        | (u8::from(l) << 2)
-                        | pp_bits,
+                    (u8::from(rex_w) << 7) | ((!vvvv & 0xF) << 3) | (u8::from(l) << 2) | pp_bits,
                 );
             }
             out.push(opc);
@@ -304,19 +350,22 @@ fn emit(inst: &Inst, form: &EncForm, width: u8, out: &mut Vec<u8>) -> Result<(),
 
     // Immediate.
     if form.imm != ImmEnc::None {
-        let value = s.imm.ok_or_else(|| AsmError::NoEncoding { inst: inst.to_string() })?;
+        let value = s.imm.ok_or_else(|| AsmError::NoEncoding {
+            inst: inst.to_string(),
+        })?;
         let imm_len = form.imm.len(width);
         let fits = match (form.imm, imm_len) {
             (ImmEnc::Ub, _) => (0..=255).contains(&value),
             (_, 1) => i8::try_from(value).is_ok() || (width == 1 && u8::try_from(value).is_ok()),
             (_, 2) => i16::try_from(value).is_ok() || u16::try_from(value).is_ok(),
-            (_, 4) => {
-                i32::try_from(value).is_ok() || (width == 4 && u32::try_from(value).is_ok())
-            }
+            (_, 4) => i32::try_from(value).is_ok() || (width == 4 && u32::try_from(value).is_ok()),
             _ => true,
         };
         if !fits {
-            return Err(AsmError::ImmediateOutOfRange { inst: inst.to_string(), value });
+            return Err(AsmError::ImmediateOutOfRange {
+                inst: inst.to_string(),
+                value,
+            });
         }
         out.extend_from_slice(&value.to_le_bytes()[..imm_len]);
     }
@@ -392,7 +441,10 @@ mod tests {
         // xor eax, eax -> 31 C0
         let inst = Inst::basic(
             Mnemonic::Xor,
-            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rax, OpSize::D)],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::D),
+                Operand::gpr(Gpr::Rax, OpSize::D),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x31, 0xC0]);
     }
@@ -402,7 +454,10 @@ mod tests {
         // mov eax, edx -> 89 D0
         let inst = Inst::basic(
             Mnemonic::Mov,
-            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rdx, OpSize::D)],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::D),
+                Operand::gpr(Gpr::Rdx, OpSize::D),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x89, 0xD0]);
     }
@@ -440,7 +495,10 @@ mod tests {
                 MemRef::index_disp(Gpr::Rax, Scale::S8, 0x4110a, 8).into(),
             ],
         );
-        assert_eq!(enc(&inst), vec![0x48, 0x33, 0x14, 0xC5, 0x0A, 0x11, 0x04, 0x00]);
+        assert_eq!(
+            enc(&inst),
+            vec![0x48, 0x33, 0x14, 0xC5, 0x0A, 0x11, 0x04, 0x00]
+        );
     }
 
     #[test]
@@ -448,7 +506,10 @@ mod tests {
         // movzx eax, al -> 0F B6 C0
         let inst = Inst::basic(
             Mnemonic::Movzx,
-            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rax, OpSize::B)],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::D),
+                Operand::gpr(Gpr::Rax, OpSize::B),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x0F, 0xB6, 0xC0]);
     }
@@ -458,7 +519,10 @@ mod tests {
         // mov rax, [rsp] -> 48 8B 04 24
         let inst = Inst::basic(
             Mnemonic::Mov,
-            vec![Operand::gpr(Gpr::Rax, OpSize::Q), MemRef::base(Gpr::Rsp, 8).into()],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::Q),
+                MemRef::base(Gpr::Rsp, 8).into(),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x48, 0x8B, 0x04, 0x24]);
     }
@@ -468,7 +532,10 @@ mod tests {
         // mov rax, [rbp] -> 48 8B 45 00
         let inst = Inst::basic(
             Mnemonic::Mov,
-            vec![Operand::gpr(Gpr::Rax, OpSize::Q), MemRef::base(Gpr::Rbp, 8).into()],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::Q),
+                MemRef::base(Gpr::Rbp, 8).into(),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x48, 0x8B, 0x45, 0x00]);
     }
@@ -478,7 +545,10 @@ mod tests {
         // mov rax, [r13] -> 49 8B 45 00
         let inst = Inst::basic(
             Mnemonic::Mov,
-            vec![Operand::gpr(Gpr::Rax, OpSize::Q), MemRef::base(Gpr::R13, 8).into()],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::Q),
+                MemRef::base(Gpr::R13, 8).into(),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x49, 0x8B, 0x45, 0x00]);
     }
@@ -512,7 +582,11 @@ mod tests {
         // vfmadd231ps ymm0, ymm1, ymm2 -> C4 E2 75 B8 C2
         let inst = Inst::vex(
             Mnemonic::Vfmadd231ps,
-            vec![VecReg::ymm(0).into(), VecReg::ymm(1).into(), VecReg::ymm(2).into()],
+            vec![
+                VecReg::ymm(0).into(),
+                VecReg::ymm(1).into(),
+                VecReg::ymm(2).into(),
+            ],
         );
         assert_eq!(enc(&inst), vec![0xC4, 0xE2, 0x75, 0xB8, 0xC2]);
     }
@@ -522,7 +596,10 @@ mod tests {
         // mov sil, al -> 40 88 C6
         let inst = Inst::basic(
             Mnemonic::Mov,
-            vec![Operand::gpr(Gpr::Rsi, OpSize::B), Operand::gpr(Gpr::Rax, OpSize::B)],
+            vec![
+                Operand::gpr(Gpr::Rsi, OpSize::B),
+                Operand::gpr(Gpr::Rax, OpSize::B),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x40, 0x88, 0xC6]);
     }
@@ -540,7 +617,10 @@ mod tests {
     fn movabs() {
         let inst = Inst::basic(
             Mnemonic::Mov,
-            vec![Operand::gpr(Gpr::Rax, OpSize::Q), Operand::Imm(0x1122334455667788)],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::Q),
+                Operand::Imm(0x1122334455667788),
+            ],
         );
         assert_eq!(
             enc(&inst),
@@ -572,7 +652,10 @@ mod tests {
         let inst = Inst::with_cond(
             Mnemonic::Cmov,
             Cond::Ne,
-            vec![Operand::gpr(Gpr::Rax, OpSize::Q), Operand::gpr(Gpr::Rbx, OpSize::Q)],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::Q),
+                Operand::gpr(Gpr::Rbx, OpSize::Q),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x48, 0x0F, 0x45, 0xC3]);
     }
@@ -582,7 +665,10 @@ mod tests {
         // mov [rbx], eax -> 89 03
         let inst = Inst::basic(
             Mnemonic::Mov,
-            vec![MemRef::base(Gpr::Rbx, 4).into(), Operand::gpr(Gpr::Rax, OpSize::D)],
+            vec![
+                MemRef::base(Gpr::Rbx, 4).into(),
+                Operand::gpr(Gpr::Rax, OpSize::D),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x89, 0x03]);
         // movaps [rdi], xmm0 -> 0F 29 07
@@ -608,7 +694,10 @@ mod tests {
         // add ax, bx -> 66 01 D8
         let inst = Inst::basic(
             Mnemonic::Add,
-            vec![Operand::gpr(Gpr::Rax, OpSize::W), Operand::gpr(Gpr::Rbx, OpSize::W)],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::W),
+                Operand::gpr(Gpr::Rbx, OpSize::W),
+            ],
         );
         assert_eq!(enc(&inst), vec![0x66, 0x01, 0xD8]);
     }
@@ -643,7 +732,10 @@ mod tests {
     #[test]
     fn vector_shift_imm() {
         // pslld xmm1, 4 -> 66 0F 72 F1 04
-        let inst = Inst::basic(Mnemonic::Pslld, vec![VecReg::xmm(1).into(), Operand::Imm(4)]);
+        let inst = Inst::basic(
+            Mnemonic::Pslld,
+            vec![VecReg::xmm(1).into(), Operand::Imm(4)],
+        );
         assert_eq!(enc(&inst), vec![0x66, 0x0F, 0x72, 0xF1, 0x04]);
     }
 }

@@ -43,11 +43,17 @@ pub enum AsmError {
 
 impl AsmError {
     pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
-        AsmError::Parse { line, message: message.into() }
+        AsmError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn decode(offset: usize, message: impl Into<String>) -> Self {
-        AsmError::Decode { offset, message: message.into() }
+        AsmError::Decode {
+            offset,
+            message: message.into(),
+        }
     }
 }
 
@@ -82,7 +88,10 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let err = AsmError::parse(3, "unknown mnemonic `bogus`");
-        assert_eq!(err.to_string(), "parse error on line 3: unknown mnemonic `bogus`");
+        assert_eq!(
+            err.to_string(),
+            "parse error on line 3: unknown mnemonic `bogus`"
+        );
         let err = AsmError::decode(7, "truncated ModRM");
         assert_eq!(err.to_string(), "decode error at byte 7: truncated ModRM");
     }

@@ -248,14 +248,30 @@ impl Mnemonic {
         use MnemonicClass::*;
         matches!(
             self.class(),
-            FpMove | FpAdd | FpMul | Fma | FpDiv | FpSqrt | FpMinMax | FpCmp | FpCvt | VecLogic
-                | VecIntAlu | VecIntMul | VecShift | VecShuffle | VecMask
+            FpMove
+                | FpAdd
+                | FpMul
+                | Fma
+                | FpDiv
+                | FpSqrt
+                | FpMinMax
+                | FpCmp
+                | FpCvt
+                | VecLogic
+                | VecIntAlu
+                | VecIntMul
+                | VecShift
+                | VecShuffle
+                | VecMask
         )
     }
 
     /// True for mnemonics that only exist in VEX (AVX) form.
     pub fn is_vex_only(self) -> bool {
-        matches!(self, Mnemonic::Vfmadd231ps | Mnemonic::Vfmadd231pd | Mnemonic::Vbroadcastss)
+        matches!(
+            self,
+            Mnemonic::Vfmadd231ps | Mnemonic::Vfmadd231pd | Mnemonic::Vbroadcastss
+        )
     }
 
     /// True if the instruction performs floating-point arithmetic whose
@@ -303,9 +319,9 @@ impl Mnemonic {
 /// operand, forces a VEX encoding.
 pub(crate) fn infer_vex(mnemonic: Mnemonic, operands: &[Operand]) -> bool {
     mnemonic.is_vex_only()
-        || operands.iter().any(|op| {
-            matches!(op, Operand::Vec(v) if v.width() == crate::reg::VecWidth::Ymm)
-        })
+        || operands
+            .iter()
+            .any(|op| matches!(op, Operand::Vec(v) if v.width() == crate::reg::VecWidth::Ymm))
 }
 
 /// A single decoded instruction.
@@ -330,12 +346,7 @@ impl Inst {
     /// Panics if a condition is supplied for a mnemonic that does not take
     /// one (or omitted for one that does), or if more than four operands
     /// are supplied.
-    pub fn new(
-        mnemonic: Mnemonic,
-        cond: Option<Cond>,
-        vex: bool,
-        operands: Vec<Operand>,
-    ) -> Inst {
+    pub fn new(mnemonic: Mnemonic, cond: Option<Cond>, vex: bool, operands: Vec<Operand>) -> Inst {
         assert_eq!(
             mnemonic.takes_cond(),
             cond.is_some(),
@@ -352,7 +363,12 @@ impl Inst {
                 mem.width = width;
             }
         }
-        Inst { mnemonic, cond, vex, operands }
+        Inst {
+            mnemonic,
+            cond,
+            vex,
+            operands,
+        }
     }
 
     /// A legacy-encoded (non-VEX) instruction without condition.
@@ -458,8 +474,21 @@ impl Inst {
         self.mem_operand_index() == Some(0)
             && matches!(
                 self.mnemonic,
-                Add | Sub | Adc | Sbb | And | Or | Xor | Inc | Dec | Neg | Not | Shl | Shr | Sar
-                    | Rol | Ror
+                Add | Sub
+                    | Adc
+                    | Sbb
+                    | And
+                    | Or
+                    | Xor
+                    | Inc
+                    | Dec
+                    | Neg
+                    | Not
+                    | Shl
+                    | Shr
+                    | Sar
+                    | Rol
+                    | Ror
             )
     }
 
@@ -480,8 +509,10 @@ impl Inst {
     /// True when the first operand is written.
     pub fn writes_dst(&self) -> bool {
         use Mnemonic::*;
-        !matches!(self.mnemonic, Cmp | Test | Ucomiss | Ucomisd | Push | Jcc | Nop | Cdq | Cqo)
-            && !self.operands.is_empty()
+        !matches!(
+            self.mnemonic,
+            Cmp | Test | Ucomiss | Ucomisd | Push | Jcc | Nop | Cdq | Cqo
+        ) && !self.operands.is_empty()
     }
 
     /// General-purpose registers read by the instruction (explicit operands
@@ -507,7 +538,11 @@ impl Inst {
         }
         for (idx, op) in self.operands.iter().enumerate() {
             if let Operand::Gpr { reg, .. } = op {
-                let read = if idx == 0 { self.reads_dst() || !self.writes_dst() } else { true };
+                let read = if idx == 0 {
+                    self.reads_dst() || !self.writes_dst()
+                } else {
+                    true
+                };
                 if read {
                     regs.push(*reg);
                 }
@@ -577,7 +612,10 @@ impl Inst {
         if self.mnemonic() == Mnemonic::Not {
             return false;
         }
-        matches!(self.mnemonic().class(), Alu | Shift | Mul | BitCount | FpCmp)
+        matches!(
+            self.mnemonic().class(),
+            Alu | Shift | Mul | BitCount | FpCmp
+        )
     }
 
     /// True if the instruction reads RFLAGS (`adc`/`sbb`, conditionals,
@@ -653,8 +691,10 @@ mod tests {
     fn zero_idiom_detection() {
         let zi = Inst::basic(Mnemonic::Xor, vec![rax_d(), rax_d()]);
         assert!(zi.is_zero_idiom());
-        let not_zi =
-            Inst::basic(Mnemonic::Xor, vec![rax_d(), Operand::gpr(Gpr::Rbx, OpSize::D)]);
+        let not_zi = Inst::basic(
+            Mnemonic::Xor,
+            vec![rax_d(), Operand::gpr(Gpr::Rbx, OpSize::D)],
+        );
         assert!(!not_zi.is_zero_idiom());
         // vxorps xmm2, xmm2, xmm2 — the paper's case-study block.
         let v = VecReg::xmm(2);
@@ -666,7 +706,10 @@ mod tests {
         );
         assert!(!vnz.is_zero_idiom());
         // Legacy pxor xmm1, xmm1.
-        let p = Inst::basic(Mnemonic::Pxor, vec![VecReg::xmm(1).into(), VecReg::xmm(1).into()]);
+        let p = Inst::basic(
+            Mnemonic::Pxor,
+            vec![VecReg::xmm(1).into(), VecReg::xmm(1).into()],
+        );
         assert!(p.is_zero_idiom());
     }
 

@@ -53,7 +53,7 @@ mod reg;
 mod spec;
 
 pub use att::{parse_block_att, parse_inst_att};
-pub use block::{BasicBlock, BlockBuilder};
+pub use block::{fnv1a_64, BasicBlock, BlockBuilder};
 pub use cond::Cond;
 pub use decode::{decode_inst, decode_stream};
 pub use encode::{encode_inst, encoded_len};
@@ -62,4 +62,3 @@ pub use inst::{Inst, Mnemonic, MnemonicClass};
 pub use operand::{MemRef, Operand, Scale};
 pub use parse::{parse_block, parse_inst};
 pub use reg::{Gpr, OpSize, VecReg, VecWidth};
-

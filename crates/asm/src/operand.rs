@@ -74,27 +74,52 @@ pub struct MemRef {
 impl MemRef {
     /// A `[base]` reference.
     pub fn base(base: Gpr, width: u8) -> MemRef {
-        MemRef { base: Some(base), index: None, disp: 0, width }
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp: 0,
+            width,
+        }
     }
 
     /// A `[base + disp]` reference.
     pub fn base_disp(base: Gpr, disp: i32, width: u8) -> MemRef {
-        MemRef { base: Some(base), index: None, disp, width }
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp,
+            width,
+        }
     }
 
     /// A `[base + index*scale + disp]` reference.
     pub fn base_index(base: Gpr, index: Gpr, scale: Scale, disp: i32, width: u8) -> MemRef {
-        MemRef { base: Some(base), index: Some((index, scale)), disp, width }
+        MemRef {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+            width,
+        }
     }
 
     /// An `[index*scale + disp]` reference with no base register.
     pub fn index_disp(index: Gpr, scale: Scale, disp: i32, width: u8) -> MemRef {
-        MemRef { base: None, index: Some((index, scale)), disp, width }
+        MemRef {
+            base: None,
+            index: Some((index, scale)),
+            disp,
+            width,
+        }
     }
 
     /// An absolute `[disp]` reference.
     pub fn absolute(disp: i32, width: u8) -> MemRef {
-        MemRef { base: None, index: None, disp, width }
+        MemRef {
+            base: None,
+            index: None,
+            disp,
+            width,
+        }
     }
 
     /// Returns a copy with a different access width.

@@ -73,13 +73,11 @@ fn parse_line(line: &str, lineno: usize) -> Result<Inst, AsmError> {
 
     // Infer missing memory widths from a sized register operand
     // (`mov eax, [rbx]` → dword access). `lea` uses the destination width.
-    let inferred = operands
-        .iter()
-        .find_map(|op| match op {
-            Operand::Gpr { size, .. } => Some(size.bytes()),
-            Operand::Vec(v) => Some(v.width().bytes()),
-            _ => None,
-        });
+    let inferred = operands.iter().find_map(|op| match op {
+        Operand::Gpr { size, .. } => Some(size.bytes()),
+        Operand::Vec(v) => Some(v.width().bytes()),
+        _ => None,
+    });
     for op in &mut operands {
         if let Operand::Mem(mem) = op {
             if mem.width == 0 {
@@ -125,9 +123,11 @@ fn resolve_mnemonic(text: &str) -> Option<(Mnemonic, Option<Cond>, bool)> {
         }
     }
     // Condition-code families.
-    for (prefix, mnemonic) in
-        [("set", Mnemonic::Set), ("cmov", Mnemonic::Cmov), ("j", Mnemonic::Jcc)]
-    {
+    for (prefix, mnemonic) in [
+        ("set", Mnemonic::Set),
+        ("cmov", Mnemonic::Cmov),
+        ("j", Mnemonic::Jcc),
+    ] {
         if let Some(suffix) = text.strip_prefix(prefix) {
             if let Some(cond) = Cond::parse_suffix(suffix) {
                 return Some((mnemonic, Some(cond), false));
@@ -155,7 +155,10 @@ fn parse_operand(text: &str, lineno: usize) -> Result<Operand, AsmError> {
             "xmmword ptr" | "xmmword" | "oword ptr" => 16,
             "ymmword ptr" | "ymmword" => 32,
             other => {
-                return Err(AsmError::parse(lineno, format!("bad size keyword `{other}`")))
+                return Err(AsmError::parse(
+                    lineno,
+                    format!("bad size keyword `{other}`"),
+                ))
             }
         };
         let close = lower
@@ -226,8 +229,7 @@ fn parse_mem(body: &str, width: u8, lineno: usize) -> Result<MemRef, AsmError> {
     for (neg, term) in terms {
         if let Some(star) = term.find('*') {
             let (lhs, rhs) = (term[..star].trim(), term[star + 1..].trim());
-            let (scale_txt, reg_txt) = if lhs.chars().next().is_some_and(|c| c.is_ascii_digit())
-            {
+            let (scale_txt, reg_txt) = if lhs.chars().next().is_some_and(|c| c.is_ascii_digit()) {
                 (lhs, rhs)
             } else {
                 (rhs, lhs)
@@ -275,7 +277,12 @@ fn parse_mem(body: &str, width: u8, lineno: usize) -> Result<MemRef, AsmError> {
     let disp = i32::try_from(disp)
         .or_else(|_| u32::try_from(disp).map(|v| v as i32))
         .map_err(|_| err(format!("displacement {disp} exceeds 32 bits")))?;
-    Ok(MemRef { base, index, disp, width })
+    Ok(MemRef {
+        base,
+        index,
+        disp,
+        width,
+    })
 }
 
 #[cfg(test)]
@@ -353,7 +360,9 @@ mod tests {
         assert!(parse_inst("vaddps xmm0, xmm1, xmm2").unwrap().is_vex());
         assert!(!parse_inst("addps xmm0, xmm1").unwrap().is_vex());
         assert!(parse_inst("addps ymm0, ymm1, ymm2").unwrap().is_vex());
-        assert!(parse_inst("vbroadcastss xmm0, dword ptr [rax]").unwrap().is_vex());
+        assert!(parse_inst("vbroadcastss xmm0, dword ptr [rax]")
+            .unwrap()
+            .is_vex());
     }
 
     #[test]
@@ -372,7 +381,10 @@ mod tests {
     fn condition_aliases() {
         assert_eq!(parse_inst("setz al").unwrap().cond(), Some(Cond::E));
         assert_eq!(parse_inst("jnz 0x10").unwrap().cond(), Some(Cond::Ne));
-        assert_eq!(parse_inst("cmovnb rax, rbx").unwrap().cond(), Some(Cond::Ae));
+        assert_eq!(
+            parse_inst("cmovnb rax, rbx").unwrap().cond(),
+            Some(Cond::Ae)
+        );
     }
 
     #[test]

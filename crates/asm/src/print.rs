@@ -84,7 +84,11 @@ mod tests {
         assert_eq!(inst.to_string(), "setne al");
         let inst = Inst::vex(
             Mnemonic::Vfmadd231ps,
-            vec![VecReg::ymm(0).into(), VecReg::ymm(1).into(), VecReg::ymm(2).into()],
+            vec![
+                VecReg::ymm(0).into(),
+                VecReg::ymm(1).into(),
+                VecReg::ymm(2).into(),
+            ],
         );
         // VEX-only mnemonics already carry their `v`.
         assert_eq!(inst.to_string(), "vfmadd231ps ymm0, ymm1, ymm2");

@@ -255,7 +255,10 @@ impl VecReg {
     /// The same register at a different width.
     #[inline]
     pub fn with_width(self, width: VecWidth) -> VecReg {
-        VecReg { index: self.index, width }
+        VecReg {
+            index: self.index,
+            width,
+        }
     }
 
     /// Parses `xmmN` / `ymmN` names.

@@ -204,11 +204,39 @@ const _: () = {
 macro_rules! alu {
     ($base:expr, $digit:expr) => {
         &[
-            EncForm { pats: &[Rm, R], width: Fixed(B), layout: Layout::Mr, opc: $base, ..BASE },
-            EncForm { pats: &[Rm, R], layout: Layout::Mr, opc: $base + 1, ..BASE },
-            EncForm { pats: &[R, Rm], width: Fixed(B), layout: Layout::Rm, opc: $base + 2, ..BASE },
-            EncForm { pats: &[R, Rm], layout: Layout::Rm, opc: $base + 3, ..BASE },
-            EncForm { pats: &[Rm, Imm8], layout: Layout::M($digit), opc: 0x83, imm: Ib, ..BASE },
+            EncForm {
+                pats: &[Rm, R],
+                width: Fixed(B),
+                layout: Layout::Mr,
+                opc: $base,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm, R],
+                layout: Layout::Mr,
+                opc: $base + 1,
+                ..BASE
+            },
+            EncForm {
+                pats: &[R, Rm],
+                width: Fixed(B),
+                layout: Layout::Rm,
+                opc: $base + 2,
+                ..BASE
+            },
+            EncForm {
+                pats: &[R, Rm],
+                layout: Layout::Rm,
+                opc: $base + 3,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm, Imm8],
+                layout: Layout::M($digit),
+                opc: 0x83,
+                imm: Ib,
+                ..BASE
+            },
             EncForm {
                 pats: &[Rm, Imm8],
                 width: Fixed(B),
@@ -217,7 +245,13 @@ macro_rules! alu {
                 imm: Ib,
                 ..BASE
             },
-            EncForm { pats: &[Rm, Imm], layout: Layout::M($digit), opc: 0x81, imm: ByWidth, ..BASE },
+            EncForm {
+                pats: &[Rm, Imm],
+                layout: Layout::M($digit),
+                opc: 0x81,
+                imm: ByWidth,
+                ..BASE
+            },
         ]
     };
 }
@@ -234,9 +268,26 @@ macro_rules! shift {
                 imm: Ub,
                 ..BASE
             },
-            EncForm { pats: &[Rm, Imm8u], layout: Layout::M($digit), opc: 0xC1, imm: Ub, ..BASE },
-            EncForm { pats: &[Rm, Cl], width: Fixed(B), layout: Layout::M($digit), opc: 0xD2, ..BASE },
-            EncForm { pats: &[Rm, Cl], layout: Layout::M($digit), opc: 0xD3, ..BASE },
+            EncForm {
+                pats: &[Rm, Imm8u],
+                layout: Layout::M($digit),
+                opc: 0xC1,
+                imm: Ub,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm, Cl],
+                width: Fixed(B),
+                layout: Layout::M($digit),
+                opc: 0xD2,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm, Cl],
+                layout: Layout::M($digit),
+                opc: 0xD3,
+                ..BASE
+            },
         ]
     };
 }
@@ -245,8 +296,19 @@ macro_rules! shift {
 macro_rules! group3 {
     ($digit:expr) => {
         &[
-            EncForm { pats: &[Rm], width: Fixed(B), layout: Layout::M($digit), opc: 0xF6, ..BASE },
-            EncForm { pats: &[Rm], layout: Layout::M($digit), opc: 0xF7, ..BASE },
+            EncForm {
+                pats: &[Rm],
+                width: Fixed(B),
+                layout: Layout::M($digit),
+                opc: 0xF6,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm],
+                layout: Layout::M($digit),
+                opc: 0xF7,
+                ..BASE
+            },
         ]
     };
 }
@@ -395,10 +457,32 @@ pub(crate) fn forms(m: Mnemonic) -> &'static [EncForm] {
     use Mnemonic::*;
     match m {
         Mov => &[
-            EncForm { pats: &[Rm, R], width: Fixed(B), layout: Layout::Mr, opc: 0x88, ..BASE },
-            EncForm { pats: &[Rm, R], layout: Layout::Mr, opc: 0x89, ..BASE },
-            EncForm { pats: &[R, Rm], width: Fixed(B), layout: Layout::Rm, opc: 0x8A, ..BASE },
-            EncForm { pats: &[R, Rm], layout: Layout::Rm, opc: 0x8B, ..BASE },
+            EncForm {
+                pats: &[Rm, R],
+                width: Fixed(B),
+                layout: Layout::Mr,
+                opc: 0x88,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm, R],
+                layout: Layout::Mr,
+                opc: 0x89,
+                ..BASE
+            },
+            EncForm {
+                pats: &[R, Rm],
+                width: Fixed(B),
+                layout: Layout::Rm,
+                opc: 0x8A,
+                ..BASE
+            },
+            EncForm {
+                pats: &[R, Rm],
+                layout: Layout::Rm,
+                opc: 0x8B,
+                ..BASE
+            },
             EncForm {
                 pats: &[Rm, Imm8],
                 width: Fixed(B),
@@ -407,7 +491,13 @@ pub(crate) fn forms(m: Mnemonic) -> &'static [EncForm] {
                 imm: Ib,
                 ..BASE
             },
-            EncForm { pats: &[Rm, Imm], layout: Layout::M(0), opc: 0xC7, imm: ByWidth, ..BASE },
+            EncForm {
+                pats: &[Rm, Imm],
+                layout: Layout::M(0),
+                opc: 0xC7,
+                imm: ByWidth,
+                ..BASE
+            },
             EncForm {
                 pats: &[R, Imm64],
                 width: Fixed(Q),
@@ -419,12 +509,36 @@ pub(crate) fn forms(m: Mnemonic) -> &'static [EncForm] {
             },
         ],
         Movzx => &[
-            EncForm { pats: &[R, RmFix(B)], layout: Layout::Rm, map: Of, opc: 0xB6, ..BASE },
-            EncForm { pats: &[R, RmFix(OpSize::W)], layout: Layout::Rm, map: Of, opc: 0xB7, ..BASE },
+            EncForm {
+                pats: &[R, RmFix(B)],
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0xB6,
+                ..BASE
+            },
+            EncForm {
+                pats: &[R, RmFix(OpSize::W)],
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0xB7,
+                ..BASE
+            },
         ],
         Movsx => &[
-            EncForm { pats: &[R, RmFix(B)], layout: Layout::Rm, map: Of, opc: 0xBE, ..BASE },
-            EncForm { pats: &[R, RmFix(OpSize::W)], layout: Layout::Rm, map: Of, opc: 0xBF, ..BASE },
+            EncForm {
+                pats: &[R, RmFix(B)],
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0xBE,
+                ..BASE
+            },
+            EncForm {
+                pats: &[R, RmFix(OpSize::W)],
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0xBF,
+                ..BASE
+            },
         ],
         Movsxd => &[EncForm {
             pats: &[R, RmFix(D)],
@@ -434,8 +548,19 @@ pub(crate) fn forms(m: Mnemonic) -> &'static [EncForm] {
             rexw: RexW::W1,
             ..BASE
         }],
-        Bswap => &[EncForm { pats: &[R], layout: Layout::O, map: Of, opc: 0xC8, ..BASE }],
-        Lea => &[EncForm { pats: &[R, MAny], layout: Layout::Rm, opc: 0x8D, ..BASE }],
+        Bswap => &[EncForm {
+            pats: &[R],
+            layout: Layout::O,
+            map: Of,
+            opc: 0xC8,
+            ..BASE
+        }],
+        Lea => &[EncForm {
+            pats: &[R, MAny],
+            layout: Layout::Rm,
+            opc: 0x8D,
+            ..BASE
+        }],
         Push => &[EncForm {
             pats: &[R],
             width: Fixed(Q),
@@ -461,8 +586,19 @@ pub(crate) fn forms(m: Mnemonic) -> &'static [EncForm] {
         Xor => alu!(0x30, 6),
         Cmp => alu!(0x38, 7),
         Test => &[
-            EncForm { pats: &[Rm, R], width: Fixed(B), layout: Layout::Mr, opc: 0x84, ..BASE },
-            EncForm { pats: &[Rm, R], layout: Layout::Mr, opc: 0x85, ..BASE },
+            EncForm {
+                pats: &[Rm, R],
+                width: Fixed(B),
+                layout: Layout::Mr,
+                opc: 0x84,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm, R],
+                layout: Layout::Mr,
+                opc: 0x85,
+                ..BASE
+            },
             EncForm {
                 pats: &[Rm, Imm8],
                 width: Fixed(B),
@@ -471,15 +607,43 @@ pub(crate) fn forms(m: Mnemonic) -> &'static [EncForm] {
                 imm: Ib,
                 ..BASE
             },
-            EncForm { pats: &[Rm, Imm], layout: Layout::M(0), opc: 0xF7, imm: ByWidth, ..BASE },
+            EncForm {
+                pats: &[Rm, Imm],
+                layout: Layout::M(0),
+                opc: 0xF7,
+                imm: ByWidth,
+                ..BASE
+            },
         ],
         Inc => &[
-            EncForm { pats: &[Rm], width: Fixed(B), layout: Layout::M(0), opc: 0xFE, ..BASE },
-            EncForm { pats: &[Rm], layout: Layout::M(0), opc: 0xFF, ..BASE },
+            EncForm {
+                pats: &[Rm],
+                width: Fixed(B),
+                layout: Layout::M(0),
+                opc: 0xFE,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm],
+                layout: Layout::M(0),
+                opc: 0xFF,
+                ..BASE
+            },
         ],
         Dec => &[
-            EncForm { pats: &[Rm], width: Fixed(B), layout: Layout::M(1), opc: 0xFE, ..BASE },
-            EncForm { pats: &[Rm], layout: Layout::M(1), opc: 0xFF, ..BASE },
+            EncForm {
+                pats: &[Rm],
+                width: Fixed(B),
+                layout: Layout::M(1),
+                opc: 0xFE,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm],
+                layout: Layout::M(1),
+                opc: 0xFF,
+                ..BASE
+            },
         ],
         Not => group3!(2),
         Neg => group3!(3),
@@ -492,19 +656,77 @@ pub(crate) fn forms(m: Mnemonic) -> &'static [EncForm] {
         Rol => shift!(0),
         Ror => shift!(1),
         Imul => &[
-            EncForm { pats: &[Rm], width: Fixed(B), layout: Layout::M(5), opc: 0xF6, ..BASE },
-            EncForm { pats: &[Rm], layout: Layout::M(5), opc: 0xF7, ..BASE },
-            EncForm { pats: &[R, Rm], layout: Layout::Rm, map: Of, opc: 0xAF, ..BASE },
-            EncForm { pats: &[R, Rm, Imm8], layout: Layout::Rm, opc: 0x6B, imm: Ib, ..BASE },
-            EncForm { pats: &[R, Rm, Imm], layout: Layout::Rm, opc: 0x69, imm: ByWidth, ..BASE },
+            EncForm {
+                pats: &[Rm],
+                width: Fixed(B),
+                layout: Layout::M(5),
+                opc: 0xF6,
+                ..BASE
+            },
+            EncForm {
+                pats: &[Rm],
+                layout: Layout::M(5),
+                opc: 0xF7,
+                ..BASE
+            },
+            EncForm {
+                pats: &[R, Rm],
+                layout: Layout::Rm,
+                map: Of,
+                opc: 0xAF,
+                ..BASE
+            },
+            EncForm {
+                pats: &[R, Rm, Imm8],
+                layout: Layout::Rm,
+                opc: 0x6B,
+                imm: Ib,
+                ..BASE
+            },
+            EncForm {
+                pats: &[R, Rm, Imm],
+                layout: Layout::Rm,
+                opc: 0x69,
+                imm: ByWidth,
+                ..BASE
+            },
         ],
-        Cdq => &[EncForm { width: Fixed(D), opc: 0x99, rexw: RexW::W0, ..BASE }],
-        Cqo => &[EncForm { width: Fixed(Q), opc: 0x99, rexw: RexW::W1, ..BASE }],
-        Popcnt => {
-            &[EncForm { pats: &[R, Rm], layout: Layout::Rm, pp: PF3, map: Of, opc: 0xB8, ..BASE }]
-        }
-        Lzcnt => &[EncForm { pats: &[R, Rm], layout: Layout::Rm, pp: PF3, map: Of, opc: 0xBD, ..BASE }],
-        Tzcnt => &[EncForm { pats: &[R, Rm], layout: Layout::Rm, pp: PF3, map: Of, opc: 0xBC, ..BASE }],
+        Cdq => &[EncForm {
+            width: Fixed(D),
+            opc: 0x99,
+            rexw: RexW::W0,
+            ..BASE
+        }],
+        Cqo => &[EncForm {
+            width: Fixed(Q),
+            opc: 0x99,
+            rexw: RexW::W1,
+            ..BASE
+        }],
+        Popcnt => &[EncForm {
+            pats: &[R, Rm],
+            layout: Layout::Rm,
+            pp: PF3,
+            map: Of,
+            opc: 0xB8,
+            ..BASE
+        }],
+        Lzcnt => &[EncForm {
+            pats: &[R, Rm],
+            layout: Layout::Rm,
+            pp: PF3,
+            map: Of,
+            opc: 0xBD,
+            ..BASE
+        }],
+        Tzcnt => &[EncForm {
+            pats: &[R, Rm],
+            layout: Layout::Rm,
+            pp: PF3,
+            map: Of,
+            opc: 0xBC,
+            ..BASE
+        }],
         Set => &[EncForm {
             pats: &[Rm],
             width: Fixed(B),
@@ -534,7 +756,12 @@ pub(crate) fn forms(m: Mnemonic) -> &'static [EncForm] {
             imm: Rel32,
             ..BASE
         }],
-        Nop => &[EncForm { width: Fixed(D), opc: 0x90, rexw: RexW::W0, ..BASE }],
+        Nop => &[EncForm {
+            width: Fixed(D),
+            opc: 0x90,
+            rexw: RexW::W0,
+            ..BASE
+        }],
         // Scalar FP moves.
         Movss => &[
             EncForm {

@@ -12,8 +12,7 @@ use proptest::prelude::*;
 fn operand_templates() -> Vec<Vec<Operand>> {
     let g = Operand::gpr;
     let mem = |w: u8| Operand::Mem(MemRef::base_disp(Gpr::Rbx, 0x20, w));
-    let mem_sib =
-        |w: u8| Operand::Mem(MemRef::base_index(Gpr::Rsi, Gpr::Rcx, Scale::S4, -0x30, w));
+    let mem_sib = |w: u8| Operand::Mem(MemRef::base_index(Gpr::Rsi, Gpr::Rcx, Scale::S4, -0x30, w));
     let x = |n: u8| Operand::Vec(VecReg::xmm(n));
     let y = |n: u8| Operand::Vec(VecReg::ymm(n));
     let mut out: Vec<Vec<Operand>> = Vec::new();
@@ -37,9 +36,16 @@ fn operand_templates() -> Vec<Vec<Operand>> {
         out.push(vec![g(Gpr::Rax, size), g(Gpr::Rbx, OpSize::W)]);
         out.push(vec![g(Gpr::Rax, size), mem(1)]);
         out.push(vec![g(Gpr::Rax, size), mem(2)]);
-        out.push(vec![g(Gpr::Rax, size), g(Gpr::Rbx, size), Operand::Imm(100)]);
+        out.push(vec![
+            g(Gpr::Rax, size),
+            g(Gpr::Rbx, size),
+            Operand::Imm(100),
+        ]);
     }
-    out.push(vec![g(Gpr::Rax, OpSize::Q), Operand::Imm(0x1122_3344_5566_7788)]);
+    out.push(vec![
+        g(Gpr::Rax, OpSize::Q),
+        Operand::Imm(0x1122_3344_5566_7788),
+    ]);
     out.push(vec![Operand::Imm(-0x40)]); // jcc
 
     // Vector shapes, xmm and ymm.
@@ -99,9 +105,9 @@ fn exhaustive_template_round_trip() {
             for template in &templates {
                 for vex in [false, true] {
                     // Skip invalid constructor combinations up front.
-                    let has_ymm = template.iter().any(|op| {
-                        matches!(op, Operand::Vec(v) if v.width().bytes() == 32)
-                    });
+                    let has_ymm = template
+                        .iter()
+                        .any(|op| matches!(op, Operand::Vec(v) if v.width().bytes() == 32));
                     if has_ymm && !vex {
                         continue;
                     }

@@ -1,0 +1,103 @@
+//! Corpus-pipeline throughput: the deduplicating, machine-reusing
+//! `profile_corpus` against a reference implementation shaped like the
+//! original one (shared mutex-guarded result vector, a fresh `Machine`
+//! per block, no deduplication). Run both over a ≥1k-block corpus with a
+//! realistic duplicate density — real basic-block suites repeat hot
+//! blocks heavily, which is exactly what the dedup cache exploits.
+
+use bhive_asm::BasicBlock;
+use bhive_bench::bench_corpus;
+use bhive_harness::{profile_corpus, ProfileConfig, Profiler};
+use bhive_uarch::Uarch;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const THREADS: usize = 4;
+
+/// ≥1000 blocks with duplicates: every corpus block appears once, and a
+/// rotating subset appears again until the target size is reached (about
+/// 4x duplication), interleaved so duplicates are spread across the run
+/// the way repeated hot blocks are in a real suite.
+fn duplicated_corpus() -> Vec<BasicBlock> {
+    let unique = bench_corpus().basic_blocks();
+    let mut blocks = Vec::with_capacity(1024);
+    let mut cursor = 0usize;
+    while blocks.len() < 1024.max(unique.len()) {
+        blocks.push(unique[cursor % unique.len()].clone());
+        // A co-prime stride revisits every block before repeating.
+        cursor += 7;
+    }
+    blocks
+}
+
+/// The original pipeline shape: worker threads share one mutex-guarded
+/// result vector, every block gets a fresh machine (inside
+/// `Profiler::profile`), and duplicates are re-measured from scratch.
+fn seed_reference(
+    profiler: &Profiler,
+    blocks: &[BasicBlock],
+    threads: usize,
+) -> Vec<Result<bhive_harness::Measurement, bhive_harness::ProfileFailure>> {
+    let results = Mutex::new(vec![None; blocks.len()]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= blocks.len() {
+                    break;
+                }
+                let outcome = profiler.profile(&blocks[idx]);
+                results.lock().unwrap()[idx] = Some(outcome);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("all profiled"))
+        .collect()
+}
+
+fn corpus_pipeline(c: &mut Criterion) {
+    let blocks = duplicated_corpus();
+    let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+
+    // The speedup must not come from changed results: check bit-identical
+    // agreement with the reference once, outside the timed region.
+    let report = profile_corpus(&profiler, &blocks, THREADS);
+    let reference = seed_reference(&profiler, &blocks, THREADS);
+    assert_eq!(
+        report.results, reference,
+        "dedup pipeline must be bit-identical"
+    );
+    assert!(
+        report.stats.cache_hits > 0,
+        "bench corpus must contain duplicates"
+    );
+
+    let mut group = c.benchmark_group("profile-corpus");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
+    group.bench_function(BenchmarkId::new("dedup-pipeline", blocks.len()), |b| {
+        b.iter(|| std::hint::black_box(profile_corpus(&profiler, &blocks, THREADS).successes()));
+    });
+    group.bench_function(BenchmarkId::new("seed-reference", blocks.len()), |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                seed_reference(&profiler, &blocks, THREADS)
+                    .iter()
+                    .filter(|r| r.is_ok())
+                    .count(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, corpus_pipeline);
+criterion_main!(benches);

@@ -13,7 +13,9 @@ fn fresh() -> Pipeline {
 
 fn bench_composition_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures-composition");
-    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
     group.bench_function("fig3-exemplars", |b| {
         b.iter(|| std::hint::black_box(experiments::fig3(&fresh())));
     });
@@ -28,23 +30,23 @@ fn bench_composition_figures(c: &mut Criterion) {
 
 fn bench_error_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures-error");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     group.bench_function("fig-app-err-hsw", |b| {
-        b.iter(|| {
-            std::hint::black_box(experiments::fig_app_err(&fresh(), UarchKind::Haswell))
-        });
+        b.iter(|| std::hint::black_box(experiments::fig_app_err(&fresh(), UarchKind::Haswell)));
     });
     group.bench_function("fig-cluster-err-hsw", |b| {
-        b.iter(|| {
-            std::hint::black_box(experiments::fig_cluster_err(&fresh(), UarchKind::Haswell))
-        });
+        b.iter(|| std::hint::black_box(experiments::fig_cluster_err(&fresh(), UarchKind::Haswell)));
     });
     group.finish();
 }
 
 fn bench_schedule_figure(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures-schedule");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     group.bench_function("fig-schedule-updcrc", |b| {
         b.iter(|| std::hint::black_box(experiments::fig_schedule(&fresh())));
     });

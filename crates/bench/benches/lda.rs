@@ -18,7 +18,9 @@ fn lda_fit(c: &mut Criterion) {
         .map(|b| block_document(&b.block, uarch, &vocab))
         .collect();
     let mut group = c.benchmark_group("lda");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     group.bench_function("gibbs-fit", |b| {
         b.iter(|| {
             std::hint::black_box(lda::fit(&docs, vocab.len(), LdaConfig::paper(vocab.len())))
@@ -39,7 +41,9 @@ fn classifier_end_to_end(c: &mut Criterion) {
     let corpus = bench_corpus();
     let blocks: Vec<_> = corpus.blocks().iter().map(|b| b.block.clone()).collect();
     let mut group = c.benchmark_group("classifier");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     group.bench_function("fit", |b| {
         b.iter(|| std::hint::black_box(Classifier::fit(&blocks, UarchKind::Haswell)));
     });
@@ -64,7 +68,9 @@ fn ithemal_training(c: &mut Criterion) {
         .map(|b| (b.block.clone(), (b.block.len() as f64 / 2.0).max(0.25)))
         .collect();
     let mut group = c.benchmark_group("ithemal");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     group.bench_function("train-300", |b| {
         b.iter(|| {
             std::hint::black_box(IthemalModel::train(

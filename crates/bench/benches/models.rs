@@ -17,16 +17,14 @@ fn model_inference(c: &mut Criterion) {
         Box::new(BaselineTableModel::new(UarchKind::Haswell)),
     ];
     let mut group = c.benchmark_group("model-predict");
-    group.sample_size(30).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(4));
     for model in &models {
         for (name, block) in named_blocks() {
-            group.bench_with_input(
-                BenchmarkId::new(model.name(), name),
-                &block,
-                |b, block| {
-                    b.iter(|| std::hint::black_box(model.predict(block)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(model.name(), name), &block, |b, block| {
+                b.iter(|| std::hint::black_box(model.predict(block)));
+            });
         }
     }
     group.finish();
@@ -37,7 +35,9 @@ fn model_inference(c: &mut Criterion) {
 fn profiler_vs_iaca(c: &mut Criterion) {
     let block = bhive_corpus::special::updcrc();
     let mut group = c.benchmark_group("profiler-vs-analyzers");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
     group.bench_function("profiler", |b| {
         b.iter(|| std::hint::black_box(profiler.profile(&block)));

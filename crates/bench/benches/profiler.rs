@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn profile_named_blocks(c: &mut Criterion) {
     let mut group = c.benchmark_group("profile-block");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
     for (name, block) in named_blocks() {
         group.bench_with_input(BenchmarkId::from_parameter(name), &block, |b, block| {
@@ -30,14 +32,21 @@ fn profile_configurations(c: &mut Criterion) {
     let corpus = bench_corpus();
     let blocks: Vec<_> = corpus.basic_blocks().into_iter().take(60).collect();
     let mut group = c.benchmark_group("profile-config");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     for (name, config) in [
         ("agner", ProfileConfig::agner().quiet()),
-        ("page-mapping", ProfileConfig::with_page_mapping_only().quiet()),
+        (
+            "page-mapping",
+            ProfileConfig::with_page_mapping_only().quiet(),
+        ),
         ("bhive-full", ProfileConfig::bhive().quiet()),
         (
             "bhive-per-page",
-            ProfileConfig::bhive().quiet().with_page_mapping(PageMapping::PerPage),
+            ProfileConfig::bhive()
+                .quiet()
+                .with_page_mapping(PageMapping::PerPage),
         ),
         (
             "bhive-naive-32",
@@ -72,5 +81,10 @@ fn simulator_core(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, profile_named_blocks, profile_configurations, simulator_core);
+criterion_group!(
+    benches,
+    profile_named_blocks,
+    profile_configurations,
+    simulator_core
+);
 criterion_main!(benches);

@@ -16,7 +16,9 @@ fn fresh() -> Pipeline {
 
 fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     group.bench_function("table1-ablation", |b| {
         b.iter(|| std::hint::black_box(experiments::table1(&fresh())));
     });
@@ -31,7 +33,9 @@ fn bench_tables(c: &mut Criterion) {
     // Model-evaluation tables are heavier: measured corpus × 3 uarches
     // plus Ithemal training.
     let mut group = c.benchmark_group("tables-eval");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     group.bench_function("table5-overall-error", |b| {
         b.iter(|| std::hint::black_box(experiments::table5(&fresh())));
     });
@@ -43,7 +47,9 @@ fn bench_tables(c: &mut Criterion) {
 
 fn bench_table4(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables-classify");
-    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
     group.bench_function("table4-lda-categories", |b| {
         b.iter(|| std::hint::black_box(experiments::table4(&fresh())));
     });

@@ -69,31 +69,40 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut value = |name: &str| {
-            iter.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
             "--scale" => {
                 opts.scale = Scale::PerApp(
-                    value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
                 );
             }
             "--fraction" => {
                 opts.scale = Scale::Fraction(
-                    value("--fraction")?.parse().map_err(|e| format!("--fraction: {e}"))?,
+                    value("--fraction")?
+                        .parse()
+                        .map_err(|e| format!("--fraction: {e}"))?,
                 );
             }
             "--paper-scale" => opts.scale = Scale::Paper,
             "--seed" => {
-                opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
             }
             "--threads" => {
-                opts.threads =
-                    value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?;
+                opts.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
             }
             "--uarch" => {
                 let text = value("--uarch")?;
-                opts.uarch = UarchKind::parse(&text)
-                    .ok_or_else(|| format!("unknown uarch `{text}`"))?;
+                opts.uarch =
+                    UarchKind::parse(&text).ok_or_else(|| format!("unknown uarch `{text}`"))?;
             }
             "--json" => opts.json = true,
             other => return Err(format!("unknown option `{other}`")),
@@ -138,9 +147,10 @@ fn run() -> Result<(), String> {
         "fig3" => emit(&experiments::fig3(&pipeline), opts.json),
         "fig4" => emit(&experiments::fig4(&pipeline), opts.json),
         "fig-app-err" => emit(&experiments::fig_app_err(&pipeline, opts.uarch), opts.json),
-        "fig-cluster-err" => {
-            emit(&experiments::fig_cluster_err(&pipeline, opts.uarch), opts.json)
-        }
+        "fig-cluster-err" => emit(
+            &experiments::fig_cluster_err(&pipeline, opts.uarch),
+            opts.json,
+        ),
         "fig-schedule" => emit(&experiments::fig_schedule(&pipeline), opts.json),
         "fig-google" => emit(&experiments::fig_google(&pipeline), opts.json),
         "case-study" => emit(&experiments::case_study(&pipeline), opts.json),
@@ -149,6 +159,9 @@ fn run() -> Result<(), String> {
             for report in experiments::all(&pipeline) {
                 emit(&report, opts.json);
                 println!();
+            }
+            for (label, stats) in pipeline.profile_stats() {
+                eprintln!("profiling {label}: {stats}");
             }
         }
         "fig1" => {
@@ -160,30 +173,43 @@ fn run() -> Result<(), String> {
             println!("{block}");
         }
         "exegesis" => {
-            println!(
-                "# per-opcode latency / reciprocal throughput on {} (llvm-exegesis style)",
-                opts.uarch.name()
-            );
-            println!("{:<14} {:>9} {:>9}", "opcode", "latency", "rTP");
-            for p in bhive::harness::exegesis::profile_isa(opts.uarch.desc()) {
-                println!(
-                    "{:<14} {:>9.2} {:>9.2}",
-                    p.mnemonic.name(),
-                    p.latency,
-                    p.reciprocal_throughput
-                );
-            }
+            // Long tabular output routinely gets piped into `head`; use
+            // the EPIPE-tolerant writer like the CSV commands.
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            let write_table = |out: &mut dyn std::io::Write| -> std::io::Result<()> {
+                writeln!(
+                    out,
+                    "# per-opcode latency / reciprocal throughput on {} (llvm-exegesis style)",
+                    opts.uarch.name()
+                )?;
+                writeln!(out, "{:<14} {:>9} {:>9}", "opcode", "latency", "rTP")?;
+                for p in bhive::harness::exegesis::profile_isa(opts.uarch.desc()) {
+                    writeln!(
+                        out,
+                        "{:<14} {:>9.2} {:>9.2}",
+                        p.mnemonic.name(),
+                        p.latency,
+                        p.reciprocal_throughput
+                    )?;
+                }
+                Ok(())
+            };
+            write_table(&mut out).or_else(ignore_epipe)?;
         }
         "profile" => {
             let block = read_stdin_block()?;
-            let profiler =
-                Profiler::new(opts.uarch.desc(), ProfileConfig::bhive());
+            let profiler = Profiler::new(opts.uarch.desc(), ProfileConfig::bhive());
             match profiler.profile(&block) {
                 Ok(m) => {
                     println!(
                         "throughput: {:.2} cycles/iteration ({} on {})",
                         m.throughput,
-                        if m.hi.counters.is_clean() { "clean" } else { "polluted" },
+                        if m.hi.counters.is_clean() {
+                            "clean"
+                        } else {
+                            "polluted"
+                        },
                         opts.uarch.name()
                     );
                     println!(
@@ -206,12 +232,14 @@ fn run() -> Result<(), String> {
             }
         }
         "measure" => {
-            let data = pipeline.measured(
-                bhive::eval::CorpusKind::Main,
-                opts.uarch,
-            );
+            let data = pipeline.measured(bhive::eval::CorpusKind::Main, opts.uarch);
             let stdout = std::io::stdout();
             data.write_csv(stdout.lock()).or_else(ignore_epipe)?;
+            // Pipeline observability goes to stderr so the CSV on stdout
+            // stays machine-readable.
+            for (label, stats) in pipeline.profile_stats() {
+                eprintln!("profiling {label}: {stats}");
+            }
         }
         "classify" => {
             let block = read_stdin_block()?;

@@ -3,9 +3,9 @@
 //! example.
 
 use super::BlockGen;
-use rand::Rng;
 use crate::app::Application;
 use bhive_asm::{BasicBlock, Gpr, Inst, MemRef, Mnemonic, OpSize, Operand, Scale};
+use rand::Rng;
 
 pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool) -> BasicBlock {
     // 10% of gzip blocks are the table-lookup CRC pattern itself.
@@ -36,7 +36,7 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
     match pattern {
         // Shift by immediate.
         0 => {
-            let m = [Mnemonic::Shl, Mnemonic::Shr, Mnemonic::Sar][g.rng.gen_range(0..3)];
+            let m = [Mnemonic::Shl, Mnemonic::Shr, Mnemonic::Sar][g.rng.gen_range(0..3usize)];
             insts.push(Inst::basic(
                 m,
                 vec![
@@ -47,7 +47,11 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
         }
         // Rotate.
         1 => {
-            let m = if g.chance(0.5) { Mnemonic::Rol } else { Mnemonic::Ror };
+            let m = if g.chance(0.5) {
+                Mnemonic::Rol
+            } else {
+                Mnemonic::Ror
+            };
             insts.push(Inst::basic(
                 m,
                 vec![
@@ -58,7 +62,7 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
         }
         // XOR/AND/OR ladder.
         2 => {
-            let m = [Mnemonic::Xor, Mnemonic::And, Mnemonic::Or][g.rng.gen_range(0..3)];
+            let m = [Mnemonic::Xor, Mnemonic::And, Mnemonic::Or][g.rng.gen_range(0..3usize)];
             let src = if g.chance(0.6) {
                 Operand::gpr(g.data(), size)
             } else {
@@ -68,7 +72,10 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
         }
         // Byte swap.
         3 => {
-            insts.push(Inst::basic(Mnemonic::Bswap, vec![Operand::gpr(g.data(), size)]));
+            insts.push(Inst::basic(
+                Mnemonic::Bswap,
+                vec![Operand::gpr(g.data(), size)],
+            ));
         }
         // Table lookup: scaled-index load from an absolute table.
         4 => {
@@ -112,7 +119,8 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
         }
         // Bit counting.
         _ => {
-            let m = [Mnemonic::Popcnt, Mnemonic::Tzcnt, Mnemonic::Lzcnt][g.rng.gen_range(0..3)];
+            let m =
+                [Mnemonic::Popcnt, Mnemonic::Tzcnt, Mnemonic::Lzcnt][g.rng.gen_range(0..3usize)];
             insts.push(Inst::basic(m, vec![g.data64(), g.data64()]));
         }
     }
@@ -123,12 +131,21 @@ fn crc_style_block(g: &mut BlockGen<'_>) -> BasicBlock {
     let ptr = g.ptr();
     let table = 0x4_0000 + i32::from(g.rng.gen::<u8>()) * 0x800;
     BasicBlock::new(vec![
-        Inst::basic(Mnemonic::Add, vec![Operand::gpr(ptr, OpSize::Q), Operand::Imm(1)]),
+        Inst::basic(
+            Mnemonic::Add,
+            vec![Operand::gpr(ptr, OpSize::Q), Operand::Imm(1)],
+        ),
         Inst::basic(
             Mnemonic::Mov,
-            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rdx, OpSize::D)],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::D),
+                Operand::gpr(Gpr::Rdx, OpSize::D),
+            ],
         ),
-        Inst::basic(Mnemonic::Shr, vec![Operand::gpr(Gpr::Rdx, OpSize::Q), Operand::Imm(8)]),
+        Inst::basic(
+            Mnemonic::Shr,
+            vec![Operand::gpr(Gpr::Rdx, OpSize::Q), Operand::Imm(8)],
+        ),
         Inst::basic(
             Mnemonic::Xor,
             vec![
@@ -138,7 +155,10 @@ fn crc_style_block(g: &mut BlockGen<'_>) -> BasicBlock {
         ),
         Inst::basic(
             Mnemonic::Movzx,
-            vec![Operand::gpr(Gpr::Rax, OpSize::D), Operand::gpr(Gpr::Rax, OpSize::B)],
+            vec![
+                Operand::gpr(Gpr::Rax, OpSize::D),
+                Operand::gpr(Gpr::Rax, OpSize::B),
+            ],
         ),
         Inst::basic(
             Mnemonic::Xor,
@@ -149,7 +169,10 @@ fn crc_style_block(g: &mut BlockGen<'_>) -> BasicBlock {
         ),
         Inst::basic(
             Mnemonic::Cmp,
-            vec![Operand::gpr(ptr, OpSize::Q), Operand::gpr(Gpr::Rcx, OpSize::Q)],
+            vec![
+                Operand::gpr(ptr, OpSize::Q),
+                Operand::gpr(Gpr::Rcx, OpSize::Q),
+            ],
         ),
     ])
 }

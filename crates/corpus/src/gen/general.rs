@@ -2,13 +2,18 @@
 //! scalar, memory-heavy, mostly unvectorized.
 
 use super::BlockGen;
-use rand::Rng;
 use crate::app::Application;
 use bhive_asm::{BasicBlock, Cond, Gpr, Inst, Mnemonic, OpSize, Operand};
+use rand::Rng;
 
 /// Scalar ALU mnemonics used by general-purpose code.
-const ALU: [Mnemonic; 5] =
-    [Mnemonic::Add, Mnemonic::Sub, Mnemonic::And, Mnemonic::Or, Mnemonic::Xor];
+const ALU: [Mnemonic; 5] = [
+    Mnemonic::Add,
+    Mnemonic::Sub,
+    Mnemonic::And,
+    Mnemonic::Or,
+    Mnemonic::Xor,
+];
 
 const CONDS: [Cond; 6] = [Cond::E, Cond::Ne, Cond::B, Cond::Ae, Cond::L, Cond::G];
 
@@ -51,7 +56,11 @@ pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool)
         };
         insts.push(cmp);
         let cond = CONDS[g.rng.gen_range(0..CONDS.len())];
-        insts.push(Inst::with_cond(Mnemonic::Jcc, cond, vec![Operand::Imm(-0x40)]));
+        insts.push(Inst::with_cond(
+            Mnemonic::Jcc,
+            cond,
+            vec![Operand::Imm(-0x40)],
+        ));
     }
 
     BasicBlock::new(insts)
@@ -63,10 +72,18 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
         // Load — often a burst (several struct fields / reloads in a
         // row), which is what makes load-dominated blocks a real cluster.
         0 => {
-            let burst = if g.chance(0.3) { g.rng.gen_range(2..=4) } else { 1 };
+            let burst = if g.chance(0.3) {
+                g.rng.gen_range(2..=4)
+            } else {
+                1
+            };
             for _ in 0..burst {
                 let width = size.bytes();
-                let mem = if g.chance(0.3) { g.mem_indexed_into(insts, width) } else { g.mem(width) };
+                let mem = if g.chance(0.3) {
+                    g.mem_indexed_into(insts, width)
+                } else {
+                    g.mem(width)
+                };
                 insts.push(Inst::basic(
                     Mnemonic::Mov,
                     vec![Operand::gpr(g.data(), size), mem.into()],
@@ -75,7 +92,11 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
         }
         // Store — sometimes a spill burst.
         1 => {
-            let burst = if g.chance(0.25) { g.rng.gen_range(2..=3) } else { 1 };
+            let burst = if g.chance(0.25) {
+                g.rng.gen_range(2..=3)
+            } else {
+                1
+            };
             for _ in 0..burst {
                 let width = size.bytes();
                 let src = if g.chance(0.8) {
@@ -91,7 +112,10 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
             let op = ALU[g.rng.gen_range(0..ALU.len())];
             insts.push(Inst::basic(
                 op,
-                vec![g.mem(size.bytes()).into(), Operand::Imm(i64::from(g.rng.gen_range(1..64)))],
+                vec![
+                    g.mem(size.bytes()).into(),
+                    Operand::Imm(i64::from(g.rng.gen_range(1..64))),
+                ],
             ));
         }
         // ALU register-register (sometimes with a memory source).
@@ -109,7 +133,10 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
             } else {
                 i64::from(g.rng.gen_range(0x100..0x10000))
             };
-            insts.push(Inst::basic(op, vec![Operand::gpr(g.data(), size), Operand::Imm(imm)]));
+            insts.push(Inst::basic(
+                op,
+                vec![Operand::gpr(g.data(), size), Operand::Imm(imm)],
+            ));
         }
         // Address computation.
         5 => {
@@ -121,13 +148,17 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
         }
         // Zero/sign extension.
         6 => {
-            let m = if g.chance(0.5) { Mnemonic::Movzx } else { Mnemonic::Movsx };
+            let m = if g.chance(0.5) {
+                Mnemonic::Movzx
+            } else {
+                Mnemonic::Movsx
+            };
             let src = Operand::gpr(g.data(), if g.chance(0.7) { OpSize::B } else { OpSize::W });
             insts.push(Inst::basic(m, vec![Operand::gpr(g.data(), OpSize::D), src]));
         }
         // Shift by immediate.
         7 => {
-            let m = [Mnemonic::Shl, Mnemonic::Shr, Mnemonic::Sar][g.rng.gen_range(0..3)];
+            let m = [Mnemonic::Shl, Mnemonic::Shr, Mnemonic::Sar][g.rng.gen_range(0..3usize)];
             insts.push(Inst::basic(
                 m,
                 vec![
@@ -147,7 +178,11 @@ fn emit(g: &mut BlockGen<'_>, pattern: usize, insts: &mut Vec<Inst>) {
                     vec![Operand::gpr(g.data(), OpSize::B)],
                 ));
             } else {
-                insts.push(Inst::with_cond(Mnemonic::Cmov, cond, vec![g.data64(), g.data64()]));
+                insts.push(Inst::with_cond(
+                    Mnemonic::Cmov,
+                    cond,
+                    vec![g.data64(), g.data64()],
+                ));
             }
         }
         // memcpy/memmove-style copy run: alternating loads and stores —

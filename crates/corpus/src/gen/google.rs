@@ -6,9 +6,9 @@
 //! (category 1) than the open-source general-purpose applications.
 
 use super::BlockGen;
-use rand::Rng;
 use crate::app::Application;
 use bhive_asm::{BasicBlock, Cond, Inst, Mnemonic, OpSize, Operand};
+use rand::Rng;
 
 pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool) -> BasicBlock {
     // A slice of both services' hot code is partially vectorized column
@@ -38,7 +38,11 @@ pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool)
             // Load (row/column fetches; often dependent chains, often
             // in bursts of consecutive field reads).
             0 => {
-                let burst = if g.chance(0.35) { g.rng.gen_range(2..=4) } else { 1 };
+                let burst = if g.chance(0.35) {
+                    g.rng.gen_range(2..=4)
+                } else {
+                    1
+                };
                 for _ in 0..burst {
                     let width = if g.chance(0.7) { 8 } else { 4 };
                     let mem = if g.chance(0.35) {
@@ -63,7 +67,7 @@ pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool)
             // Scalar ALU.
             2 => {
                 let m = [Mnemonic::Add, Mnemonic::Sub, Mnemonic::And, Mnemonic::Xor]
-                    [g.rng.gen_range(0..4)];
+                    [g.rng.gen_range(0..4usize)];
                 let src = if g.chance(0.6) {
                     g.data64()
                 } else {
@@ -100,7 +104,7 @@ pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool)
                     ));
                 }
                 let m = [Mnemonic::Pcmpeqb, Mnemonic::Paddd, Mnemonic::Pxor]
-                    [g.rng.gen_range(0..3)];
+                    [g.rng.gen_range(0..3usize)];
                 insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
                 if g.chance(0.5) {
                     insts.push(Inst::basic(
@@ -112,15 +116,23 @@ pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool)
             // Predicate evaluation.
             _ => {
                 insts.push(Inst::basic(Mnemonic::Cmp, vec![g.data64(), g.data64()]));
-                let cond = [Cond::E, Cond::Ne, Cond::B, Cond::A][g.rng.gen_range(0..4)];
-                insts.push(Inst::with_cond(Mnemonic::Cmov, cond, vec![g.data64(), g.data64()]));
+                let cond = [Cond::E, Cond::Ne, Cond::B, Cond::A][g.rng.gen_range(0..4usize)];
+                insts.push(Inst::with_cond(
+                    Mnemonic::Cmov,
+                    cond,
+                    vec![g.data64(), g.data64()],
+                ));
             }
         }
     }
     if g.chance(0.3) {
         let r = g.data64();
         insts.push(Inst::basic(Mnemonic::Test, vec![r, r]));
-        insts.push(Inst::with_cond(Mnemonic::Jcc, Cond::Ne, vec![Operand::Imm(-0x30)]));
+        insts.push(Inst::with_cond(
+            Mnemonic::Jcc,
+            Cond::Ne,
+            vec![Operand::Imm(-0x30)],
+        ));
     }
     BasicBlock::new(insts)
 }
@@ -138,7 +150,7 @@ fn vectorized_scan_block(g: &mut BlockGen<'_>) -> BasicBlock {
             )),
             1 => {
                 let m = [Mnemonic::Pcmpeqb, Mnemonic::Paddd, Mnemonic::Pand]
-                    [g.rng.gen_range(0..3)];
+                    [g.rng.gen_range(0..3usize)];
                 insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
             }
             2 => insts.push(Inst::basic(
@@ -153,10 +165,7 @@ fn vectorized_scan_block(g: &mut BlockGen<'_>) -> BasicBlock {
                 Mnemonic::Add,
                 vec![g.data64(), Operand::Imm(16)],
             )),
-            _ => insts.push(Inst::basic(
-                Mnemonic::Popcnt,
-                vec![g.data64(), g.data64()],
-            )),
+            _ => insts.push(Inst::basic(Mnemonic::Popcnt, vec![g.data64(), g.data64()])),
         }
     }
     BasicBlock::new(insts)

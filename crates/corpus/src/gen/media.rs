@@ -2,9 +2,9 @@
 //! masks and shuffles; hand-written packed-integer SIMD.
 
 use super::BlockGen;
-use rand::Rng;
 use crate::app::Application;
 use bhive_asm::{BasicBlock, Inst, Mnemonic, OpSize, Operand};
+use rand::Rng;
 
 pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool) -> BasicBlock {
     match app {
@@ -33,8 +33,8 @@ fn embree_block(g: &mut BlockGen<'_>, register_only: bool) -> BasicBlock {
             }
             // Arithmetic.
             1 => {
-                let m = [Mnemonic::Mulps, Mnemonic::Addps, Mnemonic::Subps]
-                    [g.rng.gen_range(0..3)];
+                let m =
+                    [Mnemonic::Mulps, Mnemonic::Addps, Mnemonic::Subps][g.rng.gen_range(0..3usize)];
                 insts.push(Inst::vex(
                     m,
                     vec![g.xmm().into(), g.xmm().into(), g.xmm().into()],
@@ -42,13 +42,17 @@ fn embree_block(g: &mut BlockGen<'_>, register_only: bool) -> BasicBlock {
             }
             // Min/max (slab tests).
             2 => {
-                let m = if g.chance(0.5) { Mnemonic::Minps } else { Mnemonic::Maxps };
+                let m = if g.chance(0.5) {
+                    Mnemonic::Minps
+                } else {
+                    Mnemonic::Maxps
+                };
                 insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
             }
             // Mask logic.
             3 => {
-                let m = [Mnemonic::Andps, Mnemonic::Orps, Mnemonic::Xorps]
-                    [g.rng.gen_range(0..3)];
+                let m =
+                    [Mnemonic::Andps, Mnemonic::Orps, Mnemonic::Xorps][g.rng.gen_range(0..3usize)];
                 insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
             }
             // Lane shuffle.
@@ -90,27 +94,42 @@ fn ffmpeg_block(g: &mut BlockGen<'_>, register_only: bool) -> BasicBlock {
         match pattern {
             // Pixel load.
             0 => {
-                let m = if g.chance(0.6) { Mnemonic::Movdqu } else { Mnemonic::Movdqa };
+                let m = if g.chance(0.6) {
+                    Mnemonic::Movdqu
+                } else {
+                    Mnemonic::Movdqa
+                };
                 insts.push(Inst::basic(m, vec![g.xmm().into(), g.mem(16).into()]));
             }
             // Packed add/sub.
             1 => {
-                let m = [Mnemonic::Paddw, Mnemonic::Paddd, Mnemonic::Psubw, Mnemonic::Paddb]
-                    [g.rng.gen_range(0..4)];
+                let m = [
+                    Mnemonic::Paddw,
+                    Mnemonic::Paddd,
+                    Mnemonic::Psubw,
+                    Mnemonic::Paddb,
+                ][g.rng.gen_range(0..4usize)];
                 insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
             }
             // Multiply-accumulate.
             2 => {
-                let m = if g.chance(0.6) { Mnemonic::Pmaddwd } else { Mnemonic::Pmullw };
+                let m = if g.chance(0.6) {
+                    Mnemonic::Pmaddwd
+                } else {
+                    Mnemonic::Pmullw
+                };
                 insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
             }
             // Arithmetic shift (fixed-point normalize).
             3 => {
-                let m = [Mnemonic::Psrad, Mnemonic::Psrld, Mnemonic::Pslld]
-                    [g.rng.gen_range(0..3)];
+                let m =
+                    [Mnemonic::Psrad, Mnemonic::Psrld, Mnemonic::Pslld][g.rng.gen_range(0..3usize)];
                 insts.push(Inst::basic(
                     m,
-                    vec![g.xmm().into(), Operand::Imm(i64::from(g.rng.gen_range(1..15)))],
+                    vec![
+                        g.xmm().into(),
+                        Operand::Imm(i64::from(g.rng.gen_range(1..15))),
+                    ],
                 ));
             }
             // Unpack/shuffle.
@@ -133,7 +152,7 @@ fn ffmpeg_block(g: &mut BlockGen<'_>, register_only: bool) -> BasicBlock {
             }
             // Mask logic.
             5 => {
-                let m = [Mnemonic::Pand, Mnemonic::Por, Mnemonic::Pxor][g.rng.gen_range(0..3)];
+                let m = [Mnemonic::Pand, Mnemonic::Por, Mnemonic::Pxor][g.rng.gen_range(0..3usize)];
                 insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
             }
             // Store.

@@ -27,11 +27,26 @@ use rand::Rng;
 /// Registers used as pointers: initialized to the mappable fill pattern
 /// and only ever advanced by cache-line multiples, so derived accesses
 /// stay aligned.
-const PTR_REGS: [Gpr; 7] = [Gpr::Rbx, Gpr::Rsi, Gpr::Rdi, Gpr::R8, Gpr::R9, Gpr::R10, Gpr::R11];
+const PTR_REGS: [Gpr; 7] = [
+    Gpr::Rbx,
+    Gpr::Rsi,
+    Gpr::Rdi,
+    Gpr::R8,
+    Gpr::R9,
+    Gpr::R10,
+    Gpr::R11,
+];
 
 /// Registers used for scalar data.
-const DATA_REGS: [Gpr; 7] =
-    [Gpr::Rax, Gpr::Rcx, Gpr::Rdx, Gpr::R12, Gpr::R13, Gpr::R14, Gpr::R15];
+const DATA_REGS: [Gpr; 7] = [
+    Gpr::Rax,
+    Gpr::Rcx,
+    Gpr::Rdx,
+    Gpr::R12,
+    Gpr::R13,
+    Gpr::R14,
+    Gpr::R15,
+];
 
 /// Shared random helpers for the generators.
 pub(crate) struct BlockGen<'a> {
@@ -249,7 +264,10 @@ fn pathological_block(g: &mut BlockGen<'_>) -> BasicBlock {
                     Operand::gpr(Gpr::Rdx, OpSize::D),
                 ],
             ));
-            insts.push(Inst::basic(Mnemonic::Div, vec![Operand::gpr(Gpr::Rcx, OpSize::D)]));
+            insts.push(Inst::basic(
+                Mnemonic::Div,
+                vec![Operand::gpr(Gpr::Rcx, OpSize::D)],
+            ));
         }
         4 => {
             // Line-splitting access (dropped by the misalignment filter;
@@ -259,7 +277,10 @@ fn pathological_block(g: &mut BlockGen<'_>) -> BasicBlock {
                 Mnemonic::Mov,
                 vec![g.data64(), MemRef::base_disp(ptr, 0x3C, 8).into()],
             ));
-            insts.push(Inst::basic(Mnemonic::Add, vec![g.data64(), Operand::Imm(1)]));
+            insts.push(Inst::basic(
+                Mnemonic::Add,
+                vec![g.data64(), Operand::Imm(1)],
+            ));
         }
         _ => {
             // Pointer corruption mid-block: data arithmetic turns a loaded

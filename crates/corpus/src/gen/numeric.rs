@@ -3,9 +3,9 @@
 //! naive unroll-100 profiling by overflowing the L1I cache.
 
 use super::BlockGen;
-use rand::Rng;
 use crate::app::Application;
 use bhive_asm::{BasicBlock, Inst, MemRef, Mnemonic, OpSize, Operand, VecReg};
+use rand::Rng;
 
 pub(super) fn block(g: &mut BlockGen<'_>, app: Application, register_only: bool) -> BasicBlock {
     if register_only {
@@ -35,8 +35,12 @@ fn register_kernel(g: &mut BlockGen<'_>) -> BasicBlock {
     let mut insts = Vec::with_capacity(len);
     for _ in 0..len {
         let (a, b, c) = (g.xmm(), g.xmm(), g.xmm());
-        let m = [Mnemonic::Addps, Mnemonic::Mulps, Mnemonic::Subps, Mnemonic::Maxps]
-            [g.rng.gen_range(0..4)];
+        let m = [
+            Mnemonic::Addps,
+            Mnemonic::Mulps,
+            Mnemonic::Subps,
+            Mnemonic::Maxps,
+        ][g.rng.gen_range(0..4usize)];
         if g.chance(0.5) {
             insts.push(Inst::vex(m, vec![a.into(), b.into(), c.into()]));
         } else {
@@ -65,7 +69,11 @@ fn small_kernel(g: &mut BlockGen<'_>, app: Application) -> BasicBlock {
             // Vector load.
             0 => {
                 let off = g.disp(width, 512);
-                let mov = if g.chance(0.6) { Mnemonic::Movups } else { Mnemonic::Movaps };
+                let mov = if g.chance(0.6) {
+                    Mnemonic::Movups
+                } else {
+                    Mnemonic::Movaps
+                };
                 insts.push(Inst::basic(
                     mov,
                     vec![reg(g).into(), MemRef::base_disp(base, off, width).into()],
@@ -79,7 +87,10 @@ fn small_kernel(g: &mut BlockGen<'_>, app: Application) -> BasicBlock {
                         vec![reg(g).into(), reg(g).into(), reg(g).into()],
                     ));
                 } else if g.chance(0.5) {
-                    insts.push(Inst::basic(Mnemonic::Mulps, vec![reg(g).into(), reg(g).into()]));
+                    insts.push(Inst::basic(
+                        Mnemonic::Mulps,
+                        vec![reg(g).into(), reg(g).into()],
+                    ));
                 } else {
                     insts.push(Inst::vex(
                         Mnemonic::Mulps,
@@ -89,9 +100,16 @@ fn small_kernel(g: &mut BlockGen<'_>, app: Application) -> BasicBlock {
             }
             // Add/sub.
             2 => {
-                let m = if g.chance(0.7) { Mnemonic::Addps } else { Mnemonic::Subps };
+                let m = if g.chance(0.7) {
+                    Mnemonic::Addps
+                } else {
+                    Mnemonic::Subps
+                };
                 if avx2 || g.chance(0.4) {
-                    insts.push(Inst::vex(m, vec![reg(g).into(), reg(g).into(), reg(g).into()]));
+                    insts.push(Inst::vex(
+                        m,
+                        vec![reg(g).into(), reg(g).into(), reg(g).into()],
+                    ));
                 } else {
                     insts.push(Inst::basic(m, vec![reg(g).into(), reg(g).into()]));
                 }
@@ -158,7 +176,11 @@ fn sparse_block(g: &mut BlockGen<'_>) -> BasicBlock {
             }
             // Scalar FP multiply/add.
             2 => {
-                let m = if g.chance(0.5) { Mnemonic::Mulsd } else { Mnemonic::Addsd };
+                let m = if g.chance(0.5) {
+                    Mnemonic::Mulsd
+                } else {
+                    Mnemonic::Addsd
+                };
                 insts.push(Inst::basic(m, vec![g.xmm().into(), g.xmm().into()]));
             }
             // Store result.
@@ -199,7 +221,14 @@ fn unrolled_kernel(g: &mut BlockGen<'_>, app: Application) -> BasicBlock {
     let b = g.ptr();
     let width: u8 = if avx2 { 32 } else { 16 };
     for r in 0..repeats {
-        let acc = VecReg::new((r % 12) as u8, if avx2 { bhive_asm::VecWidth::Ymm } else { bhive_asm::VecWidth::Xmm });
+        let acc = VecReg::new(
+            (r % 12) as u8,
+            if avx2 {
+                bhive_asm::VecWidth::Ymm
+            } else {
+                bhive_asm::VecWidth::Xmm
+            },
+        );
         let tmp = VecReg::new(12 + (r % 4) as u8, acc.width());
         let off = ((r * usize::from(width)) % 1024) as i32;
         insts.push(Inst::basic(

@@ -78,7 +78,11 @@ pub fn tensorflow_cnn_block() -> BasicBlock {
             12 + k % 3
         ));
         if k % 4 == 3 {
-            text.push_str(&format!("vmulps ymm{}, ymm{src}, ymm{}\n", 8 + k % 4, 12 + k % 3));
+            text.push_str(&format!(
+                "vmulps ymm{}, ymm{src}, ymm{}\n",
+                8 + k % 4,
+                12 + k % 3
+            ));
         }
     }
     // Scalar epilogue with a loop-carried subnormal accumulation:

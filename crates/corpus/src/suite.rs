@@ -95,7 +95,12 @@ impl Corpus {
                 let block = generate_block(app, &mut rng);
                 // Heavy-tailed execution frequency (Pareto-like).
                 let weight = rng.gen::<f64>().max(1e-9).powf(-0.7);
-                blocks.push(CorpusBlock { id, app, block, weight });
+                blocks.push(CorpusBlock {
+                    id,
+                    app,
+                    block,
+                    weight,
+                });
                 id += 1;
             }
         }
@@ -175,7 +180,12 @@ impl Corpus {
             let app = Application::parse(app_name)
                 .ok_or_else(|| err(format!("unknown app `{app_name}`")))?;
             let block = BasicBlock::from_hex(hex).map_err(|e| err(e.to_string()))?;
-            blocks.push(CorpusBlock { id: lineno as u64, app, block, weight });
+            blocks.push(CorpusBlock {
+                id: lineno as u64,
+                app,
+                block,
+                weight,
+            });
         }
         Ok(Corpus { blocks })
     }
@@ -183,7 +193,9 @@ impl Corpus {
 
 impl FromIterator<CorpusBlock> for Corpus {
     fn from_iter<T: IntoIterator<Item = CorpusBlock>>(iter: T) -> Self {
-        Corpus { blocks: iter.into_iter().collect() }
+        Corpus {
+            blocks: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -146,8 +146,10 @@ impl Classifier {
     pub fn fit(blocks: &[BasicBlock], uarch: UarchKind) -> Classifier {
         let desc = uarch.desc();
         let vocab = port_vocabulary(desc);
-        let docs: Vec<Vec<usize>> =
-            blocks.iter().map(|b| block_document(b, desc, &vocab)).collect();
+        let docs: Vec<Vec<usize>> = blocks
+            .iter()
+            .map(|b| block_document(b, desc, &vocab))
+            .collect();
         // The paper fits 6 topics on its 13-combination Haswell
         // vocabulary. Our tables produce 12 combinations and a slightly
         // different corpus mix, under which 6 topics conflate pure-load
@@ -174,9 +176,18 @@ impl Classifier {
         };
         let fit = lda::fit(&docs, vocab.len(), config);
         let topic_category = assign_labels(&fit, &vocab);
-        let train_categories =
-            fit.categories().iter().map(|&t| topic_category[t]).collect();
-        Classifier { uarch, vocab, fit, topic_category, train_categories }
+        let train_categories = fit
+            .categories()
+            .iter()
+            .map(|&t| topic_category[t])
+            .collect();
+        Classifier {
+            uarch,
+            vocab,
+            fit,
+            topic_category,
+            train_categories,
+        }
     }
 
     /// The category of training document `idx`.
@@ -208,9 +219,7 @@ impl Classifier {
             *shares.entry(self.topic_category[topic]).or_insert(0usize) += 1;
         }
         let n = doc.len();
-        let share = |cat: Category| {
-            shares.get(&cat).copied().unwrap_or(0) as f64 / n as f64
-        };
+        let share = |cat: Category| shares.get(&cat).copied().unwrap_or(0) as f64 / n as f64;
         if share(Category::MostlyLoads) >= 0.25 && share(Category::MostlyStores) >= 0.25 {
             return Category::LoadStoreMix;
         }
@@ -236,7 +245,10 @@ impl Classifier {
         (0..self.fit.topics)
             .map(|t| {
                 let words = self.fit.top_words(t, 3);
-                (self.topic_category[t], words.iter().map(|&w| self.vocab[w]).collect())
+                (
+                    self.topic_category[t],
+                    words.iter().map(|&w| self.vocab[w]).collect(),
+                )
             })
             .collect()
     }
@@ -313,8 +325,10 @@ mod tests {
             );
             // Pure vector.
             blocks.push(
-                parse_block("mulps xmm0, xmm1\naddps xmm2, xmm3\nmulps xmm4, xmm5\nsubps xmm6, xmm7")
-                    .unwrap(),
+                parse_block(
+                    "mulps xmm0, xmm1\naddps xmm2, xmm3\nmulps xmm4, xmm5\nsubps xmm6, xmm7",
+                )
+                .unwrap(),
             );
             // ALU with some memory.
             blocks.push(

@@ -2,7 +2,7 @@
 
 use bhive_asm::BasicBlock;
 use bhive_corpus::{Application, Corpus};
-use bhive_harness::{profile_corpus, ProfileConfig, Profiler};
+use bhive_harness::{profile_corpus, ProfileConfig, ProfileStats, Profiler};
 use bhive_uarch::UarchKind;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +44,18 @@ impl MeasuredCorpus {
         config: &ProfileConfig,
         threads: usize,
     ) -> MeasuredCorpus {
+        MeasuredCorpus::measure_with_stats(corpus, uarch, config, threads).0
+    }
+
+    /// Like [`MeasuredCorpus::measure`], additionally returning the
+    /// profiling pipeline's [`ProfileStats`] (dedup hit rate, worker
+    /// utilization, failure mix) for observability.
+    pub fn measure_with_stats(
+        corpus: &Corpus,
+        uarch: UarchKind,
+        config: &ProfileConfig,
+        threads: usize,
+    ) -> (MeasuredCorpus, ProfileStats) {
         let profiler = Profiler::new(uarch.desc(), config.clone());
         let blocks = corpus.basic_blocks();
         let report = profile_corpus(&profiler, &blocks, threads);
@@ -63,7 +75,14 @@ impl MeasuredCorpus {
                 }
             }
         }
-        MeasuredCorpus { uarch, blocks: measured, attempted: blocks.len() }
+        (
+            MeasuredCorpus {
+                uarch,
+                blocks: measured,
+                attempted: blocks.len(),
+            },
+            report.stats,
+        )
     }
 
     /// Fraction of attempted blocks that profiled successfully.
@@ -76,7 +95,10 @@ impl MeasuredCorpus {
 
     /// `(block, throughput)` pairs for model training.
     pub fn training_pairs(&self) -> Vec<(BasicBlock, f64)> {
-        self.blocks.iter().map(|m| (m.block.clone(), m.throughput)).collect()
+        self.blocks
+            .iter()
+            .map(|m| (m.block.clone(), m.throughput))
+            .collect()
     }
 
     /// Writes the dataset in the published BHive artifact style:
@@ -90,7 +112,14 @@ impl MeasuredCorpus {
         writeln!(writer, "# uarch: {}", self.uarch.short_name())?;
         for m in &self.blocks {
             let hex = m.block.to_hex().map_err(std::io::Error::other)?;
-            writeln!(writer, "{},{},{},{}", m.app.name(), hex, m.weight, m.throughput)?;
+            writeln!(
+                writer,
+                "{},{},{},{}",
+                m.app.name(),
+                hex,
+                m.weight,
+                m.throughput
+            )?;
         }
         Ok(())
     }
@@ -105,8 +134,7 @@ impl MeasuredCorpus {
         let mut blocks = Vec::new();
         for (lineno, line) in reader.lines().enumerate() {
             let line = line?;
-            let err =
-                |msg: String| std::io::Error::other(format!("line {}: {msg}", lineno + 1));
+            let err = |msg: String| std::io::Error::other(format!("line {}: {msg}", lineno + 1));
             if let Some(rest) = line.strip_prefix("# uarch:") {
                 uarch = UarchKind::parse(rest.trim())
                     .ok_or_else(|| err(format!("unknown uarch `{rest}`")))?;
@@ -121,16 +149,26 @@ impl MeasuredCorpus {
             }
             let app = Application::parse(parts[0])
                 .ok_or_else(|| err(format!("unknown app `{}`", parts[0])))?;
-            let block =
-                BasicBlock::from_hex(parts[1]).map_err(|e| err(e.to_string()))?;
-            let weight: f64 =
-                parts[2].parse().map_err(|e| err(format!("bad weight: {e}")))?;
-            let throughput: f64 =
-                parts[3].parse().map_err(|e| err(format!("bad throughput: {e}")))?;
-            blocks.push(MeasuredBlock { app, weight, block, throughput });
+            let block = BasicBlock::from_hex(parts[1]).map_err(|e| err(e.to_string()))?;
+            let weight: f64 = parts[2]
+                .parse()
+                .map_err(|e| err(format!("bad weight: {e}")))?;
+            let throughput: f64 = parts[3]
+                .parse()
+                .map_err(|e| err(format!("bad throughput: {e}")))?;
+            blocks.push(MeasuredBlock {
+                app,
+                weight,
+                block,
+                throughput,
+            });
         }
         let attempted = blocks.len();
-        Ok(MeasuredCorpus { uarch, blocks, attempted })
+        Ok(MeasuredCorpus {
+            uarch,
+            blocks,
+            attempted,
+        })
     }
 }
 

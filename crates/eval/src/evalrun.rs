@@ -37,7 +37,10 @@ impl EvalRun {
     /// across [`EvalRun::evaluate_classified`] calls — the category
     /// depends only on the block, not on the model being evaluated.
     pub fn classify_corpus(data: &MeasuredCorpus, classifier: &Classifier) -> Vec<Category> {
-        data.blocks.iter().map(|m| classifier.classify(&m.block)).collect()
+        data.blocks
+            .iter()
+            .map(|m| classifier.classify(&m.block))
+            .collect()
     }
 
     /// Runs `model` on every measured block.
@@ -65,7 +68,11 @@ impl EvalRun {
         data: &MeasuredCorpus,
         categories: &[Category],
     ) -> EvalRun {
-        assert_eq!(categories.len(), data.blocks.len(), "one category per block");
+        assert_eq!(
+            categories.len(),
+            data.blocks.len(),
+            "one category per block"
+        );
         let preds = data
             .blocks
             .iter()
@@ -78,11 +85,16 @@ impl EvalRun {
                 predicted: model.predict(&m.block),
             })
             .collect();
-        EvalRun { model: model.name().to_string(), preds }
+        EvalRun {
+            model: model.name().to_string(),
+            preds,
+        }
     }
 
     fn predicted_pairs(&self) -> impl Iterator<Item = (&Prediction, f64)> {
-        self.preds.iter().filter_map(|p| p.predicted.map(|v| (p, v)))
+        self.preds
+            .iter()
+            .filter_map(|p| p.predicted.map(|v| (p, v)))
     }
 
     /// Unweighted mean relative error over the blocks the model handled.
@@ -93,7 +105,8 @@ impl EvalRun {
     /// Frequency-weighted mean relative error.
     pub fn weighted_error(&self) -> f64 {
         stats::weighted_relative_error(
-            self.predicted_pairs().map(|(p, v)| (v, p.measured, p.weight)),
+            self.predicted_pairs()
+                .map(|(p, v)| (v, p.measured, p.weight)),
         )
     }
 
@@ -112,8 +125,7 @@ impl EvalRun {
         if self.preds.is_empty() {
             return 0.0;
         }
-        self.preds.iter().filter(|p| p.predicted.is_some()).count() as f64
-            / self.preds.len() as f64
+        self.preds.iter().filter(|p| p.predicted.is_some()).count() as f64 / self.preds.len() as f64
     }
 
     /// Frequency-weighted error per application (the per-application
@@ -121,7 +133,10 @@ impl EvalRun {
     pub fn per_app_weighted_error(&self) -> BTreeMap<Application, f64> {
         let mut grouped: BTreeMap<Application, Vec<(f64, f64, f64)>> = BTreeMap::new();
         for (p, v) in self.predicted_pairs() {
-            grouped.entry(p.app).or_default().push((v, p.measured, p.weight));
+            grouped
+                .entry(p.app)
+                .or_default()
+                .push((v, p.measured, p.weight));
         }
         grouped
             .into_iter()
@@ -170,7 +185,11 @@ mod tests {
         );
         assert!(!data.blocks.is_empty());
         let classifier = crate::classify::Classifier::fit(
-            &data.blocks.iter().map(|m| m.block.clone()).collect::<Vec<_>>(),
+            &data
+                .blocks
+                .iter()
+                .map(|m| m.block.clone())
+                .collect::<Vec<_>>(),
             UarchKind::Haswell,
         );
         let model = BaselineTableModel::new(UarchKind::Haswell);
@@ -180,7 +199,10 @@ mod tests {
         let err = run.overall_error();
         assert!(err.is_finite() && err >= 0.0);
         let tau = run.kendall_tau();
-        assert!(tau > 0.2, "even the baseline ranks better than chance: {tau}");
+        assert!(
+            tau > 0.2,
+            "even the baseline ranks better than chance: {tau}"
+        );
         assert!(!run.per_app_weighted_error().is_empty());
     }
 }

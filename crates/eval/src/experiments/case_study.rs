@@ -21,7 +21,11 @@ pub fn case_study(pipeline: &Pipeline) -> Report {
             special::case_study_zero_idiom(),
             "0.25 / 0.24 / 1.00 / 0.328 / 1.00",
         ),
-        ("gzip updcrc (Fig. 1)", special::updcrc(), "8.25 / 8.00 / 13.04 / 2.13 / -"),
+        (
+            "gzip updcrc (Fig. 1)",
+            special::updcrc(),
+            "8.25 / 8.00 / 13.04 / 2.13 / -",
+        ),
     ];
     let models = pipeline.models(UarchKind::Haswell);
     let mut report = Report::new(
@@ -77,7 +81,9 @@ pub fn fig_schedule(pipeline: &Pipeline) -> Report {
     );
     let mut rendered = Vec::new();
     for model in &models {
-        let Some(schedule) = model.schedule(&block) else { continue };
+        let Some(schedule) = model.schedule(&block) else {
+            continue;
+        };
         // Instruction 3 is `xor al, byte ptr [rdi-1]`. The paper's point:
         // IACA knows it begins with an *independent load* micro-op, so it
         // dispatches well before the serial `shr rdx` chain (instruction

@@ -68,6 +68,9 @@ pub fn filter_census(pipeline: &Pipeline) -> Report {
         fmt_pct(misaligned as f64 / blocks.len().max(1) as f64),
         "553 (0.183%)".into(),
     ]);
-    report.note(format!("{checked} executable blocks checked for subnormal exposure"));
+    report.note(format!(
+        "{checked} executable blocks checked for subnormal exposure"
+    ));
+    report.note(format!("profiling: {}", report_run.stats));
     report
 }

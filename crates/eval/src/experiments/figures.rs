@@ -31,7 +31,10 @@ pub fn fig3(pipeline: &Pipeline) -> Report {
     for cat in Category::ALL {
         report.push_row(vec![
             cat.paper_name().into(),
-            exemplars.get(&cat).cloned().unwrap_or_else(|| "(none sampled)".into()),
+            exemplars
+                .get(&cat)
+                .cloned()
+                .unwrap_or_else(|| "(none sampled)".into()),
         ]);
     }
     report
@@ -76,14 +79,13 @@ pub fn fig_app_err(pipeline: &Pipeline, uarch: UarchKind) -> Report {
     let classifier = pipeline.classifier();
     let data = pipeline.measured(CorpusKind::Main, uarch);
     let models = pipeline.models(uarch);
-    let runs: Vec<EvalRun> =
-        {
-            let cats = EvalRun::classify_corpus(&data, &classifier);
-            models
-                .iter()
-                .map(|m| EvalRun::evaluate_classified(m.as_ref(), &data, &cats))
-                .collect()
-        };
+    let runs: Vec<EvalRun> = {
+        let cats = EvalRun::classify_corpus(&data, &classifier);
+        models
+            .iter()
+            .map(|m| EvalRun::evaluate_classified(m.as_ref(), &data, &cats))
+            .collect()
+    };
     let mut report = Report::new(
         format!("fig-app-err-{}", uarch.short_name()),
         format!(
@@ -121,14 +123,13 @@ pub fn fig_cluster_err(pipeline: &Pipeline, uarch: UarchKind) -> Report {
     let classifier = pipeline.classifier();
     let data = pipeline.measured(CorpusKind::Main, uarch);
     let models = pipeline.models(uarch);
-    let runs: Vec<EvalRun> =
-        {
-            let cats = EvalRun::classify_corpus(&data, &classifier);
-            models
-                .iter()
-                .map(|m| EvalRun::evaluate_classified(m.as_ref(), &data, &cats))
-                .collect()
-        };
+    let runs: Vec<EvalRun> = {
+        let cats = EvalRun::classify_corpus(&data, &classifier);
+        models
+            .iter()
+            .map(|m| EvalRun::evaluate_classified(m.as_ref(), &data, &cats))
+            .collect()
+    };
     let mut report = Report::new(
         format!("fig-cluster-err-{}", uarch.short_name()),
         format!(

@@ -28,18 +28,23 @@ pub fn table1(pipeline: &Pipeline) -> Report {
             ProfileConfig::with_page_mapping_only(),
             "91.28%",
         ),
-        ("More intelligent unrolling", ProfileConfig::bhive(), "94.24%"),
+        (
+            "More intelligent unrolling",
+            ProfileConfig::bhive(),
+            "94.24%",
+        ),
     ];
     for (name, config, paper) in configs {
         let profiler = Profiler::new(UarchKind::Haswell.desc(), config);
         let run = profile_corpus(&profiler, &blocks, pipeline.threads());
-        report.push_row(vec![
-            name.into(),
-            fmt_pct(run.success_rate()),
-            paper.into(),
-        ]);
+        report.push_row(vec![name.into(), fmt_pct(run.success_rate()), paper.into()]);
+        report.note(format!("{name}: {}", run.stats));
     }
-    report.note(format!("{} blocks, Haswell, seed {}", blocks.len(), pipeline.seed()));
+    report.note(format!(
+        "{} blocks, Haswell, seed {}",
+        blocks.len(),
+        pipeline.seed()
+    ));
     report
 }
 
@@ -84,7 +89,11 @@ pub fn table2(_pipeline: &Pipeline) -> Report {
         ("Disabling gradual underflow", Some(base.clone()), "65.0"),
         (
             "Using smaller unroll factor",
-            Some(ProfileConfig::bhive().quiet().without_invariant_enforcement()),
+            Some(
+                ProfileConfig::bhive()
+                    .quiet()
+                    .without_invariant_enforcement(),
+            ),
             "59.0",
         ),
     ];
@@ -152,7 +161,10 @@ pub fn table3(pipeline: &Pipeline) -> Report {
         total.to_string(),
         "358561".into(),
     ]);
-    report.note(format!("scale {:?}; OpenSSL generated separately for the classification study", pipeline.scale()));
+    report.note(format!(
+        "scale {:?}; OpenSSL generated separately for the classification study",
+        pipeline.scale()
+    ));
     report
 }
 
@@ -162,7 +174,9 @@ pub fn table4(pipeline: &Pipeline) -> Report {
     let classifier = pipeline.classifier();
     let mut counts = std::collections::BTreeMap::new();
     for cb in corpus.blocks() {
-        *counts.entry(classifier.classify(&cb.block)).or_insert(0usize) += 1;
+        *counts
+            .entry(classifier.classify(&cb.block))
+            .or_insert(0usize) += 1;
     }
     let mut report = Report::new(
         "table4",
@@ -271,7 +285,12 @@ pub fn table6(pipeline: &Pipeline) -> Report {
         // Per-application slice of the measured corpus.
         let slice = crate::MeasuredCorpus {
             uarch: data.uarch,
-            blocks: data.blocks.iter().filter(|m| m.app == app).cloned().collect(),
+            blocks: data
+                .blocks
+                .iter()
+                .filter(|m| m.app == app)
+                .cloned()
+                .collect(),
             attempted: 0,
         };
         let cats = EvalRun::classify_corpus(&slice, &classifier);

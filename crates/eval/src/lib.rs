@@ -35,12 +35,12 @@ pub use evalrun::{EvalRun, Prediction};
 pub use report::{fmt_f, fmt_pct, Report};
 
 use bhive_corpus::{Corpus, Scale};
-use bhive_harness::ProfileConfig;
+use bhive_harness::{ProfileConfig, ProfileStats};
 use bhive_models::{IacaModel, IthemalConfig, IthemalModel, McaModel, OsacaModel, ThroughputModel};
 use bhive_uarch::UarchKind;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Which corpus an experiment wants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,6 +60,7 @@ pub struct Pipeline {
     threads: usize,
     corpora: Mutex<HashMap<CorpusKind, Arc<Corpus>>>,
     measured: Mutex<HashMap<(CorpusKind, UarchKind), Arc<MeasuredCorpus>>>,
+    profile_stats: Mutex<Vec<(String, ProfileStats)>>,
     classifier: Mutex<Option<Arc<Classifier>>>,
     ithemal: Mutex<HashMap<UarchKind, Arc<IthemalModel>>>,
 }
@@ -74,6 +75,7 @@ impl Pipeline {
             threads,
             corpora: Mutex::new(HashMap::new()),
             measured: Mutex::new(HashMap::new()),
+            profile_stats: Mutex::new(Vec::new()),
             classifier: Mutex::new(None),
             ithemal: Mutex::new(HashMap::new()),
         }
@@ -102,7 +104,7 @@ impl Pipeline {
 
     /// Returns (and caches) a corpus.
     pub fn corpus(&self, kind: CorpusKind) -> Arc<Corpus> {
-        let mut corpora = self.corpora.lock();
+        let mut corpora = self.corpora.lock().unwrap();
         corpora
             .entry(kind)
             .or_insert_with(|| {
@@ -123,24 +125,39 @@ impl Pipeline {
     /// Returns (and caches) the measured ground truth for a corpus on a
     /// microarchitecture.
     pub fn measured(&self, kind: CorpusKind, uarch: UarchKind) -> Arc<MeasuredCorpus> {
-        if let Some(hit) = self.measured.lock().get(&(kind, uarch)) {
+        if let Some(hit) = self.measured.lock().unwrap().get(&(kind, uarch)) {
             return hit.clone();
         }
         let corpus = self.corpus(kind);
-        let measured = Arc::new(MeasuredCorpus::measure(
+        let (measured, stats) = MeasuredCorpus::measure_with_stats(
             &corpus,
             uarch,
             &self.profile_config(),
             self.threads,
-        ));
-        self.measured.lock().insert((kind, uarch), measured.clone());
+        );
+        let measured = Arc::new(measured);
+        self.profile_stats
+            .lock()
+            .unwrap()
+            .push((format!("{kind:?}/{}", uarch.short_name()), stats));
+        self.measured
+            .lock()
+            .unwrap()
+            .insert((kind, uarch), measured.clone());
         measured
+    }
+
+    /// Observability: one [`ProfileStats`] per corpus measured so far, in
+    /// measurement order, labelled `"<corpus>/<uarch>"`. Cached hits do
+    /// not add entries — each corpus/uarch pair is profiled once.
+    pub fn profile_stats(&self) -> Vec<(String, ProfileStats)> {
+        self.profile_stats.lock().unwrap().clone()
     }
 
     /// Returns (and caches) the LDA classifier, fitted on the main corpus
     /// with the paper's Haswell port vocabulary.
     pub fn classifier(&self) -> Arc<Classifier> {
-        if let Some(hit) = self.classifier.lock().as_ref() {
+        if let Some(hit) = self.classifier.lock().unwrap().as_ref() {
             return hit.clone();
         }
         // The classification is a property of the *full* suite: fit the
@@ -150,7 +167,7 @@ impl Pipeline {
         let train = Corpus::generate(Scale::Fraction(0.03), self.seed);
         let blocks: Vec<_> = train.blocks().iter().map(|b| b.block.clone()).collect();
         let classifier = Arc::new(Classifier::fit(&blocks, UarchKind::Haswell));
-        *self.classifier.lock() = Some(classifier.clone());
+        *self.classifier.lock().unwrap() = Some(classifier.clone());
         classifier
     }
 
@@ -158,7 +175,7 @@ impl Pipeline {
     /// corpus measured on `uarch` — a disjoint corpus, so evaluation is
     /// honest out-of-sample prediction.
     pub fn ithemal(&self, uarch: UarchKind) -> Arc<IthemalModel> {
-        if let Some(hit) = self.ithemal.lock().get(&uarch) {
+        if let Some(hit) = self.ithemal.lock().unwrap().get(&uarch) {
             return hit.clone();
         }
         let data = self.measured(CorpusKind::Training, uarch);
@@ -167,7 +184,7 @@ impl Pipeline {
             uarch,
             IthemalConfig::default(),
         ));
-        self.ithemal.lock().insert(uarch, model.clone());
+        self.ithemal.lock().unwrap().insert(uarch, model.clone());
         model
     }
 

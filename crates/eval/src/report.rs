@@ -21,12 +21,14 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty report.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Report {
-        Report { id: id.into(), title: title.into(), columns, rows: Vec::new(), notes: Vec::new() }
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: Vec<String>) -> Report {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Appends a row; pads or truncates to the column count.

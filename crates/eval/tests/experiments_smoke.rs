@@ -45,7 +45,9 @@ fn table5_covers_all_uarch_model_pairs() {
     check_report(&report, Some(12));
     // Every row's error parses as a finite number.
     for row in &report.rows {
-        let err: f64 = row[2].parse().unwrap_or_else(|_| panic!("bad error cell {row:?}"));
+        let err: f64 = row[2]
+            .parse()
+            .unwrap_or_else(|_| panic!("bad error cell {row:?}"));
         assert!(err.is_finite() && err >= 0.0);
     }
 }
@@ -57,7 +59,10 @@ fn figure_reports_are_well_formed() {
     check_report(&experiments::fig4(&p), None);
     check_report(&experiments::fig_google(&p), Some(2));
     check_report(&experiments::fig_app_err(&p, UarchKind::Haswell), None);
-    check_report(&experiments::fig_cluster_err(&p, UarchKind::Haswell), Some(6));
+    check_report(
+        &experiments::fig_cluster_err(&p, UarchKind::Haswell),
+        Some(6),
+    );
     check_report(&experiments::case_study(&p), Some(3));
     check_report(&experiments::fig_schedule(&p), Some(2));
     check_report(&experiments::filter_census(&p), Some(2));

@@ -46,7 +46,11 @@ impl UnrollStrategy {
     pub fn factors(&self, block_bytes: u32) -> (u32, u32) {
         match *self {
             UnrollStrategy::Naive { factor } => (factor, factor),
-            UnrollStrategy::TwoFactor { lo, hi, i_cache_budget } => {
+            UnrollStrategy::TwoFactor {
+                lo,
+                hi,
+                i_cache_budget,
+            } => {
                 let max_hi = (i_cache_budget / block_bytes.max(1)).max(4);
                 let hi = hi.min(max_hi).max(2);
                 // Guarantee lo < hi, or Eq. 2's delta degenerates.
@@ -92,7 +96,11 @@ impl ProfileConfig {
     pub fn bhive() -> ProfileConfig {
         ProfileConfig {
             page_mapping: PageMapping::SinglePage,
-            unroll: UnrollStrategy::TwoFactor { lo: 50, hi: 100, i_cache_budget: 16 * 1024 },
+            unroll: UnrollStrategy::TwoFactor {
+                lo: 50,
+                hi: 100,
+                i_cache_budget: 16 * 1024,
+            },
             trials: 16,
             min_clean_identical: 8,
             disable_gradual_underflow: true,
@@ -158,6 +166,62 @@ impl ProfileConfig {
         self.enforce_invariants = false;
         self
     }
+
+    /// A stable 64-bit fingerprint covering every knob (including the
+    /// noise model): FNV-1a over a canonical encoding of the serialized
+    /// configuration.
+    ///
+    /// Two configs fingerprint equal exactly when they profile
+    /// identically, so the value is safe to combine with a block's
+    /// content hash as a deduplication-cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(128);
+        encode_value(&self.to_value(), &mut bytes);
+        bhive_asm::fnv1a_64(&bytes)
+    }
+}
+
+/// Canonical, injective byte encoding of a serde value tree (tag byte +
+/// little-endian payloads, length-prefixed strings/containers).
+fn encode_value(value: &serde::value::Value, out: &mut Vec<u8>) {
+    use serde::value::Value;
+    match value {
+        Value::Null => out.push(0),
+        Value::Bool(b) => out.extend([1, u8::from(*b)]),
+        Value::UInt(n) => {
+            out.push(2);
+            out.extend(n.to_le_bytes());
+        }
+        Value::Int(n) => {
+            out.push(3);
+            out.extend(n.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(4);
+            out.extend(x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(5);
+            out.extend((s.len() as u64).to_le_bytes());
+            out.extend(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            out.push(6);
+            out.extend((items.len() as u64).to_le_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(7);
+            out.extend((entries.len() as u64).to_le_bytes());
+            for (key, item) in entries {
+                out.extend((key.len() as u64).to_le_bytes());
+                out.extend(key.as_bytes());
+                encode_value(item, out);
+            }
+        }
+    }
 }
 
 impl Default for ProfileConfig {
@@ -172,7 +236,11 @@ mod tests {
 
     #[test]
     fn two_factor_scales_down_for_large_blocks() {
-        let strategy = UnrollStrategy::TwoFactor { lo: 50, hi: 100, i_cache_budget: 16 * 1024 };
+        let strategy = UnrollStrategy::TwoFactor {
+            lo: 50,
+            hi: 100,
+            i_cache_budget: 16 * 1024,
+        };
         // Small block: full factors.
         assert_eq!(strategy.factors(40), (50, 100));
         // 1.6 KiB block: 16 KiB budget allows only 10 copies.
@@ -185,7 +253,35 @@ mod tests {
 
     #[test]
     fn naive_is_fixed() {
-        assert_eq!(UnrollStrategy::Naive { factor: 100 }.factors(10_000), (100, 100));
+        assert_eq!(
+            UnrollStrategy::Naive { factor: 100 }.factors(10_000),
+            (100, 100)
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_configs() {
+        let base = ProfileConfig::bhive();
+        assert_eq!(base.fingerprint(), ProfileConfig::bhive().fingerprint());
+        // Every preset and single-knob variation must fingerprint apart.
+        let variants = [
+            ProfileConfig::agner(),
+            ProfileConfig::with_page_mapping_only(),
+            base.clone().quiet(),
+            base.clone().with_gradual_underflow(),
+            base.clone().without_invariant_enforcement(),
+            ProfileConfig {
+                trials: 17,
+                ..base.clone()
+            },
+            ProfileConfig {
+                fill: 0x1234_5601,
+                ..base.clone()
+            },
+        ];
+        for (idx, variant) in variants.iter().enumerate() {
+            assert_ne!(base.fingerprint(), variant.fingerprint(), "variant {idx}");
+        }
     }
 
     #[test]

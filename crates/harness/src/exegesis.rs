@@ -163,7 +163,11 @@ mod tests {
     #[test]
     fn add_latency_and_throughput() {
         let p = profile(Mnemonic::Add);
-        assert!((0.9..=1.3).contains(&p.latency), "add latency {}", p.latency);
+        assert!(
+            (0.9..=1.3).contains(&p.latency),
+            "add latency {}",
+            p.latency
+        );
         // Four ALU ports: reciprocal throughput ~0.25.
         assert!(
             (0.2..=0.45).contains(&p.reciprocal_throughput),
@@ -175,7 +179,11 @@ mod tests {
     #[test]
     fn imul_latency_exceeds_throughput() {
         let p = profile(Mnemonic::Imul);
-        assert!((2.7..=3.4).contains(&p.latency), "imul latency {}", p.latency);
+        assert!(
+            (2.7..=3.4).contains(&p.latency),
+            "imul latency {}",
+            p.latency
+        );
         assert!(
             p.reciprocal_throughput < p.latency / 2.0,
             "imul is pipelined: lat {} rtp {}",
@@ -201,17 +209,27 @@ mod tests {
 
     #[test]
     fn fp_add_latency_differs_by_uarch() {
-        let hsw = profile_opcode(Uarch::haswell(), Mnemonic::Addps).unwrap().unwrap();
-        let skl = profile_opcode(Uarch::skylake(), Mnemonic::Addps).unwrap().unwrap();
+        let hsw = profile_opcode(Uarch::haswell(), Mnemonic::Addps)
+            .unwrap()
+            .unwrap();
+        let skl = profile_opcode(Uarch::skylake(), Mnemonic::Addps)
+            .unwrap()
+            .unwrap();
         assert!((2.7..=3.4).contains(&hsw.latency), "hsw {}", hsw.latency);
         assert!((3.7..=4.4).contains(&skl.latency), "skl {}", skl.latency);
     }
 
     #[test]
     fn memory_and_branch_forms_are_skipped() {
-        assert!(profile_opcode(Uarch::haswell(), Mnemonic::Jcc).unwrap().is_none());
-        assert!(profile_opcode(Uarch::haswell(), Mnemonic::Push).unwrap().is_none());
-        assert!(profile_opcode(Uarch::haswell(), Mnemonic::Div).unwrap().is_none());
+        assert!(profile_opcode(Uarch::haswell(), Mnemonic::Jcc)
+            .unwrap()
+            .is_none());
+        assert!(profile_opcode(Uarch::haswell(), Mnemonic::Push)
+            .unwrap()
+            .is_none());
+        assert!(profile_opcode(Uarch::haswell(), Mnemonic::Div)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

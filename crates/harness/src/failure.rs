@@ -39,6 +39,27 @@ pub enum ProfileFailure {
         /// Trials required.
         required: u32,
     },
+    /// The two-unroll cycle delta came out negative: the larger unroll
+    /// measured *fewer* cycles than the smaller one, so the pair of
+    /// timings cannot describe a steady state. Previously clamped to a
+    /// throughput of 0.0, which silently polluted datasets.
+    NegativeDelta {
+        /// Accepted cycles at the smaller unroll factor.
+        lo_cycles: u64,
+        /// Accepted cycles at the larger unroll factor.
+        hi_cycles: u64,
+        /// The smaller unroll factor.
+        lo_unroll: u32,
+        /// The larger unroll factor.
+        hi_unroll: u32,
+    },
+    /// Profiling this block panicked inside the harness. Recorded as a
+    /// per-block failure so one pathological block cannot abort a whole
+    /// corpus run.
+    Panic {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
     /// Every trial violated a modeling invariant (cache misses or context
     /// switches present even in the best trial).
     DirtyCounters {
@@ -67,11 +88,15 @@ pub enum ProfileFailure {
 
 impl ProfileFailure {
     pub(crate) fn from_fault(fault: ExecFault) -> ProfileFailure {
-        ProfileFailure::Crash { fault: fault.to_string() }
+        ProfileFailure::Crash {
+            fault: fault.to_string(),
+        }
     }
 
     pub(crate) fn from_asm(err: AsmError) -> ProfileFailure {
-        ProfileFailure::Encoding { message: err.to_string() }
+        ProfileFailure::Encoding {
+            message: err.to_string(),
+        }
     }
 
     /// Short machine-readable category label (used in reports).
@@ -81,6 +106,11 @@ impl ProfileFailure {
             ProfileFailure::TooManyFaults { .. } => "too-many-faults",
             ProfileFailure::InvalidAddress { .. } => "invalid-address",
             ProfileFailure::Unreproducible { .. } => "unreproducible",
+            // Same category as Unreproducible: both mean "the timings do
+            // not reproduce a steady state", and reports bucket them
+            // together.
+            ProfileFailure::NegativeDelta { .. } => "unreproducible",
+            ProfileFailure::Panic { .. } => "panic",
             ProfileFailure::DirtyCounters { .. } => "dirty-counters",
             ProfileFailure::Misaligned { .. } => "misaligned",
             ProfileFailure::UnsupportedIsa => "unsupported-isa",
@@ -100,10 +130,29 @@ impl fmt::Display for ProfileFailure {
             ProfileFailure::InvalidAddress { vaddr } => {
                 write!(f, "faulting address {vaddr:#x} is not mappable")
             }
-            ProfileFailure::Unreproducible { clean, identical, required } => write!(
+            ProfileFailure::Unreproducible {
+                clean,
+                identical,
+                required,
+            } => write!(
                 f,
                 "only {identical} identical timings among {clean} clean trials (need {required})"
             ),
+            ProfileFailure::NegativeDelta {
+                lo_cycles,
+                hi_cycles,
+                lo_unroll,
+                hi_unroll,
+            } => {
+                write!(
+                    f,
+                    "negative two-unroll delta: {hi_cycles} cycles at unroll {hi_unroll} \
+                     vs {lo_cycles} at unroll {lo_unroll}"
+                )
+            }
+            ProfileFailure::Panic { message } => {
+                write!(f, "profiling panicked: {message}")
+            }
             ProfileFailure::DirtyCounters { counters } => write!(
                 f,
                 "modeling invariants violated (L1D misses {}/{}, L1I misses {}, ctx {})",
@@ -135,11 +184,33 @@ mod tests {
             "misaligned"
         );
         assert_eq!(ProfileFailure::UnsupportedIsa.category(), "unsupported-isa");
+        // Both reproduce-class failures share the reporting bucket.
+        assert_eq!(
+            ProfileFailure::NegativeDelta {
+                lo_cycles: 120,
+                hi_cycles: 90,
+                lo_unroll: 50,
+                hi_unroll: 100,
+            }
+            .category(),
+            "unreproducible"
+        );
+        assert_eq!(
+            ProfileFailure::Panic {
+                message: "boom".into()
+            }
+            .category(),
+            "panic"
+        );
     }
 
     #[test]
     fn display_mentions_key_numbers() {
-        let f = ProfileFailure::Unreproducible { clean: 5, identical: 3, required: 8 };
+        let f = ProfileFailure::Unreproducible {
+            clean: 5,
+            identical: 3,
+            required: 8,
+        };
         let text = f.to_string();
         assert!(text.contains('5') && text.contains('3') && text.contains('8'));
     }

@@ -59,9 +59,18 @@ pub fn default_blockers() -> Vec<Blocker> {
         )
     }
     vec![
-        Blocker { port: Port::new(0), make: pmullw },
-        Blocker { port: Port::new(1), make: imul },
-        Blocker { port: Port::new(5), make: pshufd },
+        Blocker {
+            port: Port::new(0),
+            make: pmullw,
+        },
+        Blocker {
+            port: Port::new(1),
+            make: imul,
+        },
+        Blocker {
+            port: Port::new(5),
+            make: pshufd,
+        },
     ]
 }
 
@@ -111,12 +120,19 @@ pub fn measure_blockade(
     for blocker in &blockers {
         blocker_insts.extend((0..8).map(blocker.make));
     }
-    let blocker_alone = profiler.profile(&BasicBlock::new(blocker_insts.clone()))?.throughput;
+    let blocker_alone = profiler
+        .profile(&BasicBlock::new(blocker_insts.clone()))?
+        .throughput;
     blocker_insts.extend((0..targets_per_iter).map(target));
-    let combined = profiler.profile(&BasicBlock::new(blocker_insts))?.throughput;
+    let combined = profiler
+        .profile(&BasicBlock::new(blocker_insts))?
+        .throughput;
     let extra = (combined - blocker_alone).max(0.0);
-    let slowdown_share =
-        if target_alone > 0.0 { (extra / target_alone).min(2.0) } else { 0.0 };
+    let slowdown_share = if target_alone > 0.0 {
+        (extra / target_alone).min(2.0)
+    } else {
+        0.0
+    };
     Ok(Interference {
         port: ports.first().copied().unwrap_or(0),
         blocker_alone,
@@ -144,8 +160,7 @@ pub fn measure_interference(
     let mut out = Vec::with_capacity(blockers.len());
 
     // Target-alone cost for normalization.
-    let target_block: BasicBlock =
-        (0..targets_per_iter).map(target).collect();
+    let target_block: BasicBlock = (0..targets_per_iter).map(target).collect();
     let target_alone = profiler.profile(&target_block)?.throughput;
 
     for blocker in &blockers {
@@ -176,7 +191,11 @@ mod tests {
     use bhive_asm::{Gpr, OpSize};
 
     fn share(results: &[Interference], port: u8) -> f64 {
-        results.iter().find(|i| i.port == port).expect("probed").slowdown_share
+        results
+            .iter()
+            .find(|i| i.port == port)
+            .expect("probed")
+            .slowdown_share
     }
 
     #[test]
@@ -193,8 +212,7 @@ mod tests {
                 ],
             )
         }
-        let results =
-            measure_interference(Uarch::haswell(), shufps, 4).expect("measurable");
+        let results = measure_interference(Uarch::haswell(), shufps, 4).expect("measurable");
         assert!(share(&results, 5) > 0.7, "p5 serializes: {results:?}");
         assert!(share(&results, 0) < 0.3, "p0 free: {results:?}");
         assert!(share(&results, 1) < 0.3, "p1 free: {results:?}");
@@ -238,23 +256,20 @@ mod tests {
                 ],
             )
         }
-        let singles =
-            measure_interference(Uarch::haswell(), vmulps, 6).expect("measurable");
+        let singles = measure_interference(Uarch::haswell(), vmulps, 6).expect("measurable");
         for port in [0u8, 1, 5] {
             assert!(
                 share(&singles, port) < 0.4,
                 "vmulps dodges single blockers: {singles:?}"
             );
         }
-        let blockade = measure_blockade(Uarch::haswell(), vmulps, 6, &[0, 1])
-            .expect("measurable");
+        let blockade = measure_blockade(Uarch::haswell(), vmulps, 6, &[0, 1]).expect("measurable");
         assert!(
             blockade.slowdown_share >= 0.5,
             "a p0+p1 blockade must serialize vmulps: {blockade:?}"
         );
         // Control: p5 plus p1 still leaves p0 free.
-        let partial = measure_blockade(Uarch::haswell(), vmulps, 6, &[1, 5])
-            .expect("measurable");
+        let partial = measure_blockade(Uarch::haswell(), vmulps, 6, &[1, 5]).expect("measurable");
         assert!(
             partial.slowdown_share < blockade.slowdown_share,
             "p1+p5 blockade leaves p0 free: {partial:?} vs {blockade:?}"
@@ -266,7 +281,10 @@ mod tests {
         let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
         for blocker in default_blockers() {
             let block: BasicBlock = (0..8).map(blocker.make).collect();
-            let tp = profiler.profile(&block).expect("blocker profiles").throughput;
+            let tp = profiler
+                .profile(&block)
+                .expect("blocker profiles")
+                .throughput;
             // 8 instances on one port: ≥ 8 cycles per iteration.
             assert!(
                 tp >= 7.0,

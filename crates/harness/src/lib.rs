@@ -61,5 +61,5 @@ pub use config::{PageMapping, ProfileConfig, UnrollStrategy};
 pub use failure::ProfileFailure;
 pub use measurement::{Measurement, TrialSet};
 pub use monitor::{monitor, MappingOutcome};
-pub use parallel::{profile_corpus, CorpusReport};
+pub use parallel::{profile_corpus, CorpusReport, ProfileStats, WorkerStats};
 pub use profiler::Profiler;

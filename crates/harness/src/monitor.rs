@@ -82,8 +82,9 @@ pub fn monitor(
                     return Err(ProfileFailure::TooManyFaults { faults });
                 }
                 let phys = match config.page_mapping {
-                    PageMapping::SinglePage => *shared_page
-                        .get_or_insert_with(|| machine.memory_mut().alloc_page(fill)),
+                    PageMapping::SinglePage => {
+                        *shared_page.get_or_insert_with(|| machine.memory_mut().alloc_page(fill))
+                    }
                     PageMapping::PerPage => machine.memory_mut().alloc_page(fill),
                     PageMapping::None => unreachable!("handled above"),
                 };
@@ -133,10 +134,8 @@ mod tests {
 
     #[test]
     fn per_page_policy_allocates_many_frames() {
-        let block = parse_block(
-            "mov rax, qword ptr [rbx]\nmov rcx, qword ptr [rbx + 0x2000]",
-        )
-        .unwrap();
+        let block =
+            parse_block("mov rax, qword ptr [rbx]\nmov rcx, qword ptr [rbx + 0x2000]").unwrap();
         let config = ProfileConfig::bhive()
             .quiet()
             .with_page_mapping(PageMapping::PerPage);
@@ -193,10 +192,7 @@ mod tests {
         // 0x1234560012345600 — beyond the 47-bit user-space limit, so the
         // monitor refuses to map the dereference (such blocks are part of
         // the unprofilable tail, as on the real framework).
-        let block = parse_block(
-            "mov rax, qword ptr [rbx]\nmov rcx, qword ptr [rax]",
-        )
-        .unwrap();
+        let block = parse_block("mov rax, qword ptr [rbx]\nmov rcx, qword ptr [rax]").unwrap();
         let config = ProfileConfig::bhive().quiet();
         let err = monitor(&mut machine(), block.insts(), 4, &config).unwrap_err();
         assert!(matches!(err, ProfileFailure::InvalidAddress { .. }));
@@ -205,10 +201,7 @@ mod tests {
     #[test]
     fn four_byte_pointer_chase_succeeds() {
         // A 32-bit index loaded from memory is the mappable constant.
-        let block = parse_block(
-            "mov eax, dword ptr [rbx]\nmov rcx, qword ptr [rax]",
-        )
-        .unwrap();
+        let block = parse_block("mov eax, dword ptr [rbx]\nmov rcx, qword ptr [rax]").unwrap();
         let config = ProfileConfig::bhive().quiet();
         let mut m = machine();
         let outcome = monitor(&mut m, block.insts(), 4, &config).unwrap();

@@ -1,18 +1,38 @@
 //! Parallel corpus profiling.
+//!
+//! The pipeline deduplicates the corpus by machine-code content before
+//! spawning workers: every distinct encoding is measured exactly once and
+//! the result is fanned out to all duplicate positions. This is sound
+//! because a measurement is a pure function of (block bytes, uarch,
+//! config) — the noise seed is derived from the block's stable content
+//! hash, never from worker identity or scheduling order — so parallel,
+//! deduplicated runs are bit-identical to serial ones.
+//!
+//! Each worker owns one long-lived [`Machine`] and recycles it per block
+//! ([`Profiler::profile_with`]), reusing page allocations instead of
+//! rebuilding page tables from scratch. Results flow back over a channel
+//! (no shared mutex), and a panic while profiling one block is caught and
+//! recorded as [`ProfileFailure::Panic`] rather than aborting the run.
 
 use crate::failure::ProfileFailure;
 use crate::measurement::Measurement;
 use crate::profiler::Profiler;
 use bhive_asm::BasicBlock;
-use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use bhive_sim::Machine;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 /// Aggregate result of profiling a set of blocks.
 #[derive(Debug)]
 pub struct CorpusReport {
     /// Per-block outcome, in input order.
     pub results: Vec<Result<Measurement, ProfileFailure>>,
+    /// Observability counters for the run.
+    pub stats: ProfileStats,
 }
 
 impl CorpusReport {
@@ -50,46 +70,237 @@ impl CorpusReport {
     }
 }
 
+/// What one corpus run did: throughput of the pipeline itself, dedup
+/// effectiveness, failure mix, and per-worker utilization.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileStats {
+    /// Blocks submitted (including duplicates).
+    pub total_blocks: usize,
+    /// Distinct encodings actually measured.
+    pub unique_blocks: usize,
+    /// Duplicate blocks served from the dedup cache instead of measured.
+    pub cache_hits: usize,
+    /// Worker threads actually spawned (0 for an empty corpus).
+    pub threads: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Blocks resolved per wall-clock second (duplicates included — the
+    /// number consumers of the corpus experience).
+    pub blocks_per_sec: f64,
+    /// Panics caught and converted to per-block failures.
+    pub panics: usize,
+    /// Failure counts by category, over all blocks.
+    pub failures: BTreeMap<&'static str, usize>,
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+/// Counters for a single worker thread.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Unique blocks this worker measured.
+    pub profiled: usize,
+    /// Time spent inside the profiler (as opposed to queueing).
+    pub busy: Duration,
+    /// Panics this worker caught.
+    pub panics: usize,
+}
+
+impl ProfileStats {
+    /// Per-worker busy fraction of the run's wall-clock time, in worker
+    /// order. Near-1.0 everywhere means the corpus kept every thread fed.
+    pub fn worker_utilization(&self) -> Vec<f64> {
+        let wall = self.elapsed.as_secs_f64();
+        self.workers
+            .iter()
+            .map(|w| {
+                if wall > 0.0 {
+                    (w.busy.as_secs_f64() / wall).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ProfileStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} blocks ({} unique, {} cache hits) in {:.2}s — {:.1} blocks/s on {} threads",
+            self.total_blocks,
+            self.unique_blocks,
+            self.cache_hits,
+            self.elapsed.as_secs_f64(),
+            self.blocks_per_sec,
+            self.threads,
+        )?;
+        if self.panics > 0 {
+            write!(f, "; {} panics caught", self.panics)?;
+        }
+        if !self.failures.is_empty() {
+            let mix: Vec<String> = self
+                .failures
+                .iter()
+                .map(|(cat, n)| format!("{cat} {n}"))
+                .collect();
+            write!(f, "; failures: {}", mix.join(", "))?;
+        }
+        let utilization: Vec<String> = self
+            .worker_utilization()
+            .iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect();
+        if !utilization.is_empty() {
+            write!(f, "; worker utilization: {}", utilization.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
 /// Profiles every block with `threads` worker threads (0 = one per CPU).
 ///
-/// Profiling is embarrassingly parallel: each block gets its own simulated
-/// machine, so workers share nothing but the work queue.
-pub fn profile_corpus(
-    profiler: &Profiler,
-    blocks: &[BasicBlock],
-    threads: usize,
-) -> CorpusReport {
+/// Duplicate blocks (by encoded machine code) are measured once and
+/// fanned out; each worker reuses a single recycled [`Machine`]; a panic
+/// while profiling a block becomes that block's [`ProfileFailure::Panic`]
+/// instead of aborting the run. Results are bit-identical to calling
+/// [`Profiler::profile`] serially on each block, in any thread count.
+pub fn profile_corpus(profiler: &Profiler, blocks: &[BasicBlock], threads: usize) -> CorpusReport {
+    let started = Instant::now();
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     } else {
         threads
     };
-    let threads = threads.min(blocks.len().max(1));
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<Measurement, ProfileFailure>>>> =
-        Mutex::new(vec![None; blocks.len()]);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= blocks.len() {
-                    break;
+    // ---- Dedup stage: one work item per distinct encoding. ----
+    // Within one run, uarch and config are fixed, so the encoded bytes
+    // alone are the content address (callers caching across runs must add
+    // the uarch and `ProfileConfig::fingerprint()` to the key).
+    let mut results: Vec<Option<Result<Measurement, ProfileFailure>>> = vec![None; blocks.len()];
+    let mut key_to_unique: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut unique_rep: Vec<usize> = Vec::new(); // representative block index
+    let mut fanout: Vec<Vec<usize>> = Vec::new(); // unique id -> block indices
+    for (idx, block) in blocks.iter().enumerate() {
+        match block.encode() {
+            Ok(bytes) => match key_to_unique.entry(bytes) {
+                Entry::Occupied(entry) => fanout[*entry.get()].push(idx),
+                Entry::Vacant(entry) => {
+                    entry.insert(unique_rep.len());
+                    unique_rep.push(idx);
+                    fanout.push(vec![idx]);
                 }
-                let outcome = profiler.profile(&blocks[idx]);
-                results.lock()[idx] = Some(outcome);
-            });
+            },
+            // Unencodable blocks need no machine time; resolve them here.
+            Err(err) => results[idx] = Some(Err(ProfileFailure::from_asm(err))),
         }
-    })
-    .expect("profiling worker panicked");
+    }
+    // ---- Measurement stage: never more workers than work items. ----
+    let worker_count = threads.min(unique_rep.len());
+    let next = AtomicUsize::new(0);
+    let (sender, receiver) = mpsc::channel();
 
-    let results = results
-        .into_inner()
+    let workers: Vec<WorkerStats> = if worker_count == 0 {
+        Vec::new()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..worker_count)
+                .map(|_| {
+                    let sender = sender.clone();
+                    let next = &next;
+                    let unique_rep = &unique_rep;
+                    scope.spawn(move || {
+                        let mut machine = Machine::new(profiler.uarch(), 0);
+                        let mut stats = WorkerStats::default();
+                        loop {
+                            let unique = next.fetch_add(1, Ordering::Relaxed);
+                            if unique >= unique_rep.len() {
+                                break;
+                            }
+                            let block = &blocks[unique_rep[unique]];
+                            let claimed = Instant::now();
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                profiler.profile_with(block, &mut machine)
+                            }))
+                            .unwrap_or_else(|payload| {
+                                stats.panics += 1;
+                                // The machine's state is unknown mid-panic;
+                                // replace it rather than recycle it.
+                                machine = Machine::new(profiler.uarch(), 0);
+                                Err(ProfileFailure::Panic {
+                                    message: panic_message(payload.as_ref()),
+                                })
+                            });
+                            stats.busy += claimed.elapsed();
+                            stats.profiled += 1;
+                            sender
+                                .send((unique, outcome))
+                                .expect("collector outlives workers");
+                        }
+                        stats
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("worker loop cannot panic"))
+                .collect()
+        })
+    };
+
+    // ---- Fan-out stage: one measurement serves every duplicate. ----
+    drop(sender);
+    let mut cache_hits = 0usize;
+    for (unique, outcome) in receiver {
+        let positions = &fanout[unique];
+        cache_hits += positions.len() - 1;
+        for &idx in positions {
+            results[idx] = Some(outcome.clone());
+        }
+    }
+
+    let results: Vec<Result<Measurement, ProfileFailure>> = results
         .into_iter()
-        .map(|slot| slot.expect("every index visited"))
+        .map(|slot| slot.expect("every index resolved"))
         .collect();
-    CorpusReport { results }
+
+    let elapsed = started.elapsed();
+    let mut failures = BTreeMap::new();
+    for result in &results {
+        if let Err(failure) = result {
+            *failures.entry(failure.category()).or_insert(0) += 1;
+        }
+    }
+    let stats = ProfileStats {
+        total_blocks: blocks.len(),
+        unique_blocks: unique_rep.len(),
+        cache_hits,
+        threads: worker_count,
+        elapsed,
+        blocks_per_sec: if elapsed.as_secs_f64() > 0.0 {
+            blocks.len() as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        panics: workers.iter().map(|w| w.panics).sum(),
+        failures,
+        workers,
+    };
+    CorpusReport { results, stats }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -119,8 +330,8 @@ mod tests {
         for (idx, block) in blocks.iter().enumerate() {
             let serial = profiler.profile(block);
             match (&parallel.results[idx], &serial) {
-                (Ok(a), Ok(b)) => assert_eq!(a.throughput, b.throughput, "block {idx}"),
-                (Err(a), Err(b)) => assert_eq!(a.category(), b.category()),
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "block {idx}"),
+                (Err(a), Err(b)) => assert_eq!(a, b, "block {idx}"),
                 other => panic!("parallel/serial disagree on block {idx}: {other:?}"),
             }
         }
@@ -128,10 +339,59 @@ mod tests {
     }
 
     #[test]
-    fn empty_corpus() {
+    fn duplicates_measure_once_and_fan_out() {
+        let a = parse_block("add rax, 1").unwrap();
+        let b = parse_block("imul rbx, rcx").unwrap();
+        let blocks = vec![a.clone(), b.clone(), a.clone(), a, b];
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let report = profile_corpus(&profiler, &blocks, 2);
+        assert_eq!(report.stats.total_blocks, 5);
+        assert_eq!(report.stats.unique_blocks, 2);
+        assert_eq!(report.stats.cache_hits, 3);
+        // Fanned-out duplicates are the same measurement, bit for bit.
+        assert_eq!(report.results[0], report.results[2]);
+        assert_eq!(report.results[0], report.results[3]);
+        assert_eq!(report.results[1], report.results[4]);
+        assert_eq!(
+            report
+                .stats
+                .workers
+                .iter()
+                .map(|w| w.profiled)
+                .sum::<usize>(),
+            2,
+            "only unique blocks consume machine time"
+        );
+    }
+
+    #[test]
+    fn empty_corpus_spawns_no_workers() {
         let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
         let report = profile_corpus(&profiler, &[], 0);
         assert_eq!(report.results.len(), 0);
         assert_eq!(report.success_rate(), 0.0);
+        assert_eq!(report.stats.threads, 0, "no work, no worker threads");
+        assert!(report.stats.workers.is_empty());
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_unique_blocks() {
+        let block = parse_block("add rax, 1").unwrap();
+        let blocks = vec![block.clone(), block.clone(), block];
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let report = profile_corpus(&profiler, &blocks, 8);
+        assert_eq!(report.stats.threads, 1, "one unique block, one worker");
+        assert_eq!(report.stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn stats_display_reads_like_a_summary() {
+        let block = parse_block("add rax, 1").unwrap();
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let report = profile_corpus(&profiler, &[block.clone(), block], 1);
+        let text = report.stats.to_string();
+        assert!(text.contains("2 blocks (1 unique, 1 cache hits)"), "{text}");
+        assert!(text.contains("1 threads"), "{text}");
+        assert!(text.contains("worker utilization"), "{text}");
     }
 }

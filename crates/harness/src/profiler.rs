@@ -4,13 +4,11 @@ use crate::config::ProfileConfig;
 use crate::failure::ProfileFailure;
 use crate::measurement::{Measurement, TrialSet};
 use crate::monitor::monitor;
-use bhive_asm::BasicBlock;
+use bhive_asm::{fnv1a_64, BasicBlock};
+use bhive_sim::CODE_BASE;
 use bhive_sim::{Cache, CodeLayout, Machine, PerfCounters, TimingModel};
 use bhive_uarch::Uarch;
-use bhive_sim::CODE_BASE;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 
 /// Profiles basic blocks on one microarchitecture with one configuration.
 #[derive(Debug, Clone)]
@@ -38,14 +36,52 @@ impl Profiler {
     /// Measures the steady-state throughput of one basic block, running
     /// the full pipeline described in the crate documentation.
     ///
+    /// Constructs a fresh [`Machine`] per call. For corpus runs, keep a
+    /// machine alive and use [`Profiler::profile_with`] instead — the
+    /// results are bit-identical and the page allocations are reused.
+    ///
     /// # Errors
     ///
     /// Returns a [`ProfileFailure`] describing why the block could not be
     /// profiled (crash, unmappable address, invariant violation,
     /// unreproducible timings, misaligned accesses, ...).
     pub fn profile(&self, block: &BasicBlock) -> Result<Measurement, ProfileFailure> {
+        let mut machine = Machine::new(self.uarch, 0);
+        self.profile_with(block, &mut machine)
+    }
+
+    /// Like [`Profiler::profile`], but recycles a caller-owned machine
+    /// instead of constructing one, so page-table and page allocations
+    /// carry over between blocks.
+    ///
+    /// The machine's noise source is reseeded from the block's stable
+    /// content hash on every call, so measurements depend only on
+    /// (block bytes, uarch, config) — never on which worker or in which
+    /// order a block is profiled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` models a different microarchitecture than this
+    /// profiler.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Profiler::profile`].
+    pub fn profile_with(
+        &self,
+        block: &BasicBlock,
+        machine: &mut Machine,
+    ) -> Result<Measurement, ProfileFailure> {
+        assert!(
+            machine.uarch().kind == self.uarch.kind,
+            "machine models {} but the profiler targets {}",
+            machine.uarch().kind,
+            self.uarch.kind
+        );
         if block.is_empty() {
-            return Err(ProfileFailure::InvalidBlock { message: "empty block".into() });
+            return Err(ProfileFailure::InvalidBlock {
+                message: "empty block".into(),
+            });
         }
         block
             .validate()
@@ -53,8 +89,8 @@ impl Profiler {
         if !self.uarch.supports_avx2 && block.uses_avx2() {
             return Err(ProfileFailure::UnsupportedIsa);
         }
-        let block_bytes =
-            block.encoded_len().map_err(ProfileFailure::from_asm)? as u32;
+        let encoded = block.encode().map_err(ProfileFailure::from_asm)?;
+        let block_bytes = encoded.len() as u32;
         let (lo_factor, hi_factor) = self.config.unroll.factors(block_bytes);
         if hi_factor == 0 {
             return Err(ProfileFailure::InvalidBlock {
@@ -70,33 +106,44 @@ impl Profiler {
             });
         }
 
-        // Deterministic per-block noise seed so corpus runs reproduce.
-        let seed = {
-            let mut hasher = DefaultHasher::new();
-            block.hash(&mut hasher);
-            hasher.finish()
-        };
-        let mut machine = Machine::with_noise(self.uarch, seed, self.config.noise);
+        // Deterministic per-block noise seed: FNV-1a over the encoded
+        // bytes, so runs reproduce across processes and compiler
+        // releases (`DefaultHasher` guarantees neither), and duplicate
+        // blocks measure identically wherever they appear.
+        let seed = fnv1a_64(&encoded);
+        machine.recycle(seed, self.config.noise);
         machine.set_ftz_daz(self.config.disable_gradual_underflow);
 
         // ---- Mapping stage (Fig. 2 monitor), at the larger factor ----
-        let mapping = monitor(&mut machine, block.insts(), hi_factor, &self.config)?;
+        let mapping = monitor(machine, block.insts(), hi_factor, &self.config)?;
 
-        let layout = CodeLayout::from_block(block.insts(), CODE_BASE)
-            .map_err(ProfileFailure::from_asm)?;
+        let layout =
+            CodeLayout::from_block(block.insts(), CODE_BASE).map_err(ProfileFailure::from_asm)?;
         let model = TimingModel::new(block.insts(), self.uarch);
 
         // ---- Measurement stage ----
-        let hi = self.measure(&mut machine, block, &model, &layout, hi_factor)?;
+        let hi = self.measure(machine, block, &model, &layout, hi_factor)?;
         let lo = if lo_factor == hi_factor {
             hi.clone()
         } else {
-            self.measure(&mut machine, block, &model, &layout, lo_factor)?
+            self.measure(machine, block, &model, &layout, lo_factor)?
         };
 
         let throughput = if hi.unroll == lo.unroll {
             hi.accepted_cycles as f64 / f64::from(hi.unroll)
         } else {
+            // Eq. 2's delta must be non-negative: more copies cannot run
+            // in fewer cycles at steady state. A negative delta means the
+            // pair of accepted timings is inconsistent, so reject the
+            // block rather than clamp it to a fictitious 0.0 throughput.
+            if hi.accepted_cycles < lo.accepted_cycles {
+                return Err(ProfileFailure::NegativeDelta {
+                    lo_cycles: lo.accepted_cycles,
+                    hi_cycles: hi.accepted_cycles,
+                    lo_unroll: lo.unroll,
+                    hi_unroll: hi.unroll,
+                });
+            }
             (hi.accepted_cycles as f64 - lo.accepted_cycles as f64)
                 / f64::from(hi.unroll - lo.unroll)
         };
@@ -104,7 +151,7 @@ impl Profiler {
         let subnormal_events = hi.counters.subnormal_events;
         let misaligned_refs = hi.counters.misaligned_mem_refs;
         Ok(Measurement {
-            throughput: throughput.max(0.0),
+            throughput,
             lo,
             hi,
             mapped_pages: mapping.mapped_pages,
@@ -144,7 +191,9 @@ impl Profiler {
 
         // Misalignment filter (the MISALIGNED_MEM_REFERENCE counter).
         if self.config.drop_misaligned && timing.misaligned > 0 {
-            return Err(ProfileFailure::Misaligned { count: timing.misaligned });
+            return Err(ProfileFailure::Misaligned {
+                count: timing.misaligned,
+            });
         }
 
         // The deterministic part of the measurement violates invariants
@@ -156,7 +205,9 @@ impl Profiler {
         base_counters.core_cycles = timing.cycles;
         base_counters.subnormal_events = subnormal_events;
         if self.config.enforce_invariants && !base_counters.is_clean() {
-            return Err(ProfileFailure::DirtyCounters { counters: base_counters });
+            return Err(ProfileFailure::DirtyCounters {
+                counters: base_counters,
+            });
         }
 
         // 16 observed trials (noise perturbs cycles and context switches).
@@ -302,7 +353,10 @@ mod tests {
     fn avx2_rejected_on_ivy_bridge() {
         let block = parse_block("vfmadd231ps ymm0, ymm1, ymm2").unwrap();
         let ivb = Profiler::new(Uarch::ivy_bridge(), ProfileConfig::bhive().quiet());
-        assert_eq!(ivb.profile(&block).unwrap_err(), ProfileFailure::UnsupportedIsa);
+        assert_eq!(
+            ivb.profile(&block).unwrap_err(),
+            ProfileFailure::UnsupportedIsa
+        );
         let hsw = hsw_profiler();
         assert!(hsw.profile(&block).is_ok());
     }
@@ -311,11 +365,17 @@ mod tests {
     fn empty_and_invalid_blocks() {
         let profiler = hsw_profiler();
         assert_eq!(
-            profiler.profile(&BasicBlock::default()).unwrap_err().category(),
+            profiler
+                .profile(&BasicBlock::default())
+                .unwrap_err()
+                .category(),
             "invalid-block"
         );
         let bad = parse_block("jne -8\nadd rax, 1").unwrap();
-        assert_eq!(profiler.profile(&bad).unwrap_err().category(), "invalid-block");
+        assert_eq!(
+            profiler.profile(&bad).unwrap_err().category(),
+            "invalid-block"
+        );
     }
 
     #[test]

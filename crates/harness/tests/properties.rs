@@ -1,7 +1,7 @@
 //! Property tests for the measurement framework over generated blocks.
 
 use bhive_corpus::{generate_block, Application};
-use bhive_harness::{ProfileConfig, Profiler, UnrollStrategy};
+use bhive_harness::{profile_corpus, ProfileConfig, Profiler, UnrollStrategy};
 use bhive_uarch::Uarch;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -83,4 +83,50 @@ proptest! {
             );
         }
     }
+
+    /// The deduplicating, machine-reusing parallel pipeline agrees with
+    /// uncached serial profiling measurement-for-measurement, on random
+    /// corpora with random duplication and ordering and at a random
+    /// thread count.
+    #[test]
+    fn dedup_parallel_agrees_with_uncached_serial(
+        seed in any::<u64>(),
+        n_unique in 1usize..6,
+        threads in 1usize..5,
+        dup_picks in proptest::collection::vec(proptest::num::u64::ANY, 0..8),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let apps = [Application::Gzip, Application::Sqlite, Application::OpenBlas];
+        let unique: Vec<_> = (0..n_unique)
+            .map(|i| generate_block(apps[i % apps.len()], &mut rng))
+            .collect();
+        // Duplicate and interleave: every unique block once, then extra
+        // copies at positions chosen by the picks.
+        let mut blocks = unique.clone();
+        for (offset, pick) in dup_picks.iter().enumerate() {
+            let which = (*pick as usize) % unique.len();
+            let at = (offset * 3) % (blocks.len() + 1);
+            blocks.insert(at, unique[which].clone());
+        }
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let report = profile_corpus(&profiler, &blocks, threads);
+        prop_assert_eq!(report.stats.total_blocks, blocks.len());
+        prop_assert_eq!(
+            report.stats.cache_hits,
+            blocks.len() - report.stats.unique_blocks
+        );
+        for (idx, block) in blocks.iter().enumerate() {
+            let serial = profiler.profile(block);
+            prop_assert_eq!(&report.results[idx], &serial, "block {}", idx);
+        }
+    }
+}
+
+#[test]
+fn empty_corpus_spawns_no_worker_threads() {
+    let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+    let report = profile_corpus(&profiler, &[], 8);
+    assert!(report.results.is_empty());
+    assert_eq!(report.stats.threads, 0);
+    assert!(report.stats.workers.is_empty());
 }

@@ -76,7 +76,9 @@ impl LdaFit {
 
     /// Categories of all documents.
     pub fn categories(&self) -> Vec<usize> {
-        (0..self.assignments.len()).map(|d| self.doc_category(d)).collect()
+        (0..self.assignments.len())
+            .map(|d| self.doc_category(d))
+            .collect()
     }
 
     /// The most probable words of a topic, most probable first.
@@ -106,9 +108,7 @@ impl LdaFit {
         counts
             .iter()
             .enumerate()
-            .max_by(|&(ta, ca), &(tb, cb)| {
-                ca.partial_cmp(cb).expect("finite").then(tb.cmp(&ta))
-            })
+            .max_by(|&(ta, ca), &(tb, cb)| ca.partial_cmp(cb).expect("finite").then(tb.cmp(&ta)))
             .map(|(topic, _)| topic)
             .unwrap_or(0)
     }
@@ -194,8 +194,7 @@ pub fn fit(docs: &[Vec<usize>], vocab: usize, config: LdaConfig) -> LdaFit {
     let mut word_topic = vec![0f64; vocab * t]; // n_{w,k}
     let mut topic_total = vec![0f64; t]; // n_t
     let mut doc_topic: Vec<Vec<f64>> = docs.iter().map(|_| vec![0f64; t]).collect();
-    let mut assignments: Vec<Vec<usize>> =
-        docs.iter().map(|d| vec![0usize; d.len()]).collect();
+    let mut assignments: Vec<Vec<usize>> = docs.iter().map(|d| vec![0usize; d.len()]).collect();
 
     // Initialization: anchored by word bucket when configured, random
     // otherwise.
@@ -258,7 +257,12 @@ pub fn fit(docs: &[Vec<usize>], vocab: usize, config: LdaConfig) -> LdaFit {
         })
         .collect();
 
-    LdaFit { topics: t, vocab, topic_word: phi, assignments }
+    LdaFit {
+        topics: t,
+        vocab,
+        topic_word: phi,
+        assignments,
+    }
 }
 
 #[cfg(test)]
@@ -270,9 +274,9 @@ mod tests {
     fn two_cluster_corpus(rng: &mut SmallRng) -> Vec<Vec<usize>> {
         let mut docs = Vec::new();
         for i in 0..120 {
-            let base = if i % 2 == 0 { 0 } else { 2 };
+            let base: usize = if i % 2 == 0 { 0 } else { 2 };
             let len = rng.gen_range(6..14);
-            docs.push((0..len).map(|_| base + rng.gen_range(0..2)).collect());
+            docs.push((0..len).map(|_| base + rng.gen_range(0..2usize)).collect());
         }
         docs
     }
@@ -281,8 +285,14 @@ mod tests {
     fn separates_obvious_clusters() {
         let mut rng = SmallRng::seed_from_u64(1);
         let docs = two_cluster_corpus(&mut rng);
-        let config =
-            LdaConfig { topics: 2, alpha: 0.5, beta: 0.25, iterations: 80, seed: 7, anchors: None };
+        let config = LdaConfig {
+            topics: 2,
+            alpha: 0.5,
+            beta: 0.25,
+            iterations: 80,
+            seed: 7,
+            anchors: None,
+        };
         let fit = fit(&docs, 4, config);
         let cats = fit.categories();
         // All even-index documents should land in one category, odd in the
@@ -317,13 +327,23 @@ mod tests {
     fn top_words_reflect_topics() {
         let mut rng = SmallRng::seed_from_u64(5);
         let docs = two_cluster_corpus(&mut rng);
-        let config =
-            LdaConfig { topics: 2, alpha: 0.5, beta: 0.25, iterations: 80, seed: 11, anchors: None };
+        let config = LdaConfig {
+            topics: 2,
+            alpha: 0.5,
+            beta: 0.25,
+            iterations: 80,
+            seed: 11,
+            anchors: None,
+        };
         let fit = fit(&docs, 4, config);
         for topic in 0..2 {
             let top = fit.top_words(topic, 2);
             // The two top words of a topic must come from the same cluster.
-            assert_eq!(top[0] / 2, top[1] / 2, "topic {topic} mixes clusters: {top:?}");
+            assert_eq!(
+                top[0] / 2,
+                top[1] / 2,
+                "topic {topic} mixes clusters: {top:?}"
+            );
         }
     }
 
@@ -331,8 +351,14 @@ mod tests {
     fn classify_matches_training_categories() {
         let mut rng = SmallRng::seed_from_u64(9);
         let docs = two_cluster_corpus(&mut rng);
-        let config =
-            LdaConfig { topics: 2, alpha: 0.5, beta: 0.25, iterations: 80, seed: 13, anchors: None };
+        let config = LdaConfig {
+            topics: 2,
+            alpha: 0.5,
+            beta: 0.25,
+            iterations: 80,
+            seed: 13,
+            anchors: None,
+        };
         let fit = fit(&docs, 4, config);
         let agree = docs
             .iter()

@@ -25,7 +25,12 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { epochs: 40, learning_rate: 0.05, l2: 1e-5, seed: 1 }
+        SgdConfig {
+            epochs: 40,
+            learning_rate: 0.05,
+            l2: 1e-5,
+            seed: 1,
+        }
     }
 }
 
@@ -84,7 +89,11 @@ impl SgdRegressor {
                 }
             }
         }
-        SgdRegressor { weights, bias, scales }
+        SgdRegressor {
+            weights,
+            bias,
+            scales,
+        }
     }
 
     /// Predicts the target for a feature vector.
@@ -140,7 +149,11 @@ mod tests {
         let xs = vec![vec![0.0, 1.0], vec![0.0, 2.0], vec![0.0, 3.0]];
         let ys = vec![2.0, 4.0, 6.0];
         // A tiny training set needs more epochs to converge.
-        let config = SgdConfig { epochs: 600, learning_rate: 0.2, ..SgdConfig::default() };
+        let config = SgdConfig {
+            epochs: 600,
+            learning_rate: 0.2,
+            ..SgdConfig::default()
+        };
         let model = SgdRegressor::train(&xs, &ys, config);
         let pred = model.predict(&[0.0, 2.5]);
         assert!((pred - 5.0).abs() < 0.5, "pred {pred}");

@@ -72,7 +72,10 @@ mod tests {
         let four = parse_block("add rax, 1\nadd rbx, 1\nadd rcx, 1\nadd rsi, 1").unwrap();
         let t1 = model.predict(&one).unwrap();
         let t4 = model.predict(&four).unwrap();
-        assert!((t4 - 4.0 * t1).abs() < 1e-9, "purely additive: {t1} vs {t4}");
+        assert!(
+            (t4 - 4.0 * t1).abs() < 1e-9,
+            "purely additive: {t1} vs {t4}"
+        );
     }
 
     #[test]

@@ -69,9 +69,11 @@ pub fn block_features(block: &BasicBlock, kind: UarchKind) -> Vec<f64> {
         if inst.mnemonic().is_sse() {
             n_vec += 1.0;
         }
-        if inst.operands().iter().any(|op| {
-            matches!(op, Operand::Vec(v) if v.width() == VecWidth::Ymm)
-        }) {
+        if inst
+            .operands()
+            .iter()
+            .any(|op| matches!(op, Operand::Vec(v) if v.width() == VecWidth::Ymm))
+        {
             n_ymm += 1.0;
         }
         match class {
@@ -181,7 +183,11 @@ fn chain_depth(block: &BasicBlock, kind: UarchKind, copies: usize) -> f64 {
             ) {
                 start = start.max(flags_ready);
             }
-            let end = if recipe.eliminated { start } else { start + latency };
+            let end = if recipe.eliminated {
+                start
+            } else {
+                start + latency
+            };
             for reg in inst.gpr_writes() {
                 ready.insert(reg.number(), end);
             }

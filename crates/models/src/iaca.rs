@@ -32,7 +32,11 @@ impl IacaModel {
             UarchKind::Skylake => 0.2,
             _ => 0.28,
         };
-        IacaModel { kind, strength, seed: 0x1ACA }
+        IacaModel {
+            kind,
+            strength,
+            seed: 0x1ACA,
+        }
     }
 
     /// Overrides the table-noise strength (used by calibration tests).
@@ -135,7 +139,9 @@ mod tests {
     #[test]
     fn refuses_avx2_on_ivb() {
         let block = parse_block("vfmadd231ps ymm0, ymm1, ymm2").unwrap();
-        assert!(IacaModel::new(UarchKind::IvyBridge).predict(&block).is_none());
+        assert!(IacaModel::new(UarchKind::IvyBridge)
+            .predict(&block)
+            .is_none());
         assert!(IacaModel::new(UarchKind::Haswell).predict(&block).is_some());
     }
 

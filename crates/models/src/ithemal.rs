@@ -20,7 +20,11 @@ pub struct IthemalConfig {
 
 impl Default for IthemalConfig {
     fn default() -> Self {
-        IthemalConfig { epochs: 400, learning_rate: 0.12, seed: 0x17E3 }
+        IthemalConfig {
+            epochs: 400,
+            learning_rate: 0.12,
+            seed: 0x17E3,
+        }
     }
 }
 
@@ -77,7 +81,11 @@ impl IthemalModel {
                 )
             })
             .collect();
-        IthemalModel { kind, regressors, trained_on: data.len() }
+        IthemalModel {
+            kind,
+            regressors,
+            trained_on: data.len(),
+        }
     }
 
     /// Number of training examples the model was fitted to.
@@ -101,7 +109,11 @@ impl ThroughputModel for IthemalModel {
         }
         let features = block_features(block, self.kind);
         debug_assert_eq!(features.len(), FEATURE_DIMS);
-        let mean_log = self.regressors.iter().map(|r| r.predict(&features)).sum::<f64>()
+        let mean_log = self
+            .regressors
+            .iter()
+            .map(|r| r.predict(&features))
+            .sum::<f64>()
             / self.regressors.len() as f64;
         // Sanity envelope: a linear model extrapolates badly far off its
         // training distribution, but no throughput predictor would report
@@ -123,10 +135,16 @@ mod tests {
         let mut data = Vec::new();
         for n in 1..=6 {
             // n independent adds: throughput ~ n/4.
-            let text = (0..n).map(|i| format!("add r{}, 1", 8 + i)).collect::<Vec<_>>().join("\n");
+            let text = (0..n)
+                .map(|i| format!("add r{}, 1", 8 + i))
+                .collect::<Vec<_>>()
+                .join("\n");
             data.push((parse_block(&text).unwrap(), (n as f64 / 4.0).max(0.25)));
             // n dependent imuls: throughput ~ 3n.
-            let text = (0..n).map(|_| "imul rax, rax".to_string()).collect::<Vec<_>>().join("\n");
+            let text = (0..n)
+                .map(|_| "imul rax, rax".to_string())
+                .collect::<Vec<_>>()
+                .join("\n");
             data.push((parse_block(&text).unwrap(), 3.0 * n as f64));
         }
         data
@@ -135,7 +153,11 @@ mod tests {
     #[test]
     fn learns_the_toy_corpus() {
         let data = toy_training_set();
-        let config = IthemalConfig { epochs: 800, learning_rate: 0.2, seed: 1 };
+        let config = IthemalConfig {
+            epochs: 800,
+            learning_rate: 0.2,
+            seed: 1,
+        };
         let model = IthemalModel::train(&data, UarchKind::Haswell, config);
         for (block, measured) in &data {
             let predicted = model.predict(block).unwrap();

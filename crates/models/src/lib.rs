@@ -52,8 +52,8 @@ mod ithemal;
 mod mca;
 mod osaca;
 mod perturb;
-mod scheduler;
 pub mod schedule;
+mod scheduler;
 
 pub use baseline::BaselineTableModel;
 pub use features::block_features;

@@ -38,10 +38,16 @@ impl McaModel {
             // "We suspect the decrease in performance in Skylake is a
             // result of LLVM developers having less time updating the
             // cost models for the relatively new microarchitecture."
-            UarchKind::Skylake => 0.52,
+            // Calibrated so the Skylake regression matches Table 5's
+            // shape (~0.18 -> ~0.23 overall error vs Haswell).
+            UarchKind::Skylake => 0.70,
             _ => 0.35,
         };
-        McaModel { kind, strength, seed: 0x11CA }
+        McaModel {
+            kind,
+            strength,
+            seed: 0x11CA,
+        }
     }
 
     /// Overrides the table-noise strength (used by calibration tests).
@@ -171,7 +177,9 @@ mod tests {
     fn load_op_collapse_slows_updcrc() {
         let block = bhive_corpus_updcrc();
         let mca = McaModel::new(UarchKind::Haswell).predict(&block).unwrap();
-        let iaca = crate::IacaModel::new(UarchKind::Haswell).predict(&block).unwrap();
+        let iaca = crate::IacaModel::new(UarchKind::Haswell)
+            .predict(&block)
+            .unwrap();
         // Paper: measured 8.25, IACA 8.00, llvm-mca 13.04. The shape to
         // preserve: mca substantially overpredicts relative to IACA.
         assert!(
@@ -205,8 +213,7 @@ mod tests {
     #[test]
     fn skylake_tables_are_noisier() {
         assert!(
-            McaModel::new(UarchKind::Skylake).strength
-                > McaModel::new(UarchKind::Haswell).strength
+            McaModel::new(UarchKind::Skylake).strength > McaModel::new(UarchKind::Haswell).strength
         );
     }
 }

@@ -33,7 +33,11 @@ pub struct OsacaModel {
 impl OsacaModel {
     /// OSACA targeting `kind`, with calibrated default table noise.
     pub fn new(kind: UarchKind) -> OsacaModel {
-        OsacaModel { kind, strength: 0.95, seed: 0x05AC }
+        OsacaModel {
+            kind,
+            strength: 0.95,
+            seed: 0x05AC,
+        }
     }
 
     /// Overrides the table-noise strength (used by calibration tests).
@@ -45,7 +49,10 @@ impl OsacaModel {
     /// The parser gap: immediate-to-memory forms parse as nops.
     fn parses_as_nop(inst: &Inst) -> bool {
         inst.mem_operand_index() == Some(0)
-            && inst.operands().iter().any(|op| matches!(op, Operand::Imm(_)))
+            && inst
+                .operands()
+                .iter()
+                .any(|op| matches!(op, Operand::Imm(_)))
             && inst.stores_memory()
     }
 
@@ -104,9 +111,8 @@ impl ThroughputModel for OsacaModel {
             }
             // The community-measured reciprocal-throughput tables carry a
             // wide systematic miscalibration per instruction form.
-            let h = mix(
-                self.seed ^ ((inst.mnemonic() as u64) << 16) ^ u64::from(inst.width_bytes()),
-            );
+            let h =
+                mix(self.seed ^ ((inst.mnemonic() as u64) << 16) ^ u64::from(inst.width_bytes()));
             let miscal = 1.0 + self.strength * ((h & 0xFFFF) as f64 / 65536.0 - 0.5);
             for uop in &recipe.uops {
                 let ports: Vec<_> = uop.ports.iter().collect();
@@ -149,7 +155,9 @@ mod tests {
     #[test]
     fn byte_memory_alu_crashes_parser() {
         let block = parse_block("xor al, byte ptr [rdi - 1]").unwrap();
-        assert!(OsacaModel::new(UarchKind::Haswell).predict(&block).is_none());
+        assert!(OsacaModel::new(UarchKind::Haswell)
+            .predict(&block)
+            .is_none());
     }
 
     #[test]

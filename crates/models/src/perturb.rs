@@ -44,8 +44,7 @@ pub(crate) fn perturb_recipe(recipe: &mut Recipe, inst: &Inst, seed: u64, streng
             // Wrong port assignment: the tool believes the uop is more
             // restricted than it is (drop the highest port).
             let keep: Vec<_> = uop.ports.iter().collect();
-            let dropped: bhive_uarch::PortSet =
-                keep[..keep.len() - 1].iter().copied().collect();
+            let dropped: bhive_uarch::PortSet = keep[..keep.len() - 1].iter().copied().collect();
             uop.ports = dropped;
         }
     }

@@ -74,7 +74,10 @@ impl Schedule {
                 uop.iteration,
                 port,
                 line,
-                self.inst_texts.get(uop.inst_idx).map(String::as_str).unwrap_or("?")
+                self.inst_texts
+                    .get(uop.inst_idx)
+                    .map(String::as_str)
+                    .unwrap_or("?")
             )
             .expect("write to String");
         }
@@ -108,8 +111,20 @@ mod tests {
             model: "iaca".into(),
             throughput: 2.0,
             uops: vec![
-                ScheduledUop { inst_idx: 0, iteration: 0, start: 0, end: 1, port: 0 },
-                ScheduledUop { inst_idx: 1, iteration: 0, start: 1, end: 4, port: 1 },
+                ScheduledUop {
+                    inst_idx: 0,
+                    iteration: 0,
+                    start: 0,
+                    end: 1,
+                    port: 0,
+                },
+                ScheduledUop {
+                    inst_idx: 1,
+                    iteration: 0,
+                    start: 1,
+                    end: 4,
+                    port: 1,
+                },
             ],
             inst_texts: vec!["add rax, 1".into(), "imul rbx, rcx".into()],
         };

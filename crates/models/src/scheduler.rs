@@ -95,7 +95,11 @@ pub(crate) fn steady_state(
         for (inst_idx, inst) in insts.iter().enumerate() {
             let recipe = &recipes[inst_idx];
             let first = uops.len() as u32;
-            let slots = if fused[inst_idx] { 0 } else { recipe.frontend_slots };
+            let slots = if fused[inst_idx] {
+                0
+            } else {
+                recipe.frontend_slots
+            };
 
             if recipe.eliminated {
                 if inst.is_zero_idiom() {
@@ -207,7 +211,11 @@ pub(crate) fn steady_state(
                 }
             }
 
-            let result_uop = if last_compute != NO_UOP { last_compute } else { load_uop };
+            let result_uop = if last_compute != NO_UOP {
+                last_compute
+            } else {
+                load_uop
+            };
             if result_uop != NO_UOP {
                 for reg in inst.gpr_writes() {
                     producers.insert(DepKey::Gpr(reg.number()), result_uop);
@@ -244,8 +252,7 @@ pub(crate) fn steady_state(
         while next_retire < total_insts && retired < uarch.retire_width {
             let (first, last, _slots, eliminated) = inst_meta[next_retire];
             let done = next_retire < next_rename
-                && (eliminated
-                    || (first..last).all(|u| completion[u as usize] <= cycle));
+                && (eliminated || (first..last).all(|u| completion[u as usize] <= cycle));
             if !done {
                 break;
             }
@@ -370,8 +377,7 @@ mod tests {
     fn tp(text: &str) -> f64 {
         let block = parse_block(text).unwrap();
         let uarch = Uarch::haswell();
-        let recipes: Vec<Recipe> =
-            block.iter().map(|i| decompose(i, uarch)).collect();
+        let recipes: Vec<Recipe> = block.iter().map(|i| decompose(i, uarch)).collect();
         steady_state(&block, &recipes, uarch, StaticParams::default(), "test").0
     }
 

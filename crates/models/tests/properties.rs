@@ -93,7 +93,11 @@ fn ithemal_generalizes_across_apps() {
         })
         .collect();
     let model = IthemalModel::train(&train, UarchKind::Haswell, IthemalConfig::default());
-    for app in [Application::OpenBlas, Application::Ffmpeg, Application::Spanner] {
+    for app in [
+        Application::OpenBlas,
+        Application::Ffmpeg,
+        Application::Spanner,
+    ] {
         for _ in 0..50 {
             let block = generate_block(app, &mut rng);
             if let Some(tp) = model.predict(&block) {
@@ -115,6 +119,10 @@ fn avx2_refusal_is_uniform() {
         );
     }
     for model in static_models(UarchKind::Haswell) {
-        assert!(model.predict(&block).is_some(), "{} handles AVX2 on Haswell", model.name());
+        assert!(
+            model.predict(&block).is_some(),
+            "{} handles AVX2 on Haswell",
+            model.name()
+        );
     }
 }

@@ -101,8 +101,16 @@ mod tests {
 
     #[test]
     fn delta_and_sum() {
-        let begin = PerfCounters { core_cycles: 100, l1d_read_misses: 2, ..Default::default() };
-        let end = PerfCounters { core_cycles: 250, l1d_read_misses: 2, ..Default::default() };
+        let begin = PerfCounters {
+            core_cycles: 100,
+            l1d_read_misses: 2,
+            ..Default::default()
+        };
+        let end = PerfCounters {
+            core_cycles: 250,
+            l1d_read_misses: 2,
+            ..Default::default()
+        };
         let d = PerfCounters::delta(&end, &begin);
         assert_eq!(d.core_cycles, 150);
         assert_eq!(d.l1d_read_misses, 0);

@@ -69,7 +69,12 @@ impl fmt::Display for ExecFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecFault::Seg(s) => {
-                write!(f, "segmentation fault at {:#x} ({})", s.vaddr, if s.write { "write" } else { "read" })
+                write!(
+                    f,
+                    "segmentation fault at {:#x} ({})",
+                    s.vaddr,
+                    if s.write { "write" } else { "read" }
+                )
             }
             ExecFault::DivideError => f.write_str("integer divide error"),
             ExecFault::InvalidOpcode => f.write_str("invalid opcode"),
@@ -95,7 +100,8 @@ pub fn effective_addr(mem: &MemRef, state: &CpuState) -> u64 {
         .index
         .map(|(r, scale)| state.gpr64(r).wrapping_mul(u64::from(scale.factor())))
         .unwrap_or(0);
-    base.wrapping_add(index).wrapping_add(mem.disp as i64 as u64)
+    base.wrapping_add(index)
+        .wrapping_add(mem.disp as i64 as u64)
 }
 
 /// Executes one instruction, mutating `state` and `mem`.
@@ -134,7 +140,12 @@ fn read_scalar_operand(
             let vaddr = effective_addr(m, state);
             let value = mem.read_scalar(vaddr, m.width)?;
             let paddr = mem.phys_addr(vaddr, false)?;
-            fx.load = Some(MemAccess { vaddr, paddr, width: m.width, write: false });
+            fx.load = Some(MemAccess {
+                vaddr,
+                paddr,
+                width: m.width,
+                write: false,
+            });
             Ok(value)
         }
         Operand::Vec(_) => unreachable!("vector operand in scalar context"),
@@ -158,7 +169,12 @@ fn write_scalar_operand(
             let vaddr = effective_addr(m, state);
             mem.write_scalar(vaddr, m.width, value)?;
             let paddr = mem.phys_addr(vaddr, true)?;
-            fx.store = Some(MemAccess { vaddr, paddr, width: m.width, write: true });
+            fx.store = Some(MemAccess {
+                vaddr,
+                paddr,
+                width: m.width,
+                write: true,
+            });
             Ok(())
         }
         _ => unreachable!("immediate/vector destination"),
@@ -170,9 +186,9 @@ fn op_width(inst: &Inst) -> u8 {
     inst.width_bytes()
 }
 
+pub(crate) use scalar::flags_read;
 #[allow(unused_imports)]
 pub(crate) use scalar::flags_written;
-pub(crate) use scalar::flags_read;
 
 #[cfg(test)]
 mod tests {

@@ -53,7 +53,13 @@ fn add_with_flags(a: u64, b: u64, carry_in: bool, width: u8) -> (u64, Flags) {
     let of = ((a ^ result) & (b ^ result) & sign_bit) != 0;
     (
         result,
-        Flags { cf, of, zf: result == 0, sf: result & sign_bit != 0, pf: parity(result) },
+        Flags {
+            cf,
+            of,
+            zf: result == 0,
+            sf: result & sign_bit != 0,
+            pf: parity(result),
+        },
     )
 }
 
@@ -69,7 +75,13 @@ fn sub_with_flags(a: u64, b: u64, borrow_in: bool, width: u8) -> (u64, Flags) {
     let of = ((a ^ b) & (a ^ result) & sign_bit) != 0;
     (
         result,
-        Flags { cf, of, zf: result == 0, sf: result & sign_bit != 0, pf: parity(result) },
+        Flags {
+            cf,
+            of,
+            zf: result == 0,
+            sf: result & sign_bit != 0,
+            pf: parity(result),
+        },
     )
 }
 
@@ -299,11 +311,19 @@ pub(super) fn execute(
             state.set_gpr(Gpr::Rdx, size, remainder);
         }
         Cdq => {
-            let sign = if state.gpr(Gpr::Rax, OpSize::D) >> 31 & 1 == 1 { u64::MAX } else { 0 };
+            let sign = if state.gpr(Gpr::Rax, OpSize::D) >> 31 & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
             state.set_gpr(Gpr::Rdx, OpSize::D, sign);
         }
         Cqo => {
-            let sign = if state.gpr64(Gpr::Rax) >> 63 & 1 == 1 { u64::MAX } else { 0 };
+            let sign = if state.gpr64(Gpr::Rax) >> 63 & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
             state.set_gpr(Gpr::Rdx, OpSize::Q, sign);
         }
         Popcnt | Lzcnt | Tzcnt => {
@@ -364,7 +384,12 @@ fn store_to(
 ) -> Result<(), ExecFault> {
     mem.write_scalar(vaddr, width, value)?;
     let paddr = mem.phys_addr(vaddr, true)?;
-    fx.store = Some(MemAccess { vaddr, paddr, width, write: true });
+    fx.store = Some(MemAccess {
+        vaddr,
+        paddr,
+        width,
+        write: true,
+    });
     Ok(())
 }
 
@@ -377,7 +402,12 @@ fn load_from(
 ) -> Result<u64, ExecFault> {
     let value = mem.read_scalar(vaddr, width)?;
     let paddr = mem.phys_addr(vaddr, false)?;
-    fx.load = Some(MemAccess { vaddr, paddr, width, write: false });
+    fx.load = Some(MemAccess {
+        vaddr,
+        paddr,
+        width,
+        write: false,
+    });
     Ok(value)
 }
 

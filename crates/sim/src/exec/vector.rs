@@ -122,7 +122,12 @@ impl Ctx<'_> {
                 }
                 self.mem.read(vaddr, &mut out[..width as usize])?;
                 let paddr = self.mem.phys_addr(vaddr, false)?;
-                self.fx.load = Some(MemAccess { vaddr, paddr, width, write: false });
+                self.fx.load = Some(MemAccess {
+                    vaddr,
+                    paddr,
+                    width,
+                    write: false,
+                });
             }
             Operand::Gpr { reg, size } => {
                 let v = self.state.gpr(*reg, *size);
@@ -155,7 +160,12 @@ impl Ctx<'_> {
                 }
                 self.mem.write(vaddr, &bytes[..width as usize])?;
                 let paddr = self.mem.phys_addr(vaddr, true)?;
-                self.fx.store = Some(MemAccess { vaddr, paddr, width, write: true });
+                self.fx.store = Some(MemAccess {
+                    vaddr,
+                    paddr,
+                    width,
+                    write: true,
+                });
                 Ok(())
             }
             _ => unreachable!("scalar destination in vector context"),
@@ -483,20 +493,47 @@ pub(super) fn execute(
             for lane in 0..(width as usize / lane_bytes) {
                 match lane_bytes {
                     1 => {
-                        out[lane] =
-                            if add { a[lane].wrapping_add(b[lane]) } else { a[lane].wrapping_sub(b[lane]) }
+                        out[lane] = if add {
+                            a[lane].wrapping_add(b[lane])
+                        } else {
+                            a[lane].wrapping_sub(b[lane])
+                        }
                     }
                     2 => {
                         let (x, y) = (get_u16(&a, lane), get_u16(&b, lane));
-                        set_u16(&mut out, lane, if add { x.wrapping_add(y) } else { x.wrapping_sub(y) });
+                        set_u16(
+                            &mut out,
+                            lane,
+                            if add {
+                                x.wrapping_add(y)
+                            } else {
+                                x.wrapping_sub(y)
+                            },
+                        );
                     }
                     4 => {
                         let (x, y) = (get_u32(&a, lane), get_u32(&b, lane));
-                        set_u32(&mut out, lane, if add { x.wrapping_add(y) } else { x.wrapping_sub(y) });
+                        set_u32(
+                            &mut out,
+                            lane,
+                            if add {
+                                x.wrapping_add(y)
+                            } else {
+                                x.wrapping_sub(y)
+                            },
+                        );
                     }
                     _ => {
                         let (x, y) = (get_u64(&a, lane), get_u64(&b, lane));
-                        set_u64(&mut out, lane, if add { x.wrapping_add(y) } else { x.wrapping_sub(y) });
+                        set_u64(
+                            &mut out,
+                            lane,
+                            if add {
+                                x.wrapping_add(y)
+                            } else {
+                                x.wrapping_sub(y)
+                            },
+                        );
                     }
                 }
             }
@@ -653,8 +690,11 @@ pub(super) fn execute(
                 let base = half * 16;
                 for i in 0..16usize {
                     let sel = b[base + i];
-                    out[base + i] =
-                        if sel & 0x80 != 0 { 0 } else { a[base + (sel & 0xF) as usize] };
+                    out[base + i] = if sel & 0x80 != 0 {
+                        0
+                    } else {
+                        a[base + (sel & 0xF) as usize]
+                    };
                 }
             }
             ctx.write(dst, &out, width, vex, false)?;
@@ -782,7 +822,10 @@ mod tests {
             &mut m,
         )
         .unwrap_err();
-        assert!(matches!(err, ExecFault::GeneralProtection { vaddr: 0x1008 }));
+        assert!(matches!(
+            err,
+            ExecFault::GeneralProtection { vaddr: 0x1008 }
+        ));
         // movups tolerates it.
         run("movups xmm0, xmmword ptr [rax]", &mut s, &mut m);
     }

@@ -49,7 +49,25 @@ impl Machine {
 
     /// A machine with the given noise model.
     pub fn with_noise(uarch: &'static Uarch, seed: u64, noise: NoiseConfig) -> Machine {
-        Machine { noise, ..Machine::new(uarch, seed) }
+        Machine {
+            noise,
+            ..Machine::new(uarch, seed)
+        }
+    }
+
+    /// Re-initializes this machine in place, as if freshly constructed by
+    /// [`Machine::with_noise`] — except that physical page allocations are
+    /// retained in [`Memory`]'s pool for reuse.
+    ///
+    /// Because the pool hands out the same `PhysPage` id sequence a fresh
+    /// memory would (see [`Memory::recycle`]), a recycled machine produces
+    /// bit-identical measurements to a new one; the harness relies on this
+    /// to keep one machine per worker across an entire corpus.
+    pub fn recycle(&mut self, seed: u64, noise: NoiseConfig) {
+        self.state = CpuState::new();
+        self.mem.recycle();
+        self.noise = noise;
+        self.rng = SmallRng::seed_from_u64(seed);
     }
 
     /// The modeled microarchitecture.
@@ -125,7 +143,11 @@ impl Machine {
         for copy in 0..unroll {
             for (static_idx, inst) in insts.iter().enumerate() {
                 let effects = execute_inst(inst, &mut self.state, &mut self.mem)?;
-                trace.push(DynInst { static_idx, copy, effects });
+                trace.push(DynInst {
+                    static_idx,
+                    copy,
+                    effects,
+                });
             }
         }
         Ok(trace)
@@ -172,17 +194,19 @@ impl Machine {
     /// Propagates functional-execution faults.
     pub fn run(&mut self, insts: &[Inst], unroll: u32) -> Result<RunOutcome, ExecFault> {
         let trace = self.execute_unrolled(insts, unroll)?;
-        let layout = CodeLayout::from_block(insts, CODE_BASE)
-            .map_err(|_| ExecFault::InvalidOpcode)?;
+        let layout =
+            CodeLayout::from_block(insts, CODE_BASE).map_err(|_| ExecFault::InvalidOpcode)?;
         let mut l1i = Cache::new(self.uarch.l1i);
         let mut l1d = Cache::new(self.uarch.l1d);
         let model = TimingModel::new(insts, self.uarch);
         model.run(&trace, &layout, &mut l1i, &mut l1d); // warm-up
         let timing = model.run(&trace, &layout, &mut l1i, &mut l1d);
         let mut counters = self.observe(&timing);
-        counters.subnormal_events =
-            trace.iter().filter(|d| d.effects.subnormal).count() as u64;
-        Ok(RunOutcome { counters, dynamic_insts: trace.len() })
+        counters.subnormal_events = trace.iter().filter(|d| d.effects.subnormal).count() as u64;
+        Ok(RunOutcome {
+            counters,
+            dynamic_insts: trace.len(),
+        })
     }
 }
 
@@ -249,10 +273,8 @@ mod tests {
 
     #[test]
     fn noise_pollutes_some_trials() {
-        let block = parse_block(
-            "add rax, 1\nadd rbx, 1\nadd rcx, 1\nadd rsi, 1\nimul rdi, r8",
-        )
-        .unwrap();
+        let block =
+            parse_block("add rax, 1\nadd rbx, 1\nadd rcx, 1\nadd rsi, 1\nimul rdi, r8").unwrap();
         let mut machine =
             Machine::with_noise(Uarch::haswell(), 99, crate::noise::NoiseConfig::realistic());
         machine.reset(0x1234_5600);
@@ -261,13 +283,42 @@ mod tests {
         let mut l1i = Cache::new(machine.uarch().l1i);
         let mut l1d = Cache::new(machine.uarch().l1d);
         let timing = machine.time_trace(block.insts(), &trace, &layout, &mut l1i, &mut l1d);
-        let samples: Vec<u64> =
-            (0..64).map(|_| machine.observe(&timing).core_cycles).collect();
+        let samples: Vec<u64> = (0..64)
+            .map(|_| machine.observe(&timing).core_cycles)
+            .collect();
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
         assert!(max > min, "noise must perturb at least one of 64 trials");
         let modal = samples.iter().filter(|&&s| s == min).count();
         assert!(modal >= 32, "the clean timing must dominate ({modal}/64)");
+    }
+
+    #[test]
+    fn recycled_machine_matches_fresh_machine() {
+        let noisy = crate::noise::NoiseConfig::realistic();
+        let blocks = [
+            parse_block("mov rax, qword ptr [rbx]\nadd rax, rcx").unwrap(),
+            parse_block("imul rcx, rdx\nadd rax, 1").unwrap(),
+        ];
+        let run = |machine: &mut Machine, block: &bhive_asm::BasicBlock| {
+            machine.reset(0x1234_5600);
+            let page = machine.memory_mut().alloc_page(0x1234_5600);
+            machine.memory_mut().map(0x1234_5600, page);
+            machine.run(block.insts(), 16).unwrap().counters
+        };
+        // One machine recycled across blocks vs. a fresh machine per
+        // block: counters must agree exactly, including sampled noise.
+        let mut reused = Machine::with_noise(Uarch::haswell(), 7, noisy);
+        for (idx, block) in blocks.iter().enumerate() {
+            let seed = 7 + idx as u64;
+            reused.recycle(seed, noisy);
+            let mut fresh = Machine::with_noise(Uarch::haswell(), seed, noisy);
+            assert_eq!(
+                run(&mut reused, block),
+                run(&mut fresh, block),
+                "block {idx}"
+            );
+        }
     }
 
     #[test]
@@ -281,13 +332,17 @@ mod tests {
         for chunk in bytes.chunks_exact_mut(4) {
             chunk.copy_from_slice(&tiny);
         }
-        machine.state_mut().set_vec(bhive_asm::VecReg::xmm(1), &bytes, false);
+        machine
+            .state_mut()
+            .set_vec(bhive_asm::VecReg::xmm(1), &bytes, false);
         let out = machine.run(block.insts(), 4).unwrap();
         assert!(out.counters.subnormal_events > 0);
         // With FTZ/DAZ there is nothing to report.
         machine.reset(0);
         machine.set_ftz_daz(true);
-        machine.state_mut().set_vec(bhive_asm::VecReg::xmm(1), &bytes, false);
+        machine
+            .state_mut()
+            .set_vec(bhive_asm::VecReg::xmm(1), &bytes, false);
         let out = machine.run(block.insts(), 4).unwrap();
         assert_eq!(out.counters.subnormal_events, 0);
     }

@@ -25,10 +25,19 @@ pub struct SegFault {
 }
 
 /// Sparse simulated memory.
+///
+/// Physical pages are pooled: [`Memory::recycle`] returns every page to
+/// a free list instead of dropping it, so a long-lived machine profiles
+/// block after block without heap churn. The free list is kept in
+/// descending order and popped ascending, which preserves the invariant
+/// that live pages occupy a prefix of the pool — a recycled memory hands
+/// out the same [`PhysPage`] id sequence as a freshly constructed one,
+/// keeping physical addresses (and therefore cache tags) bit-identical.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
     table: HashMap<u64, PhysPage>,
     pages: Vec<Box<[u8]>>,
+    free: Vec<u32>,
 }
 
 impl Memory {
@@ -48,6 +57,11 @@ impl Memory {
     /// map — a mappable 64-bit fill would instead make every double lane
     /// subnormal, which is the worse artifact.
     pub fn alloc_page(&mut self, fill: u64) -> PhysPage {
+        if let Some(idx) = self.free.pop() {
+            let page = PhysPage(idx);
+            self.refill_page(page, fill);
+            return page;
+        }
         let mut page = vec![0u8; PAGE_SIZE as usize].into_boxed_slice();
         for chunk in page.chunks_exact_mut(4) {
             chunk.copy_from_slice(&(fill as u32).to_le_bytes());
@@ -64,13 +78,34 @@ impl Memory {
         }
     }
 
-    /// Re-fills every allocated physical page — the paper's framework
+    /// Re-fills every *live* physical page — the paper's framework
     /// re-initializes memory values before restarting the block, so the
     /// mapping-stage and measurement-stage address traces are identical.
+    /// Pooled-but-free pages are skipped; they are refilled on
+    /// reallocation.
     pub fn refill_all(&mut self, fill: u64) {
-        for idx in 0..self.pages.len() {
+        for idx in 0..self.live_page_count() {
             self.refill_page(PhysPage(idx as u32), fill);
         }
+    }
+
+    /// Unmaps everything and returns every physical page to the free
+    /// pool, keeping the allocations for the next block.
+    pub fn recycle(&mut self) {
+        self.table.clear();
+        self.free.clear();
+        self.free.extend((0..self.pages.len() as u32).rev());
+    }
+
+    /// Number of physical pages currently backing mappings (always a
+    /// prefix of the pool; see the type-level invariant).
+    pub fn live_page_count(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    /// Total physical pages held, live or pooled.
+    pub fn pooled_page_count(&self) -> usize {
+        self.pages.len()
     }
 
     /// Maps the virtual page containing `vaddr` to `phys`.
@@ -204,7 +239,10 @@ mod tests {
         assert_eq!(mem.read_scalar(0x7000_0000, 4).unwrap(), 0x1234_5600);
         // 32-bit repeat: an 8-byte load sees the doubled pattern, which is
         // a *normal* f64 (but not a mappable pointer).
-        assert_eq!(mem.read_scalar(0x7000_0ff8, 8).unwrap(), 0x1234_5600_1234_5600);
+        assert_eq!(
+            mem.read_scalar(0x7000_0ff8, 8).unwrap(),
+            0x1234_5600_1234_5600
+        );
     }
 
     #[test]
@@ -234,6 +272,37 @@ mod tests {
         let err = mem.write_scalar(0x2FFC, 8, 1).unwrap_err();
         assert_eq!(err.vaddr, 0x3000);
         assert!(err.write);
+    }
+
+    #[test]
+    fn recycle_reuses_pages_with_identical_ids() {
+        let mut mem = Memory::new();
+        let a = mem.alloc_page(0x1234_5600);
+        let b = mem.alloc_page(0x1234_5600);
+        mem.map(0x1000, a);
+        mem.map(0x2000, b);
+        mem.write_scalar(0x1000, 8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(mem.live_page_count(), 2);
+
+        mem.recycle();
+        assert_eq!(mem.mapped_page_count(), 0);
+        assert_eq!(mem.live_page_count(), 0);
+        assert_eq!(mem.pooled_page_count(), 2);
+
+        // Reallocation hands out the same id sequence as a fresh memory,
+        // with the fill pattern restored (no stale data).
+        let a2 = mem.alloc_page(0x1234_5600);
+        assert_eq!(a2, a);
+        mem.map(0x9000, a2);
+        assert_eq!(mem.read_scalar(0x9000, 4).unwrap(), 0x1234_5600);
+        assert_eq!(mem.pooled_page_count(), 2, "no fresh allocation");
+
+        // Exhausting the pool falls back to real allocation, continuing
+        // the id sequence exactly like a fresh memory would.
+        let b2 = mem.alloc_page(0);
+        let c = mem.alloc_page(0);
+        assert_eq!(b2, b);
+        assert_eq!(c, PhysPage(2));
     }
 
     #[test]

@@ -123,7 +123,9 @@ mod tests {
         let noise = NoiseConfig::realistic();
         let total = |cycles: u64| {
             let mut rng = SmallRng::seed_from_u64(7);
-            (0..300).map(|_| noise.sample(cycles, &mut rng).0).sum::<u64>()
+            (0..300)
+                .map(|_| noise.sample(cycles, &mut rng).0)
+                .sum::<u64>()
         };
         assert!(total(100_000) > total(1_000));
     }

@@ -32,8 +32,7 @@ pub struct Mxcsr {
 }
 
 /// Full architectural state of the simulated core.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct CpuState {
     gprs: [u64; 16],
     vregs: [[u8; 32]; 16],
@@ -42,7 +41,6 @@ pub struct CpuState {
     /// SSE control register.
     pub mxcsr: Mxcsr,
 }
-
 
 impl CpuState {
     /// A zeroed state.

@@ -42,7 +42,11 @@ impl CodeLayout {
             spans.push((offset, len));
             offset += len;
         }
-        Ok(CodeLayout { base, inst_spans: spans, block_len: offset })
+        Ok(CodeLayout {
+            base,
+            inst_spans: spans,
+            block_len: offset,
+        })
     }
 
     /// Code address and length of `static_idx` within unrolled copy `copy`.
@@ -136,7 +140,12 @@ impl<'a> TimingModel<'a> {
                 fused_into_prev[i] = true;
             }
         }
-        TimingModel { uarch, insts, recipes, fused_into_prev }
+        TimingModel {
+            uarch,
+            insts,
+            recipes,
+            fused_into_prev,
+        }
     }
 
     /// The microarchitecture the model targets.
@@ -260,9 +269,10 @@ impl<'a> TimingModel<'a> {
                     } else {
                         producers.remove(&DepKey::Gpr(dst.number()));
                     }
-                } else if let (Some(dst), Some(src)) =
-                    (inst.vec_writes().first().copied(), inst.vec_reads().first().copied())
-                {
+                } else if let (Some(dst), Some(src)) = (
+                    inst.vec_writes().first().copied(),
+                    inst.vec_reads().first().copied(),
+                ) {
                     if let Some(&p) = producers.get(&DepKey::Vec(src.number())) {
                         producers.insert(DepKey::Vec(dst.number()), p);
                     } else {
@@ -375,7 +385,11 @@ impl<'a> TimingModel<'a> {
             }
 
             // Record producers for later consumers.
-            let result_uop = if last_compute != NO_UOP { last_compute } else { load_uop };
+            let result_uop = if last_compute != NO_UOP {
+                last_compute
+            } else {
+                load_uop
+            };
             if result_uop != NO_UOP {
                 for reg in inst.gpr_writes() {
                     producers.insert(DepKey::Gpr(reg.number()), result_uop);
@@ -606,7 +620,11 @@ mod tests {
         let mut out = Vec::new();
         for copy in 0..copies {
             for idx in 0..n_insts {
-                out.push(DynInst { static_idx: idx, copy, effects: InstEffects::default() });
+                out.push(DynInst {
+                    static_idx: idx,
+                    copy,
+                    effects: InstEffects::default(),
+                });
             }
         }
         out
@@ -636,7 +654,10 @@ mod tests {
         };
         let four_adds = "add rax, 1\nadd rbx, 1\nadd rcx, 1\nadd rsi, 1";
         let t = tp(four_adds);
-        assert!((0.9..=1.6).contains(&t), "4 independent adds: {t} cycles/iter");
+        assert!(
+            (0.9..=1.6).contains(&t),
+            "4 independent adds: {t} cycles/iter"
+        );
     }
 
     #[test]
@@ -646,7 +667,10 @@ mod tests {
         let a = time(block, 100).cycles as f64;
         let b = time(block, 200).cycles as f64;
         let per_iter = (b - a) / 100.0;
-        assert!((3.5..=4.5).contains(&per_iter), "chain of 4: {per_iter} cycles/iter");
+        assert!(
+            (3.5..=4.5).contains(&per_iter),
+            "chain of 4: {per_iter} cycles/iter"
+        );
     }
 
     #[test]
@@ -655,7 +679,10 @@ mod tests {
         let a = time(block, 100).cycles as f64;
         let b = time(block, 200).cycles as f64;
         let per_iter = (b - a) / 100.0;
-        assert!((2.5..=3.5).contains(&per_iter), "imul latency 3: {per_iter}");
+        assert!(
+            (2.5..=3.5).contains(&per_iter),
+            "imul latency 3: {per_iter}"
+        );
     }
 
     #[test]
@@ -703,7 +730,11 @@ mod tests {
             }),
             ..InstEffects::default()
         };
-        let trace = vec![DynInst { static_idx: 0, copy: 0, effects: fx }];
+        let trace = vec![DynInst {
+            static_idx: 0,
+            copy: 0,
+            effects: fx,
+        }];
         let cold = model.run(&trace, &layout, &mut l1i, &mut l1d);
         assert_eq!(cold.l1d_read_misses, 1);
         let warm = model.run(&trace, &layout, &mut l1i, &mut l1d);
@@ -727,7 +758,11 @@ mod tests {
                 }),
                 ..InstEffects::default()
             };
-            vec![DynInst { static_idx: 0, copy: 0, effects: fx }]
+            vec![DynInst {
+                static_idx: 0,
+                copy: 0,
+                effects: fx,
+            }]
         };
         let mut l1i = Cache::new(uarch.l1i);
         let mut l1d = Cache::new(uarch.l1d);
@@ -744,10 +779,17 @@ mod tests {
         let model = TimingModel::new(block.insts(), uarch);
         let layout = CodeLayout::from_block(block.insts(), 0x40_0000).unwrap();
         let fast_fx = InstEffects::default();
-        let slow_fx = InstEffects { subnormal: true, ..InstEffects::default() };
+        let slow_fx = InstEffects {
+            subnormal: true,
+            ..InstEffects::default()
+        };
         let mk = |fx: InstEffects| {
             (0..50)
-                .map(|c| DynInst { static_idx: 0, copy: c, effects: fx })
+                .map(|c| DynInst {
+                    static_idx: 0,
+                    copy: c,
+                    effects: fx,
+                })
                 .collect::<Vec<_>>()
         };
         let mut l1i = Cache::new(uarch.l1i);

@@ -117,10 +117,8 @@ proptest! {
 #[test]
 fn state_reset_is_complete() {
     let mut machine = machine_with_page();
-    let block = parse_block(
-        "mov rax, qword ptr [rbx]\nadd rax, 7\nmov qword ptr [rbx], rax",
-    )
-    .unwrap();
+    let block =
+        parse_block("mov rax, qword ptr [rbx]\nadd rax, 7\nmov qword ptr [rbx], rax").unwrap();
     let trace_a = machine.execute_unrolled(block.insts(), 8).unwrap();
     // Re-initialize exactly like the harness does.
     machine.reset(0x1234_5600);

@@ -1,7 +1,7 @@
 //! Microarchitecture parameter blocks.
 
-use crate::ports::PortSet;
 use crate::ports;
+use crate::ports::PortSet;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -153,8 +153,16 @@ impl Uarch {
             l1d_latency: 4,
             l1d_miss_penalty: 12,
             l1i_miss_penalty: 14,
-            l1d: CacheParams { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 },
-            l1i: CacheParams { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 },
+            l1d: CacheParams {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l1i: CacheParams {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
             supports_avx2: false,
             zero_idiom_elimination: true,
             move_elimination: false,
@@ -182,8 +190,16 @@ impl Uarch {
             l1d_latency: 4,
             l1d_miss_penalty: 12,
             l1i_miss_penalty: 14,
-            l1d: CacheParams { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 },
-            l1i: CacheParams { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 },
+            l1d: CacheParams {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l1i: CacheParams {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
             supports_avx2: true,
             zero_idiom_elimination: true,
             move_elimination: true,
@@ -211,8 +227,16 @@ impl Uarch {
             l1d_latency: 4,
             l1d_miss_penalty: 12,
             l1i_miss_penalty: 14,
-            l1d: CacheParams { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 },
-            l1i: CacheParams { size_bytes: 32 * 1024, line_bytes: 64, ways: 8 },
+            l1d: CacheParams {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l1i: CacheParams {
+                size_bytes: 32 * 1024,
+                line_bytes: 64,
+                ways: 8,
+            },
             supports_avx2: true,
             zero_idiom_elimination: true,
             move_elimination: true,

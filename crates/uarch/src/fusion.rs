@@ -21,19 +21,28 @@ pub fn macro_fuses(first: &Inst, branch: &Inst, uarch: &Uarch) -> bool {
     if branch.mnemonic() != Mnemonic::Jcc {
         return false;
     }
-    let Some(cond) = branch.cond() else { return false };
+    let Some(cond) = branch.cond() else {
+        return false;
+    };
     if first.stores_memory() {
         return false;
     }
-    if first.mem_operand().is_some() && first.operands().iter().any(|op| op.as_imm().is_some())
-    {
+    if first.mem_operand().is_some() && first.operands().iter().any(|op| op.as_imm().is_some()) {
         return false;
     }
     let zero_based = matches!(cond, Cond::E | Cond::Ne);
     let carry_or_zero = matches!(
         cond,
-        Cond::E | Cond::Ne | Cond::B | Cond::Ae | Cond::Be | Cond::A
-            | Cond::L | Cond::Ge | Cond::Le | Cond::G
+        Cond::E
+            | Cond::Ne
+            | Cond::B
+            | Cond::Ae
+            | Cond::Be
+            | Cond::A
+            | Cond::L
+            | Cond::Ge
+            | Cond::Le
+            | Cond::G
     );
     match first.mnemonic() {
         Mnemonic::Test | Mnemonic::And => true,

@@ -89,7 +89,9 @@ impl PortSet {
 
     /// Iterates the ports in ascending order.
     pub fn iter(self) -> impl Iterator<Item = Port> {
-        (0..8).filter(move |i| self.0 & (1 << i) != 0).map(Port::new)
+        (0..8)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(Port::new)
     }
 
     /// Set union.

@@ -68,14 +68,17 @@ pub fn decompose(inst: &Inst, uarch: &Uarch) -> Recipe {
     }
     let frontend_slots = slots.max(1);
 
-    Recipe { uops, frontend_slots, eliminated: false }
+    Recipe {
+        uops,
+        frontend_slots,
+        eliminated: false,
+    }
 }
 
 /// True for register-to-register moves eliminated at rename (Haswell+).
 fn is_eliminable_move(inst: &Inst) -> bool {
     use Mnemonic::*;
-    let reg_reg = inst.operands().len() == 2
-        && !inst.operands().iter().any(Operand::is_mem);
+    let reg_reg = inst.operands().len() == 2 && !inst.operands().iter().any(Operand::is_mem);
     if !reg_reg {
         return false;
     }
@@ -141,7 +144,10 @@ fn compute_uops(inst: &Inst, uarch: &Uarch) -> Vec<Uop> {
         Shift => {
             let by_cl = matches!(
                 inst.operands().get(1),
-                Some(Operand::Gpr { reg: bhive_asm::Gpr::Rcx, .. })
+                Some(Operand::Gpr {
+                    reg: bhive_asm::Gpr::Rcx,
+                    ..
+                })
             );
             if by_cl {
                 vec![Uop::compute(shift, 1), Uop::compute(shift, 1)]
@@ -161,8 +167,7 @@ fn compute_uops(inst: &Inst, uarch: &Uarch) -> Vec<Uop> {
             let width = inst.width_bytes();
             let nominal = div_nominal_latency(kind, width);
             vec![
-                Uop::compute(ports!(0), nominal)
-                    .with_var_lat(VarLat::DivGpr { width }, nominal),
+                Uop::compute(ports!(0), nominal).with_var_lat(VarLat::DivGpr { width }, nominal),
                 Uop::compute(alu, 1),
             ]
         }
@@ -205,18 +210,21 @@ fn compute_uops(inst: &Inst, uarch: &Uarch) -> Vec<Uop> {
             vec![Uop::compute(ports!(0, 1), lat)]
         }
         FpDiv => {
-            let double = matches!(
-                m,
-                Mnemonic::Divsd | Mnemonic::Divpd
-            );
+            let double = matches!(m, Mnemonic::Divsd | Mnemonic::Divpd);
             let (lat, blk) = fp_div_latency(kind, double, ymm);
-            vec![Uop { blocking: blk, ..Uop::compute(ports!(0), lat) }
-                .with_var_lat_keep(VarLat::FpDiv)]
+            vec![Uop {
+                blocking: blk,
+                ..Uop::compute(ports!(0), lat)
+            }
+            .with_var_lat_keep(VarLat::FpDiv)]
         }
         FpSqrt => {
             let (lat, blk) = fp_sqrt_latency(kind, ymm);
-            vec![Uop { blocking: blk, ..Uop::compute(ports!(0), lat) }
-                .with_var_lat_keep(VarLat::FpSqrt)]
+            vec![Uop {
+                blocking: blk,
+                ..Uop::compute(ports!(0), lat)
+            }
+            .with_var_lat_keep(VarLat::FpSqrt)]
         }
         FpMinMax => match kind {
             IvyBridge | Haswell => vec![Uop::compute(ports!(1), 3)],
@@ -232,12 +240,20 @@ fn compute_uops(inst: &Inst, uarch: &Uarch) -> Vec<Uop> {
                 vec![Uop::compute(ports!(0), 5), Uop::compute(ports!(0), 5)]
             } else {
                 let lat = if kind == Skylake { 4 } else { 5 };
-                let port = if kind == Skylake { ports!(0, 1) } else { ports!(0) };
+                let port = if kind == Skylake {
+                    ports!(0, 1)
+                } else {
+                    ports!(0)
+                };
                 vec![Uop::compute(port, lat)]
             }
         }
         VecShift => {
-            let port = if kind == Skylake { ports!(0, 1) } else { ports!(0) };
+            let port = if kind == Skylake {
+                ports!(0, 1)
+            } else {
+                ports!(0)
+            };
             vec![Uop::compute(port, 1)]
         }
         VecShuffle => vec![Uop::compute(shuffle, 1)],

@@ -54,22 +54,46 @@ pub struct Uop {
 impl Uop {
     /// A fully pipelined compute uop.
     pub fn compute(ports: PortSet, latency: u32) -> Uop {
-        Uop { ports, latency, kind: UopKind::Compute, blocking: 1, var_lat: None }
+        Uop {
+            ports,
+            latency,
+            kind: UopKind::Compute,
+            blocking: 1,
+            var_lat: None,
+        }
     }
 
     /// A load uop.
     pub fn load(ports: PortSet, latency: u32) -> Uop {
-        Uop { ports, latency, kind: UopKind::Load, blocking: 1, var_lat: None }
+        Uop {
+            ports,
+            latency,
+            kind: UopKind::Load,
+            blocking: 1,
+            var_lat: None,
+        }
     }
 
     /// A store-address uop.
     pub fn store_addr(ports: PortSet) -> Uop {
-        Uop { ports, latency: 1, kind: UopKind::StoreAddr, blocking: 1, var_lat: None }
+        Uop {
+            ports,
+            latency: 1,
+            kind: UopKind::StoreAddr,
+            blocking: 1,
+            var_lat: None,
+        }
     }
 
     /// A store-data uop.
     pub fn store_data(ports: PortSet) -> Uop {
-        Uop { ports, latency: 1, kind: UopKind::StoreData, blocking: 1, var_lat: None }
+        Uop {
+            ports,
+            latency: 1,
+            kind: UopKind::StoreData,
+            blocking: 1,
+            var_lat: None,
+        }
     }
 
     /// Marks the uop as variable-latency with a non-pipelined unit.
@@ -100,17 +124,29 @@ impl Recipe {
     /// A recipe with the given uops, one frontend slot per uop.
     pub fn unfused(uops: Vec<Uop>) -> Recipe {
         let frontend_slots = uops.len() as u32;
-        Recipe { uops, frontend_slots, eliminated: false }
+        Recipe {
+            uops,
+            frontend_slots,
+            eliminated: false,
+        }
     }
 
     /// A recipe whose uops share a single fused-domain slot.
     pub fn fused(uops: Vec<Uop>) -> Recipe {
-        Recipe { uops, frontend_slots: 1, eliminated: false }
+        Recipe {
+            uops,
+            frontend_slots: 1,
+            eliminated: false,
+        }
     }
 
     /// An eliminated (rename-only) instruction.
     pub fn eliminated() -> Recipe {
-        Recipe { uops: Vec::new(), frontend_slots: 1, eliminated: true }
+        Recipe {
+            uops: Vec::new(),
+            frontend_slots: 1,
+            eliminated: true,
+        }
     }
 
     /// Sum of compute latencies along the recipe's internal chain — a crude

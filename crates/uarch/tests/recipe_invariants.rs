@@ -96,14 +96,19 @@ fn recipes_are_structurally_sound() {
             }
             let recipe = decompose(&inst, uarch);
             if recipe.eliminated {
-                assert!(recipe.uops.is_empty(), "{inst}: eliminated recipes carry no uops");
+                assert!(
+                    recipe.uops.is_empty(),
+                    "{inst}: eliminated recipes carry no uops"
+                );
                 assert_eq!(recipe.frontend_slots, 1, "{inst}");
                 continue;
             }
-            assert!(!recipe.uops.is_empty(), "{inst}: non-eliminated recipe has uops");
             assert!(
-                recipe.frontend_slots >= 1
-                    && recipe.frontend_slots <= recipe.uops.len() as u32,
+                !recipe.uops.is_empty(),
+                "{inst}: non-eliminated recipe has uops"
+            );
+            assert!(
+                recipe.frontend_slots >= 1 && recipe.frontend_slots <= recipe.uops.len() as u32,
                 "{inst}: slots {} vs {} uops",
                 recipe.frontend_slots,
                 recipe.uops.len()
@@ -135,8 +140,16 @@ fn recipes_are_structurally_sound() {
                 "{inst}: store uops vs stores_memory"
             );
             if recipe.has_store() {
-                let sta = recipe.uops.iter().filter(|u| u.kind == UopKind::StoreAddr).count();
-                let std = recipe.uops.iter().filter(|u| u.kind == UopKind::StoreData).count();
+                let sta = recipe
+                    .uops
+                    .iter()
+                    .filter(|u| u.kind == UopKind::StoreAddr)
+                    .count();
+                let std = recipe
+                    .uops
+                    .iter()
+                    .filter(|u| u.kind == UopKind::StoreData)
+                    .count();
                 assert_eq!((sta, std), (1, 1), "{inst}: store uop pair");
             }
         }

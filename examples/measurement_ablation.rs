@@ -12,10 +12,17 @@ fn main() {
     // --- Table 1: suite-level success rates per configuration. ---
     let corpus = Corpus::generate(Scale::PerApp(60), 42);
     let blocks = corpus.basic_blocks();
-    println!("== suite-level ablation ({} blocks, paper Table 1) ==", blocks.len());
+    println!(
+        "== suite-level ablation ({} blocks, paper Table 1) ==",
+        blocks.len()
+    );
     for (name, config, paper) in [
         ("none (Agner-style)", ProfileConfig::agner(), "16.65%"),
-        ("+ page mapping", ProfileConfig::with_page_mapping_only(), "91.28%"),
+        (
+            "+ page mapping",
+            ProfileConfig::with_page_mapping_only(),
+            "91.28%",
+        ),
         ("+ two-factor unrolling", ProfileConfig::bhive(), "94.24%"),
     ] {
         let profiler = Profiler::new(Uarch::haswell(), config);
@@ -42,13 +49,21 @@ fn main() {
         ("none", ProfileConfig::agner().quiet()),
         (
             "per-page mapping",
-            naive.clone().with_page_mapping(PageMapping::PerPage).with_gradual_underflow(),
+            naive
+                .clone()
+                .with_page_mapping(PageMapping::PerPage)
+                .with_gradual_underflow(),
         ),
-        ("single physical page", naive.clone().with_gradual_underflow()),
+        (
+            "single physical page",
+            naive.clone().with_gradual_underflow(),
+        ),
         ("+ FTZ/DAZ (no gradual underflow)", naive),
         (
             "+ two-factor unrolling",
-            ProfileConfig::bhive().quiet().without_invariant_enforcement(),
+            ProfileConfig::bhive()
+                .quiet()
+                .without_invariant_enforcement(),
         ),
     ];
     for (name, config) in rows {

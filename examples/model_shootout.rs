@@ -43,7 +43,10 @@ fn main() {
     }
     rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite errors"));
     for (name, err, werr, tau, cov) in rows {
-        println!("{name:<10} {err:>12.4} {werr:>14.4} {tau:>12.4} {:>9.1}%", cov * 100.0);
+        println!(
+            "{name:<10} {err:>12.4} {werr:>14.4} {tau:>12.4} {:>9.1}%",
+            cov * 100.0
+        );
     }
     println!(
         "\npaper (Haswell, Table 5): ithemal 0.1253 < iaca 0.1798 ~ llvm-mca 0.1832 < osaca 0.3916"

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use bhive::eval::Pipeline;
 use bhive::corpus::Scale;
+use bhive::eval::Pipeline;
 use bhive::harness::{ProfileConfig, Profiler};
 use bhive::uarch::{Uarch, UarchKind};
 

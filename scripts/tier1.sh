@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, formatting. Everything a
+# change must keep green before it lands.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+if command -v rustfmt >/dev/null 2>&1; then
+    cargo fmt --check
+else
+    echo "warning: rustfmt not installed; skipping format check" >&2
+fi
+echo "tier-1 gate: OK"

@@ -19,7 +19,10 @@ fn fill_constant_ablation() {
     let corpus = Corpus::generate(Scale::PerApp(50), 17);
     let blocks = corpus.basic_blocks();
     let rate = |fill: u64| {
-        let config = ProfileConfig { fill, ..ProfileConfig::bhive().quiet() };
+        let config = ProfileConfig {
+            fill,
+            ..ProfileConfig::bhive().quiet()
+        };
         bhive::harness::profile_corpus(&Profiler::new(Uarch::haswell(), config), &blocks, 0)
             .success_rate()
     };
@@ -50,7 +53,10 @@ fn clean_trial_filter_ablation() {
         interrupt_per_kcycle: 0.4,
         interrupt_cost: (300, 3_000),
     };
-    let filtered = ProfileConfig { noise: noisy, ..ProfileConfig::bhive() };
+    let filtered = ProfileConfig {
+        noise: noisy,
+        ..ProfileConfig::bhive()
+    };
     let unfiltered = ProfileConfig {
         trials: 1,
         min_clean_identical: 1,
@@ -87,7 +93,10 @@ fn clean_trial_filter_ablation() {
             }
         }
     }
-    assert!(polluted >= 3, "unfiltered trials must be polluted sometimes: {polluted}/24");
+    assert!(
+        polluted >= 3,
+        "unfiltered trials must be polluted sometimes: {polluted}/24"
+    );
     assert!(
         filtered_wrong <= polluted / 3,
         "the 8-identical filter must suppress pollution: {filtered_wrong} vs {polluted}"
@@ -121,7 +130,11 @@ fn ithemal_training_imbalance_ablation() {
         1,
     );
     let vector_train = measure(
-        &[Application::OpenBlas, Application::TensorFlow, Application::Embree],
+        &[
+            Application::OpenBlas,
+            Application::TensorFlow,
+            Application::Embree,
+        ],
         120,
         1,
     );
@@ -138,11 +151,11 @@ fn ithemal_training_imbalance_ablation() {
         if !block.iter().any(|i| i.mnemonic().is_sse()) {
             continue;
         }
-        let Ok(m) = profiler.profile(&block) else { continue };
+        let Ok(m) = profiler.profile(&block) else {
+            continue;
+        };
         n += 1;
-        if let (Some(a), Some(b)) =
-            (scalar_model.predict(&block), vector_model.predict(&block))
-        {
+        if let (Some(a), Some(b)) = (scalar_model.predict(&block), vector_model.predict(&block)) {
             err_scalar.push((a - m.throughput).abs() / m.throughput);
             err_vector.push((b - m.throughput).abs() / m.throughput);
         }
@@ -185,7 +198,10 @@ fn google_blocks_are_out_of_distribution_but_sane() {
     let ithemal = pipeline.ithemal(UarchKind::Haswell);
     let run = EvalRun::evaluate(&WrapModel(&ithemal), &data, &classifier);
     let err = run.overall_error();
-    assert!((0.05..0.45).contains(&err), "OOD error stays bounded: {err}");
+    assert!(
+        (0.05..0.45).contains(&err),
+        "OOD error stays bounded: {err}"
+    );
 }
 
 /// Local adapter: evaluate a borrowed model.

@@ -14,7 +14,11 @@ fn pipeline() -> Pipeline {
 fn models_rank_as_in_the_paper() {
     let pipeline = pipeline();
     let data = pipeline.measured(CorpusKind::Main, UarchKind::Haswell);
-    assert!(data.success_rate() > 0.85, "success rate {}", data.success_rate());
+    assert!(
+        data.success_rate() > 0.85,
+        "success rate {}",
+        data.success_rate()
+    );
     let classifier = pipeline.classifier();
 
     let mut errors = std::collections::BTreeMap::new();
@@ -61,8 +65,16 @@ fn ablation_ordering_holds_on_every_uarch() {
             "{}: {none} < {mapped} <= {full}",
             uarch.kind
         );
-        assert!(none < 0.35, "{}: agner-style must fail most blocks: {none}", uarch.kind);
-        assert!(full > 0.85, "{}: full config must profile most blocks: {full}", uarch.kind);
+        assert!(
+            none < 0.35,
+            "{}: agner-style must fail most blocks: {none}",
+            uarch.kind
+        );
+        assert!(
+            full > 0.85,
+            "{}: full config must profile most blocks: {full}",
+            uarch.kind
+        );
     }
 }
 
@@ -105,7 +117,10 @@ fn measured_corpus_is_deterministic_and_parallel_safe() {
 fn google_case_study_runs() {
     let pipeline = Pipeline::new(Scale::PerApp(30), 42, 0);
     let data = pipeline.measured(CorpusKind::Google, UarchKind::Haswell);
-    assert!(data.success_rate() > 0.9, "hot production code profiles cleanly");
+    assert!(
+        data.success_rate() > 0.9,
+        "hot production code profiles cleanly"
+    );
     let classifier = pipeline.classifier();
     for model in pipeline.models(UarchKind::Haswell) {
         if model.name() == "osaca" {

@@ -69,7 +69,10 @@ fn paper_census_at_full_scale() {
 fn corpus_blocks_are_valid_and_supported() {
     let corpus = Corpus::generate(Scale::PerApp(40), 11);
     for entry in corpus.blocks() {
-        entry.block.validate().unwrap_or_else(|e| panic!("{e}\n{}", entry.block));
+        entry
+            .block
+            .validate()
+            .unwrap_or_else(|e| panic!("{e}\n{}", entry.block));
         assert!(!entry.block.is_empty());
         assert!(entry.weight > 0.0);
     }

@@ -22,12 +22,18 @@ fn division_case_study() {
     // Paper: measured 21.62.
     assert!((18.0..=26.0).contains(&measured), "measured {measured}");
     // IACA and llvm-mca confuse the 64/32 divide with the 128/64 form.
-    let iaca = IacaModel::new(UarchKind::Haswell).predict(&block).expect("handled");
-    let mca = McaModel::new(UarchKind::Haswell).predict(&block).expect("handled");
+    let iaca = IacaModel::new(UarchKind::Haswell)
+        .predict(&block)
+        .expect("handled");
+    let mca = McaModel::new(UarchKind::Haswell)
+        .predict(&block)
+        .expect("handled");
     assert!(iaca > 3.0 * measured, "iaca {iaca} vs {measured}");
     assert!(mca > 3.0 * measured, "mca {mca} vs {measured}");
     // OSACA's pressure analysis under-predicts the latency-bound block.
-    let osaca = OsacaModel::new(UarchKind::Haswell).predict(&block).expect("handled");
+    let osaca = OsacaModel::new(UarchKind::Haswell)
+        .predict(&block)
+        .expect("handled");
     assert!(osaca < measured, "osaca {osaca} vs {measured}");
 }
 
@@ -37,9 +43,15 @@ fn zero_idiom_case_study() {
     let measured = measure(&block);
     // Paper: measured 0.25 (four idioms rename per cycle).
     assert!((0.2..=0.4).contains(&measured), "measured {measured}");
-    let iaca = IacaModel::new(UarchKind::Haswell).predict(&block).expect("handled");
-    let mca = McaModel::new(UarchKind::Haswell).predict(&block).expect("handled");
-    let osaca = OsacaModel::new(UarchKind::Haswell).predict(&block).expect("handled");
+    let iaca = IacaModel::new(UarchKind::Haswell)
+        .predict(&block)
+        .expect("handled");
+    let mca = McaModel::new(UarchKind::Haswell)
+        .predict(&block)
+        .expect("handled");
+    let osaca = OsacaModel::new(UarchKind::Haswell)
+        .predict(&block)
+        .expect("handled");
     // IACA knows the idiom; llvm-mca and OSACA charge a real XOR (1.00).
     assert!((iaca - measured).abs() < 0.15, "iaca {iaca}");
     assert!(mca >= 0.9, "mca {mca}");
@@ -52,20 +64,33 @@ fn updcrc_case_study() {
     let measured = measure(&block);
     // Paper: measured 8.25 (our simulated Haswell: same regime).
     assert!((5.0..=11.0).contains(&measured), "measured {measured}");
-    let iaca = IacaModel::new(UarchKind::Haswell).predict(&block).expect("handled");
-    let mca = McaModel::new(UarchKind::Haswell).predict(&block).expect("handled");
+    let iaca = IacaModel::new(UarchKind::Haswell)
+        .predict(&block)
+        .expect("handled");
+    let mca = McaModel::new(UarchKind::Haswell)
+        .predict(&block)
+        .expect("handled");
     // IACA close; llvm-mca overpredicts via the load-op collapse.
-    assert!((iaca - measured).abs() / measured < 0.35, "iaca {iaca} vs {measured}");
+    assert!(
+        (iaca - measured).abs() / measured < 0.35,
+        "iaca {iaca} vs {measured}"
+    );
     assert!(mca > measured * 1.4, "mca {mca} vs {measured}");
     // OSACA's parser fails on the byte-memory xor.
-    assert!(OsacaModel::new(UarchKind::Haswell).predict(&block).is_none());
+    assert!(OsacaModel::new(UarchKind::Haswell)
+        .predict(&block)
+        .is_none());
 }
 
 #[test]
 fn schedules_explain_the_updcrc_gap() {
     let block = special::updcrc();
-    let iaca = IacaModel::new(UarchKind::Haswell).schedule(&block).expect("schedule");
-    let mca = McaModel::new(UarchKind::Haswell).schedule(&block).expect("schedule");
+    let iaca = IacaModel::new(UarchKind::Haswell)
+        .schedule(&block)
+        .expect("schedule");
+    let mca = McaModel::new(UarchKind::Haswell)
+        .schedule(&block)
+        .expect("schedule");
     // Instruction 3 is `xor al, [rdi-1]`, instruction 2 the serial
     // `shr rdx, 8`. IACA dispatches the xor's independent load early;
     // llvm-mca's collapsed uop waits for the chain.
@@ -93,23 +118,42 @@ fn cnn_block_ablation_shape() {
             .unwrap_or_else(|e| panic!("{e}"))
     };
     // Agner-style: crash.
-    assert!(Profiler::new(Uarch::haswell(), ProfileConfig::agner().quiet())
-        .profile(&block)
-        .is_err());
-    let per_page = run(naive.clone().with_page_mapping(PageMapping::PerPage).with_gradual_underflow());
+    assert!(
+        Profiler::new(Uarch::haswell(), ProfileConfig::agner().quiet())
+            .profile(&block)
+            .is_err()
+    );
+    let per_page = run(naive
+        .clone()
+        .with_page_mapping(PageMapping::PerPage)
+        .with_gradual_underflow());
     let single = run(naive.clone().with_gradual_underflow());
     let ftz = run(naive);
-    let smart = run(ProfileConfig::bhive().quiet().without_invariant_enforcement());
+    let smart = run(ProfileConfig::bhive()
+        .quiet()
+        .without_invariant_enforcement());
     // Strictly improving (Table 2), with the right counter signatures.
     assert!(per_page.throughput > single.throughput);
     assert!(single.throughput > 1.5 * ftz.throughput);
     assert!(ftz.throughput > smart.throughput);
-    assert!(per_page.hi.counters.l1d_read_misses > 0, "per-page mapping must miss");
-    assert_eq!(single.hi.counters.l1d_read_misses, 0, "single page: VIPT hits");
+    assert!(
+        per_page.hi.counters.l1d_read_misses > 0,
+        "per-page mapping must miss"
+    );
+    assert_eq!(
+        single.hi.counters.l1d_read_misses, 0,
+        "single page: VIPT hits"
+    );
     assert!(single.subnormal_events > 0, "gradual underflow active");
     assert_eq!(ftz.subnormal_events, 0, "FTZ/DAZ kills the assists");
-    assert!(ftz.hi.counters.l1i_misses > 0, "unroll-100 overflows the L1I");
-    assert_eq!(smart.hi.counters.l1i_misses, 0, "two-factor stays inside the L1I");
+    assert!(
+        ftz.hi.counters.l1i_misses > 0,
+        "unroll-100 overflows the L1I"
+    );
+    assert_eq!(
+        smart.hi.counters.l1i_misses, 0,
+        "two-factor stays inside the L1I"
+    );
 }
 
 #[test]
@@ -124,6 +168,9 @@ fn ithemal_stays_sane_on_case_study_blocks() {
         (special::updcrc(), 1.0, 40.0),
     ] {
         let tp = ithemal.predict(&block).expect("handled");
-        assert!((lo..=hi).contains(&tp), "{tp} outside [{lo}, {hi}] for\n{block}");
+        assert!(
+            (lo..=hi).contains(&tp),
+            "{tp} outside [{lo}, {hi}] for\n{block}"
+        );
     }
 }

@@ -1,0 +1,251 @@
+//! A wall-clock benchmarking harness exposing the `criterion` API subset
+//! the workspace uses: `benchmark_group`, `sample_size`,
+//! `measurement_time`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Each sample times a batch of iterations sized so the samples together
+//! roughly fill the configured measurement time; the report prints the
+//! min/mean/max per-iteration times in the familiar bracket format.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 100,
+            default_measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        run_benchmark(name, sample_size, measurement_time, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the wall-clock budget each benchmark aims to fill.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Times a closure under this group's configuration.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Times a closure that borrows a fixed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (Reports are printed as benchmarks run.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Anything usable as a benchmark label: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Handed to the benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of the routine.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = Some(start.elapsed());
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration pass: one iteration, to size per-sample batches.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: None,
+    };
+    f(&mut bencher);
+    let calibration = bencher
+        .elapsed
+        .unwrap_or_else(|| panic!("benchmark `{label}` never called Bencher::iter"));
+
+    let per_sample = measurement_time.as_nanos() / sample_size.max(1) as u128;
+    let iters_per_sample = if calibration.as_nanos() == 0 {
+        1000
+    } else {
+        (per_sample / calibration.as_nanos()).clamp(1, 1_000_000) as u64
+    };
+
+    let mut per_iter_nanos = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher {
+            iters: iters_per_sample,
+            elapsed: None,
+        };
+        f(&mut bencher);
+        let elapsed = bencher
+            .elapsed
+            .unwrap_or_else(|| panic!("benchmark `{label}` never called Bencher::iter"));
+        per_iter_nanos.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+
+    per_iter_nanos.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter_nanos.first().copied().unwrap_or(0.0);
+    let max = per_iter_nanos.last().copied().unwrap_or(0.0);
+    let mean = per_iter_nanos.iter().sum::<f64>() / per_iter_nanos.len().max(1) as f64;
+    println!(
+        "{label:<40} time: [{} {} {}]  ({} samples x {} iters)",
+        format_nanos(min),
+        format_nanos(mean),
+        format_nanos(max),
+        sample_size,
+        iters_per_sample,
+    );
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} \u{b5}s", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export so callers can use `criterion::black_box` as well as
+/// `std::hint::black_box`.
+pub use std::hint::black_box;

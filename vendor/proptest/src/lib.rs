@@ -1,0 +1,206 @@
+//! A property-testing harness exposing the `proptest` API subset the
+//! workspace uses: the `proptest!`/`prop_assert!`/`prop_assert_eq!`/
+//! `prop_oneof!` macros, integer-range and `any::<T>()` strategies,
+//! `option::of`, `collection::vec`, `num::*::ANY`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Cases are generated from a deterministic per-(test, case-index) seed so
+//! failures reproduce across runs. There is no shrinking: a failing case
+//! reports its case index and assertion message directly.
+
+pub mod strategy;
+pub mod test_runner;
+
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+use strategy::Strategy;
+
+/// `proptest::option` — strategies for `Option<T>`.
+pub mod option {
+    use super::*;
+
+    /// A strategy producing `None` or `Some` of the inner strategy.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps `inner` so roughly half the generated values are `Some`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn pick(&self, rng: &mut SmallRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                Some(self.inner.pick(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// `proptest::collection` — strategies for containers.
+pub mod collection {
+    use super::*;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            !len.is_empty(),
+            "collection::vec needs a non-empty length range"
+        );
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn pick(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.len.clone());
+            (0..len).map(|_| self.element.pick(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::num` — full-range strategies per primitive type.
+pub mod num {
+    macro_rules! any_module {
+        ($($ty:ident),*) => {
+            $(
+                pub mod $ty {
+                    /// The full value range of the type.
+                    pub const ANY: crate::strategy::Any<$ty> =
+                        crate::strategy::Any::new();
+                }
+            )*
+        };
+    }
+    any_module!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     fn doubling_halves(x in 0u64..1000) {
+///         prop_assert_eq!((x * 2) / 2, x);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(&config, stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::pick(&($strat), rng);)*
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    outcome
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(options.push(::std::boxed::Box::new($strat));)+
+        $crate::strategy::Union::new(options)
+    }};
+}

@@ -1,0 +1,304 @@
+//! Value-generation strategies.
+
+use rand::rngs::SmallRng;
+use rand::Rng as _;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Something that can produce a value from a random source.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn pick(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).pick(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn pick(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).pick(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn pick(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn pick(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Produces any value of `T`, uniformly over its representation.
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+impl<T> Any<T> {
+    /// A constant-friendly constructor (used by `proptest::num::*::ANY`).
+    pub const fn new() -> Self {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any::new()
+    }
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any::new()
+    }
+}
+
+/// The full range of `T`: `any::<u64>()`.
+pub fn any<T>() -> Any<T> {
+    Any::new()
+}
+
+macro_rules! any_by_cast {
+    ($($ty:ty => $width:ty),*) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+
+                fn pick(&self, rng: &mut SmallRng) -> $ty {
+                    rng.gen::<$width>() as $ty
+                }
+            }
+        )*
+    };
+}
+
+any_by_cast!(
+    u8 => u32, u16 => u32, u32 => u32, u64 => u64, usize => u64,
+    i8 => u32, i16 => u32, i32 => u32, i64 => u64, isize => u64
+);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn pick(&self, rng: &mut SmallRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Strategy for Any<f32> {
+    type Value = f32;
+
+    fn pick(&self, rng: &mut SmallRng) -> f32 {
+        // Uniform over bit patterns: exercises NaNs, infinities, and
+        // subnormals, like proptest's full-range float strategy.
+        f32::from_bits(rng.gen::<u32>())
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+
+    fn pick(&self, rng: &mut SmallRng) -> f64 {
+        f64::from_bits(rng.gen::<u64>())
+    }
+}
+
+/// String-literal strategies are regex-like patterns, as in upstream
+/// proptest: `"[0-9a-f]{0,40}"`. Supported subset: literal characters,
+/// character classes `[...]` (with ranges and leading-`^` negation over
+/// printable ASCII), `.` (any printable ASCII), and the repetition
+/// suffixes `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` cap at 32).
+impl Strategy for str {
+    type Value = String;
+
+    fn pick(&self, rng: &mut SmallRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let count = rng.gen_range(*lo..=*hi);
+            for _ in 0..count {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+const PRINTABLE: RangeInclusive<u8> = b' '..=b'~';
+
+/// Parses the supported regex subset into (alternatives, min, max) atoms.
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alternatives: Vec<char> = match c {
+            '[' => {
+                let negated = chars.peek() == Some(&'^');
+                if negated {
+                    chars.next();
+                }
+                let mut set = Vec::new();
+                loop {
+                    let member = chars.next().expect("unterminated character class");
+                    if member == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        let mut lookahead = chars.clone();
+                        lookahead.next(); // the '-'
+                        if let Some(&end) = lookahead.peek() {
+                            if end != ']' {
+                                chars.next();
+                                chars.next();
+                                set.extend((member..=end).filter(|c| c.is_ascii()));
+                                continue;
+                            }
+                        }
+                    }
+                    set.push(member);
+                }
+                if negated {
+                    PRINTABLE
+                        .map(char::from)
+                        .filter(|c| !set.contains(c))
+                        .collect()
+                } else {
+                    set
+                }
+            }
+            '.' => PRINTABLE.map(char::from).collect(),
+            '\\' => vec![chars.next().expect("dangling escape")],
+            literal => vec![literal],
+        };
+        assert!(
+            !alternatives.is_empty(),
+            "empty character class in `{pattern}`"
+        );
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition min"),
+                        hi.trim().parse().expect("bad repetition max"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 32)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 32)
+            }
+            _ => (1, 1),
+        };
+        assert!(lo <= hi, "inverted repetition range in `{pattern}`");
+        atoms.push((alternatives, lo, hi));
+    }
+    atoms
+}
+
+/// Picks uniformly among boxed strategies with a common value type
+/// (the engine behind `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps a non-empty set of alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut SmallRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].pick(rng)
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+    use rand::SeedableRng as _;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let s = "[0-9a-fA-Fg-z]{0,40}".pick(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let s = "ab?[xy]+z{2}".pick(&mut rng);
+            assert!(s.starts_with('a'));
+            assert!(s.ends_with("zz"));
+            let middle = &s[1..s.len() - 2];
+            let middle = middle.strip_prefix('b').unwrap_or(middle);
+            assert!(!middle.is_empty() && middle.chars().all(|c| c == 'x' || c == 'y'));
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Case execution: configuration, failure type, and the case loop.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng as _;
+use std::fmt;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate and run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failed assertion with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Runs `config.cases` deterministic cases of `run`, panicking (so the
+/// `#[test]` fails) on the first case that returns an error.
+///
+/// The RNG for case `i` of test `name` is seeded from FNV-1a over the
+/// test name plus the case index, so a failure reproduces on re-run
+/// without any persisted state.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut run: impl FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+) {
+    for case in 0..config.cases {
+        let mut rng = SmallRng::seed_from_u64(case_seed(name, case));
+        if let Err(error) = run(&mut rng) {
+            panic!(
+                "proptest case {case}/{} of `{name}` failed: {error}",
+                config.cases
+            );
+        }
+    }
+}
+
+fn case_seed(name: &str, case: u32) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for byte in name.bytes().chain(case.to_le_bytes()) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}

@@ -1,0 +1,235 @@
+//! The `Standard` distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// A sampling distribution over `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution: uniform over all values of the type
+/// (floats: uniform in `[0, 1)`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_via_u32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*};
+}
+macro_rules! standard_via_u64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_via_u32!(u8, u16, u32, i8, i16, i32);
+standard_via_u64!(u64, i64, usize, isize);
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Compare against the most significant bit, as rand 0.8 does.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits scaled into [0, 1).
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A range that can be sampled from directly (`rng.gen_range(range)`).
+pub trait SampleRange<T> {
+    /// Uniformly samples one value from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Widening multiply returning `(hi, lo)` halves.
+trait WideningMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMul for u32 {
+    #[inline]
+    fn wmul(self, other: u32) -> (u32, u32) {
+        let wide = u64::from(self) * u64::from(other);
+        ((wide >> 32) as u32, wide as u32)
+    }
+}
+
+impl WideningMul for u64 {
+    #[inline]
+    fn wmul(self, other: u64) -> (u64, u64) {
+        let wide = u128::from(self) * u128::from(other);
+        ((wide >> 64) as u64, wide as u64)
+    }
+}
+
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty, $large:ty, $next:ident) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty gen_range");
+                let range = self.end.wrapping_sub(self.start) as $unsigned as $large;
+                sample_in::<$large, R>(range, rng)
+                    .map(|hi| self.start.wrapping_add(hi as $ty))
+                    .expect("nonzero half-open range")
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let range = end.wrapping_sub(start).wrapping_add(1) as $unsigned as $large;
+                match sample_in::<$large, R>(range, rng) {
+                    Some(hi) => start.wrapping_add(hi as $ty),
+                    // Full-width range: every bit pattern is valid.
+                    None => rng.$next() as $ty,
+                }
+            }
+        }
+    };
+}
+
+/// Lemire-style rejection sampling of `[0, range)` in the widened type;
+/// `None` means `range == 0`, i.e. the caller wants the full width.
+fn sample_in<T, R>(range: T, rng: &mut R) -> Option<T>
+where
+    T: WideningMul + PartialOrd + Default + LeadingZeros + FromRng<R>,
+    R: RngCore,
+{
+    if range == T::default() {
+        return None;
+    }
+    // zone = (range << range.leading_zeros()).wrapping_sub(1), as rand 0.8
+    // computes it for 32-/64-bit types.
+    let zone = range.shl_leading_zeros_minus_one();
+    loop {
+        let v = T::from_rng(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return Some(hi);
+        }
+    }
+}
+
+trait LeadingZeros {
+    fn shl_leading_zeros_minus_one(self) -> Self;
+}
+
+impl LeadingZeros for u32 {
+    #[inline]
+    fn shl_leading_zeros_minus_one(self) -> u32 {
+        (self << self.leading_zeros()).wrapping_sub(1)
+    }
+}
+
+impl LeadingZeros for u64 {
+    #[inline]
+    fn shl_leading_zeros_minus_one(self) -> u64 {
+        (self << self.leading_zeros()).wrapping_sub(1)
+    }
+}
+
+trait FromRng<R> {
+    fn from_rng(rng: &mut R) -> Self;
+}
+
+impl<R: RngCore> FromRng<R> for u32 {
+    #[inline]
+    fn from_rng(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl<R: RngCore> FromRng<R> for u64 {
+    #[inline]
+    fn from_rng(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+uniform_int!(u8, u8, u32, next_u32);
+uniform_int!(u16, u16, u32, next_u32);
+uniform_int!(u32, u32, u32, next_u32);
+uniform_int!(u64, u64, u64, next_u64);
+uniform_int!(usize, usize, u64, next_u64);
+uniform_int!(i8, u8, u32, next_u32);
+uniform_int!(i16, u16, u32, next_u32);
+uniform_int!(i32, u32, u32, next_u32);
+uniform_int!(i64, u64, u64, next_u64);
+uniform_int!(isize, usize, u64, next_u64);
+
+macro_rules! uniform_float {
+    ($ty:ty, $uty:ty, $next:ident, $discard:expr, $exp_one:expr) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty gen_range");
+                let scale = self.end - self.start;
+                loop {
+                    // Mantissa bits with exponent 0 give a value in
+                    // [1, 2); shift to [0, 1).
+                    let bits = (rng.$next() >> $discard) | $exp_one;
+                    let value0_1 = <$ty>::from_bits(bits) - 1.0;
+                    let res = value0_1 * scale + self.start;
+                    if res < self.end {
+                        return res;
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_float!(f64, u64, next_u64, 12, 1023u64 << 52);
+uniform_float!(f32, u32, next_u32, 9, 127u32 << 23);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn full_width_inclusive_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Must not loop forever or panic.
+        let _: u8 = rng.gen_range(0..=255u8);
+        let _: i32 = rng.gen_range(i32::MIN..=i32::MAX);
+    }
+
+    #[test]
+    fn small_ranges_cover_all_values() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..3usize)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The 64-bit `SmallRng` of rand 0.8: Xoshiro256++.
+///
+/// Fast, small, non-cryptographic; identical output stream to
+/// `rand::rngs::SmallRng` on 64-bit targets for the same seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Test accessor for the raw stream.
+    #[doc(hidden)]
+    pub fn next_u64_pub(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.step() as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> SmallRng {
+        let mut s = [0u64; 4];
+        for (lane, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *lane = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        if s == [0; 4] {
+            // An all-zero state is a fixed point; nudge it as rand does.
+            s = [1, 0, 0, 0];
+        }
+        SmallRng { s }
+    }
+}
+
+/// Alias: the workspace treats `StdRng` and `SmallRng` identically.
+pub type StdRng = SmallRng;

@@ -1,0 +1,48 @@
+//! The dynamic value tree all (de)serialization flows through.
+
+/// A dynamically typed serialized value (the shape of a JSON document).
+///
+/// Maps preserve insertion order so serialized output is stable and
+/// diff-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / a `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// Looks up a key in a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Parses the item declaration directly from the token stream (no
+//! `syn`/`quote` — the build container has no registry access) and emits
+//! value-tree conversions:
+//!
+//! * named struct          → `Value::Map` of fields
+//! * newtype struct        → the inner value
+//! * tuple struct          → `Value::Seq`
+//! * unit struct           → `Value::Null`
+//! * unit enum variant     → `Value::Str(variant)`
+//! * newtype enum variant  → `{ variant: value }`
+//! * tuple enum variant    → `{ variant: [values...] }`
+//! * struct enum variant   → `{ variant: {fields...} }`
+//!
+//! This matches serde's externally-tagged defaults, so documents look the
+//! way readers of real serde output expect. Generics are not supported
+//! (no workspace type needs them).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a struct or enum declaration.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (arity only; types are recovered by inference).
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    let name = item.name();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    let name = item.name();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+impl Item {
+    fn name(&self) -> &str {
+        match self {
+            Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+        }
+    }
+}
+
+// ---- code generation ---------------------------------------------------
+
+fn serialize_struct(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::value::Value::Null".into(),
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::value::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".into(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("Ok({name})"),
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, \"{f}\")?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_index(v, {i})?"))
+                .collect();
+            format!("Ok({name}({}))", inits.join(", "))
+        }
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (variant, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!(
+                "{name}::{variant} => \
+                 ::serde::value::Value::Str(\"{variant}\".to_string())"
+            ),
+            Fields::Named(field_names) => {
+                let pat = field_names.join(", ");
+                let entries: Vec<String> = field_names
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
+                    .collect();
+                format!(
+                    "{name}::{variant} {{ {pat} }} => ::serde::value::Value::Map(vec![\
+                     (\"{variant}\".to_string(), ::serde::value::Value::Map(vec![{}]))])",
+                    entries.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "{name}::{variant}(f0) => ::serde::value::Value::Map(vec![\
+                 (\"{variant}\".to_string(), ::serde::Serialize::to_value(f0))])"
+            ),
+            Fields::Tuple(n) => {
+                let pat: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = pat
+                    .iter()
+                    .map(|f| format!("::serde::Serialize::to_value({f})"))
+                    .collect();
+                format!(
+                    "{name}::{variant}({}) => ::serde::value::Value::Map(vec![\
+                     (\"{variant}\".to_string(), \
+                     ::serde::value::Value::Seq(vec![{}]))])",
+                    pat.join(", "),
+                    items.join(", ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!("match self {{\n{}\n}}", arms.join(",\n"))
+}
+
+fn deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for (variant, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push(format!("\"{variant}\" => Ok({name}::{variant})")),
+            Fields::Named(field_names) => {
+                let inits: Vec<String> = field_names
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de_field(inner, \"{f}\")?"))
+                    .collect();
+                data_arms.push(format!(
+                    "\"{variant}\" => Ok({name}::{variant} {{ {} }})",
+                    inits.join(", ")
+                ));
+            }
+            Fields::Tuple(1) => data_arms.push(format!(
+                "\"{variant}\" => Ok({name}::{variant}(\
+                 ::serde::Deserialize::from_value(inner)?))"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::de_index(inner, {i})?"))
+                    .collect();
+                data_arms.push(format!(
+                    "\"{variant}\" => Ok({name}::{variant}({}))",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    let unit_match = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::serde::value::Value::Str(tag) = v {{\n\
+                 return match tag.as_str() {{\n{},\n\
+                     other => Err(::serde::DeError::new(format!(\
+                         \"unknown {name} variant `{{other}}`\"))),\n\
+                 }};\n\
+             }}\n",
+            unit_arms.join(",\n")
+        )
+    };
+    let data_match = if data_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::serde::value::Value::Map(entries) = v {{\n\
+                 if entries.len() == 1 {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     return match tag.as_str() {{\n{},\n\
+                         other => Err(::serde::DeError::new(format!(\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }};\n\
+                 }}\n\
+             }}\n",
+            data_arms.join(",\n")
+        )
+    };
+    format!(
+        "{unit_match}{data_match}\
+         Err(::serde::DeError::new(format!(\
+             \"invalid {name} representation: {{}}\", v.kind())))"
+    )
+}
+
+// ---- declaration parsing ----------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize): generics are not supported ({name})");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    }
+}
+
+/// Advances past outer attributes (`#[...]`, including doc comments) and a
+/// visibility qualifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // (crate) / (super) / ...
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists. Commas inside `<...>` belong to
+/// the type, not the list; bracketed/parenthesized commas are already
+/// hidden inside groups.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(field);
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated fields of a tuple struct / tuple variant.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+/// Advances past one type, tracking `<`/`>` nesting so commas inside
+/// generic arguments are not mistaken for separators.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let variant = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            while pos < tokens.len() {
+                if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                pos += 1;
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push((variant, fields));
+    }
+    variants
+}

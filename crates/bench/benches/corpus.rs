@@ -7,7 +7,9 @@
 
 use bhive_asm::BasicBlock;
 use bhive_bench::bench_corpus;
-use bhive_harness::{profile_corpus, ProfileConfig, Profiler};
+use bhive_harness::{
+    profile_corpus, profile_corpus_cached, MeasurementCache, ProfileConfig, Profiler,
+};
 use bhive_uarch::Uarch;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -94,6 +96,45 @@ fn corpus_pipeline(c: &mut Criterion) {
                     .filter(|r| r.is_ok())
                     .count(),
             )
+        });
+    });
+
+    // Warm disk cache: the profile-once-validate-many path every repeated
+    // experiment run takes. Measures lookup + fan-out, no machine time.
+    let cache_dir = std::env::temp_dir().join(format!("bhive-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let uarch = profiler.uarch().kind;
+    let config = profiler.config().clone();
+    {
+        let mut cache = MeasurementCache::open(&cache_dir, uarch, &config).expect("cache opens");
+        let cold = profile_corpus_cached(&profiler, &blocks, THREADS, Some(&mut cache));
+        assert_eq!(
+            cold.results, report.results,
+            "cached cold run bit-identical"
+        );
+    }
+    group_warm(c, &profiler, &blocks, &cache_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+fn group_warm(
+    c: &mut Criterion,
+    profiler: &Profiler,
+    blocks: &[BasicBlock],
+    cache_dir: &std::path::Path,
+) {
+    let mut group = c.benchmark_group("profile-corpus-warm");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+    group.bench_function(BenchmarkId::new("warm-cache", blocks.len()), |b| {
+        b.iter(|| {
+            let mut cache =
+                MeasurementCache::open(cache_dir, profiler.uarch().kind, profiler.config())
+                    .expect("cache opens");
+            let report = profile_corpus_cached(profiler, blocks, THREADS, Some(&mut cache));
+            assert_eq!(report.stats.cache.unwrap().misses, 0, "fully warm");
+            std::hint::black_box(report.successes())
         });
     });
     group.finish();

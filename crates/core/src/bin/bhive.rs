@@ -48,14 +48,36 @@ OPTIONS:
     --threads T       Worker threads (default: all cores)
     --uarch U         ivb | hsw | skl (default hsw)
     --json            Emit reports as JSON
+    --cache DIR       Persist measurements under DIR and resume from them
+                      (also via the BHIVE_CACHE environment variable)
+    --no-cache        Disable the measurement cache, overriding --cache
+                      and BHIVE_CACHE
+    -h, --help        Print this usage summary and exit
 ";
 
+#[derive(Debug)]
 struct Options {
     scale: Scale,
     seed: u64,
     threads: usize,
     uarch: UarchKind,
     json: bool,
+    cache: Option<std::path::PathBuf>,
+    no_cache: bool,
+    help: bool,
+}
+
+impl Options {
+    /// Resolves the measurement-cache directory: `--no-cache` beats
+    /// `--cache`, which beats the `BHIVE_CACHE` environment variable.
+    fn cache_dir(&self) -> Option<std::path::PathBuf> {
+        if self.no_cache {
+            return None;
+        }
+        self.cache
+            .clone()
+            .or_else(|| std::env::var_os("BHIVE_CACHE").map(std::path::PathBuf::from))
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -65,6 +87,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         threads: 0,
         uarch: UarchKind::Haswell,
         json: false,
+        cache: None,
+        no_cache: false,
+        help: false,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -105,6 +130,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     UarchKind::parse(&text).ok_or_else(|| format!("unknown uarch `{text}`"))?;
             }
             "--json" => opts.json = true,
+            "--cache" => opts.cache = Some(value("--cache")?.into()),
+            "--no-cache" => opts.no_cache = true,
+            "--help" | "-h" => opts.help = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -134,7 +162,16 @@ fn run() -> Result<(), String> {
         return Ok(());
     };
     let opts = parse_options(&args[1..])?;
-    let pipeline = Pipeline::new(opts.scale, opts.seed, opts.threads);
+    // `--help` anywhere (e.g. `bhive table1 --help`) prints usage and
+    // exits 0 instead of dying on "unknown option".
+    if opts.help {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let mut pipeline = Pipeline::new(opts.scale, opts.seed, opts.threads);
+    if let Some(dir) = opts.cache_dir() {
+        pipeline = pipeline.with_cache_dir(dir);
+    }
 
     match command.as_str() {
         "help" | "--help" | "-h" => print!("{USAGE}"),
@@ -276,5 +313,61 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_options(&args)
+    }
+
+    #[test]
+    fn help_flags_parse_instead_of_erroring() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
+        // `--help` mixed with other options still parses.
+        assert!(parse(&["--uarch", "skl", "--help"]).unwrap().help);
+        assert!(!parse(&["--uarch", "skl"]).unwrap().help);
+    }
+
+    #[test]
+    fn cache_flags_resolve_with_no_cache_winning() {
+        let opts = parse(&["--cache", "/tmp/bhive-cache"]).unwrap();
+        assert_eq!(
+            opts.cache_dir(),
+            Some(std::path::PathBuf::from("/tmp/bhive-cache"))
+        );
+        let opts = parse(&["--cache", "/tmp/bhive-cache", "--no-cache"]).unwrap();
+        assert_eq!(opts.cache_dir(), None, "--no-cache overrides --cache");
+        assert!(parse(&["--cache"]).is_err(), "--cache needs a value");
+    }
+
+    #[test]
+    fn usage_covers_every_flag_the_parser_accepts() {
+        for flag in [
+            "--scale",
+            "--fraction",
+            "--paper-scale",
+            "--seed",
+            "--threads",
+            "--uarch",
+            "--json",
+            "--cache",
+            "--no-cache",
+            "--help",
+            "-h",
+        ] {
+            assert!(USAGE.contains(flag), "usage text must document {flag}");
+        }
+    }
+
+    #[test]
+    fn unknown_options_still_error() {
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
     }
 }

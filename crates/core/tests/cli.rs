@@ -1,0 +1,87 @@
+//! End-to-end tests of the `bhive` binary: exit codes, help output, and
+//! the measurement cache's warm/cold bit-identity as seen from the CLI.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bhive(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bhive"))
+        .args(args)
+        .env_remove("BHIVE_CACHE")
+        .output()
+        .expect("bhive binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bhive-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn help_flag_exits_zero_with_usage() {
+    for args in [
+        &["--help"][..],
+        &["-h"][..],
+        &["help"][..],
+        // The historical failure: --help after a command was rejected
+        // with "unknown option `--help`".
+        &["table3", "--help"][..],
+        &["measure", "-h"][..],
+    ] {
+        let out = bhive(args);
+        assert!(out.status.success(), "{args:?}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("USAGE:"), "{args:?}: {stdout}");
+        assert!(stdout.contains("--no-cache"), "{args:?}: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_option_fails_loudly() {
+    let out = bhive(&["table3", "--bogus"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--bogus"), "{stderr}");
+}
+
+#[test]
+fn measure_with_cache_is_warm_and_bit_identical() {
+    let dir = temp_dir("measure-cache");
+    let dir_arg = dir.to_str().unwrap();
+    let args = [
+        "measure",
+        "--scale",
+        "3",
+        "--threads",
+        "2",
+        "--cache",
+        dir_arg,
+    ];
+
+    let cold = bhive(&args);
+    assert!(cold.status.success(), "{cold:?}");
+    let cold_stderr = String::from_utf8_lossy(&cold.stderr);
+    assert!(cold_stderr.contains("disk cache:"), "{cold_stderr}");
+
+    let warm = bhive(&args);
+    assert!(warm.status.success(), "{warm:?}");
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "warm CSV must be byte-identical to the cold run"
+    );
+    let warm_stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(warm_stderr.contains("0 misses"), "{warm_stderr}");
+
+    // --no-cache measures from scratch and still agrees.
+    let uncached = bhive(&["measure", "--scale", "3", "--threads", "2", "--no-cache"]);
+    assert!(uncached.status.success(), "{uncached:?}");
+    assert_eq!(cold.stdout, uncached.stdout);
+    let uncached_stderr = String::from_utf8_lossy(&uncached.stderr);
+    assert!(
+        !uncached_stderr.contains("disk cache:"),
+        "{uncached_stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -2,9 +2,12 @@
 
 use bhive_asm::BasicBlock;
 use bhive_corpus::{Application, Corpus};
-use bhive_harness::{profile_corpus, ProfileConfig, ProfileStats, Profiler};
+use bhive_harness::{
+    profile_corpus_cached, MeasurementCache, ProfileConfig, ProfileStats, Profiler,
+};
 use bhive_uarch::UarchKind;
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// One successfully profiled corpus block with its measured throughput.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,9 +59,38 @@ impl MeasuredCorpus {
         config: &ProfileConfig,
         threads: usize,
     ) -> (MeasuredCorpus, ProfileStats) {
+        MeasuredCorpus::measure_with_stats_cached(corpus, uarch, config, threads, None)
+    }
+
+    /// Like [`MeasuredCorpus::measure_with_stats`], with an optional
+    /// on-disk measurement cache rooted at `cache_dir`: warm blocks are
+    /// served from disk (bit-identical to measuring them), cold blocks
+    /// are measured and persisted as the run progresses, so an
+    /// interrupted run resumes where it stopped.
+    ///
+    /// A cache directory that cannot be opened disables caching for the
+    /// run (with a warning on stderr) rather than failing it.
+    pub fn measure_with_stats_cached(
+        corpus: &Corpus,
+        uarch: UarchKind,
+        config: &ProfileConfig,
+        threads: usize,
+        cache_dir: Option<&Path>,
+    ) -> (MeasuredCorpus, ProfileStats) {
         let profiler = Profiler::new(uarch.desc(), config.clone());
         let blocks = corpus.basic_blocks();
-        let report = profile_corpus(&profiler, &blocks, threads);
+        let mut cache =
+            cache_dir.and_then(|dir| match MeasurementCache::open(dir, uarch, config) {
+                Ok(cache) => Some(cache),
+                Err(err) => {
+                    eprintln!(
+                        "warning: measurement cache at {} disabled: {err}",
+                        dir.display()
+                    );
+                    None
+                }
+            });
+        let report = profile_corpus_cached(&profiler, &blocks, threads, cache.as_mut());
         let mut measured = Vec::new();
         for (idx, result) in report.results.iter().enumerate() {
             if let Ok(m) = result {
@@ -126,18 +158,32 @@ impl MeasuredCorpus {
 
     /// Reads a dataset written by [`MeasuredCorpus::write_csv`].
     ///
+    /// General `#` comment lines are skipped anywhere; the `# uarch:`
+    /// header is honored only *before* the first data row — a header
+    /// after data rows would silently retag blocks already parsed under
+    /// the old uarch, so it is rejected instead.
+    ///
     /// # Errors
     ///
-    /// Returns an error on malformed lines or undecodable hex.
+    /// Returns an error on malformed lines, undecodable hex, or a
+    /// `# uarch:` header that appears after data rows.
     pub fn read_csv<R: std::io::BufRead>(reader: R) -> std::io::Result<MeasuredCorpus> {
         let mut uarch = UarchKind::Haswell;
-        let mut blocks = Vec::new();
+        let mut blocks: Vec<MeasuredBlock> = Vec::new();
         for (lineno, line) in reader.lines().enumerate() {
             let line = line?;
             let err = |msg: String| std::io::Error::other(format!("line {}: {msg}", lineno + 1));
-            if let Some(rest) = line.strip_prefix("# uarch:") {
-                uarch = UarchKind::parse(rest.trim())
-                    .ok_or_else(|| err(format!("unknown uarch `{rest}`")))?;
+            if line.trim_start().starts_with('#') {
+                if let Some(rest) = line.trim_start().strip_prefix("# uarch:") {
+                    if !blocks.is_empty() {
+                        return Err(err(
+                            "`# uarch:` header after data rows would retag parsed blocks".into(),
+                        ));
+                    }
+                    uarch = UarchKind::parse(rest.trim())
+                        .ok_or_else(|| err(format!("unknown uarch `{rest}`")))?;
+                }
+                // Any other comment line is annotation, not data.
                 continue;
             }
             if line.trim().is_empty() {
@@ -204,6 +250,69 @@ mod tests {
         assert!(measured.blocks.iter().all(|m| m.throughput > 0.0));
         // Training pairs align with blocks.
         assert_eq!(measured.training_pairs().len(), measured.blocks.len());
+    }
+
+    #[test]
+    fn read_csv_skips_general_comments() {
+        let corpus = Corpus::generate(Scale::PerApp(4), 5);
+        let config = ProfileConfig::bhive().quiet();
+        let measured = MeasuredCorpus::measure(&corpus, UarchKind::Skylake, &config, 2);
+        let mut buf = Vec::new();
+        measured.write_csv(&mut buf).unwrap();
+        // Sprinkle annotations the way hand-edited artifacts have them.
+        let annotated = format!(
+            "# generated by a measurement run\n{}# trailing note\n",
+            String::from_utf8(buf).unwrap()
+        );
+        let read = MeasuredCorpus::read_csv(std::io::Cursor::new(annotated)).unwrap();
+        assert_eq!(read.uarch, UarchKind::Skylake);
+        assert_eq!(read.blocks.len(), measured.blocks.len());
+    }
+
+    #[test]
+    fn read_csv_rejects_uarch_header_after_data() {
+        let corpus = Corpus::generate(Scale::PerApp(4), 5);
+        let config = ProfileConfig::bhive().quiet();
+        let measured = MeasuredCorpus::measure(&corpus, UarchKind::Haswell, &config, 2);
+        let mut buf = Vec::new();
+        measured.write_csv(&mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("# uarch: skl\n");
+        let err = MeasuredCorpus::read_csv(std::io::Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("after data rows"), "{err}");
+    }
+
+    #[test]
+    fn cached_measure_is_bit_identical_to_cold() {
+        let dir = std::env::temp_dir().join(format!("bhive-dataset-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let corpus = Corpus::generate(Scale::PerApp(5), 9);
+        let config = ProfileConfig::bhive().quiet();
+        let (cold, cold_stats) = MeasuredCorpus::measure_with_stats_cached(
+            &corpus,
+            UarchKind::Haswell,
+            &config,
+            2,
+            Some(&dir),
+        );
+        let cold_cache = cold_stats.cache.expect("cache active");
+        assert_eq!(cold_cache.hits, 0);
+        assert!(cold_cache.misses > 0);
+        let (warm, warm_stats) = MeasuredCorpus::measure_with_stats_cached(
+            &corpus,
+            UarchKind::Haswell,
+            &config,
+            2,
+            Some(&dir),
+        );
+        let warm_cache = warm_stats.cache.expect("cache active");
+        assert_eq!(warm_cache.misses, 0, "everything served from disk");
+        assert_eq!(warm_cache.hits, cold_cache.misses);
+        assert_eq!(warm.blocks.len(), cold.blocks.len());
+        for (a, b) in cold.blocks.iter().zip(&warm.blocks) {
+            assert_eq!(a, b, "warm result must be bit-identical");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

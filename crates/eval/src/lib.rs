@@ -39,6 +39,7 @@ use bhive_harness::{ProfileConfig, ProfileStats};
 use bhive_models::{IacaModel, IthemalConfig, IthemalModel, McaModel, OsacaModel, ThroughputModel};
 use bhive_uarch::UarchKind;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -58,6 +59,7 @@ pub struct Pipeline {
     scale: Scale,
     seed: u64,
     threads: usize,
+    cache_dir: Option<PathBuf>,
     corpora: Mutex<HashMap<CorpusKind, Arc<Corpus>>>,
     measured: Mutex<HashMap<(CorpusKind, UarchKind), Arc<MeasuredCorpus>>>,
     profile_stats: Mutex<Vec<(String, ProfileStats)>>,
@@ -73,12 +75,29 @@ impl Pipeline {
             scale,
             seed,
             threads,
+            cache_dir: None,
             corpora: Mutex::new(HashMap::new()),
             measured: Mutex::new(HashMap::new()),
             profile_stats: Mutex::new(Vec::new()),
             classifier: Mutex::new(None),
             ithemal: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Enables the on-disk measurement cache rooted at `dir`: every
+    /// corpus measurement this pipeline performs first consults the
+    /// cache and persists what it had to measure, so repeated experiment
+    /// runs (and reruns after an interruption) are warm. Results are
+    /// bit-identical with or without the cache.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Pipeline {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The measurement-cache directory, when caching is enabled.
+    pub fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.cache_dir.as_deref()
     }
 
     /// The corpus scale.
@@ -129,11 +148,12 @@ impl Pipeline {
             return hit.clone();
         }
         let corpus = self.corpus(kind);
-        let (measured, stats) = MeasuredCorpus::measure_with_stats(
+        let (measured, stats) = MeasuredCorpus::measure_with_stats_cached(
             &corpus,
             uarch,
             &self.profile_config(),
             self.threads,
+            self.cache_dir.as_deref(),
         );
         let measured = Arc::new(measured);
         self.profile_stats

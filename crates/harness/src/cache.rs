@@ -1,0 +1,500 @@
+//! Crash-safe, content-addressed, on-disk measurement cache.
+//!
+//! The paper's workflow is *profile once, validate many*: every table and
+//! figure re-consumes the same corpus measurements. This module persists
+//! per-block outcomes (successes *and* categorized failures — both are
+//! deterministic functions of the inputs) so a rerun serves them from
+//! disk instead of re-measuring.
+//!
+//! # Format
+//!
+//! One append-only JSONL log per microarchitecture
+//! (`measurements-<uarch>.jsonl` inside the cache directory). Each line is
+//! a self-checking record:
+//!
+//! ```text
+//! {"sum":<fnv1a of the body's canonical JSON>,"body":{"key":...,"uarch":...,"fp":...,"outcome":...}}
+//! ```
+//!
+//! The key is FNV-1a over the block's encoded bytes combined with the
+//! uarch kind and [`ProfileConfig::fingerprint`] (see [`cache_key`]), so
+//! a record can never be served to a run it does not describe.
+//!
+//! # Crash safety
+//!
+//! * Every [`MeasurementCache::insert`] writes one full line and flushes
+//!   it, so a run killed mid-corpus loses at most the record being
+//!   written — completed blocks survive and the next run resumes from
+//!   them.
+//! * [`MeasurementCache::open`] re-validates the log line by line (JSON
+//!   shape *and* checksum). The first invalid record marks a torn tail:
+//!   everything from that byte offset on is dropped and the file is
+//!   truncated back to the last good record.
+//! * Records written under a different [`ProfileConfig::fingerprint`] are
+//!   *stale*: they are not loaded (and counted as evictions), and
+//!   [`MeasurementCache::compact`] rewrites the log without them via a
+//!   temp file and an atomic rename.
+
+use crate::config::ProfileConfig;
+use crate::failure::ProfileFailure;
+use crate::measurement::Measurement;
+use bhive_asm::fnv1a_64;
+use bhive_uarch::UarchKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Content address of one measurement: FNV-1a over the block's encoded
+/// bytes, a domain separator, the uarch's short name, and the config
+/// fingerprint, so any change to block, target, or configuration changes
+/// the key.
+pub fn cache_key(block_bytes: &[u8], uarch: UarchKind, fingerprint: u64) -> u64 {
+    let mut buf = Vec::with_capacity(block_bytes.len() + 16);
+    buf.extend_from_slice(block_bytes);
+    // x86-64 instruction bytes never need a separator from our side, but
+    // one keeps the encoding injective regardless of block content.
+    buf.push(0xFF);
+    buf.extend_from_slice(uarch.short_name().as_bytes());
+    buf.extend_from_slice(&fingerprint.to_le_bytes());
+    fnv1a_64(&buf)
+}
+
+/// A cached per-block outcome. Failures are cached too: a block that
+/// crashes or fails reproducibility does so deterministically, and
+/// re-measuring it on every run would waste exactly the time the cache
+/// exists to save.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CachedOutcome {
+    /// The block profiled successfully.
+    Ok(Measurement),
+    /// The block failed with a categorized reason.
+    Err(ProfileFailure),
+}
+
+impl CachedOutcome {
+    /// Converts back into the profiler's result type.
+    pub fn into_result(self) -> Result<Measurement, ProfileFailure> {
+        match self {
+            CachedOutcome::Ok(m) => Ok(m),
+            CachedOutcome::Err(f) => Err(f),
+        }
+    }
+
+    /// Borrows as the profiler's result type.
+    pub fn as_result(&self) -> Result<&Measurement, &ProfileFailure> {
+        match self {
+            CachedOutcome::Ok(m) => Ok(m),
+            CachedOutcome::Err(f) => Err(f),
+        }
+    }
+}
+
+impl From<Result<Measurement, ProfileFailure>> for CachedOutcome {
+    fn from(result: Result<Measurement, ProfileFailure>) -> CachedOutcome {
+        match result {
+            Ok(m) => CachedOutcome::Ok(m),
+            Err(f) => CachedOutcome::Err(f),
+        }
+    }
+}
+
+/// The payload protected by the per-record checksum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct RecordBody {
+    key: u64,
+    uarch: UarchKind,
+    fp: u64,
+    outcome: CachedOutcome,
+}
+
+/// One JSONL line: checksum + body. The checksum is FNV-1a over the
+/// body's canonical JSON, which the (deterministic) serializer reproduces
+/// on read.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Record {
+    sum: u64,
+    body: RecordBody,
+}
+
+fn body_checksum(body: &RecordBody) -> std::io::Result<u64> {
+    let json = serde_json::to_string(body).map_err(std::io::Error::other)?;
+    Ok(fnv1a_64(json.as_bytes()))
+}
+
+/// What [`MeasurementCache::open`] found in the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheOpenReport {
+    /// Valid records loaded for the current (uarch, fingerprint).
+    pub loaded: usize,
+    /// Valid records evicted because they were written under a different
+    /// config fingerprint (the config changed between runs).
+    pub stale_evictions: usize,
+    /// Records dropped from a torn/corrupt tail.
+    pub dropped_records: usize,
+    /// Bytes truncated off the tail to recover the log.
+    pub dropped_bytes: u64,
+}
+
+/// Disk-cache counters for one corpus run, folded into
+/// [`crate::ProfileStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Unique encodings served from the on-disk cache.
+    pub hits: usize,
+    /// Unique encodings that had to be measured (and were then written
+    /// back).
+    pub misses: usize,
+    /// Stale-fingerprint records evicted when the cache was opened.
+    pub stale_evictions: usize,
+    /// Records that failed to persist (the run still completes; those
+    /// blocks will be re-measured next time).
+    pub write_errors: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from disk.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// An open measurement cache bound to one (uarch, config fingerprint).
+///
+/// See the [module docs](self) for the format and crash-safety contract.
+#[derive(Debug)]
+pub struct MeasurementCache {
+    path: PathBuf,
+    uarch: UarchKind,
+    fingerprint: u64,
+    entries: HashMap<u64, CachedOutcome>,
+    writer: BufWriter<File>,
+    open_report: CacheOpenReport,
+    /// Stale records still physically present in the log (removed by
+    /// [`MeasurementCache::compact`]).
+    stale_on_disk: usize,
+}
+
+impl MeasurementCache {
+    /// The log file used for `uarch` inside `dir`.
+    pub fn log_path(dir: &Path, uarch: UarchKind) -> PathBuf {
+        dir.join(format!("measurements-{}.jsonl", uarch.short_name()))
+    }
+
+    /// Opens (creating if needed) the cache for `uarch` under `dir`,
+    /// validating the log and recovering from a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory or log cannot be created,
+    /// read, or truncated. A *corrupt* log is not an error — the invalid
+    /// tail is dropped and the valid prefix is used.
+    pub fn open(dir: &Path, uarch: UarchKind, config: &ProfileConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::log_path(dir, uarch);
+        let fingerprint = config.fingerprint();
+
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        let total_len = file.metadata()?.len();
+        let mut reader = BufReader::new(file);
+        let mut entries = HashMap::new();
+        let mut report = CacheOpenReport::default();
+        let mut stale_on_disk = 0usize;
+        let mut valid_len = 0u64;
+        let mut line = Vec::new();
+        loop {
+            line.clear();
+            // `read_until` (not `read_line`): a torn tail can contain
+            // arbitrary bytes, which must read as corruption, not as an
+            // I/O error.
+            let n = reader.read_until(b'\n', &mut line)?;
+            if n == 0 {
+                break;
+            }
+            // A record is only complete once its newline hit the disk; a
+            // line without one is an interrupted write.
+            if line.last() != Some(&b'\n') {
+                break;
+            }
+            let parsed = std::str::from_utf8(&line)
+                .ok()
+                .and_then(|text| serde_json::from_str::<Record>(text.trim_end()).ok());
+            let Some(record) = parsed else { break };
+            match body_checksum(&record.body) {
+                Ok(sum) if sum == record.sum => {}
+                _ => break,
+            }
+            valid_len += n as u64;
+            if record.body.uarch != uarch || record.body.fp != fingerprint {
+                report.stale_evictions += 1;
+                stale_on_disk += 1;
+                continue;
+            }
+            report.loaded += 1;
+            entries.insert(record.body.key, record.body.outcome);
+        }
+        if valid_len < total_len {
+            // Torn or corrupt tail: count what we are about to drop, then
+            // truncate the log back to the last good record. The count is
+            // the torn record plus every newline-terminated chunk behind
+            // it (corruption hides how many records those bytes held, so
+            // this is the log's best estimate).
+            let mut rest = Vec::new();
+            std::io::Read::read_to_end(&mut reader, &mut rest)?;
+            let dropped = line.iter().chain(&rest).filter(|&&b| b == b'\n').count();
+            report.dropped_bytes = total_len - valid_len;
+            report.dropped_records = dropped.max(1);
+            let file = reader.get_ref();
+            file.set_len(valid_len)?;
+        }
+
+        // `set_len` + append mode: the next write lands at the new end.
+        let writer = BufWriter::new(reader.into_inner());
+        Ok(MeasurementCache {
+            path,
+            uarch,
+            fingerprint,
+            entries,
+            writer,
+            open_report: report,
+            stale_on_disk,
+        })
+    }
+
+    /// The microarchitecture this cache is bound to.
+    pub fn uarch(&self) -> UarchKind {
+        self.uarch
+    }
+
+    /// The config fingerprint this cache is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// What opening the log found (loaded/stale/dropped counts).
+    pub fn open_report(&self) -> CacheOpenReport {
+        self.open_report
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stale records still occupying log space (cleared by
+    /// [`MeasurementCache::compact`]).
+    pub fn stale_on_disk(&self) -> usize {
+        self.stale_on_disk
+    }
+
+    /// The content-address key for `block_bytes` under this cache's
+    /// (uarch, fingerprint) binding.
+    pub fn key_for(&self, block_bytes: &[u8]) -> u64 {
+        cache_key(block_bytes, self.uarch, self.fingerprint)
+    }
+
+    /// Looks up a cached outcome.
+    pub fn get(&self, key: u64) -> Option<&CachedOutcome> {
+        self.entries.get(&key)
+    }
+
+    /// Inserts an outcome and appends it durably (the line is flushed
+    /// before this returns, so a crash after `insert` never loses it).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the record cannot be serialized or written;
+    /// the in-memory entry is kept either way, so the current run still
+    /// benefits.
+    pub fn insert(&mut self, key: u64, outcome: CachedOutcome) -> std::io::Result<()> {
+        let body = RecordBody {
+            key,
+            uarch: self.uarch,
+            fp: self.fingerprint,
+            outcome,
+        };
+        let sum = body_checksum(&body)?;
+        let line = serde_json::to_string(&Record {
+            sum,
+            body: body.clone(),
+        })
+        .map_err(std::io::Error::other)?;
+        self.entries.insert(key, body.outcome);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Rewrites the log with only the live records (dropping stale
+    /// fingerprints and duplicate appends) via temp file + atomic rename.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the temp file cannot be written or renamed
+    /// over the log. The original log is untouched on failure.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let tmp_path = self.path.with_extension("jsonl.tmp");
+        {
+            let mut tmp = BufWriter::new(File::create(&tmp_path)?);
+            // Deterministic order so identical caches compact to
+            // byte-identical logs.
+            let mut keys: Vec<u64> = self.entries.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                let body = RecordBody {
+                    key,
+                    uarch: self.uarch,
+                    fp: self.fingerprint,
+                    outcome: self.entries[&key].clone(),
+                };
+                let sum = body_checksum(&body)?;
+                let line =
+                    serde_json::to_string(&Record { sum, body }).map_err(std::io::Error::other)?;
+                tmp.write_all(line.as_bytes())?;
+                tmp.write_all(b"\n")?;
+            }
+            let tmp = tmp.into_inner().map_err(|e| e.into_error())?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        self.stale_on_disk = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bhive-cache-test-{}-{}-{}",
+            tag,
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_failure() -> CachedOutcome {
+        CachedOutcome::Err(ProfileFailure::InvalidAddress { vaddr: 0xdead })
+    }
+
+    #[test]
+    fn keys_separate_bytes_uarch_and_fingerprint() {
+        let fp = ProfileConfig::bhive().fingerprint();
+        let base = cache_key(&[0x48, 0x01, 0xd8], UarchKind::Haswell, fp);
+        assert_ne!(base, cache_key(&[0x48, 0x01, 0xd9], UarchKind::Haswell, fp));
+        assert_ne!(base, cache_key(&[0x48, 0x01, 0xd8], UarchKind::Skylake, fp));
+        assert_ne!(
+            base,
+            cache_key(
+                &[0x48, 0x01, 0xd8],
+                UarchKind::Haswell,
+                ProfileConfig::agner().fingerprint()
+            )
+        );
+    }
+
+    #[test]
+    fn insert_then_reopen_round_trips() {
+        let dir = temp_dir("reopen");
+        let config = ProfileConfig::bhive();
+        {
+            let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+            cache.insert(7, sample_failure()).unwrap();
+        }
+        let cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(7), Some(&sample_failure()));
+        assert_eq!(cache.open_report().loaded, 1);
+        assert_eq!(cache.open_report().stale_evictions, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uarches_use_separate_logs() {
+        let dir = temp_dir("uarch");
+        let config = ProfileConfig::bhive();
+        let mut hsw = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        hsw.insert(1, sample_failure()).unwrap();
+        let skl = MeasurementCache::open(&dir, UarchKind::Skylake, &config).unwrap();
+        assert!(skl.is_empty(), "per-uarch logs must not alias");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flipped_bit_is_detected_and_dropped() {
+        let dir = temp_dir("bitflip");
+        let config = ProfileConfig::bhive();
+        {
+            let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+            cache.insert(1, sample_failure()).unwrap();
+            cache.insert(2, sample_failure()).unwrap();
+        }
+        // Corrupt a byte inside the *last* record's JSON number payload.
+        let path = MeasurementCache::log_path(&dir, UarchKind::Haswell);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let tail_start = bytes[..bytes.len() - 2]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map(|p| p + 1)
+            .unwrap();
+        let victim = bytes[tail_start..]
+            .iter()
+            .position(|b| b.is_ascii_digit())
+            .unwrap()
+            + tail_start;
+        bytes[victim] = if bytes[victim] == b'9' { b'8' } else { b'9' };
+        std::fs::write(&path, &bytes).unwrap();
+
+        let cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        assert_eq!(cache.len(), 1, "corrupt tail record must be dropped");
+        assert!(cache.get(1).is_some());
+        assert!(cache.open_report().dropped_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_stale_and_preserves_live() {
+        let dir = temp_dir("compact");
+        let old = ProfileConfig::agner();
+        let new = ProfileConfig::bhive();
+        {
+            let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &old).unwrap();
+            cache.insert(1, sample_failure()).unwrap();
+        }
+        let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &new).unwrap();
+        assert_eq!(cache.open_report().stale_evictions, 1);
+        assert_eq!(cache.stale_on_disk(), 1);
+        cache.insert(2, sample_failure()).unwrap();
+        cache.compact().unwrap();
+        assert_eq!(cache.stale_on_disk(), 0);
+        drop(cache);
+
+        // After compaction the old-fingerprint record is physically gone.
+        let reopened = MeasurementCache::open(&dir, UarchKind::Haswell, &new).unwrap();
+        assert_eq!(reopened.open_report().stale_evictions, 0);
+        assert_eq!(reopened.len(), 1);
+        assert!(reopened.get(2).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -48,6 +48,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 mod config;
 pub mod exegesis;
 mod failure;
@@ -57,9 +58,12 @@ mod monitor;
 mod parallel;
 mod profiler;
 
+pub use cache::{cache_key, CacheOpenReport, CacheStats, CachedOutcome, MeasurementCache};
 pub use config::{PageMapping, ProfileConfig, UnrollStrategy};
 pub use failure::ProfileFailure;
 pub use measurement::{Measurement, TrialSet};
 pub use monitor::{monitor, MappingOutcome};
-pub use parallel::{profile_corpus, CorpusReport, ProfileStats, WorkerStats};
+pub use parallel::{
+    profile_corpus, profile_corpus_cached, CorpusReport, ProfileStats, WorkerStats,
+};
 pub use profiler::Profiler;

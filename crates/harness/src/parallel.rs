@@ -14,6 +14,7 @@
 //! (no shared mutex), and a panic while profiling one block is caught and
 //! recorded as [`ProfileFailure::Panic`] rather than aborting the run.
 
+use crate::cache::{CacheStats, MeasurementCache};
 use crate::failure::ProfileFailure;
 use crate::measurement::Measurement;
 use crate::profiler::Profiler;
@@ -93,6 +94,9 @@ pub struct ProfileStats {
     pub failures: BTreeMap<&'static str, usize>,
     /// Per-worker counters, indexed by worker id.
     pub workers: Vec<WorkerStats>,
+    /// On-disk measurement-cache counters, when the run used one
+    /// ([`crate::profile_corpus_cached`]); `None` for uncached runs.
+    pub cache: Option<CacheStats>,
 }
 
 /// Counters for a single worker thread.
@@ -109,13 +113,18 @@ pub struct WorkerStats {
 impl ProfileStats {
     /// Per-worker busy fraction of the run's wall-clock time, in worker
     /// order. Near-1.0 everywhere means the corpus kept every thread fed.
+    ///
+    /// The ratio is reported *raw*: a value above 1.0 means busy-time
+    /// accounting disagrees with the wall clock (timer skew, a worker
+    /// still mid-block when the clock stopped) and is worth seeing, not
+    /// clamping away.
     pub fn worker_utilization(&self) -> Vec<f64> {
         let wall = self.elapsed.as_secs_f64();
         self.workers
             .iter()
             .map(|w| {
                 if wall > 0.0 {
-                    (w.busy.as_secs_f64() / wall).min(1.0)
+                    w.busy.as_secs_f64() / wall
                 } else {
                     0.0
                 }
@@ -124,20 +133,41 @@ impl ProfileStats {
     }
 }
 
+/// `1 thread`, `2 threads`: counts a noun with the right plural form.
+fn counted(n: usize, one: &str, many: &str) -> String {
+    format!("{n} {}", if n == 1 { one } else { many })
+}
+
 impl std::fmt::Display for ProfileStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} blocks ({} unique, {} cache hits) in {:.2}s — {:.1} blocks/s on {} threads",
-            self.total_blocks,
+            "{} ({} unique, {}) in {:.2}s — {:.1} blocks/s on {}",
+            counted(self.total_blocks, "block", "blocks"),
             self.unique_blocks,
-            self.cache_hits,
+            counted(self.cache_hits, "cache hit", "cache hits"),
             self.elapsed.as_secs_f64(),
             self.blocks_per_sec,
-            self.threads,
+            counted(self.threads, "thread", "threads"),
         )?;
+        if let Some(cache) = &self.cache {
+            write!(
+                f,
+                "; disk cache: {}, {}, {} stale evicted",
+                counted(cache.hits, "hit", "hits"),
+                counted(cache.misses, "miss", "misses"),
+                cache.stale_evictions,
+            )?;
+            if cache.write_errors > 0 {
+                write!(
+                    f,
+                    ", {}",
+                    counted(cache.write_errors, "write error", "write errors")
+                )?;
+            }
+        }
         if self.panics > 0 {
-            write!(f, "; {} panics caught", self.panics)?;
+            write!(f, "; {} caught", counted(self.panics, "panic", "panics"))?;
         }
         if !self.failures.is_empty() {
             let mix: Vec<String> = self
@@ -150,7 +180,9 @@ impl std::fmt::Display for ProfileStats {
         let utilization: Vec<String> = self
             .worker_utilization()
             .iter()
-            .map(|u| format!("{:.0}%", u * 100.0))
+            // A trailing `!` flags busy-time above wall-clock instead of
+            // silently capping the ratio at 100%.
+            .map(|u| format!("{:.0}%{}", u * 100.0, if *u > 1.0 { "!" } else { "" }))
             .collect();
         if !utilization.is_empty() {
             write!(f, "; worker utilization: {}", utilization.join(" "))?;
@@ -167,6 +199,31 @@ impl std::fmt::Display for ProfileStats {
 /// instead of aborting the run. Results are bit-identical to calling
 /// [`Profiler::profile`] serially on each block, in any thread count.
 pub fn profile_corpus(profiler: &Profiler, blocks: &[BasicBlock], threads: usize) -> CorpusReport {
+    profile_corpus_cached(profiler, blocks, threads, None)
+}
+
+/// [`profile_corpus`] with an optional on-disk [`MeasurementCache`].
+///
+/// With a cache, a lookup stage runs ahead of measurement: every unique
+/// encoding already in the cache is served from disk (a *hit*), and only
+/// the misses consume machine time. Each freshly measured outcome is
+/// appended to the log — flushed record by record, as the run progresses
+/// — so an interrupted run resumes without re-measuring completed
+/// blocks. Warm results are bit-identical to a cold run: the cache
+/// stores exactly what the profiler returned, keyed by
+/// (block bytes, uarch, [`crate::ProfileConfig::fingerprint`]), and
+/// profiling is a pure function of that key.
+///
+/// Stale records found at open (config fingerprint changed between runs)
+/// are compacted away after the run. Cache I/O never fails the run:
+/// write errors are counted in [`CacheStats::write_errors`] and the
+/// affected blocks simply stay uncached.
+pub fn profile_corpus_cached(
+    profiler: &Profiler,
+    blocks: &[BasicBlock],
+    threads: usize,
+    mut cache: Option<&mut MeasurementCache>,
+) -> CorpusReport {
     let started = Instant::now();
     let threads = if threads == 0 {
         std::thread::available_parallelism()
@@ -178,17 +235,21 @@ pub fn profile_corpus(profiler: &Profiler, blocks: &[BasicBlock], threads: usize
 
     // ---- Dedup stage: one work item per distinct encoding. ----
     // Within one run, uarch and config are fixed, so the encoded bytes
-    // alone are the content address (callers caching across runs must add
-    // the uarch and `ProfileConfig::fingerprint()` to the key).
+    // alone are the content address; the *cross-run* disk key additionally
+    // folds in the uarch and `ProfileConfig::fingerprint()`.
     let mut results: Vec<Option<Result<Measurement, ProfileFailure>>> = vec![None; blocks.len()];
     let mut key_to_unique: HashMap<Vec<u8>, usize> = HashMap::new();
     let mut unique_rep: Vec<usize> = Vec::new(); // representative block index
+    let mut unique_keys: Vec<u64> = Vec::new(); // unique id -> disk key
     let mut fanout: Vec<Vec<usize>> = Vec::new(); // unique id -> block indices
     for (idx, block) in blocks.iter().enumerate() {
         match block.encode() {
             Ok(bytes) => match key_to_unique.entry(bytes) {
                 Entry::Occupied(entry) => fanout[*entry.get()].push(idx),
                 Entry::Vacant(entry) => {
+                    if let Some(cache) = cache.as_deref() {
+                        unique_keys.push(cache.key_for(entry.key()));
+                    }
                     entry.insert(unique_rep.len());
                     unique_rep.push(idx);
                     fanout.push(vec![idx]);
@@ -198,8 +259,34 @@ pub fn profile_corpus(profiler: &Profiler, blocks: &[BasicBlock], threads: usize
             Err(err) => results[idx] = Some(Err(ProfileFailure::from_asm(err))),
         }
     }
+    let cache_hits: usize = fanout.iter().map(|positions| positions.len() - 1).sum();
+
+    // ---- Disk-lookup stage: serve warm blocks before spawning anyone. --
+    let mut disk = CacheStats::default();
+    let mut pending: Vec<usize> = Vec::new(); // unique ids still to measure
+    if let Some(cache) = cache.as_deref() {
+        disk.stale_evictions = cache.open_report().stale_evictions;
+        for (unique, &key) in unique_keys.iter().enumerate() {
+            match cache.get(key) {
+                Some(outcome) => {
+                    disk.hits += 1;
+                    let outcome = outcome.clone().into_result();
+                    for &idx in &fanout[unique] {
+                        results[idx] = Some(outcome.clone());
+                    }
+                }
+                None => {
+                    disk.misses += 1;
+                    pending.push(unique);
+                }
+            }
+        }
+    } else {
+        pending = (0..unique_rep.len()).collect();
+    }
+
     // ---- Measurement stage: never more workers than work items. ----
-    let worker_count = threads.min(unique_rep.len());
+    let worker_count = threads.min(pending.len());
     let next = AtomicUsize::new(0);
     let (sender, receiver) = mpsc::channel();
 
@@ -211,15 +298,17 @@ pub fn profile_corpus(profiler: &Profiler, blocks: &[BasicBlock], threads: usize
                 .map(|_| {
                     let sender = sender.clone();
                     let next = &next;
+                    let pending = &pending;
                     let unique_rep = &unique_rep;
                     scope.spawn(move || {
                         let mut machine = Machine::new(profiler.uarch(), 0);
                         let mut stats = WorkerStats::default();
                         loop {
-                            let unique = next.fetch_add(1, Ordering::Relaxed);
-                            if unique >= unique_rep.len() {
+                            let slot = next.fetch_add(1, Ordering::Relaxed);
+                            if slot >= pending.len() {
                                 break;
                             }
+                            let unique = pending[slot];
                             let block = &blocks[unique_rep[unique]];
                             let claimed = Instant::now();
                             let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -244,6 +333,24 @@ pub fn profile_corpus(profiler: &Profiler, blocks: &[BasicBlock], threads: usize
                     })
                 })
                 .collect();
+            // ---- Fan-out stage, concurrent with the workers: each
+            // measurement serves every duplicate, and lands in the disk
+            // log (flushed per record) the moment it arrives, so a crash
+            // mid-run preserves everything measured so far.
+            drop(sender);
+            for (unique, outcome) in receiver {
+                if let Some(cache) = cache.as_deref_mut() {
+                    if cache
+                        .insert(unique_keys[unique], outcome.clone().into())
+                        .is_err()
+                    {
+                        disk.write_errors += 1;
+                    }
+                }
+                for &idx in &fanout[unique] {
+                    results[idx] = Some(outcome.clone());
+                }
+            }
             handles
                 .into_iter()
                 .map(|handle| handle.join().expect("worker loop cannot panic"))
@@ -251,14 +358,11 @@ pub fn profile_corpus(profiler: &Profiler, blocks: &[BasicBlock], threads: usize
         })
     };
 
-    // ---- Fan-out stage: one measurement serves every duplicate. ----
-    drop(sender);
-    let mut cache_hits = 0usize;
-    for (unique, outcome) in receiver {
-        let positions = &fanout[unique];
-        cache_hits += positions.len() - 1;
-        for &idx in positions {
-            results[idx] = Some(outcome.clone());
+    // Stale records (older config fingerprints) were skipped at open;
+    // reclaim their log space now that the run is over.
+    if let Some(cache) = cache.as_deref_mut() {
+        if cache.stale_on_disk() > 0 && cache.compact().is_err() {
+            disk.write_errors += 1;
         }
     }
 
@@ -288,6 +392,7 @@ pub fn profile_corpus(profiler: &Profiler, blocks: &[BasicBlock], threads: usize
         panics: workers.iter().map(|w| w.panics).sum(),
         failures,
         workers,
+        cache: cache.is_some().then_some(disk),
     };
     CorpusReport { results, stats }
 }
@@ -390,8 +495,64 @@ mod tests {
         let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
         let report = profile_corpus(&profiler, &[block.clone(), block], 1);
         let text = report.stats.to_string();
-        assert!(text.contains("2 blocks (1 unique, 1 cache hits)"), "{text}");
-        assert!(text.contains("1 threads"), "{text}");
+        // Singular counts read as singular — no "1 threads" / "1 cache hits".
+        assert!(text.contains("2 blocks (1 unique, 1 cache hit)"), "{text}");
+        assert!(text.contains("1 thread"), "{text}");
+        assert!(!text.contains("1 threads"), "{text}");
         assert!(text.contains("worker utilization"), "{text}");
+        assert!(!text.contains("disk cache"), "uncached run: {text}");
+    }
+
+    #[test]
+    fn display_flags_utilization_above_wall_clock() {
+        let stats = ProfileStats {
+            total_blocks: 1,
+            unique_blocks: 1,
+            threads: 1,
+            elapsed: Duration::from_secs(1),
+            workers: vec![WorkerStats {
+                profiled: 1,
+                busy: Duration::from_millis(1500),
+                panics: 0,
+            }],
+            ..ProfileStats::default()
+        };
+        // The raw ratio is reported, not clamped to 1.0 …
+        let utilization = stats.worker_utilization();
+        assert!((utilization[0] - 1.5).abs() < 1e-9, "{utilization:?}");
+        // … and the Display flags it instead of hiding the skew.
+        let text = stats.to_string();
+        assert!(text.contains("150%!"), "{text}");
+    }
+
+    #[test]
+    fn cached_run_is_warm_and_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("bhive-parallel-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let blocks: Vec<BasicBlock> = ["add rax, 1", "imul rbx, rcx", "add rax, 1"]
+            .iter()
+            .map(|t| parse_block(t).unwrap())
+            .collect();
+        let config = ProfileConfig::bhive().quiet();
+        let profiler = Profiler::new(Uarch::haswell(), config.clone());
+
+        let mut cache = MeasurementCache::open(&dir, profiler.uarch().kind, &config).unwrap();
+        let cold = profile_corpus_cached(&profiler, &blocks, 2, Some(&mut cache));
+        let cold_disk = cold.stats.cache.unwrap();
+        assert_eq!(cold_disk.hits, 0);
+        assert_eq!(cold_disk.misses, 2, "one miss per unique encoding");
+        drop(cache);
+
+        let mut cache = MeasurementCache::open(&dir, profiler.uarch().kind, &config).unwrap();
+        let warm = profile_corpus_cached(&profiler, &blocks, 2, Some(&mut cache));
+        let warm_disk = warm.stats.cache.unwrap();
+        assert_eq!(warm_disk.hits, 2, "every unique encoding served warm");
+        assert_eq!(warm_disk.misses, 0);
+        assert_eq!(warm.stats.threads, 0, "warm run spawns no workers");
+        assert_eq!(warm.results, cold.results, "warm must be bit-identical");
+        // Cached and uncached agree too.
+        let uncached = profile_corpus(&profiler, &blocks, 2);
+        assert_eq!(uncached.results, cold.results);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

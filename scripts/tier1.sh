@@ -6,6 +6,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo build --examples
+cargo bench --no-run
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
 else

@@ -46,6 +46,8 @@ OPTIONS:
     --paper-scale     Full paper-scale corpus (358k+ blocks; slow)
     --seed S          Corpus/noise seed (default 42)
     --threads T       Worker threads (default: all cores)
+    --retries N       Retry transiently failed blocks up to N times with
+                      escalating trial counts (default 0; deterministic)
     --uarch U         ivb | hsw | skl (default hsw)
     --json            Emit reports as JSON
     --cache DIR       Persist measurements under DIR and resume from them
@@ -53,6 +55,13 @@ OPTIONS:
     --no-cache        Disable the measurement cache, overriding --cache
                       and BHIVE_CACHE
     -h, --help        Print this usage summary and exit
+
+EXIT STATUS:
+    0                 Success
+    1                 Usage or I/O error
+    2                 Run unhealthy: the run-health circuit breaker
+                      tripped (environment degraded) or no block profiled
+                      successfully
 ";
 
 #[derive(Debug)]
@@ -60,6 +69,7 @@ struct Options {
     scale: Scale,
     seed: u64,
     threads: usize,
+    retries: u32,
     uarch: UarchKind,
     json: bool,
     cache: Option<std::path::PathBuf>,
@@ -85,6 +95,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         scale: Scale::PerApp(150),
         seed: 42,
         threads: 0,
+        retries: 0,
         uarch: UarchKind::Haswell,
         json: false,
         cache: None,
@@ -124,6 +135,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
+            "--retries" => {
+                opts.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
             "--uarch" => {
                 let text = value("--uarch")?;
                 opts.uarch =
@@ -155,20 +171,21 @@ fn read_stdin_block() -> Result<bhive::asm::BasicBlock, String> {
     bhive::asm::parse_block(&text).map_err(|e| e.to_string())
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
         print!("{USAGE}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     };
     let opts = parse_options(&args[1..])?;
     // `--help` anywhere (e.g. `bhive table1 --help`) prints usage and
     // exits 0 instead of dying on "unknown option".
     if opts.help {
         print!("{USAGE}");
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
-    let mut pipeline = Pipeline::new(opts.scale, opts.seed, opts.threads);
+    let mut pipeline =
+        Pipeline::new(opts.scale, opts.seed, opts.threads).with_retries(opts.retries);
     if let Some(dir) = opts.cache_dir() {
         pipeline = pipeline.with_cache_dir(dir);
     }
@@ -236,7 +253,8 @@ fn run() -> Result<(), String> {
         }
         "profile" => {
             let block = read_stdin_block()?;
-            let profiler = Profiler::new(opts.uarch.desc(), ProfileConfig::bhive());
+            let config = ProfileConfig::bhive().with_retries(opts.retries);
+            let profiler = Profiler::new(opts.uarch.desc(), config);
             match profiler.profile(&block) {
                 Ok(m) => {
                     println!(
@@ -253,8 +271,15 @@ fn run() -> Result<(), String> {
                         "unroll factors {}x/{}x, {} pages mapped, {} faults serviced",
                         m.lo.unroll, m.hi.unroll, m.mapped_pages, m.faults_serviced
                     );
+                    if m.recovered_on_retry() {
+                        println!(
+                            "recovered on retry attempt {} ({} trials)",
+                            m.attempt,
+                            m.hi.cycles.len()
+                        );
+                    }
                 }
-                Err(failure) => println!("failed to profile: {failure}"),
+                Err(failure) => println!("failed to profile ({}): {failure}", failure.class()),
             }
         }
         "predict" => {
@@ -293,7 +318,38 @@ fn run() -> Result<(), String> {
             return Err(format!("unknown command `{other}`; run `bhive help`"));
         }
     }
-    Ok(())
+    Ok(run_health(&pipeline))
+}
+
+/// Post-command health check over every corpus the pipeline measured:
+/// a tripped circuit breaker (environment degraded) or a run where no
+/// block profiled successfully exits 2, so scripted callers cannot
+/// mistake a wasted run for a good one.
+fn run_health(pipeline: &Pipeline) -> ExitCode {
+    let mut unhealthy = false;
+    for (label, stats) in pipeline.profile_stats() {
+        if let Some(trip) = &stats.breaker {
+            unhealthy = true;
+            eprintln!(
+                "error: {label}: circuit breaker tripped at block {} \
+                 ({:.0}% transient over {} blocks) — environment degraded",
+                trip.at_block,
+                trip.rate * 100.0,
+                trip.window
+            );
+        } else if stats.total_blocks > 0 && stats.successful_blocks == 0 {
+            unhealthy = true;
+            eprintln!(
+                "error: {label}: none of {} blocks profiled successfully",
+                stats.total_blocks
+            );
+        }
+    }
+    if unhealthy {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Piping into `head` closes stdout early; exiting loudly on EPIPE is
@@ -308,7 +364,7 @@ fn ignore_epipe(err: std::io::Error) -> Result<(), String> {
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -354,6 +410,7 @@ mod tests {
             "--paper-scale",
             "--seed",
             "--threads",
+            "--retries",
             "--uarch",
             "--json",
             "--cache",
@@ -369,5 +426,13 @@ mod tests {
     fn unknown_options_still_error() {
         let err = parse(&["--bogus"]).unwrap_err();
         assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn retries_parse_and_default_to_zero() {
+        assert_eq!(parse(&[]).unwrap().retries, 0);
+        assert_eq!(parse(&["--retries", "3"]).unwrap().retries, 3);
+        assert!(parse(&["--retries"]).is_err(), "--retries needs a value");
+        assert!(parse(&["--retries", "many"]).is_err());
     }
 }

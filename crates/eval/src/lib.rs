@@ -59,6 +59,7 @@ pub struct Pipeline {
     scale: Scale,
     seed: u64,
     threads: usize,
+    retries: u32,
     cache_dir: Option<PathBuf>,
     corpora: Mutex<HashMap<CorpusKind, Arc<Corpus>>>,
     measured: Mutex<HashMap<(CorpusKind, UarchKind), Arc<MeasuredCorpus>>>,
@@ -75,6 +76,7 @@ impl Pipeline {
             scale,
             seed,
             threads,
+            retries: 0,
             cache_dir: None,
             corpora: Mutex::new(HashMap::new()),
             measured: Mutex::new(HashMap::new()),
@@ -100,6 +102,22 @@ impl Pipeline {
         self.cache_dir.as_deref()
     }
 
+    /// Allows up to `retries` escalating re-attempts per transiently
+    /// failed block (see [`bhive_harness::RetryPolicy`]). The budget is
+    /// part of the profiling config — and therefore of its fingerprint —
+    /// so cached measurements never cross retry budgets. Recovered and
+    /// retried counts surface in [`Pipeline::profile_stats`].
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Pipeline {
+        self.retries = retries;
+        self
+    }
+
+    /// The retry budget per transiently failed block.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
     /// The corpus scale.
     pub fn scale(&self) -> Scale {
         self.scale
@@ -116,9 +134,10 @@ impl Pipeline {
     }
 
     /// The paper's full profiling configuration (with realistic OS noise;
-    /// noise is deterministic per block, so every run reproduces).
+    /// noise is deterministic per block and attempt, so every run
+    /// reproduces), plus this pipeline's retry budget.
     pub fn profile_config(&self) -> ProfileConfig {
-        ProfileConfig::bhive()
+        ProfileConfig::bhive().with_retries(self.retries)
     }
 
     /// Returns (and caches) a corpus.

@@ -2,9 +2,17 @@
 //!
 //! The paper's workflow is *profile once, validate many*: every table and
 //! figure re-consumes the same corpus measurements. This module persists
-//! per-block outcomes (successes *and* categorized failures — both are
-//! deterministic functions of the inputs) so a rerun serves them from
-//! disk instead of re-measuring.
+//! per-block outcomes (successes *and* categorized **permanent** failures
+//! — both are deterministic functions of the inputs) so a rerun serves
+//! them from disk instead of re-measuring.
+//!
+//! **Transient** failures ([`ProfileFailure::is_transient`]) are never
+//! persisted: they are the failures a retry with a fresh noise seed can
+//! legitimately recover, so caching one would freeze bad luck into every
+//! future run. [`MeasurementCache::insert`] silently skips them, and
+//! [`MeasurementCache::open`] evicts any written by older versions, so a
+//! resumed or re-run corpus always re-attempts its transiently failed
+//! blocks.
 //!
 //! # Format
 //!
@@ -61,10 +69,11 @@ pub fn cache_key(block_bytes: &[u8], uarch: UarchKind, fingerprint: u64) -> u64 
     fnv1a_64(&buf)
 }
 
-/// A cached per-block outcome. Failures are cached too: a block that
-/// crashes or fails reproducibility does so deterministically, and
+/// A cached per-block outcome. Permanent failures are cached too: a
+/// block that crashes or misaligns does so deterministically, and
 /// re-measuring it on every run would waste exactly the time the cache
-/// exists to save.
+/// exists to save. Transient failures are *not* cacheable (see the
+/// [module docs](self)).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum CachedOutcome {
     /// The block profiled successfully.
@@ -88,6 +97,12 @@ impl CachedOutcome {
             CachedOutcome::Ok(m) => Ok(m),
             CachedOutcome::Err(f) => Err(f),
         }
+    }
+
+    /// True when the outcome is a transient failure — an outcome the
+    /// cache refuses to persist, because a retry could change it.
+    pub fn is_transient_failure(&self) -> bool {
+        matches!(self, CachedOutcome::Err(f) if f.is_transient())
     }
 }
 
@@ -131,6 +146,10 @@ pub struct CacheOpenReport {
     /// Valid records evicted because they were written under a different
     /// config fingerprint (the config changed between runs).
     pub stale_evictions: usize,
+    /// Valid records evicted because they hold a transient failure (only
+    /// logs written by older versions contain these; current versions
+    /// never write them). Evicted so the run retries those blocks.
+    pub transient_evictions: usize,
     /// Records dropped from a torn/corrupt tail.
     pub dropped_records: usize,
     /// Bytes truncated off the tail to recover the log.
@@ -151,6 +170,10 @@ pub struct CacheStats {
     /// Records that failed to persist (the run still completes; those
     /// blocks will be re-measured next time).
     pub write_errors: usize,
+    /// True when a write error degraded the rest of the run to
+    /// cache-off: measurement continued, later outcomes stayed uncached,
+    /// and the failing disk was not touched again.
+    pub degraded: bool,
 }
 
 impl CacheStats {
@@ -239,6 +262,13 @@ impl MeasurementCache {
                 stale_on_disk += 1;
                 continue;
             }
+            // Legacy logs may hold transient failures; serving one would
+            // freeze recoverable bad luck into every future run.
+            if record.body.outcome.is_transient_failure() {
+                report.transient_evictions += 1;
+                stale_on_disk += 1;
+                continue;
+            }
             report.loaded += 1;
             entries.insert(record.body.key, record.body.outcome);
         }
@@ -315,12 +345,18 @@ impl MeasurementCache {
     /// Inserts an outcome and appends it durably (the line is flushed
     /// before this returns, so a crash after `insert` never loses it).
     ///
+    /// Transient failures are silently skipped — not stored, not written
+    /// (see the [module docs](self)) — so the next run retries them.
+    ///
     /// # Errors
     ///
     /// Returns an error when the record cannot be serialized or written;
     /// the in-memory entry is kept either way, so the current run still
     /// benefits.
     pub fn insert(&mut self, key: u64, outcome: CachedOutcome) -> std::io::Result<()> {
+        if outcome.is_transient_failure() {
+            return Ok(());
+        }
         let body = RecordBody {
             key,
             uarch: self.uarch,
@@ -427,6 +463,66 @@ mod tests {
         assert_eq!(cache.get(7), Some(&sample_failure()));
         assert_eq!(cache.open_report().loaded, 1);
         assert_eq!(cache.open_report().stale_evictions, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn transient_failure() -> CachedOutcome {
+        CachedOutcome::Err(ProfileFailure::Unreproducible {
+            clean: 5,
+            identical: 3,
+            required: 8,
+        })
+    }
+
+    #[test]
+    fn transient_failures_are_not_persisted() {
+        let dir = temp_dir("transient-insert");
+        let config = ProfileConfig::bhive();
+        {
+            let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+            assert!(transient_failure().is_transient_failure());
+            cache.insert(1, transient_failure()).unwrap();
+            cache.insert(2, sample_failure()).unwrap(); // permanent: kept
+            assert_eq!(cache.len(), 1, "the transient outcome is skipped");
+            assert!(cache.get(1).is_none());
+        }
+        let reopened = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        assert_eq!(reopened.open_report().loaded, 1);
+        assert!(reopened.get(1).is_none(), "nothing transient hit the disk");
+        assert!(reopened.get(2).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_transient_records_are_evicted_at_open() {
+        let dir = temp_dir("transient-evict");
+        let config = ProfileConfig::bhive();
+        // Hand-write a valid transient record, as an older version (which
+        // persisted every outcome) would have left behind.
+        let body = RecordBody {
+            key: 9,
+            uarch: UarchKind::Haswell,
+            fp: config.fingerprint(),
+            outcome: transient_failure(),
+        };
+        let record = Record {
+            sum: body_checksum(&body).unwrap(),
+            body,
+        };
+        let path = MeasurementCache::log_path(&dir, UarchKind::Haswell);
+        let mut line = serde_json::to_string(&record).unwrap();
+        line.push('\n');
+        std::fs::write(&path, line).unwrap();
+
+        let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        assert_eq!(cache.open_report().transient_evictions, 1);
+        assert_eq!(cache.open_report().loaded, 0);
+        assert!(cache.get(9).is_none(), "the block must be re-measured");
+        assert_eq!(cache.stale_on_disk(), 1, "compaction reclaims the record");
+        cache.compact().unwrap();
+        drop(cache);
+        let reopened = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        assert_eq!(reopened.open_report().transient_evictions, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,246 @@
+//! Deterministic fault injection for the profiling pipeline.
+//!
+//! A robustness claim is only as good as the worst fault it has been
+//! shown to contain. This module injects the three fault classes the
+//! supervised pipeline must survive — a panic mid-block, a transient
+//! measurement failure, and a cache-write I/O error — at *chosen,
+//! deterministic* points, so the chaos test suite can prove each class is
+//! contained and recovered exactly as designed:
+//!
+//! * faults are addressed by `(unique-block index, attempt)` (or by write
+//!   ordinal for cache errors), never by wall clock or randomness at
+//!   injection time, so a chaos run at 1 thread and at N threads injects
+//!   the same faults into the same work;
+//! * the seeded constructor ([`FaultPlan::seeded`]) derives the fault
+//!   sites from a `SmallRng`, so large randomized plans are reproducible
+//!   from a single `u64`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Where and what to inject. Immutable once built; shared by reference
+/// across workers through a [`ChaosInjector`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(unique-block index, attempt)` pairs whose profiling panics.
+    panics: BTreeSet<(usize, u32)>,
+    /// `(unique-block index, attempt)` pairs forced to fail as
+    /// unreproducible.
+    transients: BTreeSet<(usize, u32)>,
+    /// Ordinals (0-based) of cache writes that fail with an I/O error.
+    cache_write_errors: BTreeSet<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Panic while profiling `unique_block` on attempt `attempt`.
+    #[must_use]
+    pub fn panic_at(mut self, unique_block: usize, attempt: u32) -> FaultPlan {
+        self.panics.insert((unique_block, attempt));
+        self
+    }
+
+    /// Force attempt `attempt` of `unique_block` to fail as
+    /// unreproducible.
+    #[must_use]
+    pub fn transient_at(mut self, unique_block: usize, attempt: u32) -> FaultPlan {
+        self.transients.insert((unique_block, attempt));
+        self
+    }
+
+    /// Force attempts `0..=last_attempt` of `unique_block` to fail as
+    /// unreproducible — enough to exhaust a retry budget of
+    /// `last_attempt`.
+    #[must_use]
+    pub fn transient_through(mut self, unique_block: usize, last_attempt: u32) -> FaultPlan {
+        for attempt in 0..=last_attempt {
+            self.transients.insert((unique_block, attempt));
+        }
+        self
+    }
+
+    /// Fail the `nth_write`-th (0-based) cache write with an I/O error.
+    #[must_use]
+    pub fn cache_write_error_at(mut self, nth_write: usize) -> FaultPlan {
+        self.cache_write_errors.insert(nth_write);
+        self
+    }
+
+    /// A randomized plan over `blocks` unique blocks, reproducible from
+    /// `seed`: each block's attempt 0 panics with probability
+    /// `panic_rate` and is forced transient with probability
+    /// `transient_rate` (a block gets at most one of the two).
+    pub fn seeded(seed: u64, blocks: usize, panic_rate: f64, transient_rate: f64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        for block in 0..blocks {
+            if panic_rate > 0.0 && rng.gen_bool(panic_rate.min(1.0)) {
+                plan.panics.insert((block, 0));
+            } else if transient_rate > 0.0 && rng.gen_bool(transient_rate.min(1.0)) {
+                plan.transients.insert((block, 0));
+            }
+        }
+        plan
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.panics.is_empty() && self.transients.is_empty() && self.cache_write_errors.is_empty()
+    }
+
+    /// Number of planned panic sites.
+    pub fn planned_panics(&self) -> usize {
+        self.panics.len()
+    }
+
+    /// Number of planned forced-transient sites.
+    pub fn planned_transients(&self) -> usize {
+        self.transients.len()
+    }
+}
+
+/// What an injector actually fired during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Panics injected into profiling attempts.
+    pub injected_panics: usize,
+    /// Attempts forced to fail as unreproducible.
+    pub forced_transients: usize,
+    /// Cache writes failed with an injected I/O error.
+    pub cache_write_errors: usize,
+}
+
+impl ChaosStats {
+    /// True when nothing fired.
+    pub fn is_empty(&self) -> bool {
+        self.injected_panics == 0 && self.forced_transients == 0 && self.cache_write_errors == 0
+    }
+}
+
+/// Thread-safe executor of a [`FaultPlan`]: the pipeline consults it at
+/// each injection point; fired faults are counted so tests can assert
+/// the plan actually executed.
+#[derive(Debug, Default)]
+pub struct ChaosInjector {
+    plan: FaultPlan,
+    panics: AtomicUsize,
+    transients: AtomicUsize,
+    cache_errors: AtomicUsize,
+}
+
+impl ChaosInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> ChaosInjector {
+        ChaosInjector {
+            plan,
+            ..ChaosInjector::default()
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Panics if the plan schedules a panic for this `(block, attempt)`.
+    /// Called inside the pipeline's `catch_unwind` region, so the panic
+    /// surfaces as [`crate::ProfileFailure::Panic`] like a real one.
+    pub fn panic_if_planned(&self, unique_block: usize, attempt: u32) {
+        if self.plan.panics.contains(&(unique_block, attempt)) {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("chaos: injected panic at block {unique_block} attempt {attempt}");
+        }
+    }
+
+    /// True when this `(block, attempt)` must fail as unreproducible.
+    pub fn forces_transient(&self, unique_block: usize, attempt: u32) -> bool {
+        let forced = self.plan.transients.contains(&(unique_block, attempt));
+        if forced {
+            self.transients.fetch_add(1, Ordering::Relaxed);
+        }
+        forced
+    }
+
+    /// True when the `nth_write`-th cache write must fail.
+    pub fn fail_cache_write(&self, nth_write: usize) -> bool {
+        let fail = self.plan.cache_write_errors.contains(&nth_write);
+        if fail {
+            self.cache_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        fail
+    }
+
+    /// Counters of the faults fired so far.
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            injected_panics: self.panics.load(Ordering::Relaxed),
+            forced_transients: self.transients.load(Ordering::Relaxed),
+            cache_write_errors: self.cache_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_register_sites() {
+        let plan = FaultPlan::new()
+            .panic_at(3, 0)
+            .transient_through(5, 2)
+            .cache_write_error_at(1);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.planned_panics(), 1);
+        assert_eq!(plan.planned_transients(), 3, "attempts 0, 1, 2");
+        let injector = ChaosInjector::new(plan);
+        assert!(injector.forces_transient(5, 1));
+        assert!(!injector.forces_transient(5, 3));
+        assert!(injector.fail_cache_write(1));
+        assert!(!injector.fail_cache_write(0));
+        assert_eq!(injector.stats().forced_transients, 1);
+        assert_eq!(injector.stats().cache_write_errors, 1);
+    }
+
+    #[test]
+    fn planned_panic_fires_and_is_counted() {
+        let injector = ChaosInjector::new(FaultPlan::new().panic_at(7, 1));
+        injector.panic_if_planned(7, 0); // not planned: no panic
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            injector.panic_if_planned(7, 1)
+        }));
+        assert!(caught.is_err(), "planned panic must fire");
+        assert_eq!(injector.stats().injected_panics, 1);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_rate_bounded() {
+        let a = FaultPlan::seeded(42, 1000, 0.05, 0.2);
+        let b = FaultPlan::seeded(42, 1000, 0.05, 0.2);
+        assert_eq!(a, b, "same seed, same plan");
+        let c = FaultPlan::seeded(43, 1000, 0.05, 0.2);
+        assert_ne!(a, c, "different seed, different plan");
+        let panics = a.planned_panics();
+        let transients = a.planned_transients();
+        assert!((10..=120).contains(&panics), "~5% of 1000, got {panics}");
+        assert!(
+            (100..=350).contains(&transients),
+            "~20% of the rest, got {transients}"
+        );
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let injector = ChaosInjector::new(FaultPlan::new());
+        injector.panic_if_planned(0, 0);
+        assert!(!injector.forces_transient(0, 0));
+        assert!(!injector.fail_cache_write(0));
+        assert!(injector.stats().is_empty());
+    }
+}

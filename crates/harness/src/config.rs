@@ -1,5 +1,6 @@
 //! Profiling configuration — every paper technique as a switch.
 
+use crate::retry::RetryPolicy;
 use bhive_sim::NoiseConfig;
 use serde::{Deserialize, Serialize};
 
@@ -88,6 +89,11 @@ pub struct ProfileConfig {
     pub enforce_invariants: bool,
     /// OS-noise model of the measurement machine.
     pub noise: NoiseConfig,
+    /// Retry escalation for transient failures (default: none). Part of
+    /// the config fingerprint: a recovered-on-retry success is an outcome
+    /// a retry-free run cannot produce, so caches must not cross retry
+    /// budgets.
+    pub retry: RetryPolicy,
 }
 
 impl ProfileConfig {
@@ -110,6 +116,7 @@ impl ProfileConfig {
             max_dynamic_insts: 2_000_000,
             enforce_invariants: true,
             noise: NoiseConfig::realistic(),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -164,6 +171,13 @@ impl ProfileConfig {
     /// measurement instead of rejecting it (used by the Table 2 ablation).
     pub fn without_invariant_enforcement(mut self) -> ProfileConfig {
         self.enforce_invariants = false;
+        self
+    }
+
+    /// Returns a copy allowing up to `retries` escalating re-attempts per
+    /// transiently failed block (see [`RetryPolicy`]).
+    pub fn with_retries(mut self, retries: u32) -> ProfileConfig {
+        self.retry = RetryPolicy::escalating(retries);
         self
     }
 
@@ -278,6 +292,9 @@ mod tests {
                 fill: 0x1234_5601,
                 ..base.clone()
             },
+            // Retry budgets must not share a cache: a success recovered
+            // on attempt 2 is not an outcome a retry-free run produces.
+            base.clone().with_retries(2),
         ];
         for (idx, variant) in variants.iter().enumerate() {
             assert_ne!(base.fingerprint(), variant.fingerprint(), "variant {idx}");

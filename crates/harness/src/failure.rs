@@ -6,6 +6,34 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 
+/// Whether a failure is worth retrying.
+///
+/// See [`ProfileFailure::class`] for which variants fall where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureClass {
+    /// The failure can be an artifact of measurement noise (unreproducible
+    /// timings, a negative two-unroll delta, noise-dirtied counters, a
+    /// panic from poisoned worker state): a retry with a fresh noise seed
+    /// and more trials can legitimately succeed. Transient failures are
+    /// retried by the supervised pipeline and are never persisted in the
+    /// on-disk measurement cache.
+    Transient,
+    /// The failure is a deterministic property of the block itself
+    /// (crash, unmappable address, unsupported ISA, encoding or
+    /// structural problems, misalignment): retrying reproduces it
+    /// bit-for-bit, so it is reported once and cached.
+    Permanent,
+}
+
+impl fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureClass::Transient => "transient",
+            FailureClass::Permanent => "permanent",
+        })
+    }
+}
+
 /// Reasons a basic block could not be successfully profiled.
 ///
 /// The paper counts a block as *successfully profiled* only when it
@@ -118,6 +146,28 @@ impl ProfileFailure {
             ProfileFailure::InvalidBlock { .. } => "invalid-block",
         }
     }
+
+    /// Transient-vs-permanent classification (see [`FailureClass`]).
+    pub fn class(&self) -> FailureClass {
+        match self {
+            ProfileFailure::Unreproducible { .. }
+            | ProfileFailure::NegativeDelta { .. }
+            | ProfileFailure::DirtyCounters { .. }
+            | ProfileFailure::Panic { .. } => FailureClass::Transient,
+            ProfileFailure::Crash { .. }
+            | ProfileFailure::TooManyFaults { .. }
+            | ProfileFailure::InvalidAddress { .. }
+            | ProfileFailure::Misaligned { .. }
+            | ProfileFailure::UnsupportedIsa
+            | ProfileFailure::Encoding { .. }
+            | ProfileFailure::InvalidBlock { .. } => FailureClass::Permanent,
+        }
+    }
+
+    /// True for failures a retry with a fresh noise seed can recover.
+    pub fn is_transient(&self) -> bool {
+        self.class() == FailureClass::Transient
+    }
 }
 
 impl fmt::Display for ProfileFailure {
@@ -202,6 +252,65 @@ mod tests {
             .category(),
             "panic"
         );
+    }
+
+    #[test]
+    fn every_variant_has_a_class() {
+        use FailureClass::{Permanent, Transient};
+        let cases: [(ProfileFailure, FailureClass); 11] = [
+            (ProfileFailure::Crash { fault: "x".into() }, Permanent),
+            (ProfileFailure::TooManyFaults { faults: 65 }, Permanent),
+            (ProfileFailure::InvalidAddress { vaddr: 1 }, Permanent),
+            (
+                ProfileFailure::Unreproducible {
+                    clean: 3,
+                    identical: 2,
+                    required: 8,
+                },
+                Transient,
+            ),
+            (
+                ProfileFailure::NegativeDelta {
+                    lo_cycles: 10,
+                    hi_cycles: 5,
+                    lo_unroll: 50,
+                    hi_unroll: 100,
+                },
+                Transient,
+            ),
+            (
+                ProfileFailure::Panic {
+                    message: "b".into(),
+                },
+                Transient,
+            ),
+            (
+                ProfileFailure::DirtyCounters {
+                    counters: PerfCounters::default(),
+                },
+                Transient,
+            ),
+            (ProfileFailure::Misaligned { count: 1 }, Permanent),
+            (ProfileFailure::UnsupportedIsa, Permanent),
+            (
+                ProfileFailure::Encoding {
+                    message: "e".into(),
+                },
+                Permanent,
+            ),
+            (
+                ProfileFailure::InvalidBlock {
+                    message: "i".into(),
+                },
+                Permanent,
+            ),
+        ];
+        for (failure, expected) in cases {
+            assert_eq!(failure.class(), expected, "{failure}");
+            assert_eq!(failure.is_transient(), expected == Transient);
+        }
+        assert_eq!(Transient.to_string(), "transient");
+        assert_eq!(Permanent.to_string(), "permanent");
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //! Every technique is individually switchable through [`ProfileConfig`],
 //! which is what the paper's ablation studies (Tables 1 and 2) toggle.
 //!
+//! Corpus runs are *supervised* ([`profile_corpus_supervised`]): failures
+//! are classified transient vs permanent ([`FailureClass`]), transient
+//! ones are retried with escalating trial counts and deterministic
+//! reseeds ([`RetryPolicy`]), a sliding-window [`CircuitBreaker`] stops
+//! burning retries when the environment itself is degraded, and the
+//! [`chaos`] module injects deterministic faults so the chaos test suite
+//! can prove each fault class is contained.
+//!
 //! # Example
 //!
 //! ```
@@ -49,6 +57,7 @@
 //! ```
 
 pub mod cache;
+pub mod chaos;
 mod config;
 pub mod exegesis;
 mod failure;
@@ -57,13 +66,17 @@ mod measurement;
 mod monitor;
 mod parallel;
 mod profiler;
+mod retry;
 
 pub use cache::{cache_key, CacheOpenReport, CacheStats, CachedOutcome, MeasurementCache};
+pub use chaos::{ChaosInjector, ChaosStats, FaultPlan};
 pub use config::{PageMapping, ProfileConfig, UnrollStrategy};
-pub use failure::ProfileFailure;
+pub use failure::{FailureClass, ProfileFailure};
 pub use measurement::{Measurement, TrialSet};
 pub use monitor::{monitor, MappingOutcome};
 pub use parallel::{
-    profile_corpus, profile_corpus_cached, CorpusReport, ProfileStats, WorkerStats,
+    profile_corpus, profile_corpus_cached, profile_corpus_supervised, CorpusReport, ProfileStats,
+    Supervision, WorkerStats,
 };
 pub use profiler::Profiler;
+pub use retry::{BreakerConfig, BreakerTrip, CircuitBreaker, RetryPolicy};

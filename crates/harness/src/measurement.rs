@@ -41,9 +41,18 @@ pub struct Measurement {
     /// Cache-line-crossing accesses observed (nonzero only when the
     /// misalignment filter is disabled).
     pub misaligned_refs: u64,
+    /// Which attempt produced this measurement (0 = first try; > 0 means
+    /// the block was recovered by retry escalation after transient
+    /// failures). Part of the measurement's identity: a corpus profiled
+    /// at any thread count, cold or warm, reports the same attempt.
+    pub attempt: u32,
 }
 
 impl Measurement {
+    /// True when the block needed retry escalation to measure.
+    pub fn recovered_on_retry(&self) -> bool {
+        self.attempt > 0
+    }
     /// Cycles per dynamic instruction at steady state.
     pub fn cycles_per_inst(&self, block_len: usize) -> f64 {
         if block_len == 0 {
@@ -78,8 +87,12 @@ mod tests {
             faults_serviced: 1,
             subnormal_events: 0,
             misaligned_refs: 0,
+            attempt: 0,
         };
         assert_eq!(m.cycles_per_inst(4), 2.0);
         assert_eq!(m.cycles_per_inst(0), 0.0);
+        assert!(!m.recovered_on_retry());
+        let recovered = Measurement { attempt: 2, ..m };
+        assert!(recovered.recovered_on_retry());
     }
 }

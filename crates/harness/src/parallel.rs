@@ -1,23 +1,47 @@
-//! Parallel corpus profiling.
+//! Parallel corpus profiling under supervision.
 //!
 //! The pipeline deduplicates the corpus by machine-code content before
 //! spawning workers: every distinct encoding is measured exactly once and
 //! the result is fanned out to all duplicate positions. This is sound
 //! because a measurement is a pure function of (block bytes, uarch,
-//! config) — the noise seed is derived from the block's stable content
-//! hash, never from worker identity or scheduling order — so parallel,
-//! deduplicated runs are bit-identical to serial ones.
+//! config, attempt) — the noise seed is derived from the block's stable
+//! content hash (XOR the attempt index), never from worker identity or
+//! scheduling order — so parallel, deduplicated runs are bit-identical to
+//! serial ones.
 //!
-//! Each worker owns one long-lived [`Machine`] and recycles it per block
-//! ([`Profiler::profile_with`]), reusing page allocations instead of
-//! rebuilding page tables from scratch. Results flow back over a channel
-//! (no shared mutex), and a panic while profiling one block is caught and
-//! recorded as [`ProfileFailure::Panic`] rather than aborting the run.
+//! Measurement is *supervised* ([`profile_corpus_supervised`]) in two
+//! deterministic phases:
+//!
+//! 1. **Phase A** measures attempt 0 of every unique block. Outcomes that
+//!    cannot change (successes and permanent failures) are finalized —
+//!    fanned out and streamed to the disk log — the moment they arrive;
+//!    transient failures are deferred when retries are enabled.
+//! 2. The first-attempt outcomes, read in unique-block *submission* order
+//!    (never completion order), feed the [`CircuitBreaker`]. If the
+//!    transient-failure rate says the environment itself is degraded, the
+//!    breaker trips: deferred failures are reported as-is, no retry
+//!    budget is burned, and the run is flagged in [`ProfileStats`].
+//! 3. **Phase B** (breaker healthy, retries enabled) re-attempts each
+//!    deferred block with escalating trial counts and deterministic
+//!    reseeds ([`crate::RetryPolicy`]), stopping at the first success or
+//!    permanent failure.
+//!
+//! Each worker owns one long-lived [`Machine`] and recycles it per block;
+//! a panic while profiling one block is caught, recorded as
+//! [`ProfileFailure::Panic`], and the worker's machine is *quarantined* —
+//! replaced with a freshly built one, since its state is unknown
+//! mid-panic — rather than aborting the run. Results flow back over a
+//! channel (no shared mutex).
+//!
+//! Fault injection for the chaos test suite threads through
+//! [`Supervision::chaos`]; see [`crate::chaos`].
 
 use crate::cache::{CacheStats, MeasurementCache};
+use crate::chaos::{ChaosInjector, ChaosStats};
 use crate::failure::ProfileFailure;
 use crate::measurement::Measurement;
 use crate::profiler::Profiler;
+use crate::retry::{BreakerConfig, BreakerTrip, CircuitBreaker};
 use bhive_asm::BasicBlock;
 use bhive_sim::Machine;
 use std::collections::hash_map::Entry;
@@ -71,14 +95,39 @@ impl CorpusReport {
     }
 }
 
+/// Supervision knobs for a corpus run: circuit-breaker tuning and
+/// (for the chaos test suite) a fault injector. The retry budget itself
+/// lives in [`crate::ProfileConfig::retry`], because it changes what a
+/// measurement *is* and therefore belongs to the config fingerprint.
+#[derive(Debug, Default)]
+pub struct Supervision {
+    /// Run-health circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Deterministic fault injection (`None` outside chaos tests).
+    pub chaos: Option<ChaosInjector>,
+}
+
+impl Supervision {
+    /// Supervision with an active fault injector.
+    pub fn with_chaos(chaos: ChaosInjector) -> Supervision {
+        Supervision {
+            chaos: Some(chaos),
+            ..Supervision::default()
+        }
+    }
+}
+
 /// What one corpus run did: throughput of the pipeline itself, dedup
-/// effectiveness, failure mix, and per-worker utilization.
+/// effectiveness, failure mix, retry recovery, run health, and per-worker
+/// utilization.
 #[derive(Debug, Clone, Default)]
 pub struct ProfileStats {
     /// Blocks submitted (including duplicates).
     pub total_blocks: usize,
     /// Distinct encodings actually measured.
     pub unique_blocks: usize,
+    /// Blocks that resolved to a successful measurement.
+    pub successful_blocks: usize,
     /// Duplicate blocks served from the dedup cache instead of measured.
     pub cache_hits: usize,
     /// Worker threads actually spawned (0 for an empty corpus).
@@ -90,6 +139,19 @@ pub struct ProfileStats {
     pub blocks_per_sec: f64,
     /// Panics caught and converted to per-block failures.
     pub panics: usize,
+    /// Unique blocks whose first attempt failed transiently and that
+    /// entered retry escalation.
+    pub retried_blocks: usize,
+    /// Unique blocks recovered to a successful measurement by a retry.
+    pub recovered_blocks: usize,
+    /// Extra profiling attempts spent in retry escalation (phase B).
+    pub retry_attempts: usize,
+    /// Evidence of a circuit-breaker trip: the run is flagged
+    /// environment-degraded and retries were suspended. `None` for a
+    /// healthy run.
+    pub breaker: Option<BreakerTrip>,
+    /// Faults fired by the injector, when the run was a chaos run.
+    pub chaos: Option<ChaosStats>,
     /// Failure counts by category, over all blocks.
     pub failures: BTreeMap<&'static str, usize>,
     /// Per-worker counters, indexed by worker id.
@@ -102,12 +164,16 @@ pub struct ProfileStats {
 /// Counters for a single worker thread.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerStats {
-    /// Unique blocks this worker measured.
+    /// Unique blocks this worker first-attempted (retry attempts are
+    /// accounted in [`ProfileStats::retry_attempts`]).
     pub profiled: usize,
     /// Time spent inside the profiler (as opposed to queueing).
     pub busy: Duration,
     /// Panics this worker caught.
     pub panics: usize,
+    /// Machines this worker quarantined (rebuilt fresh) after a panic
+    /// left the recycled machine's state unknown.
+    pub quarantined: usize,
 }
 
 impl ProfileStats {
@@ -130,6 +196,18 @@ impl ProfileStats {
                 }
             })
             .collect()
+    }
+
+    /// Machines quarantined across all workers.
+    pub fn quarantined(&self) -> usize {
+        self.workers.iter().map(|w| w.quarantined).sum()
+    }
+
+    /// True when the run should be treated as unhealthy by scripted
+    /// callers: the circuit breaker tripped (environment degraded), or
+    /// blocks were submitted and none profiled successfully.
+    pub fn is_unhealthy(&self) -> bool {
+        self.breaker.is_some() || (self.total_blocks > 0 && self.successful_blocks == 0)
     }
 }
 
@@ -165,9 +243,47 @@ impl std::fmt::Display for ProfileStats {
                     counted(cache.write_errors, "write error", "write errors")
                 )?;
             }
+            if cache.degraded {
+                write!(f, ", DEGRADED to cache-off")?;
+            }
         }
         if self.panics > 0 {
             write!(f, "; {} caught", counted(self.panics, "panic", "panics"))?;
+        }
+        if self.quarantined() > 0 {
+            write!(
+                f,
+                "; {} quarantined",
+                counted(self.quarantined(), "machine", "machines")
+            )?;
+        }
+        if self.retried_blocks > 0 {
+            write!(
+                f,
+                "; {} recovered on retry ({} retried, {} extra attempts)",
+                counted(self.recovered_blocks, "block", "blocks"),
+                self.retried_blocks,
+                self.retry_attempts,
+            )?;
+        }
+        if let Some(trip) = &self.breaker {
+            write!(
+                f,
+                "; BREAKER TRIPPED at block {} ({:.0}% transient over {}): \
+                 environment degraded, retries suspended",
+                trip.at_block,
+                trip.rate * 100.0,
+                counted(trip.window, "block", "blocks"),
+            )?;
+        }
+        if let Some(chaos) = &self.chaos {
+            if !chaos.is_empty() {
+                write!(
+                    f,
+                    "; chaos injected: {} panics, {} transients, {} cache errors",
+                    chaos.injected_panics, chaos.forced_transients, chaos.cache_write_errors,
+                )?;
+            }
         }
         if !self.failures.is_empty() {
             let mix: Vec<String> = self
@@ -202,27 +318,50 @@ pub fn profile_corpus(profiler: &Profiler, blocks: &[BasicBlock], threads: usize
     profile_corpus_cached(profiler, blocks, threads, None)
 }
 
-/// [`profile_corpus`] with an optional on-disk [`MeasurementCache`].
+/// [`profile_corpus`] with an optional on-disk [`MeasurementCache`] and
+/// default [`Supervision`].
 ///
 /// With a cache, a lookup stage runs ahead of measurement: every unique
 /// encoding already in the cache is served from disk (a *hit*), and only
-/// the misses consume machine time. Each freshly measured outcome is
-/// appended to the log — flushed record by record, as the run progresses
-/// — so an interrupted run resumes without re-measuring completed
-/// blocks. Warm results are bit-identical to a cold run: the cache
-/// stores exactly what the profiler returned, keyed by
-/// (block bytes, uarch, [`crate::ProfileConfig::fingerprint`]), and
-/// profiling is a pure function of that key.
+/// the misses consume machine time. Each freshly *finalized* outcome —
+/// a success or a permanent failure; transient failures are never
+/// persisted, so a resumed run retries them — is appended to the log,
+/// flushed record by record as the run progresses, so an interrupted run
+/// resumes without re-measuring completed blocks. Warm results are
+/// bit-identical to a cold run: the cache stores exactly what the
+/// profiler returned, keyed by (block bytes, uarch,
+/// [`crate::ProfileConfig::fingerprint`]), and profiling is a pure
+/// function of that key.
 ///
 /// Stale records found at open (config fingerprint changed between runs)
-/// are compacted away after the run. Cache I/O never fails the run:
-/// write errors are counted in [`CacheStats::write_errors`] and the
-/// affected blocks simply stay uncached.
+/// are compacted away after the run. Cache I/O never fails the run: the
+/// first write error counts in [`CacheStats::write_errors`], sets
+/// [`CacheStats::degraded`], and degrades the rest of the run to
+/// cache-off — measurement continues, later outcomes simply stay
+/// uncached.
 pub fn profile_corpus_cached(
     profiler: &Profiler,
     blocks: &[BasicBlock],
     threads: usize,
+    cache: Option<&mut MeasurementCache>,
+) -> CorpusReport {
+    profile_corpus_supervised(profiler, blocks, threads, cache, &Supervision::default())
+}
+
+/// The full supervised pipeline: [`profile_corpus_cached`] plus explicit
+/// circuit-breaker tuning and (for chaos tests) fault injection.
+///
+/// See the [module docs](self) for the phase structure. Outcomes —
+/// including *which attempt* succeeded and whether the breaker tripped —
+/// are a deterministic function of (corpus content, uarch, config,
+/// breaker tuning, fault plan): bit-identical at any thread count, cold
+/// or warm cache.
+pub fn profile_corpus_supervised(
+    profiler: &Profiler,
+    blocks: &[BasicBlock],
+    threads: usize,
     mut cache: Option<&mut MeasurementCache>,
+    supervision: &Supervision,
 ) -> CorpusReport {
     let started = Instant::now();
     let threads = if threads == 0 {
@@ -232,6 +371,8 @@ pub fn profile_corpus_cached(
     } else {
         threads
     };
+    let chaos = supervision.chaos.as_ref();
+    let retries = profiler.config().retry.retries;
 
     // ---- Dedup stage: one work item per distinct encoding. ----
     // Within one run, uarch and config are fixed, so the encoded bytes
@@ -284,82 +425,150 @@ pub fn profile_corpus_cached(
     } else {
         pending = (0..unique_rep.len()).collect();
     }
+    let cache_was_active = cache.is_some();
 
-    // ---- Measurement stage: never more workers than work items. ----
+    // ---- Phase A: first attempts, never more workers than work. ----
+    // Final outcomes (successes, permanent failures, or transients when
+    // retries are off) stream to the disk log as they arrive, keeping the
+    // crash-safety of the unsupervised pipeline; transient failures are
+    // deferred for the breaker verdict.
     let worker_count = threads.min(pending.len());
-    let next = AtomicUsize::new(0);
-    let (sender, receiver) = mpsc::channel();
-
-    let workers: Vec<WorkerStats> = if worker_count == 0 {
-        Vec::new()
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..worker_count)
-                .map(|_| {
-                    let sender = sender.clone();
-                    let next = &next;
-                    let pending = &pending;
-                    let unique_rep = &unique_rep;
-                    scope.spawn(move || {
-                        let mut machine = Machine::new(profiler.uarch(), 0);
-                        let mut stats = WorkerStats::default();
-                        loop {
-                            let slot = next.fetch_add(1, Ordering::Relaxed);
-                            if slot >= pending.len() {
-                                break;
-                            }
-                            let unique = pending[slot];
-                            let block = &blocks[unique_rep[unique]];
-                            let claimed = Instant::now();
-                            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                profiler.profile_with(block, &mut machine)
-                            }))
-                            .unwrap_or_else(|payload| {
-                                stats.panics += 1;
-                                // The machine's state is unknown mid-panic;
-                                // replace it rather than recycle it.
-                                machine = Machine::new(profiler.uarch(), 0);
-                                Err(ProfileFailure::Panic {
-                                    message: panic_message(payload.as_ref()),
-                                })
-                            });
-                            stats.busy += claimed.elapsed();
-                            stats.profiled += 1;
-                            sender
-                                .send((unique, outcome))
-                                .expect("collector outlives workers");
-                        }
-                        stats
-                    })
-                })
-                .collect();
-            // ---- Fan-out stage, concurrent with the workers: each
-            // measurement serves every duplicate, and lands in the disk
-            // log (flushed per record) the moment it arrives, so a crash
-            // mid-run preserves everything measured so far.
-            drop(sender);
-            for (unique, outcome) in receiver {
-                if let Some(cache) = cache.as_deref_mut() {
-                    if cache
-                        .insert(unique_keys[unique], outcome.clone().into())
-                        .is_err()
-                    {
-                        disk.write_errors += 1;
-                    }
-                }
-                for &idx in &fanout[unique] {
-                    results[idx] = Some(outcome.clone());
-                }
+    let mut first: Vec<Option<Result<Measurement, ProfileFailure>>> = vec![None; pending.len()];
+    let mut write_ordinal = 0usize;
+    let phase_a = run_workers(
+        profiler,
+        worker_count,
+        pending.len(),
+        |slot, machine, stats| {
+            let unique = pending[slot];
+            let block = &blocks[unique_rep[unique]];
+            let claimed = Instant::now();
+            let outcome = attempt_block(profiler, block, unique, 0, machine, stats, chaos);
+            stats.busy += claimed.elapsed();
+            stats.profiled += 1;
+            (slot, outcome)
+        },
+        |(slot, outcome)| {
+            let deferred = retries > 0 && matches!(&outcome, Err(f) if f.is_transient());
+            if !deferred {
+                finalize_outcome(
+                    pending[slot],
+                    &outcome,
+                    &unique_keys,
+                    &fanout,
+                    &mut results,
+                    &mut cache,
+                    &mut disk,
+                    chaos,
+                    &mut write_ordinal,
+                );
             }
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("worker loop cannot panic"))
-                .collect()
-        })
-    };
+            first[slot] = Some(outcome);
+        },
+    );
 
-    // Stale records (older config fingerprints) were skipped at open;
-    // reclaim their log space now that the run is over.
+    // ---- Run-health verdict: first-attempt outcomes in *submission*
+    // order (pending order), never completion order, so the breaker trips
+    // identically at any thread count.
+    let mut breaker = CircuitBreaker::new(supervision.breaker);
+    for outcome in &first {
+        breaker.observe(matches!(outcome, Some(Err(f)) if f.is_transient()));
+    }
+    let trip = breaker.trip();
+
+    // ---- Phase B: retry escalation for deferred transients. ----
+    let mut retried_blocks = 0usize;
+    let mut recovered_blocks = 0usize;
+    let mut retry_attempts = 0usize;
+    let mut phase_b: Vec<WorkerStats> = Vec::new();
+    if retries > 0 {
+        let deferred: Vec<usize> = first
+            .iter()
+            .enumerate()
+            .filter(|(_, outcome)| matches!(outcome, Some(Err(f)) if f.is_transient()))
+            .map(|(slot, _)| slot)
+            .collect();
+        if trip.is_some() {
+            // Environment degraded: burning escalated retries would waste
+            // machine time on a polluted run. Report first attempts as-is.
+            for &slot in &deferred {
+                let outcome = first[slot].clone().expect("phase A resolved every slot");
+                finalize_outcome(
+                    pending[slot],
+                    &outcome,
+                    &unique_keys,
+                    &fanout,
+                    &mut results,
+                    &mut cache,
+                    &mut disk,
+                    chaos,
+                    &mut write_ordinal,
+                );
+            }
+        } else if !deferred.is_empty() {
+            retried_blocks = deferred.len();
+            phase_b = run_workers(
+                profiler,
+                threads.min(deferred.len()),
+                deferred.len(),
+                |dslot, machine, stats| {
+                    let slot = deferred[dslot];
+                    let unique = pending[slot];
+                    let block = &blocks[unique_rep[unique]];
+                    let claimed = Instant::now();
+                    let mut attempts_used = 0u32;
+                    let mut outcome = None;
+                    for attempt in 1..=retries {
+                        attempts_used += 1;
+                        let out =
+                            attempt_block(profiler, block, unique, attempt, machine, stats, chaos);
+                        let transient = matches!(&out, Err(f) if f.is_transient());
+                        outcome = Some(out);
+                        if !transient {
+                            break;
+                        }
+                    }
+                    stats.busy += claimed.elapsed();
+                    let outcome = outcome.expect("retries >= 1 runs at least one attempt");
+                    (slot, outcome, attempts_used)
+                },
+                |(slot, outcome, attempts_used): (usize, _, u32)| {
+                    retry_attempts += attempts_used as usize;
+                    if outcome.is_ok() {
+                        recovered_blocks += 1;
+                    }
+                    finalize_outcome(
+                        pending[slot],
+                        &outcome,
+                        &unique_keys,
+                        &fanout,
+                        &mut results,
+                        &mut cache,
+                        &mut disk,
+                        chaos,
+                        &mut write_ordinal,
+                    );
+                },
+            );
+        }
+    }
+
+    // Merge phase B worker effort into the phase A rows: phase B never
+    // spawns more workers than phase A did (deferred ⊆ pending), so the
+    // index-wise merge is total.
+    let mut workers = phase_a;
+    for (idx, extra) in phase_b.into_iter().enumerate() {
+        let w = &mut workers[idx];
+        w.profiled += extra.profiled;
+        w.busy += extra.busy;
+        w.panics += extra.panics;
+        w.quarantined += extra.quarantined;
+    }
+
+    // Stale records (older config fingerprints, legacy transients) were
+    // skipped at open; reclaim their log space now that the run is over.
+    // A cache degraded mid-run is already `None` here, so a failing disk
+    // is never touched again.
     if let Some(cache) = cache.as_deref_mut() {
         if cache.stale_on_disk() > 0 && cache.compact().is_err() {
             disk.write_errors += 1;
@@ -381,6 +590,7 @@ pub fn profile_corpus_cached(
     let stats = ProfileStats {
         total_blocks: blocks.len(),
         unique_blocks: unique_rep.len(),
+        successful_blocks: results.iter().filter(|r| r.is_ok()).count(),
         cache_hits,
         threads: worker_count,
         elapsed,
@@ -390,11 +600,156 @@ pub fn profile_corpus_cached(
             0.0
         },
         panics: workers.iter().map(|w| w.panics).sum(),
+        retried_blocks,
+        recovered_blocks,
+        retry_attempts,
+        breaker: trip,
+        chaos: chaos.map(|c| c.stats()),
         failures,
         workers,
-        cache: cache.is_some().then_some(disk),
+        cache: cache_was_active.then_some(disk),
     };
     CorpusReport { results, stats }
+}
+
+/// One profiling attempt under supervision: consults the fault injector,
+/// catches panics (real or injected), and quarantines the worker's
+/// machine after one — its state is unknown mid-panic, so it is replaced
+/// with a freshly built machine rather than recycled.
+fn attempt_block(
+    profiler: &Profiler,
+    block: &BasicBlock,
+    unique: usize,
+    attempt: u32,
+    machine: &mut Machine,
+    stats: &mut WorkerStats,
+    chaos: Option<&ChaosInjector>,
+) -> Result<Measurement, ProfileFailure> {
+    if let Some(chaos) = chaos {
+        if chaos.forces_transient(unique, attempt) {
+            return Err(ProfileFailure::Unreproducible {
+                clean: 0,
+                identical: 0,
+                required: profiler.config().min_clean_identical,
+            });
+        }
+    }
+    catch_unwind(AssertUnwindSafe(|| {
+        if let Some(chaos) = chaos {
+            chaos.panic_if_planned(unique, attempt);
+        }
+        profiler.profile_attempt(block, machine, attempt)
+    }))
+    .unwrap_or_else(|payload| {
+        stats.panics += 1;
+        stats.quarantined += 1;
+        *machine = Machine::new(profiler.uarch(), 0);
+        Err(ProfileFailure::Panic {
+            message: panic_message(payload.as_ref()),
+        })
+    })
+}
+
+/// Finalizes one unique block's outcome: persists it to the disk log
+/// (successes and permanent failures only — transient failures must be
+/// retried by the next run, so they are never written) and fans it out to
+/// every duplicate position.
+///
+/// The first cache-write error — real, or injected by the chaos plan —
+/// degrades the rest of the run to cache-off: the cache option is taken,
+/// [`CacheStats::degraded`] is set, and measurement continues.
+#[allow(clippy::too_many_arguments)]
+fn finalize_outcome(
+    unique: usize,
+    outcome: &Result<Measurement, ProfileFailure>,
+    unique_keys: &[u64],
+    fanout: &[Vec<usize>],
+    results: &mut [Option<Result<Measurement, ProfileFailure>>],
+    cache: &mut Option<&mut MeasurementCache>,
+    disk: &mut CacheStats,
+    chaos: Option<&ChaosInjector>,
+    write_ordinal: &mut usize,
+) {
+    let persistable = match outcome {
+        Ok(_) => true,
+        Err(failure) => !failure.is_transient(),
+    };
+    if persistable {
+        if let Some(live) = cache.as_deref_mut() {
+            let nth = *write_ordinal;
+            *write_ordinal += 1;
+            let injected = chaos.is_some_and(|c| c.fail_cache_write(nth));
+            let written = if injected {
+                Err(std::io::Error::other("chaos: injected cache-write error"))
+            } else {
+                live.insert(unique_keys[unique], outcome.clone().into())
+            };
+            if written.is_err() {
+                disk.write_errors += 1;
+                disk.degraded = true;
+                *cache = None;
+            }
+        }
+    }
+    for &idx in &fanout[unique] {
+        results[idx] = Some(outcome.clone());
+    }
+}
+
+/// Work-stealing worker pool over `items` slots: `worker_count` scoped
+/// threads each own one recycled [`Machine`], claim slots from a shared
+/// atomic counter, and send `work`'s result to the (main-thread)
+/// `collect` closure over a channel. Returns per-worker counters.
+fn run_workers<T, W, C>(
+    profiler: &Profiler,
+    worker_count: usize,
+    items: usize,
+    work: W,
+    mut collect: C,
+) -> Vec<WorkerStats>
+where
+    T: Send,
+    W: Fn(usize, &mut Machine, &mut WorkerStats) -> T + Sync,
+    C: FnMut(T),
+{
+    if worker_count == 0 {
+        return Vec::new();
+    }
+    let next = AtomicUsize::new(0);
+    let (sender, receiver) = mpsc::channel();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..worker_count)
+            .map(|_| {
+                let sender = sender.clone();
+                let next = &next;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut machine = Machine::new(profiler.uarch(), 0);
+                    let mut stats = WorkerStats::default();
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        if slot >= items {
+                            break;
+                        }
+                        let out = work(slot, &mut machine, &mut stats);
+                        sender.send(out).expect("collector outlives workers");
+                    }
+                    stats
+                })
+            })
+            .collect();
+        // The collector runs concurrently with the workers on the main
+        // thread; dropping our sender clone lets the channel close when
+        // the last worker finishes.
+        drop(sender);
+        for out in receiver {
+            collect(out);
+        }
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("worker loop cannot panic"))
+            .collect()
+    })
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -411,6 +766,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::FaultPlan;
     use crate::config::ProfileConfig;
     use bhive_asm::parse_block;
     use bhive_uarch::Uarch;
@@ -453,6 +809,7 @@ mod tests {
         assert_eq!(report.stats.total_blocks, 5);
         assert_eq!(report.stats.unique_blocks, 2);
         assert_eq!(report.stats.cache_hits, 3);
+        assert_eq!(report.stats.successful_blocks, 5);
         // Fanned-out duplicates are the same measurement, bit for bit.
         assert_eq!(report.results[0], report.results[2]);
         assert_eq!(report.results[0], report.results[3]);
@@ -477,6 +834,10 @@ mod tests {
         assert_eq!(report.success_rate(), 0.0);
         assert_eq!(report.stats.threads, 0, "no work, no worker threads");
         assert!(report.stats.workers.is_empty());
+        assert!(
+            !report.stats.is_unhealthy(),
+            "an empty corpus is vacuously healthy"
+        );
     }
 
     #[test]
@@ -501,6 +862,10 @@ mod tests {
         assert!(!text.contains("1 threads"), "{text}");
         assert!(text.contains("worker utilization"), "{text}");
         assert!(!text.contains("disk cache"), "uncached run: {text}");
+        // Healthy, retry-free runs stay free of supervision noise.
+        assert!(!text.contains("BREAKER"), "{text}");
+        assert!(!text.contains("recovered on retry"), "{text}");
+        assert!(!text.contains("chaos"), "{text}");
     }
 
     #[test]
@@ -514,6 +879,7 @@ mod tests {
                 profiled: 1,
                 busy: Duration::from_millis(1500),
                 panics: 0,
+                quarantined: 0,
             }],
             ..ProfileStats::default()
         };
@@ -523,6 +889,62 @@ mod tests {
         // … and the Display flags it instead of hiding the skew.
         let text = stats.to_string();
         assert!(text.contains("150%!"), "{text}");
+    }
+
+    #[test]
+    fn display_reports_supervision_events() {
+        let stats = ProfileStats {
+            total_blocks: 100,
+            unique_blocks: 100,
+            retried_blocks: 9,
+            recovered_blocks: 4,
+            retry_attempts: 12,
+            breaker: Some(BreakerTrip {
+                at_block: 63,
+                rate: 0.75,
+                window: 64,
+            }),
+            chaos: Some(ChaosStats {
+                injected_panics: 1,
+                forced_transients: 2,
+                cache_write_errors: 0,
+            }),
+            ..ProfileStats::default()
+        };
+        let text = stats.to_string();
+        assert!(text.contains("4 blocks recovered on retry"), "{text}");
+        assert!(text.contains("9 retried"), "{text}");
+        assert!(text.contains("12 extra attempts"), "{text}");
+        assert!(
+            text.contains("BREAKER TRIPPED at block 63 (75% transient over 64 blocks)"),
+            "{text}"
+        );
+        assert!(text.contains("chaos injected: 1 panics"), "{text}");
+        assert!(stats.is_unhealthy(), "a tripped run is unhealthy");
+    }
+
+    #[test]
+    fn default_supervision_is_inert() {
+        let blocks: Vec<BasicBlock> = ["add rax, 1", "imul rbx, rcx"]
+            .iter()
+            .map(|t| parse_block(t).unwrap())
+            .collect();
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive());
+        let plain = profile_corpus(&profiler, &blocks, 2);
+        let supervised =
+            profile_corpus_supervised(&profiler, &blocks, 2, None, &Supervision::default());
+        assert_eq!(plain.results, supervised.results);
+        assert!(supervised.stats.breaker.is_none());
+        assert_eq!(supervised.stats.chaos, None, "no injector, no chaos stats");
+        let chaotic = profile_corpus_supervised(
+            &profiler,
+            &blocks,
+            2,
+            None,
+            &Supervision::with_chaos(ChaosInjector::new(FaultPlan::new())),
+        );
+        assert_eq!(plain.results, chaotic.results, "empty plan injects nothing");
+        assert_eq!(chaotic.stats.chaos, Some(ChaosStats::default()));
     }
 
     #[test]

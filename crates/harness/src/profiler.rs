@@ -4,6 +4,7 @@ use crate::config::ProfileConfig;
 use crate::failure::ProfileFailure;
 use crate::measurement::{Measurement, TrialSet};
 use crate::monitor::monitor;
+use crate::retry::RetryPolicy;
 use bhive_asm::{fnv1a_64, BasicBlock};
 use bhive_sim::CODE_BASE;
 use bhive_sim::{Cache, CodeLayout, Machine, PerfCounters, TimingModel};
@@ -54,9 +55,13 @@ impl Profiler {
     /// instead of constructing one, so page-table and page allocations
     /// carry over between blocks.
     ///
-    /// The machine's noise source is reseeded from the block's stable
-    /// content hash on every call, so measurements depend only on
-    /// (block bytes, uarch, config) — never on which worker or in which
+    /// When the configuration allows retries
+    /// ([`ProfileConfig::with_retries`]), a transient failure
+    /// ([`ProfileFailure::is_transient`]) is re-attempted with an
+    /// escalating trial count and a fresh deterministic noise seed (see
+    /// [`Profiler::profile_attempt`]); permanent failures return
+    /// immediately. The whole chain is a pure function of
+    /// (block bytes, uarch, config) — never of which worker or in which
     /// order a block is profiled.
     ///
     /// # Panics
@@ -66,11 +71,47 @@ impl Profiler {
     ///
     /// # Errors
     ///
-    /// Same contract as [`Profiler::profile`].
+    /// Same contract as [`Profiler::profile`]; the error is the *last*
+    /// attempt's failure.
     pub fn profile_with(
         &self,
         block: &BasicBlock,
         machine: &mut Machine,
+    ) -> Result<Measurement, ProfileFailure> {
+        let mut attempt = 0;
+        loop {
+            let outcome = self.profile_attempt(block, machine, attempt);
+            match &outcome {
+                Err(failure) if failure.is_transient() && attempt < self.config.retry.retries => {
+                    attempt += 1;
+                }
+                _ => return outcome,
+            }
+        }
+    }
+
+    /// One profiling attempt, bit-deterministic per `(block, attempt)`:
+    /// the noise source is reseeded with
+    /// [`RetryPolicy::seed_for`]`(fnv1a(bytes), attempt)` and the trial
+    /// count escalates via [`RetryPolicy::trials_for`] (16 → 32 → 64 for
+    /// the paper's base 16), so retried outcomes reproduce regardless of
+    /// worker count or scheduling. Attempt 0 is exactly the pre-retry
+    /// pipeline. The supervised corpus pipeline drives attempts directly
+    /// so its circuit breaker can suspend escalation between them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` models a different microarchitecture than this
+    /// profiler.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Profiler::profile`].
+    pub fn profile_attempt(
+        &self,
+        block: &BasicBlock,
+        machine: &mut Machine,
+        attempt: u32,
     ) -> Result<Measurement, ProfileFailure> {
         assert!(
             machine.uarch().kind == self.uarch.kind,
@@ -106,13 +147,16 @@ impl Profiler {
             });
         }
 
-        // Deterministic per-block noise seed: FNV-1a over the encoded
+        // Deterministic per-attempt noise seed: FNV-1a over the encoded
         // bytes, so runs reproduce across processes and compiler
         // releases (`DefaultHasher` guarantees neither), and duplicate
-        // blocks measure identically wherever they appear.
-        let seed = fnv1a_64(&encoded);
+        // blocks measure identically wherever they appear; XORing the
+        // attempt index re-rolls the noise per retry without losing any
+        // of that.
+        let seed = RetryPolicy::seed_for(fnv1a_64(&encoded), attempt);
         machine.recycle(seed, self.config.noise);
         machine.set_ftz_daz(self.config.disable_gradual_underflow);
+        let trials = RetryPolicy::trials_for(attempt, self.config.trials);
 
         // ---- Mapping stage (Fig. 2 monitor), at the larger factor ----
         let mapping = monitor(machine, block.insts(), hi_factor, &self.config)?;
@@ -122,11 +166,11 @@ impl Profiler {
         let model = TimingModel::new(block.insts(), self.uarch);
 
         // ---- Measurement stage ----
-        let hi = self.measure(machine, block, &model, &layout, hi_factor)?;
+        let hi = self.measure(machine, block, &model, &layout, hi_factor, trials)?;
         let lo = if lo_factor == hi_factor {
             hi.clone()
         } else {
-            self.measure(machine, block, &model, &layout, lo_factor)?
+            self.measure(machine, block, &model, &layout, lo_factor, trials)?
         };
 
         let throughput = if hi.unroll == lo.unroll {
@@ -158,10 +202,12 @@ impl Profiler {
             faults_serviced: mapping.faults,
             subnormal_events,
             misaligned_refs,
+            attempt,
         })
     }
 
-    /// Takes the paper's 16 trials at one unroll factor and applies the
+    /// Takes `trials` timed trials at one unroll factor (the paper's 16
+    /// on a first attempt; escalated on retries) and applies the
     /// clean/identical filters.
     fn measure(
         &self,
@@ -170,6 +216,7 @@ impl Profiler {
         model: &TimingModel<'_>,
         layout: &CodeLayout,
         unroll: u32,
+        trials: u32,
     ) -> Result<TrialSet, ProfileFailure> {
         // Re-initialize and execute to produce the dynamic trace (identical
         // to the mapping-stage trace by construction).
@@ -210,11 +257,12 @@ impl Profiler {
             });
         }
 
-        // 16 observed trials (noise perturbs cycles and context switches).
-        let mut cycles = Vec::with_capacity(self.config.trials as usize);
+        // The observed trials (noise perturbs cycles and context
+        // switches): 16 on a first attempt, escalated on retries.
+        let mut cycles = Vec::with_capacity(trials as usize);
         let mut clean = 0u32;
         let mut histogram: HashMap<u64, u32> = HashMap::new();
-        for _ in 0..self.config.trials {
+        for _ in 0..trials {
             let observed = machine.observe(&timing);
             cycles.push(observed.core_cycles);
             let trial_clean = observed.context_switches == 0
@@ -402,6 +450,31 @@ mod tests {
             "div block throughput {}",
             m.throughput
         );
+    }
+
+    #[test]
+    fn attempts_are_deterministic_and_escalate_trials() {
+        let block = parse_block("add rax, 1\nimul rbx, rcx").unwrap();
+        // Realistic noise: the trial vectors depend on the seed, which is
+        // exactly what must reproduce per (block, attempt).
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive());
+        let mut m1 = Machine::new(Uarch::haswell(), 0);
+        let mut m2 = Machine::new(Uarch::haswell(), 0);
+        let a0 = profiler.profile_attempt(&block, &mut m1, 0).unwrap();
+        let b0 = profiler.profile_attempt(&block, &mut m2, 0).unwrap();
+        assert_eq!(a0, b0, "attempt 0 is bit-deterministic");
+        assert_eq!(a0.attempt, 0);
+        assert_eq!(a0.hi.cycles.len(), 16, "paper's base trial count");
+        // Attempt 0 is exactly what a retry-free profile() produces.
+        assert_eq!(profiler.profile(&block).unwrap(), a0);
+        // Retries escalate the trial count and reseed the noise.
+        let a1 = profiler.profile_attempt(&block, &mut m1, 1).unwrap();
+        let b1 = profiler.profile_attempt(&block, &mut m2, 1).unwrap();
+        assert_eq!(a1, b1, "attempt 1 is bit-deterministic too");
+        assert_eq!(a1.attempt, 1);
+        assert_eq!(a1.hi.cycles.len(), 32, "trials escalate 16 -> 32");
+        let a2 = profiler.profile_attempt(&block, &mut m1, 2).unwrap();
+        assert_eq!(a2.hi.cycles.len(), 64, "trials escalate 32 -> 64");
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Chaos suite: every fault class the supervised pipeline claims to
+//! contain is injected deterministically and shown to be contained.
+//!
+//! Fault classes (see `bhive_harness::chaos`):
+//! * a panic mid-block — caught, the worker's machine quarantined, the
+//!   block recovered on retry when a budget exists;
+//! * a transient measurement failure — retried with escalating trials,
+//!   reported cleanly when the budget is exhausted, never cached;
+//! * a cache-write I/O error — degrades the run to cache-off instead of
+//!   killing it;
+//! * an environment-wide transient storm — trips the circuit breaker,
+//!   which suspends retries and flags the run.
+//!
+//! Plus the supervision determinism claims: outcomes (including *which
+//! attempt* succeeded and whether the breaker tripped) are bit-identical
+//! at any thread count and cold or warm cache, and on a ≥1k-block corpus
+//! under degraded-machine noise more than 10% of transiently failing
+//! blocks recover within `--retries 3`.
+
+use bhive_asm::{parse_block, BasicBlock};
+use bhive_corpus::{Corpus, Scale};
+use bhive_harness::{
+    profile_corpus, profile_corpus_supervised, BreakerConfig, ChaosInjector, FaultPlan,
+    MeasurementCache, ProfileConfig, Profiler, Supervision,
+};
+use bhive_sim::{Machine, NoiseConfig};
+use bhive_uarch::{Uarch, UarchKind};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bhive-chaos-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `n` distinct, well-behaved blocks (distinct immediates → distinct
+/// encodings → unique ids 0..n in order).
+fn simple_blocks(n: usize) -> Vec<BasicBlock> {
+    (0..n)
+        .map(|i| parse_block(&format!("add rax, {}\nimul rbx, rcx", i + 1)).unwrap())
+        .collect()
+}
+
+/// The measurement noise of a degraded machine: `mult` times the
+/// realistic context-switch and interrupt rates.
+fn degraded_noise(mult: f64) -> NoiseConfig {
+    let base = NoiseConfig::realistic();
+    NoiseConfig {
+        ctx_switch_per_kcycle: base.ctx_switch_per_kcycle * mult,
+        interrupt_per_kcycle: base.interrupt_per_kcycle * mult,
+        ..base
+    }
+}
+
+fn supervise(chaos: ChaosInjector) -> Supervision {
+    Supervision::with_chaos(chaos)
+}
+
+#[test]
+fn injected_panic_is_contained_and_machine_quarantined() {
+    let blocks = simple_blocks(8);
+    let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+    let baseline = profile_corpus(&profiler, &blocks, 1);
+
+    let chaos = ChaosInjector::new(FaultPlan::new().panic_at(3, 0));
+    let report = profile_corpus_supervised(&profiler, &blocks, 1, None, &supervise(chaos));
+
+    // The victim fails with a categorized panic; nothing else is touched.
+    match &report.results[3] {
+        Err(f) => {
+            assert_eq!(f.category(), "panic");
+            assert!(f.to_string().contains("chaos"), "{f}");
+        }
+        other => panic!("victim must fail with the injected panic: {other:?}"),
+    }
+    for idx in (0..8).filter(|&i| i != 3) {
+        assert_eq!(
+            report.results[idx], baseline.results[idx],
+            "block {idx} measured after the panic (same worker, one thread) \
+             must be bit-identical to the no-panic run"
+        );
+    }
+    assert_eq!(report.stats.panics, 1);
+    assert_eq!(report.stats.quarantined(), 1, "machine rebuilt after panic");
+    assert_eq!(report.stats.chaos.unwrap().injected_panics, 1);
+    assert_eq!(report.stats.failures["panic"], 1);
+}
+
+#[test]
+fn injected_panic_recovers_on_retry() {
+    let blocks = simple_blocks(6);
+    let config = ProfileConfig::bhive().with_retries(1);
+    let profiler = Profiler::new(Uarch::haswell(), config);
+
+    let chaos = ChaosInjector::new(FaultPlan::new().panic_at(2, 0));
+    let report = profile_corpus_supervised(&profiler, &blocks, 2, None, &supervise(chaos));
+
+    let recovered = report.results[2].as_ref().expect("victim must recover");
+    assert_eq!(recovered.attempt, 1, "recovered on the first retry");
+    assert!(recovered.recovered_on_retry());
+    // The recovered measurement is exactly what a direct attempt-1
+    // profile produces: recovery does not invent numbers.
+    let mut machine = Machine::new(profiler.uarch(), 0);
+    let reference = profiler
+        .profile_attempt(&blocks[2], &mut machine, 1)
+        .unwrap();
+    assert_eq!(recovered, &reference);
+
+    assert_eq!(report.stats.panics, 1);
+    assert_eq!(report.stats.quarantined(), 1);
+    assert_eq!(report.stats.retried_blocks, 1);
+    assert_eq!(report.stats.recovered_blocks, 1);
+    assert_eq!(report.stats.retry_attempts, 1);
+    assert_eq!(report.successes(), 6, "nothing lost to the panic");
+    let text = report.stats.to_string();
+    assert!(text.contains("1 block recovered on retry"), "{text}");
+}
+
+#[test]
+fn retry_exhaustion_reports_cleanly_and_is_not_cached() {
+    let dir = temp_dir("exhaust");
+    let blocks = simple_blocks(5);
+    let config = ProfileConfig::bhive().quiet().with_retries(2);
+    let profiler = Profiler::new(Uarch::haswell(), config.clone());
+
+    // Attempts 0, 1, and 2 all forced transient: the budget is exhausted.
+    let chaos = ChaosInjector::new(FaultPlan::new().transient_through(1, 2));
+    let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+    let report =
+        profile_corpus_supervised(&profiler, &blocks, 2, Some(&mut cache), &supervise(chaos));
+    drop(cache);
+
+    match &report.results[1] {
+        Err(f) => {
+            assert_eq!(f.category(), "unreproducible");
+            assert!(f.is_transient());
+        }
+        other => panic!("exhausted victim must report its last failure: {other:?}"),
+    }
+    assert_eq!(report.stats.retried_blocks, 1);
+    assert_eq!(report.stats.recovered_blocks, 0);
+    assert_eq!(report.stats.retry_attempts, 2, "full budget spent");
+    assert_eq!(report.successes(), 4);
+    assert_eq!(report.stats.chaos.unwrap().forced_transients, 3);
+
+    // The transient failure was not persisted: a later (chaos-free) run
+    // re-attempts exactly that block and succeeds.
+    let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+    assert_eq!(cache.open_report().loaded, 4, "only the successes on disk");
+    let rerun = profile_corpus_supervised(
+        &profiler,
+        &blocks,
+        2,
+        Some(&mut cache),
+        &Supervision::default(),
+    );
+    let disk = rerun.stats.cache.unwrap();
+    assert_eq!(disk.hits, 4);
+    assert_eq!(disk.misses, 1, "the exhausted block is retried on rerun");
+    assert_eq!(rerun.successes(), 5, "and succeeds without the fault plan");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_write_error_degrades_run_to_cache_off() {
+    let dir = temp_dir("degrade");
+    let blocks = simple_blocks(6);
+    let config = ProfileConfig::bhive().quiet();
+    let profiler = Profiler::new(Uarch::haswell(), config.clone());
+    let baseline = profile_corpus(&profiler, &blocks, 2);
+
+    // The very first cache write fails with an injected I/O error.
+    let chaos = ChaosInjector::new(FaultPlan::new().cache_write_error_at(0));
+    let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+    let report =
+        profile_corpus_supervised(&profiler, &blocks, 2, Some(&mut cache), &supervise(chaos));
+    drop(cache);
+
+    // The run survives, complete and bit-identical to an uncached run.
+    assert_eq!(report.results, baseline.results);
+    assert_eq!(report.successes(), 6);
+    let disk = report.stats.cache.expect("run started with a cache");
+    assert_eq!(disk.write_errors, 1);
+    assert!(disk.degraded, "first write error degrades to cache-off");
+    assert_eq!(report.stats.chaos.unwrap().cache_write_errors, 1);
+    let text = report.stats.to_string();
+    assert!(text.contains("DEGRADED to cache-off"), "{text}");
+
+    // Nothing was written after the degrade: the next run starts cold,
+    // measures everything, and the cache becomes healthy again.
+    let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+    assert_eq!(cache.open_report().loaded, 0, "degraded run wrote nothing");
+    let rerun = profile_corpus_supervised(
+        &profiler,
+        &blocks,
+        2,
+        Some(&mut cache),
+        &Supervision::default(),
+    );
+    let disk = rerun.stats.cache.unwrap();
+    assert_eq!(disk.misses, 6);
+    assert!(!disk.degraded);
+    assert_eq!(rerun.results, baseline.results);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_storm_trips_breaker_and_suspends_retries() {
+    let blocks = simple_blocks(24);
+    let config = ProfileConfig::bhive().quiet().with_retries(3);
+    let profiler = Profiler::new(Uarch::haswell(), config);
+
+    // The first 16 unique blocks are forced transient on attempt 0 — a
+    // storm no per-block retry can fix.
+    let mut plan = FaultPlan::new();
+    for block in 0..16 {
+        plan = plan.transient_at(block, 0);
+    }
+    let breaker = BreakerConfig {
+        window: 8,
+        min_samples: 8,
+        threshold: 0.75,
+    };
+
+    let mut trips = Vec::new();
+    for threads in [1, 4] {
+        let supervision = Supervision {
+            breaker,
+            chaos: Some(ChaosInjector::new(plan.clone())),
+        };
+        let report = profile_corpus_supervised(&profiler, &blocks, threads, None, &supervision);
+        let trip = report
+            .stats
+            .breaker
+            .expect("an 8/8 transient window must trip the breaker");
+        assert_eq!(trip.at_block, 7, "trips the moment min_samples is met");
+        assert!(trip.rate >= 0.75);
+        assert_eq!(
+            report.stats.retried_blocks, 0,
+            "no retry budget burned after the trip"
+        );
+        assert_eq!(report.stats.retry_attempts, 0);
+        assert_eq!(report.stats.failures["unreproducible"], 16);
+        assert_eq!(report.successes(), 8, "untouched blocks still profile");
+        assert!(report.stats.is_unhealthy());
+        let text = report.stats.to_string();
+        assert!(text.contains("BREAKER TRIPPED"), "{text}");
+        trips.push(trip);
+    }
+    assert_eq!(trips[0], trips[1], "trip is thread-count independent");
+}
+
+#[test]
+fn supervised_outcomes_are_thread_and_cache_deterministic() {
+    let dir = temp_dir("determinism");
+    let mut blocks = simple_blocks(40);
+    // Sprinkle duplicates so dedup fan-out is exercised too.
+    blocks.push(blocks[5].clone());
+    blocks.push(blocks[0].clone());
+    blocks.push(blocks[17].clone());
+    let config = ProfileConfig {
+        noise: degraded_noise(25.0),
+        ..ProfileConfig::bhive()
+    }
+    .with_retries(2);
+    let profiler = Profiler::new(Uarch::haswell(), config.clone());
+    // A seeded storm of panics and transients across the corpus.
+    let plan = FaultPlan::seeded(0xC0FFEE, 40, 0.1, 0.3);
+    assert!(!plan.is_empty(), "the seeded plan must inject something");
+
+    let run = |threads: usize, cache: Option<&mut MeasurementCache>| {
+        let supervision = Supervision::with_chaos(ChaosInjector::new(plan.clone()));
+        profile_corpus_supervised(&profiler, &blocks, threads, cache, &supervision)
+    };
+
+    let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+    let serial_cold = run(1, Some(&mut cache));
+    drop(cache);
+    let parallel_uncached = run(4, None);
+    let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+    let parallel_warm = run(4, Some(&mut cache));
+    drop(cache);
+
+    // Bit-identical outcomes — including `Measurement::attempt`, which
+    // participates in equality — across 1 vs 4 threads and cold vs warm.
+    assert_eq!(serial_cold.results, parallel_uncached.results);
+    assert_eq!(serial_cold.results, parallel_warm.results);
+    assert_eq!(
+        serial_cold.stats.breaker, parallel_uncached.stats.breaker,
+        "breaker verdict is schedule-independent"
+    );
+    // The plan recovered at least one block via retry, and which-attempt
+    // bookkeeping agrees between the runs that measured.
+    assert!(serial_cold.stats.recovered_blocks > 0);
+    assert_eq!(
+        serial_cold.stats.recovered_blocks,
+        parallel_uncached.stats.recovered_blocks
+    );
+    assert_eq!(
+        serial_cold.stats.retry_attempts,
+        parallel_uncached.stats.retry_attempts
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance bar (and the tier-1 noisy smoke): on a ≥1k-block
+/// corpus measured under degraded-machine noise, retries recover more
+/// than 10% of the blocks that fail as unreproducible single-shot, the
+/// recovered count is surfaced in [`bhive_harness::ProfileStats`], and
+/// the breaker stays quiet (the noise is bad, not hopeless).
+#[test]
+fn noisy_corpus_recovery_exceeds_ten_percent() {
+    let corpus = Corpus::generate(Scale::PerApp(110), 1234);
+    let blocks = corpus.basic_blocks();
+    assert!(
+        blocks.len() >= 1000,
+        "need ≥1k blocks, got {}",
+        blocks.len()
+    );
+    let noisy = ProfileConfig {
+        noise: degraded_noise(25.0),
+        ..ProfileConfig::bhive()
+    };
+
+    let single_shot = Profiler::new(Uarch::haswell(), noisy.clone());
+    let baseline = profile_corpus(&single_shot, &blocks, 0);
+    let unreproducible = *baseline
+        .failure_breakdown()
+        .get("unreproducible")
+        .expect("degraded noise must produce transient failures");
+    assert!(unreproducible > 0);
+
+    let retrying = Profiler::new(Uarch::haswell(), noisy.with_retries(3));
+    let supervised = profile_corpus(&retrying, &blocks, 0);
+    let stats = &supervised.stats;
+    assert!(stats.breaker.is_none(), "degraded ≠ hopeless: no trip");
+    assert!(
+        stats.retried_blocks > 0,
+        "transient failures must enter retry escalation"
+    );
+    assert!(
+        stats.recovered_blocks as f64 > 0.10 * stats.retried_blocks as f64,
+        "recovered {}/{} retried — acceptance demands >10%",
+        stats.recovered_blocks,
+        stats.retried_blocks
+    );
+    assert!(
+        supervised.successes() as f64 >= baseline.successes() as f64 + 0.10 * unreproducible as f64,
+        "recovery must show up in end-to-end success counts: {} vs {}",
+        supervised.successes(),
+        baseline.successes()
+    );
+    let text = stats.to_string();
+    assert!(text.contains("recovered on retry"), "{text}");
+}

@@ -1,7 +1,10 @@
 //! Property tests for the measurement framework over generated blocks.
 
 use bhive_corpus::{generate_block, Application};
-use bhive_harness::{profile_corpus, ProfileConfig, Profiler, UnrollStrategy};
+use bhive_harness::{
+    profile_corpus, profile_corpus_supervised, ChaosInjector, FaultPlan, ProfileConfig, Profiler,
+    Supervision, UnrollStrategy,
+};
 use bhive_uarch::Uarch;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -118,6 +121,56 @@ proptest! {
         for (idx, block) in blocks.iter().enumerate() {
             let serial = profiler.profile(block);
             prop_assert_eq!(&report.results[idx], &serial, "block {}", idx);
+        }
+    }
+
+    /// A poisoned machine stays contained: chaos-inject a panic into one
+    /// unique block's first attempt on a random corpus at a random thread
+    /// count, and every *other* block — including ones the panicking
+    /// worker measures afterwards on its rebuilt machine — is bit-identical
+    /// to a serial no-panic run. The victim fails as a categorized panic
+    /// (no retry budget here), and exactly one machine is quarantined.
+    #[test]
+    fn injected_panic_never_poisons_other_blocks(
+        seed in any::<u64>(),
+        n_unique in 2usize..6,
+        victim_pick in any::<u64>(),
+        threads in 1usize..5,
+        dup_picks in proptest::collection::vec(proptest::num::u64::ANY, 0..6),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let apps = [Application::Gzip, Application::Sqlite, Application::OpenBlas];
+        let unique: Vec<_> = (0..n_unique)
+            .map(|i| generate_block(apps[i % apps.len()], &mut rng))
+            .collect();
+        // Unique blocks first, duplicates appended after, so the unique id
+        // of `blocks[i]` for i < n_unique is exactly i (first-occurrence
+        // order) and the victim's fault site is addressable.
+        let mut blocks = unique.clone();
+        for pick in &dup_picks {
+            blocks.push(unique[(*pick as usize) % unique.len()].clone());
+        }
+        let victim = (victim_pick as usize) % n_unique;
+        let victim_bytes = unique[victim].encode().ok();
+
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let chaos = ChaosInjector::new(FaultPlan::new().panic_at(victim, 0));
+        let supervision = Supervision::with_chaos(chaos);
+        let report = profile_corpus_supervised(&profiler, &blocks, threads, None, &supervision);
+
+        prop_assert_eq!(report.stats.panics, 1);
+        prop_assert_eq!(report.stats.quarantined(), 1);
+        for (idx, block) in blocks.iter().enumerate() {
+            let is_victim = victim_bytes.is_some() && block.encode().ok() == victim_bytes;
+            if is_victim {
+                match &report.results[idx] {
+                    Err(f) => prop_assert_eq!(f.category(), "panic"),
+                    Ok(m) => prop_assert!(false, "victim must fail, measured {}", m.throughput),
+                }
+            } else {
+                let serial = profiler.profile(block);
+                prop_assert_eq!(&report.results[idx], &serial, "block {}", idx);
+            }
         }
     }
 }

@@ -6,8 +6,17 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Chaos suite: injected panics, forced transients, cache-write errors,
+# and breaker trips must all stay contained. Includes the noisy-corpus
+# smoke (retries on, recovery rate > 10% of transiently failed blocks).
+cargo test -q -p bhive-harness --test chaos
 cargo build --examples
 cargo bench --no-run
+# CLI smoke: a supervised run with a retry budget exits 0 and reports.
+cargo run -q --release -p bhive -- profile --retries 2 <<'EOF'
+add rax, 1
+imul rbx, rcx
+EOF
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
 else

@@ -69,6 +69,24 @@ impl BasicBlock {
         Ok(out)
     }
 
+    /// Encodes the block and records each instruction's `(offset, len)`
+    /// span in the same pass, so callers that also need a code layout
+    /// (e.g. the profiler's `CodeLayout::from_spans`) never encode twice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`AsmError`] from [`crate::encode_inst`].
+    pub fn encode_spanned(&self) -> Result<(Vec<u8>, Vec<(u32, u32)>), AsmError> {
+        let mut out = Vec::with_capacity(self.insts.len() * 4);
+        let mut spans = Vec::with_capacity(self.insts.len());
+        for inst in &self.insts {
+            let start = out.len() as u32;
+            encode_inst(inst, &mut out)?;
+            spans.push((start, out.len() as u32 - start));
+        }
+        Ok((out, spans))
+    }
+
     /// Total encoded size in bytes.
     ///
     /// # Errors

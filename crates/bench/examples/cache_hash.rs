@@ -1,0 +1,42 @@
+//! Cross-version differential probe: profiles the duplicated 1.1k-block
+//! corpus with an on-disk cache and prints an FNV-1a hash of the cache
+//! JSONL bytes, so two builds can be compared for bit-identity.
+use bhive_bench::bench_corpus;
+use bhive_harness::{profile_corpus_cached, MeasurementCache, ProfileConfig, Profiler};
+use bhive_uarch::{Uarch, UarchKind};
+use std::path::Path;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .expect("usage: cache_hash <dir> [threads]");
+    let threads: usize = std::env::args()
+        .nth(2)
+        .and_then(|t| t.parse().ok())
+        .unwrap_or(1);
+    let unique = bench_corpus().basic_blocks();
+    let mut blocks = Vec::new();
+    let mut cursor = 0usize;
+    while blocks.len() < 1100.max(unique.len()) {
+        blocks.push(unique[cursor % unique.len()].clone());
+        cursor += 7;
+    }
+    // Realistic noise + retries: exercises trial sampling, modal filtering,
+    // and the retry chain, all of which must stay bit-identical.
+    let config = ProfileConfig::bhive().with_retries(2);
+    let profiler = Profiler::new(Uarch::haswell(), config.clone());
+    let mut cache = MeasurementCache::open(Path::new(&dir), UarchKind::Haswell, &config).unwrap();
+    let report = profile_corpus_cached(&profiler, &blocks, threads, Some(&mut cache));
+    drop(cache);
+    let bytes = std::fs::read(MeasurementCache::log_path(
+        Path::new(&dir),
+        UarchKind::Haswell,
+    ))
+    .unwrap();
+    println!(
+        "successes={} bytes={} fnv={:016x}",
+        report.successes(),
+        bytes.len(),
+        bhive_asm::fnv1a_64(&bytes)
+    );
+}

@@ -50,6 +50,32 @@ pub fn monitor(
     unroll: u32,
     config: &ProfileConfig,
 ) -> Result<MappingOutcome, ProfileFailure> {
+    // The trace lands in the machine's reusable buffer; the outcome takes
+    // it over on success, and the profiler hands it back once measurement
+    // is done. On failure it goes straight back.
+    let mut trace = machine.take_trace_buffer();
+    match monitor_into(machine, insts, unroll, config, &mut trace) {
+        Ok((mapped_pages, faults)) => Ok(MappingOutcome {
+            trace,
+            mapped_pages,
+            faults,
+        }),
+        Err(failure) => {
+            machine.put_trace_buffer(trace);
+            Err(failure)
+        }
+    }
+}
+
+/// The mapping loop proper, filling a caller-owned trace buffer. Returns
+/// `(mapped_pages, faults)` on success.
+fn monitor_into(
+    machine: &mut Machine,
+    insts: &[Inst],
+    unroll: u32,
+    config: &ProfileConfig,
+    trace: &mut Vec<DynInst>,
+) -> Result<(usize, u32), ProfileFailure> {
     let mut faults = 0u32;
     let mut shared_page: Option<PhysPage> = None;
     let fill = config.fill;
@@ -62,13 +88,9 @@ pub fn monitor(
         machine.set_ftz_daz(config.disable_gradual_underflow);
         machine.memory_mut().refill_all(fill);
 
-        match machine.execute_unrolled(insts, unroll) {
-            Ok(trace) => {
-                return Ok(MappingOutcome {
-                    trace,
-                    mapped_pages: machine.memory().mapped_page_count(),
-                    faults,
-                });
+        match machine.execute_unrolled_into(insts, unroll, trace) {
+            Ok(()) => {
+                return Ok((machine.memory().mapped_page_count(), faults));
             }
             Err(ExecFault::Seg(fault)) => {
                 if config.page_mapping == PageMapping::None {

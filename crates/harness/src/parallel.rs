@@ -26,8 +26,14 @@
 //!    reseeds ([`crate::RetryPolicy`]), stopping at the first success or
 //!    permanent failure.
 //!
-//! Each worker owns one long-lived [`Machine`] and recycles it per block;
-//! a panic while profiling one block is caught, recorded as
+//! Each worker owns one long-lived [`Machine`] and recycles it per block.
+//! Recycling resets the architectural state but deliberately keeps the
+//! machine's timing arena (prepared trace, simulation scratch, L1 caches,
+//! trace buffer — see `bhive_sim::machine`), so after the first few
+//! blocks a worker's steady state is allocation-free apart from
+//! block-size growth; the speedup in EXPERIMENTS.md "Pipeline speedup"
+//! is amortized across the whole corpus by this reuse. A panic while
+//! profiling one block is caught, recorded as
 //! [`ProfileFailure::Panic`], and the worker's machine is *quarantined* —
 //! replaced with a freshly built one, since its state is unknown
 //! mid-panic — rather than aborting the run. Results flow back over a

@@ -7,9 +7,8 @@ use crate::monitor::monitor;
 use crate::retry::RetryPolicy;
 use bhive_asm::{fnv1a_64, BasicBlock};
 use bhive_sim::CODE_BASE;
-use bhive_sim::{Cache, CodeLayout, Machine, PerfCounters, TimingModel};
+use bhive_sim::{CodeLayout, DynInst, Machine, PerfCounters, TimingModel};
 use bhive_uarch::Uarch;
-use std::collections::HashMap;
 
 /// Profiles basic blocks on one microarchitecture with one configuration.
 #[derive(Debug, Clone)]
@@ -130,7 +129,10 @@ impl Profiler {
         if !self.uarch.supports_avx2 && block.uses_avx2() {
             return Err(ProfileFailure::UnsupportedIsa);
         }
-        let encoded = block.encode().map_err(ProfileFailure::from_asm)?;
+        // One encoding pass yields both the bytes (for the content hash)
+        // and the per-instruction spans (for the code layout) — the layout
+        // is never re-derived by encoding a second time.
+        let (encoded, spans) = block.encode_spanned().map_err(ProfileFailure::from_asm)?;
         let block_bytes = encoded.len() as u32;
         let (lo_factor, hi_factor) = self.config.unroll.factors(block_bytes);
         if hi_factor == 0 {
@@ -161,80 +163,87 @@ impl Profiler {
         // ---- Mapping stage (Fig. 2 monitor), at the larger factor ----
         let mapping = monitor(machine, block.insts(), hi_factor, &self.config)?;
 
-        let layout =
-            CodeLayout::from_block(block.insts(), CODE_BASE).map_err(ProfileFailure::from_asm)?;
+        // The monitor's final execution ran fault-free from exactly the
+        // initial state the paper's `measure` routine re-creates (reset +
+        // FTZ/DAZ + refill), so its trace *is* the measurement trace —
+        // re-executing it would reproduce it bit for bit. Prepare it once;
+        // both unroll factors replay it (the lo-factor trace is a prefix,
+        // because execution is deterministic).
+        let layout = CodeLayout::from_spans(spans, CODE_BASE);
         let model = TimingModel::new(block.insts(), self.uarch);
+        machine.prepare_timing(&model, &mapping.trace, &layout);
 
-        // ---- Measurement stage ----
-        let hi = self.measure(machine, block, &model, &layout, hi_factor, trials)?;
-        let lo = if lo_factor == hi_factor {
-            hi.clone()
-        } else {
-            self.measure(machine, block, &model, &layout, lo_factor, trials)?
-        };
+        let result = (|| {
+            // ---- Measurement stage ----
+            let n_hi = mapping.trace.len();
+            let n_lo = lo_factor as usize * block.len();
+            let hi = self.measure(machine, &model, &mapping.trace, hi_factor, n_hi, trials)?;
+            let lo = if lo_factor == hi_factor {
+                hi.clone()
+            } else {
+                self.measure(machine, &model, &mapping.trace, lo_factor, n_lo, trials)?
+            };
 
-        let throughput = if hi.unroll == lo.unroll {
-            hi.accepted_cycles as f64 / f64::from(hi.unroll)
-        } else {
-            // Eq. 2's delta must be non-negative: more copies cannot run
-            // in fewer cycles at steady state. A negative delta means the
-            // pair of accepted timings is inconsistent, so reject the
-            // block rather than clamp it to a fictitious 0.0 throughput.
-            if hi.accepted_cycles < lo.accepted_cycles {
-                return Err(ProfileFailure::NegativeDelta {
-                    lo_cycles: lo.accepted_cycles,
-                    hi_cycles: hi.accepted_cycles,
-                    lo_unroll: lo.unroll,
-                    hi_unroll: hi.unroll,
-                });
-            }
-            (hi.accepted_cycles as f64 - lo.accepted_cycles as f64)
-                / f64::from(hi.unroll - lo.unroll)
-        };
+            let throughput = if hi.unroll == lo.unroll {
+                hi.accepted_cycles as f64 / f64::from(hi.unroll)
+            } else {
+                // Eq. 2's delta must be non-negative: more copies cannot run
+                // in fewer cycles at steady state. A negative delta means the
+                // pair of accepted timings is inconsistent, so reject the
+                // block rather than clamp it to a fictitious 0.0 throughput.
+                if hi.accepted_cycles < lo.accepted_cycles {
+                    return Err(ProfileFailure::NegativeDelta {
+                        lo_cycles: lo.accepted_cycles,
+                        hi_cycles: hi.accepted_cycles,
+                        lo_unroll: lo.unroll,
+                        hi_unroll: hi.unroll,
+                    });
+                }
+                (hi.accepted_cycles as f64 - lo.accepted_cycles as f64)
+                    / f64::from(hi.unroll - lo.unroll)
+            };
 
-        let subnormal_events = hi.counters.subnormal_events;
-        let misaligned_refs = hi.counters.misaligned_mem_refs;
-        Ok(Measurement {
-            throughput,
-            lo,
-            hi,
-            mapped_pages: mapping.mapped_pages,
-            faults_serviced: mapping.faults,
-            subnormal_events,
-            misaligned_refs,
-            attempt,
-        })
+            let subnormal_events = hi.counters.subnormal_events;
+            let misaligned_refs = hi.counters.misaligned_mem_refs;
+            Ok(Measurement {
+                throughput,
+                lo,
+                hi,
+                mapped_pages: mapping.mapped_pages,
+                faults_serviced: mapping.faults,
+                subnormal_events,
+                misaligned_refs,
+                attempt,
+            })
+        })();
+        // Hand the trace buffer back to the machine (success or failure)
+        // so the next block reuses its allocation.
+        machine.put_trace_buffer(mapping.trace);
+        result
     }
 
-    /// Takes `trials` timed trials at one unroll factor (the paper's 16
-    /// on a first attempt; escalated on retries) and applies the
-    /// clean/identical filters.
+    /// Takes `trials` timed trials over the first `n_insts` instructions
+    /// of the prepared mapping trace (the paper's 16 trials on a first
+    /// attempt; escalated on retries) and applies the clean/identical
+    /// filters.
     fn measure(
         &self,
         machine: &mut Machine,
-        block: &BasicBlock,
         model: &TimingModel<'_>,
-        layout: &CodeLayout,
+        trace: &[DynInst],
         unroll: u32,
+        n_insts: usize,
         trials: u32,
     ) -> Result<TrialSet, ProfileFailure> {
-        // Re-initialize and execute to produce the dynamic trace (identical
-        // to the mapping-stage trace by construction).
-        machine.reset(self.config.fill);
-        machine.set_ftz_daz(self.config.disable_gradual_underflow);
-        machine.memory_mut().refill_all(self.config.fill);
-        let trace = machine
-            .execute_unrolled(block.insts(), unroll)
-            .map_err(ProfileFailure::from_fault)?;
+        // Warm-up run, then the measured run (the paper executes the
+        // unrolled block twice and times the second run), replaying the
+        // prepared trace against freshly flushed caches.
+        let timing = machine.simulate_double(model, n_insts);
 
-        // Warm-up execution, then the measured execution (the paper
-        // executes the unrolled block twice and times the second run).
-        let mut l1i = Cache::new(self.uarch.l1i);
-        let mut l1d = Cache::new(self.uarch.l1d);
-        model.run(&trace, layout, &mut l1i, &mut l1d);
-        let timing = model.run(&trace, layout, &mut l1i, &mut l1d);
-
-        let subnormal_events = trace.iter().filter(|d| d.effects.subnormal).count() as u64;
+        let subnormal_events = trace[..n_insts]
+            .iter()
+            .filter(|d| d.effects.subnormal)
+            .count() as u64;
 
         // Misalignment filter (the MISALIGNED_MEM_REFERENCE counter).
         if self.config.drop_misaligned && timing.misaligned > 0 {
@@ -258,10 +267,21 @@ impl Profiler {
         }
 
         // The observed trials (noise perturbs cycles and context
-        // switches): 16 on a first attempt, escalated on retries.
+        // switches): 16 on a first attempt, escalated on retries. The
+        // modal-cycle histogram lives on the stack for the common trial
+        // counts; distinct values never exceed clean trials, so `trials`
+        // entries always suffice.
         let mut cycles = Vec::with_capacity(trials as usize);
         let mut clean = 0u32;
-        let mut histogram: HashMap<u64, u32> = HashMap::new();
+        let mut stack_hist = [(0u64, 0u32); MODAL_STACK];
+        let mut heap_hist: Vec<(u64, u32)> = Vec::new();
+        let hist: &mut [(u64, u32)] = if trials as usize <= MODAL_STACK {
+            &mut stack_hist
+        } else {
+            heap_hist.resize(trials as usize, (0, 0));
+            &mut heap_hist
+        };
+        let mut hist_len = 0usize;
         for _ in 0..trials {
             let observed = machine.observe(&timing);
             cycles.push(observed.core_cycles);
@@ -269,13 +289,10 @@ impl Profiler {
                 && (!self.config.enforce_invariants || observed.is_clean());
             if trial_clean {
                 clean += 1;
-                *histogram.entry(observed.core_cycles).or_insert(0) += 1;
+                histogram_insert(hist, &mut hist_len, observed.core_cycles);
             }
         }
-        let (&modal_cycles, &identical) = histogram
-            .iter()
-            .max_by_key(|&(cycles, count)| (*count, std::cmp::Reverse(*cycles)))
-            .unwrap_or((&0, &0));
+        let (modal_cycles, identical) = modal_entry(&hist[..hist_len]);
         if identical < self.config.min_clean_identical {
             return Err(ProfileFailure::Unreproducible {
                 clean,
@@ -300,12 +317,58 @@ impl Profiler {
     }
 }
 
+/// Histogram capacity kept on the stack: covers the paper's 16 trials and
+/// both retry escalations of the default budget (16 → 32 → 64). Larger
+/// custom trial counts spill to a heap vec.
+const MODAL_STACK: usize = 64;
+
+/// Inserts one observation into a sorted `(cycles, count)` histogram held
+/// in `hist[..len]`. The slice is sized to the trial count, so there is
+/// always room for one more distinct value.
+fn histogram_insert(hist: &mut [(u64, u32)], len: &mut usize, value: u64) {
+    let pos = hist[..*len].partition_point(|&(c, _)| c < value);
+    if pos < *len && hist[pos].0 == value {
+        hist[pos].1 += 1;
+        return;
+    }
+    hist[pos..=*len].rotate_right(1);
+    hist[pos] = (value, 1);
+    *len += 1;
+}
+
+/// The modal `(cycles, count)` of a sorted histogram: highest count wins;
+/// on ties the ascending scan keeps the earlier — i.e. lowest — cycle
+/// value. `(0, 0)` for an empty histogram.
+fn modal_entry(hist: &[(u64, u32)]) -> (u64, u32) {
+    let mut best = (0u64, 0u32);
+    for &(cycles, count) in hist {
+        if count > best.1 {
+            best = (cycles, count);
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::UnrollStrategy;
     use bhive_asm::parse_block;
     use bhive_uarch::Uarch;
+
+    #[test]
+    fn histogram_modal_prefers_count_then_lowest_cycles() {
+        let mut hist = [(0u64, 0u32); 8];
+        let mut len = 0usize;
+        for v in [120u64, 100, 120, 110, 100, 90] {
+            histogram_insert(&mut hist, &mut len, v);
+        }
+        assert_eq!(&hist[..len], &[(90, 1), (100, 2), (110, 1), (120, 2)]);
+        // 100 and 120 both occur twice: the tie breaks to lower cycles,
+        // matching the old `max_by_key((count, Reverse(cycles)))`.
+        assert_eq!(modal_entry(&hist[..len]), (100, 2));
+        assert_eq!(modal_entry(&hist[..0]), (0, 0));
+    }
 
     fn hsw_profiler() -> Profiler {
         Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet())

@@ -263,3 +263,43 @@ fn warm_rerun_of_1k_corpus_is_bit_identical() {
     assert_eq!(uncached.results, cold.results);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The cache *file* is byte-identical across runs: a cold single-thread
+/// run over a ≥1.1k-block corpus writes exactly the same JSONL bytes in
+/// a fresh directory every time, and a warm rerun appends nothing. This
+/// pins the whole measurement stack — encoding, mapping, prepared-trace
+/// simulation, retries, noise — to a byte-stable serialization.
+#[test]
+fn cache_file_bytes_are_reproducible() {
+    let config = ProfileConfig::bhive().quiet().with_retries(2);
+    let profiler = Profiler::new(Uarch::haswell(), config.clone());
+    let corpus = Corpus::generate(Scale::PerApp(110), 99);
+    let blocks = corpus.basic_blocks();
+    assert!(blocks.len() >= 1100, "got {}", blocks.len());
+
+    let bytes_of =
+        |dir: &PathBuf| std::fs::read(MeasurementCache::log_path(dir, UarchKind::Haswell)).unwrap();
+
+    let dir_a = temp_dir("bytes-a");
+    let mut cache = MeasurementCache::open(&dir_a, UarchKind::Haswell, &config).unwrap();
+    profile_corpus_cached(&profiler, &blocks, 1, Some(&mut cache));
+    drop(cache);
+    let cold_a = bytes_of(&dir_a);
+    assert!(!cold_a.is_empty());
+
+    // Warm rerun: nothing new to measure, the file must not change.
+    let mut cache = MeasurementCache::open(&dir_a, UarchKind::Haswell, &config).unwrap();
+    profile_corpus_cached(&profiler, &blocks, 1, Some(&mut cache));
+    drop(cache);
+    assert_eq!(bytes_of(&dir_a), cold_a, "warm rerun must append nothing");
+
+    // A second cold run in a fresh directory reproduces the bytes.
+    let dir_b = temp_dir("bytes-b");
+    let mut cache = MeasurementCache::open(&dir_b, UarchKind::Haswell, &config).unwrap();
+    profile_corpus_cached(&profiler, &blocks, 1, Some(&mut cache));
+    drop(cache);
+    assert_eq!(bytes_of(&dir_b), cold_a, "cold runs must be byte-identical");
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

@@ -13,6 +13,10 @@ pub struct Cache {
     line_bytes: u64,
     sets: u64,
     ways: usize,
+    /// Shift/mask fast path for power-of-two geometry (all shipped
+    /// uarches); `line_shift == u32::MAX` selects the div/mod fallback.
+    line_shift: u32,
+    set_mask: u64,
     /// `lines[set][way]` = `(tag, last_use)`; `u64::MAX` tag = invalid.
     lines: Vec<(u64, u64)>,
     use_counter: u64,
@@ -23,10 +27,18 @@ impl Cache {
     pub fn new(params: CacheParams) -> Cache {
         let sets = u64::from(params.sets());
         let ways = params.ways as usize;
+        let line_bytes = u64::from(params.line_bytes);
+        let (line_shift, set_mask) = if line_bytes.is_power_of_two() && sets.is_power_of_two() {
+            (line_bytes.trailing_zeros(), sets - 1)
+        } else {
+            (u32::MAX, 0)
+        };
         Cache {
-            line_bytes: u64::from(params.line_bytes),
+            line_bytes,
             sets,
             ways,
+            line_shift,
+            set_mask,
             lines: vec![(u64::MAX, 0); (sets as usize) * ways],
             use_counter: 0,
         }
@@ -38,8 +50,17 @@ impl Cache {
     /// `tag_addr` the tag bits (the physical address). Returns `true` on
     /// hit.
     pub fn access(&mut self, index_addr: u64, tag_addr: u64) -> bool {
-        let set = ((index_addr / self.line_bytes) % self.sets) as usize;
-        let tag = tag_addr / self.line_bytes;
+        let (set, tag) = if self.line_shift != u32::MAX {
+            (
+                ((index_addr >> self.line_shift) & self.set_mask) as usize,
+                tag_addr >> self.line_shift,
+            )
+        } else {
+            (
+                ((index_addr / self.line_bytes) % self.sets) as usize,
+                tag_addr / self.line_bytes,
+            )
+        };
         self.use_counter += 1;
         let base = set * self.ways;
         let ways = &mut self.lines[base..base + self.ways];
@@ -65,7 +86,12 @@ impl Cache {
     /// the paper drops blocks with such accesses (they cost two line
     /// reads and an order-of-magnitude slowdown).
     pub fn splits_line(&self, addr: u64, width: u8) -> bool {
-        (addr % self.line_bytes) + u64::from(width) > self.line_bytes
+        let offset = if self.line_shift != u32::MAX {
+            addr & (self.line_bytes - 1)
+        } else {
+            addr % self.line_bytes
+        };
+        offset + u64::from(width) > self.line_bytes
     }
 
     /// Invalidates every line.

@@ -54,4 +54,4 @@ pub use machine::{Machine, RunOutcome, CODE_BASE};
 pub use mem::{Memory, PhysPage, SegFault, PAGE_SIZE};
 pub use noise::NoiseConfig;
 pub use state::{CpuState, Flags, Mxcsr};
-pub use timing::{CodeLayout, DynInst, TimingModel, TimingResult};
+pub use timing::{CodeLayout, DynInst, PreparedTrace, SimScratch, TimingModel, TimingResult};

@@ -6,7 +6,7 @@ use crate::exec::{execute_inst, ExecFault};
 use crate::mem::Memory;
 use crate::noise::NoiseConfig;
 use crate::state::CpuState;
-use crate::timing::{CodeLayout, DynInst, TimingModel, TimingResult};
+use crate::timing::{CodeLayout, DynInst, PreparedTrace, SimScratch, TimingModel, TimingResult};
 use bhive_asm::{BasicBlock, Inst};
 use bhive_uarch::Uarch;
 use rand::rngs::SmallRng;
@@ -14,6 +14,22 @@ use rand::SeedableRng;
 
 /// Default virtual address the harness places code at.
 pub const CODE_BASE: u64 = 0x40_0000;
+
+/// Reusable timing-run storage owned by the machine: the prepared trace,
+/// simulation scratch, warm-up/measured cache pair, and the dynamic-trace
+/// buffer. Deliberately *survives* [`Machine::recycle`], so one worker
+/// amortizes every hot-path allocation across an entire corpus. Contents
+/// are fully rebuilt by each use and can never leak between blocks (a
+/// flushed [`Cache`] is bit-identical to a new one, and
+/// `TimingModel::prepare_into` clears before writing).
+#[derive(Debug, Default)]
+struct TimingArena {
+    prep: PreparedTrace,
+    scratch: SimScratch,
+    l1i: Option<Cache>,
+    l1d: Option<Cache>,
+    trace: Vec<DynInst>,
+}
 
 /// Outcome of a full (functionally executed + timed) run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -33,6 +49,7 @@ pub struct Machine {
     mem: Memory,
     noise: NoiseConfig,
     rng: SmallRng,
+    timing: TimingArena,
 }
 
 impl Machine {
@@ -44,6 +61,7 @@ impl Machine {
             mem: Memory::new(),
             noise: NoiseConfig::quiet(),
             rng: SmallRng::seed_from_u64(seed),
+            timing: TimingArena::default(),
         }
     }
 
@@ -63,6 +81,10 @@ impl Machine {
     /// memory would (see [`Memory::recycle`]), a recycled machine produces
     /// bit-identical measurements to a new one; the harness relies on this
     /// to keep one machine per worker across an entire corpus.
+    ///
+    /// The timing arena (prepared trace, simulation scratch, caches, trace
+    /// buffer) is likewise retained: its contents are rebuilt from scratch
+    /// on every use, so only the allocations carry over.
     pub fn recycle(&mut self, seed: u64, noise: NoiseConfig) {
         self.state = CpuState::new();
         self.mem.recycle();
@@ -127,6 +149,25 @@ impl Machine {
         insts: &[Inst],
         unroll: u32,
     ) -> Result<Vec<DynInst>, ExecFault> {
+        let mut trace = Vec::new();
+        self.execute_unrolled_into(insts, unroll, &mut trace)?;
+        Ok(trace)
+    }
+
+    /// Like [`Machine::execute_unrolled`], but fills a caller-owned buffer
+    /// (cleared first) so the harness can reuse one allocation per worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ExecFault`]; `trace` holds the instructions
+    /// executed before it.
+    pub fn execute_unrolled_into(
+        &mut self,
+        insts: &[Inst],
+        unroll: u32,
+        trace: &mut Vec<DynInst>,
+    ) -> Result<(), ExecFault> {
+        trace.clear();
         if !self.uarch.supports_avx2 {
             let avx2 = insts.iter().any(|inst| {
                 inst.mnemonic().is_vex_only()
@@ -139,7 +180,7 @@ impl Machine {
                 return Err(ExecFault::InvalidOpcode);
             }
         }
-        let mut trace = Vec::with_capacity(insts.len() * unroll as usize);
+        trace.reserve(insts.len() * unroll as usize);
         for copy in 0..unroll {
             for (static_idx, inst) in insts.iter().enumerate() {
                 let effects = execute_inst(inst, &mut self.state, &mut self.mem)?;
@@ -150,7 +191,53 @@ impl Machine {
                 });
             }
         }
-        Ok(trace)
+        Ok(())
+    }
+
+    /// Borrows the arena's dynamic-trace buffer (empty the first time).
+    /// Callers fill it via [`Machine::execute_unrolled_into`] and hand it
+    /// back with [`Machine::put_trace_buffer`] so its allocation is reused
+    /// for the next block.
+    pub fn take_trace_buffer(&mut self) -> Vec<DynInst> {
+        std::mem::take(&mut self.timing.trace)
+    }
+
+    /// Returns a trace buffer taken with [`Machine::take_trace_buffer`].
+    pub fn put_trace_buffer(&mut self, trace: Vec<DynInst>) {
+        self.timing.trace = trace;
+    }
+
+    /// Compiles `trace` into the machine's prepared-trace arena (see
+    /// `TimingModel::prepare_into`), ready for any number of
+    /// [`Machine::simulate_double`] replays over its prefixes.
+    pub fn prepare_timing(
+        &mut self,
+        model: &TimingModel<'_>,
+        trace: &[DynInst],
+        layout: &CodeLayout,
+    ) {
+        model.prepare_into(&mut self.timing.prep, trace, layout);
+    }
+
+    /// The paper's double execution over the prepared trace's first
+    /// `n_insts` instructions: flushes the arena caches (a flushed cache
+    /// is bit-identical to a cold one), runs a warm-up pass, and returns
+    /// the measured pass. Allocation-free after the first call.
+    pub fn simulate_double(&mut self, model: &TimingModel<'_>, n_insts: usize) -> TimingResult {
+        let uarch = self.uarch;
+        let TimingArena {
+            prep,
+            scratch,
+            l1i,
+            l1d,
+            ..
+        } = &mut self.timing;
+        let l1i = l1i.get_or_insert_with(|| Cache::new(uarch.l1i));
+        let l1d = l1d.get_or_insert_with(|| Cache::new(uarch.l1d));
+        l1i.flush();
+        l1d.flush();
+        model.simulate_with(prep, n_insts, l1i, l1d, scratch); // warm-up
+        model.simulate_with(prep, n_insts, l1i, l1d, scratch)
     }
 
     /// Times a previously recorded trace against cache state carried in
@@ -193,20 +280,23 @@ impl Machine {
     ///
     /// Propagates functional-execution faults.
     pub fn run(&mut self, insts: &[Inst], unroll: u32) -> Result<RunOutcome, ExecFault> {
-        let trace = self.execute_unrolled(insts, unroll)?;
-        let layout =
-            CodeLayout::from_block(insts, CODE_BASE).map_err(|_| ExecFault::InvalidOpcode)?;
-        let mut l1i = Cache::new(self.uarch.l1i);
-        let mut l1d = Cache::new(self.uarch.l1d);
-        let model = TimingModel::new(insts, self.uarch);
-        model.run(&trace, &layout, &mut l1i, &mut l1d); // warm-up
-        let timing = model.run(&trace, &layout, &mut l1i, &mut l1d);
-        let mut counters = self.observe(&timing);
-        counters.subnormal_events = trace.iter().filter(|d| d.effects.subnormal).count() as u64;
-        Ok(RunOutcome {
-            counters,
-            dynamic_insts: trace.len(),
-        })
+        let mut trace = self.take_trace_buffer();
+        let outcome = (|| {
+            self.execute_unrolled_into(insts, unroll, &mut trace)?;
+            let layout =
+                CodeLayout::from_block(insts, CODE_BASE).map_err(|_| ExecFault::InvalidOpcode)?;
+            let model = TimingModel::new(insts, self.uarch);
+            self.prepare_timing(&model, &trace, &layout);
+            let timing = self.simulate_double(&model, trace.len());
+            let mut counters = self.observe(&timing);
+            counters.subnormal_events = trace.iter().filter(|d| d.effects.subnormal).count() as u64;
+            Ok(RunOutcome {
+                counters,
+                dynamic_insts: trace.len(),
+            })
+        })();
+        self.put_trace_buffer(trace);
+        outcome
     }
 }
 

@@ -100,11 +100,12 @@ impl CpuState {
     pub fn reset_with_fill(&mut self, fill: u64) {
         self.gprs = [fill; 16];
         let fill_bytes = (fill as u32).to_le_bytes();
-        for vreg in &mut self.vregs {
-            for chunk in vreg.chunks_exact_mut(4) {
-                chunk.copy_from_slice(&fill_bytes);
-            }
+        // Build the 32-byte lane pattern once and splat it per register.
+        let mut pattern = [0u8; 32];
+        for chunk in pattern.chunks_exact_mut(4) {
+            chunk.copy_from_slice(&fill_bytes);
         }
+        self.vregs = [pattern; 16];
         self.flags = Flags::default();
     }
 }

@@ -7,12 +7,26 @@
 //! L1D, and in-order retirement. It consumes the *dynamic* instruction
 //! trace produced by functional execution, so value-dependent latencies
 //! (division, subnormals) and the concrete memory addresses are exact.
+//!
+//! The run is split in two phases so the harness's double execution (and
+//! its two unroll factors) never redoes schedule-independent work:
+//!
+//! * [`TimingModel::prepare_into`] turns a trace into a [`PreparedTrace`]:
+//!   the dynamic uop stream with resolved latencies, dependency edges,
+//!   memory addresses, and the frontend fetch/L1I-probe schedule.
+//! * [`TimingModel::simulate_with`] replays a prepared trace (or any
+//!   prefix of it) against concrete cache state, which is the only input
+//!   that differs between warm-up and measured runs.
+//!
+//! [`TimingModel::run_reference`] keeps the original single-pass
+//! implementation; differential tests pin the split path to it bit for
+//! bit.
 
 use crate::cache::Cache;
 use crate::exec::InstEffects;
 use crate::state::CpuState;
 use bhive_asm::{AsmError, Gpr, Inst};
-use bhive_uarch::{decompose, macro_fuses, Recipe, Uarch, UarchKind, Uop, UopKind, VarLat};
+use bhive_uarch::{decompose_cached, macro_fuses, Recipe, Uarch, UarchKind, Uop, UopKind, VarLat};
 use std::collections::HashMap;
 
 /// Where the unrolled code lives in (virtual) memory; determines which L1I
@@ -47,6 +61,21 @@ impl CodeLayout {
             inst_spans: spans,
             block_len: offset,
         })
+    }
+
+    /// Builds the layout from `(offset, len)` spans recorded while the
+    /// block was encoded (see `BasicBlock::encode_spanned`), so callers
+    /// that already hold the machine code do not encode it a second time.
+    pub fn from_spans(inst_spans: Vec<(u32, u32)>, base: u64) -> CodeLayout {
+        let block_len = inst_spans
+            .last()
+            .map(|&(off, len)| off + len)
+            .unwrap_or_default();
+        CodeLayout {
+            base,
+            inst_spans,
+            block_len,
+        }
     }
 
     /// Code address and length of `static_idx` within unrolled copy `copy`.
@@ -95,7 +124,8 @@ pub struct TimingResult {
     pub insts: u64,
 }
 
-/// Dependency-tracking key.
+/// Dependency-tracking key (reference path only; the prepared path uses
+/// the flat producer scoreboard below).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum DepKey {
     Gpr(u8),
@@ -104,6 +134,20 @@ enum DepKey {
 }
 
 const NO_UOP: u32 = u32::MAX;
+
+/// Flat producer-scoreboard layout: GPRs at `0..16`, vector registers at
+/// `16..32`, RFLAGS at `32`. Indexing an array beats hashing a `DepKey`
+/// on every register read of every dynamic instruction.
+const PRODUCER_SLOTS: usize = 33;
+const FLAGS_SLOT: u8 = 32;
+
+fn gpr_slot(n: u8) -> u8 {
+    n
+}
+
+fn vec_slot(n: u8) -> u8 {
+    16 + n
+}
 
 #[derive(Debug, Clone)]
 struct DynUop {
@@ -118,6 +162,267 @@ struct DynUop {
     mem: Option<(u64, u64, u8)>,
 }
 
+/// Per-dynamic-instruction uop range and rename bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct InstMeta {
+    /// First uop id.
+    first: u32,
+    /// One past the last uop id.
+    last: u32,
+    /// Fused-domain rename/retire slots.
+    slots: u32,
+    /// Eliminated at rename (no uops).
+    eliminated: bool,
+}
+
+/// Open-addressed map from 8-byte address chunk to the uop id of the
+/// latest store covering it (store-to-load forwarding scoreboard).
+/// Replaces a `HashMap<u64, u32>`: no hasher state, no rehash-per-lookup,
+/// and `reset` keeps the backing storage for the next trace.
+#[derive(Debug, Default)]
+struct ChunkTable {
+    keys: Vec<u64>,
+    /// `NO_UOP` marks an empty slot (store uop ids are always < `NO_UOP`).
+    vals: Vec<u32>,
+    len: usize,
+}
+
+impl ChunkTable {
+    fn reset(&mut self) {
+        if self.keys.is_empty() {
+            self.keys = vec![0; 64];
+            self.vals = vec![NO_UOP; 64];
+        } else {
+            self.vals.fill(NO_UOP);
+        }
+        self.len = 0;
+    }
+
+    fn slot(&self, chunk: u64) -> usize {
+        // Fibonacci hashing spreads the (dense, small) chunk numbers.
+        ((chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.keys.len() - 1)
+    }
+
+    fn get(&self, chunk: u64) -> Option<u32> {
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot(chunk);
+        loop {
+            if self.vals[i] == NO_UOP {
+                return None;
+            }
+            if self.keys[i] == chunk {
+                return Some(self.vals[i]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, chunk: u64, uop: u32) {
+        // Keep load factor below 3/4 so probe sequences stay short and
+        // lookups always terminate on an empty slot.
+        if self.len * 4 >= self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = self.slot(chunk);
+        loop {
+            if self.vals[i] == NO_UOP {
+                self.keys[i] = chunk;
+                self.vals[i] = uop;
+                self.len += 1;
+                return;
+            }
+            if self.keys[i] == chunk {
+                self.vals[i] = uop;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.keys.len() * 2).max(64);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![NO_UOP; new_cap]);
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if v != NO_UOP {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+/// A trace compiled into its schedule-independent form: the dynamic uop
+/// stream with resolved latencies, dependency edges, memory addresses,
+/// and the frontend fetch/L1I-probe schedule. Built once per attempt and
+/// replayed by [`TimingModel::simulate_with`] for every warm-up/measured
+/// run.
+///
+/// All contents are *prefix-closed*: because functional execution is
+/// deterministic, the preparation of the first `n` dynamic instructions
+/// equals the first `n` instructions' worth of the full preparation, so a
+/// hi-factor preparation serves the lo-factor run as a prefix.
+#[derive(Debug, Default)]
+pub struct PreparedTrace {
+    uops: Vec<DynUop>,
+    /// All uop dependency lists, back to back (one allocation instead of
+    /// a heap Vec per uop).
+    dep_pool: Vec<u32>,
+    inst_meta: Vec<InstMeta>,
+    /// Per-instruction fetch clock before stalls: cumulative bytes / 16.
+    fetch_base: Vec<u64>,
+    /// L1I line probes as `(instruction index, line address)`, in program
+    /// order with consecutive duplicates removed.
+    probes: Vec<(u32, u64)>,
+    // Prepare-time scratch, reused across prepares; dead weight to
+    // `simulate_with`.
+    stores: ChunkTable,
+    reg_deps: Vec<u32>,
+    addr_deps: Vec<u32>,
+}
+
+impl PreparedTrace {
+    /// Number of prepared dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.inst_meta.len()
+    }
+
+    /// True if nothing is prepared.
+    pub fn is_empty(&self) -> bool {
+        self.inst_meta.is_empty()
+    }
+
+    /// Number of unfused uops in the prepared stream.
+    pub fn uop_count(&self) -> usize {
+        self.uops.len()
+    }
+}
+
+/// Reusable per-simulation state (completion times, RS contents, fetch
+/// and rename cycles). Owning one and passing it to
+/// [`TimingModel::simulate_with`] makes repeated simulations
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    completion: Vec<u64>,
+    waiting: Vec<u32>,
+    fetch_cycle: Vec<u64>,
+    rename_cycle: Vec<u64>,
+}
+
+/// How an eliminated instruction rewrites the producer scoreboard at
+/// rename, precomputed per static instruction.
+#[derive(Debug, Clone)]
+enum Elim {
+    /// Not eliminated.
+    None,
+    /// Zero idiom: dependency-break every listed slot.
+    Zero(Box<[u8]>),
+    /// Eliminated move: alias the destination slot to the source's
+    /// producer.
+    Move { dst: u8, src: u8 },
+    /// Nothing to rewrite (e.g. `nop`).
+    Inert,
+}
+
+/// Schedule-independent facts about one static instruction, precomputed
+/// so the per-dynamic-instruction loop never calls the allocating
+/// `gpr_reads()`/`vec_reads()`-style accessors.
+#[derive(Debug, Clone)]
+struct StaticInfo {
+    /// Producer slots the instruction reads (registers, vectors, flags).
+    reads: Box<[u8]>,
+    /// Producer slots of the memory operand's address registers.
+    addr_reads: Box<[u8]>,
+    /// Producer slots the instruction's result broadcasts to.
+    writes: Box<[u8]>,
+    elim: Elim,
+}
+
+fn push_unique(out: &mut Vec<u8>, slot: u8) {
+    if !out.contains(&slot) {
+        out.push(slot);
+    }
+}
+
+fn static_info(inst: &Inst, recipe: &Recipe) -> StaticInfo {
+    if recipe.eliminated {
+        let elim = if inst.is_zero_idiom() {
+            let mut slots = Vec::new();
+            for reg in inst.gpr_writes() {
+                push_unique(&mut slots, gpr_slot(reg.number()));
+            }
+            for vec in inst.vec_writes() {
+                push_unique(&mut slots, vec_slot(vec.number()));
+            }
+            // Scalar idioms (`xor r, r`) also set flags at rename:
+            // consumers must not wait on the previous flag writer.
+            if !inst.mnemonic().is_sse() {
+                push_unique(&mut slots, FLAGS_SLOT);
+            }
+            Elim::Zero(slots.into_boxed_slice())
+        } else if let (Some(dst), Some(src)) = (
+            inst.gpr_writes().first().copied(),
+            inst.gpr_reads().first().copied(),
+        ) {
+            Elim::Move {
+                dst: gpr_slot(dst.number()),
+                src: gpr_slot(src.number()),
+            }
+        } else if let (Some(dst), Some(src)) = (
+            inst.vec_writes().first().copied(),
+            inst.vec_reads().first().copied(),
+        ) {
+            Elim::Move {
+                dst: vec_slot(dst.number()),
+                src: vec_slot(src.number()),
+            }
+        } else {
+            Elim::Inert
+        };
+        return StaticInfo {
+            reads: Box::default(),
+            addr_reads: Box::default(),
+            writes: Box::default(),
+            elim,
+        };
+    }
+
+    let mut reads = Vec::new();
+    for reg in inst.gpr_reads() {
+        push_unique(&mut reads, gpr_slot(reg.number()));
+    }
+    for vec in inst.vec_reads() {
+        push_unique(&mut reads, vec_slot(vec.number()));
+    }
+    if crate::exec::flags_read(inst) {
+        push_unique(&mut reads, FLAGS_SLOT);
+    }
+    let mut addr_reads = Vec::new();
+    if let Some(m) = inst.mem_operand() {
+        for reg in m.address_regs() {
+            push_unique(&mut addr_reads, gpr_slot(reg.number()));
+        }
+    }
+    let mut writes = Vec::new();
+    for reg in inst.gpr_writes() {
+        push_unique(&mut writes, gpr_slot(reg.number()));
+    }
+    for vec in inst.vec_writes() {
+        push_unique(&mut writes, vec_slot(vec.number()));
+    }
+    if crate::exec::flags_written(inst) {
+        push_unique(&mut writes, FLAGS_SLOT);
+    }
+    StaticInfo {
+        reads: reads.into_boxed_slice(),
+        addr_reads: addr_reads.into_boxed_slice(),
+        writes: writes.into_boxed_slice(),
+        elim: Elim::None,
+    }
+}
+
 /// The reusable timing model for a fixed static block on one
 /// microarchitecture.
 #[derive(Debug)]
@@ -125,15 +430,25 @@ pub struct TimingModel<'a> {
     uarch: &'a Uarch,
     insts: &'a [Inst],
     recipes: Vec<Recipe>,
+    statics: Vec<StaticInfo>,
     /// Static instruction is macro-fused into its predecessor.
     fused_into_prev: Vec<bool>,
 }
 
 impl<'a> TimingModel<'a> {
-    /// Builds the model: decomposes every static instruction and computes
-    /// macro-fusion.
+    /// Builds the model: decomposes every static instruction (through the
+    /// per-thread recipe memo) and precomputes macro-fusion and the
+    /// register-slot tables.
     pub fn new(insts: &'a [Inst], uarch: &'a Uarch) -> TimingModel<'a> {
-        let recipes = insts.iter().map(|inst| decompose(inst, uarch)).collect();
+        let recipes: Vec<Recipe> = insts
+            .iter()
+            .map(|inst| decompose_cached(inst, uarch))
+            .collect();
+        let statics = insts
+            .iter()
+            .zip(&recipes)
+            .map(|(inst, recipe)| static_info(inst, recipe))
+            .collect();
         let mut fused_into_prev = vec![false; insts.len()];
         for i in 1..insts.len() {
             if macro_fuses(&insts[i - 1], &insts[i], uarch) {
@@ -144,6 +459,7 @@ impl<'a> TimingModel<'a> {
             uarch,
             insts,
             recipes,
+            statics,
             fused_into_prev,
         }
     }
@@ -178,10 +494,451 @@ impl<'a> TimingModel<'a> {
         (latency, blocking)
     }
 
-    /// Runs the trace through the pipeline. `l1i`/`l1d` carry cache state
-    /// across runs (the harness performs a warm-up run first, exactly like
-    /// the paper's double execution).
+    /// Compiles `trace` into `prep`, reusing `prep`'s allocations. The
+    /// prepared stream is valid for any [`TimingModel::simulate_with`]
+    /// replay over caches with this model's uarch geometry.
+    pub fn prepare_into(&self, prep: &mut PreparedTrace, trace: &[DynInst], layout: &CodeLayout) {
+        let PreparedTrace {
+            uops,
+            dep_pool,
+            inst_meta,
+            fetch_base,
+            probes,
+            stores,
+            reg_deps,
+            addr_deps,
+        } = prep;
+        uops.clear();
+        dep_pool.clear();
+        inst_meta.clear();
+        fetch_base.clear();
+        probes.clear();
+        stores.reset();
+        uops.reserve(trace.len());
+        inst_meta.reserve(trace.len());
+        fetch_base.reserve(trace.len());
+
+        // ---- Frontend: fetch byte clock and the L1I probe schedule ----
+        {
+            let line = u64::from(self.uarch.l1i.line_bytes);
+            let mut clock_bytes = 0u64; // 16 fetch bytes per cycle
+            let mut last_line = u64::MAX;
+            for (i, dyn_inst) in trace.iter().enumerate() {
+                let (addr, len) = layout.addr(dyn_inst.copy, dyn_inst.static_idx);
+                let mut probe = addr / line;
+                let end_line = (addr + u64::from(len) - 1) / line;
+                while probe <= end_line {
+                    if probe != last_line {
+                        probes.push((i as u32, probe * line));
+                        last_line = probe;
+                    }
+                    probe += 1;
+                }
+                clock_bytes += u64::from(len);
+                fetch_base.push(clock_bytes / 16);
+            }
+        }
+
+        // ---- Dynamic uops with dependencies ----
+        let mut producers = [NO_UOP; PRODUCER_SLOTS];
+        for dyn_inst in trace.iter() {
+            let recipe = &self.recipes[dyn_inst.static_idx];
+            let info = &self.statics[dyn_inst.static_idx];
+            let fx = &dyn_inst.effects;
+            let first = uops.len() as u32;
+            let mut frontend_slots = recipe.frontend_slots;
+            if self.fused_into_prev[dyn_inst.static_idx] {
+                frontend_slots = 0;
+            }
+
+            if recipe.eliminated {
+                match &info.elim {
+                    // Zero idiom: break dependencies on the destination.
+                    Elim::Zero(slots) => {
+                        for &slot in slots.iter() {
+                            producers[slot as usize] = NO_UOP;
+                        }
+                    }
+                    // Eliminated move: alias destination to source
+                    // producer (NO_UOP propagates "no producer").
+                    Elim::Move { dst, src } => {
+                        producers[*dst as usize] = producers[*src as usize];
+                    }
+                    Elim::Inert | Elim::None => {}
+                }
+                inst_meta.push(InstMeta {
+                    first,
+                    last: first,
+                    slots: frontend_slots,
+                    eliminated: true,
+                });
+                continue;
+            }
+
+            // Register/flag dependencies of the whole instruction.
+            reg_deps.clear();
+            for &slot in info.reads.iter() {
+                let p = producers[slot as usize];
+                if p != NO_UOP {
+                    reg_deps.push(p);
+                }
+            }
+            addr_deps.clear();
+            for &slot in info.addr_reads.iter() {
+                let p = producers[slot as usize];
+                if p != NO_UOP {
+                    addr_deps.push(p);
+                }
+            }
+
+            let mut load_uop: u32 = NO_UOP;
+            let mut last_compute: u32 = NO_UOP;
+            for uop in &recipe.uops {
+                let (latency, blocking) = self.resolve_latency(uop, fx);
+                let dep_start = dep_pool.len();
+                let deps = &mut *dep_pool;
+                let mut mem = None;
+                match uop.kind {
+                    UopKind::Load => {
+                        deps.extend_from_slice(addr_deps);
+                        if let Some(access) = fx.load {
+                            mem = Some((access.vaddr, access.paddr, access.width));
+                            // Store-to-load forwarding dependency.
+                            for chunk in chunks(access.vaddr, access.width) {
+                                if let Some(s) = stores.get(chunk) {
+                                    deps.push(s);
+                                }
+                            }
+                        }
+                    }
+                    UopKind::Compute => {
+                        deps.extend_from_slice(reg_deps);
+                        if load_uop != NO_UOP {
+                            deps.push(load_uop);
+                        }
+                        if last_compute != NO_UOP {
+                            deps.push(last_compute);
+                        }
+                    }
+                    UopKind::StoreAddr => {
+                        deps.extend_from_slice(addr_deps);
+                    }
+                    UopKind::StoreData => {
+                        if last_compute != NO_UOP {
+                            deps.push(last_compute);
+                        } else if load_uop != NO_UOP {
+                            deps.push(load_uop);
+                        } else {
+                            deps.extend_from_slice(reg_deps);
+                        }
+                        if let Some(access) = fx.store {
+                            mem = Some((access.vaddr, access.paddr, access.width));
+                        }
+                    }
+                }
+                // Sort + dedup this uop's slice of the pool in place.
+                let tail = &mut deps[dep_start..];
+                tail.sort_unstable();
+                let mut kept = usize::from(!tail.is_empty());
+                for i in 1..tail.len() {
+                    if tail[i] != tail[kept - 1] {
+                        tail[kept] = tail[i];
+                        kept += 1;
+                    }
+                }
+                deps.truncate(dep_start + kept);
+                let id = uops.len() as u32;
+                uops.push(DynUop {
+                    ports: uop.ports.mask(),
+                    latency,
+                    blocking,
+                    kind: uop.kind,
+                    dep_start: dep_start as u32,
+                    dep_len: kept as u16,
+                    mem,
+                });
+                match uop.kind {
+                    UopKind::Load => load_uop = id,
+                    UopKind::Compute => last_compute = id,
+                    _ => {}
+                }
+            }
+
+            // Record producers for later consumers.
+            let result_uop = if last_compute != NO_UOP {
+                last_compute
+            } else {
+                load_uop
+            };
+            if result_uop != NO_UOP {
+                for &slot in info.writes.iter() {
+                    producers[slot as usize] = result_uop;
+                }
+            }
+            if let Some(access) = fx.store {
+                let std_uop = (uops.len() - 1) as u32;
+                for chunk in chunks(access.vaddr, access.width) {
+                    stores.insert(chunk, std_uop);
+                }
+            }
+            inst_meta.push(InstMeta {
+                first,
+                last: uops.len() as u32,
+                slots: frontend_slots,
+                eliminated: false,
+            });
+        }
+    }
+
+    /// Convenience wrapper: prepares `trace` into a fresh [`PreparedTrace`].
+    pub fn prepare(&self, trace: &[DynInst], layout: &CodeLayout) -> PreparedTrace {
+        let mut prep = PreparedTrace::default();
+        self.prepare_into(&mut prep, trace, layout);
+        prep
+    }
+
+    /// Replays a full prepared trace with one-shot scratch state. See
+    /// [`TimingModel::simulate_with`].
+    pub fn simulate(&self, prep: &PreparedTrace, l1i: &mut Cache, l1d: &mut Cache) -> TimingResult {
+        let mut scratch = SimScratch::default();
+        self.simulate_with(prep, prep.len(), l1i, l1d, &mut scratch)
+    }
+
+    /// Runs the first `n_insts` prepared dynamic instructions through the
+    /// pipeline. `l1i`/`l1d` carry cache state across runs (the harness
+    /// performs a warm-up run first, exactly like the paper's double
+    /// execution); `scratch` is caller-owned so repeated runs allocate
+    /// nothing.
+    ///
+    /// Prefix replay is exact: simulating `n` instructions of a longer
+    /// preparation is bit-identical to preparing and simulating the
+    /// `n`-instruction trace itself (the prepared stream is prefix-closed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_insts` exceeds the prepared length.
+    pub fn simulate_with(
+        &self,
+        prep: &PreparedTrace,
+        n_insts: usize,
+        l1i: &mut Cache,
+        l1d: &mut Cache,
+        scratch: &mut SimScratch,
+    ) -> TimingResult {
+        assert!(
+            n_insts <= prep.inst_meta.len(),
+            "prefix of {n_insts} insts exceeds prepared trace of {}",
+            prep.inst_meta.len()
+        );
+        let mut result = TimingResult::default();
+        if n_insts == 0 {
+            return result;
+        }
+        let uop_limit = prep.inst_meta[n_insts - 1].last as usize;
+        let SimScratch {
+            completion,
+            waiting,
+            fetch_cycle,
+            rename_cycle,
+        } = scratch;
+
+        // ---- Frontend replay: fetch cycles through the L1I ----
+        fetch_cycle.clear();
+        {
+            let mut stall = 0u64;
+            let mut p = 0usize;
+            for (i, &base) in prep.fetch_base[..n_insts].iter().enumerate() {
+                while p < prep.probes.len() && prep.probes[p].0 as usize == i {
+                    let addr = prep.probes[p].1;
+                    // Instruction fetch is VIPT too; code is identity
+                    // mapped for tagging purposes.
+                    if !l1i.access(addr, addr) {
+                        stall += u64::from(self.uarch.l1i_miss_penalty);
+                        result.l1i_misses += 1;
+                    }
+                    p += 1;
+                }
+                fetch_cycle.push(base + stall);
+            }
+        }
+
+        // ---- Cycle loop ----
+        let total_insts = n_insts;
+        completion.clear();
+        completion.resize(uop_limit, u64::MAX);
+        waiting.clear();
+        rename_cycle.clear();
+        rename_cycle.resize(total_insts, 0);
+        let mut port_free = [0u64; 8];
+        // L1-miss handling serializes on the L2 interface (a coarse MSHR /
+        // fill-bandwidth model): misses cannot complete back to back.
+        let mut l2_free = 0u64;
+        let l2_interval = u64::from(self.uarch.l1d_miss_penalty);
+        let mut next_rename = 0usize; // inst index
+        let mut next_retire = 0usize;
+        let mut rob_used = 0u32;
+        let mut rs_used = 0u32;
+        let mut cycle = 0u64;
+        // Safety valve against pathological schedules.
+        let max_cycles = 1_000_000u64 + (uop_limit as u64) * 64;
+
+        while next_retire < total_insts {
+            // Retire (fused-domain bandwidth).
+            let mut retired = 0;
+            while next_retire < total_insts && retired < self.uarch.retire_width {
+                let m = prep.inst_meta[next_retire];
+                let done = if m.eliminated {
+                    rename_cycle[next_retire] <= cycle && next_retire < next_rename
+                } else {
+                    next_retire < next_rename
+                        && (m.first..m.last).all(|u| completion[u as usize] <= cycle)
+                };
+                if !done {
+                    break;
+                }
+                rob_used = rob_used.saturating_sub(m.slots.max(1));
+                next_retire += 1;
+                retired += 1;
+                result.insts += 1;
+            }
+
+            // Issue from the RS: oldest first, compacting the RS in
+            // place. Once the issue quota is spent, the rest of the RS is
+            // kept wholesale without re-testing dependencies.
+            let mut kept = 0usize;
+            let mut examined = 0usize;
+            let mut issued_this_cycle = 0u32;
+            while examined < waiting.len() {
+                if issued_this_cycle >= self.uarch.issue_width * 2 {
+                    break;
+                }
+                let uid = waiting[examined];
+                examined += 1;
+                let u = &prep.uops[uid as usize];
+                let deps = &prep.dep_pool[u.dep_start as usize..][..usize::from(u.dep_len)];
+                let ready = deps.iter().all(|&d| completion[d as usize] <= cycle);
+                if !ready {
+                    waiting[kept] = uid;
+                    kept += 1;
+                    continue;
+                }
+                // Pick the available port with the earliest free cycle.
+                let mut best: Option<usize> = None;
+                for p in 0..8 {
+                    if u.ports & (1 << p) != 0 && port_free[p] <= cycle {
+                        best = match best {
+                            Some(b) if port_free[b] <= port_free[p] => Some(b),
+                            _ => Some(p),
+                        };
+                    }
+                }
+                let Some(port) = best else {
+                    waiting[kept] = uid;
+                    kept += 1;
+                    continue;
+                };
+                // Memory access latency adjustments.
+                let mut latency = u.latency;
+                let mut miss_delay = 0u64;
+                if let Some((vaddr, paddr, width)) = u.mem {
+                    let write = u.kind == UopKind::StoreData;
+                    let hit = l1d.access(vaddr, paddr);
+                    if !hit {
+                        latency += self.uarch.l1d_miss_penalty;
+                        let fill_start = l2_free.max(cycle);
+                        miss_delay = fill_start - cycle;
+                        l2_free = fill_start + l2_interval;
+                        if write {
+                            result.l1d_write_misses += 1;
+                        } else {
+                            result.l1d_read_misses += 1;
+                        }
+                    }
+                    if l1d.splits_line(vaddr, width) {
+                        latency += self.uarch.split_access_penalty;
+                        result.misaligned += 1;
+                        // The second line is accessed as well.
+                        let second = (vaddr / l1d.line_bytes() + 1) * l1d.line_bytes();
+                        let poff = second - vaddr;
+                        if !l1d.access(second, paddr + poff) {
+                            latency += self.uarch.l1d_miss_penalty;
+                            if write {
+                                result.l1d_write_misses += 1;
+                            } else {
+                                result.l1d_read_misses += 1;
+                            }
+                        }
+                    }
+                }
+                completion[uid as usize] = cycle + miss_delay + u64::from(latency);
+                port_free[port] = cycle + u64::from(u.blocking);
+                rs_used = rs_used.saturating_sub(1);
+                result.uops += 1;
+                issued_this_cycle += 1;
+            }
+            waiting.copy_within(examined.., kept);
+            waiting.truncate(kept + waiting.len() - examined);
+
+            // Rename/allocate (in order, fused-domain width).
+            let mut slots_left = self.uarch.issue_width;
+            while next_rename < total_insts && slots_left > 0 {
+                let m = prep.inst_meta[next_rename];
+                if fetch_cycle[next_rename] > cycle {
+                    break;
+                }
+                let uop_count = m.last - m.first;
+                if rob_used + m.slots.max(1) > self.uarch.rob_size
+                    || rs_used + uop_count > self.uarch.rs_size
+                {
+                    break;
+                }
+                if m.slots > slots_left {
+                    break;
+                }
+                rename_cycle[next_rename] = cycle;
+                rob_used += m.slots.max(1);
+                if !m.eliminated {
+                    for uid in m.first..m.last {
+                        waiting.push(uid);
+                    }
+                    rs_used += uop_count;
+                }
+                slots_left -= m.slots.min(slots_left);
+                next_rename += 1;
+            }
+
+            cycle += 1;
+            if cycle > max_cycles {
+                debug_assert!(false, "timing model failed to converge");
+                break;
+            }
+        }
+
+        result.cycles = cycle;
+        result
+    }
+
+    /// Runs the trace through the pipeline by preparing and simulating it
+    /// in one call. `l1i`/`l1d` carry cache state across runs. Hot paths
+    /// should hold a [`PreparedTrace`]/[`SimScratch`] and call the split
+    /// phases instead.
     pub fn run(
+        &self,
+        trace: &[DynInst],
+        layout: &CodeLayout,
+        l1i: &mut Cache,
+        l1d: &mut Cache,
+    ) -> TimingResult {
+        let mut prep = PreparedTrace::default();
+        self.prepare_into(&mut prep, trace, layout);
+        self.simulate(&prep, l1i, l1d)
+    }
+
+    /// The original single-pass implementation, kept verbatim as the
+    /// straight-line reference: differential tests pin
+    /// `prepare` + `simulate` (including prefix replay) to this path bit
+    /// for bit. Not used on hot paths.
+    pub fn run_reference(
         &self,
         trace: &[DynInst],
         layout: &CodeLayout,
@@ -223,8 +980,6 @@ impl<'a> TimingModel<'a> {
 
         // ---- Pre-pass: build dynamic uops with dependencies ----
         let mut uops: Vec<DynUop> = Vec::with_capacity(trace.len() * 2);
-        // All uop dependency lists, back to back (one allocation instead
-        // of a heap Vec per uop).
         let mut dep_pool: Vec<u32> = Vec::with_capacity(trace.len() * 2);
         // inst_id -> (first_uop, last_uop+1, frontend_slots, eliminated)
         let mut inst_meta: Vec<(u32, u32, u32, bool)> = Vec::with_capacity(trace.len());
@@ -822,5 +1577,115 @@ mod tests {
         // (the paper's case study measures 21.62).
         let d32 = div_latency(UarchKind::Haswell, 4, 4, true);
         assert!((20..=24).contains(&d32));
+    }
+
+    #[test]
+    fn chunk_table_tracks_latest_store() {
+        let mut t = ChunkTable::default();
+        t.reset();
+        assert_eq!(t.get(3), None);
+        t.insert(3, 7);
+        t.insert(3, 9);
+        assert_eq!(t.get(3), Some(9));
+        // Force several growths and verify everything survives rehash.
+        for i in 0..500u64 {
+            t.insert(i * 0x1_0001, i as u32);
+        }
+        for i in 0..500u64 {
+            assert_eq!(t.get(i * 0x1_0001), Some(i as u32));
+        }
+        t.reset();
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn from_spans_matches_from_block() {
+        let block = parse_block("add rax, 1\nmov rbx, qword ptr [rcx]\nxor edx, edx").unwrap();
+        let reference = CodeLayout::from_block(block.insts(), 0x40_0000).unwrap();
+        let layout = CodeLayout::from_spans(reference.inst_spans.clone(), 0x40_0000);
+        assert_eq!(layout.block_len, reference.block_len);
+        assert_eq!(layout.inst_spans, reference.inst_spans);
+        assert_eq!(layout.base, reference.base);
+    }
+
+    #[test]
+    fn prepared_path_matches_reference() {
+        // Mixed block: zero idiom, eliminated move, flags, load + store
+        // with forwarding, macro-fusable pair.
+        let text = "xor eax, eax\n\
+                    mov rbx, rcx\n\
+                    add rax, rbx\n\
+                    mov qword ptr [rsi], rax\n\
+                    mov rdx, qword ptr [rsi]\n\
+                    cmp rdx, rax\n\
+                    je -0x10";
+        let block = parse_block(text).unwrap();
+        for uarch in [Uarch::ivy_bridge(), Uarch::haswell(), Uarch::skylake()] {
+            let model = TimingModel::new(block.insts(), uarch);
+            let layout = CodeLayout::from_block(block.insts(), 0x40_0000).unwrap();
+            let mut trace = Vec::new();
+            for copy in 0..40u32 {
+                for (idx, _) in block.insts().iter().enumerate() {
+                    let mut fx = InstEffects::default();
+                    if idx == 3 {
+                        fx.store = Some(crate::exec::MemAccess {
+                            vaddr: 0x9000 + u64::from(copy) * 8,
+                            paddr: 0x1000 + u64::from(copy) * 8 % 4096,
+                            width: 8,
+                            write: true,
+                        });
+                    }
+                    if idx == 4 {
+                        fx.load = Some(crate::exec::MemAccess {
+                            vaddr: 0x9000 + u64::from(copy) * 8,
+                            paddr: 0x1000 + u64::from(copy) * 8 % 4096,
+                            width: 8,
+                            write: false,
+                        });
+                    }
+                    trace.push(DynInst {
+                        static_idx: idx,
+                        copy,
+                        effects: fx,
+                    });
+                }
+            }
+            let mut l1i_a = Cache::new(uarch.l1i);
+            let mut l1d_a = Cache::new(uarch.l1d);
+            let mut l1i_b = Cache::new(uarch.l1i);
+            let mut l1d_b = Cache::new(uarch.l1d);
+            let prep = model.prepare(&trace, &layout);
+            let mut scratch = SimScratch::default();
+            // Cold then warm: cache state carried identically on both
+            // sides.
+            for _ in 0..2 {
+                let split =
+                    model.simulate_with(&prep, trace.len(), &mut l1i_a, &mut l1d_a, &mut scratch);
+                let reference = model.run_reference(&trace, &layout, &mut l1i_b, &mut l1d_b);
+                assert_eq!(split, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_replay_matches_prefix_preparation() {
+        let text = "add rax, 1\nmov rbx, rax\nimul rbx, rcx\nxor edx, edx";
+        let block = parse_block(text).unwrap();
+        let uarch = Uarch::haswell();
+        let model = TimingModel::new(block.insts(), uarch);
+        let layout = CodeLayout::from_block(block.insts(), 0x40_0000).unwrap();
+        let full = trace_for(block.len(), 16);
+        let prep = model.prepare(&full, &layout);
+        let mut scratch = SimScratch::default();
+        for copies in [0u32, 1, 4, 16] {
+            let n = block.len() * copies as usize;
+            let mut l1i_a = Cache::new(uarch.l1i);
+            let mut l1d_a = Cache::new(uarch.l1d);
+            let mut l1i_b = Cache::new(uarch.l1i);
+            let mut l1d_b = Cache::new(uarch.l1d);
+            let split = model.simulate_with(&prep, n, &mut l1i_a, &mut l1d_a, &mut scratch);
+            let reference = model.run_reference(&full[..n], &layout, &mut l1i_b, &mut l1d_b);
+            assert_eq!(split, reference, "prefix of {copies} copies");
+        }
     }
 }

@@ -43,5 +43,5 @@ mod uop;
 pub use desc::{CacheParams, Uarch, UarchKind};
 pub use fusion::macro_fuses;
 pub use ports::{Port, PortSet};
-pub use tables::{decompose, port_vocabulary};
+pub use tables::{decompose, decompose_cached, port_vocabulary};
 pub use uop::{Recipe, Uop, UopKind, VarLat};

@@ -75,6 +75,48 @@ pub fn decompose(inst: &Inst, uarch: &Uarch) -> Recipe {
     }
 }
 
+/// Memoized [`decompose`]. Corpus traffic decomposes the same static
+/// instructions over and over — every profiling attempt rebuilds its
+/// timing model, and real corpora repeat hot instructions endlessly — so
+/// recipes are cached in a per-thread table keyed by `(uarch, inst)`.
+/// Returns exactly what [`decompose`] returns; the table is bounded and
+/// cleared wholesale when it exceeds [`DECOMPOSE_MEMO_CAP`] entries.
+pub fn decompose_cached(inst: &Inst, uarch: &Uarch) -> Recipe {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::hash::{Hash, Hasher};
+
+    type Memo = HashMap<u64, Vec<(UarchKind, Inst, Recipe)>>;
+    const DECOMPOSE_MEMO_CAP: usize = 8192;
+    thread_local! {
+        static MEMO: RefCell<Memo> = RefCell::new(HashMap::new());
+    }
+
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    uarch.kind.hash(&mut hasher);
+    inst.hash(&mut hasher);
+    let key = hasher.finish();
+
+    MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        if let Some(bucket) = memo.get(&key) {
+            for (kind, cached_inst, recipe) in bucket {
+                if *kind == uarch.kind && cached_inst == inst {
+                    return recipe.clone();
+                }
+            }
+        }
+        let recipe = decompose(inst, uarch);
+        if memo.len() >= DECOMPOSE_MEMO_CAP {
+            memo.clear();
+        }
+        memo.entry(key)
+            .or_default()
+            .push((uarch.kind, inst.clone(), recipe.clone()));
+        recipe
+    })
+}
+
 /// True for register-to-register moves eliminated at rename (Haswell+).
 fn is_eliminable_move(inst: &Inst) -> bool {
     use Mnemonic::*;

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Performance measurement for the profiling pipeline.
+#
+# Runs the Criterion profiler/corpus benches (pipeline hot paths) and the
+# fast machine-readable probe, then writes the probe's JSON to
+# BENCH_PR4.json at the repo root:
+#
+#   cold_blocks_per_sec_1t / _nt  — end-to-end corpus throughput, cold cache
+#   execute/prepare/simulate_ns_per_block — per-stage costs
+#
+# Usage: scripts/bench.sh [--skip-criterion]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" != "--skip-criterion" ]]; then
+    # The Criterion runs are the statistically careful numbers; keep them
+    # short (they still take a few minutes).
+    cargo bench -p bhive-bench --bench profiler
+    cargo bench -p bhive-bench --bench corpus
+fi
+
+cargo build -q --release -p bhive-bench --example bench_json
+cargo run -q --release -p bhive-bench --example bench_json | tee BENCH_PR4.json
+echo "wrote BENCH_PR4.json"

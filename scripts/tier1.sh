@@ -12,6 +12,9 @@ cargo test -q
 cargo test -q -p bhive-harness --test chaos
 cargo build --examples
 cargo bench --no-run
+# Bench smoke: the machine-readable perf probe must run end to end (the
+# full run is scripts/bench.sh, which emits BENCH_PR4.json).
+cargo run -q --release -p bhive-bench --example bench_json -- --smoke >/dev/null
 # CLI smoke: a supervised run with a retry budget exits 0 and reports.
 cargo run -q --release -p bhive -- profile --retries 2 <<'EOF'
 add rax, 1

@@ -1,6 +1,6 @@
 //! Machine-readable perf probe: times the corpus pipeline end-to-end and
 //! the simulation stages per block, then emits one JSON object (for
-//! `scripts/bench.sh`, which writes it to `BENCH_PR4.json`).
+//! `scripts/bench.sh`, which writes it to `BENCH_PR5.json`).
 //!
 //! Unlike the Criterion benches this runs in seconds, so it can gate
 //! tier-1 (`--smoke`) and feed a perf-trajectory dashboard without a
@@ -10,7 +10,9 @@
 
 use bhive_asm::BasicBlock;
 use bhive_bench::bench_corpus;
-use bhive_harness::{profile_corpus, ProfileConfig, Profiler};
+use bhive_harness::{
+    profile_corpus, profile_corpus_supervised, ObsConfig, ProfileConfig, Profiler, Supervision,
+};
 use bhive_sim::{Cache, Machine, CODE_BASE};
 use bhive_uarch::Uarch;
 use std::time::Instant;
@@ -51,6 +53,17 @@ fn main() {
         let report = profile_corpus(&profiler, &blocks, 1);
         cold_1t = cold_1t.min(started.elapsed().as_secs_f64());
         successes = report.successes();
+    }
+
+    // The same cold single-thread run with observability on: event
+    // tracing + metrics must cost ≤2% blocks/s (the acceptance bar).
+    let observed = Supervision::with_obs(ObsConfig::on());
+    let mut cold_1t_obs = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let report = profile_corpus_supervised(&profiler, &blocks, 1, None, &observed);
+        cold_1t_obs = cold_1t_obs.min(started.elapsed().as_secs_f64());
+        assert!(report.stats.obs.is_some(), "observed run records obs");
     }
 
     // End-to-end cold corpus, all threads.
@@ -114,6 +127,15 @@ fn main() {
     println!(
         "  \"cold_blocks_per_sec_1t\": {:.1},",
         blocks.len() as f64 / cold_1t
+    );
+    println!("  \"cold_secs_1t_obs\": {},", secs(cold_1t_obs));
+    println!(
+        "  \"cold_blocks_per_sec_1t_obs\": {:.1},",
+        blocks.len() as f64 / cold_1t_obs
+    );
+    println!(
+        "  \"obs_overhead_pct\": {:.2},",
+        (cold_1t_obs / cold_1t - 1.0) * 100.0
     );
     println!("  \"cold_secs_nt\": {},", secs(cold_nt));
     println!(

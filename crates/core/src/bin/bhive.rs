@@ -3,7 +3,7 @@
 
 use bhive::corpus::{Corpus, Scale};
 use bhive::eval::{experiments, Pipeline, Report};
-use bhive::harness::{ProfileConfig, Profiler};
+use bhive::harness::{ObsConfig, ProfileConfig, ProfileStats, Profiler, TraceLog};
 use bhive::uarch::UarchKind;
 use std::io::Read;
 use std::process::ExitCode;
@@ -54,6 +54,14 @@ OPTIONS:
                       (also via the BHIVE_CACHE environment variable)
     --no-cache        Disable the measurement cache, overriding --cache
                       and BHIVE_CACHE
+    --trace FILE      Append a structured event trace (checksummed JSONL)
+                      for every corpus measurement to FILE and write a
+                      deterministic run_report.json next to it; the
+                      deterministic section is bit-identical at any
+                      --threads count, and measurements are unchanged
+    --metrics         Print the merged metrics registry (counters,
+                      gauges, histogram quantiles) to stderr after the
+                      command; implies observability even without --trace
     -h, --help        Print this usage summary and exit
 
 EXIT STATUS:
@@ -74,6 +82,8 @@ struct Options {
     json: bool,
     cache: Option<std::path::PathBuf>,
     no_cache: bool,
+    trace: Option<std::path::PathBuf>,
+    metrics: bool,
     help: bool,
 }
 
@@ -100,6 +110,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         json: false,
         cache: None,
         no_cache: false,
+        trace: None,
+        metrics: false,
         help: false,
     };
     let mut iter = args.iter();
@@ -148,6 +160,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--json" => opts.json = true,
             "--cache" => opts.cache = Some(value("--cache")?.into()),
             "--no-cache" => opts.no_cache = true,
+            "--trace" => opts.trace = Some(value("--trace")?.into()),
+            "--metrics" => opts.metrics = true,
             "--help" | "-h" => opts.help = true,
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -188,6 +202,22 @@ fn run() -> Result<ExitCode, String> {
         Pipeline::new(opts.scale, opts.seed, opts.threads).with_retries(opts.retries);
     if let Some(dir) = opts.cache_dir() {
         pipeline = pipeline.with_cache_dir(dir);
+    }
+    // Open the trace log before measuring so a torn tail left by an
+    // interrupted run is recorded as this run's recovery preamble.
+    let mut trace_log = match &opts.trace {
+        Some(path) => Some(
+            TraceLog::open(path)
+                .map_err(|e| format!("opening trace log {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    if trace_log.is_some() || opts.metrics {
+        let obs = ObsConfig {
+            resume_note: trace_log.as_ref().and_then(|log| log.recovery()),
+            ..ObsConfig::on()
+        };
+        pipeline = pipeline.with_observability(obs);
     }
 
     match command.as_str() {
@@ -318,7 +348,88 @@ fn run() -> Result<ExitCode, String> {
             return Err(format!("unknown command `{other}`; run `bhive help`"));
         }
     }
+    emit_observability(&pipeline, trace_log.as_mut(), opts.metrics)?;
     Ok(run_health(&pipeline))
+}
+
+/// Post-command observability fan-out: appends every observed corpus
+/// measurement to the trace log, writes the deterministic
+/// `run_report.json` next to it, and (with `--metrics`) prints the
+/// merged registries to stderr. A command that measured nothing (e.g.
+/// `corpus`, `fig1`) emits nothing.
+fn emit_observability(
+    pipeline: &Pipeline,
+    log: Option<&mut TraceLog>,
+    metrics: bool,
+) -> Result<(), String> {
+    let observed: Vec<(String, ProfileStats)> = pipeline
+        .profile_stats()
+        .into_iter()
+        .filter(|(_, stats)| stats.obs.is_some())
+        .collect();
+    if observed.is_empty() {
+        return Ok(());
+    }
+    if let Some(log) = log {
+        for (label, stats) in &observed {
+            let obs = stats.obs.as_ref().expect("filtered to observed runs");
+            log.append_run(label, obs)
+                .map_err(|e| format!("writing trace log {}: {e}", log.path().display()))?;
+        }
+        // One deterministic report per measurement, as a JSON array next
+        // to the trace (bit-identical at any thread count).
+        let mut reports = Vec::new();
+        for (label, stats) in &observed {
+            if let Some(report) = stats.run_report(label) {
+                reports.push(report.to_json().map_err(|e| format!("run report: {e}"))?);
+            }
+        }
+        let report_path = log.path().with_file_name("run_report.json");
+        let body = format!("[\n{}\n]\n", reports.join(",\n"));
+        std::fs::write(&report_path, body)
+            .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
+    }
+    if metrics {
+        for (label, stats) in &observed {
+            let obs = stats.obs.as_ref().expect("filtered to observed runs");
+            eprintln!("metrics {label}:");
+            for (name, value) in obs.metrics.counters() {
+                eprintln!("  counter  {name} = {value}");
+            }
+            for (name, value) in obs.metrics.gauges() {
+                eprintln!("  gauge    {name} = {value}");
+            }
+            for (name, hist) in obs.metrics.histograms() {
+                let q = bhive::harness::Quantiles::of(hist);
+                eprintln!(
+                    "  hist     {name}: n={} p50={} p95={} p99={}",
+                    hist.total(),
+                    q.p50,
+                    q.p95,
+                    q.p99
+                );
+            }
+            // Wall-section histograms (latencies) are real observations
+            // but not deterministic; mark them so nobody diffs them.
+            for (name, hist) in obs.wall_metrics.histograms() {
+                let q = bhive::harness::Quantiles::of(hist);
+                eprintln!(
+                    "  hist     {name}: n={} p50={} p95={} p99={} (wall, non-deterministic)",
+                    hist.total(),
+                    q.p50,
+                    q.p95,
+                    q.p99
+                );
+            }
+            if obs.dropped_events > 0 {
+                eprintln!(
+                    "  warning: {} events DROPPED by ring overflow",
+                    obs.dropped_events
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Post-command health check over every corpus the pipeline measured:
@@ -415,11 +526,24 @@ mod tests {
             "--json",
             "--cache",
             "--no-cache",
+            "--trace",
+            "--metrics",
             "--help",
             "-h",
         ] {
             assert!(USAGE.contains(flag), "usage text must document {flag}");
         }
+    }
+
+    #[test]
+    fn trace_and_metrics_flags_parse() {
+        let opts = parse(&["--trace", "/tmp/run.jsonl", "--metrics"]).unwrap();
+        assert_eq!(opts.trace, Some(std::path::PathBuf::from("/tmp/run.jsonl")));
+        assert!(opts.metrics);
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.trace, None, "tracing is opt-in");
+        assert!(!opts.metrics, "metrics are opt-in");
+        assert!(parse(&["--trace"]).is_err(), "--trace needs a value");
     }
 
     #[test]

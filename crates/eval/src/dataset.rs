@@ -3,7 +3,7 @@
 use bhive_asm::BasicBlock;
 use bhive_corpus::{Application, Corpus};
 use bhive_harness::{
-    profile_corpus_cached, MeasurementCache, ProfileConfig, ProfileStats, Profiler,
+    profile_corpus_supervised, MeasurementCache, ProfileConfig, ProfileStats, Profiler, Supervision,
 };
 use bhive_uarch::UarchKind;
 use serde::{Deserialize, Serialize};
@@ -77,6 +77,29 @@ impl MeasuredCorpus {
         threads: usize,
         cache_dir: Option<&Path>,
     ) -> (MeasuredCorpus, ProfileStats) {
+        MeasuredCorpus::measure_with_stats_supervised(
+            corpus,
+            uarch,
+            config,
+            threads,
+            cache_dir,
+            &Supervision::default(),
+        )
+    }
+
+    /// Like [`MeasuredCorpus::measure_with_stats_cached`], with explicit
+    /// [`Supervision`] — breaker tuning and observability. With
+    /// [`Supervision::obs`] enabled the returned stats carry the merged
+    /// deterministic run record ([`ProfileStats::obs`]); the measured
+    /// blocks themselves are bit-identical to an unobserved run.
+    pub fn measure_with_stats_supervised(
+        corpus: &Corpus,
+        uarch: UarchKind,
+        config: &ProfileConfig,
+        threads: usize,
+        cache_dir: Option<&Path>,
+        supervision: &Supervision,
+    ) -> (MeasuredCorpus, ProfileStats) {
         let profiler = Profiler::new(uarch.desc(), config.clone());
         let blocks = corpus.basic_blocks();
         let mut cache =
@@ -90,7 +113,8 @@ impl MeasuredCorpus {
                     None
                 }
             });
-        let report = profile_corpus_cached(&profiler, &blocks, threads, cache.as_mut());
+        let report =
+            profile_corpus_supervised(&profiler, &blocks, threads, cache.as_mut(), supervision);
         let mut measured = Vec::new();
         for (idx, result) in report.results.iter().enumerate() {
             if let Ok(m) = result {

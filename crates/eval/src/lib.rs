@@ -35,7 +35,7 @@ pub use evalrun::{EvalRun, Prediction};
 pub use report::{fmt_f, fmt_pct, Report};
 
 use bhive_corpus::{Corpus, Scale};
-use bhive_harness::{ProfileConfig, ProfileStats};
+use bhive_harness::{ObsConfig, ProfileConfig, ProfileStats, Supervision};
 use bhive_models::{IacaModel, IthemalConfig, IthemalModel, McaModel, OsacaModel, ThroughputModel};
 use bhive_uarch::UarchKind;
 use std::collections::HashMap;
@@ -61,6 +61,7 @@ pub struct Pipeline {
     threads: usize,
     retries: u32,
     cache_dir: Option<PathBuf>,
+    obs: ObsConfig,
     corpora: Mutex<HashMap<CorpusKind, Arc<Corpus>>>,
     measured: Mutex<HashMap<(CorpusKind, UarchKind), Arc<MeasuredCorpus>>>,
     profile_stats: Mutex<Vec<(String, ProfileStats)>>,
@@ -78,6 +79,7 @@ impl Pipeline {
             threads,
             retries: 0,
             cache_dir: None,
+            obs: ObsConfig::default(),
             corpora: Mutex::new(HashMap::new()),
             measured: Mutex::new(HashMap::new()),
             profile_stats: Mutex::new(Vec::new()),
@@ -116,6 +118,23 @@ impl Pipeline {
     /// The retry budget per transiently failed block.
     pub fn retries(&self) -> u32 {
         self.retries
+    }
+
+    /// Enables observability on every corpus measurement: structured
+    /// trace events and a metrics registry accumulate per worker and
+    /// merge into each measurement's [`ProfileStats::obs`] record (read
+    /// them back via [`Pipeline::profile_stats`]). Observation never
+    /// perturbs results — measurements are bit-identical either way —
+    /// and stays out of the cache fingerprint.
+    #[must_use]
+    pub fn with_observability(mut self, obs: ObsConfig) -> Pipeline {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability configuration for corpus measurements.
+    pub fn observability(&self) -> &ObsConfig {
+        &self.obs
     }
 
     /// The corpus scale.
@@ -167,12 +186,13 @@ impl Pipeline {
             return hit.clone();
         }
         let corpus = self.corpus(kind);
-        let (measured, stats) = MeasuredCorpus::measure_with_stats_cached(
+        let (measured, stats) = MeasuredCorpus::measure_with_stats_supervised(
             &corpus,
             uarch,
             &self.profile_config(),
             self.threads,
             self.cache_dir.as_deref(),
+            &Supervision::with_obs(self.obs.clone()),
         );
         let measured = Arc::new(measured);
         self.profile_stats

@@ -138,6 +138,76 @@ fn body_checksum(body: &RecordBody) -> std::io::Result<u64> {
     Ok(fnv1a_64(json.as_bytes()))
 }
 
+/// What scanning an append-only checksummed-JSONL log found: the valid
+/// prefix length and what the torn/corrupt tail held. Shared by the
+/// measurement cache and the obs trace log ([`crate::obs::TraceLog`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonlRecovery {
+    /// Bytes of the valid prefix the log was truncated back to.
+    pub valid_len: u64,
+    /// Records dropped from the tail (best estimate: corruption hides
+    /// how many records the bytes held).
+    pub dropped_records: usize,
+    /// Bytes truncated off the tail.
+    pub dropped_bytes: u64,
+}
+
+/// Scans an append-only JSONL log line by line, calling `accept` on each
+/// complete (newline-terminated, UTF-8) line. The first line `accept`
+/// rejects — or that is torn, non-UTF-8, or missing its newline — marks
+/// the start of an invalid tail: the file is truncated back to the last
+/// good line and the drop is reported.
+///
+/// The file must be opened readable and writable (truncation uses
+/// `set_len`); append mode is fine — the next write lands at the new
+/// end.
+pub(crate) fn recover_jsonl<F>(file: File, mut accept: F) -> std::io::Result<(File, JsonlRecovery)>
+where
+    F: FnMut(&str) -> bool,
+{
+    let total_len = file.metadata()?.len();
+    let mut reader = BufReader::new(file);
+    let mut valid_len = 0u64;
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        // `read_until` (not `read_line`): a torn tail can contain
+        // arbitrary bytes, which must read as corruption, not as an
+        // I/O error.
+        let n = reader.read_until(b'\n', &mut line)?;
+        if n == 0 {
+            break;
+        }
+        // A record is only complete once its newline hit the disk; a
+        // line without one is an interrupted write.
+        if line.last() != Some(&b'\n') {
+            break;
+        }
+        let valid = std::str::from_utf8(&line)
+            .ok()
+            .is_some_and(|text| accept(text.trim_end()));
+        if !valid {
+            break;
+        }
+        valid_len += n as u64;
+    }
+    let mut recovery = JsonlRecovery {
+        valid_len,
+        ..JsonlRecovery::default()
+    };
+    if valid_len < total_len {
+        // Count what is about to be dropped: the torn record plus every
+        // newline-terminated chunk behind it.
+        let mut rest = Vec::new();
+        std::io::Read::read_to_end(&mut reader, &mut rest)?;
+        let dropped = line.iter().chain(&rest).filter(|&&b| b == b'\n').count();
+        recovery.dropped_bytes = total_len - valid_len;
+        recovery.dropped_records = dropped.max(1);
+        reader.get_ref().set_len(valid_len)?;
+    }
+    Ok((reader.into_inner(), recovery))
+}
+
 /// What [`MeasurementCache::open`] found in the log.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheOpenReport {
@@ -157,8 +227,10 @@ pub struct CacheOpenReport {
 }
 
 /// Disk-cache counters for one corpus run, folded into
-/// [`crate::ProfileStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// [`crate::ProfileStats`] (and, serialized, into
+/// [`crate::obs::RunReport`] — every field is a count, deterministic at
+/// any thread count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Unique encodings served from the on-disk cache.
     pub hits: usize,
@@ -227,68 +299,40 @@ impl MeasurementCache {
             .append(true)
             .create(true)
             .open(&path)?;
-        let total_len = file.metadata()?.len();
-        let mut reader = BufReader::new(file);
         let mut entries = HashMap::new();
         let mut report = CacheOpenReport::default();
         let mut stale_on_disk = 0usize;
-        let mut valid_len = 0u64;
-        let mut line = Vec::new();
-        loop {
-            line.clear();
-            // `read_until` (not `read_line`): a torn tail can contain
-            // arbitrary bytes, which must read as corruption, not as an
-            // I/O error.
-            let n = reader.read_until(b'\n', &mut line)?;
-            if n == 0 {
-                break;
-            }
-            // A record is only complete once its newline hit the disk; a
-            // line without one is an interrupted write.
-            if line.last() != Some(&b'\n') {
-                break;
-            }
-            let parsed = std::str::from_utf8(&line)
-                .ok()
-                .and_then(|text| serde_json::from_str::<Record>(text.trim_end()).ok());
-            let Some(record) = parsed else { break };
+        // Torn-tail recovery is the shared scanner's job; this closure
+        // only decides validity (shape + checksum) and files each valid
+        // record away.
+        let (file, recovery) = recover_jsonl(file, |text| {
+            let Ok(record) = serde_json::from_str::<Record>(text) else {
+                return false;
+            };
             match body_checksum(&record.body) {
                 Ok(sum) if sum == record.sum => {}
-                _ => break,
+                _ => return false,
             }
-            valid_len += n as u64;
             if record.body.uarch != uarch || record.body.fp != fingerprint {
                 report.stale_evictions += 1;
                 stale_on_disk += 1;
-                continue;
-            }
-            // Legacy logs may hold transient failures; serving one would
-            // freeze recoverable bad luck into every future run.
-            if record.body.outcome.is_transient_failure() {
+            } else if record.body.outcome.is_transient_failure() {
+                // Legacy logs may hold transient failures; serving one
+                // would freeze recoverable bad luck into every future
+                // run.
                 report.transient_evictions += 1;
                 stale_on_disk += 1;
-                continue;
+            } else {
+                report.loaded += 1;
+                entries.insert(record.body.key, record.body.outcome);
             }
-            report.loaded += 1;
-            entries.insert(record.body.key, record.body.outcome);
-        }
-        if valid_len < total_len {
-            // Torn or corrupt tail: count what we are about to drop, then
-            // truncate the log back to the last good record. The count is
-            // the torn record plus every newline-terminated chunk behind
-            // it (corruption hides how many records those bytes held, so
-            // this is the log's best estimate).
-            let mut rest = Vec::new();
-            std::io::Read::read_to_end(&mut reader, &mut rest)?;
-            let dropped = line.iter().chain(&rest).filter(|&&b| b == b'\n').count();
-            report.dropped_bytes = total_len - valid_len;
-            report.dropped_records = dropped.max(1);
-            let file = reader.get_ref();
-            file.set_len(valid_len)?;
-        }
+            true
+        })?;
+        report.dropped_records = recovery.dropped_records;
+        report.dropped_bytes = recovery.dropped_bytes;
 
-        // `set_len` + append mode: the next write lands at the new end.
-        let writer = BufWriter::new(reader.into_inner());
+        // Truncation + append mode: the next write lands at the new end.
+        let writer = BufWriter::new(file);
         Ok(MeasurementCache {
             path,
             uarch,

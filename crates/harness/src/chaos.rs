@@ -103,6 +103,25 @@ impl FaultPlan {
     pub fn planned_transients(&self) -> usize {
         self.transients.len()
     }
+
+    /// Iterates the planned panic sites as `(unique-block, attempt)`,
+    /// in deterministic (sorted) order — the addresses the chaos trace
+    /// tests assert against.
+    pub fn panic_sites(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.panics.iter().copied()
+    }
+
+    /// Iterates the planned forced-transient sites as
+    /// `(unique-block, attempt)`, in deterministic order.
+    pub fn transient_sites(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.transients.iter().copied()
+    }
+
+    /// Iterates the planned cache-write-error ordinals, in
+    /// deterministic order.
+    pub fn cache_error_sites(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cache_write_errors.iter().copied()
+    }
 }
 
 /// What an injector actually fired during a run.

@@ -64,19 +64,26 @@ mod failure;
 pub mod interference;
 mod measurement;
 mod monitor;
+pub mod obs;
 mod parallel;
 mod profiler;
 mod retry;
 
-pub use cache::{cache_key, CacheOpenReport, CacheStats, CachedOutcome, MeasurementCache};
+pub use cache::{
+    cache_key, CacheOpenReport, CacheStats, CachedOutcome, JsonlRecovery, MeasurementCache,
+};
 pub use chaos::{ChaosInjector, ChaosStats, FaultPlan};
 pub use config::{PageMapping, ProfileConfig, UnrollStrategy};
 pub use failure::{FailureClass, ProfileFailure};
 pub use measurement::{Measurement, TrialSet};
-pub use monitor::{monitor, MappingOutcome};
+pub use monitor::{monitor, monitor_observed, MappingOutcome};
+pub use obs::{
+    AttemptEvent, BucketLayout, EventBuffer, Histogram, Metrics, ObsConfig, Quantiles, RunObs,
+    RunReport, TraceEvent, TraceLine, TraceLog,
+};
 pub use parallel::{
     profile_corpus, profile_corpus_cached, profile_corpus_supervised, CorpusReport, ProfileStats,
     Supervision, WorkerStats,
 };
 pub use profiler::Profiler;
-pub use retry::{BreakerConfig, BreakerTrip, CircuitBreaker, RetryPolicy};
+pub use retry::{BreakerConfig, BreakerState, BreakerTrip, CircuitBreaker, RetryPolicy};

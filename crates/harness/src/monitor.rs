@@ -10,6 +10,7 @@
 
 use crate::config::{PageMapping, ProfileConfig};
 use crate::failure::ProfileFailure;
+use crate::obs::AttemptEvent;
 use bhive_asm::Inst;
 use bhive_sim::{DynInst, ExecFault, Machine, PhysPage};
 
@@ -50,11 +51,26 @@ pub fn monitor(
     unroll: u32,
     config: &ProfileConfig,
 ) -> Result<MappingOutcome, ProfileFailure> {
+    monitor_observed(machine, insts, unroll, config, &mut |_| {})
+}
+
+/// [`monitor`] with an observability sink: every successfully serviced
+/// page fault is reported as [`AttemptEvent::PageMapped`] before the
+/// block is re-executed. The sink receives only deterministic,
+/// cycle/ordinal-valued data — never the wall clock — so traces built
+/// from it are bit-identical across thread counts.
+pub fn monitor_observed(
+    machine: &mut Machine,
+    insts: &[Inst],
+    unroll: u32,
+    config: &ProfileConfig,
+    sink: &mut dyn FnMut(AttemptEvent),
+) -> Result<MappingOutcome, ProfileFailure> {
     // The trace lands in the machine's reusable buffer; the outcome takes
     // it over on success, and the profiler hands it back once measurement
     // is done. On failure it goes straight back.
     let mut trace = machine.take_trace_buffer();
-    match monitor_into(machine, insts, unroll, config, &mut trace) {
+    match monitor_into(machine, insts, unroll, config, &mut trace, sink) {
         Ok((mapped_pages, faults)) => Ok(MappingOutcome {
             trace,
             mapped_pages,
@@ -75,6 +91,7 @@ fn monitor_into(
     unroll: u32,
     config: &ProfileConfig,
     trace: &mut Vec<DynInst>,
+    sink: &mut dyn FnMut(AttemptEvent),
 ) -> Result<(usize, u32), ProfileFailure> {
     let mut faults = 0u32;
     let mut shared_page: Option<PhysPage> = None;
@@ -111,6 +128,10 @@ fn monitor_into(
                     PageMapping::None => unreachable!("handled above"),
                 };
                 machine.memory_mut().map(fault.vaddr, phys);
+                sink(AttemptEvent::PageMapped {
+                    vaddr_page: fault.vaddr & !0xFFF,
+                    fault: faults,
+                });
             }
             Err(other) => return Err(ProfileFailure::from_fault(other)),
         }
@@ -152,6 +173,31 @@ mod tests {
             "single-page policy backs every virtual page with one frame"
         );
         assert_eq!(outcome.trace.len(), block.len() * 16);
+    }
+
+    #[test]
+    fn observed_monitor_reports_each_mapped_page() {
+        let block =
+            parse_block("mov rax, qword ptr [rbx]\nmov rcx, qword ptr [rbx + 0x2000]").unwrap();
+        let config = ProfileConfig::bhive().quiet();
+        let mut m = machine();
+        let mut events = Vec::new();
+        let outcome =
+            monitor_observed(&mut m, block.insts(), 4, &config, &mut |e| events.push(e)).unwrap();
+        assert_eq!(
+            events.len(),
+            outcome.faults as usize,
+            "one PageMapped event per serviced fault"
+        );
+        for (i, event) in events.iter().enumerate() {
+            match event {
+                AttemptEvent::PageMapped { vaddr_page, fault } => {
+                    assert_eq!(vaddr_page % 0x1000, 0, "page-aligned address");
+                    assert_eq!(*fault, i as u32 + 1, "fault ordinals count from 1");
+                }
+                other => panic!("expected PageMapped, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,382 @@
+use super::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_path(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "bhive-obs-test-{}-{}-{}.jsonl",
+        tag,
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[test]
+fn the_deterministic_layer_never_reads_the_clock() {
+    // The determinism boundary is enforced at the source level: nothing
+    // in this module may consult a clock. Wall-clock samples are
+    // *recorded into* the wall section by the pipeline, which owns the
+    // only `Instant` usage.
+    let code: String = include_str!("../obs.rs")
+        .lines()
+        .filter(|line| !line.trim_start().starts_with("//"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(!code.contains("Instant"), "obs.rs must not use Instant");
+    assert!(
+        !code.contains("SystemTime"),
+        "obs.rs must not use SystemTime"
+    );
+}
+
+#[test]
+fn linear_histogram_buckets_and_quantiles() {
+    let mut hist = Histogram::new(BucketLayout::Linear {
+        width: 10,
+        buckets: 10,
+    });
+    for v in 1..=100u64 {
+        hist.record(v);
+    }
+    assert_eq!(hist.total(), 100);
+    assert_eq!(hist.sum(), 5050);
+    assert_eq!(hist.min(), 1);
+    assert_eq!(hist.max(), 100);
+    // Exact p50 of 1..=100 is 50; the estimate is the bucket bound 50.
+    assert_eq!(hist.p50(), 50);
+    assert_eq!(hist.p95(), 100, "exact 95 lives in the (90,100] bucket");
+    assert_eq!(hist.p99(), 100);
+    assert!((hist.mean() - 50.5).abs() < 1e-9);
+}
+
+#[test]
+fn overflow_bucket_clamps_to_observed_max() {
+    let mut hist = Histogram::new(BucketLayout::Linear {
+        width: 10,
+        buckets: 2,
+    });
+    hist.record(5);
+    hist.record(1000);
+    assert_eq!(hist.quantile(1.0), 1000, "overflow estimate is the max");
+    // Rank 1 lives in the first bucket: the estimate is its bound.
+    assert_eq!(hist.p50(), 10);
+}
+
+#[test]
+fn empty_histogram_is_all_zeroes() {
+    let hist = Histogram::new(BucketLayout::Exponential {
+        first: 8,
+        buckets: 4,
+    });
+    assert_eq!(hist.total(), 0);
+    assert_eq!(hist.p50(), 0);
+    assert_eq!(hist.mean(), 0.0);
+    assert_eq!(hist.min(), 0);
+    assert_eq!(hist.max(), 0);
+}
+
+#[test]
+fn exponential_layout_doubles_and_saturates() {
+    let layout = BucketLayout::Exponential {
+        first: 8,
+        buckets: 4,
+    };
+    assert_eq!(layout.bounds(), vec![8, 16, 32, 64]);
+    let big = BucketLayout::Exponential {
+        first: u64::MAX / 2 + 1,
+        buckets: 3,
+    };
+    let bounds = big.bounds();
+    assert_eq!(
+        bounds[1],
+        u64::MAX,
+        "doubling saturates instead of wrapping"
+    );
+    assert_eq!(bounds[2], u64::MAX, "and stays saturated");
+}
+
+#[test]
+#[should_panic(expected = "identical bucket layouts")]
+fn merging_mismatched_layouts_panics() {
+    let mut a = Histogram::new(BucketLayout::Linear {
+        width: 1,
+        buckets: 2,
+    });
+    let b = Histogram::new(BucketLayout::Linear {
+        width: 2,
+        buckets: 2,
+    });
+    a.merge(&b);
+}
+
+#[test]
+fn metrics_merge_is_add_max_and_bucketwise() {
+    let layout = BucketLayout::Linear {
+        width: 5,
+        buckets: 4,
+    };
+    let mut a = Metrics::new();
+    a.add("attempts", 3);
+    a.gauge_max("max-attempt", 1);
+    a.observe("cycles", layout, 7);
+    let mut b = Metrics::new();
+    b.add("attempts", 2);
+    b.add("accepts", 1);
+    b.gauge_max("max-attempt", 4);
+    b.observe("cycles", layout, 12);
+    a.merge(&b);
+    assert_eq!(a.counter("attempts"), 5);
+    assert_eq!(a.counter("accepts"), 1);
+    assert_eq!(a.counter("absent"), 0);
+    assert_eq!(a.gauge("max-attempt"), 4);
+    let hist = a.histogram("cycles").unwrap();
+    assert_eq!(hist.total(), 2);
+    assert_eq!(hist.max(), 12);
+}
+
+fn attempt_events(unique: usize) -> Vec<TraceEvent> {
+    vec![
+        TraceEvent::Dequeue { unique, attempt: 0 },
+        TraceEvent::AttemptStart {
+            unique,
+            attempt: 0,
+            trials: 16,
+        },
+        TraceEvent::MappingDone {
+            unique,
+            attempt: 0,
+            faults: 0,
+            mapped_pages: 0,
+        },
+        TraceEvent::Accept {
+            unique,
+            attempt: 0,
+            throughput: 1.0 + unique as f64,
+        },
+    ]
+}
+
+#[test]
+fn merge_is_invariant_to_worker_splits() {
+    // The same 12 events recorded (a) all by one worker and (b) split
+    // across three workers in a scrambled claim order must merge to the
+    // same deterministic sequence.
+    let mut serial = EventBuffer::new(64);
+    for unique in 0..3 {
+        for event in attempt_events(unique) {
+            serial.emit(event);
+        }
+    }
+    serial.add("attempts.total", 3);
+
+    let mut w0 = EventBuffer::new(64);
+    let mut w1 = EventBuffer::new(64);
+    let mut w2 = EventBuffer::new(64);
+    for event in attempt_events(2) {
+        w0.emit(event);
+    }
+    for event in attempt_events(0) {
+        w1.emit(event);
+    }
+    for event in attempt_events(1) {
+        w2.emit(event);
+    }
+    w0.add("attempts.total", 1);
+    w1.add("attempts.total", 1);
+    w2.add("attempts.total", 1);
+
+    let a = RunObs::merge([serial]);
+    let b = RunObs::merge([w0, w1, w2]);
+    assert_eq!(a.events, b.events, "sort key must erase the schedule");
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.dropped_events, 0);
+    assert_eq!(a.event_counts()["accept"], 3);
+    // Ordinals are the post-merge indices.
+    let ordinals: Vec<u64> = a.ordinals().map(|(o, _)| o).collect();
+    assert_eq!(ordinals, (0..12).collect::<Vec<u64>>());
+}
+
+#[test]
+fn preamble_sorts_first_and_verdict_last() {
+    let mut buf = EventBuffer::new(16);
+    buf.emit(TraceEvent::BreakerTrip {
+        at_block: 63,
+        rate: 0.5,
+        window: 64,
+    });
+    buf.emit(TraceEvent::Dequeue {
+        unique: 0,
+        attempt: 0,
+    });
+    buf.emit(TraceEvent::CacheMiss { unique: 0 });
+    buf.emit(TraceEvent::TraceRecovered {
+        dropped_records: 1,
+        dropped_bytes: 10,
+    });
+    let obs = RunObs::merge([buf]);
+    let kinds: Vec<&str> = obs.events.iter().map(TraceEvent::kind).collect();
+    assert_eq!(
+        kinds,
+        ["trace-recovered", "cache-miss", "dequeue", "breaker-trip"]
+    );
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_counts() {
+    let mut buf = EventBuffer::new(2);
+    for unique in 0..5 {
+        buf.emit(TraceEvent::CacheMiss { unique });
+    }
+    assert_eq!(buf.dropped(), 3);
+    let obs = RunObs::merge([buf]);
+    assert_eq!(obs.dropped_events, 3, "drops are loud, never silent");
+    assert_eq!(obs.events.len(), 2);
+}
+
+#[test]
+fn attempt_sink_translates_and_folds_metrics() {
+    let mut buf = EventBuffer::new(16);
+    buf.attempt_event(
+        4,
+        1,
+        AttemptEvent::PageMapped {
+            vaddr_page: 0x41000,
+            fault: 1,
+        },
+    );
+    buf.attempt_event(
+        4,
+        1,
+        AttemptEvent::MappingDone {
+            faults: 2,
+            mapped_pages: 2,
+        },
+    );
+    buf.attempt_event(
+        4,
+        1,
+        AttemptEvent::MeasureDone {
+            unroll: 100,
+            trials: 32,
+            clean: 32,
+            identical: 30,
+            accepted_cycles: 210,
+        },
+    );
+    let obs = RunObs::merge([buf]);
+    assert_eq!(obs.event_counts()["page-mapped"], 1);
+    assert_eq!(obs.event_counts()["mapping-done"], 1);
+    assert_eq!(obs.event_counts()["measure-done"], 1);
+    assert_eq!(obs.metrics.histogram("mapping.faults").unwrap().total(), 1);
+    assert_eq!(obs.metrics.histogram("measure.trials").unwrap().max(), 32);
+    assert_eq!(obs.metrics.gauge("mapping.max-faults"), 2);
+}
+
+#[test]
+fn trace_log_round_trips_and_filters_det_section() {
+    let path = temp_path("roundtrip");
+    let _ = std::fs::remove_file(&path);
+    let mut buf = EventBuffer::new(16);
+    buf.emit(TraceEvent::CacheMiss { unique: 0 });
+    buf.emit(TraceEvent::Accept {
+        unique: 0,
+        attempt: 0,
+        throughput: 1.5,
+    });
+    buf.add("attempts.total", 1);
+    let mut wall = EventBuffer::new(16);
+    wall.emit_wall(TraceEvent::CacheWriteError {
+        ordinal: 0,
+        unique: 0,
+        injected: true,
+    });
+    let obs = RunObs::merge([buf, wall]);
+
+    let mut log = TraceLog::open(&path).unwrap();
+    assert!(log.recovery().is_none(), "fresh log has nothing to recover");
+    log.append_run("demo/hsw", &obs).unwrap();
+    drop(log);
+
+    let det = TraceLog::det_section(&path).unwrap();
+    assert!(det.contains("RunStart"), "{det}");
+    assert!(det.contains("\"Accept\""), "{det}");
+    assert!(det.contains("RunEnd"), "{det}");
+    assert!(
+        !det.contains("CacheWriteError"),
+        "wall events must not leak into the det section: {det}"
+    );
+    let full = std::fs::read_to_string(&path).unwrap();
+    assert!(full.contains("CacheWriteError"), "{full}");
+    assert!(full.contains("WallMetrics"), "{full}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn torn_tail_is_truncated_and_reported() {
+    let path = temp_path("torn");
+    let _ = std::fs::remove_file(&path);
+    let mut buf = EventBuffer::new(16);
+    buf.emit(TraceEvent::CacheMiss { unique: 0 });
+    let obs = RunObs::merge([buf]);
+    let mut log = TraceLog::open(&path).unwrap();
+    log.append_run("first", &obs).unwrap();
+    drop(log);
+    let intact = std::fs::read(&path).unwrap();
+
+    // Chop mid-line: the interrupted write must be dropped on reopen.
+    let torn_len = intact.len() - 7;
+    let f = OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(torn_len as u64).unwrap();
+    drop(f);
+
+    let log = TraceLog::open(&path).unwrap();
+    let recovery = log.recovery().expect("the torn tail must be reported");
+    assert!(recovery.dropped_bytes > 0);
+    assert!(recovery.dropped_records >= 1);
+    drop(log);
+    // The surviving prefix re-validates cleanly.
+    let det = TraceLog::det_section(&path).unwrap();
+    assert!(det.contains("RunStart"), "{det}");
+    let reopened = TraceLog::open(&path).unwrap();
+    assert!(
+        reopened.recovery().is_none(),
+        "recovery is needed exactly once"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn run_report_serializes_deterministically() {
+    let mut metrics = Metrics::new();
+    metrics.add("attempts.total", 7);
+    metrics.observe(
+        "accept.cycles",
+        BucketLayout::Exponential {
+            first: 32,
+            buckets: 8,
+        },
+        210,
+    );
+    let report = RunReport {
+        schema: RUN_REPORT_SCHEMA.to_string(),
+        label: "demo/hsw".to_string(),
+        total_blocks: 10,
+        unique_blocks: 7,
+        successful_blocks: 6,
+        dedup_hits: 3,
+        quantiles: metrics
+            .histograms()
+            .map(|(name, hist)| (name.to_string(), Quantiles::of(hist)))
+            .collect(),
+        metrics,
+        ..RunReport::default()
+    };
+    let a = report.to_json().unwrap();
+    let b = report.clone().to_json().unwrap();
+    assert_eq!(a, b);
+    assert!(a.contains("bhive-run-report/v1"), "{a}");
+    assert!(a.contains("accept.cycles"), "{a}");
+    // Wall-clock quantities have no field to hide in.
+    assert!(!a.contains("elapsed"), "{a}");
+    assert!(!a.contains("blocks_per_sec"), "{a}");
+}

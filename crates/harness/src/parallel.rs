@@ -46,8 +46,12 @@ use crate::cache::{CacheStats, MeasurementCache};
 use crate::chaos::{ChaosInjector, ChaosStats};
 use crate::failure::ProfileFailure;
 use crate::measurement::Measurement;
+use crate::obs::{
+    BucketLayout, EventBuffer, ObsConfig, Quantiles, RunObs, RunReport, TraceEvent,
+    RUN_REPORT_SCHEMA,
+};
 use crate::profiler::Profiler;
-use crate::retry::{BreakerConfig, BreakerTrip, CircuitBreaker};
+use crate::retry::{BreakerConfig, BreakerTrip, CircuitBreaker, RetryPolicy};
 use bhive_asm::BasicBlock;
 use bhive_sim::Machine;
 use std::collections::hash_map::Entry;
@@ -56,6 +60,35 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// Bucket layout for the deterministic accepted-cycle histogram:
+/// doubling bounds 32 … ~2^27 cycles cover every realistic block.
+const ACCEPT_CYCLES: BucketLayout = BucketLayout::Exponential {
+    first: 32,
+    buckets: 24,
+};
+
+/// Bucket layout for the wall-section per-item work latency (ns):
+/// doubling bounds 1 µs … ~2 × 10³ s.
+const WORK_LATENCY_NS: BucketLayout = BucketLayout::Exponential {
+    first: 1024,
+    buckets: 32,
+};
+
+/// `"sim."`-prefixed metric names for `PerfCounters::snapshot`, in
+/// snapshot order, pre-joined so the per-accept metrics fold never
+/// allocates. A unit test pins this table to the snapshot.
+const SIM_COUNTERS: [&str; 9] = [
+    "sim.core_cycles",
+    "sim.instructions_retired",
+    "sim.uops_executed",
+    "sim.l1d_read_misses",
+    "sim.l1d_write_misses",
+    "sim.l1i_misses",
+    "sim.context_switches",
+    "sim.misaligned_mem_refs",
+    "sim.subnormal_events",
+];
 
 /// Aggregate result of profiling a set of blocks.
 #[derive(Debug)]
@@ -111,6 +144,11 @@ pub struct Supervision {
     pub breaker: BreakerConfig,
     /// Deterministic fault injection (`None` outside chaos tests).
     pub chaos: Option<ChaosInjector>,
+    /// Observability knobs: event tracing and metrics. Lives here rather
+    /// than in [`crate::ProfileConfig`] because observing a run must
+    /// never change what a measurement is (it stays out of the config
+    /// fingerprint, and results are bit-identical either way).
+    pub obs: ObsConfig,
 }
 
 impl Supervision {
@@ -118,6 +156,14 @@ impl Supervision {
     pub fn with_chaos(chaos: ChaosInjector) -> Supervision {
         Supervision {
             chaos: Some(chaos),
+            ..Supervision::default()
+        }
+    }
+
+    /// Supervision with observability on.
+    pub fn with_obs(obs: ObsConfig) -> Supervision {
+        Supervision {
+            obs,
             ..Supervision::default()
         }
     }
@@ -165,6 +211,9 @@ pub struct ProfileStats {
     /// On-disk measurement-cache counters, when the run used one
     /// ([`crate::profile_corpus_cached`]); `None` for uncached runs.
     pub cache: Option<CacheStats>,
+    /// The merged observability record, when [`Supervision::obs`] was
+    /// enabled; `None` otherwise.
+    pub obs: Option<RunObs>,
 }
 
 /// Counters for a single worker thread.
@@ -214,6 +263,42 @@ impl ProfileStats {
     /// blocks were submitted and none profiled successfully.
     pub fn is_unhealthy(&self) -> bool {
         self.breaker.is_some() || (self.total_blocks > 0 && self.successful_blocks == 0)
+    }
+
+    /// Builds the machine-readable [`RunReport`] for an observed run
+    /// (`None` when the run was not observed). The report carries *only*
+    /// deterministic content — counts, ordinals, cycles; never wall-clock
+    /// time or thread counts — so its serialized bytes are identical at
+    /// any thread count (when no events were dropped).
+    pub fn run_report(&self, label: &str) -> Option<RunReport> {
+        let obs = self.obs.as_ref()?;
+        let quantiles = obs
+            .metrics
+            .histograms()
+            .map(|(name, hist)| (name.to_string(), Quantiles::of(hist)))
+            .collect();
+        Some(RunReport {
+            schema: RUN_REPORT_SCHEMA.to_string(),
+            label: label.to_string(),
+            total_blocks: self.total_blocks,
+            unique_blocks: self.unique_blocks,
+            successful_blocks: self.successful_blocks,
+            dedup_hits: self.cache_hits,
+            retried_blocks: self.retried_blocks,
+            recovered_blocks: self.recovered_blocks,
+            retry_attempts: self.retry_attempts,
+            breaker: self.breaker,
+            cache: self.cache,
+            failures: self
+                .failures
+                .iter()
+                .map(|(category, n)| ((*category).to_string(), *n as u64))
+                .collect(),
+            event_counts: obs.event_counts(),
+            dropped_events: obs.dropped_events,
+            metrics: obs.metrics.clone(),
+            quantiles,
+        })
     }
 }
 
@@ -309,6 +394,16 @@ impl std::fmt::Display for ProfileStats {
         if !utilization.is_empty() {
             write!(f, "; worker utilization: {}", utilization.join(" "))?;
         }
+        if let Some(obs) = &self.obs {
+            write!(
+                f,
+                "; {} traced",
+                counted(obs.events.len(), "event", "events")
+            )?;
+            if obs.dropped_events > 0 {
+                write!(f, " ({} DROPPED by ring overflow)", obs.dropped_events)?;
+            }
+        }
         Ok(())
     }
 }
@@ -379,6 +474,19 @@ pub fn profile_corpus_supervised(
     };
     let chaos = supervision.chaos.as_ref();
     let retries = profiler.config().retry.retries;
+    let ring = supervision.obs.enabled.then(|| supervision.obs.capacity());
+    // The main thread records the run-level preamble (recovery note,
+    // cache open), the submission-ordered lookup events, the breaker
+    // verdict, and the wall-section cache-write events.
+    let mut main_buf = ring.map(EventBuffer::new);
+    if let Some(buf) = main_buf.as_mut() {
+        if let Some(note) = supervision.obs.resume_note {
+            buf.emit(TraceEvent::TraceRecovered {
+                dropped_records: note.dropped_records,
+                dropped_bytes: note.dropped_bytes,
+            });
+        }
+    }
 
     // ---- Dedup stage: one work item per distinct encoding. ----
     // Within one run, uarch and config are fixed, so the encoded bytes
@@ -412,11 +520,25 @@ pub fn profile_corpus_supervised(
     let mut disk = CacheStats::default();
     let mut pending: Vec<usize> = Vec::new(); // unique ids still to measure
     if let Some(cache) = cache.as_deref() {
-        disk.stale_evictions = cache.open_report().stale_evictions;
+        let open = cache.open_report();
+        disk.stale_evictions = open.stale_evictions;
+        if let Some(buf) = main_buf.as_mut() {
+            buf.emit(TraceEvent::CacheOpened {
+                loaded: open.loaded,
+                stale_evictions: open.stale_evictions,
+                transient_evictions: open.transient_evictions,
+                dropped_records: open.dropped_records,
+                dropped_bytes: open.dropped_bytes,
+            });
+        }
         for (unique, &key) in unique_keys.iter().enumerate() {
             match cache.get(key) {
                 Some(outcome) => {
                     disk.hits += 1;
+                    if let Some(buf) = main_buf.as_mut() {
+                        buf.emit(TraceEvent::CacheHit { unique });
+                        buf.add("cache.disk-hits", 1);
+                    }
                     let outcome = outcome.clone().into_result();
                     for &idx in &fanout[unique] {
                         results[idx] = Some(outcome.clone());
@@ -424,6 +546,10 @@ pub fn profile_corpus_supervised(
                 }
                 None => {
                     disk.misses += 1;
+                    if let Some(buf) = main_buf.as_mut() {
+                        buf.emit(TraceEvent::CacheMiss { unique });
+                        buf.add("cache.disk-misses", 1);
+                    }
                     pending.push(unique);
                 }
             }
@@ -441,17 +567,25 @@ pub fn profile_corpus_supervised(
     let worker_count = threads.min(pending.len());
     let mut first: Vec<Option<Result<Measurement, ProfileFailure>>> = vec![None; pending.len()];
     let mut write_ordinal = 0usize;
-    let phase_a = run_workers(
+    let (phase_a, mut worker_buffers) = run_workers(
         profiler,
         worker_count,
         pending.len(),
-        |slot, machine, stats| {
+        ring,
+        |slot, machine, stats, obs| {
             let unique = pending[slot];
             let block = &blocks[unique_rep[unique]];
+            if let Some(buf) = obs.as_mut() {
+                buf.emit(TraceEvent::Dequeue { unique, attempt: 0 });
+            }
             let claimed = Instant::now();
-            let outcome = attempt_block(profiler, block, unique, 0, machine, stats, chaos);
-            stats.busy += claimed.elapsed();
+            let outcome = attempt_block(profiler, block, unique, 0, machine, stats, chaos, obs);
+            let spent = claimed.elapsed();
+            stats.busy += spent;
             stats.profiled += 1;
+            if let Some(buf) = obs.as_mut() {
+                buf.observe_wall("work.latency-ns", WORK_LATENCY_NS, spent.as_nanos() as u64);
+            }
             (slot, outcome)
         },
         |(slot, outcome)| {
@@ -467,6 +601,7 @@ pub fn profile_corpus_supervised(
                     &mut disk,
                     chaos,
                     &mut write_ordinal,
+                    &mut main_buf,
                 );
             }
             first[slot] = Some(outcome);
@@ -481,6 +616,14 @@ pub fn profile_corpus_supervised(
         breaker.observe(matches!(outcome, Some(Err(f)) if f.is_transient()));
     }
     let trip = breaker.trip();
+    if let (Some(buf), Some(trip)) = (main_buf.as_mut(), trip) {
+        buf.emit(TraceEvent::BreakerTrip {
+            at_block: trip.at_block,
+            rate: trip.rate,
+            window: trip.window,
+        });
+        buf.add("breaker.trips", 1);
+    }
 
     // ---- Phase B: retry escalation for deferred transients. ----
     let mut retried_blocks = 0usize;
@@ -509,32 +652,55 @@ pub fn profile_corpus_supervised(
                     &mut disk,
                     chaos,
                     &mut write_ordinal,
+                    &mut main_buf,
                 );
             }
         } else if !deferred.is_empty() {
             retried_blocks = deferred.len();
-            phase_b = run_workers(
+            let (stats_b, buffers_b) = run_workers(
                 profiler,
                 threads.min(deferred.len()),
                 deferred.len(),
-                |dslot, machine, stats| {
+                ring,
+                |dslot, machine, stats, obs| {
                     let slot = deferred[dslot];
                     let unique = pending[slot];
                     let block = &blocks[unique_rep[unique]];
+                    if let Some(buf) = obs.as_mut() {
+                        buf.emit(TraceEvent::Dequeue { unique, attempt: 1 });
+                    }
                     let claimed = Instant::now();
                     let mut attempts_used = 0u32;
                     let mut outcome = None;
                     for attempt in 1..=retries {
                         attempts_used += 1;
-                        let out =
-                            attempt_block(profiler, block, unique, attempt, machine, stats, chaos);
+                        if let Some(buf) = obs.as_mut() {
+                            buf.emit(TraceEvent::RetryEscalation {
+                                unique,
+                                attempt,
+                                trials: RetryPolicy::trials_for(attempt, profiler.config().trials),
+                            });
+                            buf.add("retry.attempts", 1);
+                            buf.gauge_max("retry.max-attempt", u64::from(attempt));
+                        }
+                        let out = attempt_block(
+                            profiler, block, unique, attempt, machine, stats, chaos, obs,
+                        );
                         let transient = matches!(&out, Err(f) if f.is_transient());
                         outcome = Some(out);
                         if !transient {
                             break;
                         }
                     }
-                    stats.busy += claimed.elapsed();
+                    let spent = claimed.elapsed();
+                    stats.busy += spent;
+                    if let Some(buf) = obs.as_mut() {
+                        buf.observe_wall(
+                            "work.latency-ns",
+                            WORK_LATENCY_NS,
+                            spent.as_nanos() as u64,
+                        );
+                    }
                     let outcome = outcome.expect("retries >= 1 runs at least one attempt");
                     (slot, outcome, attempts_used)
                 },
@@ -553,9 +719,12 @@ pub fn profile_corpus_supervised(
                         &mut disk,
                         chaos,
                         &mut write_ordinal,
+                        &mut main_buf,
                     );
                 },
             );
+            phase_b = stats_b;
+            worker_buffers.extend(buffers_b);
         }
     }
 
@@ -586,6 +755,15 @@ pub fn profile_corpus_supervised(
         .map(|slot| slot.expect("every index resolved"))
         .collect();
 
+    // Merge per-recorder buffers into the run record: concatenation order
+    // is irrelevant (the sort key orders events), so main-thread and
+    // worker buffers just chain.
+    let obs = main_buf.map(|buf| {
+        let mut buffers = vec![buf];
+        buffers.append(&mut worker_buffers);
+        RunObs::merge(buffers)
+    });
+
     let elapsed = started.elapsed();
     let mut failures = BTreeMap::new();
     for result in &results {
@@ -614,6 +792,7 @@ pub fn profile_corpus_supervised(
         failures,
         workers,
         cache: cache_was_active.then_some(disk),
+        obs,
     };
     CorpusReport { results, stats }
 }
@@ -622,6 +801,13 @@ pub fn profile_corpus_supervised(
 /// catches panics (real or injected), and quarantines the worker's
 /// machine after one — its state is unknown mid-panic, so it is replaced
 /// with a freshly built machine rather than recycled.
+///
+/// When observed, the attempt traces its whole lifecycle — start,
+/// profiler-stage events (page mappings, measurement), quarantine, and
+/// the accept/failure verdict — into the worker's buffer, and folds the
+/// deterministic quantities (cycle counts, simulated perf counters,
+/// failure categories) into its metrics.
+#[allow(clippy::too_many_arguments)]
 fn attempt_block(
     profiler: &Profiler,
     block: &BasicBlock,
@@ -630,30 +816,74 @@ fn attempt_block(
     machine: &mut Machine,
     stats: &mut WorkerStats,
     chaos: Option<&ChaosInjector>,
+    obs: &mut Option<EventBuffer>,
 ) -> Result<Measurement, ProfileFailure> {
-    if let Some(chaos) = chaos {
-        if chaos.forces_transient(unique, attempt) {
-            return Err(ProfileFailure::Unreproducible {
-                clean: 0,
-                identical: 0,
-                required: profiler.config().min_clean_identical,
-            });
+    if let Some(buf) = obs.as_mut() {
+        buf.emit(TraceEvent::AttemptStart {
+            unique,
+            attempt,
+            trials: RetryPolicy::trials_for(attempt, profiler.config().trials),
+        });
+        buf.add("attempts.total", 1);
+    }
+    let forced = chaos.is_some_and(|c| c.forces_transient(unique, attempt));
+    let outcome = if forced {
+        Err(ProfileFailure::Unreproducible {
+            clean: 0,
+            identical: 0,
+            required: profiler.config().min_clean_identical,
+        })
+    } else {
+        catch_unwind(AssertUnwindSafe(|| {
+            if let Some(chaos) = chaos {
+                chaos.panic_if_planned(unique, attempt);
+            }
+            match obs.as_mut() {
+                Some(buf) => profiler.profile_attempt_observed(block, machine, attempt, &mut |e| {
+                    buf.attempt_event(unique, attempt, e)
+                }),
+                None => profiler.profile_attempt(block, machine, attempt),
+            }
+        }))
+        .unwrap_or_else(|payload| {
+            stats.panics += 1;
+            stats.quarantined += 1;
+            *machine = Machine::new(profiler.uarch(), 0);
+            if let Some(buf) = obs.as_mut() {
+                buf.emit(TraceEvent::Quarantine { unique, attempt });
+                buf.add("machines.quarantined", 1);
+            }
+            Err(ProfileFailure::Panic {
+                message: panic_message(payload.as_ref()),
+            })
+        })
+    };
+    if let Some(buf) = obs.as_mut() {
+        match &outcome {
+            Ok(m) => {
+                buf.emit(TraceEvent::Accept {
+                    unique,
+                    attempt,
+                    throughput: m.throughput,
+                });
+                buf.add("attempts.accepted", 1);
+                buf.observe("accept.cycles", ACCEPT_CYCLES, m.hi.accepted_cycles);
+                for ((_, value), prefixed) in m.hi.counters.snapshot().iter().zip(SIM_COUNTERS) {
+                    buf.add(prefixed, *value);
+                }
+            }
+            Err(failure) => {
+                buf.emit(TraceEvent::AttemptFailed {
+                    unique,
+                    attempt,
+                    class: failure.class().to_string(),
+                    category: failure.category().to_string(),
+                });
+                buf.add(&format!("failures.{}", failure.category()), 1);
+            }
         }
     }
-    catch_unwind(AssertUnwindSafe(|| {
-        if let Some(chaos) = chaos {
-            chaos.panic_if_planned(unique, attempt);
-        }
-        profiler.profile_attempt(block, machine, attempt)
-    }))
-    .unwrap_or_else(|payload| {
-        stats.panics += 1;
-        stats.quarantined += 1;
-        *machine = Machine::new(profiler.uarch(), 0);
-        Err(ProfileFailure::Panic {
-            message: panic_message(payload.as_ref()),
-        })
-    })
+    outcome
 }
 
 /// Finalizes one unique block's outcome: persists it to the disk log
@@ -675,6 +905,7 @@ fn finalize_outcome(
     disk: &mut CacheStats,
     chaos: Option<&ChaosInjector>,
     write_ordinal: &mut usize,
+    obs: &mut Option<EventBuffer>,
 ) {
     let persistable = match outcome {
         Ok(_) => true,
@@ -691,6 +922,17 @@ fn finalize_outcome(
                 live.insert(unique_keys[unique], outcome.clone().into())
             };
             if written.is_err() {
+                // Write ordinals are completion-ordered, so these two
+                // events belong to the wall section, never the
+                // deterministic merge.
+                if let Some(buf) = obs.as_mut() {
+                    buf.emit_wall(TraceEvent::CacheWriteError {
+                        ordinal: nth,
+                        unique,
+                        injected,
+                    });
+                    buf.emit_wall(TraceEvent::CacheDegraded { ordinal: nth });
+                }
                 disk.write_errors += 1;
                 disk.degraded = true;
                 *cache = None;
@@ -703,23 +945,26 @@ fn finalize_outcome(
 }
 
 /// Work-stealing worker pool over `items` slots: `worker_count` scoped
-/// threads each own one recycled [`Machine`], claim slots from a shared
-/// atomic counter, and send `work`'s result to the (main-thread)
-/// `collect` closure over a channel. Returns per-worker counters.
+/// threads each own one recycled [`Machine`] (and, when `ring_capacity`
+/// is set, one [`EventBuffer`]), claim slots from a shared atomic
+/// counter, and send `work`'s result to the (main-thread) `collect`
+/// closure over a channel. Returns per-worker counters plus the event
+/// buffers (empty when observability is off).
 fn run_workers<T, W, C>(
     profiler: &Profiler,
     worker_count: usize,
     items: usize,
+    ring_capacity: Option<usize>,
     work: W,
     mut collect: C,
-) -> Vec<WorkerStats>
+) -> (Vec<WorkerStats>, Vec<EventBuffer>)
 where
     T: Send,
-    W: Fn(usize, &mut Machine, &mut WorkerStats) -> T + Sync,
+    W: Fn(usize, &mut Machine, &mut WorkerStats, &mut Option<EventBuffer>) -> T + Sync,
     C: FnMut(T),
 {
     if worker_count == 0 {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let next = AtomicUsize::new(0);
     let (sender, receiver) = mpsc::channel();
@@ -732,15 +977,16 @@ where
                 scope.spawn(move || {
                     let mut machine = Machine::new(profiler.uarch(), 0);
                     let mut stats = WorkerStats::default();
+                    let mut obs = ring_capacity.map(EventBuffer::new);
                     loop {
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         if slot >= items {
                             break;
                         }
-                        let out = work(slot, &mut machine, &mut stats);
+                        let out = work(slot, &mut machine, &mut stats, &mut obs);
                         sender.send(out).expect("collector outlives workers");
                     }
-                    stats
+                    (stats, obs)
                 })
             })
             .collect();
@@ -751,10 +997,14 @@ where
         for out in receiver {
             collect(out);
         }
-        handles
-            .into_iter()
-            .map(|handle| handle.join().expect("worker loop cannot panic"))
-            .collect()
+        let mut all_stats = Vec::with_capacity(worker_count);
+        let mut buffers = Vec::new();
+        for handle in handles {
+            let (stats, obs) = handle.join().expect("worker loop cannot panic");
+            all_stats.push(stats);
+            buffers.extend(obs);
+        }
+        (all_stats, buffers)
     })
 }
 
@@ -776,6 +1026,19 @@ mod tests {
     use crate::config::ProfileConfig;
     use bhive_asm::parse_block;
     use bhive_uarch::Uarch;
+
+    #[test]
+    fn sim_counter_names_pin_the_snapshot_order() {
+        let snap = bhive_sim::PerfCounters::default().snapshot();
+        assert_eq!(snap.len(), SIM_COUNTERS.len());
+        for ((name, _), prefixed) in snap.iter().zip(SIM_COUNTERS) {
+            assert_eq!(
+                prefixed,
+                format!("sim.{name}"),
+                "table drifted from snapshot"
+            );
+        }
+    }
 
     #[test]
     fn parallel_matches_serial() {
@@ -951,6 +1214,114 @@ mod tests {
         );
         assert_eq!(plain.results, chaotic.results, "empty plan injects nothing");
         assert_eq!(chaotic.stats.chaos, Some(ChaosStats::default()));
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_traces_the_lifecycle() {
+        let blocks: Vec<BasicBlock> = [
+            "add rax, 1",
+            "imul rbx, rcx",
+            "add rax, 1",                             // duplicate of block 0
+            "xor ebx, ebx\nmov rax, qword ptr [rbx]", // fails: null page
+        ]
+        .iter()
+        .map(|t| parse_block(t).unwrap())
+        .collect();
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let plain = profile_corpus(&profiler, &blocks, 2);
+        let observed = profile_corpus_supervised(
+            &profiler,
+            &blocks,
+            2,
+            None,
+            &Supervision::with_obs(ObsConfig::on()),
+        );
+        assert_eq!(
+            plain.results, observed.results,
+            "observation must never perturb measurements"
+        );
+        assert!(plain.stats.obs.is_none(), "unobserved run records nothing");
+
+        let obs = observed.stats.obs.as_ref().expect("observed run records");
+        assert_eq!(obs.dropped_events, 0);
+        let counts = obs.event_counts();
+        assert_eq!(counts["dequeue"], 3, "one per unique block");
+        assert_eq!(counts["attempt-start"], 3);
+        assert_eq!(counts["accept"], 2, "two unique successes");
+        assert_eq!(counts["attempt-failed"], 1);
+        assert_eq!(obs.metrics.counter("attempts.total"), 3);
+        assert_eq!(obs.metrics.counter("attempts.accepted"), 2);
+        assert_eq!(obs.metrics.counter("failures.invalid-address"), 1);
+        assert_eq!(obs.metrics.histogram("accept.cycles").unwrap().total(), 2);
+        assert!(
+            obs.metrics.counter("sim.core_cycles") > 0,
+            "simulated counters fold into the registry"
+        );
+        // The wall section holds the latencies, never the det metrics.
+        assert!(obs.wall_metrics.histogram("work.latency-ns").is_some());
+        assert!(obs.metrics.histogram("work.latency-ns").is_none());
+
+        // Events are sorted by the merge key: every event of unique k
+        // precedes every event of unique k+1 within the attempt stage.
+        let attempt_uniques: Vec<usize> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Dequeue { unique, .. }
+                | TraceEvent::AttemptStart { unique, .. }
+                | TraceEvent::Accept { unique, .. }
+                | TraceEvent::AttemptFailed { unique, .. } => Some(*unique),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = attempt_uniques.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            attempt_uniques, sorted,
+            "submission order: {attempt_uniques:?}"
+        );
+
+        // The run report is present, deterministic, and machine-readable.
+        let report = observed.stats.run_report("unit").expect("observed");
+        assert_eq!(report.schema, RUN_REPORT_SCHEMA);
+        assert_eq!(report.total_blocks, 4);
+        assert_eq!(report.dedup_hits, 1);
+        let json = report.to_json().unwrap();
+        assert!(json.contains("bhive-run-report/v1"), "{json}");
+        assert!(plain.stats.run_report("unit").is_none());
+
+        // The Display grows an obs clause only for observed runs.
+        assert!(observed.stats.to_string().contains("traced"));
+        assert!(!plain.stats.to_string().contains("traced"));
+    }
+
+    #[test]
+    fn observed_det_section_is_identical_across_thread_counts() {
+        let blocks: Vec<BasicBlock> = (0..24)
+            .map(|i| parse_block(&format!("add rax, {}\nimul rbx, rcx", i + 1)).unwrap())
+            .collect();
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let runs: Vec<RunObs> = [1, 4]
+            .iter()
+            .map(|&threads| {
+                profile_corpus_supervised(
+                    &profiler,
+                    &blocks,
+                    threads,
+                    None,
+                    &Supervision::with_obs(ObsConfig::on()),
+                )
+                .stats
+                .obs
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0].events, runs[1].events, "det events bit-identical");
+        assert_eq!(
+            runs[0].metrics, runs[1].metrics,
+            "det metrics bit-identical"
+        );
+        assert_eq!(runs[0].dropped_events, 0);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use crate::config::ProfileConfig;
 use crate::failure::ProfileFailure;
 use crate::measurement::{Measurement, TrialSet};
-use crate::monitor::monitor;
+use crate::monitor::monitor_observed;
+use crate::obs::AttemptEvent;
 use crate::retry::RetryPolicy;
 use bhive_asm::{fnv1a_64, BasicBlock};
 use bhive_sim::CODE_BASE;
@@ -112,6 +113,23 @@ impl Profiler {
         machine: &mut Machine,
         attempt: u32,
     ) -> Result<Measurement, ProfileFailure> {
+        self.profile_attempt_observed(block, machine, attempt, &mut |_| {})
+    }
+
+    /// [`Profiler::profile_attempt`] with an observability sink: the
+    /// attempt reports its lifecycle as [`AttemptEvent`]s — one
+    /// `PageMapped` per serviced fault, a `MappingDone` when the block
+    /// runs fault-free, and a `MeasureDone` per accepted trial set. The
+    /// sink sees only deterministic cycle/ordinal-valued data (never the
+    /// wall clock), and the measurement result is bit-identical to the
+    /// unobserved call — observation must never perturb what it observes.
+    pub fn profile_attempt_observed(
+        &self,
+        block: &BasicBlock,
+        machine: &mut Machine,
+        attempt: u32,
+        sink: &mut dyn FnMut(AttemptEvent),
+    ) -> Result<Measurement, ProfileFailure> {
         assert!(
             machine.uarch().kind == self.uarch.kind,
             "machine models {} but the profiler targets {}",
@@ -161,7 +179,11 @@ impl Profiler {
         let trials = RetryPolicy::trials_for(attempt, self.config.trials);
 
         // ---- Mapping stage (Fig. 2 monitor), at the larger factor ----
-        let mapping = monitor(machine, block.insts(), hi_factor, &self.config)?;
+        let mapping = monitor_observed(machine, block.insts(), hi_factor, &self.config, sink)?;
+        sink(AttemptEvent::MappingDone {
+            faults: mapping.faults,
+            mapped_pages: mapping.mapped_pages,
+        });
 
         // The monitor's final execution ran fault-free from exactly the
         // initial state the paper's `measure` routine re-creates (reset +
@@ -177,11 +199,27 @@ impl Profiler {
             // ---- Measurement stage ----
             let n_hi = mapping.trace.len();
             let n_lo = lo_factor as usize * block.len();
-            let hi = self.measure(machine, &model, &mapping.trace, hi_factor, n_hi, trials)?;
+            let hi = self.measure(
+                machine,
+                &model,
+                &mapping.trace,
+                hi_factor,
+                n_hi,
+                trials,
+                sink,
+            )?;
             let lo = if lo_factor == hi_factor {
                 hi.clone()
             } else {
-                self.measure(machine, &model, &mapping.trace, lo_factor, n_lo, trials)?
+                self.measure(
+                    machine,
+                    &model,
+                    &mapping.trace,
+                    lo_factor,
+                    n_lo,
+                    trials,
+                    sink,
+                )?
             };
 
             let throughput = if hi.unroll == lo.unroll {
@@ -226,6 +264,7 @@ impl Profiler {
     /// of the prepared mapping trace (the paper's 16 trials on a first
     /// attempt; escalated on retries) and applies the clean/identical
     /// filters.
+    #[allow(clippy::too_many_arguments)]
     fn measure(
         &self,
         machine: &mut Machine,
@@ -234,6 +273,7 @@ impl Profiler {
         unroll: u32,
         n_insts: usize,
         trials: u32,
+        sink: &mut dyn FnMut(AttemptEvent),
     ) -> Result<TrialSet, ProfileFailure> {
         // Warm-up run, then the measured run (the paper executes the
         // unrolled block twice and times the second run), replaying the
@@ -293,6 +333,13 @@ impl Profiler {
             }
         }
         let (modal_cycles, identical) = modal_entry(&hist[..hist_len]);
+        sink(AttemptEvent::MeasureDone {
+            unroll,
+            trials,
+            clean,
+            identical,
+            accepted_cycles: modal_cycles,
+        });
         if identical < self.config.min_clean_identical {
             return Err(ProfileFailure::Unreproducible {
                 clean,
@@ -538,6 +585,62 @@ mod tests {
         assert_eq!(a1.hi.cycles.len(), 32, "trials escalate 16 -> 32");
         let a2 = profiler.profile_attempt(&block, &mut m1, 2).unwrap();
         assert_eq!(a2.hi.cycles.len(), 64, "trials escalate 32 -> 64");
+    }
+
+    #[test]
+    fn observed_attempt_is_bit_identical_and_reports_lifecycle() {
+        let block = parse_block(
+            "add rdi, 1\n\
+             xor al, byte ptr [rdi - 1]\n\
+             cmp rdi, rcx",
+        )
+        .unwrap();
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive());
+        let mut plain_machine = Machine::new(Uarch::haswell(), 0);
+        let plain = profiler
+            .profile_attempt(&block, &mut plain_machine, 0)
+            .unwrap();
+        let mut events = Vec::new();
+        let mut machine = Machine::new(Uarch::haswell(), 0);
+        let observed = profiler
+            .profile_attempt_observed(&block, &mut machine, 0, &mut |e| events.push(e))
+            .unwrap();
+        assert_eq!(observed, plain, "observation must not perturb the result");
+        let mapped = events
+            .iter()
+            .filter(|e| matches!(e, AttemptEvent::PageMapped { .. }))
+            .count();
+        assert_eq!(mapped as u32, observed.faults_serviced);
+        let done: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                AttemptEvent::MappingDone {
+                    faults,
+                    mapped_pages,
+                } => Some((*faults, *mapped_pages)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            done,
+            vec![(observed.faults_serviced, observed.mapped_pages)],
+            "exactly one MappingDone carrying the outcome's numbers"
+        );
+        let measures: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                AttemptEvent::MeasureDone {
+                    unroll,
+                    accepted_cycles,
+                    ..
+                } => Some((*unroll, *accepted_cycles)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            measures.contains(&(observed.hi.unroll, observed.hi.accepted_cycles)),
+            "the hi trial set is reported: {measures:?}"
+        );
     }
 
     #[test]

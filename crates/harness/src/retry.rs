@@ -102,8 +102,20 @@ impl Default for BreakerConfig {
     }
 }
 
-/// Evidence recorded when the breaker tripped.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The breaker's two states. The transition closed → open is latched:
+/// it happens at most once per run, and the pipeline records it as the
+/// [`crate::obs::TraceEvent::BreakerTrip`] state-change event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: retries run.
+    Closed,
+    /// Tripped (latched): retries are suspended.
+    Open,
+}
+
+/// Evidence recorded when the breaker tripped. Serialized into
+/// [`crate::obs::RunReport`], so the fields must stay deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BreakerTrip {
     /// Index (in unique-block measurement order) of the outcome that
     /// tripped the breaker.
@@ -177,6 +189,16 @@ impl CircuitBreaker {
         self.trip
     }
 
+    /// The breaker's current state ([`BreakerState::Open`] once
+    /// tripped, forever — the latch never closes again).
+    pub fn state(&self) -> BreakerState {
+        if self.trip.is_some() {
+            BreakerState::Open
+        } else {
+            BreakerState::Closed
+        }
+    }
+
     /// Outcomes observed so far.
     pub fn seen(&self) -> usize {
         self.seen
@@ -217,9 +239,11 @@ mod tests {
             breaker.observe(false);
         }
         assert!(breaker.trip().is_none());
+        assert_eq!(breaker.state(), BreakerState::Closed);
         breaker.observe(true);
         assert!(breaker.trip().is_none(), "1/4 is below the threshold");
         breaker.observe(true);
+        assert_eq!(breaker.state(), BreakerState::Open, "the trip opens it");
         // Window is now [false, true, true, ...]: 2/4 = 0.5 trips.
         let trip = breaker.trip().expect("must trip at 50%");
         assert_eq!(trip.at_block, 4);
@@ -229,6 +253,11 @@ mod tests {
             breaker.observe(false);
         }
         assert_eq!(breaker.trip().unwrap().at_block, 4, "first trip is kept");
+        assert_eq!(
+            breaker.state(),
+            BreakerState::Open,
+            "the latch never closes"
+        );
     }
 
     #[test]

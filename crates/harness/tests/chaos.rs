@@ -21,7 +21,7 @@ use bhive_asm::{parse_block, BasicBlock};
 use bhive_corpus::{Corpus, Scale};
 use bhive_harness::{
     profile_corpus, profile_corpus_supervised, BreakerConfig, ChaosInjector, FaultPlan,
-    MeasurementCache, ProfileConfig, Profiler, Supervision,
+    MeasurementCache, ObsConfig, ProfileConfig, Profiler, Supervision, TraceEvent,
 };
 use bhive_sim::{Machine, NoiseConfig};
 use bhive_uarch::{Uarch, UarchKind};
@@ -233,12 +233,34 @@ fn transient_storm_trips_breaker_and_suspends_retries() {
         let supervision = Supervision {
             breaker,
             chaos: Some(ChaosInjector::new(plan.clone())),
+            obs: ObsConfig::on(),
         };
         let report = profile_corpus_supervised(&profiler, &blocks, threads, None, &supervision);
         let trip = report
             .stats
             .breaker
             .expect("an 8/8 transient window must trip the breaker");
+        // The trip appears in the trace exactly once, with the same
+        // submission ordinal the stats report.
+        let obs = report.stats.obs.as_ref().expect("observed run");
+        let trip_events: Vec<_> = obs
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::BreakerTrip { .. }))
+            .collect();
+        assert_eq!(trip_events.len(), 1, "the latched breaker trips once");
+        match trip_events[0] {
+            TraceEvent::BreakerTrip {
+                at_block,
+                rate,
+                window,
+            } => {
+                assert_eq!(*at_block, trip.at_block);
+                assert_eq!(*rate, trip.rate);
+                assert_eq!(*window, trip.window);
+            }
+            other => panic!("expected BreakerTrip, got {other:?}"),
+        }
         assert_eq!(trip.at_block, 7, "trips the moment min_samples is met");
         assert!(trip.rate >= 0.75);
         assert_eq!(
@@ -306,6 +328,112 @@ fn supervised_outcomes_are_thread_and_cache_deterministic() {
         serial_cold.stats.retry_attempts,
         parallel_uncached.stats.retry_attempts
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every fault the plan injects leaves exactly one matching trace
+/// event with the right `(unique, attempt)` (or write ordinal): panics
+/// quarantine the machine and fail with category `panic`, forced
+/// transients fail with class `transient`, the retry phase escalates
+/// each victim exactly once with the doubled trial count, and the
+/// injected cache-write error appears in the wall section flagged
+/// `injected`.
+#[test]
+fn every_injected_fault_appears_in_the_trace_exactly_once() {
+    let dir = temp_dir("obs");
+    let blocks = simple_blocks(10);
+    let config = ProfileConfig::bhive().quiet().with_retries(1);
+    let profiler = Profiler::new(Uarch::haswell(), config.clone());
+    let plan = FaultPlan::new()
+        .panic_at(3, 0)
+        .transient_at(1, 0)
+        .cache_write_error_at(0);
+    let supervision = Supervision {
+        chaos: Some(ChaosInjector::new(plan.clone())),
+        obs: ObsConfig::on(),
+        ..Supervision::default()
+    };
+    let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+    let report = profile_corpus_supervised(&profiler, &blocks, 2, Some(&mut cache), &supervision);
+    drop(cache);
+    let obs = report.stats.obs.as_ref().expect("observed run");
+    assert_eq!(obs.dropped_events, 0, "ring must not overflow");
+
+    for (unique, attempt) in plan.panic_sites() {
+        let quarantines = obs
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::Quarantine { unique: u, attempt: a }
+                    if *u == unique && *a == attempt)
+            })
+            .count();
+        assert_eq!(
+            quarantines, 1,
+            "one quarantine per injected panic at ({unique}, {attempt})"
+        );
+        let failures = obs
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::AttemptFailed { unique: u, attempt: a, category, .. }
+                    if *u == unique && *a == attempt && category == "panic")
+            })
+            .count();
+        assert_eq!(failures, 1, "one panic failure at ({unique}, {attempt})");
+    }
+    for (unique, attempt) in plan.transient_sites() {
+        let failures = obs
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::AttemptFailed { unique: u, attempt: a, class, category }
+                    if *u == unique && *a == attempt
+                        && class == "transient" && category == "unreproducible")
+            })
+            .count();
+        assert_eq!(
+            failures, 1,
+            "one transient failure at ({unique}, {attempt})"
+        );
+    }
+    // Both victims failed transiently on attempt 0, so each enters the
+    // retry phase exactly once, with the trial count doubled.
+    for unique in [1usize, 3] {
+        let escalations: Vec<(u32, u32)> = obs
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RetryEscalation {
+                    unique: u,
+                    attempt,
+                    trials,
+                } if *u == unique => Some((*attempt, *trials)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            escalations,
+            vec![(1, config.trials * 2)],
+            "block {unique} escalates once to doubled trials"
+        );
+    }
+    for ordinal in plan.cache_error_sites() {
+        let write_errors = obs
+            .wall_events
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::CacheWriteError { ordinal: o, injected, .. }
+                    if *o == ordinal && *injected)
+            })
+            .count();
+        assert_eq!(
+            write_errors, 1,
+            "one injected cache-write error at ordinal {ordinal}"
+        );
+    }
+    // Both victims recovered on retry — fault containment end to end.
+    assert_eq!(report.successes(), 10);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,199 @@
+//! Observability determinism: the deterministic trace section and the
+//! run report are byte-identical at any thread count, observation never
+//! perturbs a measurement (or a cache byte), and a torn trace tail is
+//! truncated at open and noted — never poisoning a resumed run.
+
+use bhive_corpus::{Corpus, Scale};
+use bhive_harness::{
+    profile_corpus_supervised, MeasurementCache, ObsConfig, ProfileConfig, Profiler, Supervision,
+    TraceEvent, TraceLog,
+};
+use bhive_uarch::{Uarch, UarchKind};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bhive-obsdet-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The tentpole determinism claim on a ≥1k-block corpus: profiling the
+/// same corpus at 1, 4, and 8 threads with observability on yields
+/// byte-identical deterministic trace sections, byte-identical
+/// `run_report.json` payloads, and bit-identical measurements.
+#[test]
+fn det_trace_and_report_are_bit_identical_across_thread_counts() {
+    let corpus = Corpus::generate(Scale::PerApp(110), 1234);
+    let blocks = corpus.basic_blocks();
+    assert!(
+        blocks.len() >= 1000,
+        "need ≥1k blocks, got {}",
+        blocks.len()
+    );
+    let config = ProfileConfig::bhive().quiet().with_retries(1);
+    let profiler = Profiler::new(Uarch::haswell(), config);
+
+    let mut sections = Vec::new();
+    let mut reports = Vec::new();
+    let mut results = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let supervision = Supervision::with_obs(ObsConfig::on());
+        let report = profile_corpus_supervised(&profiler, &blocks, threads, None, &supervision);
+        let obs = report.stats.obs.as_ref().expect("observed run");
+        assert_eq!(
+            obs.dropped_events, 0,
+            "ring must not overflow at {threads} threads"
+        );
+        let dir = temp_dir("threads");
+        let path = dir.join("trace.jsonl");
+        let mut log = TraceLog::open(&path).unwrap();
+        log.append_run("Main/hsw", obs).unwrap();
+        drop(log);
+        sections.push(TraceLog::det_section(&path).unwrap());
+        reports.push(
+            report
+                .stats
+                .run_report("Main/hsw")
+                .expect("observed run has a report")
+                .to_json()
+                .unwrap(),
+        );
+        results.push(report.results);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        sections[0].lines().count() > blocks.len(),
+        "the det section traces every block's lifecycle"
+    );
+    assert_eq!(sections[0], sections[1], "det section: 1 vs 4 threads");
+    assert_eq!(sections[0], sections[2], "det section: 1 vs 8 threads");
+    assert_eq!(reports[0], reports[1], "run report: 1 vs 4 threads");
+    assert_eq!(reports[0], reports[2], "run report: 1 vs 8 threads");
+    assert_eq!(results[0], results[1], "measurements: 1 vs 4 threads");
+    assert_eq!(results[0], results[2], "measurements: 1 vs 8 threads");
+}
+
+/// Observation must never change what a measurement is: results and the
+/// measurement cache's on-disk bytes are bit-identical obs-on vs obs-off.
+/// (One worker thread, because cache records land in completion order —
+/// reproducible bytes require a deterministic completion order.)
+#[test]
+fn observation_never_perturbs_measurements_or_cache_bytes() {
+    let corpus = Corpus::generate(Scale::PerApp(15), 77);
+    let blocks = corpus.basic_blocks();
+    let config = ProfileConfig::bhive().quiet().with_retries(1);
+    let profiler = Profiler::new(Uarch::haswell(), config.clone());
+
+    let run = |dir: &PathBuf, supervision: &Supervision| {
+        let mut cache = MeasurementCache::open(dir, UarchKind::Haswell, &config).unwrap();
+        profile_corpus_supervised(&profiler, &blocks, 1, Some(&mut cache), supervision)
+    };
+    let dir_off = temp_dir("off");
+    let dir_on = temp_dir("on");
+    let plain = run(&dir_off, &Supervision::default());
+    let observed = run(&dir_on, &Supervision::with_obs(ObsConfig::on()));
+
+    assert!(plain.stats.obs.is_none());
+    assert!(observed.stats.obs.is_some());
+    assert_eq!(plain.results, observed.results, "results are bit-identical");
+    let file = format!("measurements-{}.jsonl", UarchKind::Haswell.short_name());
+    let bytes_off = std::fs::read(dir_off.join(&file)).unwrap();
+    let bytes_on = std::fs::read(dir_on.join(&file)).unwrap();
+    assert!(!bytes_off.is_empty());
+    assert_eq!(bytes_off, bytes_on, "cache bytes are bit-identical");
+    let _ = std::fs::remove_dir_all(&dir_off);
+    let _ = std::fs::remove_dir_all(&dir_on);
+}
+
+/// A crash mid-append leaves a torn final line. Opening the log
+/// truncates exactly the torn tail (checksummed JSONL), reports the
+/// recovery, and a resumed run records it as a `TraceRecovered`
+/// preamble — both in its merged record and in the re-run's log.
+#[test]
+fn torn_trace_tail_is_truncated_and_noted_on_resume() {
+    let dir = temp_dir("torn");
+    let path = dir.join("trace.jsonl");
+    let blocks = Corpus::generate(Scale::PerApp(3), 5).basic_blocks();
+    let config = ProfileConfig::bhive().quiet();
+    let profiler = Profiler::new(Uarch::haswell(), config);
+
+    let first = profile_corpus_supervised(
+        &profiler,
+        &blocks,
+        1,
+        None,
+        &Supervision::with_obs(ObsConfig::on()),
+    );
+    let mut log = TraceLog::open(&path).unwrap();
+    assert_eq!(log.recovery(), None, "fresh log has nothing to recover");
+    log.append_run("first", first.stats.obs.as_ref().unwrap())
+        .unwrap();
+    drop(log);
+    let valid_len = std::fs::metadata(&path).unwrap().len();
+
+    // Tear the tail: half a record, no newline, bad checksum territory.
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap();
+    file.write_all(br#"{"sum":12345,"body":{"RunStart":{"label":"torn"#)
+        .unwrap();
+    drop(file);
+
+    let log = TraceLog::open(&path).unwrap();
+    let recovery = log.recovery().expect("torn tail must be reported");
+    assert_eq!(recovery.dropped_records, 1);
+    assert!(recovery.dropped_bytes > 0);
+    assert_eq!(
+        std::fs::metadata(&path).unwrap().len(),
+        valid_len,
+        "exactly the torn tail is truncated; valid lines survive"
+    );
+    let det = TraceLog::det_section(&path).unwrap();
+    assert!(det.contains("first"), "the first run's section survives");
+
+    // The resumed run notes the truncation as its preamble event.
+    let resumed = profile_corpus_supervised(
+        &profiler,
+        &blocks,
+        1,
+        None,
+        &Supervision::with_obs(ObsConfig {
+            resume_note: Some(recovery),
+            ..ObsConfig::on()
+        }),
+    );
+    let obs = resumed.stats.obs.as_ref().unwrap();
+    match obs.events.first() {
+        Some(TraceEvent::TraceRecovered {
+            dropped_records,
+            dropped_bytes,
+        }) => {
+            assert_eq!(*dropped_records, recovery.dropped_records);
+            assert_eq!(*dropped_bytes, recovery.dropped_bytes);
+        }
+        other => panic!("resume must lead with TraceRecovered, got {other:?}"),
+    }
+    let mut log = log;
+    log.append_run("resumed", obs).unwrap();
+    drop(log);
+    let det = TraceLog::det_section(&path).unwrap();
+    assert!(
+        det.contains("TraceRecovered"),
+        "the re-run's log notes the truncation"
+    );
+    // And apart from the preamble, the resumed run traced the same
+    // lifecycle as the undamaged first run.
+    assert_eq!(
+        &obs.events[1..],
+        &first.stats.obs.as_ref().unwrap().events[..]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

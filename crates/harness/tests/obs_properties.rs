@@ -1,0 +1,164 @@
+//! Property tests for the observability primitives: histogram quantile
+//! accuracy (within one bucket width of the exact sorted quantile) and
+//! metrics-merge associativity/commutativity across arbitrary worker
+//! splits — the algebra the deterministic per-worker merge rests on.
+
+use bhive_harness::{BucketLayout, Histogram, Metrics};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The exact sorted `q`-quantile under the histogram's rank rule.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[rank as usize - 1]
+}
+
+/// One metrics operation, as a worker would issue it. Names come from a
+/// small fixed vocabulary so splits genuinely collide on shared keys.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(usize, u64),
+    GaugeMax(usize, u64),
+    Observe(usize, u64),
+}
+
+const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+const LAYOUT: BucketLayout = BucketLayout::Linear {
+    width: 8,
+    buckets: 16,
+};
+
+fn apply(metrics: &mut Metrics, op: &Op) {
+    match *op {
+        Op::Add(name, v) => metrics.add(NAMES[name], v),
+        Op::GaugeMax(name, v) => metrics.gauge_max(NAMES[name], v),
+        Op::Observe(name, v) => metrics.observe(NAMES[name], LAYOUT, v),
+    }
+}
+
+/// A seeded stream of `n` operations (proptest drives seed and length).
+fn op_stream(seed: u64, n: usize) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let name = rng.gen_range(0..NAMES.len());
+            match rng.gen_range(0..3) {
+                0 => Op::Add(name, rng.gen_range(0..1000)),
+                1 => Op::GaugeMax(name, rng.gen_range(0..1000)),
+                _ => Op::Observe(name, rng.gen_range(0..200)),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// p50/p95/p99 estimates are within one bucket width of the exact
+    /// sorted quantiles for any sample set inside the covered range,
+    /// and never *below* the exact value (estimates are upper bounds).
+    #[test]
+    fn linear_quantiles_are_within_one_bucket_width(
+        values in proptest::collection::vec(0u64..=4096, 1..300),
+        width in 1u64..=64,
+    ) {
+        let buckets = (4096 / width + 1) as usize;
+        let layout = BucketLayout::Linear { width, buckets };
+        let mut hist = Histogram::new(layout);
+        for &v in &values {
+            hist.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (q, estimate) in [(0.50, hist.p50()), (0.95, hist.p95()), (0.99, hist.p99())] {
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                estimate >= exact,
+                "q={}: estimate {} below exact {}", q, estimate, exact
+            );
+            prop_assert!(
+                estimate - exact <= width,
+                "q={}: estimate {} further than one bucket width ({}) from exact {}",
+                q, estimate, width, exact
+            );
+        }
+    }
+
+    /// Splitting an operation stream across any number of workers and
+    /// merging the per-worker registries — in any merge order, with any
+    /// grouping — reproduces the registry a single sequential worker
+    /// builds. This is why the pipeline's per-worker buffers merge into
+    /// a thread-count-independent record.
+    #[test]
+    fn metrics_merge_is_split_invariant(
+        seed in any::<u64>(),
+        n_ops in 0usize..120,
+        workers in 1usize..6,
+        assignment_seed in any::<u64>(),
+    ) {
+        let ops = op_stream(seed, n_ops);
+
+        // Sequential reference: one worker applies everything in order.
+        let mut reference = Metrics::new();
+        for op in &ops {
+            apply(&mut reference, op);
+        }
+
+        // Deterministic arbitrary split: op i goes to a pseudo-random worker.
+        let mut shards = vec![Metrics::new(); workers];
+        let mut assign = SmallRng::seed_from_u64(assignment_seed);
+        for op in &ops {
+            apply(&mut shards[assign.gen_range(0..workers)], op);
+        }
+
+        // Left fold: ((s0 + s1) + s2) + ...
+        let mut left = Metrics::new();
+        for shard in &shards {
+            left.merge(shard);
+        }
+        prop_assert_eq!(&left, &reference);
+
+        // Right fold over reversed order: associativity + commutativity.
+        let mut right = Metrics::new();
+        for shard in shards.iter().rev() {
+            let mut folded = shard.clone();
+            folded.merge(&right);
+            right = folded;
+        }
+        prop_assert_eq!(&right, &reference);
+    }
+
+    /// Histogram merge is bucket-wise addition: merging any split of the
+    /// sample stream preserves totals, extrema, and every quantile.
+    #[test]
+    fn histogram_merge_matches_sequential_recording(
+        values in proptest::collection::vec(0u64..=10_000, 1..200),
+        split in 0usize..200,
+    ) {
+        let layout = BucketLayout::Exponential { first: 4, buckets: 12 };
+        let split = split % values.len();
+        let mut whole = Histogram::new(layout);
+        for &v in &values {
+            whole.record(v);
+        }
+        let (a, b) = values.split_at(split);
+        let mut left = Histogram::new(layout);
+        for &v in a {
+            left.record(v);
+        }
+        let mut right = Histogram::new(layout);
+        for &v in b {
+            right.record(v);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.total(), whole.total());
+        prop_assert_eq!(left.sum(), whole.sum());
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+        prop_assert_eq!(left.p50(), whole.p50());
+        prop_assert_eq!(left.p95(), whole.p95());
+        prop_assert_eq!(left.p99(), whole.p99());
+    }
+}

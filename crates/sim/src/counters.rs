@@ -45,6 +45,23 @@ impl PerfCounters {
             && self.context_switches == 0
     }
 
+    /// The counters as `(name, value)` pairs in declaration order —
+    /// the stable inventory observability layers fold into named
+    /// metrics without hard-coding the field list.
+    pub fn snapshot(&self) -> [(&'static str, u64); 9] {
+        [
+            ("core_cycles", self.core_cycles),
+            ("instructions_retired", self.instructions_retired),
+            ("uops_executed", self.uops_executed),
+            ("l1d_read_misses", self.l1d_read_misses),
+            ("l1d_write_misses", self.l1d_write_misses),
+            ("l1i_misses", self.l1i_misses),
+            ("context_switches", self.context_switches),
+            ("misaligned_mem_refs", self.misaligned_mem_refs),
+            ("subnormal_events", self.subnormal_events),
+        ]
+    }
+
     /// Difference of two counter snapshots (`end - begin`).
     pub fn delta(end: &PerfCounters, begin: &PerfCounters) -> PerfCounters {
         PerfCounters {
@@ -97,6 +114,27 @@ mod tests {
         assert!(c.is_clean());
         c.l1i_misses = 1;
         assert!(!c.is_clean());
+    }
+
+    #[test]
+    fn snapshot_covers_every_field_once() {
+        let c = PerfCounters {
+            core_cycles: 1,
+            instructions_retired: 2,
+            uops_executed: 3,
+            l1d_read_misses: 4,
+            l1d_write_misses: 5,
+            l1i_misses: 6,
+            context_switches: 7,
+            misaligned_mem_refs: 8,
+            subnormal_events: 9,
+        };
+        let snap = c.snapshot();
+        let names: std::collections::BTreeSet<_> = snap.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), snap.len(), "names are unique");
+        // Sum 1..=9 proves every field value appears exactly once.
+        assert_eq!(snap.iter().map(|(_, v)| v).sum::<u64>(), 45);
+        assert_eq!(snap[0], ("core_cycles", 1));
     }
 
     #[test]

@@ -10,16 +10,30 @@ cargo test -q
 # and breaker trips must all stay contained. Includes the noisy-corpus
 # smoke (retries on, recovery rate > 10% of transiently failed blocks).
 cargo test -q -p bhive-harness --test chaos
+# Observability suite: the deterministic trace section and run report
+# must be byte-identical across thread counts, observation must never
+# perturb a measurement, and the metrics algebra must merge cleanly.
+cargo test -q -p bhive-harness --test obs_determinism
+cargo test -q -p bhive-harness --test obs_properties
 cargo build --examples
 cargo bench --no-run
 # Bench smoke: the machine-readable perf probe must run end to end (the
-# full run is scripts/bench.sh, which emits BENCH_PR4.json).
+# full run is scripts/bench.sh, which emits BENCH_PR5.json).
 cargo run -q --release -p bhive-bench --example bench_json -- --smoke >/dev/null
 # CLI smoke: a supervised run with a retry budget exits 0 and reports.
 cargo run -q --release -p bhive -- profile --retries 2 <<'EOF'
 add rax, 1
 imul rbx, rcx
 EOF
+# Trace smoke: a measured run with --trace/--metrics writes a checksummed
+# JSONL trace and a deterministic run_report.json next to it.
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run -q --release -p bhive -- measure --scale 3 --no-cache \
+    --trace "$trace_dir/trace.jsonl" --metrics >/dev/null
+test -s "$trace_dir/trace.jsonl"
+test -s "$trace_dir/run_report.json"
+grep -q 'bhive-run-report/v1' "$trace_dir/run_report.json"
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
 else

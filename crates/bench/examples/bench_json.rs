@@ -1,6 +1,6 @@
 //! Machine-readable perf probe: times the corpus pipeline end-to-end and
 //! the simulation stages per block, then emits one JSON object (for
-//! `scripts/bench.sh`, which writes it to `BENCH_PR5.json`).
+//! `scripts/bench.sh`, which writes it to `BENCH_PR6.json`).
 //!
 //! Unlike the Criterion benches this runs in seconds, so it can gate
 //! tier-1 (`--smoke`) and feed a perf-trajectory dashboard without a
@@ -13,7 +13,7 @@ use bhive_bench::bench_corpus;
 use bhive_harness::{
     profile_corpus, profile_corpus_supervised, ObsConfig, ProfileConfig, Profiler, Supervision,
 };
-use bhive_sim::{Cache, Machine, CODE_BASE};
+use bhive_sim::{Cache, Machine, SimdTier, CODE_BASE};
 use bhive_uarch::Uarch;
 use std::time::Instant;
 
@@ -76,8 +76,14 @@ fn main() {
 
     // Per-stage costs over the unique blocks: functional execution
     // (`execute_unrolled`), trace preparation, and one simulation pass.
+    // The prepared trace and simulation scratch are reused across blocks
+    // exactly like the worker machines' timing arena, so the stage
+    // numbers reflect the pipeline's amortized per-block cost rather
+    // than allocator behavior.
     let unique = bench_corpus().basic_blocks();
     let mut machine = Machine::new(Uarch::haswell(), 0);
+    let mut prep = bhive_sim::PreparedTrace::default();
+    let mut scratch = bhive_sim::SimScratch::default();
     let mut exec_ns = 0.0f64;
     let mut prepare_ns = 0.0f64;
     let mut simulate_ns = 0.0f64;
@@ -111,6 +117,8 @@ fn main() {
             &layout,
             &mut l1i,
             &mut l1d,
+            &mut prep,
+            &mut scratch,
             &mut prepare_ns,
             &mut simulate_ns,
         );
@@ -118,28 +126,37 @@ fn main() {
     }
     let staged = staged.max(1) as f64;
 
+    // Throughput over *measured* blocks: failed blocks never produce a
+    // measurement, so dividing attempted blocks by wall time deflated
+    // the number (1100 attempted vs ~1042 measured). Both rates are
+    // emitted; `cold_blocks_per_sec_1t` now means measured blocks.
+    let measured = successes as f64;
+
     println!("{{");
     println!("  \"bench\": \"bhive-perf\",");
     println!("  \"corpus_blocks\": {},", blocks.len());
     println!("  \"successes\": {successes},");
     println!("  \"threads\": {threads},");
+    println!("  \"simd_tier\": \"{}\",", SimdTier::active().name());
     println!("  \"cold_secs_1t\": {},", secs(cold_1t));
+    println!("  \"cold_blocks_per_sec_1t\": {:.1},", measured / cold_1t);
     println!(
-        "  \"cold_blocks_per_sec_1t\": {:.1},",
+        "  \"cold_attempted_per_sec_1t\": {:.1},",
         blocks.len() as f64 / cold_1t
     );
     println!("  \"cold_secs_1t_obs\": {},", secs(cold_1t_obs));
     println!(
         "  \"cold_blocks_per_sec_1t_obs\": {:.1},",
-        blocks.len() as f64 / cold_1t_obs
+        measured / cold_1t_obs
     );
     println!(
         "  \"obs_overhead_pct\": {:.2},",
         (cold_1t_obs / cold_1t - 1.0) * 100.0
     );
     println!("  \"cold_secs_nt\": {},", secs(cold_nt));
+    println!("  \"cold_blocks_per_sec_nt\": {:.1},", measured / cold_nt);
     println!(
-        "  \"cold_blocks_per_sec_nt\": {:.1},",
+        "  \"cold_attempted_per_sec_nt\": {:.1},",
         blocks.len() as f64 / cold_nt
     );
     println!("  \"execute_ns_per_block\": {:.0},", exec_ns / staged);
@@ -148,21 +165,49 @@ fn main() {
     println!("}}");
 }
 
-/// Times the schedule-independent preparation and one simulation pass.
-/// Kept in one function so the pre/post-refactor probes stay comparable.
+/// Times the schedule-independent preparation, then the simulate passes
+/// the pipeline actually replays against it: the profiler prepares once
+/// and runs `simulate_double` (warm-up + measured, the paper's double
+/// execution) for both unroll prefixes — four passes per prepared block.
+/// `simulate_ns_per_block` is the mean cost of one such pass, i.e. the
+/// marginal per-pass price the worker machines pay, not the cost of an
+/// isolated cold pass that no production path performs.
+///
+/// Like `cold_1t`, each stage takes the best of [`STAGE_REPS`] repeats so
+/// one scheduling hiccup cannot sink the number; the caches are flushed
+/// before every repeat so each one times an identical cold quad.
+#[allow(clippy::too_many_arguments)]
 fn stage_times(
     model: &bhive_sim::TimingModel<'_>,
     trace: &[bhive_sim::DynInst],
     layout: &bhive_sim::CodeLayout,
     l1i: &mut Cache,
     l1d: &mut Cache,
+    prep: &mut bhive_sim::PreparedTrace,
+    scratch: &mut bhive_sim::SimScratch,
     prepare_ns: &mut f64,
     simulate_ns: &mut f64,
 ) {
-    let started = Instant::now();
-    let prep = model.prepare(trace, layout);
-    *prepare_ns += started.elapsed().as_nanos() as f64;
-    let started = Instant::now();
-    let _ = std::hint::black_box(model.simulate(&prep, l1i, l1d));
-    *simulate_ns += started.elapsed().as_nanos() as f64;
+    const STAGE_REPS: usize = 3;
+    let mut best_prep = f64::INFINITY;
+    for _ in 0..STAGE_REPS {
+        let started = Instant::now();
+        model.prepare_into(prep, trace, layout);
+        best_prep = best_prep.min(started.elapsed().as_nanos() as f64);
+    }
+    *prepare_ns += best_prep;
+    // The lo-factor trace is a prefix of the hi-factor one (16 copies);
+    // the profiler replays half the copies as its second measurement.
+    let lo_insts = trace.len() / 16 * 8;
+    let mut best_sim = f64::INFINITY;
+    for _ in 0..STAGE_REPS {
+        l1i.flush();
+        l1d.flush();
+        let started = Instant::now();
+        for n_insts in [lo_insts, lo_insts, trace.len(), trace.len()] {
+            let _ = std::hint::black_box(model.simulate_with(prep, n_insts, l1i, l1d, scratch));
+        }
+        best_sim = best_sim.min(started.elapsed().as_nanos() as f64 / 4.0);
+    }
+    *simulate_ns += best_sim;
 }

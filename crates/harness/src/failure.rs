@@ -112,6 +112,19 @@ pub enum ProfileFailure {
         /// Description of the violation.
         message: String,
     },
+    /// The timing model exhausted its cycle budget without retiring the
+    /// whole trace (a pathological schedule). Deterministic for a given
+    /// block and uarch, so it is permanent — but it is an *error*
+    /// outcome: the truncated simulation state is never surfaced as a
+    /// measurement.
+    NonConvergent {
+        /// The exhausted cycle budget.
+        cycle_budget: u64,
+        /// Instructions retired before giving up.
+        retired: u64,
+        /// Instructions the trace wanted retired.
+        total_insts: u64,
+    },
 }
 
 impl ProfileFailure {
@@ -124,6 +137,14 @@ impl ProfileFailure {
     pub(crate) fn from_asm(err: AsmError) -> ProfileFailure {
         ProfileFailure::Encoding {
             message: err.to_string(),
+        }
+    }
+
+    pub(crate) fn from_nonconvergence(err: bhive_sim::NonConvergence) -> ProfileFailure {
+        ProfileFailure::NonConvergent {
+            cycle_budget: err.cycle_budget,
+            retired: err.retired as u64,
+            total_insts: err.total_insts as u64,
         }
     }
 
@@ -144,6 +165,7 @@ impl ProfileFailure {
             ProfileFailure::UnsupportedIsa => "unsupported-isa",
             ProfileFailure::Encoding { .. } => "encoding",
             ProfileFailure::InvalidBlock { .. } => "invalid-block",
+            ProfileFailure::NonConvergent { .. } => "non-convergent",
         }
     }
 
@@ -160,7 +182,8 @@ impl ProfileFailure {
             | ProfileFailure::Misaligned { .. }
             | ProfileFailure::UnsupportedIsa
             | ProfileFailure::Encoding { .. }
-            | ProfileFailure::InvalidBlock { .. } => FailureClass::Permanent,
+            | ProfileFailure::InvalidBlock { .. }
+            | ProfileFailure::NonConvergent { .. } => FailureClass::Permanent,
         }
     }
 
@@ -217,6 +240,15 @@ impl fmt::Display for ProfileFailure {
             ProfileFailure::UnsupportedIsa => f.write_str("ISA extension not supported"),
             ProfileFailure::Encoding { message } => write!(f, "encoding failure: {message}"),
             ProfileFailure::InvalidBlock { message } => write!(f, "invalid block: {message}"),
+            ProfileFailure::NonConvergent {
+                cycle_budget,
+                retired,
+                total_insts,
+            } => write!(
+                f,
+                "timing model failed to converge: {retired}/{total_insts} instructions \
+                 retired within the {cycle_budget}-cycle budget"
+            ),
         }
     }
 }
@@ -252,12 +284,21 @@ mod tests {
             .category(),
             "panic"
         );
+        assert_eq!(
+            ProfileFailure::NonConvergent {
+                cycle_budget: 1_000_064,
+                retired: 0,
+                total_insts: 8,
+            }
+            .category(),
+            "non-convergent"
+        );
     }
 
     #[test]
     fn every_variant_has_a_class() {
         use FailureClass::{Permanent, Transient};
-        let cases: [(ProfileFailure, FailureClass); 11] = [
+        let cases: [(ProfileFailure, FailureClass); 12] = [
             (ProfileFailure::Crash { fault: "x".into() }, Permanent),
             (ProfileFailure::TooManyFaults { faults: 65 }, Permanent),
             (ProfileFailure::InvalidAddress { vaddr: 1 }, Permanent),
@@ -301,6 +342,14 @@ mod tests {
             (
                 ProfileFailure::InvalidBlock {
                     message: "i".into(),
+                },
+                Permanent,
+            ),
+            (
+                ProfileFailure::NonConvergent {
+                    cycle_budget: 1_000_064,
+                    retired: 0,
+                    total_insts: 8,
                 },
                 Permanent,
             ),

@@ -53,7 +53,7 @@ use crate::obs::{
 use crate::profiler::Profiler;
 use crate::retry::{BreakerConfig, BreakerTrip, CircuitBreaker, RetryPolicy};
 use bhive_asm::BasicBlock;
-use bhive_sim::Machine;
+use bhive_sim::{Machine, SimdTier};
 use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -78,6 +78,17 @@ const WORK_LATENCY_NS: BucketLayout = BucketLayout::Exponential {
 /// `"sim."`-prefixed metric names for `PerfCounters::snapshot`, in
 /// snapshot order, pre-joined so the per-accept metrics fold never
 /// allocates. A unit test pins this table to the snapshot.
+/// Pre-joined counter name for the process-wide simulate-kernel dispatch
+/// tier (see [`SimdTier::active`]), so the per-attempt fold never
+/// allocates.
+fn kernel_tier_counter() -> &'static str {
+    match SimdTier::active() {
+        SimdTier::Avx2 => "sim.kernel.avx2",
+        SimdTier::Sse41 => "sim.kernel.sse4.1",
+        SimdTier::Scalar => "sim.kernel.scalar",
+    }
+}
+
 const SIM_COUNTERS: [&str; 9] = [
     "sim.core_cycles",
     "sim.instructions_retired",
@@ -825,6 +836,10 @@ fn attempt_block(
             trials: RetryPolicy::trials_for(attempt, profiler.config().trials),
         });
         buf.add("attempts.total", 1);
+        // Which simulate-kernel dispatch tier served this attempt
+        // (process-wide; recorded per attempt so corpus-level reports
+        // show exactly what ran).
+        buf.add(kernel_tier_counter(), 1);
     }
     let forced = chaos.is_some_and(|c| c.forces_transient(unique, attempt));
     let outcome = if forced {

@@ -277,8 +277,12 @@ impl Profiler {
     ) -> Result<TrialSet, ProfileFailure> {
         // Warm-up run, then the measured run (the paper executes the
         // unrolled block twice and times the second run), replaying the
-        // prepared trace against freshly flushed caches.
-        let timing = machine.simulate_double(model, n_insts);
+        // prepared trace against freshly flushed caches. A schedule that
+        // exhausts its cycle budget is a hard (permanent) failure, never
+        // a truncated measurement.
+        let timing = machine
+            .simulate_double(model, n_insts)
+            .map_err(ProfileFailure::from_nonconvergence)?;
 
         let subnormal_events = trace[..n_insts]
             .iter()

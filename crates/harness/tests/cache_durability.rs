@@ -59,7 +59,7 @@ fn trial_set(unroll: u32, cycles: Vec<u64>, seed: u64) -> TrialSet {
     }
 }
 
-/// One outcome per `variant`: 0 is a success, 1..=11 cover every
+/// One outcome per `variant`: 0 is a success, 1..=12 cover every
 /// [`ProfileFailure`] variant.
 fn outcome_for(variant: usize, a: u64, b: u64, cycles: Vec<u64>, bits: u64) -> CachedOutcome {
     let text = format!("payload-{a:x}-\"quoted\"-\n-newline");
@@ -95,7 +95,12 @@ fn outcome_for(variant: usize, a: u64, b: u64, cycles: Vec<u64>, bits: u64) -> C
         8 => CachedOutcome::Err(ProfileFailure::Misaligned { count: a }),
         9 => CachedOutcome::Err(ProfileFailure::UnsupportedIsa),
         10 => CachedOutcome::Err(ProfileFailure::Encoding { message: text }),
-        _ => CachedOutcome::Err(ProfileFailure::InvalidBlock { message: text }),
+        11 => CachedOutcome::Err(ProfileFailure::InvalidBlock { message: text }),
+        _ => CachedOutcome::Err(ProfileFailure::NonConvergent {
+            cycle_budget: a,
+            retired: b % 1000,
+            total_insts: b % 1000 + a % 1000,
+        }),
     }
 }
 
@@ -110,7 +115,7 @@ proptest! {
     /// nothing written, so a rerun retries the block.
     #[test]
     fn cache_records_round_trip_through_disk(
-        variant in 0usize..12,
+        variant in 0usize..13,
         a in any::<u64>(),
         b in any::<u64>(),
         bits in any::<u64>(),

@@ -17,8 +17,13 @@ pub struct Cache {
     /// uarches); `line_shift == u32::MAX` selects the div/mod fallback.
     line_shift: u32,
     set_mask: u64,
-    /// `lines[set][way]` = `(tag, last_use)`; `u64::MAX` tag = invalid.
-    lines: Vec<(u64, u64)>,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid. Tags and LRU
+    /// stamps live in separate arrays so the hit scan touches one
+    /// contiguous run of tags (a single cache line for 8 ways) and
+    /// vectorizes instead of striding over `(tag, stamp)` pairs.
+    tags: Vec<u64>,
+    /// `last_use[set * ways + way]`, parallel to `tags`.
+    last_use: Vec<u64>,
     use_counter: u64,
 }
 
@@ -39,7 +44,8 @@ impl Cache {
             ways,
             line_shift,
             set_mask,
-            lines: vec![(u64::MAX, 0); (sets as usize) * ways],
+            tags: vec![u64::MAX; (sets as usize) * ways],
+            last_use: vec![0; (sets as usize) * ways],
             use_counter: 0,
         }
     }
@@ -49,6 +55,7 @@ impl Cache {
     /// `index_addr` supplies the index bits (the virtual address for VIPT),
     /// `tag_addr` the tag bits (the physical address). Returns `true` on
     /// hit.
+    #[inline]
     pub fn access(&mut self, index_addr: u64, tag_addr: u64) -> bool {
         let (set, tag) = if self.line_shift != u32::MAX {
             (
@@ -63,21 +70,38 @@ impl Cache {
         };
         self.use_counter += 1;
         let base = set * self.ways;
-        let ways = &mut self.lines[base..base + self.ways];
-        if let Some(way) = ways.iter_mut().find(|(t, _)| *t == tag) {
-            way.1 = self.use_counter;
+        let tags = &mut self.tags[base..base + self.ways];
+        let uses = &mut self.last_use[base..base + self.ways];
+        // Branchless full scan: tags are unique within a set (fills only
+        // happen on a miss), so "any match" and "first match" agree and
+        // the compiler can vectorize the compare.
+        let mut hit_way = usize::MAX;
+        for (way, &t) in tags.iter().enumerate() {
+            if t == tag {
+                hit_way = way;
+            }
+        }
+        if hit_way != usize::MAX {
+            uses[hit_way] = self.use_counter;
             return true;
         }
-        // Miss: fill LRU way.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|(_, last)| *last)
-            .expect("cache has at least one way");
-        *victim = (tag, self.use_counter);
+        // Miss: fill the LRU way (first minimum, matching the original
+        // `min_by_key` tie-break).
+        let mut victim = 0usize;
+        let mut oldest = u64::MAX;
+        for (way, &last) in uses.iter().enumerate() {
+            if last < oldest {
+                oldest = last;
+                victim = way;
+            }
+        }
+        tags[victim] = tag;
+        uses[victim] = self.use_counter;
         false
     }
 
     /// The cache line size in bytes.
+    #[inline]
     pub fn line_bytes(&self) -> u64 {
         self.line_bytes
     }
@@ -85,6 +109,7 @@ impl Cache {
     /// True if a `width`-byte access at `addr` crosses a line boundary —
     /// the paper drops blocks with such accesses (they cost two line
     /// reads and an order-of-magnitude slowdown).
+    #[inline]
     pub fn splits_line(&self, addr: u64, width: u8) -> bool {
         let offset = if self.line_shift != u32::MAX {
             addr & (self.line_bytes - 1)
@@ -96,15 +121,14 @@ impl Cache {
 
     /// Invalidates every line.
     pub fn flush(&mut self) {
-        for line in &mut self.lines {
-            *line = (u64::MAX, 0);
-        }
+        self.tags.fill(u64::MAX);
+        self.last_use.fill(0);
         self.use_counter = 0;
     }
 
     /// Number of currently valid lines (for tests/statistics).
     pub fn valid_lines(&self) -> usize {
-        self.lines.iter().filter(|(t, _)| *t != u64::MAX).count()
+        self.tags.iter().filter(|&&t| t != u64::MAX).count()
     }
 }
 

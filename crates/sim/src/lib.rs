@@ -44,6 +44,7 @@ mod exec;
 mod machine;
 mod mem;
 mod noise;
+mod simd;
 mod state;
 mod timing;
 
@@ -53,5 +54,8 @@ pub use exec::{effective_addr, execute_inst, ExecFault, InstEffects, MemAccess};
 pub use machine::{Machine, RunOutcome, CODE_BASE};
 pub use mem::{Memory, PhysPage, SegFault, PAGE_SIZE};
 pub use noise::NoiseConfig;
+pub use simd::SimdTier;
 pub use state::{CpuState, Flags, Mxcsr};
-pub use timing::{CodeLayout, DynInst, PreparedTrace, SimScratch, TimingModel, TimingResult};
+pub use timing::{
+    CodeLayout, DynInst, NonConvergence, PreparedTrace, SimScratch, TimingModel, TimingResult,
+};

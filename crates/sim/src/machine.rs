@@ -6,7 +6,9 @@ use crate::exec::{execute_inst, ExecFault};
 use crate::mem::Memory;
 use crate::noise::NoiseConfig;
 use crate::state::CpuState;
-use crate::timing::{CodeLayout, DynInst, PreparedTrace, SimScratch, TimingModel, TimingResult};
+use crate::timing::{
+    CodeLayout, DynInst, NonConvergence, PreparedTrace, SimScratch, TimingModel, TimingResult,
+};
 use bhive_asm::{BasicBlock, Inst};
 use bhive_uarch::Uarch;
 use rand::rngs::SmallRng;
@@ -223,7 +225,16 @@ impl Machine {
     /// `n_insts` instructions: flushes the arena caches (a flushed cache
     /// is bit-identical to a cold one), runs a warm-up pass, and returns
     /// the measured pass. Allocation-free after the first call.
-    pub fn simulate_double(&mut self, model: &TimingModel<'_>, n_insts: usize) -> TimingResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonConvergence`] if either pass exhausts its cycle
+    /// budget (a pathological schedule).
+    pub fn simulate_double(
+        &mut self,
+        model: &TimingModel<'_>,
+        n_insts: usize,
+    ) -> Result<TimingResult, NonConvergence> {
         let uarch = self.uarch;
         let TimingArena {
             prep,
@@ -236,12 +247,17 @@ impl Machine {
         let l1d = l1d.get_or_insert_with(|| Cache::new(uarch.l1d));
         l1i.flush();
         l1d.flush();
-        model.simulate_with(prep, n_insts, l1i, l1d, scratch); // warm-up
+        model.simulate_with(prep, n_insts, l1i, l1d, scratch)?; // warm-up
         model.simulate_with(prep, n_insts, l1i, l1d, scratch)
     }
 
     /// Times a previously recorded trace against cache state carried in
     /// `l1i`/`l1d` (deterministic; no noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonConvergence`] if the schedule exhausts its cycle
+    /// budget.
     pub fn time_trace(
         &self,
         insts: &[Inst],
@@ -249,7 +265,7 @@ impl Machine {
         layout: &CodeLayout,
         l1i: &mut Cache,
         l1d: &mut Cache,
-    ) -> TimingResult {
+    ) -> Result<TimingResult, NonConvergence> {
         TimingModel::new(insts, self.uarch).run(trace, layout, l1i, l1d)
     }
 
@@ -279,6 +295,12 @@ impl Machine {
     /// # Errors
     ///
     /// Propagates functional-execution faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing model fails to converge; the harness maps
+    /// that to a `ProfileFailure` instead, but this convenience entry
+    /// point has no failure channel for it.
     pub fn run(&mut self, insts: &[Inst], unroll: u32) -> Result<RunOutcome, ExecFault> {
         let mut trace = self.take_trace_buffer();
         let outcome = (|| {
@@ -287,7 +309,9 @@ impl Machine {
                 CodeLayout::from_block(insts, CODE_BASE).map_err(|_| ExecFault::InvalidOpcode)?;
             let model = TimingModel::new(insts, self.uarch);
             self.prepare_timing(&model, &trace, &layout);
-            let timing = self.simulate_double(&model, trace.len());
+            let timing = self
+                .simulate_double(&model, trace.len())
+                .expect("timing model failed to converge on a real schedule");
             let mut counters = self.observe(&timing);
             counters.subnormal_events = trace.iter().filter(|d| d.effects.subnormal).count() as u64;
             Ok(RunOutcome {
@@ -372,7 +396,9 @@ mod tests {
         let layout = CodeLayout::from_block(block.insts(), CODE_BASE).unwrap();
         let mut l1i = Cache::new(machine.uarch().l1i);
         let mut l1d = Cache::new(machine.uarch().l1d);
-        let timing = machine.time_trace(block.insts(), &trace, &layout, &mut l1i, &mut l1d);
+        let timing = machine
+            .time_trace(block.insts(), &trace, &layout, &mut l1i, &mut l1d)
+            .unwrap();
         let samples: Vec<u64> = (0..64)
             .map(|_| machine.observe(&timing).core_cycles)
             .collect();

@@ -67,7 +67,7 @@ impl Memory {
             chunk.copy_from_slice(&(fill as u32).to_le_bytes());
         }
         self.pages.push(page);
-        PhysPage(self.pages.len() as u32 - 1)
+        PhysPage(u32::try_from(self.pages.len() - 1).expect("physical page pool exceeds u32 range"))
     }
 
     /// Re-fills an existing physical page with the pattern.
@@ -85,7 +85,8 @@ impl Memory {
     /// reallocation.
     pub fn refill_all(&mut self, fill: u64) {
         for idx in 0..self.live_page_count() {
-            self.refill_page(PhysPage(idx as u32), fill);
+            let idx = u32::try_from(idx).expect("physical page pool exceeds u32 range");
+            self.refill_page(PhysPage(idx), fill);
         }
     }
 
@@ -94,7 +95,8 @@ impl Memory {
     pub fn recycle(&mut self) {
         self.table.clear();
         self.free.clear();
-        self.free.extend((0..self.pages.len() as u32).rev());
+        let pooled = u32::try_from(self.pages.len()).expect("physical page pool exceeds u32 range");
+        self.free.extend((0..pooled).rev());
     }
 
     /// Number of physical pages currently backing mappings (always a

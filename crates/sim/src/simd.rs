@@ -1,0 +1,380 @@
+//! Runtime-dispatched SIMD kernels for the timing model's cycle loop.
+//!
+//! The simulate hot path needs two data-parallel primitives:
+//!
+//! * [`ready_mask`] — for every entry of a contiguous cycle array, test
+//!   whether its cycle has been reached (`cycles[i] <= cycle`) and pack
+//!   the answers into a bitmask. The scheduler points it at the packed
+//!   pending-wake-up calendar (keys order by cycle first, so the key
+//!   compare *is* the maturity compare) to mature a whole calendar in
+//!   one sweep instead of walking per-uop dependency lists.
+//! * [`min_future`] — the earliest in-flight completion strictly after
+//!   `cycle`, used to jump the clock over idle stretches.
+//!
+//! Each primitive ships in three tiers — AVX2 (4-lane tests),
+//! SSE4.1 (2-lane tests), and a portable scalar reference — selected once
+//! per process by [`SimdTier::active`] from CPUID feature detection
+//! (`is_x86_feature_detected!`), optionally overridden by the
+//! `BHIVE_SIMD` environment variable (`off`/`scalar`, `sse4.1`, `avx2`).
+//! The scalar tier is the semantic reference and the only tier compiled
+//! on non-x86 targets; the differential test suite pins every available
+//! tier bit-for-bit against `TimingModel::run_reference`.
+//!
+//! All comparisons are *signed* 64-bit on purpose: the sentinels
+//! ([`READY_NEVER`] = `i64::MAX` for "dependencies unresolved",
+//! `u64::MAX` for "uop not issued") must sort as never-ready/ignored,
+//! and real cycle values are bounded far below `i64::MAX` by the
+//! convergence budget, so signed order equals the intended order.
+
+use std::sync::OnceLock;
+
+/// Ready-cycle sentinel for a uop whose dependencies have not all
+/// resolved yet. `i64::MAX` (not `u64::MAX`) so the SIMD signed
+/// comparisons treat it as "later than any real cycle".
+pub(crate) const READY_NEVER: u64 = i64::MAX as u64;
+
+/// One instruction-set tier of the simulate kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdTier {
+    /// 4-lane kernels using AVX2 loads and 64-bit vector compares.
+    Avx2,
+    /// 2-lane kernels using SSE4.1 blends and SSE2 64-bit arithmetic.
+    Sse41,
+    /// Portable scalar reference; the only tier on non-x86 hosts.
+    Scalar,
+}
+
+impl SimdTier {
+    /// Stable lowercase name (obs counters, bench JSON, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Sse41 => "sse4.1",
+            SimdTier::Scalar => "scalar",
+        }
+    }
+
+    /// The best tier the host CPU supports, ignoring any override.
+    pub fn detect() -> SimdTier {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdTier::Avx2;
+            }
+            if std::arch::is_x86_feature_detected!("sse4.1") {
+                return SimdTier::Sse41;
+            }
+        }
+        SimdTier::Scalar
+    }
+
+    /// Every tier the host can run, best first, always ending in
+    /// [`SimdTier::Scalar`]. Differential tests iterate this list so a
+    /// run on any machine exercises exactly the tiers it can verify.
+    pub fn available() -> &'static [SimdTier] {
+        match SimdTier::detect() {
+            SimdTier::Avx2 => &[SimdTier::Avx2, SimdTier::Sse41, SimdTier::Scalar],
+            SimdTier::Sse41 => &[SimdTier::Sse41, SimdTier::Scalar],
+            SimdTier::Scalar => &[SimdTier::Scalar],
+        }
+    }
+
+    /// The tier the simulate hot path dispatches to: CPUID detection
+    /// capped by the `BHIVE_SIMD` environment variable, resolved once
+    /// per process.
+    pub fn active() -> SimdTier {
+        static ACTIVE: OnceLock<SimdTier> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let detected = SimdTier::detect();
+            match std::env::var("BHIVE_SIMD") {
+                Ok(value) => parse_override(&value, detected),
+                Err(_) => detected,
+            }
+        })
+    }
+}
+
+/// Resolves a `BHIVE_SIMD` override against the detected tier. Requests
+/// for a tier the host lacks fall back to the detected one (you can
+/// disable SIMD anywhere, but you cannot conjure it); unknown values are
+/// ignored.
+fn parse_override(value: &str, detected: SimdTier) -> SimdTier {
+    match value.to_ascii_lowercase().as_str() {
+        "off" | "scalar" | "0" | "none" => SimdTier::Scalar,
+        "sse4.1" | "sse41" => match detected {
+            SimdTier::Scalar => SimdTier::Scalar,
+            _ => SimdTier::Sse41,
+        },
+        "avx2" => detected, // only honored when AVX2 is what was detected
+        _ => detected,
+    }
+}
+
+/// Minimum pending-calendar population before the batched readiness
+/// kernel beats an inline scalar compare per entry. Below this the
+/// per-drain dispatch + mask setup costs more than it saves; the two
+/// strategies are bit-identical either way (see the exactness note at
+/// the call site in `timing.rs`).
+pub(crate) const READY_BATCH_MIN: usize = 32;
+
+/// Packs `cycles[i] <= cycle` (signed comparison, so the `i64::MAX`
+/// not-resolvable sentinel never matures) into bit `i` of `out`
+/// (little-endian within each `u64` word). `out` must hold at least
+/// `cycles.len().div_ceil(64)` zeroed words.
+pub(crate) fn ready_mask(tier: SimdTier, cycles: &[u64], cycle: u64, out: &mut [u64]) {
+    debug_assert!(out.len() >= cycles.len().div_ceil(64));
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `Avx2`/`Sse41` are only reachable through
+        // `SimdTier::detect`, which verified the features via CPUID.
+        SimdTier::Avx2 => unsafe { ready_mask_avx2(cycles, cycle, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { ready_mask_sse41(cycles, cycle, out) },
+        _ => ready_mask_scalar(cycles, cycle, out),
+    }
+}
+
+/// The earliest value in `completion` that is strictly after `cycle`
+/// under *signed* comparison, or `u64::MAX` when there is none. Entries
+/// of `u64::MAX` (signed −1: uop not issued) and entries `<= cycle`
+/// (already complete) are both ignored, which is exactly the set of
+/// in-flight completion events the cycle-skip needs.
+pub(crate) fn min_future(tier: SimdTier, completion: &[u64], cycle: u64) -> u64 {
+    let raw = match tier {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: tier implies CPUID-verified feature support (see above).
+        SimdTier::Avx2 => unsafe { min_future_avx2(completion, cycle) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse41 => unsafe { min_future_sse41(completion, cycle) },
+        _ => min_future_scalar(completion, cycle),
+    };
+    if raw == i64::MAX as u64 {
+        u64::MAX
+    } else {
+        raw
+    }
+}
+
+// ---- Scalar reference tier ----
+
+fn ready_mask_scalar(cycles: &[u64], cycle: u64, out: &mut [u64]) {
+    for (i, &r) in cycles.iter().enumerate() {
+        let bit = u64::from(r as i64 <= cycle as i64);
+        out[i >> 6] |= bit << (i & 63);
+    }
+}
+
+fn min_future_scalar(completion: &[u64], cycle: u64) -> u64 {
+    let mut min = i64::MAX;
+    for &v in completion {
+        let v = v as i64;
+        if v > cycle as i64 && v < min {
+            min = v;
+        }
+    }
+    min as u64
+}
+
+// ---- SSE4.1 tier: 2 lanes per step ----
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.1")]
+unsafe fn ready_mask_sse41(cycles: &[u64], cycle: u64, out: &mut [u64]) {
+    use std::arch::x86_64::*;
+    // ready <= cycle  ⟺  ready − (cycle+1) < 0 in signed 64-bit: real
+    // ready cycles and `cycle` are bounded by the convergence budget
+    // (≪ 2^62) and the READY_NEVER sentinel is i64::MAX, so the
+    // subtraction never wraps and the sign bit is the answer.
+    let threshold = _mm_set1_epi64x(cycle as i64 + 1);
+    let mut i = 0usize;
+    while i + 2 <= cycles.len() {
+        let v = _mm_loadu_si128(cycles.as_ptr().add(i).cast());
+        let signs = _mm_castsi128_pd(_mm_sub_epi64(v, threshold));
+        let bits = _mm_movemask_pd(signs) as u64; // lane sign bits
+        out[i >> 6] |= bits << (i & 63);
+        i += 2;
+    }
+    if i < cycles.len() {
+        let bit = u64::from(cycles[i] as i64 <= cycle as i64);
+        out[i >> 6] |= bit << (i & 63);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.1")]
+unsafe fn min_future_sse41(completion: &[u64], cycle: u64) -> u64 {
+    use std::arch::x86_64::*;
+    let threshold = _mm_set1_epi64x(cycle as i64 + 1);
+    let never = _mm_set1_epi64x(i64::MAX);
+    let mut acc = never;
+    let mut chunks = completion.chunks_exact(2);
+    for pair in &mut chunks {
+        let v = _mm_set_epi64x(pair[1] as i64, pair[0] as i64);
+        // Keep lanes with v > cycle (sign of v − (cycle+1) clear), i.e.
+        // future events; replace the rest with the identity i64::MAX.
+        let past = _mm_sub_epi64(v, threshold); // sign set ⇒ v <= cycle
+                                                // blendv_epi8 selects per byte from the mask's high bits; the
+                                                // mask must therefore be a full-width sign splat, which
+                                                // shuffling the odd (sign-carrying) dwords provides.
+        let sign_splat = _mm_shuffle_epi32::<0b11_11_01_01>(_mm_srai_epi32::<31>(past));
+        let keep = _mm_blendv_epi8(v, never, sign_splat);
+        // acc = min(acc, keep), again via the sign of a safe subtraction.
+        let diff = _mm_sub_epi64(keep, acc); // sign set ⇒ keep < acc
+        let lt = _mm_shuffle_epi32::<0b11_11_01_01>(_mm_srai_epi32::<31>(diff));
+        acc = _mm_blendv_epi8(acc, keep, lt);
+    }
+    let mut out = [0i64; 2];
+    _mm_storeu_si128(out.as_mut_ptr().cast(), acc);
+    let mut min = out[0].min(out[1]);
+    for &v in chunks.remainder() {
+        let v = v as i64;
+        if v > cycle as i64 && v < min {
+            min = v;
+        }
+    }
+    min as u64
+}
+
+// ---- AVX2 tier: 4 lanes per step ----
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn ready_mask_avx2(cycles: &[u64], cycle: u64, out: &mut [u64]) {
+    use std::arch::x86_64::*;
+    let cycle_v = _mm256_set1_epi64x(cycle as i64);
+    let mut i = 0usize;
+    while i + 4 <= cycles.len() {
+        let v = _mm256_loadu_si256(cycles.as_ptr().add(i).cast());
+        // Lane sign set ⇒ ready > cycle ⇒ NOT matured; invert the bits.
+        let late = _mm256_cmpgt_epi64(v, cycle_v);
+        let bits = (!_mm256_movemask_pd(_mm256_castsi256_pd(late)) as u64) & 0xF;
+        out[i >> 6] |= bits << (i & 63);
+        i += 4;
+    }
+    while i < cycles.len() {
+        let bit = u64::from(cycles[i] as i64 <= cycle as i64);
+        out[i >> 6] |= bit << (i & 63);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn min_future_avx2(completion: &[u64], cycle: u64) -> u64 {
+    use std::arch::x86_64::*;
+    let cycle_v = _mm256_set1_epi64x(cycle as i64);
+    let never = _mm256_set1_epi64x(i64::MAX);
+    let mut acc = never;
+    let mut chunks = completion.chunks_exact(4);
+    for quad in &mut chunks {
+        let v = _mm256_loadu_si256(quad.as_ptr().cast());
+        let future = _mm256_cmpgt_epi64(v, cycle_v);
+        let keep = _mm256_blendv_epi8(never, v, future);
+        let lt = _mm256_cmpgt_epi64(acc, keep);
+        acc = _mm256_blendv_epi8(acc, keep, lt);
+    }
+    let mut out = [0i64; 4];
+    _mm256_storeu_si256(out.as_mut_ptr().cast(), acc);
+    let mut min = out.iter().copied().min().unwrap_or(i64::MAX);
+    for &v in chunks.remainder() {
+        let v = v as i64;
+        if v > cycle as i64 && v < min {
+            min = v;
+        }
+    }
+    min as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiers() -> &'static [SimdTier] {
+        SimdTier::available()
+    }
+
+    #[test]
+    fn override_parsing() {
+        for off in ["off", "OFF", "scalar", "0", "none"] {
+            assert_eq!(parse_override(off, SimdTier::Avx2), SimdTier::Scalar);
+        }
+        assert_eq!(parse_override("sse4.1", SimdTier::Avx2), SimdTier::Sse41);
+        assert_eq!(parse_override("sse41", SimdTier::Avx2), SimdTier::Sse41);
+        // Cannot request a tier the host lacks.
+        assert_eq!(parse_override("sse4.1", SimdTier::Scalar), SimdTier::Scalar);
+        assert_eq!(parse_override("avx2", SimdTier::Sse41), SimdTier::Sse41);
+        // Unknown values fall back to detection.
+        assert_eq!(parse_override("banana", SimdTier::Sse41), SimdTier::Sse41);
+        assert_eq!(parse_override("", SimdTier::Avx2), SimdTier::Avx2);
+    }
+
+    #[test]
+    fn available_always_ends_scalar() {
+        let tiers = SimdTier::available();
+        assert_eq!(tiers.last(), Some(&SimdTier::Scalar));
+        assert!(tiers.contains(&SimdTier::detect()));
+    }
+
+    #[test]
+    fn ready_mask_tiers_agree_with_scalar() {
+        // Deterministic pseudo-random ready table with both sentinels and
+        // values straddling the probe cycle.
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let ready_at: Vec<u64> = (0..257)
+            .map(|_| match next() % 4 {
+                0 => READY_NEVER,
+                1 => next() % 50,
+                2 => 100 + next() % 50,
+                _ => 75,
+            })
+            .collect();
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 130, 257] {
+            let cycles: Vec<u64> = ready_at[..len].to_vec();
+            for cycle in [0u64, 42, 75, 149, 10_000] {
+                let words = len.div_ceil(64).max(1);
+                let mut reference = vec![0u64; words];
+                ready_mask_scalar(&cycles, cycle, &mut reference);
+                for &tier in tiers() {
+                    let mut got = vec![0u64; words];
+                    ready_mask(tier, &cycles, cycle, &mut got);
+                    assert_eq!(got, reference, "tier {:?} len {len} cycle {cycle}", tier);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_future_tiers_agree_with_scalar() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![u64::MAX],
+            vec![5],
+            vec![5, 6, 7, 8, 9],
+            vec![u64::MAX, 3, u64::MAX, 900, 12, 13, 14],
+            (0..133)
+                .map(|i| if i % 5 == 0 { u64::MAX } else { i * 7 })
+                .collect(),
+        ];
+        for values in &cases {
+            for cycle in [0u64, 4, 11, 12, 13, 1_000_000] {
+                let reference = min_future(SimdTier::Scalar, values, cycle);
+                for &tier in tiers() {
+                    assert_eq!(
+                        min_future(tier, values, cycle),
+                        reference,
+                        "tier {:?} cycle {cycle} values {values:?}",
+                        tier
+                    );
+                }
+            }
+        }
+    }
+}
+
+// TEMP instrumentation

@@ -13,21 +13,35 @@
 //!
 //! * [`TimingModel::prepare_into`] turns a trace into a [`PreparedTrace`]:
 //!   the dynamic uop stream with resolved latencies, dependency edges,
-//!   memory addresses, and the frontend fetch/L1I-probe schedule.
+//!   memory addresses, and the frontend fetch/L1I-probe schedule — laid
+//!   out structure-of-arrays so the cycle loop streams through parallel
+//!   `ports`/`latency`/`dep_*` columns instead of chasing struct fields.
 //! * [`TimingModel::simulate_with`] replays a prepared trace (or any
 //!   prefix of it) against concrete cache state, which is the only input
-//!   that differs between warm-up and measured runs.
+//!   that differs between warm-up and measured runs. Readiness testing is
+//!   batched through the runtime-dispatched SIMD kernels of
+//!   [`crate::simd`] (AVX2 / SSE4.1 / scalar), dependency resolution uses
+//!   consumer wake-up lists instead of rescanning producer lists every
+//!   cycle, and stretches of cycles where nothing can happen are skipped
+//!   in one step — all without changing a single observable bit.
 //!
 //! [`TimingModel::run_reference`] keeps the original single-pass
 //! implementation; differential tests pin the split path to it bit for
-//! bit.
+//! bit at every SIMD dispatch tier.
+//!
+//! Both paths share one safety valve: a schedule that fails to retire
+//! everything within the cycle budget returns [`NonConvergence`] instead
+//! of a silently truncated [`TimingResult`] (debug and release behave
+//! identically).
 
 use crate::cache::Cache;
 use crate::exec::InstEffects;
+use crate::simd::{self, SimdTier, READY_NEVER};
 use crate::state::CpuState;
 use bhive_asm::{AsmError, Gpr, Inst};
 use bhive_uarch::{decompose_cached, macro_fuses, Recipe, Uarch, UarchKind, Uop, UopKind, VarLat};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Where the unrolled code lives in (virtual) memory; determines which L1I
 /// lines it occupies.
@@ -124,6 +138,39 @@ pub struct TimingResult {
     pub insts: u64,
 }
 
+/// The timing model exhausted its cycle budget without retiring the whole
+/// trace: the schedule deadlocked (e.g. a uop that can never fit in the
+/// RS) or degenerated. Surfaced as a hard error — identically in debug
+/// and release builds — so a truncated, meaningless [`TimingResult`] can
+/// never masquerade as a measurement.
+///
+/// The payload deliberately excludes the final cycle counter: the batched
+/// and reference paths may abandon a pathological schedule after a
+/// different number of (provably event-free) wall-clock iterations, but
+/// the *state* they abandon is identical, and so is this error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonConvergence {
+    /// The exhausted cycle budget.
+    pub cycle_budget: u64,
+    /// Instructions retired before giving up.
+    pub retired: usize,
+    /// Instructions the trace wanted retired.
+    pub total_insts: usize,
+}
+
+impl fmt::Display for NonConvergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "timing model failed to converge: {}/{} instructions retired \
+             within the {}-cycle budget",
+            self.retired, self.total_insts, self.cycle_budget
+        )
+    }
+}
+
+impl std::error::Error for NonConvergence {}
+
 /// Dependency-tracking key (reference path only; the prepared path uses
 /// the flat producer scoreboard below).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,6 +196,8 @@ fn vec_slot(n: u8) -> u8 {
     16 + n
 }
 
+/// Reference-path dynamic uop (AoS). The prepared hot path stores the
+/// same fields as parallel columns in [`PreparedTrace`].
 #[derive(Debug, Clone)]
 struct DynUop {
     ports: u8,
@@ -160,19 +209,6 @@ struct DynUop {
     dep_len: u16,
     /// Load/store address for the D-cache (vaddr, paddr, width).
     mem: Option<(u64, u64, u8)>,
-}
-
-/// Per-dynamic-instruction uop range and rename bookkeeping.
-#[derive(Debug, Clone, Copy)]
-struct InstMeta {
-    /// First uop id.
-    first: u32,
-    /// One past the last uop id.
-    last: u32,
-    /// Fused-domain rename/retire slots.
-    slots: u32,
-    /// Eliminated at rename (no uops).
-    eliminated: bool,
 }
 
 /// Open-addressed map from 8-byte address chunk to the uop id of the
@@ -253,23 +289,106 @@ impl ChunkTable {
     }
 }
 
+/// Issue-time attributes of one uop, packed into a single record so the
+/// scheduler's issue block costs one cache-line touch instead of one per
+/// SoA column. The consumer list is
+/// `use_pool[meta[u].use_start..meta[u + 1].use_start]` (the `meta`
+/// array carries a trailing sentinel).
+#[derive(Debug, Clone, Copy, Default)]
+struct UopMeta {
+    /// Resolved result latency in cycles (≥ 1).
+    latency: u32,
+    /// Cycles the chosen port stays busy.
+    blocking: u32,
+    /// Owning dynamic-instruction index.
+    owner: u32,
+    /// Start of the consumer wake-up list in `use_pool`.
+    use_start: u32,
+    /// Candidate execution-port bitmask.
+    ports: u8,
+    /// Memory access width in bytes; 0 = no access.
+    mem_width: u8,
+    /// 1 for store-data uops (their memory access is a write).
+    is_store: u8,
+    _pad: u8,
+}
+
 /// A trace compiled into its schedule-independent form: the dynamic uop
 /// stream with resolved latencies, dependency edges, memory addresses,
 /// and the frontend fetch/L1I-probe schedule. Built once per attempt and
 /// replayed by [`TimingModel::simulate_with`] for every warm-up/measured
 /// run.
 ///
+/// Layout is structure-of-arrays: one parallel column per uop attribute,
+/// indexed by uop id, plus forward dependency lists (`dep_*` into
+/// `dep_pool`) and their transpose (`use_*` into `use_pool`, the
+/// consumer wake-up lists the scheduler walks at issue time).
+///
 /// All contents are *prefix-closed*: because functional execution is
 /// deterministic, the preparation of the first `n` dynamic instructions
 /// equals the first `n` instructions' worth of the full preparation, so a
 /// hi-factor preparation serves the lo-factor run as a prefix.
+/// (Dependencies only ever point backwards, so every forward edge out of
+/// a prefix lands in the suffix and is simply never consulted.)
 #[derive(Debug, Default)]
 pub struct PreparedTrace {
-    uops: Vec<DynUop>,
+    // ---- Per-uop columns (SoA), indexed by uop id ----
+    /// Candidate execution-port bitmask.
+    ports: Vec<u8>,
+    /// Resolved result latency in cycles (≥ 1).
+    latency: Vec<u32>,
+    /// Cycles the chosen port stays busy.
+    blocking: Vec<u32>,
+    /// True for store-data uops (their memory access is a write).
+    is_store: Vec<bool>,
+    /// Producer list start: `dep_pool[dep_start..dep_start + dep_len]`.
+    dep_start: Vec<u32>,
+    /// Producer list length.
+    dep_len: Vec<u16>,
+    /// Memory access `[virtual, physical]` address pair (meaningful iff
+    /// the uop's `meta.mem_width != 0`); one array so the issue path
+    /// touches one cache line per access, not two.
+    mem_addr: Vec<[u64; 2]>,
+    /// Packed issue-time descriptors, one per uop plus a trailing
+    /// sentinel (for `use_start` range ends). Derived from the SoA
+    /// columns at the end of [`TimingModel::prepare_into`]: the
+    /// scheduler's issue block reads one 20-byte record instead of
+    /// gathering from eight parallel columns.
+    meta: Vec<UopMeta>,
+    /// Initial `ready_at` value: 0 for dependency-free uops,
+    /// [`READY_NEVER`] otherwise (consumed by the reference pipeline).
+    ready_init: Vec<u64>,
+    /// Bit per uop id: set iff the uop has no producers, i.e. its
+    /// operands are ready from cycle 0. Copied wholesale into the
+    /// scheduler's ready set at simulation start.
+    ready0_mask: Vec<u64>,
+    /// Initial wake-up countdowns (`unresolved` = producer count),
+    /// memcpy'd into the scratch at simulation start instead of being
+    /// rebuilt element by element on every pass.
+    wake0: Vec<WakeState>,
+    /// Initial retire-side state (`unissued` = uop count), memcpy'd the
+    /// same way; `simulate_with` copies the replayed prefix only.
+    inst_state0: Vec<InstState>,
+    /// Packed per-instruction rename/retire record (uop span, slots,
+    /// elimination flag), mirroring the four per-instruction columns.
+    inst_meta: Vec<InstMeta>,
     /// All uop dependency lists, back to back (one allocation instead of
     /// a heap Vec per uop).
     dep_pool: Vec<u32>,
-    inst_meta: Vec<InstMeta>,
+    /// Transposed edges: uop `u`'s consumers are
+    /// `use_pool[use_start[u]..use_start[u + 1]]`. Length `uops + 1`.
+    use_start: Vec<u32>,
+    /// Consumer uop ids, grouped by producer.
+    use_pool: Vec<u32>,
+    // ---- Per-instruction columns ----
+    /// First uop id of each instruction.
+    inst_first: Vec<u32>,
+    /// One past the last uop id of each instruction.
+    inst_last: Vec<u32>,
+    /// Fused-domain rename/retire slots.
+    inst_slots: Vec<u32>,
+    /// Eliminated at rename (no uops).
+    inst_elim: Vec<bool>,
     /// Per-instruction fetch clock before stalls: cumulative bytes / 16.
     fetch_base: Vec<u64>,
     /// L1I line probes as `(instruction index, line address)`, in program
@@ -280,35 +399,98 @@ pub struct PreparedTrace {
     stores: ChunkTable,
     reg_deps: Vec<u32>,
     addr_deps: Vec<u32>,
+    use_cursor: Vec<u32>,
 }
 
 impl PreparedTrace {
     /// Number of prepared dynamic instructions.
     pub fn len(&self) -> usize {
-        self.inst_meta.len()
+        self.inst_first.len()
     }
 
     /// True if nothing is prepared.
     pub fn is_empty(&self) -> bool {
-        self.inst_meta.is_empty()
+        self.inst_first.is_empty()
     }
 
     /// Number of unfused uops in the prepared stream.
     pub fn uop_count(&self) -> usize {
-        self.uops.len()
+        self.ports.len()
     }
 }
 
-/// Reusable per-simulation state (completion times, RS contents, fetch
-/// and rename cycles). Owning one and passing it to
-/// [`TimingModel::simulate_with`] makes repeated simulations
+/// Reusable per-simulation state (completion times, RS contents,
+/// readiness scoreboard, fetch and rename cycles). Owning one and passing
+/// it to [`TimingModel::simulate_with`] makes repeated simulations
 /// allocation-free.
 #[derive(Debug, Default)]
 pub struct SimScratch {
     completion: Vec<u64>,
-    waiting: Vec<u32>,
     fetch_cycle: Vec<u64>,
     rename_cycle: Vec<u64>,
+    /// Per-uop wake-up countdown (packed: running max of resolved
+    /// producers' completion cycles + producers not yet issued, so one
+    /// wake-up edge costs one cache-line touch).
+    wake: Vec<WakeState>,
+    /// Per-instruction retire state (packed for the same reason).
+    inst_state: Vec<InstState>,
+    /// The ready set: bit per uop id, set while the uop's operands are
+    /// available and it has not issued. Seeded from
+    /// `PreparedTrace::ready0_mask`; wake-ups land here through the
+    /// pending calendar below. Bits past the rename frontier are
+    /// invisible to the issue scan until their instruction renames.
+    ready_bits: Vec<u64>,
+    /// Pending wake-up calendar: `(cycle << PEND_SHIFT) | uop_id` keys
+    /// for uops whose operands resolve at a known future cycle. Drained
+    /// into `ready_bits` once that cycle arrives; the drain compare is
+    /// the SIMD readiness kernel's job when the calendar is deep enough.
+    pend: Vec<u64>,
+    /// Kernel output scratch for batched drains.
+    drain_bits: Vec<u64>,
+}
+
+/// Bit position splitting a pending-calendar key into `(cycle, uop id)`:
+/// `key = (ready_cycle << PEND_SHIFT) | uop_id`. Keys order by ready
+/// cycle first, so the calendar minimum *is* the earliest wake-up, and
+/// one comparison against `(cycle + 1) << PEND_SHIFT` tests maturity.
+/// 24 id bits cap prepared traces at 16M uops (asserted in prepare);
+/// cycle values are bounded by the convergence budget, far below the
+/// remaining 40 bits.
+const PEND_SHIFT: u32 = 24;
+
+/// Wake-up countdown for one uop: the consumer side of the scoreboard.
+#[derive(Debug, Clone, Copy, Default)]
+struct WakeState {
+    /// Running max of resolved producers' completion cycles.
+    dep_ready: u64,
+    /// Producers not yet issued.
+    unresolved: u32,
+    _pad: u32,
+}
+
+/// Frontend-facing columns of one dynamic instruction, packed so the
+/// rename and retire loops load a single 12-byte record instead of
+/// striding over four parallel arrays.
+#[derive(Debug, Clone, Copy, Default)]
+struct InstMeta {
+    /// First uop id.
+    first: u32,
+    /// One past the last uop id.
+    last: u32,
+    /// Fused-domain rename/retire slots.
+    slots: u16,
+    /// Non-zero when eliminated at rename (no uops).
+    elim: u16,
+}
+
+/// Retire-side state of one dynamic instruction.
+#[derive(Debug, Clone, Copy, Default)]
+struct InstState {
+    /// Max completion cycle among issued uops.
+    done_at: u64,
+    /// Uops not yet issued.
+    unissued: u32,
+    _pad: u32,
 }
 
 /// How an eliminated instruction rewrites the producer scoreboard at
@@ -499,23 +681,56 @@ impl<'a> TimingModel<'a> {
     /// replay over caches with this model's uarch geometry.
     pub fn prepare_into(&self, prep: &mut PreparedTrace, trace: &[DynInst], layout: &CodeLayout) {
         let PreparedTrace {
-            uops,
-            dep_pool,
+            ports,
+            latency: latencies,
+            blocking: blockings,
+            is_store,
+            dep_start,
+            dep_len,
+            mem_addr,
+            meta,
+            ready_init,
+            ready0_mask,
+            wake0,
+            inst_state0,
             inst_meta,
+            dep_pool,
+            use_start,
+            use_pool,
+            inst_first,
+            inst_last,
+            inst_slots,
+            inst_elim,
             fetch_base,
             probes,
             stores,
             reg_deps,
             addr_deps,
+            use_cursor,
         } = prep;
-        uops.clear();
-        dep_pool.clear();
+        ports.clear();
+        latencies.clear();
+        blockings.clear();
+        is_store.clear();
+        dep_start.clear();
+        dep_len.clear();
+        mem_addr.clear();
+        meta.clear();
+        ready_init.clear();
+        ready0_mask.clear();
+        wake0.clear();
+        inst_state0.clear();
         inst_meta.clear();
+        dep_pool.clear();
+        inst_first.clear();
+        inst_last.clear();
+        inst_slots.clear();
+        inst_elim.clear();
         fetch_base.clear();
         probes.clear();
         stores.reset();
-        uops.reserve(trace.len());
-        inst_meta.reserve(trace.len());
+        ports.reserve(trace.len());
+        inst_first.reserve(trace.len());
         fetch_base.reserve(trace.len());
 
         // ---- Frontend: fetch byte clock and the L1I probe schedule ----
@@ -527,9 +742,10 @@ impl<'a> TimingModel<'a> {
                 let (addr, len) = layout.addr(dyn_inst.copy, dyn_inst.static_idx);
                 let mut probe = addr / line;
                 let end_line = (addr + u64::from(len) - 1) / line;
+                let i32 = u32::try_from(i).expect("trace length exceeds u32 range");
                 while probe <= end_line {
                     if probe != last_line {
-                        probes.push((i as u32, probe * line));
+                        probes.push((i32, probe * line));
                         last_line = probe;
                     }
                     probe += 1;
@@ -541,11 +757,12 @@ impl<'a> TimingModel<'a> {
 
         // ---- Dynamic uops with dependencies ----
         let mut producers = [NO_UOP; PRODUCER_SLOTS];
-        for dyn_inst in trace.iter() {
+        for (inst_idx, dyn_inst) in trace.iter().enumerate() {
+            let inst_idx = u32::try_from(inst_idx).expect("trace length exceeds u32 range");
             let recipe = &self.recipes[dyn_inst.static_idx];
             let info = &self.statics[dyn_inst.static_idx];
             let fx = &dyn_inst.effects;
-            let first = uops.len() as u32;
+            let first = u32::try_from(ports.len()).expect("uop count exceeds u32 range");
             let mut frontend_slots = recipe.frontend_slots;
             if self.fused_into_prev[dyn_inst.static_idx] {
                 frontend_slots = 0;
@@ -566,12 +783,10 @@ impl<'a> TimingModel<'a> {
                     }
                     Elim::Inert | Elim::None => {}
                 }
-                inst_meta.push(InstMeta {
-                    first,
-                    last: first,
-                    slots: frontend_slots,
-                    eliminated: true,
-                });
+                inst_first.push(first);
+                inst_last.push(first);
+                inst_slots.push(frontend_slots);
+                inst_elim.push(true);
                 continue;
             }
 
@@ -595,7 +810,11 @@ impl<'a> TimingModel<'a> {
             let mut last_compute: u32 = NO_UOP;
             for uop in &recipe.uops {
                 let (latency, blocking) = self.resolve_latency(uop, fx);
-                let dep_start = dep_pool.len();
+                // The scheduler computes one readiness batch per cycle;
+                // that is exact only because a uop issued at cycle `c`
+                // can never complete before `c + 1`.
+                debug_assert!(latency > 0, "zero-latency uop breaks readiness batching");
+                let pool_start = dep_pool.len();
                 let deps = &mut *dep_pool;
                 let mut mem = None;
                 match uop.kind {
@@ -637,7 +856,7 @@ impl<'a> TimingModel<'a> {
                     }
                 }
                 // Sort + dedup this uop's slice of the pool in place.
-                let tail = &mut deps[dep_start..];
+                let tail = &mut deps[pool_start..];
                 tail.sort_unstable();
                 let mut kept = usize::from(!tail.is_empty());
                 for i in 1..tail.len() {
@@ -646,17 +865,28 @@ impl<'a> TimingModel<'a> {
                         kept += 1;
                     }
                 }
-                deps.truncate(dep_start + kept);
-                let id = uops.len() as u32;
-                uops.push(DynUop {
-                    ports: uop.ports.mask(),
+                deps.truncate(pool_start + kept);
+                let id = u32::try_from(ports.len()).expect("uop count exceeds u32 range");
+                ports.push(uop.ports.mask());
+                latencies.push(latency);
+                blockings.push(blocking);
+                is_store.push(uop.kind == UopKind::StoreData);
+                dep_start
+                    .push(u32::try_from(pool_start).expect("dependency pool exceeds u32 range"));
+                dep_len.push(u16::try_from(kept).expect("per-uop dependency list exceeds u16"));
+                let (vaddr, paddr, width) = mem.unwrap_or((0, 0, 0));
+                mem_addr.push([vaddr, paddr]);
+                meta.push(UopMeta {
                     latency,
                     blocking,
-                    kind: uop.kind,
-                    dep_start: dep_start as u32,
-                    dep_len: kept as u16,
-                    mem,
+                    owner: inst_idx,
+                    use_start: 0, // filled after the transpose below
+                    ports: uop.ports.mask(),
+                    mem_width: width,
+                    is_store: u8::from(uop.kind == UopKind::StoreData),
+                    _pad: 0,
                 });
+                ready_init.push(if kept == 0 { 0 } else { READY_NEVER });
                 match uop.kind {
                     UopKind::Load => load_uop = id,
                     UopKind::Compute => last_compute = id,
@@ -676,16 +906,84 @@ impl<'a> TimingModel<'a> {
                 }
             }
             if let Some(access) = fx.store {
-                let std_uop = (uops.len() - 1) as u32;
+                let std_uop = (ports.len() - 1) as u32;
                 for chunk in chunks(access.vaddr, access.width) {
                     stores.insert(chunk, std_uop);
                 }
             }
+            inst_first.push(first);
+            inst_last.push(u32::try_from(ports.len()).expect("uop count exceeds u32 range"));
+            inst_slots.push(frontend_slots);
+            inst_elim.push(false);
+        }
+
+        // ---- Transpose the dependency edges into wake-up lists ----
+        // Counting sort over `dep_pool` (which is exactly the
+        // concatenation of every uop's deduped producer list).
+        let n_uops = ports.len();
+        assert!(
+            n_uops < (1 << PEND_SHIFT),
+            "prepared trace of {n_uops} uops exceeds the pending-calendar id space"
+        );
+        use_start.clear();
+        use_start.resize(n_uops + 1, 0);
+        for &d in dep_pool.iter() {
+            use_start[d as usize + 1] += 1;
+        }
+        for i in 1..=n_uops {
+            use_start[i] += use_start[i - 1];
+        }
+        use_pool.clear();
+        use_pool.resize(dep_pool.len(), 0);
+        use_cursor.clear();
+        use_cursor.extend_from_slice(use_start);
+        for q in 0..n_uops {
+            let s = dep_start[q] as usize;
+            for &d in &dep_pool[s..s + usize::from(dep_len[q])] {
+                let c = &mut use_cursor[d as usize];
+                use_pool[*c as usize] = q as u32;
+                *c += 1;
+            }
+        }
+        // Copy the consumer-list starts into the packed descriptors and
+        // close them with the sentinel record.
+        for (m, &s) in meta.iter_mut().zip(use_start.iter()) {
+            m.use_start = s;
+        }
+        meta.push(UopMeta {
+            use_start: use_start[n_uops],
+            ..UopMeta::default()
+        });
+        ready0_mask.resize(n_uops.div_ceil(64), 0);
+        for (id, &len) in dep_len.iter().enumerate() {
+            ready0_mask[id >> 6] |= u64::from(len == 0) << (id & 63);
+        }
+        wake0.extend(dep_len.iter().map(|&d| WakeState {
+            dep_ready: 0,
+            unresolved: u32::from(d),
+            _pad: 0,
+        }));
+        inst_state0.extend(
+            inst_first
+                .iter()
+                .zip(inst_last.iter())
+                .map(|(&f, &l)| InstState {
+                    done_at: 0,
+                    unissued: l - f,
+                    _pad: 0,
+                }),
+        );
+        for (((&first, &last), &slots), &elim) in inst_first
+            .iter()
+            .zip(inst_last.iter())
+            .zip(inst_slots.iter())
+            .zip(inst_elim.iter())
+        {
             inst_meta.push(InstMeta {
                 first,
-                last: uops.len() as u32,
-                slots: frontend_slots,
-                eliminated: false,
+                last,
+                slots: u16::try_from(slots).expect("fused slot count exceeds u16"),
+                elim: u16::from(elim),
             });
         }
     }
@@ -699,20 +997,36 @@ impl<'a> TimingModel<'a> {
 
     /// Replays a full prepared trace with one-shot scratch state. See
     /// [`TimingModel::simulate_with`].
-    pub fn simulate(&self, prep: &PreparedTrace, l1i: &mut Cache, l1d: &mut Cache) -> TimingResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonConvergence`] if the schedule exhausts its cycle
+    /// budget.
+    pub fn simulate(
+        &self,
+        prep: &PreparedTrace,
+        l1i: &mut Cache,
+        l1d: &mut Cache,
+    ) -> Result<TimingResult, NonConvergence> {
         let mut scratch = SimScratch::default();
         self.simulate_with(prep, prep.len(), l1i, l1d, &mut scratch)
     }
 
     /// Runs the first `n_insts` prepared dynamic instructions through the
-    /// pipeline. `l1i`/`l1d` carry cache state across runs (the harness
-    /// performs a warm-up run first, exactly like the paper's double
-    /// execution); `scratch` is caller-owned so repeated runs allocate
-    /// nothing.
+    /// pipeline with the process-wide SIMD dispatch tier
+    /// ([`SimdTier::active`]). `l1i`/`l1d` carry cache state across runs
+    /// (the harness performs a warm-up run first, exactly like the
+    /// paper's double execution); `scratch` is caller-owned so repeated
+    /// runs allocate nothing.
     ///
     /// Prefix replay is exact: simulating `n` instructions of a longer
     /// preparation is bit-identical to preparing and simulating the
     /// `n`-instruction trace itself (the prepared stream is prefix-closed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonConvergence`] if the schedule exhausts its cycle
+    /// budget — identically in debug and release builds.
     ///
     /// # Panics
     ///
@@ -724,23 +1038,58 @@ impl<'a> TimingModel<'a> {
         l1i: &mut Cache,
         l1d: &mut Cache,
         scratch: &mut SimScratch,
-    ) -> TimingResult {
+    ) -> Result<TimingResult, NonConvergence> {
+        self.simulate_with_tier(prep, n_insts, l1i, l1d, scratch, SimdTier::active())
+    }
+
+    /// [`TimingModel::simulate_with`] pinned to an explicit SIMD dispatch
+    /// tier. Every tier is bit-identical; this entry point exists so the
+    /// differential suite can verify that claim on whatever tiers the
+    /// host supports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonConvergence`] if the schedule exhausts its cycle
+    /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_insts` exceeds the prepared length.
+    pub fn simulate_with_tier(
+        &self,
+        prep: &PreparedTrace,
+        n_insts: usize,
+        l1i: &mut Cache,
+        l1d: &mut Cache,
+        scratch: &mut SimScratch,
+        tier: SimdTier,
+    ) -> Result<TimingResult, NonConvergence> {
         assert!(
-            n_insts <= prep.inst_meta.len(),
+            n_insts <= prep.len(),
             "prefix of {n_insts} insts exceeds prepared trace of {}",
-            prep.inst_meta.len()
+            prep.len()
         );
         let mut result = TimingResult::default();
         if n_insts == 0 {
-            return result;
+            return Ok(result);
         }
-        let uop_limit = prep.inst_meta[n_insts - 1].last as usize;
+        let uop_limit = prep.inst_last[n_insts - 1] as usize;
         let SimScratch {
             completion,
-            waiting,
             fetch_cycle,
             rename_cycle,
+            wake,
+            inst_state,
+            ready_bits,
+            pend,
+            drain_bits,
         } = scratch;
+        // Hoisted column views: one slice bound per array instead of a
+        // Vec deref on every random access in the cycle loop.
+        let meta = &prep.meta[..];
+        let mem_addr = &prep.mem_addr[..];
+        let use_pool = &prep.use_pool[..];
+        let imeta = &prep.inst_meta[..];
 
         // ---- Frontend replay: fetch cycles through the L1I ----
         fetch_cycle.clear();
@@ -762,14 +1111,42 @@ impl<'a> TimingModel<'a> {
             }
         }
 
-        // ---- Cycle loop ----
+        // ---- Scoreboard state ----
+        // Per-uop arrays span the *whole* preparation (not just the
+        // prefix): wake-up edges out of the prefix may touch suffix
+        // consumers, and unconditional writes there are cheaper than a
+        // bounds branch per edge.
         let total_insts = n_insts;
         completion.clear();
         completion.resize(uop_limit, u64::MAX);
-        waiting.clear();
+        ready_bits.clear();
+        ready_bits.extend_from_slice(&prep.ready0_mask);
+        pend.clear();
+        // Exact minimum over the pending calendar's keys (`u64::MAX` =
+        // empty): folded on insert, rebuilt on drain. Its cycle half
+        // (`min_pend >> PEND_SHIFT`) feeds the issue side of the stall
+        // fast-forward's event bound.
+        let mut min_pend = u64::MAX;
+        wake.clear();
+        wake.extend_from_slice(&prep.wake0);
+        inst_state.clear();
+        inst_state.extend_from_slice(&prep.inst_state0[..total_insts]);
         rename_cycle.clear();
         rename_cycle.resize(total_insts, 0);
         let mut port_free = [0u64; 8];
+        // Ports whose `port_free` lies in the future. Only uops with a
+        // non-zero blocking interval (divisions and the like) ever set a
+        // bit, so pruning this mask each cycle touches nothing in the
+        // common all-free case — unlike rebuilding availability from all
+        // eight `port_free` entries.
+        let mut busy_mask: u8 = 0;
+        // Pick keys `(free_cycle << 3) | port` kept in sync with
+        // `port_free`: the scheduler minimizes the masked key, which
+        // orders by earliest free cycle, lowest port index on ties.
+        let mut port_key = [0u64; 8];
+        for (p, k) in port_key.iter_mut().enumerate() {
+            *k = p as u64;
+        }
         // L1-miss handling serializes on the L2 interface (a coarse MSHR /
         // fill-bandwidth model): misses cannot complete back to back.
         let mut l2_free = 0u64;
@@ -781,154 +1158,467 @@ impl<'a> TimingModel<'a> {
         let mut cycle = 0u64;
         // Safety valve against pathological schedules.
         let max_cycles = 1_000_000u64 + (uop_limit as u64) * 64;
+        let issue_quota = self.uarch.issue_width * 2;
 
         while next_retire < total_insts {
-            // Retire (fused-domain bandwidth).
+            // Retire (fused-domain bandwidth). An instruction is done when
+            // every uop has issued and the latest completion has passed —
+            // the same predicate as the reference's per-uop completion
+            // scan, folded into two scalars at issue time.
             let mut retired = 0;
             while next_retire < total_insts && retired < self.uarch.retire_width {
-                let m = prep.inst_meta[next_retire];
-                let done = if m.eliminated {
-                    rename_cycle[next_retire] <= cycle && next_retire < next_rename
+                // SAFETY: `next_retire < total_insts`, and `imeta`,
+                // `inst_state`, and `rename_cycle` all span at least
+                // `total_insts` entries (sized in the init above).
+                let im = unsafe { *imeta.get_unchecked(next_retire) };
+                let done = if im.elim != 0 {
+                    (unsafe { *rename_cycle.get_unchecked(next_retire) }) <= cycle
+                        && next_retire < next_rename
                 } else {
-                    next_retire < next_rename
-                        && (m.first..m.last).all(|u| completion[u as usize] <= cycle)
+                    let st = unsafe { *inst_state.get_unchecked(next_retire) };
+                    next_retire < next_rename && st.unissued == 0 && st.done_at <= cycle
                 };
                 if !done {
                     break;
                 }
-                rob_used = rob_used.saturating_sub(m.slots.max(1));
+                rob_used = rob_used.saturating_sub(u32::from(im.slots).max(1));
                 next_retire += 1;
                 retired += 1;
-                result.insts += 1;
             }
 
-            // Issue from the RS: oldest first, compacting the RS in
-            // place. Once the issue quota is spent, the rest of the RS is
-            // kept wholesale without re-testing dependencies.
-            let mut kept = 0usize;
-            let mut examined = 0usize;
-            let mut issued_this_cycle = 0u32;
-            while examined < waiting.len() {
-                if issued_this_cycle >= self.uarch.issue_width * 2 {
-                    break;
-                }
-                let uid = waiting[examined];
-                examined += 1;
-                let u = &prep.uops[uid as usize];
-                let deps = &prep.dep_pool[u.dep_start as usize..][..usize::from(u.dep_len)];
-                let ready = deps.iter().all(|&d| completion[d as usize] <= cycle);
-                if !ready {
-                    waiting[kept] = uid;
-                    kept += 1;
-                    continue;
-                }
-                // Pick the available port with the earliest free cycle.
-                let mut best: Option<usize> = None;
-                for p in 0..8 {
-                    if u.ports & (1 << p) != 0 && port_free[p] <= cycle {
-                        best = match best {
-                            Some(b) if port_free[b] <= port_free[p] => Some(b),
-                            _ => Some(p),
-                        };
-                    }
-                }
-                let Some(port) = best else {
-                    waiting[kept] = uid;
-                    kept += 1;
-                    continue;
-                };
-                // Memory access latency adjustments.
-                let mut latency = u.latency;
-                let mut miss_delay = 0u64;
-                if let Some((vaddr, paddr, width)) = u.mem {
-                    let write = u.kind == UopKind::StoreData;
-                    let hit = l1d.access(vaddr, paddr);
-                    if !hit {
-                        latency += self.uarch.l1d_miss_penalty;
-                        let fill_start = l2_free.max(cycle);
-                        miss_delay = fill_start - cycle;
-                        l2_free = fill_start + l2_interval;
-                        if write {
-                            result.l1d_write_misses += 1;
-                        } else {
-                            result.l1d_read_misses += 1;
+            // Mature pending wake-ups into the ready set. Calendar
+            // entries always carry strictly-future cycles (a uop issued
+            // at `c` completes no earlier than `c + 1`), so a drain can
+            // only happen on a later cycle than the insert, and `<=` here
+            // agrees bit for bit with the per-scan compare it replaces.
+            // The SIMD readiness kernel tests the whole calendar at once
+            // when it is deep enough to amortize the dispatch.
+            let pend_thresh = (cycle + 1) << PEND_SHIFT;
+            if min_pend < pend_thresh {
+                min_pend = u64::MAX;
+                let n = pend.len();
+                let mut kept = 0usize;
+                if n >= simd::READY_BATCH_MIN {
+                    drain_bits.clear();
+                    drain_bits.resize(n.div_ceil(64), 0);
+                    simd::ready_mask(tier, pend, pend_thresh - 1, drain_bits);
+                    // SAFETY: `kept <= i < n = pend.len()`; uids were
+                    // masked to PEND_SHIFT bits at insert and are
+                    // `< uop_limit`, and `ready_bits` spans every
+                    // prepared uop id.
+                    for i in 0..n {
+                        let key = unsafe { *pend.get_unchecked(i) };
+                        let matured = drain_bits[i >> 6] >> (i & 63) & 1 != 0;
+                        let uid = (key & ((1 << PEND_SHIFT) - 1)) as usize;
+                        unsafe {
+                            *ready_bits.get_unchecked_mut(uid >> 6) |=
+                                u64::from(matured) << (uid & 63);
+                            *pend.get_unchecked_mut(kept) = key;
                         }
+                        min_pend = min_pend.min(if matured { u64::MAX } else { key });
+                        kept += usize::from(!matured);
                     }
-                    if l1d.splits_line(vaddr, width) {
-                        latency += self.uarch.split_access_penalty;
-                        result.misaligned += 1;
-                        // The second line is accessed as well.
-                        let second = (vaddr / l1d.line_bytes() + 1) * l1d.line_bytes();
-                        let poff = second - vaddr;
-                        if !l1d.access(second, paddr + poff) {
-                            latency += self.uarch.l1d_miss_penalty;
-                            if write {
-                                result.l1d_write_misses += 1;
-                            } else {
-                                result.l1d_read_misses += 1;
+                } else {
+                    // Branchless compact: matured keys set their ready
+                    // bit (an `|= 0` no-op otherwise) and are dropped by
+                    // not advancing the write cursor. SAFETY: as above.
+                    for i in 0..n {
+                        let key = unsafe { *pend.get_unchecked(i) };
+                        let matured = key < pend_thresh;
+                        let uid = (key & ((1 << PEND_SHIFT) - 1)) as usize;
+                        unsafe {
+                            *ready_bits.get_unchecked_mut(uid >> 6) |=
+                                u64::from(matured) << (uid & 63);
+                            *pend.get_unchecked_mut(kept) = key;
+                        }
+                        min_pend = min_pend.min(if matured { u64::MAX } else { key });
+                        kept += usize::from(!matured);
+                    }
+                }
+                pend.truncate(kept);
+            }
+
+            // Issue from the ready set: oldest first (lowest uop id —
+            // exactly the reservation-station age order, since uops are
+            // renamed in id order). The rename frontier masks uops whose
+            // instruction has not renamed yet: a producer may resolve a
+            // consumer that is still waiting on the frontend, and its
+            // ready bit simply becomes visible once rename passes it.
+            // Each uop is examined O(1) times overall — once per drain
+            // plus once per issue attempt — instead of once per cycle
+            // spent waiting in the station.
+            let mut issued_this_cycle = 0u32;
+            // Does any visible ready bit survive the issue scan? Exact
+            // when the scan runs to completion, conservatively `true`
+            // when it breaks early (quota or ports exhausted) — the flag
+            // only feeds the stall fast-forward, where an overestimate
+            // of readiness merely disables a skip. `rs_used == 0` proves
+            // the visible ready set empty: every visible set bit is a
+            // renamed, unissued uop, and those are exactly what
+            // `rs_used` counts.
+            let mut ready_leftover = false;
+            'issue: {
+                if rs_used == 0 {
+                    break 'issue;
+                }
+                let mut bm = busy_mask;
+                while bm != 0 {
+                    let p = bm.trailing_zeros() as usize;
+                    bm &= bm - 1;
+                    if port_free[p] <= cycle {
+                        busy_mask &= !(1 << p);
+                    }
+                }
+                let mut avail: u8 = !busy_mask;
+                if avail == 0 {
+                    ready_leftover = true;
+                    break 'issue;
+                }
+                let frontier = if next_rename < total_insts {
+                    imeta[next_rename].first as usize
+                } else {
+                    uop_limit
+                };
+                let mut w = 0usize;
+                while w * 64 < frontier {
+                    // SAFETY: `w * 64 < frontier <= uop_limit`, and
+                    // `ready_bits` holds one bit per prepared uop.
+                    let mut bits = unsafe { *ready_bits.get_unchecked(w) };
+                    let rel = frontier - w * 64;
+                    if rel < 64 {
+                        bits &= (1u64 << rel) - 1;
+                    }
+                    while bits != 0 {
+                        let b = bits.trailing_zeros() as usize;
+                        let slot_bit = 1u64 << b;
+                        bits &= !slot_bit;
+                        let uid = (w << 6) | b;
+                        // SAFETY: `uid < frontier <= uop_limit`;
+                        // `prepare_into` sizes `meta` at uop count + 1
+                        // (trailing sentinel) and every per-uop column at
+                        // the uop count, `completion` was resized to
+                        // `uop_limit` above, consumer-list bounds are
+                        // monotone prefix sums closing at
+                        // `use_pool.len()`, consumer ids index `wake`
+                        // (one entry per prepared uop), and `m.owner`
+                        // names the uop's owning instruction, which lies
+                        // inside the replayed prefix for `uid <
+                        // uop_limit`. The differential suite pins this
+                        // block bit-for-bit against the bounds-checked
+                        // reference pipeline.
+                        debug_assert!(uid + 1 < meta.len() && uid < completion.len());
+                        let m = unsafe { *meta.get_unchecked(uid) };
+                        let cand = m.ports & avail;
+                        if cand == 0 {
+                            ready_leftover = true;
+                            continue;
+                        }
+                        // Pick the candidate port with the earliest free
+                        // cycle, lowest index on ties: minimize the
+                        // precomputed `(free << 3) | port` key over the
+                        // candidate bits (uops name 1-4 ports, so this
+                        // beats a fixed 8-wide sweep).
+                        let mut best_key = u64::MAX;
+                        let mut c = cand;
+                        while c != 0 {
+                            let p = c.trailing_zeros() as usize;
+                            c &= c - 1;
+                            best_key = best_key.min(port_key[p]);
+                        }
+                        let port = (best_key & 7) as usize;
+                        // Memory access latency adjustments.
+                        let mut latency = m.latency;
+                        let mut miss_delay = 0u64;
+                        if m.mem_width != 0 {
+                            let [vaddr, paddr] = unsafe { *mem_addr.get_unchecked(uid) };
+                            let write = m.is_store != 0;
+                            let hit = l1d.access(vaddr, paddr);
+                            if !hit {
+                                latency += self.uarch.l1d_miss_penalty;
+                                let fill_start = l2_free.max(cycle);
+                                miss_delay = fill_start - cycle;
+                                l2_free = fill_start + l2_interval;
+                                if write {
+                                    result.l1d_write_misses += 1;
+                                } else {
+                                    result.l1d_read_misses += 1;
+                                }
+                            }
+                            if l1d.splits_line(vaddr, m.mem_width) {
+                                latency += self.uarch.split_access_penalty;
+                                result.misaligned += 1;
+                                // The second line is accessed as well.
+                                let second = (vaddr / l1d.line_bytes() + 1) * l1d.line_bytes();
+                                let poff = second - vaddr;
+                                if !l1d.access(second, paddr + poff) {
+                                    latency += self.uarch.l1d_miss_penalty;
+                                    if write {
+                                        result.l1d_write_misses += 1;
+                                    } else {
+                                        result.l1d_read_misses += 1;
+                                    }
+                                }
                             }
                         }
+                        let done = cycle + miss_delay + u64::from(latency);
+                        unsafe {
+                            *completion.get_unchecked_mut(uid) = done;
+                        }
+                        // Wake consumers: resolve this producer in each
+                        // consumer's countdown; the last resolution
+                        // schedules the consumer on the pending calendar
+                        // (its operand-ready cycle is strictly in the
+                        // future). Consumers past the replayed prefix
+                        // keep their countdown but never enter the
+                        // calendar — they can never rename.
+                        let use_lo = m.use_start as usize;
+                        let use_hi = unsafe { meta.get_unchecked(uid + 1) }.use_start as usize;
+                        debug_assert!(use_lo <= use_hi && use_hi <= use_pool.len());
+                        for &q in unsafe { use_pool.get_unchecked(use_lo..use_hi) } {
+                            debug_assert!((q as usize) < wake.len());
+                            let wk = unsafe { wake.get_unchecked_mut(q as usize) };
+                            wk.unresolved -= 1;
+                            wk.dep_ready = wk.dep_ready.max(done);
+                            if wk.unresolved == 0 && (q as usize) < uop_limit {
+                                let key = (wk.dep_ready << PEND_SHIFT) | u64::from(q);
+                                pend.push(key);
+                                min_pend = min_pend.min(key);
+                            }
+                        }
+                        debug_assert!((m.owner as usize) < inst_state.len());
+                        let st = unsafe { inst_state.get_unchecked_mut(m.owner as usize) };
+                        st.unissued -= 1;
+                        st.done_at = st.done_at.max(done);
+                        let free = cycle + u64::from(m.blocking);
+                        port_free[port] = free;
+                        port_key[port] = free << 3 | port as u64;
+                        let block_bit = u8::from(m.blocking != 0) << port;
+                        busy_mask |= block_bit;
+                        avail &= !block_bit;
+                        unsafe {
+                            *ready_bits.get_unchecked_mut(w) &= !slot_bit;
+                        }
+                        rs_used = rs_used.saturating_sub(1);
+                        result.uops += 1;
+                        issued_this_cycle += 1;
+                        if issued_this_cycle >= issue_quota || avail == 0 {
+                            ready_leftover = true;
+                            break 'issue;
+                        }
                     }
+                    w += 1;
                 }
-                completion[uid as usize] = cycle + miss_delay + u64::from(latency);
-                port_free[port] = cycle + u64::from(u.blocking);
-                rs_used = rs_used.saturating_sub(1);
-                result.uops += 1;
-                issued_this_cycle += 1;
             }
-            waiting.copy_within(examined.., kept);
-            waiting.truncate(kept + waiting.len() - examined);
 
             // Rename/allocate (in order, fused-domain width).
+            let rename_mark = next_rename;
             let mut slots_left = self.uarch.issue_width;
+            let mut rename_quota_stop = false;
             while next_rename < total_insts && slots_left > 0 {
-                let m = prep.inst_meta[next_rename];
-                if fetch_cycle[next_rename] > cycle {
+                // SAFETY: `next_rename < total_insts`; `fetch_cycle` and
+                // `rename_cycle` were filled to `total_insts` entries in
+                // the init above and `imeta` spans the whole preparation.
+                if (unsafe { *fetch_cycle.get_unchecked(next_rename) }) > cycle {
                     break;
                 }
-                let uop_count = m.last - m.first;
-                if rob_used + m.slots.max(1) > self.uarch.rob_size
+                let im = unsafe { *imeta.get_unchecked(next_rename) };
+                let slots = u32::from(im.slots);
+                let uop_count = im.last - im.first;
+                if rob_used + slots.max(1) > self.uarch.rob_size
                     || rs_used + uop_count > self.uarch.rs_size
                 {
                     break;
                 }
-                if m.slots > slots_left {
+                if slots > slots_left {
+                    rename_quota_stop = true;
                     break;
                 }
-                rename_cycle[next_rename] = cycle;
-                rob_used += m.slots.max(1);
-                if !m.eliminated {
-                    for uid in m.first..m.last {
-                        waiting.push(uid);
-                    }
+                unsafe {
+                    *rename_cycle.get_unchecked_mut(next_rename) = cycle;
+                }
+                rob_used += slots.max(1);
+                if im.elim == 0 {
                     rs_used += uop_count;
                 }
-                slots_left -= m.slots.min(slots_left);
+                slots_left -= slots.min(slots_left);
                 next_rename += 1;
             }
 
             cycle += 1;
+
+            // Stall fast-forward: wake-ups publish `ready_at` at *issue*
+            // time (the value is the future completion cycle), so the
+            // scan bound `rs_min_ready` already names the earliest cycle
+            // at which any RS slot can issue. Together with the retire
+            // head's pending completion and the next fetch arrival that
+            // pins down the earliest cycle where *any* stage can act:
+            //
+            //  * retire — in-order, so only the head matters: a pending
+            //    completion at `done_at`, or "covered below" when its
+            //    uops have not issued (they sit in the RS) or it is not
+            //    renamed yet (the rename event). A width-limited retire
+            //    or a just-renamed eliminated head can continue next
+            //    cycle, which forbids skipping.
+            //  * issue — nothing issues before `rs_min_ready`; the bound
+            //    is conservative (a stale-low or invalidated bound only
+            //    disables the skip, never overshoots). A ready slot that
+            //    is merely port-blocked leaves the bound at or below the
+            //    current cycle, so port events never need tracking here.
+            //  * rename — the head's fetch arrival; width-limited stops
+            //    resume next cycle; resource stops (ROB/RS full) resolve
+            //    only through a retire or issue, which the other two
+            //    events already bound.
+            //
+            // Every cycle strictly before the earliest event is provably
+            // a no-op (no retire, no issue, no rename, and no state any
+            // of them reads changes), so jumping straight there is
+            // bit-identical to simulating the idle cycles one by one.
+            // No event at all means nothing can ever happen again:
+            // deadlock, surfaced through the budget check below exactly
+            // as the reference discovers it cycle by cycle.
+            // Computing the event bound costs a handful of branches, so
+            // busy cycles (something issued and more work is queued) skip
+            // it: they almost never fast-forward anyway, and the next
+            // stall cycle recomputes the bound from scratch.
+            let mut fast_forwarded = false;
+            if next_retire < total_insts && (issued_this_cycle == 0 || rs_used == 0) {
+                let prev = cycle - 1;
+                let mut nxt = u64::MAX;
+                if retired >= self.uarch.retire_width {
+                    nxt = cycle;
+                } else if next_retire < next_rename {
+                    if imeta[next_retire].elim != 0 {
+                        nxt = cycle;
+                    } else {
+                        let st = inst_state[next_retire];
+                        if st.unissued == 0 {
+                            nxt = st.done_at.max(cycle);
+                        }
+                    }
+                }
+                // Issue side: a surviving visible ready bit means a slot
+                // may issue (or is only port-blocked) next cycle — no
+                // skip. The scan's flag covers everything visible when it
+                // ran; bits whose instructions renamed *afterwards* (this
+                // very cycle) were not scanned, so probe that freshly
+                // visible uop window directly. Beyond both, the
+                // calendar's exact minimum is the earliest cycle any
+                // wake-up can land, and hidden-ready uops further out
+                // are bounded by the rename event below.
+                if ready_leftover {
+                    nxt = cycle;
+                } else if next_rename > rename_mark {
+                    let a = imeta[rename_mark].first as usize;
+                    let b = if next_rename < total_insts {
+                        imeta[next_rename].first as usize
+                    } else {
+                        uop_limit
+                    };
+                    let mut w = a >> 6;
+                    while w * 64 < b {
+                        let mut bits = ready_bits[w];
+                        if w == a >> 6 {
+                            bits &= !0u64 << (a & 63);
+                        }
+                        let rel = b - w * 64;
+                        if rel < 64 {
+                            bits &= (1u64 << rel) - 1;
+                        }
+                        if bits != 0 {
+                            nxt = cycle;
+                            break;
+                        }
+                        w += 1;
+                    }
+                }
+                nxt = nxt.min((min_pend >> PEND_SHIFT).max(cycle));
+                if next_rename < total_insts {
+                    if fetch_cycle[next_rename] > prev {
+                        nxt = nxt.min(fetch_cycle[next_rename]);
+                    } else if rename_quota_stop || slots_left == 0 {
+                        nxt = cycle;
+                    }
+                }
+                if nxt == u64::MAX {
+                    cycle = max_cycles + 1; // deadlock: nothing can ever happen
+                    fast_forwarded = true;
+                } else if nxt > cycle {
+                    cycle = nxt;
+                    fast_forwarded = true;
+                }
+            }
+
+            // Dead-cycle skip: when a whole cycle passed with no retire,
+            // no issue, and no rename, every following cycle is identical
+            // until some scheduled event arrives — the next in-flight
+            // completion (which drives retirement and wake-ups alike), a
+            // port freeing up, or the frontend delivering the next
+            // instruction. Jumping straight there is exactly equivalent
+            // to simulating the no-op cycles one by one; if no event is
+            // pending at all, the schedule is deadlocked and the budget
+            // check below turns that into an error immediately.
+            if !fast_forwarded
+                && retired == 0
+                && issued_this_cycle == 0
+                && next_rename == rename_mark
+            {
+                let prev = cycle - 1;
+                // In-flight completions all live in the renamed-but-not-
+                // retired instruction window (anything older has
+                // completed at or before its retire cycle ≤ prev;
+                // anything younger has not issued and sits at u64::MAX,
+                // which `min_future` ignores).
+                let lo = imeta[next_retire].first as usize;
+                let hi = if next_rename < total_insts {
+                    imeta[next_rename].first as usize
+                } else {
+                    uop_limit
+                };
+                let mut next_event = simd::min_future(tier, &completion[lo..hi], prev);
+                for &free in port_free.iter() {
+                    if free > prev {
+                        next_event = next_event.min(free);
+                    }
+                }
+                if next_rename < total_insts && fetch_cycle[next_rename] > prev {
+                    next_event = next_event.min(fetch_cycle[next_rename]);
+                }
+                if next_event == u64::MAX {
+                    cycle = max_cycles + 1; // deadlock: nothing can ever happen
+                } else if next_event > cycle {
+                    cycle = next_event;
+                }
+            }
+
             if cycle > max_cycles {
-                debug_assert!(false, "timing model failed to converge");
-                break;
+                return Err(NonConvergence {
+                    cycle_budget: max_cycles,
+                    retired: next_retire,
+                    total_insts,
+                });
             }
         }
-
+        result.insts = total_insts as u64;
         result.cycles = cycle;
-        result
+        Ok(result)
     }
 
     /// Runs the trace through the pipeline by preparing and simulating it
     /// in one call. `l1i`/`l1d` carry cache state across runs. Hot paths
     /// should hold a [`PreparedTrace`]/[`SimScratch`] and call the split
     /// phases instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonConvergence`] if the schedule exhausts its cycle
+    /// budget.
     pub fn run(
         &self,
         trace: &[DynInst],
         layout: &CodeLayout,
         l1i: &mut Cache,
         l1d: &mut Cache,
-    ) -> TimingResult {
+    ) -> Result<TimingResult, NonConvergence> {
         let mut prep = PreparedTrace::default();
         self.prepare_into(&mut prep, trace, layout);
         self.simulate(&prep, l1i, l1d)
@@ -936,18 +1626,23 @@ impl<'a> TimingModel<'a> {
 
     /// The original single-pass implementation, kept verbatim as the
     /// straight-line reference: differential tests pin
-    /// `prepare` + `simulate` (including prefix replay) to this path bit
-    /// for bit. Not used on hot paths.
+    /// `prepare` + `simulate` (including prefix replay and every SIMD
+    /// dispatch tier) to this path bit for bit. Not used on hot paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonConvergence`] if the schedule exhausts its cycle
+    /// budget; the batched path fails with a bit-identical error.
     pub fn run_reference(
         &self,
         trace: &[DynInst],
         layout: &CodeLayout,
         l1i: &mut Cache,
         l1d: &mut Cache,
-    ) -> TimingResult {
+    ) -> Result<TimingResult, NonConvergence> {
         let mut result = TimingResult::default();
         if trace.is_empty() {
-            return result;
+            return Ok(result);
         }
 
         // ---- Pre-pass: frontend fetch cycles through the L1I ----
@@ -994,7 +1689,7 @@ impl<'a> TimingModel<'a> {
             let inst = &self.insts[dyn_inst.static_idx];
             let recipe = &self.recipes[dyn_inst.static_idx];
             let fx = &dyn_inst.effects;
-            let first = uops.len() as u32;
+            let first = u32::try_from(uops.len()).expect("uop count exceeds u32 range");
             let mut frontend_slots = recipe.frontend_slots;
             if self.fused_into_prev[dyn_inst.static_idx] {
                 frontend_slots = 0;
@@ -1128,8 +1823,8 @@ impl<'a> TimingModel<'a> {
                     latency,
                     blocking,
                     kind: uop.kind,
-                    dep_start: dep_start as u32,
-                    dep_len: kept as u16,
+                    dep_start: u32::try_from(dep_start).expect("dependency pool exceeds u32 range"),
+                    dep_len: u16::try_from(kept).expect("per-uop dependency list exceeds u16"),
                     mem,
                 });
                 match uop.kind {
@@ -1310,13 +2005,16 @@ impl<'a> TimingModel<'a> {
 
             cycle += 1;
             if cycle > max_cycles {
-                debug_assert!(false, "timing model failed to converge");
-                break;
+                return Err(NonConvergence {
+                    cycle_budget: max_cycles,
+                    retired: next_retire,
+                    total_insts,
+                });
             }
         }
 
         result.cycles = cycle;
-        result
+        Ok(result)
     }
 }
 
@@ -1394,8 +2092,8 @@ mod tests {
         let mut l1d = Cache::new(uarch.l1d);
         let trace = trace_for(block.len(), copies);
         // Warm-up run, then measured run (the paper's double execution).
-        model.run(&trace, &layout, &mut l1i, &mut l1d);
-        model.run(&trace, &layout, &mut l1i, &mut l1d)
+        model.run(&trace, &layout, &mut l1i, &mut l1d).unwrap();
+        model.run(&trace, &layout, &mut l1i, &mut l1d).unwrap()
     }
 
     #[test]
@@ -1490,9 +2188,9 @@ mod tests {
             copy: 0,
             effects: fx,
         }];
-        let cold = model.run(&trace, &layout, &mut l1i, &mut l1d);
+        let cold = model.run(&trace, &layout, &mut l1i, &mut l1d).unwrap();
         assert_eq!(cold.l1d_read_misses, 1);
-        let warm = model.run(&trace, &layout, &mut l1i, &mut l1d);
+        let warm = model.run(&trace, &layout, &mut l1i, &mut l1d).unwrap();
         assert_eq!(warm.l1d_read_misses, 0);
         assert!(warm.cycles < cold.cycles);
     }
@@ -1521,9 +2219,9 @@ mod tests {
         };
         let mut l1i = Cache::new(uarch.l1i);
         let mut l1d = Cache::new(uarch.l1d);
-        let aligned = model.run(&mk(0x9000), &layout, &mut l1i, &mut l1d);
+        let aligned = model.run(&mk(0x9000), &layout, &mut l1i, &mut l1d).unwrap();
         assert_eq!(aligned.misaligned, 0);
-        let split = model.run(&mk(0x903C), &layout, &mut l1i, &mut l1d);
+        let split = model.run(&mk(0x903C), &layout, &mut l1i, &mut l1d).unwrap();
         assert_eq!(split.misaligned, 1);
     }
 
@@ -1549,8 +2247,12 @@ mod tests {
         };
         let mut l1i = Cache::new(uarch.l1i);
         let mut l1d = Cache::new(uarch.l1d);
-        let fast = model.run(&mk(fast_fx), &layout, &mut l1i, &mut l1d);
-        let slow = model.run(&mk(slow_fx), &layout, &mut l1i, &mut l1d);
+        let fast = model
+            .run(&mk(fast_fx), &layout, &mut l1i, &mut l1d)
+            .unwrap();
+        let slow = model
+            .run(&mk(slow_fx), &layout, &mut l1i, &mut l1d)
+            .unwrap();
         assert!(
             slow.cycles > fast.cycles * 5,
             "subnormals must be drastically slower: {} vs {}",
@@ -1657,11 +2359,25 @@ mod tests {
             let prep = model.prepare(&trace, &layout);
             let mut scratch = SimScratch::default();
             // Cold then warm: cache state carried identically on both
-            // sides.
+            // sides, at every SIMD dispatch tier.
             for _ in 0..2 {
+                let reference = model.run_reference(&trace, &layout, &mut l1i_b, &mut l1d_b);
+                for &tier in SimdTier::available() {
+                    let mut l1i = l1i_a.clone();
+                    let mut l1d = l1d_a.clone();
+                    let split = model.simulate_with_tier(
+                        &prep,
+                        trace.len(),
+                        &mut l1i,
+                        &mut l1d,
+                        &mut scratch,
+                        tier,
+                    );
+                    assert_eq!(split, reference, "tier {tier:?}");
+                }
+                // Advance the carried state once for the warm pass.
                 let split =
                     model.simulate_with(&prep, trace.len(), &mut l1i_a, &mut l1d_a, &mut scratch);
-                let reference = model.run_reference(&trace, &layout, &mut l1i_b, &mut l1d_b);
                 assert_eq!(split, reference);
             }
         }
@@ -1686,6 +2402,46 @@ mod tests {
             let split = model.simulate_with(&prep, n, &mut l1i_a, &mut l1d_a, &mut scratch);
             let reference = model.run_reference(&full[..n], &layout, &mut l1i_b, &mut l1d_b);
             assert_eq!(split, reference, "prefix of {copies} copies");
+        }
+    }
+
+    /// A reservation station that can never hold a single uop deadlocks
+    /// rename forever. Both paths must report the same hard error — in
+    /// debug *and* release — instead of returning a truncated result.
+    #[test]
+    fn pathological_schedule_is_a_hard_error_on_both_paths() {
+        let starved: &'static Uarch = Box::leak(Box::new(Uarch {
+            rs_size: 0,
+            ..Uarch::haswell().clone()
+        }));
+        let block = parse_block("add rax, 1\nadd rbx, 1").unwrap();
+        let model = TimingModel::new(block.insts(), starved);
+        let layout = CodeLayout::from_block(block.insts(), 0x40_0000).unwrap();
+        let trace = trace_for(block.len(), 4);
+
+        let mut l1i = Cache::new(starved.l1i);
+        let mut l1d = Cache::new(starved.l1d);
+        let reference = model.run_reference(&trace, &layout, &mut l1i, &mut l1d);
+        let err = reference.expect_err("reference must fail to converge");
+        assert_eq!(err.retired, 0);
+        assert_eq!(err.total_insts, trace.len());
+        assert!(err.cycle_budget >= 1_000_000);
+        assert!(err.to_string().contains("failed to converge"));
+
+        let prep = model.prepare(&trace, &layout);
+        let mut scratch = SimScratch::default();
+        for &tier in SimdTier::available() {
+            let mut l1i = Cache::new(starved.l1i);
+            let mut l1d = Cache::new(starved.l1d);
+            let split = model.simulate_with_tier(
+                &prep,
+                trace.len(),
+                &mut l1i,
+                &mut l1d,
+                &mut scratch,
+                tier,
+            );
+            assert_eq!(split, reference, "tier {tier:?} error parity");
         }
     }
 }

@@ -100,8 +100,8 @@ proptest! {
             let trace = machine.execute_unrolled(block.insts(), unroll).unwrap();
             let mut l1i = Cache::new(uarch.l1i);
             let mut l1d = Cache::new(uarch.l1d);
-            model.run(&trace, &layout, &mut l1i, &mut l1d);
-            model.run(&trace, &layout, &mut l1i, &mut l1d).cycles
+            model.run(&trace, &layout, &mut l1i, &mut l1d).unwrap();
+            model.run(&trace, &layout, &mut l1i, &mut l1d).unwrap().cycles
         };
         let c40 = cycles(40);
         let c80 = cycles(80);

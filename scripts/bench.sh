@@ -3,9 +3,13 @@
 #
 # Runs the Criterion profiler/corpus benches (pipeline hot paths) and the
 # fast machine-readable probe, then writes the probe's JSON to
-# BENCH_PR5.json at the repo root:
+# BENCH_PR6.json at the repo root:
 #
-#   cold_blocks_per_sec_1t / _nt  — end-to-end corpus throughput, cold cache
+#   simd_tier                     — simulate-kernel dispatch tier
+#       (avx2 / sse4.1 / scalar; BHIVE_SIMD=off forces scalar)
+#   cold_blocks_per_sec_1t / _nt  — end-to-end corpus throughput over
+#       *measured* blocks, cold cache (cold_attempted_per_sec_* divides
+#       by all attempted blocks, failures included)
 #   cold_blocks_per_sec_1t_obs / obs_overhead_pct — same run with event
 #       tracing + metrics on (acceptance: overhead ≤ 2%)
 #   execute/prepare/simulate_ns_per_block — per-stage costs
@@ -22,5 +26,5 @@ if [[ "${1:-}" != "--skip-criterion" ]]; then
 fi
 
 cargo build -q --release -p bhive-bench --example bench_json
-cargo run -q --release -p bhive-bench --example bench_json | tee BENCH_PR5.json
-echo "wrote BENCH_PR5.json"
+cargo run -q --release -p bhive-bench --example bench_json | tee BENCH_PR6.json
+echo "wrote BENCH_PR6.json"

@@ -6,6 +6,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Differential suite, twice: once on the native SIMD dispatch tier and
+# once with the scalar fallback forced, so the kernel the host happens
+# to support never hides a divergence in the portable reference path.
+# (The suite itself additionally pins every *available* tier per case.)
+cargo test -q -p bhive-sim --test differential
+BHIVE_SIMD=off cargo test -q -p bhive-sim --test differential
 # Chaos suite: injected panics, forced transients, cache-write errors,
 # and breaker trips must all stay contained. Includes the noisy-corpus
 # smoke (retries on, recovery rate > 10% of transiently failed blocks).
@@ -18,7 +24,7 @@ cargo test -q -p bhive-harness --test obs_properties
 cargo build --examples
 cargo bench --no-run
 # Bench smoke: the machine-readable perf probe must run end to end (the
-# full run is scripts/bench.sh, which emits BENCH_PR5.json).
+# full run is scripts/bench.sh, which emits BENCH_PR6.json).
 cargo run -q --release -p bhive-bench --example bench_json -- --smoke >/dev/null
 # CLI smoke: a supervised run with a retry budget exits 0 and reports.
 cargo run -q --release -p bhive -- profile --retries 2 <<'EOF'

@@ -1,0 +1,217 @@
+//! End-to-end tests of sharded multi-process profiling: a ~1.1k-block
+//! corpus sharded four ways survives `kill -9` of a worker mid-run, and
+//! the resumed, merged run is bit-identical — CSV, cache bytes, and
+//! deterministic run report — to a clean one-process run.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+/// ~1.1k blocks across the applications of the main corpus.
+const SCALE: &str = "110";
+const SEED: &str = "7";
+
+fn bhive(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bhive"))
+        .args(args)
+        .env_remove("BHIVE_CACHE")
+        .output()
+        .expect("bhive binary runs")
+}
+
+fn spawn_shard_worker(index: u32, count: u32, cache: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_bhive"))
+        .args([
+            "measure",
+            "--shard",
+            &format!("{index}/{count}"),
+            "--scale",
+            SCALE,
+            "--seed",
+            SEED,
+            "--threads",
+            "1",
+            "--cache",
+            cache,
+        ])
+        .env_remove("BHIVE_CACHE")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("shard worker spawns")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bhive-sharded-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read(path: &PathBuf) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn killed_worker_resumes_bit_identical_to_clean_run() {
+    let clean = temp_dir("clean");
+    let crashed = temp_dir("crashed");
+    let clean_arg = clean.to_str().unwrap();
+    let crashed_arg = crashed.to_str().unwrap();
+
+    // Reference: a clean one-process sharded run (worker + merge + warm
+    // audit replay all in sequence), with tracing for the run report.
+    let clean_trace = clean.join("trace.jsonl");
+    let reference = bhive(&[
+        "measure",
+        "--workers",
+        "1",
+        "--scale",
+        SCALE,
+        "--seed",
+        SEED,
+        "--threads",
+        "2",
+        "--cache",
+        clean_arg,
+        "--trace",
+        clean_trace.to_str().unwrap(),
+    ]);
+    assert!(
+        reference.status.success(),
+        "clean run failed: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    assert!(!reference.stdout.is_empty(), "clean run emitted no CSV");
+
+    // Crash scenario: four shard workers (what `--workers 4` spawns),
+    // one SIGKILLed mid-run. The survivors finish their own shards and
+    // steal from the corpse; the killed shard never writes its report.
+    let mut workers: Vec<(u32, Child)> = (0..4)
+        .map(|i| (i, spawn_shard_worker(i, 4, crashed_arg)))
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let (victim, mut corpse) = workers.remove(2);
+    corpse.kill().expect("SIGKILL delivered"); // SIGKILL on Unix
+    corpse.wait().expect("corpse reaped");
+    for (index, mut worker) in workers {
+        let status = worker.wait().expect("worker reaped");
+        assert!(status.success(), "surviving shard {index}/4 failed");
+    }
+    let victim_report = crashed.join(format!("shard-report-main-hsw-{victim}of4.json"));
+    assert!(
+        !victim_report.exists(),
+        "a kill -9'd worker must not have certified its shard"
+    );
+
+    // Resume: the supervisor re-runs only the missing shard, merges
+    // every shard log and steal segment, and replays warm.
+    let crashed_trace = crashed.join("trace.jsonl");
+    let resumed = bhive(&[
+        "measure",
+        "--workers",
+        "4",
+        "--scale",
+        SCALE,
+        "--seed",
+        SEED,
+        "--threads",
+        "2",
+        "--cache",
+        crashed_arg,
+        "--trace",
+        crashed_trace.to_str().unwrap(),
+    ]);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("1 of 4 shard(s) to run"),
+        "resume must re-run exactly the killed shard:\n{stderr}"
+    );
+
+    // The three pillars of the resumability guarantee: identical eval
+    // tables (CSV), identical canonical cache bytes, identical
+    // deterministic run report.
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "resumed CSV differs from the clean run"
+    );
+    assert_eq!(
+        read(&crashed.join("measurements-hsw.jsonl")),
+        read(&clean.join("measurements-hsw.jsonl")),
+        "merged cache bytes differ from the clean run"
+    );
+    assert_eq!(
+        read(&crashed.join("run_report.json")),
+        read(&clean.join("run_report.json")),
+        "deterministic run report differs from the clean run"
+    );
+
+    // And both match a plain unsharded, uncached run: sharding is an
+    // execution strategy, never a result change.
+    let serial = bhive(&[
+        "measure",
+        "--scale",
+        SCALE,
+        "--seed",
+        SEED,
+        "--threads",
+        "2",
+        "--no-cache",
+    ]);
+    assert!(serial.status.success());
+    assert_eq!(
+        serial.stdout, reference.stdout,
+        "sharded CSV differs from a plain serial run"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&crashed);
+}
+
+#[test]
+fn supervisor_is_idempotent_once_all_shards_certify() {
+    let dir = temp_dir("idempotent");
+    let dir_arg = dir.to_str().unwrap();
+    let args = |workers: &'static str| {
+        vec![
+            "measure",
+            "--workers",
+            workers,
+            "--scale",
+            "6",
+            "--seed",
+            SEED,
+            "--threads",
+            "2",
+            "--cache",
+            dir_arg,
+        ]
+    };
+    let first = bhive(&args("2"));
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    // Every shard already certified: no workers spawn, the merge is a
+    // no-op rewrite, and the output is bit-identical.
+    let second = bhive(&args("2"));
+    assert!(second.status.success());
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(
+        !stderr.contains("shard(s) to run"),
+        "no shard should re-run once certified:\n{stderr}"
+    );
+    assert_eq!(second.stdout, first.stdout);
+
+    // A different worker count is a different partition: stale reports
+    // do not certify it, but the merged main log keeps the run warm.
+    let third = bhive(&args("3"));
+    assert!(third.status.success());
+    assert_eq!(third.stdout, first.stdout);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

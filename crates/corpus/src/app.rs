@@ -125,6 +125,20 @@ impl Application {
         matches!(self, Application::Spanner | Application::Dremel)
     }
 
+    /// The generator family this application's blocks are drawn from —
+    /// the same grouping `gen::generate_block` dispatches on, exposed so
+    /// corpus sizes can be parameterized per family
+    /// ([`crate::Scale::PerFamily`]) instead of per application.
+    pub fn family(self) -> Family {
+        match self {
+            Application::Llvm | Application::Redis | Application::Sqlite => Family::General,
+            Application::Gzip | Application::OpenSsl => Family::BitOps,
+            Application::OpenBlas | Application::TensorFlow | Application::Eigen => Family::Numeric,
+            Application::Embree | Application::Ffmpeg => Family::Media,
+            Application::Spanner | Application::Dremel => Family::Google,
+        }
+    }
+
     /// Parses an application by (case-insensitive) display name.
     pub fn parse(text: &str) -> Option<Application> {
         let lower = text.to_ascii_lowercase();
@@ -136,6 +150,65 @@ impl Application {
 }
 
 impl fmt::Display for Application {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Code-shape families the block generators group applications into
+/// (workload character, paper §4: compilers and databases are
+/// control/ALU heavy, codecs are bit-twiddly, BLAS-likes are vector
+/// pipelines, renderers/codecs mix SIMD with gathers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Control-flow/ALU mixes: Clang/LLVM, Redis, SQLite.
+    General,
+    /// Bit manipulation: GZip, OpenSSL.
+    BitOps,
+    /// Floating-point/vector pipelines: OpenBLAS, TensorFlow, Eigen.
+    Numeric,
+    /// SIMD + gather-heavy media: Embree, FFmpeg.
+    Media,
+    /// Production-service mixes: Spanner, Dremel.
+    Google,
+}
+
+impl Family {
+    /// Every family, in declaration order.
+    pub const ALL: [Family; 5] = [
+        Family::General,
+        Family::BitOps,
+        Family::Numeric,
+        Family::Media,
+        Family::Google,
+    ];
+
+    /// Lower-case stable name (the CLI's `--scale-family` key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::General => "general",
+            Family::BitOps => "bitops",
+            Family::Numeric => "numeric",
+            Family::Media => "media",
+            Family::Google => "google",
+        }
+    }
+
+    /// Parses a family by its [`Family::name`] (case-insensitive).
+    pub fn parse(text: &str) -> Option<Family> {
+        let lower = text.to_ascii_lowercase();
+        Family::ALL.into_iter().find(|f| f.name() == lower)
+    }
+
+    /// The applications in this family.
+    pub fn applications(self) -> impl Iterator<Item = Application> {
+        Application::ALL
+            .into_iter()
+            .filter(move |a| a.family() == self)
+    }
+}
+
+impl fmt::Display for Family {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
@@ -166,5 +239,19 @@ mod tests {
     fn google_flags() {
         assert!(Application::Spanner.is_google());
         assert!(!Application::Llvm.is_google());
+    }
+
+    #[test]
+    fn families_partition_the_applications() {
+        let mut seen = 0;
+        for family in Family::ALL {
+            for app in family.applications() {
+                assert_eq!(app.family(), family);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, Application::ALL.len());
+        assert_eq!(Family::parse("BitOps"), Some(Family::BitOps));
+        assert_eq!(Family::parse("ray-tracing"), None);
     }
 }

@@ -34,6 +34,6 @@ mod gen;
 pub mod special;
 mod suite;
 
-pub use app::Application;
+pub use app::{Application, Family};
 pub use gen::generate_block;
-pub use suite::{Corpus, CorpusBlock, Scale};
+pub use suite::{Corpus, CorpusBlock, FamilyCounts, Scale};

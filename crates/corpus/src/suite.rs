@@ -1,6 +1,6 @@
 //! The assembled benchmark suite.
 
-use crate::app::Application;
+use crate::app::{Application, Family};
 use crate::gen::generate_block;
 use bhive_asm::BasicBlock;
 use rand::rngs::SmallRng;
@@ -24,6 +24,68 @@ pub struct CorpusBlock {
     pub weight: f64,
 }
 
+/// Per-application block counts by generator family — the knob behind
+/// `bhive --scale-family`. Each field is the count for *every
+/// application* in that family (see [`crate::Family`]), so six-figure
+/// corpora can weight, say, the numeric generators without inflating
+/// everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FamilyCounts {
+    /// Blocks per general-purpose application (LLVM, Redis, SQLite).
+    pub general: usize,
+    /// Blocks per bit-manipulation application (GZip, OpenSSL).
+    pub bitops: usize,
+    /// Blocks per numeric application (OpenBLAS, TensorFlow, Eigen).
+    pub numeric: usize,
+    /// Blocks per media application (Embree, FFmpeg).
+    pub media: usize,
+    /// Blocks per Google service (Spanner, Dremel).
+    pub google: usize,
+}
+
+impl FamilyCounts {
+    /// A uniform count for every family.
+    pub fn uniform(n: usize) -> FamilyCounts {
+        FamilyCounts {
+            general: n,
+            bitops: n,
+            numeric: n,
+            media: n,
+            google: n,
+        }
+    }
+
+    /// The count for one family.
+    pub fn get(self, family: Family) -> usize {
+        match family {
+            Family::General => self.general,
+            Family::BitOps => self.bitops,
+            Family::Numeric => self.numeric,
+            Family::Media => self.media,
+            Family::Google => self.google,
+        }
+    }
+
+    /// Sets the count for one family (builder-style, for CLI parsing).
+    pub fn with(mut self, family: Family, n: usize) -> FamilyCounts {
+        match family {
+            Family::General => self.general = n,
+            Family::BitOps => self.bitops = n,
+            Family::Numeric => self.numeric = n,
+            Family::Media => self.media = n,
+            Family::Google => self.google = n,
+        }
+        self
+    }
+}
+
+impl Default for FamilyCounts {
+    /// 150 blocks per application — a balanced smoke-scale default.
+    fn default() -> FamilyCounts {
+        FamilyCounts::uniform(150)
+    }
+}
+
 /// How much of the paper-scale suite to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Scale {
@@ -33,16 +95,29 @@ pub enum Scale {
     PerApp(usize),
     /// A fraction of each application's paper count.
     Fraction(f64),
+    /// A per-application count set per generator family — unlike
+    /// [`Scale::PerApp`] the counts are *not* capped at the paper's
+    /// Table 3 sizes, so small-in-the-paper applications (GZip: 2 272)
+    /// can still be scaled to six figures.
+    PerFamily(FamilyCounts),
 }
 
 impl Scale {
     /// A scale with per-application counts multiplied by `factor`
-    /// (capped at paper scale).
+    /// (capped at paper scale where the variant itself caps).
     pub fn times(self, factor: f64) -> Scale {
+        let scaled = |n: usize| ((n as f64 * factor).round() as usize).max(1);
         match self {
             Scale::Paper => Scale::Paper,
-            Scale::PerApp(n) => Scale::PerApp(((n as f64 * factor).round() as usize).max(1)),
+            Scale::PerApp(n) => Scale::PerApp(scaled(n)),
             Scale::Fraction(f) => Scale::Fraction((f * factor).min(1.0)),
+            Scale::PerFamily(c) => Scale::PerFamily(FamilyCounts {
+                general: scaled(c.general),
+                bitops: scaled(c.bitops),
+                numeric: scaled(c.numeric),
+                media: scaled(c.media),
+                google: scaled(c.google),
+            }),
         }
     }
 
@@ -52,6 +127,7 @@ impl Scale {
             Scale::Paper => paper,
             Scale::PerApp(n) => n.min(paper),
             Scale::Fraction(f) => ((paper as f64 * f).round() as usize).max(1),
+            Scale::PerFamily(counts) => counts.get(app.family()),
         }
     }
 }
@@ -221,6 +297,28 @@ mod tests {
         let census = corpus.census();
         assert_eq!(census[&Application::Llvm], 2_128); // 1% of 212 758
         assert_eq!(census[&Application::Gzip], 23); // 1% of 2 272
+    }
+
+    #[test]
+    fn per_family_scale_is_uncapped_and_stratified() {
+        use crate::app::Family;
+        let counts = FamilyCounts::default()
+            .with(Family::BitOps, 3000)
+            .with(Family::Numeric, 10);
+        let corpus = Corpus::generate(Scale::PerFamily(counts), 7);
+        let census = corpus.census();
+        // GZip's paper count is 2 272 — PerFamily deliberately exceeds it.
+        assert_eq!(census[&Application::Gzip], 3000);
+        assert_eq!(census[&Application::OpenSsl], 3000);
+        assert_eq!(census[&Application::TensorFlow], 10);
+        assert_eq!(census[&Application::Llvm], 150); // default rides along
+                                                     // And the blocks are the same stream a PerApp run of equal size
+                                                     // would generate (count is the only thing the scale changes).
+        let per_app = Corpus::for_apps(&[Application::Eigen], Scale::PerApp(10), 7);
+        let from_family: Vec<_> = corpus.for_app(Application::Eigen).collect();
+        for (x, y) in per_app.blocks().iter().zip(from_family) {
+            assert_eq!(x.block, y.block);
+        }
     }
 
     #[test]

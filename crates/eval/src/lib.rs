@@ -54,6 +54,34 @@ pub enum CorpusKind {
     Training,
 }
 
+impl CorpusKind {
+    /// Stable lower-case name (the CLI's `--corpus` values, and the
+    /// label baked into shard-report filenames).
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusKind::Main => "main",
+            CorpusKind::Google => "google",
+            CorpusKind::Training => "training",
+        }
+    }
+
+    /// Parses a [`CorpusKind::name`] (case-insensitive).
+    pub fn parse(text: &str) -> Option<CorpusKind> {
+        match text.to_ascii_lowercase().as_str() {
+            "main" => Some(CorpusKind::Main),
+            "google" => Some(CorpusKind::Google),
+            "training" => Some(CorpusKind::Training),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CorpusKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Shared context for the experiment drivers.
 pub struct Pipeline {
     scale: Scale,

@@ -42,6 +42,27 @@
 //!   *stale*: they are not loaded (and counted as evictions), and
 //!   [`MeasurementCache::compact`] rewrites the log without them via a
 //!   temp file and an atomic rename.
+//!
+//! # Single writer per log
+//!
+//! Appends from two processes would interleave partial lines into one
+//! log, producing records that fail their checksum and are silently
+//! dropped as a "torn tail" on the next open — corruption that looks
+//! like a crash. [`MeasurementCache::open`] therefore takes an exclusive
+//! advisory lock on a sidecar `<log>.lock` file and *fails fast* with a
+//! clear error when another process (or another handle in this process)
+//! already holds it. The lock lives on the sidecar, not the log file
+//! itself, because [`MeasurementCache::compact`] replaces the log's
+//! inode by rename — a lock on the old inode would guard nothing. The
+//! kernel releases the lock when the holding process exits, however it
+//! died, so a `kill -9` never wedges the cache.
+//!
+//! Sharded multi-process profiling ([`crate::shard`]) gives every worker
+//! its own shard-suffixed log (one writer each) and merges them after
+//! the run. Readers (work stealing scans a sibling shard's log while
+//! its owner appends) do not take the lock: every complete line is
+//! immutable once written, so a lock-free scan that stops at the first
+//! invalid line is always sound.
 
 use crate::config::ProfileConfig;
 use crate::failure::ProfileFailure;
@@ -53,6 +74,113 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+
+#[cfg(unix)]
+mod flock {
+    use std::os::unix::io::AsRawFd;
+
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+
+    // `std` already links the platform C library; declaring `flock`
+    // directly avoids a dependency on the `libc` crate.
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+
+    /// Takes an exclusive, non-blocking advisory lock on `file`. The
+    /// kernel releases it when the last descriptor closes — including
+    /// when the process is killed.
+    pub(super) fn try_lock_exclusive(file: &std::fs::File) -> std::io::Result<()> {
+        // SAFETY: `flock` is async-signal-safe and only reads the fd.
+        if unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) } == 0 {
+            Ok(())
+        } else {
+            Err(std::io::Error::last_os_error())
+        }
+    }
+}
+
+/// An exclusive advisory lock on a sidecar `<log>.lock` file, held for
+/// the lifetime of the guard. See the [module docs](self) for why the
+/// lock lives on a sidecar rather than the log's own descriptor.
+#[derive(Debug)]
+pub(crate) struct LockGuard {
+    // Held only for its descriptor: dropping it releases the lock.
+    _file: File,
+}
+
+impl LockGuard {
+    /// The sidecar lock path for a log at `path`.
+    pub(crate) fn lock_path(path: &Path) -> PathBuf {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".lock");
+        path.with_file_name(name)
+    }
+
+    /// Acquires the exclusive lock for the log at `path`, failing fast
+    /// (never blocking) when any other handle — in this process or
+    /// another — already holds it.
+    pub(crate) fn acquire(path: &Path) -> std::io::Result<LockGuard> {
+        let lock_path = Self::lock_path(path);
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&lock_path)?;
+        #[cfg(unix)]
+        flock::try_lock_exclusive(&file).map_err(|err| {
+            std::io::Error::new(
+                if err.kind() == std::io::ErrorKind::WouldBlock {
+                    std::io::ErrorKind::WouldBlock
+                } else {
+                    err.kind()
+                },
+                format!(
+                    "log {} is locked by another writer (single-writer contract; \
+                     shard the run or wait for the holder to exit): {err}",
+                    path.display()
+                ),
+            )
+        })?;
+        Ok(LockGuard { _file: file })
+    }
+}
+
+/// Removes compaction temp files orphaned next to the log at `path` by a
+/// dead writer. Sound to call unconditionally *after* acquiring the
+/// log's [`LockGuard`]: temps are only ever created by a live, locked
+/// [`MeasurementCache::compact`], so once this process holds the lock,
+/// every remaining `<log>.tmp*` file is a leftover — including the
+/// legacy deterministic `<stem>.tmp` name, which a resumed run racing a
+/// dead worker could otherwise rename over fresh records.
+pub(crate) fn clean_orphaned_temps(path: &Path) -> std::io::Result<()> {
+    let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return Ok(());
+    };
+    let Some(log_name) = path.file_name().and_then(|n| n.to_str()) else {
+        return Ok(());
+    };
+    // `measurements-hsw.jsonl` owns `measurements-hsw.jsonl.tmp.<pid>`
+    // and the legacy `measurements-hsw.tmp` / `measurements-hsw.jsonl.tmp`.
+    let stem = log_name.strip_suffix(".jsonl").unwrap_or(log_name);
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        let owned = name.strip_prefix(stem).is_some_and(|rest| {
+            rest == ".tmp"
+                || rest == ".jsonl.tmp"
+                || rest.starts_with(".tmp.")
+                || rest.starts_with(".jsonl.tmp.")
+        });
+        if owned && name != log_name {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
 
 /// Content address of one measurement: FNV-1a over the block's encoded
 /// bytes, a domain separator, the uarch's short name, and the config
@@ -208,6 +336,87 @@ where
     Ok((reader.into_inner(), recovery))
 }
 
+/// Writes `entries` as checksummed records in ascending key order — the
+/// one canonical byte encoding of a record set. Both
+/// [`MeasurementCache::compact`] and the sharded merge
+/// ([`crate::shard::merge_shard_caches`]) emit through here, which is
+/// what makes "merged shard logs" and "compacted single-process log"
+/// byte-identical when they hold the same records.
+pub(crate) fn write_canonical_records<W: Write>(
+    writer: &mut W,
+    uarch: UarchKind,
+    fp: u64,
+    entries: &HashMap<u64, CachedOutcome>,
+) -> std::io::Result<()> {
+    let mut keys: Vec<u64> = entries.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let body = RecordBody {
+            key,
+            uarch,
+            fp,
+            outcome: entries[&key].clone(),
+        };
+        let sum = body_checksum(&body)?;
+        let line = serde_json::to_string(&Record { sum, body }).map_err(std::io::Error::other)?;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Scans the log at `path` *without touching it* — no truncation, no
+/// lock — and returns every valid record for `(uarch, fp)` in file
+/// order, stopping at the first torn or invalid line. Safe to run
+/// against a log whose owner is appending concurrently: complete lines
+/// are immutable, and an in-flight append reads as the (ignored) torn
+/// tail. This is how work stealing inspects a sibling shard's progress
+/// and how the sharded merge unions shard logs.
+///
+/// Returns an empty list when the file does not exist.
+///
+/// # Errors
+///
+/// Returns an error only on real I/O failure, never on corruption.
+pub(crate) fn scan_live_records(
+    path: &Path,
+    uarch: UarchKind,
+    fp: u64,
+) -> std::io::Result<Vec<(u64, CachedOutcome)>> {
+    let file = match File::open(path) {
+        Ok(file) => file,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(err) => return Err(err),
+    };
+    let mut out = Vec::new();
+    let mut reader = BufReader::new(file);
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        let n = std::io::BufRead::read_until(&mut reader, b'\n', &mut line)?;
+        if n == 0 || line.last() != Some(&b'\n') {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(&line) else {
+            break;
+        };
+        let Ok(record) = serde_json::from_str::<Record>(text.trim_end()) else {
+            break;
+        };
+        match body_checksum(&record.body) {
+            Ok(sum) if sum == record.sum => {}
+            _ => break,
+        }
+        if record.body.uarch == uarch
+            && record.body.fp == fp
+            && !record.body.outcome.is_transient_failure()
+        {
+            out.push((record.body.key, record.body.outcome));
+        }
+    }
+    Ok(out)
+}
+
 /// What [`MeasurementCache::open`] found in the log.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheOpenReport {
@@ -250,12 +459,29 @@ pub struct CacheStats {
 
 impl CacheStats {
     /// Fraction of lookups served from disk.
+    ///
+    /// Always *derived* from the merged totals, never stored: averaging
+    /// per-shard hit ratios does not commute (a 9-hit/1-miss shard and a
+    /// 0-hit/0-miss shard do not average to 45%), so the ratio must be
+    /// recomputed after [`CacheStats::merge`], not merged itself.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
         if total == 0 {
             return 0.0;
         }
         self.hits as f64 / total as f64
+    }
+
+    /// Folds another shard's counters into this one. Every field
+    /// combines associatively and commutatively — counts add, `degraded`
+    /// ORs — so merging N shards gives the same result in any order or
+    /// grouping (property-tested in `parallel`).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale_evictions += other.stale_evictions;
+        self.write_errors += other.write_errors;
+        self.degraded |= other.degraded;
     }
 }
 
@@ -273,6 +499,10 @@ pub struct MeasurementCache {
     /// Stale records still physically present in the log (removed by
     /// [`MeasurementCache::compact`]).
     stale_on_disk: usize,
+    /// Exclusive writer lock on the sidecar `<log>.lock` file; held for
+    /// the cache's whole lifetime and released (by the kernel, even on
+    /// `kill -9`) when the cache is dropped.
+    _lock: LockGuard,
 }
 
 impl MeasurementCache {
@@ -287,12 +517,37 @@ impl MeasurementCache {
     /// # Errors
     ///
     /// Returns an error when the directory or log cannot be created,
-    /// read, or truncated. A *corrupt* log is not an error — the invalid
-    /// tail is dropped and the valid prefix is used.
+    /// read, or truncated, or — fast, with [`std::io::ErrorKind::WouldBlock`]
+    /// — when another writer already holds the log's lock. A *corrupt*
+    /// log is not an error — the invalid tail is dropped and the valid
+    /// prefix is used.
     pub fn open(dir: &Path, uarch: UarchKind, config: &ProfileConfig) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        let path = Self::log_path(dir, uarch);
+        Self::open_at(Self::log_path(dir, uarch), uarch, config)
+    }
+
+    /// [`MeasurementCache::open`] against an explicit log path — the
+    /// entry point sharded profiling uses for its shard-suffixed logs
+    /// ([`crate::shard::shard_log_path`]). Same locking, recovery, and
+    /// orphan-temp cleanup as `open`.
+    ///
+    /// # Errors
+    ///
+    /// As [`MeasurementCache::open`].
+    pub fn open_at(
+        path: PathBuf,
+        uarch: UarchKind,
+        config: &ProfileConfig,
+    ) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
         let fingerprint = config.fingerprint();
+
+        // Locking comes first; only the lock holder may clean temps (a
+        // temp next to an unlocked log could belong to a live compactor).
+        let lock = LockGuard::acquire(&path)?;
+        clean_orphaned_temps(&path)?;
 
         let file = OpenOptions::new()
             .read(true)
@@ -341,7 +596,13 @@ impl MeasurementCache {
             writer,
             open_report: report,
             stale_on_disk,
+            _lock: lock,
         })
+    }
+
+    /// The log file this cache appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// The microarchitecture this cache is bound to.
@@ -427,26 +688,18 @@ impl MeasurementCache {
     /// Returns an error when the temp file cannot be written or renamed
     /// over the log. The original log is untouched on failure.
     pub fn compact(&mut self) -> std::io::Result<()> {
-        let tmp_path = self.path.with_extension("jsonl.tmp");
+        // The temp name folds in the pid so a resumed run can never race
+        // a dead worker's leftover temp: a deterministic name would let
+        // the rename below move *stale* bytes over fresh records.
+        // Leftovers from dead pids are removed by the next `open`.
+        let tmp_path = {
+            let mut name = self.path.file_name().unwrap_or_default().to_os_string();
+            name.push(format!(".tmp.{}", std::process::id()));
+            self.path.with_file_name(name)
+        };
         {
             let mut tmp = BufWriter::new(File::create(&tmp_path)?);
-            // Deterministic order so identical caches compact to
-            // byte-identical logs.
-            let mut keys: Vec<u64> = self.entries.keys().copied().collect();
-            keys.sort_unstable();
-            for key in keys {
-                let body = RecordBody {
-                    key,
-                    uarch: self.uarch,
-                    fp: self.fingerprint,
-                    outcome: self.entries[&key].clone(),
-                };
-                let sum = body_checksum(&body)?;
-                let line =
-                    serde_json::to_string(&Record { sum, body }).map_err(std::io::Error::other)?;
-                tmp.write_all(line.as_bytes())?;
-                tmp.write_all(b"\n")?;
-            }
+            write_canonical_records(&mut tmp, self.uarch, self.fingerprint, &self.entries)?;
             let tmp = tmp.into_inner().map_err(|e| e.into_error())?;
             tmp.sync_all()?;
         }
@@ -611,6 +864,160 @@ mod tests {
         assert!(cache.get(1).is_some());
         assert!(cache.open_report().dropped_bytes > 0);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_writer_fails_fast_while_the_lock_is_held() {
+        let dir = temp_dir("lock");
+        let config = ProfileConfig::bhive();
+        let mut first = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        first.insert(1, sample_failure()).unwrap();
+
+        // The regression this pins: before the lock, a second writer
+        // opened fine and interleaved appends corrupted the log.
+        let second = MeasurementCache::open(&dir, UarchKind::Haswell, &config);
+        let err = second.expect_err("second writer on the same log must be refused");
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock, "{err}");
+        assert!(
+            err.to_string().contains("locked by another writer"),
+            "{err}"
+        );
+
+        // The refused open must not have damaged the live writer or log.
+        first.insert(2, sample_failure()).unwrap();
+        drop(first);
+        let reopened = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        assert_eq!(reopened.len(), 2, "both records survive intact");
+        assert_eq!(reopened.open_report().dropped_records, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lock_released_on_drop_allows_reopen() {
+        let dir = temp_dir("lock-drop");
+        let config = ProfileConfig::bhive();
+        drop(MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap());
+        // Dropping the cache releases the lock; a fresh open succeeds.
+        assert!(MeasurementCache::open(&dir, UarchKind::Haswell, &config).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn uarches_do_not_contend_for_the_lock() {
+        let dir = temp_dir("lock-uarch");
+        let config = ProfileConfig::bhive();
+        let _hsw = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        // Separate logs, separate locks.
+        assert!(MeasurementCache::open(&dir, UarchKind::Skylake, &config).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphaned_temps_are_cleaned_and_never_renamed_over_the_log() {
+        let dir = temp_dir("orphan-tmp");
+        let config = ProfileConfig::bhive();
+        {
+            let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+            cache.insert(1, sample_failure()).unwrap();
+        }
+        // A dead worker's leftovers: the legacy deterministic temp name
+        // (the bug: a resumed compaction could rename this stale data
+        // over fresh records) and a pid-suffixed temp from a dead pid.
+        let legacy = dir.join("measurements-hsw.jsonl.tmp");
+        let pid_tmp = dir.join("measurements-hsw.jsonl.tmp.999999999");
+        std::fs::write(&legacy, b"stale garbage\n").unwrap();
+        std::fs::write(&pid_tmp, b"stale garbage\n").unwrap();
+        // An unrelated sibling shard log must NOT be treated as a temp.
+        let shard_log = dir.join("measurements-hsw.s0of4.jsonl");
+        std::fs::write(&shard_log, b"").unwrap();
+
+        let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        assert!(!legacy.exists(), "legacy temp cleaned at open");
+        assert!(!pid_tmp.exists(), "dead pid temp cleaned at open");
+        assert!(shard_log.exists(), "sibling shard logs are untouched");
+        assert_eq!(cache.len(), 1, "the real log was not clobbered");
+
+        // Compaction now uses a pid-unique temp and leaves no leftovers.
+        cache.insert(2, sample_failure()).unwrap();
+        cache.compact().unwrap();
+        drop(cache);
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let reopened = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        assert_eq!(reopened.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_scan_reads_only_complete_records() {
+        let dir = temp_dir("scan");
+        let config = ProfileConfig::bhive();
+        let fp = config.fingerprint();
+        let mut cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+        cache.insert(3, sample_failure()).unwrap();
+        cache.insert(1, sample_failure()).unwrap();
+        let path = MeasurementCache::log_path(&dir, UarchKind::Haswell);
+
+        // Scanning while the owner holds the lock works (readers are
+        // lock-free) and sees both complete records in file order.
+        let live = scan_live_records(&path, UarchKind::Haswell, fp).unwrap();
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0].0, 3, "file order, not key order");
+
+        // A torn in-flight append is ignored, and — crucially — the
+        // owner's file is NOT truncated by the scan.
+        let before = std::fs::metadata(&path).unwrap().len();
+        let mut torn = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        torn.write_all(b"{\"sum\":12,\"body\":{partial").unwrap();
+        drop(torn);
+        let live = scan_live_records(&path, UarchKind::Haswell, fp).unwrap();
+        assert_eq!(live.len(), 2, "torn tail ignored");
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > before,
+            "scan must never truncate a live writer's log"
+        );
+        // Missing files read as empty, not as an error.
+        let missing = dir.join("no-such.jsonl");
+        assert!(scan_live_records(&missing, UarchKind::Haswell, fp)
+            .unwrap()
+            .is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_stats_merge_is_commutative_and_counts_add() {
+        let a = CacheStats {
+            hits: 9,
+            misses: 1,
+            stale_evictions: 2,
+            write_errors: 0,
+            degraded: false,
+        };
+        let b = CacheStats {
+            hits: 0,
+            misses: 0,
+            stale_evictions: 1,
+            write_errors: 3,
+            degraded: true,
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.hits, 9);
+        assert_eq!(ab.write_errors, 3);
+        assert!(ab.degraded);
+        // The ratio is derived from merged totals: 9/(9+1+0+0), not the
+        // average of the per-shard ratios (which would be (0.9+0)/2).
+        assert!((ab.hit_rate() - 0.9).abs() < 1e-12);
     }
 
     #[test]

@@ -148,6 +148,24 @@ impl ProfileFailure {
         }
     }
 
+    /// Every label [`ProfileFailure::category`] can return. Code that
+    /// round-trips categories through strings (e.g. deserialized shard
+    /// statistics) interns against this list so an unknown label is
+    /// detected instead of silently minted.
+    pub const CATEGORIES: &'static [&'static str] = &[
+        "crash",
+        "too-many-faults",
+        "invalid-address",
+        "unreproducible",
+        "panic",
+        "dirty-counters",
+        "misaligned",
+        "unsupported-isa",
+        "encoding",
+        "invalid-block",
+        "non-convergent",
+    ];
+
     /// Short machine-readable category label (used in reports).
     pub fn category(&self) -> &'static str {
         match self {
@@ -258,6 +276,33 @@ impl Error for ProfileFailure {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn categories_const_is_unique_and_covers_known_variants() {
+        let mut seen = std::collections::HashSet::new();
+        for category in ProfileFailure::CATEGORIES {
+            assert!(seen.insert(category), "duplicate category {category}");
+        }
+        for failure in [
+            ProfileFailure::Misaligned { count: 3 },
+            ProfileFailure::UnsupportedIsa,
+            ProfileFailure::Encoding {
+                message: "x".into(),
+            },
+            ProfileFailure::NegativeDelta {
+                lo_cycles: 2,
+                hi_cycles: 1,
+                lo_unroll: 8,
+                hi_unroll: 16,
+            },
+        ] {
+            assert!(
+                ProfileFailure::CATEGORIES.contains(&failure.category()),
+                "{} missing from CATEGORIES",
+                failure.category()
+            );
+        }
+    }
 
     #[test]
     fn categories_are_stable() {

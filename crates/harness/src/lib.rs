@@ -68,6 +68,7 @@ pub mod obs;
 mod parallel;
 mod profiler;
 mod retry;
+pub mod shard;
 
 pub use cache::{
     cache_key, CacheOpenReport, CacheStats, CachedOutcome, JsonlRecovery, MeasurementCache,
@@ -87,3 +88,7 @@ pub use parallel::{
 };
 pub use profiler::Profiler;
 pub use retry::{BreakerConfig, BreakerState, BreakerTrip, CircuitBreaker, RetryPolicy};
+pub use shard::{
+    corpus_fingerprint, corpus_keys, merge_shard_caches, profile_corpus_sharded, shard_log_path,
+    shard_of, shard_report_path, MergeReport, ShardRunReport, ShardSpec, ShardStats,
+};

@@ -39,7 +39,7 @@
 //! to the last good line, and the next run records a
 //! [`TraceEvent::TraceRecovered`] event noting what was dropped.
 
-use crate::cache::{recover_jsonl, JsonlRecovery};
+use crate::cache::{recover_jsonl, JsonlRecovery, LockGuard};
 use bhive_asm::fnv1a_64;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -1000,6 +1000,11 @@ pub struct TraceLog {
     path: PathBuf,
     writer: BufWriter<File>,
     recovery: Option<JsonlRecovery>,
+    /// Exclusive writer lock on the sidecar `<log>.lock` file — same
+    /// single-writer contract as the measurement cache: two processes
+    /// interleaving appends would corrupt checksummed lines. Sharded
+    /// workers therefore trace to shard-suffixed paths.
+    _lock: LockGuard,
 }
 
 impl TraceLog {
@@ -1008,14 +1013,17 @@ impl TraceLog {
     /// # Errors
     ///
     /// Returns an error when the file cannot be created, read, or
-    /// truncated. A corrupt log is not an error — the invalid tail is
-    /// dropped and reported via [`TraceLog::recovery`].
+    /// truncated, or fast (with [`std::io::ErrorKind::WouldBlock`]) when
+    /// another writer holds the log's lock. A corrupt log is not an
+    /// error — the invalid tail is dropped and reported via
+    /// [`TraceLog::recovery`].
     pub fn open(path: &Path) -> std::io::Result<TraceLog> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        let lock = LockGuard::acquire(path)?;
         let file = OpenOptions::new()
             .read(true)
             .append(true)
@@ -1032,6 +1040,7 @@ impl TraceLog {
             path: path.to_path_buf(),
             writer: BufWriter::new(file),
             recovery: (recovery.dropped_bytes > 0).then_some(recovery),
+            _lock: lock,
         })
     }
 

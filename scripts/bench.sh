@@ -14,6 +14,9 @@
 #       tracing + metrics on (acceptance: overhead ≤ 2%)
 #   execute/prepare/simulate_ns_per_block — per-stage costs
 #
+# then times a cold sharded 2-worker run against the serial 1T baseline
+# and writes both to BENCH_PR7.json (single-process probe nested inside).
+#
 # Usage: scripts/bench.sh [--skip-criterion]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,3 +31,43 @@ fi
 cargo build -q --release -p bhive-bench --example bench_json
 cargo run -q --release -p bhive-bench --example bench_json | tee BENCH_PR6.json
 echo "wrote BENCH_PR6.json"
+
+# Sharded cold-throughput probe: the same corpus profiled cold twice —
+# serial single-thread, then sharded across 2 worker processes (the
+# sharded number includes the supervisor's merge and warm audit
+# replay, i.e. true end-to-end wall time). BENCH_PR7.json nests the
+# single-process probe above for side-by-side reading.
+cargo build -q --release -p bhive
+bhive=target/release/bhive
+scale=500 # x10 applications = 5,000 blocks
+blocks=5000
+shard_cache="$(mktemp -d)"
+trap 'rm -rf "$shard_cache"' EXIT
+
+t0=$(date +%s%N)
+"$bhive" measure --scale "$scale" --seed 7 --threads 1 --no-cache \
+    >/dev/null 2>&1
+t1=$(date +%s%N)
+serial_ns=$((t1 - t0))
+
+t0=$(date +%s%N)
+"$bhive" measure --workers 2 --scale "$scale" --seed 7 \
+    --cache "$shard_cache" >/dev/null 2>&1
+t1=$(date +%s%N)
+sharded_ns=$((t1 - t0))
+
+awk -v blocks="$blocks" -v serial_ns="$serial_ns" -v sharded_ns="$sharded_ns" '
+BEGIN {
+    serial_bps = blocks / (serial_ns / 1e9)
+    sharded_bps = blocks / (sharded_ns / 1e9)
+    printf "{\n"
+    printf "  \"schema\": \"bhive-bench-pr7/v1\",\n"
+    printf "  \"corpus_blocks\": %d,\n", blocks
+    printf "  \"cold_serial_1t\": {\"elapsed_ns\": %d, \"blocks_per_sec\": %.1f},\n", serial_ns, serial_bps
+    printf "  \"cold_sharded_2w\": {\"workers\": 2, \"elapsed_ns\": %d, \"blocks_per_sec\": %.1f},\n", sharded_ns, sharded_bps
+    printf "  \"sharded_speedup\": %.2f,\n", serial_ns / sharded_ns
+    printf "  \"single_process\": "
+}' >BENCH_PR7.json
+cat BENCH_PR6.json >>BENCH_PR7.json
+echo "}" >>BENCH_PR7.json
+echo "wrote BENCH_PR7.json"

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Full paper-scale reproduction via sharded multi-process profiling.
+#
+# Warms the measurement cache for the full 358,561-block main corpus
+# (and the 3x training corpus Ithemal trains on) across every paper
+# microarchitecture with a resumable worker fleet, then replays
+# Tables 3-5 warm out of the same cache. Interrupt it — including
+# `kill -9` of any worker — and rerun: completed shards are certified
+# on disk and never re-profiled, and the final tables are bit-identical
+# to an uninterrupted run.
+#
+# Usage: scripts/paper_run.sh [WORKERS] [CACHE_DIR]
+#   WORKERS    worker processes per measurement (default 4)
+#   CACHE_DIR  measurement cache root (default ./paper-cache)
+#
+# Environment:
+#   BHIVE_SCALE_ARGS  corpus-scale flags (default "--paper-scale");
+#       e.g. "--scale-family numeric=20000 --scale-family general=40000"
+#       profiles a six-figure corpus weighted toward specific generator
+#       families instead of the paper's exact census.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workers="${1:-4}"
+cache="${2:-paper-cache}"
+scale_args="${BHIVE_SCALE_ARGS:---paper-scale}"
+
+cargo build -q --release -p bhive
+bhive=target/release/bhive
+
+# Table 5 needs main-corpus ground truth on all three paper uarches,
+# plus the disjoint training corpus per uarch for the learned model.
+for uarch in ivb hsw skl; do
+    for corpus in main training; do
+        echo "== warming $corpus/$uarch with $workers worker(s)" >&2
+        # shellcheck disable=SC2086  # scale_args is a flag list
+        "$bhive" measure $scale_args --seed 42 --uarch "$uarch" \
+            --corpus "$corpus" --workers "$workers" --cache "$cache" \
+            >/dev/null
+    done
+done
+
+# The tables replay warm out of the cache.
+for table in table3 table4 table5; do
+    # shellcheck disable=SC2086
+    "$bhive" "$table" $scale_args --seed 42 --cache "$cache"
+    echo
+done

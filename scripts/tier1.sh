@@ -34,12 +34,29 @@ EOF
 # Trace smoke: a measured run with --trace/--metrics writes a checksummed
 # JSONL trace and a deterministic run_report.json next to it.
 trace_dir="$(mktemp -d)"
-trap 'rm -rf "$trace_dir"' EXIT
+shard_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$shard_dir"' EXIT
 cargo run -q --release -p bhive -- measure --scale 3 --no-cache \
     --trace "$trace_dir/trace.jsonl" --metrics >/dev/null
 test -s "$trace_dir/trace.jsonl"
 test -s "$trace_dir/run_report.json"
 grep -q 'bhive-run-report/v1' "$trace_dir/run_report.json"
+# Sharded smoke: a 2-worker sharded run — with one shard worker
+# kill -9'd mid-flight first — resumes and emits a CSV byte-identical
+# to a plain serial run. (The thorough 4-way version is
+# crates/core/tests/sharded.rs, which `cargo test` above already ran.)
+bhive=target/release/bhive
+"$bhive" measure --scale 25 --seed 7 --threads 2 --no-cache \
+    >"$shard_dir/serial.csv" 2>/dev/null
+"$bhive" measure --shard 0/2 --scale 25 --seed 7 --threads 1 \
+    --cache "$shard_dir/cache" >/dev/null 2>&1 &
+victim=$!
+sleep 0.05
+kill -9 "$victim" 2>/dev/null || true
+wait "$victim" 2>/dev/null || true
+"$bhive" measure --workers 2 --scale 25 --seed 7 --threads 2 \
+    --cache "$shard_dir/cache" >"$shard_dir/sharded.csv" 2>/dev/null
+cmp "$shard_dir/serial.csv" "$shard_dir/sharded.csv"
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
 else

@@ -46,6 +46,11 @@ UTILITIES:
     classify          Classify a block (asm text on stdin) into its category
     measure           Dump the measured dataset CSV (app,hex,weight,tp)
     exegesis          Measure per-opcode latency/rTP tables on --uarch
+    serve             Run the throughput-prediction daemon on --listen:
+                      answers warm hits from the measurement cache and
+                      schedules misses onto the profiling worker pool
+                      (line-delimited JSON, protocol bhive-serve/v1);
+                      SIGTERM/SIGINT drains in-flight work and exits
 
 OPTIONS:
     --scale N         Blocks per application (default 150)
@@ -88,12 +93,33 @@ OPTIONS:
                       command; implies observability even without --trace
     -h, --help        Print this usage summary and exit
 
+SERVE OPTIONS (serve command only; --uarch/--cache/--retries/--threads
+are honored too, with --threads sizing the profiling worker pool):
+    --listen A        unix:/path/to.sock or tcp:host:port
+                      (default unix:bhive.sock; tcp:127.0.0.1:0 picks a
+                      free port and prints it)
+    --queue N         Bound on queued miss-work before load-shedding
+                      with queue-full rejections (default 64)
+    --rate R          Per-client token-bucket refill, requests/second
+                      (default 64)
+    --burst B         Per-client token-bucket burst size (default 64)
+    --deadline-ms N   Default per-request budget when the request does
+                      not carry deadline_ms (default 10000)
+    --read-timeout-ms N  Socket read deadline; mid-line stalls longer
+                      than this are cut as slow-loris (default 250)
+    --drain-ms N      How long shutdown waits for queued work before
+                      cancelling it (default 5000)
+
 EXIT STATUS:
-    0                 Success
-    1                 Usage or I/O error
-    2                 Run unhealthy: the run-health circuit breaker
-                      tripped (environment degraded) or no block profiled
-                      successfully
+    0                 Success (for serve: clean drain)
+    1                 I/O or runtime error
+    2                 Usage error (bad flags or combinations), or run
+                      unhealthy: the run-health circuit breaker tripped
+                      (environment degraded), no block profiled
+                      successfully, or the serve run ended degraded
+    130               Interrupted: SIGINT/SIGTERM cut a batch run short;
+                      completed work is flushed to the cache and the run
+                      report carries a partial-run note
 ";
 
 #[derive(Debug)]
@@ -112,6 +138,38 @@ struct Options {
     trace: Option<std::path::PathBuf>,
     metrics: bool,
     help: bool,
+    serve: ServeOptions,
+}
+
+/// Serve-only flags, kept `Option` so their *presence* can be rejected
+/// on non-serve commands instead of being silently ignored.
+#[derive(Debug, Default)]
+struct ServeOptions {
+    listen: Option<String>,
+    queue: Option<usize>,
+    rate: Option<f64>,
+    burst: Option<u32>,
+    deadline_ms: Option<u64>,
+    read_timeout_ms: Option<u64>,
+    drain_ms: Option<u64>,
+}
+
+impl ServeOptions {
+    /// The first serve-only flag that was given, for the "serve flags
+    /// need the serve command" usage error.
+    fn given(&self) -> Option<&'static str> {
+        [
+            ("--listen", self.listen.is_some()),
+            ("--queue", self.queue.is_some()),
+            ("--rate", self.rate.is_some()),
+            ("--burst", self.burst.is_some()),
+            ("--deadline-ms", self.deadline_ms.is_some()),
+            ("--read-timeout-ms", self.read_timeout_ms.is_some()),
+            ("--drain-ms", self.drain_ms.is_some()),
+        ]
+        .into_iter()
+        .find_map(|(name, given)| given.then_some(name))
+    }
 }
 
 impl Options {
@@ -143,6 +201,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace: None,
         metrics: false,
         help: false,
+        serve: ServeOptions::default(),
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -226,6 +285,65 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 );
             }
             "--json" => opts.json = true,
+            "--listen" => {
+                let text = value("--listen")?;
+                // Parse eagerly so a bad address is a flag error, not a
+                // bind-time surprise.
+                bhive::serve::BindAddr::parse(&text).map_err(|e| format!("--listen: {e}"))?;
+                opts.serve.listen = Some(text);
+            }
+            "--queue" => {
+                opts.serve.queue = Some(
+                    value("--queue")?
+                        .parse()
+                        .map_err(|e| format!("--queue: {e}"))?,
+                );
+            }
+            "--rate" => {
+                let rate: f64 = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+                if !rate.is_finite() || rate < 0.0 {
+                    return Err(format!(
+                        "--rate must be a finite non-negative number, got {rate}"
+                    ));
+                }
+                opts.serve.rate = Some(rate);
+            }
+            "--burst" => {
+                let burst: u32 = value("--burst")?
+                    .parse()
+                    .map_err(|e| format!("--burst: {e}"))?;
+                if burst == 0 {
+                    return Err("--burst must be at least 1".into());
+                }
+                opts.serve.burst = Some(burst);
+            }
+            "--deadline-ms" => {
+                opts.serve.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                );
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-timeout-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--read-timeout-ms must be at least 1 \
+                                (a zero read deadline would cut every connection)"
+                        .into());
+                }
+                opts.serve.read_timeout_ms = Some(ms);
+            }
+            "--drain-ms" => {
+                opts.serve.drain_ms = Some(
+                    value("--drain-ms")?
+                        .parse()
+                        .map_err(|e| format!("--drain-ms: {e}"))?,
+                );
+            }
             "--cache" => opts.cache = Some(value("--cache")?.into()),
             "--no-cache" => opts.no_cache = true,
             "--trace" => opts.trace = Some(value("--trace")?.into()),
@@ -256,13 +374,29 @@ fn read_stdin_block() -> Result<bhive::asm::BasicBlock, String> {
     bhive::asm::parse_block(&text).map_err(|e| e.to_string())
 }
 
-fn run() -> Result<ExitCode, String> {
+/// CLI failures, split so `main` can exit 2 (with a usage hint) on bad
+/// invocations and 1 on runtime/I/O errors. The `From<String>` impl
+/// defaults `?`-propagated strings to runtime errors; usage errors are
+/// tagged explicitly at the sites that detect them.
+#[derive(Debug)]
+enum CliError {
+    Usage(String),
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError::Runtime(message)
+    }
+}
+
+fn run() -> Result<ExitCode, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else {
         print!("{USAGE}");
         return Ok(ExitCode::SUCCESS);
     };
-    let opts = parse_options(&args[1..])?;
+    let opts = parse_options(&args[1..]).map_err(CliError::Usage)?;
     // `--help` anywhere (e.g. `bhive table1 --help`) prints usage and
     // exits 0 instead of dying on "unknown option".
     if opts.help {
@@ -270,7 +404,19 @@ fn run() -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
     if (opts.workers.is_some() || opts.shard.is_some()) && command != "measure" {
-        return Err("--workers/--shard apply to the `measure` command only".into());
+        return Err(CliError::Usage(
+            "--workers/--shard apply to the `measure` command only".into(),
+        ));
+    }
+    if command != "serve" {
+        if let Some(flag) = opts.serve.given() {
+            return Err(CliError::Usage(format!(
+                "{flag} applies to the `serve` command only"
+            )));
+        }
+    }
+    if command == "serve" {
+        return run_serve(&opts).map_err(CliError::Runtime);
     }
     let mut pipeline =
         Pipeline::new(opts.scale, opts.seed, opts.threads).with_retries(opts.retries);
@@ -398,6 +544,11 @@ fn run() -> Result<ExitCode, String> {
             }
         }
         "measure" => {
+            // SIGINT/SIGTERM during a long batch run should flush what
+            // was measured (the cache writes per record), leave the
+            // remainder re-measurable, note the partial run in the run
+            // report, and exit 130 — not die mid-write.
+            bhive::harness::interrupt::install();
             if let Some(spec) = opts.shard {
                 // Worker mode: profile only this shard (plus steals) into
                 // the shard-suffixed cache, write the completion report,
@@ -407,6 +558,8 @@ fn run() -> Result<ExitCode, String> {
                     || (stats.total_blocks > 0 && stats.successful_blocks == 0);
                 return Ok(if unhealthy {
                     ExitCode::from(2)
+                } else if stats.interrupted {
+                    ExitCode::from(130)
                 } else {
                     ExitCode::SUCCESS
                 });
@@ -440,11 +593,73 @@ fn run() -> Result<ExitCode, String> {
             corpus.write_csv(stdout.lock()).or_else(ignore_epipe)?;
         }
         other => {
-            return Err(format!("unknown command `{other}`; run `bhive help`"));
+            return Err(CliError::Usage(format!("unknown command `{other}`")));
         }
     }
     emit_observability(&pipeline, trace_log.as_mut(), opts.metrics)?;
     Ok(run_health(&pipeline))
+}
+
+/// The `serve` command: build a [`ServeConfig`](bhive::serve::ServeConfig)
+/// from the flags, bind, and run until SIGINT/SIGTERM, then drain.
+/// Exits 0 on a clean drain; a run that ended degraded (breaker tripped
+/// or cache write-off) exits 2 like an unhealthy batch run.
+fn run_serve(opts: &Options) -> Result<ExitCode, String> {
+    use std::time::Duration;
+    let listen = opts.serve.listen.as_deref().unwrap_or("unix:bhive.sock");
+    let addr = bhive::serve::BindAddr::parse(listen).map_err(|e| format!("--listen: {e}"))?;
+    let defaults = bhive::serve::ServeConfig::default();
+    let workers = if opts.threads == 0 {
+        defaults.workers
+    } else {
+        opts.threads
+    };
+    let cfg = bhive::serve::ServeConfig {
+        uarch: opts.uarch,
+        config: ProfileConfig::bhive().with_retries(opts.retries),
+        cache_dir: opts.cache_dir(),
+        workers,
+        queue_capacity: opts.serve.queue.unwrap_or(defaults.queue_capacity),
+        rate_burst: opts.serve.burst.unwrap_or(defaults.rate_burst),
+        rate_per_sec: opts.serve.rate.unwrap_or(defaults.rate_per_sec),
+        default_deadline: opts
+            .serve
+            .deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.default_deadline),
+        read_timeout: opts
+            .serve
+            .read_timeout_ms
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.read_timeout),
+        drain_timeout: opts
+            .serve
+            .drain_ms
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.drain_timeout),
+        ..defaults
+    };
+    // SIGINT/SIGTERM flip the interrupt flag; the accept loop polls it
+    // and turns it into a bounded drain.
+    bhive::harness::interrupt::install();
+    let server =
+        bhive::serve::Server::bind(cfg, &addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    eprintln!(
+        "bhive serve: listening on {} ({} on {} worker(s), cache {})",
+        server.local_addr(),
+        opts.uarch.name(),
+        workers,
+        opts.cache_dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_else(|| "off (memory only)".into()),
+    );
+    let summary = server.run().map_err(|e| format!("serving: {e}"))?;
+    eprintln!("bhive serve: {summary}");
+    Ok(if summary.breaker_tripped || summary.cache_degraded {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// Reconstructs the CLI flags that reproduce a [`Scale`] in a child
@@ -499,6 +714,19 @@ fn run_shard_worker(
     let stats =
         MeasuredCorpus::measure_shard(&corpus, opts.uarch, &config, opts.threads, &dir, spec)
             .map_err(|e| format!("shard {spec}: {e}"))?;
+    if stats.interrupted {
+        // An interrupted shard must not certify completion: everything
+        // measured so far is already flushed to the shard cache, and
+        // withholding the report makes the next supervisor round
+        // re-profile exactly the remainder.
+        eprintln!(
+            "shard {spec} {}/{}: interrupted; completion report withheld so a \
+             rerun resumes the remainder",
+            opts.corpus,
+            opts.uarch.short_name()
+        );
+        return Ok(stats);
+    }
     // The report binds to the exact corpus and config, so a stale report
     // from a different run can never satisfy a resume.
     let profiler = Profiler::new(opts.uarch.desc(), config.clone());
@@ -713,7 +941,9 @@ fn emit_observability(
 /// mistake a wasted run for a good one.
 fn run_health(pipeline: &Pipeline) -> ExitCode {
     let mut unhealthy = false;
+    let mut interrupted = false;
     for (label, stats) in pipeline.profile_stats() {
+        interrupted |= stats.interrupted;
         if let Some(trip) = &stats.breaker {
             unhealthy = true;
             eprintln!(
@@ -733,6 +963,11 @@ fn run_health(pipeline: &Pipeline) -> ExitCode {
     }
     if unhealthy {
         ExitCode::from(2)
+    } else if interrupted {
+        // Completed work is flushed and the run report carries the
+        // partial-run note; the conventional 128+SIGINT code tells
+        // scripted callers the dataset is resumable, not complete.
+        ExitCode::from(130)
     } else {
         ExitCode::SUCCESS
     }
@@ -751,7 +986,12 @@ fn ignore_epipe(err: std::io::Error) -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(code) => code,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            eprintln!("run `bhive --help` for usage");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
@@ -807,11 +1047,54 @@ mod tests {
             "--no-cache",
             "--trace",
             "--metrics",
+            "--listen",
+            "--queue",
+            "--rate",
+            "--burst",
+            "--deadline-ms",
+            "--read-timeout-ms",
+            "--drain-ms",
             "--help",
             "-h",
         ] {
             assert!(USAGE.contains(flag), "usage text must document {flag}");
         }
+    }
+
+    #[test]
+    fn serve_flags_parse_and_validate_eagerly() {
+        let opts = parse(&[
+            "--listen",
+            "tcp:127.0.0.1:7777",
+            "--queue",
+            "16",
+            "--rate",
+            "8.5",
+            "--burst",
+            "32",
+            "--deadline-ms",
+            "500",
+            "--read-timeout-ms",
+            "100",
+            "--drain-ms",
+            "1000",
+        ])
+        .unwrap();
+        assert_eq!(opts.serve.listen.as_deref(), Some("tcp:127.0.0.1:7777"));
+        assert_eq!(opts.serve.queue, Some(16));
+        assert_eq!(opts.serve.rate, Some(8.5));
+        assert_eq!(opts.serve.burst, Some(32));
+        assert_eq!(opts.serve.deadline_ms, Some(500));
+        assert_eq!(opts.serve.read_timeout_ms, Some(100));
+        assert_eq!(opts.serve.drain_ms, Some(1000));
+        assert_eq!(opts.serve.given(), Some("--listen"));
+
+        // Bad values are rejected at parse time, not at bind time.
+        assert!(parse(&["--listen", "carrier-pigeon:coop"]).is_err());
+        assert!(parse(&["--rate", "-1"]).is_err(), "negative rate");
+        assert!(parse(&["--rate", "inf"]).is_err(), "non-finite rate");
+        assert!(parse(&["--burst", "0"]).is_err(), "burst must admit one");
+        assert!(parse(&["--read-timeout-ms", "0"]).is_err(), "zero timeout");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`models`] | the four throughput predictors under validation |
 //! | [`learn`] | LDA, SGD regression, evaluation statistics |
 //! | [`eval`] | experiment drivers — one per paper table/figure |
+//! | [`serve`] | the `bhive serve` daemon: warm-cache throughput answers over a socket |
 //!
 //! The `bhive` binary exposes every experiment as a subcommand; run
 //! `bhive help` for the list.
@@ -49,5 +50,6 @@ pub use bhive_eval as eval;
 pub use bhive_harness as harness;
 pub use bhive_learn as learn;
 pub use bhive_models as models;
+pub use bhive_serve as serve;
 pub use bhive_sim as sim;
 pub use bhive_uarch as uarch;

@@ -121,30 +121,100 @@ impl LockGuard {
     /// Acquires the exclusive lock for the log at `path`, failing fast
     /// (never blocking) when any other handle — in this process or
     /// another — already holds it.
+    ///
+    /// Lock files can be *swept* by [`sweep_orphaned_locks`] between our
+    /// `open` and `flock`: holding a lock on an unlinked inode is
+    /// invisible to every later opener (they lock a fresh file), so
+    /// after winning the flock we verify the path still names the inode
+    /// we locked and retry on a freshly created file if not.
     pub(crate) fn acquire(path: &Path) -> std::io::Result<LockGuard> {
         let lock_path = Self::lock_path(path);
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&lock_path)?;
-        #[cfg(unix)]
-        flock::try_lock_exclusive(&file).map_err(|err| {
-            std::io::Error::new(
-                if err.kind() == std::io::ErrorKind::WouldBlock {
-                    std::io::ErrorKind::WouldBlock
-                } else {
-                    err.kind()
-                },
-                format!(
-                    "log {} is locked by another writer (single-writer contract; \
-                     shard the run or wait for the holder to exit): {err}",
-                    path.display()
-                ),
-            )
-        })?;
-        Ok(LockGuard { _file: file })
+        // One retry per concurrent sweep; more than a few means
+        // something is unlinking the lock file in a loop, which is worth
+        // surfacing as an error instead of spinning.
+        for _ in 0..16 {
+            let file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&lock_path)?;
+            #[cfg(unix)]
+            flock::try_lock_exclusive(&file).map_err(|err| {
+                std::io::Error::new(
+                    if err.kind() == std::io::ErrorKind::WouldBlock {
+                        std::io::ErrorKind::WouldBlock
+                    } else {
+                        err.kind()
+                    },
+                    format!(
+                        "log {} is locked by another writer (single-writer contract; \
+                         shard the run or wait for the holder to exit): {err}",
+                        path.display()
+                    ),
+                )
+            })?;
+            #[cfg(unix)]
+            if !same_inode(&lock_path, &file) {
+                continue;
+            }
+            return Ok(LockGuard { _file: file });
+        }
+        Err(std::io::Error::other(format!(
+            "lock file {} kept disappearing mid-acquire",
+            lock_path.display()
+        )))
     }
+}
+
+/// True when `path` still names the same on-disk inode as the open
+/// descriptor `file` — i.e. the file we locked was not unlinked or
+/// replaced between `open` and `flock`.
+#[cfg(unix)]
+fn same_inode(path: &Path, file: &File) -> bool {
+    use std::os::unix::fs::MetadataExt;
+    match (std::fs::metadata(path), file.metadata()) {
+        (Ok(on_path), Ok(on_fd)) => on_path.dev() == on_fd.dev() && on_path.ino() == on_fd.ino(),
+        _ => false,
+    }
+}
+
+/// Sweeps orphaned `.lock` sidecars in `dir`: a killed shard run leaves
+/// the sidecars of its merged-and-removed logs behind forever (a clean
+/// exit keeps its sidecar too, but its log still exists, so it is
+/// *reused*, not orphaned). A sidecar is removed only when its log file
+/// is gone **and** its flock can be won — a live holder fails the
+/// try-lock and is skipped — and the unlink happens while holding that
+/// flock, so racing openers are pushed onto [`LockGuard::acquire`]'s
+/// same-inode retry instead of silently sharing a log.
+pub(crate) fn sweep_orphaned_locks(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let Ok(name) = entry.file_name().into_string() else {
+            continue;
+        };
+        let Some(log_name) = name.strip_suffix(".lock") else {
+            continue;
+        };
+        if log_name.is_empty() || dir.join(log_name).exists() {
+            continue;
+        }
+        let lock_path = entry.path();
+        // Open without create: if the sidecar vanished (another sweeper
+        // won), there is nothing to do.
+        let Ok(file) = OpenOptions::new().write(true).open(&lock_path) else {
+            continue;
+        };
+        if flock::try_lock_exclusive(&file).is_err() || !same_inode(&lock_path, &file) {
+            continue;
+        }
+        // We hold the lock on the inode the path names and the log is
+        // gone: no live writer, safe to unlink.
+        std::fs::remove_file(&lock_path)?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
 }
 
 /// Removes compaction temp files orphaned next to the log at `path` by a
@@ -548,6 +618,9 @@ impl MeasurementCache {
         // temp next to an unlocked log could belong to a live compactor).
         let lock = LockGuard::acquire(&path)?;
         clean_orphaned_temps(&path)?;
+        if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            sweep_orphaned_locks(dir)?;
+        }
 
         let file = OpenOptions::new()
             .read(true)
@@ -760,6 +833,40 @@ mod tests {
         assert_eq!(cache.get(7), Some(&sample_failure()));
         assert_eq!(cache.open_report().loaded, 1);
         assert_eq!(cache.open_report().stale_evictions, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphaned_lock_sidecars_are_swept_on_open() {
+        let dir = temp_dir("lock-sweep");
+        let config = ProfileConfig::bhive();
+        // An orphan: a sidecar whose log was merged away by a killed
+        // shard run. A live sidecar: the one belonging to an existing
+        // log (reused, never swept).
+        let orphan = dir.join("measurements-hsw.s0of4.jsonl.lock");
+        std::fs::write(&orphan, b"").unwrap();
+        let live_log = dir.join("measurements-skl.jsonl");
+        std::fs::write(&live_log, b"").unwrap();
+        let live_lock = dir.join("measurements-skl.jsonl.lock");
+        std::fs::write(&live_lock, b"").unwrap();
+        {
+            let _cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+            assert!(!orphan.exists(), "orphaned sidecar swept on open");
+            assert!(live_lock.exists(), "sidecar with a live log is kept");
+        }
+        // A sidecar whose flock is held by a live writer is never swept,
+        // even when its log is missing (the holder may be about to
+        // create it).
+        let held_path = dir.join("measurements-ivb.jsonl");
+        let held = LockGuard::acquire(&held_path).unwrap();
+        {
+            let _cache = MeasurementCache::open(&dir, UarchKind::Haswell, &config).unwrap();
+            assert!(
+                LockGuard::lock_path(&held_path).exists(),
+                "held sidecar survives the sweep"
+            );
+        }
+        drop(held);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

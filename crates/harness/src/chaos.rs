@@ -31,6 +31,16 @@ pub struct FaultPlan {
     transients: BTreeSet<(usize, u32)>,
     /// Ordinals (0-based) of cache writes that fail with an I/O error.
     cache_write_errors: BTreeSet<usize>,
+    /// Connection ordinals (0-based accept order) that disconnect
+    /// mid-request: the chaos client sends half a line and hangs up.
+    conn_drops: BTreeSet<usize>,
+    /// Connection ordinals that stall mid-line (slow-loris): the chaos
+    /// client sends half a line and then nothing, holding the socket
+    /// open until the server's read deadline defeats it.
+    slow_loris: BTreeSet<usize>,
+    /// Request ordinals (0-based admission order) belonging to a burst:
+    /// the chaos client fires these concurrently to overload admission.
+    bursts: BTreeSet<usize>,
 }
 
 impl FaultPlan {
@@ -72,6 +82,37 @@ impl FaultPlan {
         self
     }
 
+    /// Disconnect the `conn`-th accepted connection mid-request.
+    #[must_use]
+    pub fn drop_connection_at(mut self, conn: usize) -> FaultPlan {
+        self.conn_drops.insert(conn);
+        self
+    }
+
+    /// Stall the `conn`-th accepted connection mid-line (slow-loris).
+    #[must_use]
+    pub fn slow_loris_at(mut self, conn: usize) -> FaultPlan {
+        self.slow_loris.insert(conn);
+        self
+    }
+
+    /// Mark the `request`-th admitted request as part of a concurrent
+    /// overload burst.
+    #[must_use]
+    pub fn burst_at(mut self, request: usize) -> FaultPlan {
+        self.bursts.insert(request);
+        self
+    }
+
+    /// Mark requests `first..first + len` as one overload burst.
+    #[must_use]
+    pub fn burst_of(mut self, first: usize, len: usize) -> FaultPlan {
+        for request in first..first + len {
+            self.bursts.insert(request);
+        }
+        self
+    }
+
     /// A randomized plan over `blocks` unique blocks, reproducible from
     /// `seed`: each block's attempt 0 panics with probability
     /// `panic_rate` and is forced transient with probability
@@ -91,7 +132,12 @@ impl FaultPlan {
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.panics.is_empty() && self.transients.is_empty() && self.cache_write_errors.is_empty()
+        self.panics.is_empty()
+            && self.transients.is_empty()
+            && self.cache_write_errors.is_empty()
+            && self.conn_drops.is_empty()
+            && self.slow_loris.is_empty()
+            && self.bursts.is_empty()
     }
 
     /// Number of planned panic sites.
@@ -122,6 +168,24 @@ impl FaultPlan {
     pub fn cache_error_sites(&self) -> impl Iterator<Item = usize> + '_ {
         self.cache_write_errors.iter().copied()
     }
+
+    /// Iterates the planned mid-request-disconnect connection ordinals,
+    /// in deterministic order.
+    pub fn conn_drop_sites(&self) -> impl Iterator<Item = usize> + '_ {
+        self.conn_drops.iter().copied()
+    }
+
+    /// Iterates the planned slow-loris connection ordinals, in
+    /// deterministic order.
+    pub fn slow_loris_sites(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slow_loris.iter().copied()
+    }
+
+    /// Iterates the planned burst request ordinals, in deterministic
+    /// order.
+    pub fn burst_sites(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bursts.iter().copied()
+    }
 }
 
 /// What an injector actually fired during a run.
@@ -133,12 +197,23 @@ pub struct ChaosStats {
     pub forced_transients: usize,
     /// Cache writes failed with an injected I/O error.
     pub cache_write_errors: usize,
+    /// Connections dropped mid-request by the chaos client.
+    pub dropped_connections: usize,
+    /// Connections stalled mid-line by the chaos client.
+    pub slow_loris_stalls: usize,
+    /// Requests fired as part of an overload burst.
+    pub burst_requests: usize,
 }
 
 impl ChaosStats {
     /// True when nothing fired.
     pub fn is_empty(&self) -> bool {
-        self.injected_panics == 0 && self.forced_transients == 0 && self.cache_write_errors == 0
+        self.injected_panics == 0
+            && self.forced_transients == 0
+            && self.cache_write_errors == 0
+            && self.dropped_connections == 0
+            && self.slow_loris_stalls == 0
+            && self.burst_requests == 0
     }
 }
 
@@ -151,6 +226,9 @@ pub struct ChaosInjector {
     panics: AtomicUsize,
     transients: AtomicUsize,
     cache_errors: AtomicUsize,
+    conn_drops: AtomicUsize,
+    loris_stalls: AtomicUsize,
+    burst_fires: AtomicUsize,
 }
 
 impl ChaosInjector {
@@ -195,12 +273,44 @@ impl ChaosInjector {
         fail
     }
 
+    /// True when the `conn`-th accepted connection must be dropped
+    /// mid-request. Consulted by the chaos *client* (the side able to
+    /// hang up); counted here so the suite can assert the plan fired.
+    pub fn drops_connection(&self, conn: usize) -> bool {
+        let drop = self.plan.conn_drops.contains(&conn);
+        if drop {
+            self.conn_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        drop
+    }
+
+    /// True when the `conn`-th accepted connection must stall mid-line.
+    pub fn is_slow_loris(&self, conn: usize) -> bool {
+        let stall = self.plan.slow_loris.contains(&conn);
+        if stall {
+            self.loris_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+        stall
+    }
+
+    /// True when the `request`-th request belongs to an overload burst.
+    pub fn in_burst(&self, request: usize) -> bool {
+        let burst = self.plan.bursts.contains(&request);
+        if burst {
+            self.burst_fires.fetch_add(1, Ordering::Relaxed);
+        }
+        burst
+    }
+
     /// Counters of the faults fired so far.
     pub fn stats(&self) -> ChaosStats {
         ChaosStats {
             injected_panics: self.panics.load(Ordering::Relaxed),
             forced_transients: self.transients.load(Ordering::Relaxed),
             cache_write_errors: self.cache_errors.load(Ordering::Relaxed),
+            dropped_connections: self.conn_drops.load(Ordering::Relaxed),
+            slow_loris_stalls: self.loris_stalls.load(Ordering::Relaxed),
+            burst_requests: self.burst_fires.load(Ordering::Relaxed),
         }
     }
 }
@@ -260,6 +370,31 @@ mod tests {
         injector.panic_if_planned(0, 0);
         assert!(!injector.forces_transient(0, 0));
         assert!(!injector.fail_cache_write(0));
+        assert!(!injector.drops_connection(0));
+        assert!(!injector.is_slow_loris(0));
+        assert!(!injector.in_burst(0));
         assert!(injector.stats().is_empty());
+    }
+
+    #[test]
+    fn connection_fault_plan_registers_and_counts() {
+        let plan = FaultPlan::new()
+            .drop_connection_at(2)
+            .slow_loris_at(4)
+            .burst_of(10, 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.conn_drop_sites().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(plan.slow_loris_sites().collect::<Vec<_>>(), vec![4]);
+        assert_eq!(plan.burst_sites().collect::<Vec<_>>(), vec![10, 11, 12]);
+        let injector = ChaosInjector::new(plan);
+        assert!(injector.drops_connection(2));
+        assert!(!injector.drops_connection(3));
+        assert!(injector.is_slow_loris(4));
+        assert!(injector.in_burst(11));
+        assert!(!injector.in_burst(13));
+        let stats = injector.stats();
+        assert_eq!(stats.dropped_connections, 1);
+        assert_eq!(stats.slow_loris_stalls, 1);
+        assert_eq!(stats.burst_requests, 1);
     }
 }

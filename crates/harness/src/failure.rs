@@ -125,6 +125,11 @@ pub enum ProfileFailure {
         /// Instructions the trace wanted retired.
         total_insts: u64,
     },
+    /// The run was interrupted (SIGINT/SIGTERM) before this block was
+    /// profiled. Transient by construction: nothing about the block
+    /// failed, so the outcome is never persisted and a resumed run
+    /// measures the block normally.
+    Interrupted,
 }
 
 impl ProfileFailure {
@@ -164,6 +169,7 @@ impl ProfileFailure {
         "encoding",
         "invalid-block",
         "non-convergent",
+        "interrupted",
     ];
 
     /// Short machine-readable category label (used in reports).
@@ -184,6 +190,7 @@ impl ProfileFailure {
             ProfileFailure::Encoding { .. } => "encoding",
             ProfileFailure::InvalidBlock { .. } => "invalid-block",
             ProfileFailure::NonConvergent { .. } => "non-convergent",
+            ProfileFailure::Interrupted => "interrupted",
         }
     }
 
@@ -193,6 +200,7 @@ impl ProfileFailure {
             ProfileFailure::Unreproducible { .. }
             | ProfileFailure::NegativeDelta { .. }
             | ProfileFailure::DirtyCounters { .. }
+            | ProfileFailure::Interrupted
             | ProfileFailure::Panic { .. } => FailureClass::Transient,
             ProfileFailure::Crash { .. }
             | ProfileFailure::TooManyFaults { .. }
@@ -267,11 +275,117 @@ impl fmt::Display for ProfileFailure {
                 "timing model failed to converge: {retired}/{total_insts} instructions \
                  retired within the {cycle_budget}-cycle budget"
             ),
+            ProfileFailure::Interrupted => {
+                f.write_str("run interrupted before this block was profiled")
+            }
         }
     }
 }
 
 impl Error for ProfileFailure {}
+
+/// Why a *request* to the serving layer was not answered with a
+/// measurement — the request-scoped counterpart of [`ProfileFailure`].
+///
+/// [`ProfileFailure`] describes properties of a *block*; these describe
+/// properties of a *request* (its timing, its client, the server's
+/// state), so they are never persisted in the measurement cache and
+/// never feed the circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RequestFailure {
+    /// The bounded miss queue was full; the client should retry after
+    /// the advertised delay.
+    QueueFull,
+    /// The client exhausted its token bucket; per-client fairness
+    /// throttled it before the shared queue was consulted.
+    RateLimited,
+    /// The server is degraded (breaker tripped or cache write failure)
+    /// and is shedding miss-work; warm hits are still served.
+    Shedding,
+    /// The server is draining for shutdown and admits no new work.
+    Draining,
+    /// The request's deadline budget expired before a worker picked the
+    /// job up; the block was never profiled on the request's behalf.
+    DeadlineExpired,
+    /// The per-request timeout degraded the request to a cache-only
+    /// answer and the cache had no entry.
+    MissTimeout,
+    /// The request line was not a well-formed `bhive-serve/v1` message.
+    Malformed,
+    /// The connection stalled mid-line past the read deadline
+    /// (slow-loris containment).
+    ReadTimeout,
+    /// The client disconnected mid-request.
+    Disconnected,
+}
+
+impl RequestFailure {
+    /// Every label [`RequestFailure::category`] can return, for the same
+    /// interning discipline as [`ProfileFailure::CATEGORIES`].
+    pub const CATEGORIES: &'static [&'static str] = &[
+        "queue-full",
+        "rate-limited",
+        "shedding",
+        "draining",
+        "deadline-expired",
+        "miss-timeout",
+        "malformed",
+        "read-timeout",
+        "disconnected",
+    ];
+
+    /// Short machine-readable category label (used on the wire and in
+    /// `serve.*` metrics).
+    pub fn category(&self) -> &'static str {
+        match self {
+            RequestFailure::QueueFull => "queue-full",
+            RequestFailure::RateLimited => "rate-limited",
+            RequestFailure::Shedding => "shedding",
+            RequestFailure::Draining => "draining",
+            RequestFailure::DeadlineExpired => "deadline-expired",
+            RequestFailure::MissTimeout => "miss-timeout",
+            RequestFailure::Malformed => "malformed",
+            RequestFailure::ReadTimeout => "read-timeout",
+            RequestFailure::Disconnected => "disconnected",
+        }
+    }
+
+    /// True when the same request, retried later, can succeed without
+    /// the client changing anything (server-side pressure, not a client
+    /// error). Drives whether a rejection carries `retry_after_ms`.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RequestFailure::QueueFull
+            | RequestFailure::RateLimited
+            | RequestFailure::Shedding
+            | RequestFailure::Draining => true,
+            RequestFailure::DeadlineExpired
+            | RequestFailure::MissTimeout
+            | RequestFailure::Malformed
+            | RequestFailure::ReadTimeout
+            | RequestFailure::Disconnected => false,
+        }
+    }
+}
+
+impl fmt::Display for RequestFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RequestFailure::QueueFull => "miss queue full; retry later",
+            RequestFailure::RateLimited => "client token bucket empty; retry later",
+            RequestFailure::Shedding => "server degraded; shedding miss-work",
+            RequestFailure::Draining => "server draining for shutdown",
+            RequestFailure::DeadlineExpired => "deadline expired before a worker ran the block",
+            RequestFailure::MissTimeout => "timed out waiting; no cached answer",
+            RequestFailure::Malformed => "malformed request line",
+            RequestFailure::ReadTimeout => "read deadline exceeded mid-request",
+            RequestFailure::Disconnected => "client disconnected mid-request",
+        })
+    }
+}
+
+impl Error for RequestFailure {}
 
 #[cfg(test)]
 mod tests {
@@ -343,7 +457,8 @@ mod tests {
     #[test]
     fn every_variant_has_a_class() {
         use FailureClass::{Permanent, Transient};
-        let cases: [(ProfileFailure, FailureClass); 12] = [
+        let cases: [(ProfileFailure, FailureClass); 13] = [
+            (ProfileFailure::Interrupted, Transient),
             (ProfileFailure::Crash { fault: "x".into() }, Permanent),
             (ProfileFailure::TooManyFaults { faults: 65 }, Permanent),
             (ProfileFailure::InvalidAddress { vaddr: 1 }, Permanent),
@@ -405,6 +520,32 @@ mod tests {
         }
         assert_eq!(Transient.to_string(), "transient");
         assert_eq!(Permanent.to_string(), "permanent");
+    }
+
+    #[test]
+    fn request_categories_are_unique_and_complete() {
+        let variants = [
+            RequestFailure::QueueFull,
+            RequestFailure::RateLimited,
+            RequestFailure::Shedding,
+            RequestFailure::Draining,
+            RequestFailure::DeadlineExpired,
+            RequestFailure::MissTimeout,
+            RequestFailure::Malformed,
+            RequestFailure::ReadTimeout,
+            RequestFailure::Disconnected,
+        ];
+        assert_eq!(variants.len(), RequestFailure::CATEGORIES.len());
+        let mut seen = std::collections::HashSet::new();
+        for v in variants {
+            assert!(seen.insert(v.category()), "duplicate {}", v.category());
+            assert!(RequestFailure::CATEGORIES.contains(&v.category()));
+        }
+        // Pressure rejections advertise a retry; client errors do not.
+        assert!(RequestFailure::QueueFull.is_retryable());
+        assert!(RequestFailure::Draining.is_retryable());
+        assert!(!RequestFailure::Malformed.is_retryable());
+        assert!(!RequestFailure::DeadlineExpired.is_retryable());
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Process-wide SIGINT/SIGTERM flag for graceful interruption.
+//!
+//! A batch `measure` run killed mid-write used to die wherever the
+//! signal landed — possibly between a cache append and its flush. With
+//! the handler installed, a signal only flips a flag; the worker pool
+//! ([`crate::profile_corpus_supervised`]) finishes the blocks in hand,
+//! resolves everything unclaimed as [`crate::ProfileFailure::Interrupted`]
+//! (transient — never persisted, re-measured on resume), and the run
+//! exits through the normal reporting path: the cache log is already
+//! flushed per record, and `run_report.json` carries a partial-run note
+//! instead of being absent or torn.
+//!
+//! The handler is registered with raw `signal(2)` FFI (no libc crate —
+//! same discipline as the cache's `flock` binding) and does nothing but
+//! store to a static `AtomicBool`, which is async-signal-safe. The
+//! serving layer does *not* use this module's flag for drains; it wires
+//! its own [`std::sync::atomic::AtomicBool`] so in-process tests can
+//! drain a server without raising process-wide signals.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGINT` — interactive interrupt (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` — polite termination request.
+pub const SIGTERM: i32 = 15;
+
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod ffi {
+    //! Raw binding for `signal(2)`. `sighandler_t` is a plain function
+    //! pointer on every Linux/macOS ABI we build for.
+    pub type Handler = extern "C" fn(i32);
+    extern "C" {
+        pub fn signal(signum: i32, handler: Handler) -> usize;
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // Only an atomic store: the one operation unconditionally
+    // async-signal-safe. Everything else happens on normal threads that
+    // poll the flag.
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM handler. Idempotent; later installs
+/// simply re-register the same handler. On non-Unix targets this is a
+/// no-op (the flag can still be set with [`request`]).
+pub fn install() {
+    #[cfg(unix)]
+    unsafe {
+        ffi::signal(SIGINT, on_signal);
+        ffi::signal(SIGTERM, on_signal);
+    }
+}
+
+/// True once a SIGINT/SIGTERM arrived (or [`request`] was called).
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::Relaxed)
+}
+
+/// Sets the flag programmatically — what the signal handler does, minus
+/// the signal. The flag is process-wide: in test binaries prefer
+/// [`crate::Supervision::stop`], which is scoped to one run.
+pub fn request() {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    // The flag is process-wide state shared with every other test in
+    // the binary, so the only safe in-process assertion is that install
+    // is callable and the flag starts clear; flipping it is exercised
+    // end-to-end by the CLI interrupt tests (separate process).
+    #[test]
+    fn install_is_idempotent_and_flag_starts_clear() {
+        super::install();
+        super::install();
+        assert!(!super::interrupted());
+    }
+}

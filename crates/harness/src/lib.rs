@@ -62,6 +62,7 @@ mod config;
 pub mod exegesis;
 mod failure;
 pub mod interference;
+pub mod interrupt;
 mod measurement;
 mod monitor;
 pub mod obs;
@@ -75,7 +76,7 @@ pub use cache::{
 };
 pub use chaos::{ChaosInjector, ChaosStats, FaultPlan};
 pub use config::{PageMapping, ProfileConfig, UnrollStrategy};
-pub use failure::{FailureClass, ProfileFailure};
+pub use failure::{FailureClass, ProfileFailure, RequestFailure};
 pub use measurement::{Measurement, TrialSet};
 pub use monitor::{monitor, monitor_observed, MappingOutcome};
 pub use obs::{

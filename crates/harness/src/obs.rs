@@ -578,6 +578,33 @@ pub enum TraceEvent {
         /// Write ordinal at which the cache was abandoned.
         ordinal: usize,
     },
+    /// The serving layer observed a client disconnect mid-request.
+    /// Keyed by accept-order connection ordinal, so a sequenced chaos
+    /// run traces each injected drop exactly once at its planned site.
+    ServeConnDropped {
+        /// 0-based accept-order connection ordinal.
+        conn: usize,
+    },
+    /// The serving layer cut a connection that stalled mid-line past
+    /// the read deadline (slow-loris containment).
+    ServeReadTimeout {
+        /// 0-based accept-order connection ordinal.
+        conn: usize,
+    },
+    /// Admission control rejected a request (queue full, rate limit,
+    /// shedding, or draining).
+    ServeRejected {
+        /// 0-based admission-order request ordinal.
+        request: usize,
+        /// The [`crate::RequestFailure`] category label.
+        reason: String,
+    },
+    /// A request's deadline expired before a worker picked it up; the
+    /// job was cancelled without profiling.
+    ServeDeadlineExpired {
+        /// 0-based admission-order request ordinal.
+        request: usize,
+    },
 }
 
 impl TraceEvent {
@@ -618,6 +645,10 @@ impl TraceEvent {
             E::BreakerTrip { at_block, .. } => (3, *at_block as u64, 0, 0),
             E::CacheWriteError { ordinal, .. } => (4, *ordinal as u64, 0, 0),
             E::CacheDegraded { ordinal } => (4, *ordinal as u64, 0, 1),
+            E::ServeConnDropped { conn } => (5, *conn as u64, 0, 0),
+            E::ServeReadTimeout { conn } => (5, *conn as u64, 0, 1),
+            E::ServeRejected { request, .. } => (5, *request as u64, 0, 2),
+            E::ServeDeadlineExpired { request } => (5, *request as u64, 0, 3),
         }
     }
 
@@ -641,6 +672,10 @@ impl TraceEvent {
             E::BreakerTrip { .. } => "breaker-trip",
             E::CacheWriteError { .. } => "cache-write-error",
             E::CacheDegraded { .. } => "cache-degraded",
+            E::ServeConnDropped { .. } => "serve-conn-dropped",
+            E::ServeReadTimeout { .. } => "serve-read-timeout",
+            E::ServeRejected { .. } => "serve-rejected",
+            E::ServeDeadlineExpired { .. } => "serve-deadline-expired",
         }
     }
 
@@ -901,6 +936,9 @@ pub struct RunReport {
     pub event_counts: BTreeMap<String, u64>,
     /// Ring-overflow drops (non-zero voids bit-identity).
     pub dropped_events: u64,
+    /// Partial-run note: true when SIGINT/SIGTERM cut the run short and
+    /// the remaining blocks were resolved as `interrupted` failures.
+    pub interrupted: bool,
     /// Merged deterministic metrics.
     pub metrics: Metrics,
     /// p50/p95/p99 of every deterministic histogram.

@@ -160,6 +160,13 @@ pub struct Supervision {
     /// never change what a measurement is (it stays out of the config
     /// fingerprint, and results are bit-identical either way).
     pub obs: ObsConfig,
+    /// Cooperative stop flag: when it flips true, workers finish the
+    /// block in hand, stop claiming new slots, and the remaining blocks
+    /// resolve as [`ProfileFailure::Interrupted`]. The process-wide
+    /// SIGINT/SIGTERM flag ([`crate::interrupt`]) is honored in addition
+    /// to this one; the field exists so tests can interrupt a run
+    /// without raising signals in a shared test process.
+    pub stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Supervision {
@@ -229,6 +236,11 @@ pub struct ProfileStats {
     /// The merged observability record, when [`Supervision::obs`] was
     /// enabled; `None` otherwise.
     pub obs: Option<RunObs>,
+    /// True when a SIGINT/SIGTERM cut the run short: unprofiled blocks
+    /// were resolved as [`ProfileFailure::Interrupted`] (transient, so a
+    /// resumed run re-measures them) and the report carries a
+    /// partial-run note instead of the process dying mid-write.
+    pub interrupted: bool,
 }
 
 /// Counters for a single worker thread.
@@ -350,9 +362,13 @@ impl ProfileStats {
                 injected_panics: a.injected_panics + b.injected_panics,
                 forced_transients: a.forced_transients + b.forced_transients,
                 cache_write_errors: a.cache_write_errors + b.cache_write_errors,
+                dropped_connections: a.dropped_connections + b.dropped_connections,
+                slow_loris_stalls: a.slow_loris_stalls + b.slow_loris_stalls,
+                burst_requests: a.burst_requests + b.burst_requests,
             }),
             (a, b) => a.or(b),
         };
+        self.interrupted |= other.interrupted;
         for (category, n) in &other.failures {
             *self.failures.entry(category).or_insert(0) += n;
         }
@@ -427,6 +443,7 @@ impl ProfileStats {
                 .collect(),
             event_counts: obs.event_counts(),
             dropped_events: obs.dropped_events,
+            interrupted: self.interrupted,
             metrics: obs.metrics.clone(),
             quantiles,
         })
@@ -497,6 +514,9 @@ impl std::fmt::Display for ProfileStats {
                 trip.rate * 100.0,
                 counted(trip.window, "block", "blocks"),
             )?;
+        }
+        if self.interrupted {
+            write!(f, "; INTERRUPTED: partial run, unprofiled blocks deferred")?;
         }
         if let Some(chaos) = &self.chaos {
             if !chaos.is_empty() {
@@ -698,11 +718,13 @@ pub fn profile_corpus_supervised(
     let worker_count = threads.min(pending.len());
     let mut first: Vec<Option<Result<Measurement, ProfileFailure>>> = vec![None; pending.len()];
     let mut write_ordinal = 0usize;
+    let stop = supervision.stop.as_deref();
     let (phase_a, mut worker_buffers) = run_workers(
         profiler,
         worker_count,
         pending.len(),
         ring,
+        stop,
         |slot, machine, stats, obs| {
             let unique = pending[slot];
             let block = &blocks[unique_rep[unique]];
@@ -793,6 +815,7 @@ pub fn profile_corpus_supervised(
                 threads.min(deferred.len()),
                 deferred.len(),
                 ring,
+                stop,
                 |dslot, machine, stats, obs| {
                     let slot = deferred[dslot];
                     let unique = pending[slot];
@@ -881,9 +904,22 @@ pub fn profile_corpus_supervised(
         }
     }
 
+    // An interrupted run leaves unclaimed (and unretried) slots
+    // unresolved; they become `Interrupted` — transient, never
+    // persisted — so a resumed run measures them normally.
+    let run_interrupted =
+        stop.is_some_and(|s| s.load(Ordering::Relaxed)) || crate::interrupt::interrupted();
+    let mut cut_short = false;
     let results: Vec<Result<Measurement, ProfileFailure>> = results
         .into_iter()
-        .map(|slot| slot.expect("every index resolved"))
+        .map(|slot| match slot {
+            Some(outcome) => outcome,
+            None => {
+                assert!(run_interrupted, "every index resolved");
+                cut_short = true;
+                Err(ProfileFailure::Interrupted)
+            }
+        })
         .collect();
 
     // Merge per-recorder buffers into the run record: concatenation order
@@ -930,6 +966,7 @@ pub fn profile_corpus_supervised(
         workers,
         cache: cache_was_active.then_some(disk),
         obs,
+        interrupted: cut_short,
     };
     CorpusReport { results, stats }
 }
@@ -1096,6 +1133,7 @@ fn run_workers<T, W, C>(
     worker_count: usize,
     items: usize,
     ring_capacity: Option<usize>,
+    stop: Option<&std::sync::atomic::AtomicBool>,
     work: W,
     mut collect: C,
 ) -> (Vec<WorkerStats>, Vec<EventBuffer>)
@@ -1120,6 +1158,15 @@ where
                     let mut stats = WorkerStats::default();
                     let mut obs = ring_capacity.map(EventBuffer::new);
                     loop {
+                        // Graceful interruption: finish the block in
+                        // hand, never start another. Checked before the
+                        // claim so an interrupted run leaves unclaimed
+                        // slots unresolved (they become `Interrupted`).
+                        if stop.is_some_and(|s| s.load(Ordering::Relaxed))
+                            || crate::interrupt::interrupted()
+                        {
+                            break;
+                        }
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         if slot >= items {
                             break;
@@ -1318,7 +1365,7 @@ mod tests {
             chaos: Some(ChaosStats {
                 injected_panics: 1,
                 forced_transients: 2,
-                cache_write_errors: 0,
+                ..ChaosStats::default()
             }),
             ..ProfileStats::default()
         };
@@ -1356,6 +1403,33 @@ mod tests {
         );
         assert_eq!(plain.results, chaotic.results, "empty plan injects nothing");
         assert_eq!(chaotic.stats.chaos, Some(ChaosStats::default()));
+    }
+
+    #[test]
+    fn preset_stop_flag_resolves_everything_as_interrupted() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let blocks: Vec<BasicBlock> = ["add rax, 1", "imul rbx, rcx", "add rax, 1"]
+            .iter()
+            .map(|t| parse_block(t).unwrap())
+            .collect();
+        let profiler = Profiler::new(Uarch::haswell(), ProfileConfig::bhive().quiet());
+        let supervision = Supervision {
+            stop: Some(Arc::new(AtomicBool::new(true))),
+            ..Supervision::default()
+        };
+        let report = profile_corpus_supervised(&profiler, &blocks, 2, None, &supervision);
+        assert!(report.stats.interrupted, "run must carry the partial note");
+        assert_eq!(report.stats.successful_blocks, 0);
+        assert_eq!(report.stats.failures["interrupted"], 3);
+        for result in &report.results {
+            assert_eq!(result, &Err(ProfileFailure::Interrupted));
+        }
+        assert!(
+            ProfileFailure::Interrupted.is_transient(),
+            "interrupted outcomes must never be persisted"
+        );
+        assert!(report.stats.to_string().contains("INTERRUPTED"));
     }
 
     #[test]

@@ -257,6 +257,7 @@ pub fn profile_corpus_sharded(
         breaker: supervision.breaker,
         chaos: None,
         obs: Default::default(),
+        stop: supervision.stop.clone(),
     };
     // The victim's owned *unique* keys, front-to-back in corpus order,
     // with the representative block for each.
@@ -762,6 +763,10 @@ pub fn stats_for_display(stats: &ShardStats) -> ProfileStats {
             .collect(),
         cache: stats.cache,
         obs: None,
+        // Certified shard reports are only written by runs that finished
+        // (an interrupted worker never certifies), so merged shard stats
+        // are complete by construction.
+        interrupted: false,
     }
 }
 

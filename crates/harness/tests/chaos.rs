@@ -234,6 +234,7 @@ fn transient_storm_trips_breaker_and_suspends_retries() {
             breaker,
             chaos: Some(ChaosInjector::new(plan.clone())),
             obs: ObsConfig::on(),
+            ..Supervision::default()
         };
         let report = profile_corpus_supervised(&profiler, &blocks, threads, None, &supervision);
         let trip = report

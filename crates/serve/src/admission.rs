@@ -1,0 +1,182 @@
+//! Admission control: per-client token buckets and queue bounds.
+//!
+//! The server never lets load turn into unbounded latency. Work that
+//! cannot be admitted is rejected *immediately* with an explicit
+//! [`RequestFailure`](bhive_harness::RequestFailure) reason and a
+//! `retry_after_ms` hint, in this order:
+//!
+//! 1. **Fairness** — each client (the request's `client` string) draws
+//!    from its own [`TokenBucket`]; one chatty client exhausts its own
+//!    bucket and is rejected `rate-limited` while everyone else keeps
+//!    being served.
+//! 2. **Queue bound** — miss-work goes onto a bounded queue; a full
+//!    queue rejects `queue-full` instead of growing without bound.
+//! 3. **Degradation shedding** — a tripped breaker or degraded cache
+//!    sheds *miss* work (`shedding`) while warm hits keep flowing; a
+//!    draining server sheds everything new (`draining`).
+//!
+//! Buckets refill continuously (`rate_per_sec`, capped at `burst`), so
+//! rejected clients that honor `retry_after_ms` are readmitted. A rate
+//! of 0 with burst `b` is a hard cap of `b` requests per connection
+//! lifetime — the deterministic setting the chaos tests pin.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A continuously refilling token bucket.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Maximum tokens the bucket holds (the burst size).
+    burst: f64,
+    /// Refill rate in tokens per second.
+    per_sec: f64,
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full: a new client gets its whole burst.
+    pub fn new(burst: u32, per_sec: f64, now: Instant) -> TokenBucket {
+        let burst = f64::from(burst.max(1));
+        TokenBucket {
+            burst,
+            per_sec: per_sec.max(0.0),
+            tokens: burst,
+            refilled: now,
+        }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let elapsed = now.saturating_duration_since(self.refilled).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.per_sec).min(self.burst);
+        self.refilled = now;
+    }
+
+    /// Takes one token if available; `false` means rate-limited.
+    pub fn admit(&mut self, now: Instant) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: Instant) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// Per-client fairness: one [`TokenBucket`] per distinct client name.
+///
+/// Clients are created on first sight with a full bucket. The map is
+/// bounded (`MAX_CLIENTS`); past the bound, *new* client names share
+/// one overflow bucket so an adversary inventing names per request
+/// cannot grow memory or dodge the limiter.
+#[derive(Debug)]
+pub struct ClientLimiter {
+    burst: u32,
+    per_sec: f64,
+    buckets: HashMap<String, TokenBucket>,
+    overflow: Option<TokenBucket>,
+}
+
+/// Distinct client names tracked before new names share one bucket.
+pub const MAX_CLIENTS: usize = 1024;
+
+impl ClientLimiter {
+    /// A limiter handing each client `burst` tokens refilled at
+    /// `per_sec`.
+    pub fn new(burst: u32, per_sec: f64) -> ClientLimiter {
+        ClientLimiter {
+            burst,
+            per_sec,
+            buckets: HashMap::new(),
+            overflow: None,
+        }
+    }
+
+    /// Admits or rejects one request from `client` at `now`.
+    pub fn admit(&mut self, client: &str, now: Instant) -> bool {
+        let (burst, per_sec) = (self.burst, self.per_sec);
+        let bucket = if self.buckets.len() >= MAX_CLIENTS && !self.buckets.contains_key(client) {
+            self.overflow
+                .get_or_insert_with(|| TokenBucket::new(burst, per_sec, now))
+        } else {
+            self.buckets
+                .entry(client.to_string())
+                .or_insert_with(|| TokenBucket::new(burst, per_sec, now))
+        };
+        bucket.admit(now)
+    }
+
+    /// Distinct clients currently tracked.
+    pub fn clients(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_starts_full_and_caps_at_burst() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(2, 10.0, t0);
+        assert!(bucket.admit(t0));
+        assert!(bucket.admit(t0));
+        assert!(!bucket.admit(t0), "burst of 2 exhausted");
+        // A long idle period refills back to burst, not beyond.
+        let later = t0 + Duration::from_secs(60);
+        assert_eq!(bucket.available(later), 2.0);
+    }
+
+    #[test]
+    fn zero_rate_is_a_hard_cap() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(1, 0.0, t0);
+        assert!(bucket.admit(t0));
+        assert!(!bucket.admit(t0 + Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn refill_readmits_after_the_advertised_wait() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::new(1, 10.0, t0);
+        assert!(bucket.admit(t0));
+        assert!(!bucket.admit(t0));
+        assert!(bucket.admit(t0 + Duration::from_millis(150)));
+    }
+
+    #[test]
+    fn limiter_isolates_clients() {
+        let t0 = Instant::now();
+        let mut limiter = ClientLimiter::new(1, 0.0);
+        assert!(limiter.admit("noisy", t0));
+        assert!(!limiter.admit("noisy", t0), "noisy exhausted its bucket");
+        assert!(limiter.admit("quiet", t0), "quiet is unaffected");
+        assert_eq!(limiter.clients(), 2);
+    }
+
+    #[test]
+    fn overflow_bucket_bounds_adversarial_client_names() {
+        let t0 = Instant::now();
+        let mut limiter = ClientLimiter::new(1, 0.0);
+        for i in 0..MAX_CLIENTS {
+            assert!(limiter.admit(&format!("c{i}"), t0));
+        }
+        assert_eq!(limiter.clients(), MAX_CLIENTS);
+        // New names now share one bucket: the first draw wins, the rest
+        // are limited, and the map stops growing.
+        assert!(limiter.admit("fresh-0", t0));
+        assert!(!limiter.admit("fresh-1", t0));
+        assert_eq!(limiter.clients(), MAX_CLIENTS);
+        // Known clients are still tracked individually.
+        assert!(!limiter.admit("c0", t0));
+    }
+}

@@ -1,0 +1,233 @@
+//! Connection-level chaos: a deterministic [`FaultPlan`] drives a
+//! misbehaving client, and every injected fault must be traced exactly
+//! once, at exactly its planned connection/request ordinal.
+//!
+//! The plan is the single source of truth: the chaos client consults
+//! it (via the [`ChaosInjector`] site queries, which count consultations
+//! for the final stats assertion) to decide which connection to drop
+//! mid-request, which to slow-loris, and which requests form a burst.
+//! The server has no idea chaos is running — it just has to contain
+//! each fault and trace it.
+
+use bhive_harness::{ChaosInjector, FaultPlan, TraceEvent};
+use bhive_serve::{BindAddr, Client, Conn, ServeConfig, Server};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ADD: &str = "4801d8";
+
+fn fast_config() -> ServeConfig {
+    ServeConfig {
+        read_timeout: Duration::from_millis(50),
+        drain_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    }
+}
+
+fn predict(id: u64, hex: &str) -> String {
+    format!(r#"{{"op":"predict","id":{id},"hex":"{hex}"}}"#)
+}
+
+/// The whole fault plan in one run: connections 0..5 in accept order,
+/// with connection 1 dropping mid-request, connection 3 slow-lorising,
+/// and the rest behaving. Every fault traces once, with the right
+/// ordinal, and the server keeps serving throughout.
+#[test]
+fn injected_connection_faults_trace_exactly_once_at_their_ordinals() {
+    let plan = FaultPlan::new().drop_connection_at(1).slow_loris_at(3);
+    let injector = Arc::new(ChaosInjector::new(plan));
+    let server =
+        Server::bind(fast_config(), &BindAddr::parse("tcp:127.0.0.1:0").unwrap()).expect("bind");
+    let addr = server.local_addr().clone();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    // Connections are opened one at a time, so accept order == open
+    // order and the plan's ordinals are deterministic.
+    for conn in 0..5usize {
+        let mut client = Client::connect(&addr).expect("connect");
+        if injector.drops_connection(conn) {
+            // Send half a request, then vanish: the server must see
+            // EOF-mid-line and trace ServeConnDropped{conn}.
+            client
+                .conn_mut()
+                .write_all(br#"{"op":"predict","id":99,"#)
+                .expect("partial write");
+            client.conn_mut().flush().expect("flush");
+            drop(client);
+        } else if injector.is_slow_loris(conn) {
+            // Send half a request, then stall past the read deadline:
+            // the server must cut us off (ServeReadTimeout{conn}), not
+            // hold a thread hostage.
+            client
+                .conn_mut()
+                .write_all(br#"{"op":"predict","id":98,"#)
+                .expect("partial write");
+            client.conn_mut().flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(200));
+            // Finishing the line now must NOT get an answer: the read
+            // deadline already closed the connection.
+            let late = client.roundtrip(r#""hex":"4801d8"}"#);
+            assert!(late.is_err(), "slow-loris connection was not cut");
+        } else {
+            let answer = client
+                .roundtrip(&predict(conn as u64, ADD))
+                .expect("answer");
+            assert!(answer.contains(r#""status":"ok""#), "conn {conn}: {answer}");
+            drop(client);
+        }
+        // Let the server finish tracing this connection before the next
+        // accept, keeping ordinals sequential.
+        std::thread::sleep(Duration::from_millis(120));
+    }
+
+    handle.shutdown();
+    let summary = thread.join().expect("thread").expect("run ok");
+
+    let drops: Vec<_> = summary
+        .obs
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ServeConnDropped { conn } => Some(*conn),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(drops, vec![1], "exactly one drop, at planned ordinal 1");
+
+    let stalls: Vec<_> = summary
+        .obs
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ServeReadTimeout { conn } => Some(*conn),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(stalls, vec![3], "exactly one stall, at planned ordinal 3");
+
+    assert_eq!(summary.conn_drops, 1);
+    assert_eq!(summary.read_timeouts, 1);
+    // The three healthy connections were all answered.
+    assert_eq!(summary.counters.requests, 3);
+
+    // The injector's consultation counters prove the client exercised
+    // every planned site.
+    let stats = injector.stats();
+    assert_eq!(stats.dropped_connections, 1);
+    assert_eq!(stats.slow_loris_stalls, 1);
+}
+
+/// A burst of requests planned by `burst_of` overwhelms a
+/// zero-capacity queue: every burst member is load-shed with
+/// `queue-full` + `retry_after_ms`, each rejection traces once with
+/// its own request ordinal, and the server survives to answer a
+/// normal request afterwards.
+#[test]
+fn burst_overload_is_shed_request_by_request() {
+    // Request 0 (a filler from its own connection) occupies the single
+    // queue slot while workers are gated; the planned burst is requests
+    // 1..=4, which all find the queue full.
+    let plan = FaultPlan::new().burst_of(1, 4);
+    let injector = Arc::new(ChaosInjector::new(plan));
+    let gate = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let cfg = ServeConfig {
+        queue_capacity: 1,
+        worker_gate: Some(Arc::clone(&gate)),
+        ..fast_config()
+    };
+    let server = Server::bind(cfg, &BindAddr::parse("tcp:127.0.0.1:0").unwrap()).expect("bind");
+    let addr = server.local_addr().clone();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let filler_addr = addr.clone();
+    let filler = std::thread::spawn(move || {
+        let mut client = Client::connect(&filler_addr).expect("filler connect");
+        client.roundtrip(&predict(0, ADD)).expect("filler answer")
+    });
+    // Let the filler land in the queue before the burst begins.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    for request in 1..=4usize {
+        assert!(injector.in_burst(request), "request {request} is planned");
+        let answer = client
+            .roundtrip(&predict(request as u64, ADD))
+            .expect("burst answer");
+        assert!(
+            answer.contains(r#""reason":"queue-full""#),
+            "burst request {request}: {answer}"
+        );
+        assert!(answer.contains("retry_after_ms"), "{answer}");
+    }
+    assert!(!injector.in_burst(5), "request 5 is past the burst");
+
+    // The burst is over; honoring retry_after (the gate opens, the
+    // filler drains) gets real answers again.
+    gate.store(false, std::sync::atomic::Ordering::Relaxed);
+    let filled = filler.join().expect("filler thread");
+    assert!(filled.contains(r#""status":"ok""#), "{filled}");
+    let answer = client.roundtrip(&predict(5, ADD)).expect("post-burst");
+    assert!(answer.contains(r#""status":"ok""#), "{answer}");
+    drop(client);
+
+    handle.shutdown();
+    let summary = thread.join().expect("thread").expect("run ok");
+    let rejected: Vec<_> = summary
+        .obs
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::ServeRejected { request, reason } => Some((*request, reason.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        rejected,
+        (1..=4)
+            .map(|r| (r, "queue-full".to_string()))
+            .collect::<Vec<_>>(),
+        "each burst member sheds once, in request order"
+    );
+    assert_eq!(injector.stats().burst_requests, 4, "burst sites consulted");
+    assert_eq!(summary.counters.rejected, 4);
+    assert_eq!(summary.counters.measured, 1, "only the filler was measured");
+}
+
+/// Dropping the connection *while a miss is being measured* must not
+/// leak the worker's answer anywhere strange or wedge the drain: the
+/// worker finishes, the reply goes nowhere, the server drains clean.
+#[test]
+fn mid_measurement_disconnect_is_contained() {
+    let gate = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let cfg = ServeConfig {
+        worker_gate: Some(Arc::clone(&gate)),
+        ..fast_config()
+    };
+    let server = Server::bind(cfg, &BindAddr::parse("tcp:127.0.0.1:0").unwrap()).expect("bind");
+    let addr = server.local_addr().clone();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    // Send a full request, then hang up before the answer can arrive
+    // (the gate guarantees the job is still queued when we vanish).
+    let mut conn = Conn::connect(&addr).expect("connect");
+    conn.write_all(predict(1, ADD).as_bytes()).expect("write");
+    conn.write_all(b"\n").expect("newline");
+    drop(conn);
+    std::thread::sleep(Duration::from_millis(100));
+    gate.store(false, std::sync::atomic::Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The server is still healthy for the next client.
+    let mut client = Client::connect(&addr).expect("reconnect");
+    let answer = client.roundtrip(&predict(2, ADD)).expect("answer");
+    assert!(answer.contains(r#""status":"ok""#), "{answer}");
+    drop(client);
+
+    handle.shutdown();
+    let summary = thread.join().expect("thread").expect("run ok");
+    assert!(summary.counters.measured >= 1, "the orphaned job completed");
+}

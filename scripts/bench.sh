@@ -71,3 +71,12 @@ BEGIN {
 cat BENCH_PR6.json >>BENCH_PR7.json
 echo "}" >>BENCH_PR7.json
 echo "wrote BENCH_PR7.json"
+
+# Serve latency probe: client-observed roundtrip latency against an
+# in-process `bhive serve` — p50/p99 for cold misses (each measured on
+# a worker) and warm hits (answered from the warm store), against the
+# direct-profiling batch baseline over the same blocks.
+cargo build -q --release -p bhive-serve --example serve_probe
+cargo run -q --release -p bhive-serve --example serve_probe -- \
+    --bench --cold 200 --warm 1000 | tee BENCH_PR8.json
+echo "wrote BENCH_PR8.json"

@@ -57,6 +57,32 @@ wait "$victim" 2>/dev/null || true
 "$bhive" measure --workers 2 --scale 25 --seed 7 --threads 2 \
     --cache "$shard_dir/cache" >"$shard_dir/sharded.csv" 2>/dev/null
 cmp "$shard_dir/serial.csv" "$shard_dir/sharded.csv"
+# Serve smoke: spawn the daemon on a unix socket, roundtrip a cold
+# miss, a warm hit, and a malformed request through the protocol
+# client, then SIGTERM it and assert a clean drain (exit 0).
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$shard_dir" "$serve_dir"' EXIT
+cargo build -q --release -p bhive-serve --example serve_probe
+"$bhive" serve --listen "unix:$serve_dir/bhive.sock" --no-cache \
+    --drain-ms 2000 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 50); do
+    [ -S "$serve_dir/bhive.sock" ] && break
+    sleep 0.1
+done
+probe=target/release/examples/serve_probe
+"$probe" --addr "unix:$serve_dir/bhive.sock" \
+    '{"op":"predict","id":1,"hex":"4801d8"}' \
+    '{"op":"predict","id":2,"hex":"4801d8"}' \
+    'this is not json' \
+    '{"op":"health"}' >"$serve_dir/answers"
+grep -q '"id":1,"status":"ok".*"source":"measured"' "$serve_dir/answers"
+grep -q '"id":2,"status":"ok".*"source":"cache"' "$serve_dir/answers"
+grep -q '"status":"error","reason":"malformed"' "$serve_dir/answers"
+grep -q '"status":"health","state":"serving"' "$serve_dir/answers"
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+test ! -e "$serve_dir/bhive.sock" # drain unlinks the socket
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
 else

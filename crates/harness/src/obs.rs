@@ -756,6 +756,15 @@ impl EventBuffer {
         self.wall_metrics.observe(name, layout, value);
     }
 
+    /// Adds to a wall-section counter: totals whose value depends on how
+    /// the scheduler interleaved work across workers (e.g. the lowering
+    /// cache's hit/miss split, which hinges on which block a worker
+    /// happened to profile last) and therefore must never enter the
+    /// deterministic section.
+    pub fn add_wall(&mut self, name: &str, delta: u64) {
+        self.wall_metrics.add(name, delta);
+    }
+
     /// Forwards a profiler-stage event, attaching the pipeline address,
     /// and folds its deterministic quantities into the metrics.
     pub fn attempt_event(&mut self, unique: usize, attempt: u32, event: AttemptEvent) {

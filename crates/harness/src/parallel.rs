@@ -1004,6 +1004,7 @@ fn attempt_block(
         // show exactly what ran).
         buf.add(kernel_tier_counter(), 1);
     }
+    let lower_before = machine.lower_stats();
     let forced = chaos.is_some_and(|c| c.forces_transient(unique, attempt));
     let outcome = if forced {
         Err(ProfileFailure::Unreproducible {
@@ -1037,6 +1038,20 @@ fn attempt_block(
         })
     };
     if let Some(buf) = obs.as_mut() {
+        // Lowering-cache traffic is wall-section material: whether this
+        // attempt's first lookup hits depends on which block this worker
+        // profiled last, i.e. on scheduling, not on the corpus.
+        // `saturating_sub` because a quarantine replaced the machine —
+        // and its counters — with fresh zeros mid-attempt.
+        let lower = machine.lower_stats();
+        buf.add_wall(
+            "sim.lower.hit",
+            lower.hits.saturating_sub(lower_before.hits),
+        );
+        buf.add_wall(
+            "sim.lower.miss",
+            lower.misses.saturating_sub(lower_before.misses),
+        );
         match &outcome {
             Ok(m) => {
                 buf.emit(TraceEvent::Accept {

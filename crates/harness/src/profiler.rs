@@ -207,7 +207,10 @@ impl Profiler {
         // both unroll factors replay it (the lo-factor trace is a prefix,
         // because execution is deterministic).
         let layout = CodeLayout::from_spans(spans, CODE_BASE);
-        let model = TimingModel::new(block.insts(), self.uarch);
+        // The machine caches the static half of the model (uop recipes,
+        // slot tables, fusion flags) alongside the block's lowering, so
+        // retry escalations rebuild neither.
+        let model = machine.take_timing_model(block.insts());
         machine.prepare_timing(&model, &mapping.trace, &layout);
 
         let result = (|| {
@@ -269,8 +272,10 @@ impl Profiler {
                 attempt,
             })
         })();
-        // Hand the trace buffer back to the machine (success or failure)
-        // so the next block reuses its allocation.
+        // Hand the trace buffer and the model's static half back to the
+        // machine (success or failure) so the next attempt — a retry of
+        // this block, most importantly — reuses both.
+        machine.put_timing_model(model);
         machine.put_trace_buffer(mapping.trace);
         result
     }

@@ -65,7 +65,11 @@ fn arb_stats(seed: u64) -> ProfileStats {
             injected_panics: rng.gen_range(0..50),
             forced_transients: rng.gen_range(0..50),
             cache_write_errors: rng.gen_range(0..50),
+            dropped_connections: rng.gen_range(0..50),
+            slow_loris_stalls: rng.gen_range(0..50),
+            burst_requests: rng.gen_range(0..50),
         }),
+        interrupted: false,
         failures,
         workers,
         cache: rng.gen_bool(0.5).then(|| CacheStats {

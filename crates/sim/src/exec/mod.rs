@@ -6,8 +6,12 @@
 //! value-dependent behaviours the timing model consumes — division
 //! latencies, subnormal slow-downs, and faults.
 
+pub(crate) mod lower;
+pub(crate) mod ops;
 mod scalar;
+mod scalar_ops;
 mod vector;
+mod vector_ops;
 
 use crate::mem::{Memory, SegFault};
 use crate::state::CpuState;

@@ -9,17 +9,17 @@ use crate::state::{CpuState, Flags};
 use bhive_asm::{Gpr, Inst, MemRef, Mnemonic, OpSize};
 
 /// Sign-extends `value` from `width` bytes to 64 bits.
-fn sext(value: u64, width: u8) -> i64 {
+pub(super) fn sext(value: u64, width: u8) -> i64 {
     let shift = 64 - u32::from(width) * 8;
     ((value << shift) as i64) >> shift
 }
 
 /// True if the low byte of `value` has even parity (x86 PF).
-fn parity(value: u64) -> bool {
+pub(super) fn parity(value: u64) -> bool {
     (value as u8).count_ones().is_multiple_of(2)
 }
 
-fn logic_flags(result: u64, width: u8) -> Flags {
+pub(super) fn logic_flags(result: u64, width: u8) -> Flags {
     let masked = result & width_mask(width);
     Flags {
         cf: false,
@@ -30,7 +30,7 @@ fn logic_flags(result: u64, width: u8) -> Flags {
     }
 }
 
-fn width_mask(width: u8) -> u64 {
+pub(super) fn width_mask(width: u8) -> u64 {
     match width {
         1 => 0xFF,
         2 => 0xFFFF,
@@ -43,7 +43,7 @@ fn width_mask(width: u8) -> u64 {
 /// formed in 128-bit arithmetic so carry-out is exact even at the
 /// wrap-around corner (`b == mask` with carry-in, where the 64-bit sum
 /// lands back on `a`).
-fn add_with_flags(a: u64, b: u64, carry_in: bool, width: u8) -> (u64, Flags) {
+pub(super) fn add_with_flags(a: u64, b: u64, carry_in: bool, width: u8) -> (u64, Flags) {
     let mask = width_mask(width);
     let (a, b) = (a & mask, b & mask);
     let wide = u128::from(a) + u128::from(b) + u128::from(carry_in);
@@ -65,7 +65,7 @@ fn add_with_flags(a: u64, b: u64, carry_in: bool, width: u8) -> (u64, Flags) {
 
 /// Computes `a - b - borrow_in` with full flag generation (exact borrow
 /// via 128-bit arithmetic).
-fn sub_with_flags(a: u64, b: u64, borrow_in: bool, width: u8) -> (u64, Flags) {
+pub(super) fn sub_with_flags(a: u64, b: u64, borrow_in: bool, width: u8) -> (u64, Flags) {
     let mask = width_mask(width);
     let (a, b) = (a & mask, b & mask);
     let rhs = u128::from(b) + u128::from(borrow_in);
@@ -359,11 +359,11 @@ pub(super) fn execute(
     Ok(())
 }
 
-fn size_of(width: u8) -> OpSize {
+pub(super) fn size_of(width: u8) -> OpSize {
     OpSize::from_bytes(width).unwrap_or(OpSize::Q)
 }
 
-fn write_mul_result(product: u128, width: u8, state: &mut CpuState) {
+pub(super) fn write_mul_result(product: u128, width: u8, state: &mut CpuState) {
     if width == 1 {
         // Byte multiply: AX = AL * src; RDX is untouched.
         state.set_gpr(Gpr::Rax, OpSize::W, product as u64 & 0xFFFF);
@@ -374,7 +374,7 @@ fn write_mul_result(product: u128, width: u8, state: &mut CpuState) {
     state.set_gpr(Gpr::Rdx, size, (product >> (width * 8)) as u64);
 }
 
-fn store_to(
+pub(super) fn store_to(
     vaddr: u64,
     width: u8,
     value: u64,
@@ -393,7 +393,7 @@ fn store_to(
     Ok(())
 }
 
-fn load_from(
+pub(super) fn load_from(
     vaddr: u64,
     width: u8,
     _state: &CpuState,

@@ -6,19 +6,19 @@ use crate::state::{CpuState, Mxcsr};
 use bhive_asm::{Inst, Mnemonic, Operand, VecWidth};
 
 /// A 32-byte operand value (vector register or memory contents, padded).
-type VBytes = [u8; 32];
+pub(super) type VBytes = [u8; 32];
 
-fn is_sub_f32(x: f32) -> bool {
+pub(super) fn is_sub_f32(x: f32) -> bool {
     x != 0.0 && x.is_finite() && x.abs() < f32::MIN_POSITIVE
 }
 
-fn is_sub_f64(x: f64) -> bool {
+pub(super) fn is_sub_f64(x: f64) -> bool {
     x != 0.0 && x.is_finite() && x.abs() < f64::MIN_POSITIVE
 }
 
 /// Applies DAZ to an input lane; records a subnormal event when gradual
 /// underflow is still enabled.
-fn daz32(x: f32, mxcsr: Mxcsr, subnormal: &mut bool) -> f32 {
+pub(super) fn daz32(x: f32, mxcsr: Mxcsr, subnormal: &mut bool) -> f32 {
     if is_sub_f32(x) {
         if mxcsr.daz {
             return if x.is_sign_negative() { -0.0 } else { 0.0 };
@@ -28,7 +28,7 @@ fn daz32(x: f32, mxcsr: Mxcsr, subnormal: &mut bool) -> f32 {
     x
 }
 
-fn daz64(x: f64, mxcsr: Mxcsr, subnormal: &mut bool) -> f64 {
+pub(super) fn daz64(x: f64, mxcsr: Mxcsr, subnormal: &mut bool) -> f64 {
     if is_sub_f64(x) {
         if mxcsr.daz {
             return if x.is_sign_negative() { -0.0 } else { 0.0 };
@@ -40,7 +40,7 @@ fn daz64(x: f64, mxcsr: Mxcsr, subnormal: &mut bool) -> f64 {
 
 /// Applies FTZ to a result lane; records a subnormal event when gradual
 /// underflow produced a subnormal result.
-fn ftz32(x: f32, mxcsr: Mxcsr, subnormal: &mut bool) -> f32 {
+pub(super) fn ftz32(x: f32, mxcsr: Mxcsr, subnormal: &mut bool) -> f32 {
     if is_sub_f32(x) {
         if mxcsr.ftz {
             return if x.is_sign_negative() { -0.0 } else { 0.0 };
@@ -50,7 +50,7 @@ fn ftz32(x: f32, mxcsr: Mxcsr, subnormal: &mut bool) -> f32 {
     x
 }
 
-fn ftz64(x: f64, mxcsr: Mxcsr, subnormal: &mut bool) -> f64 {
+pub(super) fn ftz64(x: f64, mxcsr: Mxcsr, subnormal: &mut bool) -> f64 {
     if is_sub_f64(x) {
         if mxcsr.ftz {
             return if x.is_sign_negative() { -0.0 } else { 0.0 };
@@ -60,43 +60,43 @@ fn ftz64(x: f64, mxcsr: Mxcsr, subnormal: &mut bool) -> f64 {
     x
 }
 
-fn get_f32(bytes: &VBytes, lane: usize) -> f32 {
+pub(super) fn get_f32(bytes: &VBytes, lane: usize) -> f32 {
     f32::from_le_bytes(bytes[lane * 4..lane * 4 + 4].try_into().expect("lane"))
 }
 
-fn set_f32(bytes: &mut VBytes, lane: usize, v: f32) {
+pub(super) fn set_f32(bytes: &mut VBytes, lane: usize, v: f32) {
     bytes[lane * 4..lane * 4 + 4].copy_from_slice(&v.to_le_bytes());
 }
 
-fn get_f64(bytes: &VBytes, lane: usize) -> f64 {
+pub(super) fn get_f64(bytes: &VBytes, lane: usize) -> f64 {
     f64::from_le_bytes(bytes[lane * 8..lane * 8 + 8].try_into().expect("lane"))
 }
 
-fn set_f64(bytes: &mut VBytes, lane: usize, v: f64) {
+pub(super) fn set_f64(bytes: &mut VBytes, lane: usize, v: f64) {
     bytes[lane * 8..lane * 8 + 8].copy_from_slice(&v.to_le_bytes());
 }
 
-fn get_u32(bytes: &VBytes, lane: usize) -> u32 {
+pub(super) fn get_u32(bytes: &VBytes, lane: usize) -> u32 {
     u32::from_le_bytes(bytes[lane * 4..lane * 4 + 4].try_into().expect("lane"))
 }
 
-fn set_u32(bytes: &mut VBytes, lane: usize, v: u32) {
+pub(super) fn set_u32(bytes: &mut VBytes, lane: usize, v: u32) {
     bytes[lane * 4..lane * 4 + 4].copy_from_slice(&v.to_le_bytes());
 }
 
-fn get_u64(bytes: &VBytes, lane: usize) -> u64 {
+pub(super) fn get_u64(bytes: &VBytes, lane: usize) -> u64 {
     u64::from_le_bytes(bytes[lane * 8..lane * 8 + 8].try_into().expect("lane"))
 }
 
-fn set_u64(bytes: &mut VBytes, lane: usize, v: u64) {
+pub(super) fn set_u64(bytes: &mut VBytes, lane: usize, v: u64) {
     bytes[lane * 8..lane * 8 + 8].copy_from_slice(&v.to_le_bytes());
 }
 
-fn get_u16(bytes: &VBytes, lane: usize) -> u16 {
+pub(super) fn get_u16(bytes: &VBytes, lane: usize) -> u16 {
     u16::from_le_bytes(bytes[lane * 2..lane * 2 + 2].try_into().expect("lane"))
 }
 
-fn set_u16(bytes: &mut VBytes, lane: usize, v: u16) {
+pub(super) fn set_u16(bytes: &mut VBytes, lane: usize, v: u16) {
     bytes[lane * 2..lane * 2 + 2].copy_from_slice(&v.to_le_bytes());
 }
 

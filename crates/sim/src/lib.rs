@@ -51,11 +51,12 @@ mod timing;
 pub use cache::Cache;
 pub use counters::PerfCounters;
 pub use exec::{effective_addr, execute_inst, ExecFault, InstEffects, MemAccess};
-pub use machine::{Machine, RunOutcome, CODE_BASE};
+pub use machine::{LowerStats, Machine, RunError, RunOutcome, CODE_BASE};
 pub use mem::{Memory, PhysPage, SegFault, PAGE_SIZE};
 pub use noise::NoiseConfig;
 pub use simd::SimdTier;
 pub use state::{CpuState, Flags, Mxcsr};
 pub use timing::{
-    CodeLayout, DynInst, NonConvergence, PreparedTrace, SimScratch, TimingModel, TimingResult,
+    CodeLayout, DynInst, NonConvergence, PreparedTrace, SimScratch, StaticPrep, TimingModel,
+    TimingResult,
 };

@@ -2,17 +2,23 @@
 
 use crate::cache::Cache;
 use crate::counters::PerfCounters;
+use crate::exec::lower::lower_block;
+use crate::exec::ops::{execute_op, LoweredBlock};
 use crate::exec::{execute_inst, ExecFault};
 use crate::mem::Memory;
 use crate::noise::NoiseConfig;
 use crate::state::CpuState;
 use crate::timing::{
-    CodeLayout, DynInst, NonConvergence, PreparedTrace, SimScratch, TimingModel, TimingResult,
+    CodeLayout, DynInst, NonConvergence, PreparedTrace, SimScratch, StaticPrep, TimingModel,
+    TimingResult,
 };
 use bhive_asm::{BasicBlock, Inst};
 use bhive_uarch::Uarch;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Default virtual address the harness places code at.
 pub const CODE_BASE: u64 = 0x40_0000;
@@ -31,6 +37,45 @@ struct TimingArena {
     l1i: Option<Cache>,
     l1d: Option<Cache>,
     trace: Vec<DynInst>,
+    lower: LowerCache,
+}
+
+/// One-entry cache of the most recent block's predecoded lowering and the
+/// static half of its timing prep, keyed by content hash and pinned by a
+/// structural instruction comparison (a hash collision can therefore slow
+/// a lookup down but never corrupt one). Lives in the arena so it
+/// survives [`Machine::recycle`]: the harness profiles one block per
+/// recycle, so every monitor fault-restart, both unroll factors, and each
+/// retry escalation of the same block reuse one lowering instead of
+/// re-decoding the operand/mnemonic enums per dynamic instruction.
+#[derive(Debug, Default)]
+struct LowerCache {
+    valid: bool,
+    hash: u64,
+    insts: Vec<Inst>,
+    lowered: LoweredBlock,
+    /// Present when no [`TimingModel`] currently borrows it; taken and
+    /// returned by `take_timing_model`/`put_timing_model`.
+    static_prep: Option<StaticPrep>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cumulative lowering-cache counters for one machine (monotonic; survive
+/// [`Machine::recycle`]). The harness folds per-attempt deltas into the
+/// run observability stream as `sim.lower.hit` / `sim.lower.miss`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerStats {
+    /// Lookups served by the cached lowering.
+    pub hits: u64,
+    /// Lookups that had to lower the block.
+    pub misses: u64,
+}
+
+fn block_hash(insts: &[Inst]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    insts.hash(&mut hasher);
+    hasher.finish()
 }
 
 /// Outcome of a full (functionally executed + timed) run.
@@ -40,6 +85,51 @@ pub struct RunOutcome {
     pub counters: PerfCounters,
     /// Number of dynamic instructions executed.
     pub dynamic_insts: usize,
+}
+
+/// Failure of the one-shot [`Machine::run`] entry point: either
+/// functional execution faulted, or the timing model exhausted its cycle
+/// budget. The harness's finer-grained pipeline maps both to
+/// `ProfileFailure`s; `run` surfaces them as a proper error instead of
+/// panicking on the (pathological but reachable) non-convergent case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// Functional execution faulted (page fault, divide error, `#UD`,
+    /// alignment `#GP`).
+    Fault(ExecFault),
+    /// The timing model failed to retire the trace within its cycle
+    /// budget.
+    NonConvergence(NonConvergence),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Fault(fault) => fault.fmt(f),
+            RunError::NonConvergence(nc) => nc.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Fault(fault) => Some(fault),
+            RunError::NonConvergence(nc) => Some(nc),
+        }
+    }
+}
+
+impl From<ExecFault> for RunError {
+    fn from(fault: ExecFault) -> RunError {
+        RunError::Fault(fault)
+    }
+}
+
+impl From<NonConvergence> for RunError {
+    fn from(nc: NonConvergence) -> RunError {
+        RunError::NonConvergence(nc)
+    }
 }
 
 /// A simulated x86-64 machine: architectural state, memory, caches,
@@ -159,11 +249,72 @@ impl Machine {
     /// Like [`Machine::execute_unrolled`], but fills a caller-owned buffer
     /// (cleared first) so the harness can reuse one allocation per worker.
     ///
+    /// Executes over the block's predecoded lowering (see
+    /// `crate::exec::lower`), obtained from the machine's one-entry
+    /// lowering cache: the per-instruction operand/mnemonic decode is paid
+    /// once per block, not once per dynamic instruction of every restart.
+    ///
     /// # Errors
     ///
     /// Returns the first [`ExecFault`]; `trace` holds the instructions
     /// executed before it.
     pub fn execute_unrolled_into(
+        &mut self,
+        insts: &[Inst],
+        unroll: u32,
+        trace: &mut Vec<DynInst>,
+    ) -> Result<(), ExecFault> {
+        trace.clear();
+        self.ensure_lowered(insts);
+        let Machine {
+            uarch,
+            state,
+            mem,
+            timing,
+            ..
+        } = self;
+        let lowered = &timing.lower.lowered;
+        // Hoisted out of the old per-call operand scan: lowering already
+        // recorded whether the block needs AVX2.
+        if lowered.uses_avx2 && !uarch.supports_avx2 {
+            return Err(ExecFault::InvalidOpcode);
+        }
+        // Materialize the whole trace up front with one bulk zeroing pass,
+        // then let each kernel call record its effects straight into its
+        // slot: no per-instruction 80-byte push temporaries and no
+        // `InstEffects` bounced through return values. On a fault the
+        // trace is truncated to the completed prefix, matching the
+        // reference loop's push-after-execute order.
+        let total = lowered.ops.len() * unroll as usize;
+        trace.resize(total, DynInst::default());
+        let mut filled = 0usize;
+        for copy in 0..unroll {
+            for (static_idx, op) in lowered.ops.iter().enumerate() {
+                let slot = &mut trace[filled];
+                slot.static_idx = static_idx;
+                slot.copy = copy;
+                if let Err(fault) = execute_op(op, state, mem, &mut slot.effects) {
+                    trace.truncate(filled);
+                    return Err(fault);
+                }
+                filled += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The pre-lowering interpreter loop, retained verbatim: re-matches
+    /// `Mnemonic`/`Operand` enums per dynamic instruction via
+    /// [`execute_inst`]. It is the semantic reference the lowered path in
+    /// [`Machine::execute_unrolled_into`] is differentially tested
+    /// against (`sim/tests/exec_differential.rs`), and the baseline the
+    /// benchmark compares speedups to.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ExecFault`]; `trace` holds the instructions
+    /// executed before it.
+    pub fn execute_unrolled_reference_into(
         &mut self,
         insts: &[Inst],
         unroll: u32,
@@ -194,6 +345,62 @@ impl Machine {
             }
         }
         Ok(())
+    }
+
+    /// Makes the lowering cache current for `insts`: a structural
+    /// equality check on hit (which fails fast on the first differing
+    /// instruction, so it is cheaper than hashing the probe block — the
+    /// stored content hash identifies the entry but is only computed on
+    /// fill), a fresh [`lower_block`] pass on miss (which also
+    /// invalidates any cached static timing prep).
+    fn ensure_lowered(&mut self, insts: &[Inst]) {
+        let cache = &mut self.timing.lower;
+        if cache.valid && cache.insts.as_slice() == insts {
+            cache.hits += 1;
+            return;
+        }
+        cache.misses += 1;
+        cache.valid = true;
+        cache.hash = block_hash(insts);
+        cache.insts.clear();
+        cache.insts.extend_from_slice(insts);
+        cache.lowered = lower_block(insts);
+        cache.static_prep = None;
+    }
+
+    /// Cumulative lowering-cache hit/miss counters (monotonic across
+    /// [`Machine::recycle`]). The harness reports per-attempt deltas.
+    pub fn lower_stats(&self) -> LowerStats {
+        LowerStats {
+            hits: self.timing.lower.hits,
+            misses: self.timing.lower.misses,
+        }
+    }
+
+    /// Builds a [`TimingModel`] for `insts`, reusing the cached static
+    /// half (uop decomposition, register-slot tables, macro-fusion) when
+    /// this block is the one the lowering cache holds — i.e. on every
+    /// retry escalation and both unroll factors of one profiled block.
+    /// Return the model with [`Machine::put_timing_model`] so the next
+    /// attempt reuses it.
+    pub fn take_timing_model<'a>(&mut self, insts: &'a [Inst]) -> TimingModel<'a> {
+        self.ensure_lowered(insts);
+        match self.timing.lower.static_prep.take() {
+            Some(sp) => TimingModel::with_static(insts, self.uarch, sp),
+            None => TimingModel::new(insts, self.uarch),
+        }
+    }
+
+    /// Returns a model's static half to the lowering cache. A model for a
+    /// different block (or uarch) than the cache currently holds is simply
+    /// dropped — the cache never goes stale.
+    pub fn put_timing_model(&mut self, model: TimingModel<'_>) {
+        let matches = self.timing.lower.valid
+            && std::ptr::eq(model.uarch(), self.uarch)
+            && model.insts() == self.timing.lower.insts.as_slice();
+        if matches {
+            self.timing.lower.static_prep = Some(model.into_static());
+        }
     }
 
     /// Borrows the arena's dynamic-trace buffer (empty the first time).
@@ -294,24 +501,19 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates functional-execution faults.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the timing model fails to converge; the harness maps
-    /// that to a `ProfileFailure` instead, but this convenience entry
-    /// point has no failure channel for it.
-    pub fn run(&mut self, insts: &[Inst], unroll: u32) -> Result<RunOutcome, ExecFault> {
+    /// Returns [`RunError::Fault`] for functional-execution faults and
+    /// [`RunError::NonConvergence`] if the timing model exhausts its
+    /// cycle budget (a pathological schedule).
+    pub fn run(&mut self, insts: &[Inst], unroll: u32) -> Result<RunOutcome, RunError> {
         let mut trace = self.take_trace_buffer();
         let outcome = (|| {
             self.execute_unrolled_into(insts, unroll, &mut trace)?;
             let layout =
                 CodeLayout::from_block(insts, CODE_BASE).map_err(|_| ExecFault::InvalidOpcode)?;
-            let model = TimingModel::new(insts, self.uarch);
+            let model = self.take_timing_model(insts);
             self.prepare_timing(&model, &trace, &layout);
-            let timing = self
-                .simulate_double(&model, trace.len())
-                .expect("timing model failed to converge on a real schedule");
+            let timing = self.simulate_double(&model, trace.len())?;
+            self.put_timing_model(model);
             let mut counters = self.observe(&timing);
             counters.subnormal_events = trace.iter().filter(|d| d.effects.subnormal).count() as u64;
             Ok(RunOutcome {
@@ -354,7 +556,7 @@ mod tests {
         machine.reset(0x1234_5600);
         let err = machine.run(block.insts(), 4).unwrap_err();
         match err {
-            ExecFault::Seg(s) => assert_eq!(s.vaddr, 0x1234_5600),
+            RunError::Fault(ExecFault::Seg(s)) => assert_eq!(s.vaddr, 0x1234_5600),
             other => panic!("expected segfault, got {other:?}"),
         }
     }
@@ -378,7 +580,7 @@ mod tests {
         assert!(!ivb.supports(&block));
         assert_eq!(
             ivb.run(block.insts(), 2).unwrap_err(),
-            ExecFault::InvalidOpcode
+            RunError::Fault(ExecFault::InvalidOpcode)
         );
         let mut hsw = Machine::new(Uarch::haswell(), 0);
         hsw.reset(0);

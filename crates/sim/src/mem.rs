@@ -7,9 +7,43 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Page size (4 KiB), matching x86-64.
 pub const PAGE_SIZE: u64 = 4096;
+
+/// Multiplicative hasher for the page table's `u64` page-number keys.
+///
+/// Address translation runs once or twice per simulated memory access, so
+/// the default SipHash costs more than the table probe itself. Page
+/// numbers are attacker-free simulator-internal values; a single
+/// multiply-xor round spreads them well enough. Nothing observable
+/// iterates the table (page-id dumps are sorted), so the order change is
+/// invisible.
+#[derive(Default)]
+struct PageNumberHasher(u64);
+
+impl Hasher for PageNumberHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by the page table).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let h = (n ^ self.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type PageTable = HashMap<u64, PhysPage, BuildHasherDefault<PageNumberHasher>>;
 
 /// Identifier of a physical page inside the simulated machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -35,7 +69,7 @@ pub struct SegFault {
 /// keeping physical addresses (and therefore cache tags) bit-identical.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    table: HashMap<u64, PhysPage>,
+    table: PageTable,
     pages: Vec<Box<[u8]>>,
     free: Vec<u32>,
 }
@@ -218,6 +252,98 @@ impl Memory {
     /// Returns [`SegFault`] if any byte is unmapped.
     pub fn write_scalar(&mut self, vaddr: u64, width: u8, value: u64) -> Result<(), SegFault> {
         self.write(vaddr, &value.to_le_bytes()[..width as usize])
+    }
+
+    /// Reads a scalar and its physical address with a single translation
+    /// when the access stays inside one page (the overwhelmingly common
+    /// case); page-crossing accesses fall back to the two-step path.
+    ///
+    /// Bit-identical to `read_scalar` + `phys_addr`: within one page the
+    /// first (and only) faultable byte is `vaddr` itself, so the reported
+    /// fault matches the general path's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegFault`] if any byte is unmapped.
+    pub fn read_scalar_paddr(&self, vaddr: u64, width: u8) -> Result<(u64, u64), SegFault> {
+        let off = vaddr % PAGE_SIZE;
+        if off + u64::from(width) <= PAGE_SIZE {
+            let (page, off) = self.translate(vaddr, false)?;
+            let src = &self.pages[page.0 as usize][off as usize..off as usize + width as usize];
+            let mut buf = [0u8; 8];
+            buf[..width as usize].copy_from_slice(src);
+            Ok((u64::from_le_bytes(buf), u64::from(page.0) * PAGE_SIZE + off))
+        } else {
+            let value = self.read_scalar(vaddr, width)?;
+            let paddr = self.phys_addr(vaddr, false)?;
+            Ok((value, paddr))
+        }
+    }
+
+    /// Reads a byte slice and returns its physical address with a single
+    /// translation on non-page-crossing accesses. See
+    /// [`Memory::read_scalar_paddr`] for the fault-equivalence argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegFault`] if any byte is unmapped.
+    pub fn read_paddr(&self, vaddr: u64, buf: &mut [u8]) -> Result<u64, SegFault> {
+        let off = vaddr % PAGE_SIZE;
+        if off + buf.len() as u64 <= PAGE_SIZE {
+            let (page, off) = self.translate(vaddr, false)?;
+            buf.copy_from_slice(
+                &self.pages[page.0 as usize][off as usize..off as usize + buf.len()],
+            );
+            Ok(u64::from(page.0) * PAGE_SIZE + off)
+        } else {
+            self.read(vaddr, buf)?;
+            self.phys_addr(vaddr, false)
+        }
+    }
+
+    /// Writes a byte slice and returns its physical address with a single
+    /// translation on non-page-crossing accesses. See
+    /// [`Memory::read_scalar_paddr`] for the fault-equivalence argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegFault`] if any byte is unmapped.
+    pub fn write_paddr(&mut self, vaddr: u64, bytes: &[u8]) -> Result<u64, SegFault> {
+        let off = vaddr % PAGE_SIZE;
+        if off + bytes.len() as u64 <= PAGE_SIZE {
+            let (page, off) = self.translate(vaddr, true)?;
+            self.pages[page.0 as usize][off as usize..off as usize + bytes.len()]
+                .copy_from_slice(bytes);
+            Ok(u64::from(page.0) * PAGE_SIZE + off)
+        } else {
+            self.write(vaddr, bytes)?;
+            self.phys_addr(vaddr, true)
+        }
+    }
+
+    /// Writes a scalar and returns its physical address with a single
+    /// translation on non-page-crossing accesses. See
+    /// [`Memory::read_scalar_paddr`] for the fault-equivalence argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SegFault`] if any byte is unmapped.
+    pub fn write_scalar_paddr(
+        &mut self,
+        vaddr: u64,
+        width: u8,
+        value: u64,
+    ) -> Result<u64, SegFault> {
+        let off = vaddr % PAGE_SIZE;
+        if off + u64::from(width) <= PAGE_SIZE {
+            let (page, off) = self.translate(vaddr, true)?;
+            let dst = &mut self.pages[page.0 as usize][off as usize..off as usize + width as usize];
+            dst.copy_from_slice(&value.to_le_bytes()[..width as usize]);
+            Ok(u64::from(page.0) * PAGE_SIZE + off)
+        } else {
+            self.write_scalar(vaddr, width, value)?;
+            self.phys_addr(vaddr, true)
+        }
     }
 }
 

@@ -109,7 +109,7 @@ impl CodeLayout {
 
 /// One dynamic instruction of the trace: which static instruction, which
 /// unrolled copy, and its value-dependent effects.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DynInst {
     /// Index into the static block.
     pub static_idx: usize,
@@ -605,23 +605,25 @@ fn static_info(inst: &Inst, recipe: &Recipe) -> StaticInfo {
     }
 }
 
-/// The reusable timing model for a fixed static block on one
-/// microarchitecture.
-#[derive(Debug)]
-pub struct TimingModel<'a> {
-    uarch: &'a Uarch,
-    insts: &'a [Inst],
+/// The static (trace-independent) half of a [`TimingModel`]: the uop
+/// decomposition of every instruction, the register-slot read/write
+/// tables, and the macro-fusion flags. It depends only on the block's
+/// instructions and the microarchitecture — never on a dynamic trace —
+/// so a machine caches it alongside the lowered block and hands it back
+/// to every retry attempt, monitor restart, and unroll factor (see
+/// `Machine::take_timing_model`) instead of rebuilding it per attempt.
+#[derive(Debug, Clone)]
+pub struct StaticPrep {
     recipes: Vec<Recipe>,
     statics: Vec<StaticInfo>,
     /// Static instruction is macro-fused into its predecessor.
     fused_into_prev: Vec<bool>,
 }
 
-impl<'a> TimingModel<'a> {
-    /// Builds the model: decomposes every static instruction (through the
-    /// per-thread recipe memo) and precomputes macro-fusion and the
-    /// register-slot tables.
-    pub fn new(insts: &'a [Inst], uarch: &'a Uarch) -> TimingModel<'a> {
+impl StaticPrep {
+    /// Decomposes every static instruction (through the per-thread recipe
+    /// memo) and precomputes macro-fusion and the register-slot tables.
+    pub fn build(insts: &[Inst], uarch: &Uarch) -> StaticPrep {
         let recipes: Vec<Recipe> = insts
             .iter()
             .map(|inst| decompose_cached(inst, uarch))
@@ -637,18 +639,85 @@ impl<'a> TimingModel<'a> {
                 fused_into_prev[i] = true;
             }
         }
-        TimingModel {
-            uarch,
-            insts,
+        StaticPrep {
             recipes,
             statics,
             fused_into_prev,
         }
     }
 
+    /// Number of static instructions this prep describes.
+    pub fn len(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// True if built from an empty block.
+    pub fn is_empty(&self) -> bool {
+        self.recipes.is_empty()
+    }
+}
+
+/// The reusable timing model for a fixed static block on one
+/// microarchitecture.
+#[derive(Debug)]
+pub struct TimingModel<'a> {
+    uarch: &'a Uarch,
+    insts: &'a [Inst],
+    recipes: Vec<Recipe>,
+    statics: Vec<StaticInfo>,
+    /// Static instruction is macro-fused into its predecessor.
+    fused_into_prev: Vec<bool>,
+}
+
+impl<'a> TimingModel<'a> {
+    /// Builds the model from scratch: [`StaticPrep::build`] plus the
+    /// borrows. Callers that profile the same block repeatedly should
+    /// round-trip the static half through `Machine::take_timing_model` /
+    /// `put_timing_model` instead.
+    pub fn new(insts: &'a [Inst], uarch: &'a Uarch) -> TimingModel<'a> {
+        TimingModel::with_static(insts, uarch, StaticPrep::build(insts, uarch))
+    }
+
+    /// Assembles a model around a previously built [`StaticPrep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sp` was built for a different number of instructions —
+    /// the cheap guard against pairing a prep with the wrong block (full
+    /// identity is the caller's contract).
+    pub fn with_static(insts: &'a [Inst], uarch: &'a Uarch, sp: StaticPrep) -> TimingModel<'a> {
+        assert_eq!(
+            sp.len(),
+            insts.len(),
+            "static prep built for a different block"
+        );
+        TimingModel {
+            uarch,
+            insts,
+            recipes: sp.recipes,
+            statics: sp.statics,
+            fused_into_prev: sp.fused_into_prev,
+        }
+    }
+
+    /// Releases the static half for reuse by a later
+    /// [`TimingModel::with_static`] on the same block.
+    pub fn into_static(self) -> StaticPrep {
+        StaticPrep {
+            recipes: self.recipes,
+            statics: self.statics,
+            fused_into_prev: self.fused_into_prev,
+        }
+    }
+
     /// The microarchitecture the model targets.
     pub fn uarch(&self) -> &Uarch {
         self.uarch
+    }
+
+    /// The static block the model was built for.
+    pub fn insts(&self) -> &'a [Inst] {
+        self.insts
     }
 
     /// Resolves the concrete latency of a variable-latency uop against the

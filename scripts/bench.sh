@@ -3,7 +3,7 @@
 #
 # Runs the Criterion profiler/corpus benches (pipeline hot paths) and the
 # fast machine-readable probe, then writes the probe's JSON to
-# BENCH_PR6.json at the repo root:
+# BENCH_PR9.json at the repo root:
 #
 #   simd_tier                     — simulate-kernel dispatch tier
 #       (avx2 / sse4.1 / scalar; BHIVE_SIMD=off forces scalar)
@@ -12,7 +12,14 @@
 #       by all attempted blocks, failures included)
 #   cold_blocks_per_sec_1t_obs / obs_overhead_pct — same run with event
 #       tracing + metrics on (acceptance: overhead ≤ 2%)
-#   execute/prepare/simulate_ns_per_block — per-stage costs
+#   monitor_ns_per_block / faults_per_block — the paper's fault-service
+#       loop (reset + refill + re-execute per fault) until fault-free
+#   execute_ns_per_block / execute_ref_ns_per_block / execute_speedup —
+#       the predecoded executor vs the retained reference interpreter
+#       over the same blocks (before/after for the lowered fast path)
+#   prepare/prepare_static/simulate_ns_per_block — per-stage costs
+#   lower_hits / lower_misses     — per-machine lowering-cache reuse
+#       across the staged loop (hits = re-executions that skipped decode)
 #
 # then times a cold sharded 2-worker run against the serial 1T baseline
 # and writes both to BENCH_PR7.json (single-process probe nested inside).
@@ -29,8 +36,8 @@ if [[ "${1:-}" != "--skip-criterion" ]]; then
 fi
 
 cargo build -q --release -p bhive-bench --example bench_json
-cargo run -q --release -p bhive-bench --example bench_json | tee BENCH_PR6.json
-echo "wrote BENCH_PR6.json"
+cargo run -q --release -p bhive-bench --example bench_json | tee BENCH_PR9.json
+echo "wrote BENCH_PR9.json"
 
 # Sharded cold-throughput probe: the same corpus profiled cold twice —
 # serial single-thread, then sharded across 2 worker processes (the
@@ -68,7 +75,7 @@ BEGIN {
     printf "  \"sharded_speedup\": %.2f,\n", serial_ns / sharded_ns
     printf "  \"single_process\": "
 }' >BENCH_PR7.json
-cat BENCH_PR6.json >>BENCH_PR7.json
+cat BENCH_PR9.json >>BENCH_PR7.json
 echo "}" >>BENCH_PR7.json
 echo "wrote BENCH_PR7.json"
 

@@ -12,6 +12,12 @@ cargo test -q
 # (The suite itself additionally pins every *available* tier per case.)
 cargo test -q -p bhive-sim --test differential
 BHIVE_SIMD=off cargo test -q -p bhive-sim --test differential
+# Executor differential, twice for the same reason: the predecoded
+# `ExecOp` path must be bit-identical to the retained reference
+# interpreter (traces, faults, state, stored memory) on every restart of
+# the fault-service loop, at both harness unroll factors.
+cargo test -q -p bhive-sim --test exec_differential
+BHIVE_SIMD=off cargo test -q -p bhive-sim --test exec_differential
 # Chaos suite: injected panics, forced transients, cache-write errors,
 # and breaker trips must all stay contained. Includes the noisy-corpus
 # smoke (retries on, recovery rate > 10% of transiently failed blocks).
@@ -24,8 +30,32 @@ cargo test -q -p bhive-harness --test obs_properties
 cargo build --examples
 cargo bench --no-run
 # Bench smoke: the machine-readable perf probe must run end to end (the
-# full run is scripts/bench.sh, which emits BENCH_PR6.json).
-cargo run -q --release -p bhive-bench --example bench_json -- --smoke >/dev/null
+# full run is scripts/bench.sh, which emits BENCH_PR9.json) and report
+# every stage of the split execute measurement: the monitor fault-service
+# loop, the lowered-vs-reference executor pair, and the lowering-cache
+# counters (hits prove re-executions actually reuse one lowering).
+smoke_json="$(mktemp)"
+cargo run -q --release -p bhive-bench --example bench_json -- --smoke >"$smoke_json"
+for field in monitor_ns_per_block faults_per_block execute_ns_per_block \
+    execute_ref_ns_per_block execute_speedup prepare_static_ns_per_block \
+    lower_hits lower_misses; do
+    grep -q "\"$field\"" "$smoke_json" || {
+        echo "bench smoke: missing field $field" >&2
+        exit 1
+    }
+done
+python3 - "$smoke_json" <<'PY'
+import json, sys
+probe = json.load(open(sys.argv[1]))
+assert probe["execute_ns_per_block"] > 0, "execute stage never ran"
+assert probe["execute_ref_ns_per_block"] > 0, "reference stage never ran"
+assert probe["lower_misses"] > 0, "lowering cache never filled"
+assert probe["lower_hits"] > probe["lower_misses"], (
+    "re-executions are not reusing the lowering cache: "
+    f"{probe['lower_hits']} hits vs {probe['lower_misses']} misses"
+)
+PY
+rm -f "$smoke_json"
 # CLI smoke: a supervised run with a retry budget exits 0 and reports.
 cargo run -q --release -p bhive -- profile --retries 2 <<'EOF'
 add rax, 1

@@ -51,6 +51,11 @@ UTILITIES:
                       schedules misses onto the profiling worker pool
                       (line-delimited JSON, protocol bhive-serve/v1);
                       SIGTERM/SIGINT drains in-flight work and exits
+    calibrate         Measure the targeted probe battery on --uarch,
+                      fit candidate latency/port tables, and write a
+                      deterministic diff-report against the shipped
+                      tables (byte-identical at any --threads count
+                      and across kill/resume of a --cache'd run)
 
 OPTIONS:
     --scale N         Blocks per application (default 150)
@@ -78,6 +83,12 @@ OPTIONS:
     --retries N       Retry transiently failed blocks up to N times with
                       escalating trial counts (default 0; deterministic)
     --uarch U         ivb | hsw | skl (default hsw)
+    --tables FILE     measure/serve/profile/predict: load fitted tables
+                      (bhive-tables/v1 JSON from `calibrate --out`) and
+                      run with them instead of the shipped tables; the
+                      file's uarch must match --uarch. Incompatible
+                      with --workers/--shard (worker processes would
+                      not inherit the loaded tables)
     --json            Emit reports as JSON
     --cache DIR       Persist measurements under DIR and resume from them
                       (also via the BHIVE_CACHE environment variable)
@@ -92,6 +103,16 @@ OPTIONS:
                       gauges, histogram quantiles) to stderr after the
                       command; implies observability even without --trace
     -h, --help        Print this usage summary and exit
+
+CALIBRATE OPTIONS (calibrate command only; --uarch/--threads/--cache/
+--no-cache/--trace/--metrics are honored too):
+    --quick           Use the reduced probe battery (smoke tests)
+    --report FILE     Where to write the diff-report JSON
+                      (default calibration_report.json)
+    --out FILE        Also write the fitted tables as bhive-tables/v1
+                      JSON, loadable via --tables
+    --diff            Print drifted entries to stdout and exit 3 when
+                      the fitted tables differ from the shipped ones
 
 SERVE OPTIONS (serve command only; --uarch/--cache/--retries/--threads
 are honored too, with --threads sizing the profiling worker pool):
@@ -113,6 +134,8 @@ are honored too, with --threads sizing the profiling worker pool):
 EXIT STATUS:
     0                 Success (for serve: clean drain)
     1                 I/O or runtime error
+    3                 calibrate --diff: fitted tables drifted from the
+                      shipped ones
     2                 Usage error (bad flags or combinations), or run
                       unhealthy: the run-health circuit breaker tripped
                       (environment degraded), no block profiled
@@ -137,8 +160,35 @@ struct Options {
     no_cache: bool,
     trace: Option<std::path::PathBuf>,
     metrics: bool,
+    tables: Option<std::path::PathBuf>,
     help: bool,
     serve: ServeOptions,
+    calibrate: CalibrateOptions,
+}
+
+/// Calibrate-only flags, kept `Option`/default so their *presence* can
+/// be rejected on other commands instead of being silently ignored.
+#[derive(Debug, Default)]
+struct CalibrateOptions {
+    quick: bool,
+    report: Option<std::path::PathBuf>,
+    out: Option<std::path::PathBuf>,
+    diff: bool,
+}
+
+impl CalibrateOptions {
+    /// The first calibrate-only flag that was given, for the
+    /// "calibrate flags need the calibrate command" usage error.
+    fn given(&self) -> Option<&'static str> {
+        [
+            ("--quick", self.quick),
+            ("--report", self.report.is_some()),
+            ("--out", self.out.is_some()),
+            ("--diff", self.diff),
+        ]
+        .into_iter()
+        .find_map(|(name, given)| given.then_some(name))
+    }
 }
 
 /// Serve-only flags, kept `Option` so their *presence* can be rejected
@@ -200,8 +250,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         no_cache: false,
         trace: None,
         metrics: false,
+        tables: None,
         help: false,
         serve: ServeOptions::default(),
+        calibrate: CalibrateOptions::default(),
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -348,12 +400,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--no-cache" => opts.no_cache = true,
             "--trace" => opts.trace = Some(value("--trace")?.into()),
             "--metrics" => opts.metrics = true,
+            "--tables" => opts.tables = Some(value("--tables")?.into()),
+            "--quick" => opts.calibrate.quick = true,
+            "--report" => opts.calibrate.report = Some(value("--report")?.into()),
+            "--out" => opts.calibrate.out = Some(value("--out")?.into()),
+            "--diff" => opts.calibrate.diff = true,
             "--help" | "-h" => opts.help = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     if opts.workers.is_some() && opts.shard.is_some() {
         return Err("--workers (supervisor) and --shard (worker) are mutually exclusive".into());
+    }
+    if opts.tables.is_some() && (opts.workers.is_some() || opts.shard.is_some()) {
+        return Err(
+            "--tables is incompatible with --workers/--shard: worker processes \
+             would run on the shipped tables, not the loaded ones"
+                .into(),
+        );
     }
     Ok(opts)
 }
@@ -415,8 +479,29 @@ fn run() -> Result<ExitCode, CliError> {
             )));
         }
     }
+    if command != "calibrate" {
+        if let Some(flag) = opts.calibrate.given() {
+            return Err(CliError::Usage(format!(
+                "{flag} applies to the `calibrate` command only"
+            )));
+        }
+    }
+    if let Some(path) = &opts.tables {
+        if !matches!(
+            command.as_str(),
+            "measure" | "serve" | "profile" | "predict"
+        ) {
+            return Err(CliError::Usage(
+                "--tables applies to the measure/serve/profile/predict commands only".into(),
+            ));
+        }
+        install_fitted_tables(path, opts.uarch)?;
+    }
     if command == "serve" {
         return run_serve(&opts).map_err(CliError::Runtime);
+    }
+    if command == "calibrate" {
+        return run_calibrate(&opts);
     }
     let mut pipeline =
         Pipeline::new(opts.scale, opts.seed, opts.threads).with_retries(opts.retries);
@@ -660,6 +745,142 @@ fn run_serve(opts: &Options) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// Loads a `bhive-tables/v1` file and installs it process-wide, so
+/// every subsequent `UarchKind::desc()` — the profiler, the models,
+/// the serve daemon — resolves to the fitted tables.
+fn install_fitted_tables(path: &std::path::Path, uarch: UarchKind) -> Result<(), CliError> {
+    let (kind, overrides) = bhive::uarch::FittedTables::load(path)
+        .map_err(|e| CliError::Runtime(format!("loading --tables {}: {e}", path.display())))?;
+    if kind != uarch {
+        return Err(CliError::Usage(format!(
+            "--tables {} is fitted for {}, but --uarch is {}; pass --uarch {}",
+            path.display(),
+            kind.short_name(),
+            uarch.short_name(),
+            kind.short_name()
+        )));
+    }
+    bhive::uarch::install_tables(kind, overrides);
+    Ok(())
+}
+
+/// The `calibrate` command: measure the probe battery, fit tables,
+/// write the diff-report (and optionally the fitted tables), and with
+/// `--diff` print drifted entries and exit 3 when any entry drifted.
+fn run_calibrate(opts: &Options) -> Result<ExitCode, CliError> {
+    // SIGINT/SIGTERM interrupt the measurement phase; completed probes
+    // are already flushed to the cache, so a rerun resumes.
+    bhive::harness::interrupt::install();
+    let mut trace_log = match &opts.trace {
+        Some(path) => Some(
+            TraceLog::open(path)
+                .map_err(|e| format!("opening trace log {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+    let obs = if trace_log.is_some() || opts.metrics {
+        ObsConfig {
+            resume_note: trace_log.as_ref().and_then(|log| log.recovery()),
+            ..ObsConfig::on()
+        }
+    } else {
+        ObsConfig::default()
+    };
+    let calib_opts = bhive::learn::CalibrationOptions {
+        threads: opts.threads,
+        cache_dir: opts.cache_dir(),
+        quick: opts.calibrate.quick,
+        obs,
+        stop: None,
+    };
+    let outcome = match bhive::learn::calibrate(bhive::uarch::builtin(opts.uarch), &calib_opts) {
+        Ok(outcome) => outcome,
+        Err(bhive::learn::CalibrationError::Interrupted) => {
+            eprintln!("calibrate: interrupted; rerun with the same --cache to resume");
+            return Ok(ExitCode::from(130));
+        }
+        Err(err) => return Err(CliError::Runtime(format!("calibrate: {err}"))),
+    };
+    let report = &outcome.report;
+
+    let report_path = opts
+        .calibrate
+        .report
+        .clone()
+        .unwrap_or_else(|| "calibration_report.json".into());
+    std::fs::write(&report_path, report.to_json() + "\n")
+        .map_err(|e| format!("writing report {}: {e}", report_path.display()))?;
+    if let Some(out) = &opts.calibrate.out {
+        bhive::uarch::FittedTables::new(opts.uarch, outcome.overrides.clone())
+            .save(out)
+            .map_err(|e| format!("writing fitted tables {}: {e}", out.display()))?;
+    }
+
+    if let (Some(log), Some(obs)) = (trace_log.as_mut(), outcome.obs.as_ref()) {
+        log.append_run("calibrate", obs)
+            .map_err(|e| format!("writing trace log {}: {e}", log.path().display()))?;
+        // The documented --trace contract: a deterministic
+        // run_report.json next to the trace. Swap the merged obs (with
+        // the calib.* section) into the measurement stats so the report
+        // carries the calibration counters too.
+        let mut stats = outcome.stats.clone();
+        stats.obs = Some(obs.clone());
+        if let Some(run_report) = stats.run_report("calibrate") {
+            let run_report_path = log.path().with_file_name("run_report.json");
+            let body = format!(
+                "[\n{}\n]\n",
+                run_report
+                    .to_json()
+                    .map_err(|e| format!("run report: {e}"))?
+            );
+            std::fs::write(&run_report_path, body)
+                .map_err(|e| format!("writing {}: {e}", run_report_path.display()))?;
+        }
+    }
+    if opts.metrics {
+        if let Some(obs) = &outcome.obs {
+            eprintln!("metrics calibrate:");
+            for (name, value) in obs.metrics.counters() {
+                eprintln!("  counter  {name} = {value}");
+            }
+        }
+    }
+    eprintln!(
+        "calibrate {}: {} probes ({} measured, {} failed), {} simulations, \
+         {} entries, {} drifted; report {}",
+        opts.uarch.name(),
+        report.probe_count,
+        report.measured_probes,
+        report.failed_probes,
+        report.simulations,
+        report.entries.len(),
+        report.drift_count,
+        report_path.display(),
+    );
+
+    if opts.calibrate.diff {
+        if report.has_drift() {
+            for (key, entry) in report.entries.iter().filter(|(_, e)| e.drift) {
+                println!(
+                    "drift {key}: latency {} -> {}, ports {:#04x} -> {:#04x} (class {:?})",
+                    entry.shipped_latency,
+                    entry.fitted_latency,
+                    entry.shipped_ports,
+                    entry.canonical_ports,
+                    entry.port_class,
+                );
+            }
+            return Ok(ExitCode::from(3));
+        }
+        println!(
+            "no drift: shipped {} tables match the fitted ones on all {} entries",
+            opts.uarch.name(),
+            report.entries.len()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Reconstructs the CLI flags that reproduce a [`Scale`] in a child
@@ -1054,6 +1275,11 @@ mod tests {
             "--deadline-ms",
             "--read-timeout-ms",
             "--drain-ms",
+            "--tables",
+            "--quick",
+            "--report",
+            "--out",
+            "--diff",
             "--help",
             "-h",
         ] {
@@ -1095,6 +1321,28 @@ mod tests {
         assert!(parse(&["--rate", "inf"]).is_err(), "non-finite rate");
         assert!(parse(&["--burst", "0"]).is_err(), "burst must admit one");
         assert!(parse(&["--read-timeout-ms", "0"]).is_err(), "zero timeout");
+    }
+
+    #[test]
+    fn calibrate_and_tables_flags_parse_and_validate() {
+        let opts = parse(&["--quick", "--report", "r.json", "--out", "t.json", "--diff"]).unwrap();
+        assert!(opts.calibrate.quick);
+        assert_eq!(
+            opts.calibrate.report,
+            Some(std::path::PathBuf::from("r.json"))
+        );
+        assert_eq!(opts.calibrate.out, Some(std::path::PathBuf::from("t.json")));
+        assert!(opts.calibrate.diff);
+        assert_eq!(opts.calibrate.given(), Some("--quick"));
+        assert_eq!(parse(&[]).unwrap().calibrate.given(), None);
+
+        let opts = parse(&["--tables", "t.json"]).unwrap();
+        assert_eq!(opts.tables, Some(std::path::PathBuf::from("t.json")));
+        // Worker processes would run on the shipped tables, so the
+        // combination is rejected at parse time.
+        assert!(parse(&["--tables", "t.json", "--workers", "2"]).is_err());
+        assert!(parse(&["--tables", "t.json", "--shard", "0/2"]).is_err());
+        assert!(parse(&["--report"]).is_err(), "--report needs a value");
     }
 
     #[test]

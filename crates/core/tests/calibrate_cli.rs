@@ -1,0 +1,102 @@
+//! End-to-end tests of `bhive calibrate` and `--tables`: the calibrate
+//! command produces a report and a fitted-table file, `--diff` encodes
+//! drift in the exit status, and a fitted table loaded back through
+//! `--tables` drives a measure run byte-identical to the shipped one
+//! (the shipped tables have zero drift, so the fitted canonical picks
+//! equal them).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bhive(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bhive"))
+        .args(args)
+        .env_remove("BHIVE_CACHE")
+        .output()
+        .expect("bhive binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bhive-calib-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn calibrate_writes_report_and_tables_and_reports_no_drift() {
+    let dir = temp_dir("report");
+    let report = dir.join("report.json");
+    let tables = dir.join("tables.json");
+    let out = bhive(&[
+        "calibrate",
+        "--uarch",
+        "ivb",
+        "--quick",
+        "--no-cache",
+        "--report",
+        report.to_str().unwrap(),
+        "--out",
+        tables.to_str().unwrap(),
+        "--diff",
+    ]);
+    // Shipped tables are drift-free (see the uarch table audit), so
+    // --diff exits 0.
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no drift"), "{stdout}");
+
+    let report_json = std::fs::read_to_string(&report).expect("report written");
+    assert!(
+        report_json.contains("bhive-calibration-report/v1"),
+        "{report_json}"
+    );
+    let tables_json = std::fs::read_to_string(&tables).expect("tables written");
+    assert!(tables_json.contains("bhive-tables/v1"), "{tables_json}");
+
+    // A fitted, drift-free table swapped in via --tables must leave a
+    // measure run byte-identical to the shipped tables.
+    let with_tables = bhive(&[
+        "measure",
+        "--uarch",
+        "ivb",
+        "--scale",
+        "3",
+        "--no-cache",
+        "--tables",
+        tables.to_str().unwrap(),
+    ]);
+    assert!(with_tables.status.success(), "{with_tables:?}");
+    let shipped = bhive(&["measure", "--uarch", "ivb", "--scale", "3", "--no-cache"]);
+    assert!(shipped.status.success(), "{shipped:?}");
+    assert_eq!(
+        with_tables.stdout, shipped.stdout,
+        "fitted tables must reproduce the shipped measure run"
+    );
+
+    // The fitted file is pinned to its uarch: loading it under another
+    // --uarch is a usage error.
+    let mismatched = bhive(&[
+        "measure",
+        "--uarch",
+        "skl",
+        "--scale",
+        "3",
+        "--no-cache",
+        "--tables",
+        tables.to_str().unwrap(),
+    ]);
+    assert_eq!(mismatched.status.code(), Some(2), "{mismatched:?}");
+    let stderr = String::from_utf8_lossy(&mismatched.stderr);
+    assert!(stderr.contains("fitted for"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibrate_flags_are_rejected_on_other_commands() {
+    let out = bhive(&["measure", "--scale", "3", "--diff"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--diff"), "{stderr}");
+}

@@ -31,9 +31,13 @@
 
 mod app;
 mod gen;
+pub mod probe;
 pub mod special;
 mod suite;
 
 pub use app::{Application, Family};
 pub use gen::generate_block;
+pub use probe::{
+    probe_battery, probe_entry, Probe, ProbeBattery, ProbeEntry, ProbeKind, PROBE_ENTRIES,
+};
 pub use suite::{Corpus, CorpusBlock, FamilyCounts, Scale};

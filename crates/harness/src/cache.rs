@@ -68,7 +68,7 @@ use crate::config::ProfileConfig;
 use crate::failure::ProfileFailure;
 use crate::measurement::Measurement;
 use bhive_asm::fnv1a_64;
-use bhive_uarch::UarchKind;
+use bhive_uarch::{Uarch, UarchKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -264,6 +264,24 @@ pub fn cache_key(block_bytes: &[u8], uarch: UarchKind, fingerprint: u64) -> u64 
     buf.push(0xFF);
     buf.extend_from_slice(uarch.short_name().as_bytes());
     buf.extend_from_slice(&fingerprint.to_le_bytes());
+    fnv1a_64(&buf)
+}
+
+/// The fingerprint a cache (and [`crate::Profiler::content_key`]) binds
+/// records to: the config fingerprint, folded together with the uarch's
+/// fitted-table fingerprint when one is active. A description on the
+/// compiled-in tables folds nothing — its binding is exactly the config
+/// fingerprint, so every cache written before fitted tables existed
+/// stays valid — while a calibrated-table run gets its own namespace
+/// and can never be served a shipped-table measurement (or vice versa).
+pub fn binding_fingerprint(config: &ProfileConfig, uarch: &Uarch) -> u64 {
+    let table = uarch.table_fingerprint();
+    if table == 0 {
+        return config.fingerprint();
+    }
+    let mut buf = [0u8; 16];
+    buf[..8].copy_from_slice(&config.fingerprint().to_le_bytes());
+    buf[8..].copy_from_slice(&table.to_le_bytes());
     fnv1a_64(&buf)
 }
 
@@ -592,8 +610,21 @@ impl MeasurementCache {
     /// log is not an error — the invalid tail is dropped and the valid
     /// prefix is used.
     pub fn open(dir: &Path, uarch: UarchKind, config: &ProfileConfig) -> std::io::Result<Self> {
+        Self::open_for(dir, uarch.desc(), config)
+    }
+
+    /// [`MeasurementCache::open`] against an explicit description —
+    /// binds records to [`binding_fingerprint`], so a description with
+    /// fitted table overrides gets its own cache namespace. `open`
+    /// delegates here with [`UarchKind::desc`] (which already reflects
+    /// any process-wide installed tables).
+    ///
+    /// # Errors
+    ///
+    /// As [`MeasurementCache::open`].
+    pub fn open_for(dir: &Path, uarch: &Uarch, config: &ProfileConfig) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        Self::open_at(Self::log_path(dir, uarch), uarch, config)
+        Self::open_at_for(Self::log_path(dir, uarch.kind), uarch, config)
     }
 
     /// [`MeasurementCache::open`] against an explicit log path — the
@@ -609,10 +640,25 @@ impl MeasurementCache {
         uarch: UarchKind,
         config: &ProfileConfig,
     ) -> std::io::Result<Self> {
+        Self::open_at_for(path, uarch.desc(), config)
+    }
+
+    /// [`MeasurementCache::open_at`] against an explicit description
+    /// (see [`MeasurementCache::open_for`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`MeasurementCache::open`].
+    pub fn open_at_for(
+        path: PathBuf,
+        uarch: &Uarch,
+        config: &ProfileConfig,
+    ) -> std::io::Result<Self> {
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent)?;
         }
-        let fingerprint = config.fingerprint();
+        let fingerprint = binding_fingerprint(config, uarch);
+        let uarch = uarch.kind;
 
         // Locking comes first; only the lock holder may clean temps (a
         // temp next to an unlocked log could belong to a live compactor).

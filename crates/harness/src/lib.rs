@@ -72,7 +72,8 @@ mod retry;
 pub mod shard;
 
 pub use cache::{
-    cache_key, CacheOpenReport, CacheStats, CachedOutcome, JsonlRecovery, MeasurementCache,
+    binding_fingerprint, cache_key, CacheOpenReport, CacheStats, CachedOutcome, JsonlRecovery,
+    MeasurementCache,
 };
 pub use chaos::{ChaosInjector, ChaosStats, FaultPlan};
 pub use config::{PageMapping, ProfileConfig, UnrollStrategy};

@@ -605,6 +605,39 @@ pub enum TraceEvent {
         /// 0-based admission-order request ordinal.
         request: usize,
     },
+    /// Calibration fitted (or fell back for) the latency of one table
+    /// entry. Keyed by the entry's ordinal in sorted-key order, so the
+    /// sequence is deterministic at any thread count.
+    CalibLatency {
+        /// Entry ordinal (sorted-key order).
+        entry: usize,
+        /// The table-entry key (e.g. `"fp.mul"`).
+        key: String,
+        /// The latency the fitted table carries.
+        latency: u32,
+        /// True when the value came from the dependency-chain fit;
+        /// false when the shipped latency was kept (non-chainable entry
+        /// or degenerate fit).
+        fitted: bool,
+    },
+    /// Calibration resolved the port-mask candidate class of one entry.
+    CalibPorts {
+        /// Entry ordinal (sorted-key order).
+        entry: usize,
+        /// The table-entry key.
+        key: String,
+        /// Canonical fitted port mask.
+        canonical_mask: u8,
+        /// Surviving candidate masks (the equivalence class size).
+        survivors: usize,
+    },
+    /// Calibration found an entry drifted from the shipped table.
+    CalibDrift {
+        /// Entry ordinal (sorted-key order).
+        entry: usize,
+        /// The table-entry key.
+        key: String,
+    },
 }
 
 impl TraceEvent {
@@ -649,6 +682,9 @@ impl TraceEvent {
             E::ServeReadTimeout { conn } => (5, *conn as u64, 0, 1),
             E::ServeRejected { request, .. } => (5, *request as u64, 0, 2),
             E::ServeDeadlineExpired { request } => (5, *request as u64, 0, 3),
+            E::CalibLatency { entry, .. } => (6, *entry as u64, 0, 0),
+            E::CalibPorts { entry, .. } => (6, *entry as u64, 0, 1),
+            E::CalibDrift { entry, .. } => (6, *entry as u64, 0, 2),
         }
     }
 
@@ -676,6 +712,9 @@ impl TraceEvent {
             E::ServeReadTimeout { .. } => "serve-read-timeout",
             E::ServeRejected { .. } => "serve-rejected",
             E::ServeDeadlineExpired { .. } => "serve-deadline-expired",
+            E::CalibLatency { .. } => "calib-latency",
+            E::CalibPorts { .. } => "calib-ports",
+            E::CalibDrift { .. } => "calib-drift",
         }
     }
 

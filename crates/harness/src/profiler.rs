@@ -36,16 +36,18 @@ impl Profiler {
 
     /// The content address a measurement of `block` would be cached
     /// under — an FNV-1a hash of the encoded bytes, the target
-    /// microarchitecture, and the config fingerprint. `None` when the
-    /// block does not encode (such blocks fail deterministically and
-    /// are never cached). This is the key the on-disk cache, the
-    /// parallel deduplicator, and the shard partitioner all agree on.
+    /// microarchitecture, and the config fingerprint (folded with the
+    /// uarch's fitted-table fingerprint when one is active, see
+    /// [`crate::cache::binding_fingerprint`]). `None` when the block
+    /// does not encode (such blocks fail deterministically and are
+    /// never cached). This is the key the on-disk cache, the parallel
+    /// deduplicator, and the shard partitioner all agree on.
     pub fn content_key(&self, block: &bhive_asm::BasicBlock) -> Option<u64> {
         let bytes = block.encode().ok()?;
         Some(crate::cache::cache_key(
             &bytes,
             self.uarch.kind,
-            self.config.fingerprint(),
+            crate::cache::binding_fingerprint(&self.config, self.uarch),
         ))
     }
 

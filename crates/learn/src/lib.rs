@@ -29,6 +29,14 @@
 //! assert!((tau - 1.0).abs() < 1e-12);
 //! ```
 
+pub mod calibrate;
+pub mod fit;
 pub mod lda;
 pub mod regress;
 pub mod stats;
+
+pub use calibrate::{
+    calib_config, calibrate, CalibrationError, CalibrationOptions, CalibrationOutcome,
+    CalibrationReport, EntryReport, CALIBRATION_REPORT_SCHEMA,
+};
+pub use fit::{fit_ols, FitError, OlsFit};

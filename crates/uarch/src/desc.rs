@@ -64,13 +64,14 @@ impl UarchKind {
             .find(|k| k.short_name() == lower || k.name().to_ascii_lowercase() == lower)
     }
 
-    /// The full parameter block.
+    /// The full parameter block. When a fitted table was installed
+    /// process-wide ([`crate::install_tables`]) the overridden
+    /// description is returned instead of the compiled-in one.
     pub fn desc(self) -> &'static Uarch {
-        match self {
-            UarchKind::IvyBridge => Uarch::ivy_bridge(),
-            UarchKind::Haswell => Uarch::haswell(),
-            UarchKind::Skylake => Uarch::skylake(),
+        if let Some(installed) = crate::overrides::installed(self) {
+            return installed;
         }
+        crate::overrides::builtin(self)
     }
 }
 
@@ -132,9 +133,50 @@ pub struct Uarch {
     pub subnormal_penalty: u32,
     /// Extra cycles for a load/store that crosses a cache-line boundary.
     pub split_access_penalty: u32,
+    /// Fitted table-entry overrides applied on top of the compiled-in
+    /// decomposition tables (see [`crate::TableOverrides`]). `None` for
+    /// every shipped description (serialized as `null`).
+    pub overrides: Option<crate::TableOverrides>,
 }
 
 impl Uarch {
+    /// A copy of this description with `overrides` applied on top of the
+    /// compiled-in tables. An empty set normalizes to `None`, so a
+    /// no-op table keeps the fingerprint (and every cache key) of the
+    /// shipped description.
+    pub fn with_overrides(&self, overrides: crate::TableOverrides) -> Uarch {
+        Uarch {
+            overrides: if overrides.is_empty() {
+                None
+            } else {
+                Some(overrides)
+            },
+            ..self.clone()
+        }
+    }
+
+    /// A copy with the compiled-in tables only (overrides stripped).
+    pub fn base(&self) -> Uarch {
+        Uarch {
+            overrides: None,
+            ..self.clone()
+        }
+    }
+
+    /// Stable fingerprint of the active table overrides; 0 when the
+    /// description uses the compiled-in tables. Measurement caches fold
+    /// this into their binding so calibrated-table runs never share
+    /// records with shipped-table runs.
+    pub fn table_fingerprint(&self) -> u64 {
+        self.overrides.as_ref().map_or(0, |o| o.fingerprint())
+    }
+
+    /// Leaks this description to `'static` — profiler and machine
+    /// constructors require `&'static Uarch`. One small allocation per
+    /// call; intended for one-shot candidate/test descriptions.
+    pub fn leak(self) -> &'static Uarch {
+        Box::leak(Box::new(self))
+    }
     /// The Ivy Bridge description.
     pub fn ivy_bridge() -> &'static Uarch {
         static IVB: std::sync::OnceLock<Uarch> = std::sync::OnceLock::new();
@@ -169,6 +211,7 @@ impl Uarch {
             macro_fusion: true,
             subnormal_penalty: 20,
             split_access_penalty: 10,
+            overrides: None,
         })
     }
 
@@ -206,6 +249,7 @@ impl Uarch {
             macro_fusion: true,
             subnormal_penalty: 20,
             split_access_penalty: 10,
+            overrides: None,
         })
     }
 
@@ -243,6 +287,7 @@ impl Uarch {
             macro_fusion: true,
             subnormal_penalty: 20,
             split_access_penalty: 10,
+            overrides: None,
         })
     }
 }

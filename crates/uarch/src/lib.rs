@@ -36,12 +36,17 @@
 
 mod desc;
 mod fusion;
+mod overrides;
 mod ports;
 mod tables;
 mod uop;
 
 pub use desc::{CacheParams, Uarch, UarchKind};
 pub use fusion::macro_fuses;
+pub use overrides::{
+    builtin, install_tables, EntryOverride, FittedTables, TableLoadError, TableOverrides,
+    FITTED_TABLES_SCHEMA,
+};
 pub use ports::{Port, PortSet};
-pub use tables::{decompose, decompose_cached, port_vocabulary};
+pub use tables::{decompose, decompose_cached, entry_key, port_vocabulary};
 pub use uop::{Recipe, Uop, UopKind, VarLat};

@@ -68,11 +68,84 @@ pub fn decompose(inst: &Inst, uarch: &Uarch) -> Recipe {
     }
     let frontend_slots = slots.max(1);
 
+    // Fitted-table overrides: patch the compute uop of overridable
+    // (single-compute-uop, fixed-latency) rows. See [`entry_key`].
+    if let Some(overrides) = &uarch.overrides {
+        if let Some(entry) = entry_key(inst).and_then(|key| overrides.get(key)) {
+            let mut computes = uops.iter_mut().filter(|u| u.kind == UopKind::Compute);
+            if let (Some(uop), None) = (computes.next(), computes.next()) {
+                uop.ports = PortSet::from_mask(entry.ports);
+                uop.latency = entry.latency;
+            }
+        }
+    }
+
     Recipe {
         uops,
         frontend_slots,
         eliminated: false,
     }
+}
+
+/// The override key of the decomposition-table row `inst` resolves to,
+/// or `None` when the row is not overridable.
+///
+/// A row is overridable when its compute core is a single fixed-latency
+/// uop on every microarchitecture: those are the rows `bhive calibrate`
+/// can pin with throughput/latency/port-pressure probes. Variable
+/// latency rows (division, square root), multi-uop recipes (widening
+/// multiplies, shifts by `cl`, conversions), and rename-eliminated
+/// shapes keep their shipped definitions.
+pub fn entry_key(inst: &Inst) -> Option<&'static str> {
+    use MnemonicClass::*;
+    let m = inst.mnemonic();
+    Some(match m.class() {
+        Alu => "alu",
+        DataMove if m == Mnemonic::Bswap => "bswap",
+        Lea => {
+            let mem = inst.mem_operand()?;
+            if mem.index.is_some() && (mem.base.is_some() || mem.disp != 0) {
+                "lea.complex"
+            } else {
+                "lea.simple"
+            }
+        }
+        Shift => {
+            let by_cl = matches!(
+                inst.operands().get(1),
+                Some(Operand::Gpr {
+                    reg: bhive_asm::Gpr::Rcx,
+                    ..
+                })
+            );
+            if by_cl {
+                return None;
+            }
+            "shift"
+        }
+        Mul if inst.operands().len() != 1 => "mul",
+        BitCount => "bitcount",
+        CondSet => "setcc",
+        FpAdd => "fp.add",
+        FpMul => "fp.mul",
+        Fma => "fp.fma",
+        FpMinMax => "fp.minmax",
+        FpCmp => "fp.cmp",
+        VecLogic => "vec.logic",
+        VecIntAlu => "vec.int",
+        VecIntMul if m != Mnemonic::Pmulld => "vec.mul",
+        VecShift => "vec.shift",
+        VecShuffle => "vec.shuffle",
+        VecMask => "vec.mask",
+        FpMove if matches!(m, Mnemonic::Movd | Mnemonic::Movq) => {
+            if matches!(inst.operands().first(), Some(Operand::Vec(_))) {
+                "movd.to_vec"
+            } else {
+                "movd.from_vec"
+            }
+        }
+        _ => return None,
+    })
 }
 
 /// Memoized [`decompose`]. Corpus traffic decomposes the same static
@@ -86,22 +159,27 @@ pub fn decompose_cached(inst: &Inst, uarch: &Uarch) -> Recipe {
     use std::collections::HashMap;
     use std::hash::{Hash, Hasher};
 
-    type Memo = HashMap<u64, Vec<(UarchKind, Inst, Recipe)>>;
+    type Memo = HashMap<u64, Vec<(UarchKind, u64, Inst, Recipe)>>;
     const DECOMPOSE_MEMO_CAP: usize = 8192;
     thread_local! {
         static MEMO: RefCell<Memo> = RefCell::new(HashMap::new());
     }
 
+    // The table fingerprint keys the memo alongside the kind: two
+    // descriptions of the same kind with different fitted overrides
+    // decompose differently and must never share an entry.
+    let table_fp = uarch.table_fingerprint();
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     uarch.kind.hash(&mut hasher);
+    table_fp.hash(&mut hasher);
     inst.hash(&mut hasher);
     let key = hasher.finish();
 
     MEMO.with(|memo| {
         let mut memo = memo.borrow_mut();
         if let Some(bucket) = memo.get(&key) {
-            for (kind, cached_inst, recipe) in bucket {
-                if *kind == uarch.kind && cached_inst == inst {
+            for (kind, fp, cached_inst, recipe) in bucket {
+                if *kind == uarch.kind && *fp == table_fp && cached_inst == inst {
                     return recipe.clone();
                 }
             }
@@ -112,7 +190,7 @@ pub fn decompose_cached(inst: &Inst, uarch: &Uarch) -> Recipe {
         }
         memo.entry(key)
             .or_default()
-            .push((uarch.kind, inst.clone(), recipe.clone()));
+            .push((uarch.kind, table_fp, inst.clone(), recipe.clone()));
         recipe
     })
 }
@@ -597,6 +675,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn entry_keys_cover_single_compute_rows() {
+        let cases = [
+            ("add rax, rbx", Some("alu")),
+            ("bswap eax", Some("bswap")),
+            ("lea rax, [rbx + 8]", Some("lea.simple")),
+            ("lea rax, [rbx + 4*rcx + 1]", Some("lea.complex")),
+            ("shl rax, 3", Some("shift")),
+            ("shl rax, cl", None),
+            ("imul rax, rbx", Some("mul")),
+            ("popcnt rax, rbx", Some("bitcount")),
+            ("setne al", Some("setcc")),
+            ("addps xmm0, xmm1", Some("fp.add")),
+            ("mulps xmm0, xmm1", Some("fp.mul")),
+            ("minps xmm0, xmm1", Some("fp.minmax")),
+            ("ucomiss xmm0, xmm1", Some("fp.cmp")),
+            ("xorps xmm0, xmm1", Some("vec.logic")),
+            ("paddd xmm0, xmm1", Some("vec.int")),
+            ("pmullw xmm0, xmm1", Some("vec.mul")),
+            ("pmulld xmm0, xmm1", None),
+            ("pslld xmm0, 4", Some("vec.shift")),
+            ("pshufd xmm0, xmm1, 0x1b", Some("vec.shuffle")),
+            ("pmovmskb eax, xmm0", Some("vec.mask")),
+            ("movd xmm0, eax", Some("movd.to_vec")),
+            ("movd eax, xmm0", Some("movd.from_vec")),
+            // Non-overridable rows.
+            ("div ecx", None),
+            ("cmovne rax, rbx", None),
+            ("cvtsi2ss xmm0, eax", None),
+            ("jne -0x10", None),
+        ];
+        for (text, want) in cases {
+            let inst = parse_inst(text).unwrap();
+            assert_eq!(entry_key(&inst), want, "{text}");
+        }
+    }
+
+    #[test]
+    fn overrides_patch_the_compute_uop() {
+        let mut ov = crate::TableOverrides::new();
+        ov.set("mul", 5, ports!(0, 5));
+        let patched = hsw().with_overrides(ov);
+        let r = recipe("imul rax, rbx", &patched);
+        assert_eq!(r.uops[0].ports, ports!(0, 5));
+        assert_eq!(r.uops[0].latency, 5);
+        // Memory forms of the same row are patched identically.
+        let r = recipe("imul rax, qword ptr [rbx]", &patched);
+        let compute = r.uops.iter().find(|u| u.kind == UopKind::Compute).unwrap();
+        assert_eq!(compute.ports, ports!(0, 5));
+        assert_eq!(compute.latency, 5);
+        // Other rows and the shipped description are untouched.
+        assert_eq!(recipe("add rax, rbx", &patched).uops[0].latency, 1);
+        assert_eq!(recipe("imul rax, rbx", hsw()).uops[0].ports, ports!(1));
+    }
+
+    #[test]
+    fn cached_decompose_respects_table_fingerprints() {
+        let inst = parse_inst("imul rax, rbx").unwrap();
+        let shipped = decompose_cached(&inst, hsw());
+        let mut ov = crate::TableOverrides::new();
+        ov.set("mul", 7, ports!(5));
+        let patched = hsw().with_overrides(ov);
+        let overridden = decompose_cached(&inst, &patched);
+        assert_eq!(shipped.uops[0].latency, 3);
+        assert_eq!(overridden.uops[0].latency, 7);
+        // And again from the memo, both ways round.
+        assert_eq!(decompose_cached(&inst, &patched).uops[0].latency, 7);
+        assert_eq!(decompose_cached(&inst, hsw()).uops[0].latency, 3);
     }
 
     #[test]

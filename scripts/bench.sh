@@ -22,7 +22,9 @@
 #       across the staged loop (hits = re-executions that skipped decode)
 #
 # then times a cold sharded 2-worker run against the serial 1T baseline
-# and writes both to BENCH_PR7.json (single-process probe nested inside).
+# and writes both to BENCH_PR7.json (single-process probe nested inside),
+# and finally times a cold quick `bhive calibrate` run end to end and
+# writes the wall time + probe/simulation counts to BENCH_PR10.json.
 #
 # Usage: scripts/bench.sh [--skip-criterion]
 set -euo pipefail
@@ -78,6 +80,37 @@ BEGIN {
 cat BENCH_PR9.json >>BENCH_PR7.json
 echo "}" >>BENCH_PR7.json
 echo "wrote BENCH_PR7.json"
+
+# Calibration probe: wall time for a cold quick calibrate (probe
+# battery measured end to end, latency + port fits, diff-report) plus
+# the battery size and candidate-simulation count from the report.
+calib_dir="$(mktemp -d)"
+trap 'rm -rf "$shard_cache" "$calib_dir"' EXIT
+t0=$(date +%s%N)
+"$bhive" calibrate --uarch hsw --quick --no-cache \
+    --report "$calib_dir/calibration_report.json" >/dev/null 2>&1
+t1=$(date +%s%N)
+calib_ns=$((t1 - t0))
+python3 - "$calib_dir/calibration_report.json" "$calib_ns" <<'PY' >BENCH_PR10.json
+import json, sys
+report = json.load(open(sys.argv[1]))
+ns = int(sys.argv[2])
+json.dump({
+    "schema": "bhive-bench-pr10/v1",
+    "uarch": report["uarch"],
+    "quick": report["quick"],
+    "calibrate_wall_ns": ns,
+    "probes_per_sec": round(report["probe_count"] / (ns / 1e9), 1),
+    "probe_count": report["probe_count"],
+    "measured_probes": report["measured_probes"],
+    "simulations": report["simulations"],
+    "entries": len(report["entries"]),
+    "drift_count": report["drift_count"],
+}, sys.stdout, indent=2)
+sys.stdout.write("\n")
+PY
+cat BENCH_PR10.json
+echo "wrote BENCH_PR10.json"
 
 # Serve latency probe: client-observed roundtrip latency against an
 # in-process `bhive serve` — p50/p99 for cold misses (each measured on

@@ -113,6 +113,17 @@ grep -q '"status":"health","state":"serving"' "$serve_dir/answers"
 kill -TERM "$serve_pid"
 wait "$serve_pid"
 test ! -e "$serve_dir/bhive.sock" # drain unlinks the socket
+# Calibration smoke: a quick calibrate against the shipped Ivy Bridge
+# tables must measure every probe, report zero drift (--diff exits 0),
+# and write the versioned report. The round-trip recovery suite
+# (synthetic tables recovered from measurements alone) is pinned here
+# explicitly on top of the workspace `cargo test` above.
+cargo test -q -p bhive-learn --test calibrate_roundtrip
+calib_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$shard_dir" "$serve_dir" "$calib_dir"' EXIT
+"$bhive" calibrate --uarch ivb --quick --no-cache \
+    --report "$calib_dir/calibration_report.json" --diff >/dev/null
+grep -q 'bhive-calibration-report/v1' "$calib_dir/calibration_report.json"
 if command -v rustfmt >/dev/null 2>&1; then
     cargo fmt --check
 else
